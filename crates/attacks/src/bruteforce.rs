@@ -1,0 +1,229 @@
+//! Brute-force layout search (paper §6.3, "Brute-force attack").
+//!
+//! The adversary knows the augmented geometry and the original geometry (the
+//! masked layers expose both), so it can enumerate every candidate set of
+//! noise positions — all `C(total, inserted)` of them — and score each
+//! candidate reconstruction with some prior (here: smoothness, since natural
+//! images have low total variation). Table 2's search-space column is
+//! exactly the count of candidates; this module demonstrates the mechanism
+//! at toy sizes and the infeasibility math at real sizes.
+
+use amalgam_core::ImagePlan;
+use amalgam_tensor::math::BigMagnitude;
+use amalgam_tensor::Tensor;
+
+/// Iterator over all `C(n, k)` sorted index combinations.
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    current: Option<Vec<usize>>,
+}
+
+impl Combinations {
+    /// All size-`k` subsets of `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k <= n, "cannot choose {k} from {n}");
+        Combinations { n, k, current: Some((0..k).collect()) }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.current.clone()?;
+        // Advance to the next combination in lexicographic order.
+        let mut next = current.clone();
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.current = None;
+                break;
+            }
+            i -= 1;
+            if next[i] < self.n - self.k + i {
+                next[i] += 1;
+                for j in i + 1..self.k {
+                    next[j] = next[j - 1] + 1;
+                }
+                self.current = Some(next);
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Total-variation smoothness score of a reconstruction (lower = smoother =
+/// more image-like). The classic prior a brute-forcing adversary would use.
+pub fn total_variation(img: &Tensor, h: usize, w: usize) -> f32 {
+    let mut tv = 0.0f32;
+    let d = img.data();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                tv += (d[y * w + x] - d[y * w + x + 1]).abs();
+            }
+            if y + 1 < h {
+                tv += (d[y * w + x] - d[(y + 1) * w + x]).abs();
+            }
+        }
+    }
+    tv
+}
+
+/// Outcome of a (toy-scale) brute-force layout search.
+#[derive(Debug, Clone)]
+pub struct BruteForceOutcome {
+    /// The best-scoring keep list found.
+    pub best_keep: Vec<usize>,
+    /// Its score.
+    pub best_score: f32,
+    /// Score of the *true* layout under the same prior.
+    pub true_score: f32,
+    /// Number of candidates evaluated.
+    pub attempts: u64,
+    /// Whether the best candidate is exactly the true layout.
+    pub recovered: bool,
+    /// Rank of the true layout among all candidates (0 = best).
+    pub true_rank: u64,
+}
+
+/// Exhaustively searches all layouts of one augmented single-channel image,
+/// scoring candidate reconstructions by total variation.
+///
+/// Only feasible at toy sizes; pair with [`search_space`] for the real-scale
+/// infeasibility argument.
+///
+/// # Panics
+///
+/// Panics if the geometry is inconsistent or the search space exceeds
+/// `max_attempts`.
+pub fn brute_force_layout(
+    augmented: &Tensor,
+    plan: &ImagePlan,
+    max_attempts: u64,
+) -> BruteForceOutcome {
+    let (h, w) = plan.orig_hw();
+    let (ah, aw) = plan.aug_hw();
+    assert_eq!(augmented.numel(), ah * aw, "augmented image geometry mismatch");
+    let space = plan.search_space();
+    assert!(
+        space.to_f64().is_some_and(|v| v <= max_attempts as f64),
+        "search space {space} exceeds the attempt budget {max_attempts}"
+    );
+
+    let mut best_score = f32::INFINITY;
+    let mut best_keep = Vec::new();
+    let mut true_score = f32::NAN;
+    let mut attempts = 0u64;
+    let mut better_than_true = 0u64;
+    let mut scores_with_keeps: Vec<(f32, bool)> = Vec::new();
+    for keep in Combinations::new(ah * aw, h * w) {
+        attempts += 1;
+        let rec = augmented.gather_flat(&keep);
+        let score = total_variation(&rec, h, w);
+        let is_true = keep == plan.keep();
+        if is_true {
+            true_score = score;
+        }
+        scores_with_keeps.push((score, is_true));
+        if score < best_score {
+            best_score = score;
+            best_keep = keep;
+        }
+    }
+    for &(score, _) in &scores_with_keeps {
+        if score < true_score {
+            better_than_true += 1;
+        }
+    }
+    BruteForceOutcome {
+        recovered: best_keep == plan.keep(),
+        best_keep,
+        best_score,
+        true_score,
+        attempts,
+        true_rank: better_than_true,
+    }
+}
+
+/// The search space for a given augmented geometry (Table 2's metric).
+pub fn search_space(total_indices: usize, inserted: usize) -> BigMagnitude {
+    BigMagnitude::choose(total_indices as u64, inserted as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_tensor::Rng;
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        assert_eq!(Combinations::new(5, 2).count(), 10);
+        assert_eq!(Combinations::new(6, 3).count(), 20);
+        assert_eq!(Combinations::new(4, 4).count(), 1);
+        assert_eq!(Combinations::new(4, 0).count(), 1);
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_distinct() {
+        let all: Vec<Vec<usize>> = Combinations::new(6, 3).collect();
+        for c in &all {
+            assert!(c.windows(2).all(|p| p[0] < p[1]));
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn attempts_equal_search_space_at_toy_size() {
+        let mut rng = Rng::seed_from(0);
+        let plan = ImagePlan::random(2, 2, 0.5, &mut rng); // 2×2 → 3×3: C(9,5) = 126
+        let aug = Tensor::rand_uniform(&[9], 0.0, 1.0, &mut rng);
+        let out = brute_force_layout(&aug, &plan, 1_000);
+        assert_eq!(out.attempts, 126);
+    }
+
+    #[test]
+    fn smoothness_prior_rarely_pins_the_true_layout() {
+        // With the paper's default noise (uniform over the data range) the
+        // inserted values are statistically indistinguishable from original
+        // pixels, so the TV prior almost never singles out the true layout.
+        let mut rng = Rng::seed_from(1);
+        let mut recovered = 0;
+        for seed in 0..10 {
+            let mut prng = Rng::seed_from(seed);
+            let plan = ImagePlan::random(2, 2, 0.75, &mut prng); // 2×2 → 4×4
+            let aug = Tensor::rand_uniform(&[16], 0.0, 1.0, &mut rng);
+            let out = brute_force_layout(&aug, &plan, 10_000);
+            if out.recovered {
+                recovered += 1;
+            }
+        }
+        assert!(recovered <= 3, "TV prior pinned the layout {recovered}/10 times");
+    }
+
+    #[test]
+    fn real_scale_search_space_is_infeasible() {
+        // MNIST at 25 %: ~1e346 candidates — astronomically beyond any budget.
+        let ss = search_space(35 * 35, 35 * 35 - 28 * 28);
+        assert!(ss.log10() > 300.0);
+        assert!(ss.to_f64().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the attempt budget")]
+    fn budget_guard_trips() {
+        let mut rng = Rng::seed_from(2);
+        let plan = ImagePlan::random(4, 4, 1.0, &mut rng); // C(64,48) ≈ 4.9e14
+        let aug = Tensor::zeros(&[64]);
+        brute_force_layout(&aug, &plan, 1_000);
+    }
+}

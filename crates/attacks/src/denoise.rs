@@ -1,0 +1,318 @@
+//! Deep denoising attack (paper §6.3, Figure 18).
+//!
+//! The paper pits Restormer and KBNet against Amalgam and shows both fail:
+//! Amalgam does not *add* noise to pixels, it *inserts* noise pixels between
+//! them, changing the image geometry. This module substitutes three classical
+//! denoisers (Gaussian, median, bilateral) and a small trained residual CNN
+//! denoiser (DnCNN-style). The control experiment — plain additive Gaussian
+//! noise — is denoised well; the Amalgam-augmented image is not, even
+//! generously resampled back to the original geometry.
+
+#[cfg(test)]
+use crate::psnr;
+use amalgam_core::trainer::TrainConfig;
+use amalgam_nn::graph::GraphModel;
+use amalgam_nn::layers::{Add, Conv2d, Relu};
+use amalgam_nn::loss::mse as nn_mse;
+use amalgam_nn::optim::Adam;
+use amalgam_nn::Mode;
+use amalgam_tensor::{Rng, Tensor};
+
+/// Gaussian blur with a σ-parameterised 3×3 (σ ≤ 0.8) or 5×5 kernel.
+pub fn gaussian_denoise(img: &Tensor, sigma: f32) -> Tensor {
+    let k = if sigma <= 0.8 { 3usize } else { 5 };
+    let half = (k / 2) as isize;
+    let mut kernel = vec![0.0f32; k * k];
+    let mut sum = 0.0f32;
+    for y in 0..k {
+        for x in 0..k {
+            let dy = y as isize - half;
+            let dx = x as isize - half;
+            let v = (-((dy * dy + dx * dx) as f32) / (2.0 * sigma * sigma)).exp();
+            kernel[y * k + x] = v;
+            sum += v;
+        }
+    }
+    kernel.iter_mut().for_each(|v| *v /= sum);
+    convolve_per_channel(img, &kernel, k)
+}
+
+/// 3×3 median filter (edge-replicating).
+pub fn median_denoise(img: &Tensor) -> Tensor {
+    let d = img.dims();
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let mut out = img.clone();
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let mut vals = Vec::with_capacity(9);
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let yy = (y as i32 + dy).clamp(0, h as i32 - 1) as usize;
+                        let xx = (x as i32 + dx).clamp(0, w as i32 - 1) as usize;
+                        vals.push(img.data()[ci * h * w + yy * w + xx]);
+                    }
+                }
+                vals.sort_by(f32::total_cmp);
+                out.data_mut()[ci * h * w + y * w + x] = vals[4];
+            }
+        }
+    }
+    out
+}
+
+/// Bilateral filter: Gaussian in space and in intensity.
+pub fn bilateral_denoise(img: &Tensor, sigma_space: f32, sigma_intensity: f32) -> Tensor {
+    let d = img.dims();
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let radius = 2i32;
+    let mut out = img.clone();
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let center = img.data()[ci * h * w + y * w + x];
+                let mut acc = 0.0f32;
+                let mut weight = 0.0f32;
+                for dy in -radius..=radius {
+                    for dx in -radius..=radius {
+                        let yy = (y as i32 + dy).clamp(0, h as i32 - 1) as usize;
+                        let xx = (x as i32 + dx).clamp(0, w as i32 - 1) as usize;
+                        let v = img.data()[ci * h * w + yy * w + xx];
+                        let ws = (-((dy * dy + dx * dx) as f32)
+                            / (2.0 * sigma_space * sigma_space))
+                            .exp();
+                        let wi = (-((v - center) * (v - center))
+                            / (2.0 * sigma_intensity * sigma_intensity))
+                            .exp();
+                        acc += ws * wi * v;
+                        weight += ws * wi;
+                    }
+                }
+                out.data_mut()[ci * h * w + y * w + x] = acc / weight;
+            }
+        }
+    }
+    out
+}
+
+fn convolve_per_channel(img: &Tensor, kernel: &[f32], k: usize) -> Tensor {
+    let d = img.dims();
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let half = (k / 2) as i32;
+    let mut out = img.clone();
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0.0f32;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let yy = (y as i32 + ky as i32 - half).clamp(0, h as i32 - 1) as usize;
+                        let xx = (x as i32 + kx as i32 - half).clamp(0, w as i32 - 1) as usize;
+                        acc += img.data()[ci * h * w + yy * w + xx] * kernel[ky * k + kx];
+                    }
+                }
+                out.data_mut()[ci * h * w + y * w + x] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Bilinear resize of a `[C, H, W]` image (used to map an augmented-geometry
+/// image back onto the original grid before comparing).
+pub fn bilinear_resize(img: &Tensor, out_h: usize, out_w: usize) -> Tensor {
+    let d = img.dims();
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let mut out = Tensor::zeros(&[c, out_h, out_w]);
+    for ci in 0..c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let fy = (oy as f32 + 0.5) * h as f32 / out_h as f32 - 0.5;
+                let fx = (ox as f32 + 0.5) * w as f32 / out_w as f32 - 0.5;
+                let y0 = fy.floor().clamp(0.0, (h - 1) as f32) as usize;
+                let x0 = fx.floor().clamp(0.0, (w - 1) as f32) as usize;
+                let y1 = (y0 + 1).min(h - 1);
+                let x1 = (x0 + 1).min(w - 1);
+                let ty = (fy - y0 as f32).clamp(0.0, 1.0);
+                let tx = (fx - x0 as f32).clamp(0.0, 1.0);
+                let at = |y: usize, x: usize| img.data()[ci * h * w + y * w + x];
+                let v = at(y0, x0) * (1.0 - ty) * (1.0 - tx)
+                    + at(y0, x1) * (1.0 - ty) * tx
+                    + at(y1, x0) * ty * (1.0 - tx)
+                    + at(y1, x1) * ty * tx;
+                out.data_mut()[ci * out_h * out_w + oy * out_w + ox] = v;
+            }
+        }
+    }
+    out
+}
+
+/// A small DnCNN-style residual denoiser (conv-relu-conv-relu-conv predicting
+/// the noise, subtracted from the input).
+#[derive(Debug)]
+pub struct CnnDenoiser {
+    model: GraphModel,
+    channels: usize,
+}
+
+impl CnnDenoiser {
+    /// Builds and trains a denoiser on synthetic (clean, noisy) pairs drawn
+    /// from `clean_examples` with additive Gaussian noise of `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clean_examples` is empty or not `[N, C, H, W]`.
+    pub fn train(clean_examples: &Tensor, sigma: f32, cfg: &TrainConfig, rng: &mut Rng) -> Self {
+        let d = clean_examples.dims();
+        assert_eq!(d.len(), 4, "examples must be [N,C,H,W]");
+        assert!(d[0] > 0, "need at least one clean example");
+        let channels = d[1];
+        let width = 12;
+        let mut g = GraphModel::new();
+        let x = g.input("x");
+        let h1 = g.add_layer("c1", Conv2d::new(channels, width, 3, 1, 1, true, rng), &[x]);
+        let h1 = g.add_layer("r1", Relu::new(), &[h1]);
+        let h2 = g.add_layer("c2", Conv2d::new(width, width, 3, 1, 1, true, rng), &[h1]);
+        let h2 = g.add_layer("r2", Relu::new(), &[h2]);
+        let noise = g.add_layer("c3", Conv2d::new(width, channels, 3, 1, 1, true, rng), &[h2]);
+        // Residual: output = input + predicted(-noise).
+        let y = g.add_layer("res", Add::new(), &[x, noise]);
+        g.set_output(y);
+
+        let mut opt = Adam::new(cfg.lr);
+        let n = d[0];
+        for _epoch in 0..cfg.epochs {
+            for start in (0..n).step_by(cfg.batch_size) {
+                let end = (start + cfg.batch_size).min(n);
+                let clean = clean_examples.slice_axis0(start, end);
+                let noise = Tensor::from_fn(clean.dims(), |_| rng.normal(0.0, sigma));
+                let noisy = clean.zip_map(&noise, |a, b| (a + b).clamp(0.0, 1.0));
+                let out = g.forward(&[&noisy], Mode::Train);
+                let (_, grad) = nn_mse(&out[0], &clean);
+                g.zero_grad();
+                g.backward(&[grad]);
+                opt.step(&mut g.params_mut());
+            }
+        }
+        CnnDenoiser { model: g, channels }
+    }
+
+    /// Denoises a `[C, H, W]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count differs from the training data.
+    pub fn denoise(&mut self, img: &Tensor) -> Tensor {
+        let d = img.dims();
+        assert_eq!(d.len(), 3, "image must be [C, H, W]");
+        assert_eq!(d[0], self.channels, "channel mismatch");
+        let batched = img.reshape(&[1, d[0], d[1], d[2]]);
+        let out = self.model.forward_one(&batched, Mode::Eval);
+        self.model.clear_caches();
+        out.reshape(&[d[0], d[1], d[2]]).map(|v| v.clamp(0.0, 1.0))
+    }
+}
+
+/// Outcome of the Figure 18 experiment for one denoiser.
+#[derive(Debug, Clone)]
+pub struct DenoiseOutcome {
+    /// PSNR of denoising the Gaussian-noised control image.
+    pub control_psnr: f32,
+    /// PSNR of denoising the Amalgam-augmented image (resampled back to the
+    /// original geometry for comparison).
+    pub amalgam_psnr: f32,
+}
+
+impl DenoiseOutcome {
+    /// `true` when the attack succeeds on the control but fails on Amalgam —
+    /// the paper's Figure 18 conclusion.
+    pub fn amalgam_resists(&self) -> bool {
+        self.control_psnr > self.amalgam_psnr + 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_image(hw: usize) -> Tensor {
+        Tensor::from_fn(&[1, hw, hw], |i| {
+            let y = (i / hw) as f32 / hw as f32;
+            let x = (i % hw) as f32 / hw as f32;
+            0.5 + 0.4 * (x * 3.1).sin() * (y * 2.2).cos()
+        })
+        .map(|v| v.clamp(0.0, 1.0))
+    }
+
+    #[test]
+    fn gaussian_denoiser_improves_noisy_psnr() {
+        let mut rng = Rng::seed_from(0);
+        let clean = smooth_image(16);
+        let noisy = clean.zip_map(&Tensor::from_fn(&[1, 16, 16], |_| rng.normal(0.0, 0.15)), |a, b| {
+            (a + b).clamp(0.0, 1.0)
+        });
+        let denoised = gaussian_denoise(&noisy, 0.8);
+        assert!(psnr(&clean, &denoised, 1.0) > psnr(&clean, &noisy, 1.0));
+    }
+
+    #[test]
+    fn median_removes_salt_and_pepper() {
+        let mut rng = Rng::seed_from(1);
+        let clean = smooth_image(16);
+        let mut noisy = clean.clone();
+        for _ in 0..20 {
+            let i = rng.below(256);
+            noisy.data_mut()[i] = if rng.chance(0.5) { 0.0 } else { 1.0 };
+        }
+        let denoised = median_denoise(&noisy);
+        assert!(psnr(&clean, &denoised, 1.0) > psnr(&clean, &noisy, 1.0) + 3.0);
+    }
+
+    #[test]
+    fn bilateral_preserves_edges_better_than_gaussian_blur() {
+        // A step edge: bilateral should blur it less.
+        let edge = Tensor::from_fn(&[1, 16, 16], |i| if i % 16 < 8 { 0.1 } else { 0.9 });
+        let g = gaussian_denoise(&edge, 1.2);
+        let b = bilateral_denoise(&edge, 1.2, 0.1);
+        assert!(psnr(&edge, &b, 1.0) > psnr(&edge, &g, 1.0));
+    }
+
+    #[test]
+    fn bilinear_resize_identity() {
+        let img = smooth_image(8);
+        let same = bilinear_resize(&img, 8, 8);
+        assert!(img.approx_eq(&same, 1e-5));
+    }
+
+    #[test]
+    fn cnn_denoiser_learns_to_denoise() {
+        let mut rng = Rng::seed_from(2);
+        // Training set: varied smooth images (random frequencies/phases).
+        let mut data = Tensor::zeros(&[24, 1, 12, 12]);
+        for n in 0..24 {
+            let (fx, fy) = (rng.uniform(1.5, 4.0), rng.uniform(1.5, 4.0));
+            let (px, py) = (rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0));
+            for i in 0..144 {
+                let y = (i / 12) as f32 / 12.0;
+                let x = (i % 12) as f32 / 12.0;
+                data.data_mut()[n * 144 + i] =
+                    (0.5 + 0.4 * (x * fx + px).sin() * (y * fy + py).cos()).clamp(0.0, 1.0);
+            }
+        }
+        // The loss plateaus near the identity solution for ~150 epochs
+        // before breaking through to genuine denoising.
+        let cfg = TrainConfig::new(300, 8, 0.01);
+        let mut den = CnnDenoiser::train(&data, 0.15, &cfg, &mut rng);
+        let clean = smooth_image(12);
+        let noisy = clean.zip_map(&Tensor::from_fn(&[1, 12, 12], |_| rng.normal(0.0, 0.15)), |a, b| {
+            (a + b).clamp(0.0, 1.0)
+        });
+        let out = den.denoise(&noisy);
+        assert!(
+            psnr(&clean, &out, 1.0) > psnr(&clean, &noisy, 1.0) + 1.0,
+            "learned denoiser did not help: {} vs {}",
+            psnr(&clean, &out, 1.0),
+            psnr(&clean, &noisy, 1.0)
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Adversarial analyses against Amalgam (paper §6.3).
+//!
+//! Each module implements one server-side attack from the paper's security
+//! analysis, mounted from the cloud's vantage point (see
+//! `amalgam-cloud::CloudObserver`):
+//!
+//! * [`bruteforce`] — enumerating candidate insertion layouts (Table 2's
+//!   search spaces make this infeasible beyond toy sizes);
+//! * [`dlg`] — Deep Leakage from Gradients and iDLG's analytic label
+//!   recovery (Figure 16);
+//! * [`shap`] — KernelSHAP model explanations, used to try to tell original
+//!   from synthetic structure (Figure 17);
+//! * [`denoise`] — classical and learned denoisers attempting to strip the
+//!   inserted noise (Figure 18).
+
+pub mod bruteforce;
+pub mod denoise;
+pub mod dlg;
+pub mod shap;
+
+use amalgam_tensor::Tensor;
+
+/// Mean squared error between two same-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or tensors are empty.
+pub fn mse(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "mse shape mismatch");
+    assert!(a.numel() > 0, "mse of empty tensors");
+    a.sub(b).norm_sq() / a.numel() as f32
+}
+
+/// Peak signal-to-noise ratio in dB, for images in `[0, peak]`.
+///
+/// Higher is better; ≥ 30 dB is usually considered a faithful
+/// reconstruction, ≤ 15 dB is unrecognisable.
+pub fn psnr(reference: &Tensor, reconstruction: &Tensor, peak: f32) -> f32 {
+    let e = mse(reference, reconstruction);
+    if e == 0.0 {
+        return f32::INFINITY;
+    }
+    10.0 * (peak * peak / e).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_tensor::Rng;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let t = Tensor::ones(&[1, 4, 4]);
+        assert_eq!(psnr(&t, &t, 1.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let mut rng = Rng::seed_from(0);
+        let clean = Tensor::full(&[1, 8, 8], 0.5);
+        let light = clean.map(|v| v + 0.01);
+        let noise = Tensor::from_fn(clean.dims(), |_| rng.uniform(-0.3, 0.3));
+        let heavy = clean.add(&noise);
+        assert!(psnr(&clean, &light, 1.0) > psnr(&clean, &heavy, 1.0));
+    }
+
+    #[test]
+    fn mse_of_unit_shift_is_one() {
+        let a = Tensor::zeros(&[4]);
+        let b = Tensor::ones(&[4]);
+        assert_eq!(mse(&a, &b), 1.0);
+    }
+}

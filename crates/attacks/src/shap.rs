@@ -1,0 +1,235 @@
+//! KernelSHAP model explanation (paper §6.3, "Model Inversion attacks",
+//! Figure 17).
+//!
+//! The adversary explains the model's output in terms of input superpixels
+//! hoping the attribution map reveals which input positions (and hence which
+//! sub-network) carry real signal. KernelSHAP approximates Shapley values by
+//! sampling coalitions `z ∈ {0,1}^M`, evaluating the model on masked inputs,
+//! and solving a Shapley-kernel-weighted least squares.
+
+use amalgam_tensor::{Rng, Tensor};
+
+/// Configuration of one KernelSHAP run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapConfig {
+    /// Side length of a square superpixel patch.
+    pub patch: usize,
+    /// Number of sampled coalitions.
+    pub samples: usize,
+    /// Seed for coalition sampling.
+    pub seed: u64,
+}
+
+impl Default for ShapConfig {
+    fn default() -> Self {
+        ShapConfig { patch: 2, samples: 256, seed: 0 }
+    }
+}
+
+/// Shapley kernel weight for a coalition of size `s` out of `m` features.
+fn shapley_kernel(m: usize, s: usize) -> f64 {
+    if s == 0 || s == m {
+        // Exact constraints; approximated with a large weight.
+        return 1e6;
+    }
+    let m = m as f64;
+    let s = s as f64;
+    // (M-1) / (C(M,s) · s · (M-s)); the binomial in log space for stability.
+    let ln_c = amalgam_tensor::math::ln_choose(m as u64, s as u64);
+    ((m - 1.0).ln() - ln_c - (s * (m - s)).ln()).exp()
+}
+
+/// Solves the symmetric positive (semi-)definite system `A x = b` by
+/// Gaussian elimination with partial pivoting and Tikhonov damping.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for (i, row) in a.iter_mut().enumerate().take(n) {
+        row[i] += 1e-8; // damping
+    }
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue;
+        }
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = if a[row][row].abs() < 1e-12 { 0.0 } else { acc / a[row][row] };
+    }
+    x
+}
+
+/// Per-superpixel Shapley attribution of `model_fn`'s scalar output on
+/// `image: [C, H, W]`. Masked patches are replaced by the image mean.
+///
+/// Returns a `[rows, cols]` attribution map over patches.
+///
+/// # Panics
+///
+/// Panics if the image is not `[C, H, W]` or the patch does not divide the
+/// spatial dims.
+pub fn kernel_shap<F>(mut model_fn: F, image: &Tensor, cfg: &ShapConfig) -> Tensor
+where
+    F: FnMut(&Tensor) -> f32,
+{
+    let d = image.dims();
+    assert_eq!(d.len(), 3, "image must be [C, H, W]");
+    let (c, h, w) = (d[0], d[1], d[2]);
+    assert!(h % cfg.patch == 0 && w % cfg.patch == 0, "patch must divide image dims");
+    let (rows, cols) = (h / cfg.patch, w / cfg.patch);
+    let m = rows * cols;
+    let background = image.mean();
+
+    let apply_mask = |z: &[bool]| -> Tensor {
+        let mut out = image.clone();
+        for (pi, &on) in z.iter().enumerate() {
+            if on {
+                continue;
+            }
+            let (py, px) = (pi / cols, pi % cols);
+            for ci in 0..c {
+                for dy in 0..cfg.patch {
+                    for dx in 0..cfg.patch {
+                        let y = py * cfg.patch + dy;
+                        let x = px * cfg.patch + dx;
+                        out.data_mut()[ci * h * w + y * w + x] = background;
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    let mut rng = Rng::seed_from(cfg.seed);
+    // Design matrix with intercept: columns = [1, z_1..z_m].
+    let dim = m + 1;
+    let mut ata = vec![vec![0.0f64; dim]; dim];
+    let mut atb = vec![0.0f64; dim];
+    let mut accumulate = |z: &[bool], weight: f64, y: f64| {
+        let mut row = Vec::with_capacity(dim);
+        row.push(1.0f64);
+        row.extend(z.iter().map(|&b| if b { 1.0 } else { 0.0 }));
+        for i in 0..dim {
+            for j in 0..dim {
+                ata[i][j] += weight * row[i] * row[j];
+            }
+            atb[i] += weight * row[i] * y;
+        }
+    };
+
+    // The two exact coalitions (empty, full) anchor the regression…
+    let empty = vec![false; m];
+    let full = vec![true; m];
+    accumulate(&empty, shapley_kernel(m, 0), f64::from(model_fn(&apply_mask(&empty))));
+    accumulate(&full, shapley_kernel(m, m), f64::from(model_fn(&apply_mask(&full))));
+    // …then random coalitions with Shapley-kernel weights.
+    for _ in 0..cfg.samples {
+        let s = 1 + rng.below(m - 1);
+        let on = rng.sample_indices(m, s);
+        let mut z = vec![false; m];
+        for &i in &on {
+            z[i] = true;
+        }
+        accumulate(&z, shapley_kernel(m, s), f64::from(model_fn(&apply_mask(&z))));
+    }
+
+    let phi = solve(ata, atb);
+    Tensor::from_vec(phi[1..].iter().map(|&v| v as f32).collect(), &[rows, cols])
+}
+
+/// Pearson correlation between two attribution maps — the paper's Figure 17
+/// comparison ("highly distorted SHAP values") quantified.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn attribution_correlation(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "attribution maps must share a shape");
+    let n = a.numel() as f32;
+    let (ma, mb) = (a.mean(), b.mean());
+    let mut cov = 0.0f32;
+    let mut va = 0.0f32;
+    let mut vb = 0.0f32;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt()) * (n / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapley_kernel_symmetry() {
+        for m in [4usize, 9, 16] {
+            for s in 1..m {
+                let a = shapley_kernel(m, s);
+                let b = shapley_kernel(m, m - s);
+                assert!((a - b).abs() < 1e-12, "kernel not symmetric at m={m}, s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_handles_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -2.0]);
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((x[1] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attribution_finds_the_influential_patch() {
+        // Model output = mean of the top-left 2×2 patch only.
+        let image = Tensor::from_fn(&[1, 4, 4], |i| if i == 0 || i == 1 || i == 4 || i == 5 { 1.0 } else { 0.3 });
+        let model = |img: &Tensor| {
+            (img.data()[0] + img.data()[1] + img.data()[4] + img.data()[5]) / 4.0
+        };
+        let cfg = ShapConfig { patch: 2, samples: 200, seed: 0 };
+        let phi = kernel_shap(model, &image, &cfg);
+        assert_eq!(phi.dims(), &[2, 2]);
+        let top_left = phi.data()[0].abs();
+        for (i, &v) in phi.data().iter().enumerate().skip(1) {
+            assert!(top_left > v.abs() * 3.0, "patch 0 not dominant: phi[{i}]={v}, phi[0]={top_left}");
+        }
+    }
+
+    #[test]
+    fn correlation_of_identical_maps_is_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert!((attribution_correlation(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn correlation_of_negated_maps_is_minus_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = a.scale(-1.0);
+        assert!((attribution_correlation(&a, &b) + 1.0).abs() < 1e-5);
+    }
+}

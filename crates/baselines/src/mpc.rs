@@ -1,0 +1,404 @@
+//! Three-party additive secret sharing with Beaver-triple multiplication —
+//! the mechanism behind CrypTen-style MPC training.
+//!
+//! Values are fixed-point integers in `Z_{2^64}` (scale 2¹⁶) split into three
+//! additive shares. Linear operations are local; multiplications consume
+//! Beaver triples from a trusted dealer and cost one communication round in
+//! which each party opens masked operands (counted in
+//! [`MpcSession::bytes_communicated`]). Non-linearities (ReLU's sign test)
+//! use a dealer-assisted comparison oracle — a documented simplification
+//! standing in for CrypTen's garbled-circuit / binary-share conversions,
+//! charged with the same communication pattern (see DESIGN.md).
+
+use amalgam_tensor::{Rng, Tensor};
+use std::cell::RefCell;
+
+/// Fixed-point scale (2¹⁶).
+pub const SCALE_BITS: u32 = 16;
+const SCALE: f64 = (1u64 << SCALE_BITS) as f64;
+
+/// Encodes an `f32` as a fixed-point ring element.
+pub fn encode(x: f32) -> u64 {
+    (f64::from(x) * SCALE).round() as i64 as u64
+}
+
+/// Decodes a ring element back to `f32`.
+pub fn decode(x: u64) -> f32 {
+    ((x as i64) as f64 / SCALE) as f32
+}
+
+/// One secret-shared value: three additive shares in `Z_{2^64}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Share3 {
+    s: [u64; 3],
+}
+
+impl Share3 {
+    /// Shares a plaintext among the three parties.
+    pub fn share(value: u64, rng: &mut Rng) -> Self {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let c = value.wrapping_sub(a).wrapping_sub(b);
+        Share3 { s: [a, b, c] }
+    }
+
+    /// Reconstructs the plaintext (requires all three shares — the
+    /// "reveal" step).
+    pub fn reconstruct(&self) -> u64 {
+        self.s[0].wrapping_add(self.s[1]).wrapping_add(self.s[2])
+    }
+
+    /// Local addition of shares.
+    pub fn add(&self, other: &Share3) -> Share3 {
+        Share3 {
+            s: [
+                self.s[0].wrapping_add(other.s[0]),
+                self.s[1].wrapping_add(other.s[1]),
+                self.s[2].wrapping_add(other.s[2]),
+            ],
+        }
+    }
+
+    /// Local subtraction of shares.
+    pub fn sub(&self, other: &Share3) -> Share3 {
+        Share3 {
+            s: [
+                self.s[0].wrapping_sub(other.s[0]),
+                self.s[1].wrapping_sub(other.s[1]),
+                self.s[2].wrapping_sub(other.s[2]),
+            ],
+        }
+    }
+
+    /// Local multiplication by a public constant.
+    pub fn mul_public(&self, k: u64) -> Share3 {
+        Share3 {
+            s: [
+                self.s[0].wrapping_mul(k),
+                self.s[1].wrapping_mul(k),
+                self.s[2].wrapping_mul(k),
+            ],
+        }
+    }
+
+    /// Share of a public constant (held by party 0).
+    pub fn public(value: u64) -> Share3 {
+        Share3 { s: [value, 0, 0] }
+    }
+}
+
+/// A secret-shared tensor.
+#[derive(Debug, Clone)]
+pub struct SharedTensor {
+    shares: Vec<Share3>,
+    dims: Vec<usize>,
+}
+
+impl SharedTensor {
+    /// Shares every element of a plaintext tensor.
+    pub fn share(t: &Tensor, rng: &mut Rng) -> Self {
+        SharedTensor {
+            shares: t.data().iter().map(|&v| Share3::share(encode(v), rng)).collect(),
+            dims: t.dims().to_vec(),
+        }
+    }
+
+    /// Reconstructs the plaintext tensor.
+    pub fn reconstruct(&self) -> Tensor {
+        Tensor::from_vec(self.shares.iter().map(|s| decode(s.reconstruct())).collect(), &self.dims)
+    }
+
+    /// The tensor's dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.shares.len()
+    }
+}
+
+/// The trusted dealer + simulated network of one MPC session.
+///
+/// Tracks communication volume and rounds so the harness can charge a
+/// configurable per-round latency.
+#[derive(Debug)]
+pub struct MpcSession {
+    rng: RefCell<Rng>,
+    bytes: RefCell<u64>,
+    rounds: RefCell<u64>,
+    /// Simulated one-way network latency applied per communication round.
+    pub latency: std::time::Duration,
+}
+
+impl MpcSession {
+    /// A new session with the given dealer seed and zero latency.
+    pub fn new(seed: u64) -> Self {
+        MpcSession {
+            rng: RefCell::new(Rng::seed_from(seed)),
+            bytes: RefCell::new(0),
+            rounds: RefCell::new(0),
+            latency: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Sets a simulated per-round latency.
+    pub fn with_latency(mut self, latency: std::time::Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Total bytes exchanged between parties so far.
+    pub fn bytes_communicated(&self) -> u64 {
+        *self.bytes.borrow()
+    }
+
+    /// Total communication rounds so far.
+    pub fn rounds(&self) -> u64 {
+        *self.rounds.borrow()
+    }
+
+    fn charge(&self, bytes: u64) {
+        *self.bytes.borrow_mut() += bytes;
+        *self.rounds.borrow_mut() += 1;
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+
+    /// Shares a plaintext tensor into the session.
+    pub fn share(&self, t: &Tensor) -> SharedTensor {
+        SharedTensor::share(t, &mut self.rng.borrow_mut())
+    }
+
+    /// Beaver-triple multiplication of two shared tensors, element-wise.
+    ///
+    /// One round: all parties broadcast their shares of `x−a` and `y−b`
+    /// (8 bytes each per element per party).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn mul(&self, x: &SharedTensor, y: &SharedTensor) -> SharedTensor {
+        assert_eq!(x.dims, y.dims, "mpc mul shape mismatch");
+        let mut rng = self.rng.borrow_mut();
+        let n = x.shares.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            // Dealer triple: c = a·b.
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            let c = a.wrapping_mul(b);
+            let a_sh = Share3::share(a, &mut rng);
+            let b_sh = Share3::share(b, &mut rng);
+            let c_sh = Share3::share(c, &mut rng);
+            // Open e = x−a, f = y−b.
+            let e = x.shares[i].sub(&a_sh).reconstruct();
+            let f = y.shares[i].sub(&b_sh).reconstruct();
+            // z = c + e·b + f·a + e·f  (e·f added by party 0).
+            let mut z = c_sh.add(&b_sh.mul_public(e)).add(&a_sh.mul_public(f));
+            z = z.add(&Share3::public(e.wrapping_mul(f)));
+            out.push(truncate(z, &mut rng));
+        }
+        drop(rng);
+        self.charge(n as u64 * 2 * 8 * 3);
+        SharedTensor { shares: out, dims: x.dims.clone() }
+    }
+
+    /// Shared matrix product `X @ Y` for `X: [M,K]`, `Y: [K,N]` using one
+    /// matrix Beaver triple (one round, `(MK + KN)·3·8` bytes opened).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-matrix operands or mismatched inner dims.
+    pub fn matmul(&self, x: &SharedTensor, y: &SharedTensor) -> SharedTensor {
+        assert_eq!(x.dims.len(), 2, "mpc matmul lhs must be 2-D");
+        assert_eq!(y.dims.len(), 2, "mpc matmul rhs must be 2-D");
+        let (m, k) = (x.dims[0], x.dims[1]);
+        let (k2, n) = (y.dims[0], y.dims[1]);
+        assert_eq!(k, k2, "mpc matmul inner dims disagree");
+
+        let mut rng = self.rng.borrow_mut();
+        // Dealer matrix triple A [M,K], B [K,N], C = A·B.
+        let a: Vec<u64> = (0..m * k).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..k * n).map(|_| rng.next_u64()).collect();
+        let mut c = vec![0u64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] = c[i * n + j].wrapping_add(av.wrapping_mul(b[p * n + j]));
+                }
+            }
+        }
+        let a_sh: Vec<Share3> = a.iter().map(|&v| Share3::share(v, &mut rng)).collect();
+        let b_sh: Vec<Share3> = b.iter().map(|&v| Share3::share(v, &mut rng)).collect();
+        let c_sh: Vec<Share3> = c.iter().map(|&v| Share3::share(v, &mut rng)).collect();
+
+        // Open E = X−A and F = Y−B.
+        let e: Vec<u64> =
+            x.shares.iter().zip(&a_sh).map(|(xs, as_)| xs.sub(as_).reconstruct()).collect();
+        let f: Vec<u64> =
+            y.shares.iter().zip(&b_sh).map(|(ys, bs)| ys.sub(bs).reconstruct()).collect();
+
+        // Z = C + E·B + A·F + E·F.
+        let mut z = c_sh;
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc_eb = Share3::public(0);
+                let mut acc_af = Share3::public(0);
+                let mut ef = 0u64;
+                for p in 0..k {
+                    acc_eb = acc_eb.add(&b_sh[p * n + j].mul_public(e[i * k + p]));
+                    acc_af = acc_af.add(&a_sh[i * k + p].mul_public(f[p * n + j]));
+                    ef = ef.wrapping_add(e[i * k + p].wrapping_mul(f[p * n + j]));
+                }
+                let idx = i * n + j;
+                z[idx] = z[idx].add(&acc_eb).add(&acc_af).add(&Share3::public(ef));
+                z[idx] = truncate(z[idx], &mut rng);
+            }
+        }
+        drop(rng);
+        self.charge(((m * k + k * n) * 3 * 8) as u64);
+        SharedTensor { shares: z, dims: vec![m, n] }
+    }
+
+    /// Adds two shared tensors (local, no communication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn add(&self, x: &SharedTensor, y: &SharedTensor) -> SharedTensor {
+        assert_eq!(x.dims, y.dims, "mpc add shape mismatch");
+        SharedTensor {
+            shares: x.shares.iter().zip(&y.shares).map(|(a, b)| a.add(b)).collect(),
+            dims: x.dims.clone(),
+        }
+    }
+
+    /// Multiplies by a public plaintext tensor element-wise (local).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn mul_public(&self, x: &SharedTensor, public: &Tensor) -> SharedTensor {
+        assert_eq!(x.dims.as_slice(), public.dims(), "mpc mul_public shape mismatch");
+        let mut rng = self.rng.borrow_mut();
+        SharedTensor {
+            shares: x
+                .shares
+                .iter()
+                .zip(public.data())
+                .map(|(s, &p)| truncate(s.mul_public(encode(p)), &mut rng))
+                .collect(),
+            dims: x.dims.clone(),
+        }
+    }
+
+    /// Dealer-assisted ReLU: the comparison oracle tells each party the sign
+    /// of each element (a documented simplification of CrypTen's binary
+    /// conversion; charged one round of 1 byte per element per party).
+    pub fn relu(&self, x: &SharedTensor) -> SharedTensor {
+        let mut rng = self.rng.borrow_mut();
+        let shares = x
+            .shares
+            .iter()
+            .map(|s| {
+                let sign_negative = (s.reconstruct() as i64) < 0;
+                if sign_negative {
+                    Share3::share(0, &mut rng)
+                } else {
+                    *s
+                }
+            })
+            .collect();
+        drop(rng);
+        self.charge(x.shares.len() as u64 * 3);
+        SharedTensor { shares, dims: x.dims.clone() }
+    }
+}
+
+/// Probabilistic truncation after a fixed-point multiplication: divides by
+/// the scale, re-randomising the shares.
+fn truncate(z: Share3, rng: &mut Rng) -> Share3 {
+    let plain = z.reconstruct() as i64 >> SCALE_BITS;
+    Share3::share(plain as u64, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in [-3.5f32, -0.001, 0.0, 0.25, 7.75] {
+            assert!((decode(encode(v)) - v).abs() < 1e-3, "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn share_reconstruct_identity() {
+        let mut rng = Rng::seed_from(0);
+        for v in [0u64, 1, u64::MAX, 123_456_789] {
+            assert_eq!(Share3::share(v, &mut rng).reconstruct(), v);
+        }
+    }
+
+    #[test]
+    fn single_share_reveals_nothing_useful() {
+        // Shares of the same value from different randomness are unrelated.
+        let mut rng = Rng::seed_from(1);
+        let a = Share3::share(encode(1.0), &mut rng);
+        let b = Share3::share(encode(1.0), &mut rng);
+        assert_ne!(a.s[0], b.s[0]);
+    }
+
+    #[test]
+    fn beaver_mul_is_correct() {
+        let session = MpcSession::new(2);
+        let x = session.share(&Tensor::from_vec(vec![1.5, -2.0, 0.25], &[3]));
+        let y = session.share(&Tensor::from_vec(vec![2.0, 3.0, -4.0], &[3]));
+        let z = session.mul(&x, &y).reconstruct();
+        let want = [3.0f32, -6.0, -1.0];
+        for (got, want) in z.data().iter().zip(want) {
+            assert!((got - want).abs() < 1e-2, "{got} vs {want}");
+        }
+        assert!(session.bytes_communicated() > 0);
+        assert_eq!(session.rounds(), 1);
+    }
+
+    #[test]
+    fn shared_matmul_matches_plaintext() {
+        let mut rng = Rng::seed_from(3);
+        let session = MpcSession::new(4);
+        let a = Tensor::rand_uniform(&[3, 4], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 2], -2.0, 2.0, &mut rng);
+        let z = session.matmul(&session.share(&a), &session.share(&b)).reconstruct();
+        let want = a.matmul(&b);
+        assert!(z.approx_eq(&want, 5e-2), "max diff {}", z.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn relu_on_shares() {
+        let session = MpcSession::new(5);
+        let x = session.share(&Tensor::from_vec(vec![-1.0, 0.5, -0.25, 2.0], &[4]));
+        let y = session.relu(&x).reconstruct();
+        let want = [0.0f32, 0.5, 0.0, 2.0];
+        for (got, want) in y.data().iter().zip(want) {
+            assert!((got - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mul_public_is_local() {
+        let session = MpcSession::new(6);
+        let x = session.share(&Tensor::from_vec(vec![2.0, -3.0], &[2]));
+        let p = Tensor::from_vec(vec![0.5, 2.0], &[2]);
+        let before = session.rounds();
+        let y = session.mul_public(&x, &p).reconstruct();
+        assert_eq!(session.rounds(), before, "public mul must not communicate");
+        assert!((y.data()[0] - 1.0).abs() < 1e-2);
+        assert!((y.data()[1] + 6.0).abs() < 1e-2);
+    }
+}

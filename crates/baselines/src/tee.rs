@@ -1,0 +1,61 @@
+//! CPU-only training — the paper's best-case TEE stand-in.
+//!
+//! TensorScone-style SGX solutions cannot use the GPU; the paper charitably
+//! models them as plain CPU training with zero enclave overhead. Here that
+//! means pinning the compute kernels to a single thread for the duration of
+//! the run.
+
+use amalgam_core::trainer::{train_image_classifier, TrainConfig};
+use amalgam_data::ImageDataset;
+use amalgam_nn::graph::GraphModel;
+use amalgam_nn::metrics::History;
+
+/// Trains with all parallel kernels restricted to one thread, restoring the
+/// previous setting afterwards.
+pub fn train_single_threaded(
+    model: &mut GraphModel,
+    train: &ImageDataset,
+    test: Option<&ImageDataset>,
+    cfg: &TrainConfig,
+) -> History {
+    amalgam_tensor::parallel::set_threads(1);
+    let history = train_image_classifier(model, train, test, 0, cfg);
+    amalgam_tensor::parallel::set_threads(0);
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_data::SyntheticImageSpec;
+    use amalgam_models::lenet5;
+    use amalgam_tensor::Rng;
+
+    #[test]
+    fn single_threaded_training_matches_parallel_numerics() {
+        // Thread count must not change results (determinism property).
+        let mut rng = Rng::seed_from(0);
+        let pair = SyntheticImageSpec::mnist_like().with_counts(32, 8).with_hw(8).with_classes(2).generate(&mut rng);
+        let cfg = TrainConfig::new(1, 16, 0.05).with_seed(1);
+
+        let mut m1 = lenet5(1, 8, 2, &mut Rng::seed_from(3));
+        train_single_threaded(&mut m1, &pair.train, None, &cfg);
+
+        let mut m2 = lenet5(1, 8, 2, &mut Rng::seed_from(3));
+        train_image_classifier(&mut m2, &pair.train, None, 0, &cfg);
+
+        for ((n1, t1), (n2, t2)) in m1.state_dict().iter().zip(m2.state_dict().iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.data(), t2.data(), "thread count changed numerics at {n1}");
+        }
+    }
+
+    #[test]
+    fn restores_thread_setting() {
+        let mut rng = Rng::seed_from(1);
+        let pair = SyntheticImageSpec::mnist_like().with_counts(16, 4).with_hw(8).with_classes(2).generate(&mut rng);
+        let mut m = lenet5(1, 8, 2, &mut rng);
+        train_single_threaded(&mut m, &pair.train, None, &TrainConfig::new(1, 8, 0.05));
+        assert!(amalgam_tensor::parallel::threads() >= 1);
+    }
+}

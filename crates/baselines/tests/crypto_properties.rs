@@ -1,0 +1,107 @@
+//! Property-based tests for the cryptographic baselines: secret-sharing and
+//! homomorphic-encryption correctness over random inputs.
+
+use amalgam_baselines::he::{Bfv, BfvParams};
+use amalgam_baselines::mpc::{decode, encode, MpcSession, Share3};
+use amalgam_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharing then reconstructing is the identity on the ring.
+    #[test]
+    fn share_reconstruct_roundtrip(value in any::<u64>(), seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        prop_assert_eq!(Share3::share(value, &mut rng).reconstruct(), value);
+    }
+
+    /// Fixed-point encode/decode is accurate to the scale.
+    #[test]
+    fn fixed_point_roundtrip(v in -1000.0f32..1000.0) {
+        prop_assert!((decode(encode(v)) - v).abs() < 2e-3 * v.abs().max(1.0));
+    }
+
+    /// Share addition is homomorphic: rec(a ⊕ b) = rec(a) + rec(b).
+    #[test]
+    fn share_addition_homomorphic(a in any::<u64>(), b in any::<u64>(), seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let sa = Share3::share(a, &mut rng);
+        let sb = Share3::share(b, &mut rng);
+        prop_assert_eq!(sa.add(&sb).reconstruct(), a.wrapping_add(b));
+    }
+
+    /// Beaver multiplication matches plaintext multiplication.
+    #[test]
+    fn beaver_mul_correct(xs in proptest::collection::vec(-8.0f32..8.0, 1..6),
+                          ys_seed in 0u64..1000) {
+        let session = MpcSession::new(ys_seed);
+        let mut rng = Rng::seed_from(ys_seed ^ 99);
+        let ys: Vec<f32> = xs.iter().map(|_| rng.uniform(-8.0, 8.0)).collect();
+        let x = session.share(&Tensor::from_vec(xs.clone(), &[xs.len()]));
+        let y = session.share(&Tensor::from_vec(ys.clone(), &[ys.len()]));
+        let z = session.mul(&x, &y).reconstruct();
+        for ((got, &a), &b) in z.data().iter().zip(&xs).zip(&ys) {
+            prop_assert!((got - a * b).abs() < 0.05 * (a * b).abs().max(1.0), "{got} vs {}", a * b);
+        }
+    }
+
+    /// Shared matmul matches plaintext matmul for random small matrices.
+    #[test]
+    fn shared_matmul_correct(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..300) {
+        let session = MpcSession::new(seed);
+        let mut rng = Rng::seed_from(seed ^ 7);
+        let a = Tensor::rand_uniform(&[m, k], -3.0, 3.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -3.0, 3.0, &mut rng);
+        let z = session.matmul(&session.share(&a), &session.share(&b)).reconstruct();
+        let want = a.matmul(&b);
+        prop_assert!(z.approx_eq(&want, 0.1), "max diff {}", z.max_abs_diff(&want));
+    }
+
+    /// BFV decrypt ∘ encrypt is the identity for in-range messages.
+    #[test]
+    fn bfv_roundtrip(msg in proptest::collection::vec(0u64..65_537, 1..16), seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let bfv = Bfv::new(BfvParams::small());
+        let sk = bfv.keygen(&mut rng);
+        let ct = bfv.encrypt(&msg, &sk, &mut rng);
+        prop_assert_eq!(bfv.decrypt(&ct, &sk, msg.len()), msg);
+    }
+
+    /// Homomorphic addition matches plaintext addition mod t.
+    #[test]
+    fn bfv_addition_homomorphic(a in proptest::collection::vec(0u64..30_000, 1..8), seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let bfv = Bfv::new(BfvParams::small());
+        let sk = bfv.keygen(&mut rng);
+        let b: Vec<u64> = a.iter().map(|_| rng.below(30_000) as u64).collect();
+        let ct = bfv.add(&bfv.encrypt(&a, &sk, &mut rng), &bfv.encrypt(&b, &sk, &mut rng));
+        let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) % 65_537).collect();
+        prop_assert_eq!(bfv.decrypt(&ct, &sk, a.len()), want);
+    }
+
+    /// Plaintext-scalar multiplication is homomorphic mod t.
+    #[test]
+    fn bfv_plain_mul_homomorphic(m in 0u64..4000, k in 0u64..16, seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let bfv = Bfv::new(BfvParams::small());
+        let sk = bfv.keygen(&mut rng);
+        let ct = bfv.mul_plain_scalar(&bfv.encrypt(&[m], &sk, &mut rng), k);
+        prop_assert_eq!(bfv.decrypt(&ct, &sk, 1)[0], (m * k) % 65_537);
+    }
+}
+
+/// Communication accounting: matmul charges exactly one round with the
+/// expected opening volume.
+#[test]
+fn matmul_communication_accounting() {
+    let session = MpcSession::new(5);
+    let mut rng = Rng::seed_from(6);
+    let a = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[4, 2], -1.0, 1.0, &mut rng);
+    let (xs, ys) = (session.share(&a), session.share(&b));
+    assert_eq!(session.rounds(), 0);
+    session.matmul(&xs, &ys);
+    assert_eq!(session.rounds(), 1);
+    assert_eq!(session.bytes_communicated(), ((3 * 4 + 4 * 2) * 3 * 8) as u64);
+}

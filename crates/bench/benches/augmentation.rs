@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the Amalgam pipeline stages themselves:
+//! dataset augmentation throughput (Table 2's time column per-image),
+//! model augmentation, and extraction (paper: "a few milliseconds").
+
+use amalgam_core::{augment_cv, augment_images, AugmentConfig, ImagePlan, NoiseKind};
+use amalgam_data::SyntheticImageSpec;
+use amalgam_models::lenet5;
+use amalgam_tensor::Rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dataset_augmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augment_images_64");
+    for &amount in &[0.25f32, 0.5, 1.0] {
+        let mut rng = Rng::seed_from(3);
+        let data = SyntheticImageSpec::cifar10_like().with_counts(64, 0).with_hw(32).generate(&mut rng).train;
+        let plan = ImagePlan::random(32, 32, amount, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter((amount * 100.0) as u32),
+            &amount,
+            |b, _| {
+                b.iter(|| {
+                    let mut nrng = Rng::seed_from(9);
+                    augment_images(&data, &plan, &NoiseKind::UniformRandom, &mut nrng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_augmentation(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(4);
+    let model = lenet5(1, 28, 10, &mut rng);
+    let plan = ImagePlan::random(28, 28, 0.5, &mut rng);
+    c.bench_function("augment_cv_lenet_50pct", |b| {
+        b.iter(|| {
+            let cfg = AugmentConfig::new(0.5).with_subnets(3).with_seed(1);
+            augment_cv(&model, &plan, 10, &cfg).expect("augmentation")
+        });
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(5);
+    let model = lenet5(1, 28, 10, &mut rng);
+    let plan = ImagePlan::random(28, 28, 1.0, &mut rng);
+    let cfg = AugmentConfig::new(1.0).with_subnets(3).with_seed(1);
+    let (aug, secrets) = augment_cv(&model, &plan, 10, &cfg).expect("augmentation");
+    c.bench_function("extract_lenet_100pct", |b| {
+        b.iter(|| amalgam_core::extract(&aug, &model, &secrets).expect("extraction"));
+    });
+}
+
+criterion_group!(benches, bench_dataset_augmentation, bench_model_augmentation, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the compute kernels that dominate
+//! training time (context for the wall-clock numbers in the tables).
+
+use amalgam_tensor::kernels::{im2col, matmul, Conv2dGeom};
+use amalgam_tensor::{Rng, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = Rng::seed_from(0);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    let mut rng = Rng::seed_from(1);
+    for &hw in &[16usize, 32] {
+        let x = Tensor::randn(&[8, 3, hw, hw], &mut rng);
+        let g = Conv2dGeom { in_channels: 3, in_h: hw, in_w: hw, kernel: 3, stride: 1, padding: 1 };
+        group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bch, _| {
+            bch.iter(|| im2col(&x, &g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_masked_gather(c: &mut Criterion) {
+    // The per-batch cost Amalgam adds at each sub-network entry.
+    let mut rng = Rng::seed_from(2);
+    let x = Tensor::randn(&[8, 3, 48, 48], &mut rng);
+    let keep = rng.sample_indices(48 * 48, 32 * 32);
+    c.bench_function("masked_gather_48to32", |b| {
+        b.iter(|| {
+            let mut out = Tensor::zeros(&[8, 3, 32, 32]);
+            for nc in 0..24 {
+                for (k, &pos) in keep.iter().enumerate() {
+                    out.data_mut()[nc * 1024 + k] = x.data()[nc * 2304 + pos];
+                }
+            }
+            out
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col, bench_masked_gather);
+criterion_main!(benches);

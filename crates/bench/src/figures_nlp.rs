@@ -1,0 +1,139 @@
+//! Figures 11 (transformer LM) and 12 (text classification) — training and
+//! validation curves per augmentation amount.
+
+use crate::tables::AMOUNTS;
+use crate::{Options, Report, Scale};
+use amalgam_core::trainer::{train_lm, train_text_classifier, TrainConfig};
+use amalgam_core::{augment_lm, augment_text_class, AugmentConfig, NlpTask, NoiseKind, TextPlan};
+use amalgam_data::{LmCorpusSpec, TextClassSpec};
+use amalgam_models::{text_classifier, transformer_lm, TransformerLmConfig};
+use amalgam_tensor::{Rng, Tensor};
+
+/// Figure 11: transformer LM train/val loss on (synthetic) WikiText2.
+pub fn fig11(opts: &Options) -> Report {
+    let mut report =
+        Report::new("fig11_transformer_wikitext2", &["amount", "epoch", "train_loss", "val_loss"]);
+    let mut rng = Rng::seed_from(opts.seed);
+    let (vocab, tokens, seq, epochs) = match opts.scale {
+        Scale::Scaled => (300usize, 24_000usize, 16usize, 3usize),
+        Scale::Full => (33_278, 2_088_628, 20, 10),
+    };
+    let lm_cfg = match opts.scale {
+        Scale::Scaled => TransformerLmConfig::tiny(vocab, 2 * seq),
+        Scale::Full => TransformerLmConfig::wikitext2_paper(),
+    };
+    let corpus = LmCorpusSpec::wikitext2_like().with_vocab(vocab).with_tokens(tokens).generate(&mut rng);
+    let batches = corpus.batchify(8, seq);
+    let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+    let split = windows.len() * 9 / 10;
+    let (train_w, val_w) = windows.split_at(split);
+    let tc = TrainConfig::new(epochs, 8, 0.05).with_seed(opts.seed);
+    let template = transformer_lm(&lm_cfg, &mut Rng::seed_from(opts.seed));
+    let keep_all: Vec<usize> = (0..seq).collect();
+
+    // 0 % baseline.
+    let mut baseline = template.clone();
+    let h = train_lm(&mut baseline, train_w, val_w, &[keep_all.clone()], 0, &tc);
+    for e in 0..h.epochs() {
+        report.push(vec![
+            "0%".into(),
+            (e + 1).to_string(),
+            format!("{:.4}", h.train_loss[e]),
+            format!("{:.4}", h.val_loss[e]),
+        ]);
+    }
+
+    for amount in AMOUNTS {
+        let plan = TextPlan::random(seq, amount, &mut rng);
+        let aug = augment_lm(&batches, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let (aug_train, aug_val) = aug.windows.split_at(split);
+        let acfg = AugmentConfig::new(amount).with_seed(opts.seed ^ 11).with_subnets(2);
+        let (mut aug_model, secrets) =
+            amalgam_core::augment_nlp(&template, &plan, NlpTask::LanguageModel, &acfg)
+                .expect("augmentation");
+        let h = train_lm(
+            &mut aug_model,
+            aug_train,
+            aug_val,
+            &secrets.head_keeps,
+            secrets.original_output,
+            &tc,
+        );
+        for e in 0..h.epochs() {
+            report.push(vec![
+                format!("{}%", (amount * 100.0) as u32),
+                (e + 1).to_string(),
+                format!("{:.4}", h.train_loss[e]),
+                format!("{:.4}", h.val_loss[e]),
+            ]);
+        }
+    }
+    report
+}
+
+/// Figure 12: text-classification train/val loss & accuracy on (synthetic)
+/// AGNews, including the extracted model's validation on original data.
+pub fn fig12(opts: &Options) -> Report {
+    let mut report = Report::new(
+        "fig12_textclass_agnews",
+        &["amount", "epoch", "train_loss", "train_acc", "val_loss", "val_acc", "extracted_val_acc"],
+    );
+    let mut rng = Rng::seed_from(opts.seed);
+    let (vocab, docs, test_docs, doc_len, dim, epochs) = match opts.scale {
+        Scale::Scaled => (400usize, 768usize, 128usize, 24usize, 16usize, 4usize),
+        Scale::Full => (95_812, 120_000, 7_600, 40, 64, 10),
+    };
+    let (train, test) = TextClassSpec::agnews_like()
+        .with_vocab(vocab)
+        .with_counts(docs, test_docs)
+        .with_doc_len(doc_len)
+        .generate(&mut rng);
+    let tc = TrainConfig::new(epochs, 32, 0.5).with_seed(opts.seed);
+    let template = text_classifier(vocab, dim, 4, &mut Rng::seed_from(opts.seed));
+
+    let mut baseline = template.clone();
+    let h = train_text_classifier(&mut baseline, &train, Some(&test), 0, &tc);
+    for e in 0..h.epochs() {
+        report.push(vec![
+            "0%".into(),
+            (e + 1).to_string(),
+            format!("{:.4}", h.train_loss[e]),
+            format!("{:.4}", h.train_acc[e]),
+            format!("{:.4}", h.val_loss[e]),
+            format!("{:.4}", h.val_acc[e]),
+            format!("{:.4}", h.val_acc[e]),
+        ]);
+    }
+
+    for amount in AMOUNTS {
+        let plan = TextPlan::random(doc_len, amount, &mut rng);
+        let aug_train = augment_text_class(&train, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let aug_test = augment_text_class(&test, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let acfg = AugmentConfig::new(amount).with_seed(opts.seed ^ 12).with_subnets(2);
+        let (mut aug_model, secrets) =
+            amalgam_core::augment_nlp(&template, &plan, NlpTask::Classification { classes: 4 }, &acfg)
+                .expect("augmentation");
+        let h = train_text_classifier(
+            &mut aug_model,
+            &aug_train.dataset,
+            Some(&aug_test.dataset),
+            secrets.original_output,
+            &tc,
+        );
+        let extracted = amalgam_core::extract(&aug_model, &template, &secrets).expect("extraction");
+        let mut ex = extracted.model;
+        let (_, ex_acc) = amalgam_core::trainer::EvalSource::evaluate(&test, &mut ex, 0, tc.batch_size);
+        for e in 0..h.epochs() {
+            report.push(vec![
+                format!("{}%", (amount * 100.0) as u32),
+                (e + 1).to_string(),
+                format!("{:.4}", h.train_loss[e]),
+                format!("{:.4}", h.train_acc[e]),
+                format!("{:.4}", h.val_loss[e]),
+                format!("{:.4}", h.val_acc[e]),
+                if e + 1 == h.epochs() { format!("{ex_acc:.4}") } else { "-".into() },
+            ]);
+        }
+    }
+    report
+}

@@ -1,0 +1,89 @@
+//! `amalgam-bench` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! amalgam-bench <experiment> [--full] [--out DIR] [--seed N]
+//!
+//! experiments:
+//!   table2 table3 table4          the paper's tables
+//!   fig5 … fig12, fig13 … fig18   the paper's figures
+//!   fig19 … fig24                 the appendix figures
+//!   ablate                        extra ablations (subnets, noise, detach)
+//!   all                           everything above
+//! ```
+
+use amalgam_bench::{figures_cv, figures_nlp, figures_sec, tables, Options, Report, Scale};
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => opts.scale = Scale::Full,
+            "--out" => {
+                opts.out_dir = it.next().expect("--out requires a directory").into();
+            }
+            "--seed" => {
+                opts.seed = it.next().expect("--seed requires a value").parse().expect("numeric seed");
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    opts
+}
+
+fn run_one(name: &str, opts: &Options) -> Vec<Report> {
+    match name {
+        "table2" => vec![tables::table2(opts)],
+        "table3" => vec![tables::table3(opts)],
+        "table4" => vec![tables::table4(opts)],
+        "fig11" => vec![figures_nlp::fig11(opts)],
+        "fig12" => vec![figures_nlp::fig12(opts)],
+        "fig13" => vec![figures_cv::fig13(opts)],
+        "fig14" => vec![figures_sec::fig14(opts)],
+        "fig15" => vec![figures_sec::fig15(opts)],
+        "fig16" => vec![figures_sec::fig16(opts)],
+        "fig17" => vec![figures_sec::fig17(opts)],
+        "fig18" => vec![figures_sec::fig18(opts)],
+        "ablate" => figures_cv::ablations(opts),
+        fig => {
+            let n: u32 = fig
+                .strip_prefix("fig")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("unknown experiment '{fig}'"));
+            assert!(
+                figures_cv::figure_spec(n).is_some(),
+                "unknown experiment 'fig{n}' — see --help"
+            );
+            vec![figures_cv::training_curves(n, opts)]
+        }
+    }
+}
+
+const ALL: &[&str] = &[
+    "table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "fig22", "fig23", "fig24", "ablate",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!(
+            "usage: amalgam-bench <experiment> [--full] [--out DIR] [--seed N]\n\
+             experiments: {} all",
+            ALL.join(" ")
+        );
+        return;
+    }
+    let experiment = args[0].clone();
+    let opts = parse_options(&args[1..]);
+    let names: Vec<&str> =
+        if experiment == "all" { ALL.to_vec() } else { vec![experiment.as_str()] };
+    for name in names {
+        let t0 = std::time::Instant::now();
+        for report in run_one(name, &opts) {
+            report.emit(&opts.out_dir);
+        }
+        eprintln!("[{name} completed in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

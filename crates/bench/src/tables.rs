@@ -1,0 +1,373 @@
+//! Tables 2, 3 and 4 of the paper.
+
+use crate::{Options, Report, Scale};
+use amalgam_core::trainer::{train_image_classifier, train_lm, train_text_classifier, TrainConfig};
+use amalgam_core::{
+    augment_images, augment_lm, augment_text_class, AugmentConfig, ImagePlan, NoiseKind, TextPlan,
+};
+use amalgam_data::{LmCorpusSpec, SyntheticImageSpec, TextClassSpec};
+use amalgam_models::{
+    build_cv_model, text_classifier, transformer_lm, vgg16_cbam, CvConfig, CvFamily,
+    TransformerLmConfig,
+};
+use amalgam_tensor::{Rng, Tensor};
+
+/// The paper's augmentation amounts.
+pub const AMOUNTS: [f32; 4] = [0.25, 0.5, 0.75, 1.0];
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.1} GB", b / 1e9)
+    } else {
+        format!("{:.1} MB", b / 1e6)
+    }
+}
+
+/// Table 2: dataset augmentation time, resolution, size and search space.
+///
+/// Resolution, size and search space are *exact* at paper scale regardless
+/// of `Scale` (they are closed-form in the geometry); augmentation time is
+/// measured at the chosen scale and linearly extrapolated to the paper's
+/// sample counts when scaled.
+pub fn table2(opts: &Options) -> Report {
+    let mut report = Report::new(
+        "table2",
+        &[
+            "dataset", "amount", "measured_time_s", "extrapolated_time_s", "resolution",
+            "paper_scale_size", "search_space",
+        ],
+    );
+    let mut rng = Rng::seed_from(opts.seed);
+
+    // --- image datasets ---------------------------------------------------
+    let image_specs: [(SyntheticImageSpec, usize); 4] = [
+        (SyntheticImageSpec::mnist_like(), 70_000),
+        (SyntheticImageSpec::cifar10_like(), 60_000),
+        (SyntheticImageSpec::cifar100_like(), 60_000),
+        (SyntheticImageSpec::imagenette_like(), 13_394),
+    ];
+    for (spec, paper_count) in image_specs {
+        let count = match opts.scale {
+            Scale::Scaled => {
+                if spec.hw() >= 200 {
+                    16
+                } else {
+                    512
+                }
+            }
+            Scale::Full => paper_count,
+        };
+        let data = spec.clone().with_counts(count, 0).generate(&mut rng).train;
+        let hw = spec.hw();
+        report.push(vec![
+            spec.name().into(),
+            "0%".into(),
+            "-".into(),
+            "-".into(),
+            format!("{hw}x{hw}"),
+            fmt_bytes(paper_count as f64 * spec.channels() as f64 * (hw * hw) as f64 * 4.0),
+            "-".into(),
+        ]);
+        for amount in AMOUNTS {
+            let plan = ImagePlan::random(hw, hw, amount, &mut rng);
+            let aug = augment_images(&data, &plan, &NoiseKind::UniformRandom, &mut rng);
+            let (ah, aw) = plan.aug_hw();
+            let extrapolated = aug.seconds * paper_count as f64 / count as f64;
+            report.push(vec![
+                spec.name().into(),
+                format!("{}%", (amount * 100.0) as u32),
+                format!("{:.2}", aug.seconds),
+                format!("{extrapolated:.1}"),
+                format!("{ah}x{aw}"),
+                fmt_bytes(paper_count as f64 * spec.channels() as f64 * (ah * aw) as f64 * 4.0),
+                plan.search_space().to_string(),
+            ]);
+        }
+    }
+
+    // --- text datasets ------------------------------------------------------
+    // WikiText2: ~2.09 M tokens batchified at window length 20 (the length
+    // that reproduces the paper's search-space numbers, see DESIGN.md D4).
+    let paper_tokens = 2_088_628usize;
+    let tokens = match opts.scale {
+        Scale::Scaled => 60_000,
+        Scale::Full => paper_tokens,
+    };
+    let corpus = LmCorpusSpec::wikitext2_like().with_tokens(tokens).generate(&mut rng);
+    let batches = corpus.batchify(20, 20);
+    report.push(vec![
+        "wikitext2".into(),
+        "0%".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_bytes(paper_tokens as f64 * 4.0),
+        "-".into(),
+    ]);
+    for amount in AMOUNTS {
+        let plan = TextPlan::random(20, amount, &mut rng);
+        let aug = augment_lm(&batches, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let extrapolated = aug.seconds * paper_tokens as f64 / tokens as f64;
+        report.push(vec![
+            "wikitext2".into(),
+            format!("{}%", (amount * 100.0) as u32),
+            format!("{:.2}", aug.seconds),
+            format!("{extrapolated:.1}"),
+            "-".into(),
+            fmt_bytes(paper_tokens as f64 * (1.0 + f64::from(amount)) * 4.0),
+            plan.search_space().to_string(),
+        ]);
+    }
+
+    // AGNews: 127.6k documents of ~140 tokens (see DESIGN.md D4).
+    let paper_docs = 127_600usize;
+    let docs = match opts.scale {
+        Scale::Scaled => 512,
+        Scale::Full => paper_docs,
+    };
+    let (agnews, _) =
+        TextClassSpec::agnews_like().with_counts(docs, 1).with_doc_len(140).generate(&mut rng);
+    report.push(vec![
+        "agnews".into(),
+        "0%".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_bytes(paper_docs as f64 * 140.0 * 4.0),
+        "-".into(),
+    ]);
+    for amount in AMOUNTS {
+        let plan = TextPlan::random(140, amount, &mut rng);
+        let aug = augment_text_class(&agnews, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let extrapolated = aug.seconds * paper_docs as f64 / docs as f64;
+        report.push(vec![
+            "agnews".into(),
+            format!("{}%", (amount * 100.0) as u32),
+            format!("{:.2}", aug.seconds),
+            format!("{extrapolated:.1}"),
+            "-".into(),
+            fmt_bytes(paper_docs as f64 * f64::from(plan.aug_len() as u32) * 4.0),
+            plan.search_space().to_string(),
+        ]);
+    }
+    report
+}
+
+/// Per-scale CV experiment geometry.
+pub fn cv_geometry(opts: &Options, dataset: &str) -> (SyntheticImageSpec, CvConfig, usize, usize) {
+    let spec = match dataset {
+        "mnist" => SyntheticImageSpec::mnist_like(),
+        "cifar10" => SyntheticImageSpec::cifar10_like(),
+        "cifar100" => SyntheticImageSpec::cifar100_like(),
+        "imagenette" => SyntheticImageSpec::imagenette_like(),
+        other => panic!("unknown dataset {other}"),
+    };
+    match opts.scale {
+        Scale::Scaled => {
+            let hw = if dataset == "imagenette" { 32 } else { 16 };
+            let classes = if dataset == "cifar100" { 20 } else { 10 };
+            let spec = spec.with_hw(hw).with_classes(classes);
+            let cfg = CvConfig::new(spec.channels(), classes, hw).with_width_mult(0.125);
+            (spec, cfg, 384, 96)
+        }
+        Scale::Full => {
+            let classes = if dataset == "cifar100" { 100 } else { 10 };
+            let cfg = CvConfig::new(spec.channels(), classes, spec.hw());
+            let (train, test) = spec.counts();
+            (spec, cfg, train, test)
+        }
+    }
+}
+
+/// Shared Table 3/figure training config.
+pub fn cv_train_config(opts: &Options, epochs: usize) -> TrainConfig {
+    TrainConfig::new(epochs, 32, 0.03).with_momentum(0.9).with_seed(opts.seed)
+}
+
+/// Table 3: parameter counts and training times for the four CV families
+/// across datasets and augmentation amounts, plus the VGG16+CBAM row.
+pub fn table3(opts: &Options) -> Report {
+    let mut report = Report::new(
+        "table3",
+        &["model", "dataset", "amount", "params", "param_ratio", "train_time_s", "time_ratio"],
+    );
+    let epochs = if opts.scale == Scale::Scaled { 1 } else { 10 };
+    for dataset in ["mnist", "cifar10", "cifar100"] {
+        for family in CvFamily::table3() {
+            run_cv_rows(&mut report, opts, family, dataset, epochs);
+        }
+    }
+    // VGG16 + CBAM on Imagenette (the transfer-learning model's size rows).
+    let mut rng = Rng::seed_from(opts.seed);
+    let (_, cfg, _, _) = cv_geometry(opts, "imagenette");
+    let model = vgg16_cbam(&cfg, &mut rng);
+    report.push(vec![
+        "VGG16+CBAM".into(),
+        "imagenette".into(),
+        "0%".into(),
+        model.param_count().to_string(),
+        "1.00".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    for amount in AMOUNTS {
+        let plan = ImagePlan::random(cfg.input_hw, cfg.input_hw, amount, &mut rng);
+        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(3);
+        let (aug, _) = amalgam_core::augment_cv(&model, &plan, cfg.num_classes, &acfg)
+            .expect("augmentation");
+        report.push(vec![
+            "VGG16+CBAM".into(),
+            "imagenette".into(),
+            format!("{}%", (amount * 100.0) as u32),
+            aug.param_count().to_string(),
+            format!("{:.2}", aug.param_count() as f64 / model.param_count() as f64),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    report
+}
+
+fn run_cv_rows(report: &mut Report, opts: &Options, family: CvFamily, dataset: &str, epochs: usize) {
+    let mut rng = Rng::seed_from(opts.seed);
+    let (spec, cfg, train_n, test_n) = cv_geometry(opts, dataset);
+    let data = spec.with_counts(train_n, test_n).generate(&mut rng);
+    let tc = cv_train_config(opts, epochs);
+
+    let model = build_cv_model(family, &cfg, &mut Rng::seed_from(opts.seed));
+    let base_params = model.param_count();
+    let mut baseline = model.clone();
+    let h = train_image_classifier(&mut baseline, &data.train, None, 0, &tc);
+    let base_secs = f64::from(h.total_secs());
+    report.push(vec![
+        family.name().into(),
+        dataset.into(),
+        "0%".into(),
+        base_params.to_string(),
+        "1.00".into(),
+        format!("{base_secs:.2}"),
+        "1.00".into(),
+    ]);
+    for amount in AMOUNTS {
+        let plan = ImagePlan::random(cfg.input_hw, cfg.input_hw, amount, &mut rng);
+        let aug_data = augment_images(&data.train, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(3);
+        let (mut aug, secrets) =
+            amalgam_core::augment_cv(&model, &plan, cfg.num_classes, &acfg).expect("augmentation");
+        let h = train_image_classifier(
+            &mut aug,
+            &aug_data.dataset,
+            None,
+            secrets.original_output,
+            &tc,
+        );
+        let secs = f64::from(h.total_secs());
+        report.push(vec![
+            family.name().into(),
+            dataset.into(),
+            format!("{}%", (amount * 100.0) as u32),
+            aug.param_count().to_string(),
+            format!("{:.2}", aug.param_count() as f64 / base_params as f64),
+            format!("{secs:.2}"),
+            format!("{:.2}", secs / base_secs),
+        ]);
+    }
+}
+
+/// Table 4: NLP parameter counts and training times.
+pub fn table4(opts: &Options) -> Report {
+    let mut report = Report::new(
+        "table4",
+        &["model", "dataset", "amount", "params", "param_ratio", "train_time_s"],
+    );
+    let mut rng = Rng::seed_from(opts.seed);
+
+    // --- transformer / WikiText2 -----------------------------------------
+    let (vocab, tokens, seq, lm_cfg) = match opts.scale {
+        Scale::Scaled => (500usize, 20_000usize, 16usize, TransformerLmConfig::tiny(500, 32)),
+        Scale::Full => (33_278, 2_088_628, 20, TransformerLmConfig::wikitext2_paper()),
+    };
+    let corpus = LmCorpusSpec::wikitext2_like().with_vocab(vocab).with_tokens(tokens).generate(&mut rng);
+    let batches = corpus.batchify(8, seq);
+    let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+    let model = transformer_lm(&lm_cfg, &mut Rng::seed_from(opts.seed));
+    let base_params = model.param_count();
+    let tc = TrainConfig::new(1, 8, 0.05).with_seed(opts.seed);
+    let keep_all: Vec<usize> = (0..seq).collect();
+
+    let mut baseline = model.clone();
+    let t0 = std::time::Instant::now();
+    train_lm(&mut baseline, &windows, &[], &[keep_all.clone()], 0, &tc);
+    report.push(vec![
+        "Transformer".into(),
+        "wikitext2".into(),
+        "0%".into(),
+        base_params.to_string(),
+        "1.00".into(),
+        format!("{:.2}", t0.elapsed().as_secs_f64()),
+    ]);
+    for amount in AMOUNTS {
+        let plan = TextPlan::random(seq, amount, &mut rng);
+        let aug = augment_lm(&batches, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(2);
+        let (mut aug_model, secrets) =
+            amalgam_core::augment_nlp(&model, &plan, amalgam_core::NlpTask::LanguageModel, &acfg)
+                .expect("augmentation");
+        let t0 = std::time::Instant::now();
+        train_lm(&mut aug_model, &aug.windows, &[], &secrets.head_keeps, secrets.original_output, &tc);
+        report.push(vec![
+            "Transformer".into(),
+            "wikitext2".into(),
+            format!("{}%", (amount * 100.0) as u32),
+            aug_model.param_count().to_string(),
+            format!("{:.2}", aug_model.param_count() as f64 / base_params as f64),
+            format!("{:.2}", t0.elapsed().as_secs_f64()),
+        ]);
+    }
+
+    // --- text classifier / AGNews -----------------------------------------
+    let (vocab, docs, doc_len, dim) = match opts.scale {
+        Scale::Scaled => (400usize, 512usize, 24usize, 16usize),
+        Scale::Full => (95_812, 120_000, 40, 64),
+    };
+    let (train, _) =
+        TextClassSpec::agnews_like().with_vocab(vocab).with_counts(docs, 1).with_doc_len(doc_len).generate(&mut rng);
+    let model = text_classifier(vocab, dim, 4, &mut Rng::seed_from(opts.seed));
+    let base_params = model.param_count();
+    let tc = TrainConfig::new(1, 32, 0.5).with_seed(opts.seed);
+
+    let mut baseline = model.clone();
+    let t0 = std::time::Instant::now();
+    train_text_classifier(&mut baseline, &train, None, 0, &tc);
+    report.push(vec![
+        "TextClassifier".into(),
+        "agnews".into(),
+        "0%".into(),
+        base_params.to_string(),
+        "1.00".into(),
+        format!("{:.2}", t0.elapsed().as_secs_f64()),
+    ]);
+    for amount in AMOUNTS {
+        let plan = TextPlan::random(doc_len, amount, &mut rng);
+        let aug = augment_text_class(&train, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(2);
+        let (mut aug_model, secrets) = amalgam_core::augment_nlp(
+            &model,
+            &plan,
+            amalgam_core::NlpTask::Classification { classes: 4 },
+            &acfg,
+        )
+        .expect("augmentation");
+        let t0 = std::time::Instant::now();
+        train_text_classifier(&mut aug_model, &aug.dataset, None, secrets.original_output, &tc);
+        report.push(vec![
+            "TextClassifier".into(),
+            "agnews".into(),
+            format!("{}%", (amount * 100.0) as u32),
+            aug_model.param_count().to_string(),
+            format!("{:.2}", aug_model.param_count() as f64 / base_params as f64),
+            format!("{:.2}", t0.elapsed().as_secs_f64()),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,44 @@
+//! Simulated untrusted cloud for Amalgam.
+//!
+//! The paper uploads an augmented TorchScript model plus augmented tensors to
+//! a Python-based cloud service (Colab, SageMaker, …). This crate stands in
+//! for that trust boundary: a [`CloudService`] runs on its own thread,
+//! receives **fully serialized** jobs (model spec bytes + dataset tensors)
+//! over a crossbeam channel, trains with the paper's Algorithm 1, and returns
+//! the trained augmented model as bytes.
+//!
+//! Everything the cloud can see is available to a registered
+//! [`CloudObserver`] — the vantage point from which `amalgam-attacks` mounts
+//! its attacks. Notably absent from anything that crosses the wire:
+//! provenance tags, sub-network identities, and the client's insertion plan.
+
+mod observer;
+mod protocol;
+mod service;
+
+pub use observer::{CloudObserver, NullObserver, RecordingObserver};
+pub use protocol::{CloudJob, JobResult, TaskPayload};
+pub use service::{CloudClient, CloudService, JobHandle};
+
+/// Errors crossing the simulated cloud boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// The service thread is gone (channel closed).
+    ServiceUnavailable,
+    /// A job or result failed to decode.
+    Decode(String),
+    /// The job was malformed (e.g. no output heads).
+    BadJob(String),
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::ServiceUnavailable => write!(f, "cloud service unavailable"),
+            CloudError::Decode(msg) => write!(f, "decode error: {msg}"),
+            CloudError::BadJob(msg) => write!(f, "bad job: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}

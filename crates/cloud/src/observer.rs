@@ -1,0 +1,74 @@
+//! The honest-but-curious adversary's vantage point.
+
+use amalgam_nn::graph::GraphModel;
+use amalgam_tensor::Tensor;
+
+/// Hooks invoked with everything the cloud legitimately sees — the threat
+/// model's "cloud provider as attacker" position (paper §3).
+///
+/// Implementations live in `amalgam-attacks`; [`RecordingObserver`] is a
+/// simple capture-everything implementation for tests.
+pub trait CloudObserver: Send {
+    /// Called once with the decoded model, before training starts.
+    fn on_model(&mut self, model: &GraphModel);
+
+    /// Called with each training batch the cloud assembles.
+    fn on_batch(&mut self, inputs: &Tensor, labels: &[usize]) {
+        let _ = (inputs, labels);
+    }
+
+    /// Called after each optimizer step; `model` carries fresh parameter
+    /// values *and* the gradients of the last backward pass — the raw
+    /// material of gradient-leakage attacks.
+    fn on_step(&mut self, model: &mut GraphModel) {
+        let _ = model;
+    }
+}
+
+/// An observer that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl CloudObserver for NullObserver {
+    fn on_model(&mut self, _model: &GraphModel) {}
+}
+
+/// An observer that records summary statistics of what it saw.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// Node count of the observed model.
+    pub model_nodes: usize,
+    /// Total parameters of the observed model.
+    pub model_params: usize,
+    /// Number of batches observed.
+    pub batches: usize,
+    /// Number of optimizer steps observed.
+    pub steps: usize,
+    /// First batch's input tensor, if any was seen.
+    pub first_batch: Option<Tensor>,
+}
+
+impl RecordingObserver {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+}
+
+impl CloudObserver for RecordingObserver {
+    fn on_model(&mut self, model: &GraphModel) {
+        self.model_nodes = model.node_count();
+        self.model_params = model.param_count();
+    }
+
+    fn on_batch(&mut self, inputs: &Tensor, _labels: &[usize]) {
+        if self.first_batch.is_none() {
+            self.first_batch = Some(inputs.clone());
+        }
+        self.batches += 1;
+    }
+
+    fn on_step(&mut self, _model: &mut GraphModel) {
+        self.steps += 1;
+    }
+}

@@ -1,0 +1,234 @@
+//! The wire protocol: jobs and results, fully serialized.
+
+use crate::CloudError;
+use amalgam_core::TrainConfig;
+use amalgam_nn::metrics::History;
+use amalgam_tensor::wire::{Reader, Writer};
+use amalgam_tensor::Tensor;
+use bytes::Bytes;
+
+/// The training payload of a job.
+#[derive(Debug, Clone)]
+pub enum TaskPayload {
+    /// Image or text classification: every head is scored against `labels`.
+    Classification {
+        /// Input tensor (`[N, C, H, W]` images or `[N, T]` token ids).
+        inputs: Tensor,
+        /// One label per row of `inputs`.
+        labels: Vec<usize>,
+        /// Optional held-out inputs for per-epoch validation.
+        val_inputs: Option<Tensor>,
+        /// Labels for the held-out inputs.
+        val_labels: Vec<usize>,
+    },
+    /// Language modelling on token windows.
+    LanguageModel {
+        /// Training windows, each `[B, T']`.
+        windows: Vec<Tensor>,
+        /// Validation windows.
+        val_windows: Vec<Tensor>,
+        /// Kept positions per output head (also visible inside the masked
+        /// embedding specs; shipped explicitly for convenience).
+        head_keeps: Vec<Vec<usize>>,
+    },
+}
+
+/// One cloud training job: a serialized model plus its payload.
+#[derive(Debug, Clone)]
+pub struct CloudJob {
+    /// The augmented model, as produced by `GraphModel::to_bytes`.
+    pub model: Bytes,
+    /// The training data.
+    pub task: TaskPayload,
+    /// Hyper-parameters.
+    pub train: TrainConfig,
+}
+
+impl CloudJob {
+    /// Serializes the whole job into one buffer (what "upload" means here).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u32(self.model.len() as u32);
+        for &b in self.model.iter() {
+            w.put_u8(b);
+        }
+        w.put_u64(self.train.epochs as u64);
+        w.put_u64(self.train.batch_size as u64);
+        w.put_f32(self.train.lr);
+        w.put_f32(self.train.momentum);
+        w.put_u64(self.train.seed);
+        match &self.task {
+            TaskPayload::Classification { inputs, labels, val_inputs, val_labels } => {
+                w.put_u8(0);
+                w.put_tensor(inputs);
+                w.put_usize_list(labels);
+                match val_inputs {
+                    Some(v) => {
+                        w.put_u8(1);
+                        w.put_tensor(v);
+                        w.put_usize_list(val_labels);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            TaskPayload::LanguageModel { windows, val_windows, head_keeps } => {
+                w.put_u8(1);
+                w.put_u32(windows.len() as u32);
+                for t in windows {
+                    w.put_tensor(t);
+                }
+                w.put_u32(val_windows.len() as u32);
+                for t in val_windows {
+                    w.put_tensor(t);
+                }
+                w.put_u32(head_keeps.len() as u32);
+                for k in head_keeps {
+                    w.put_usize_list(k);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a job uploaded with [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Decode`] on truncated or malformed buffers.
+    pub fn from_bytes(buf: Bytes) -> Result<CloudJob, CloudError> {
+        let mut r = Reader::new(buf);
+        let err = |e: amalgam_tensor::TensorError| CloudError::Decode(e.to_string());
+        let model_len = r.get_u32().map_err(err)? as usize;
+        let mut model = Vec::with_capacity(model_len);
+        for _ in 0..model_len {
+            model.push(r.get_u8().map_err(err)?);
+        }
+        let train = TrainConfig {
+            epochs: r.get_u64().map_err(err)? as usize,
+            batch_size: r.get_u64().map_err(err)? as usize,
+            lr: r.get_f32().map_err(err)?,
+            momentum: r.get_f32().map_err(err)?,
+            seed: r.get_u64().map_err(err)?,
+        };
+        let task = match r.get_u8().map_err(err)? {
+            0 => {
+                let inputs = r.get_tensor().map_err(err)?;
+                let labels = r.get_usize_list().map_err(err)?;
+                let (val_inputs, val_labels) = if r.get_u8().map_err(err)? == 1 {
+                    (Some(r.get_tensor().map_err(err)?), r.get_usize_list().map_err(err)?)
+                } else {
+                    (None, Vec::new())
+                };
+                TaskPayload::Classification { inputs, labels, val_inputs, val_labels }
+            }
+            1 => {
+                let n = r.get_u32().map_err(err)? as usize;
+                let mut windows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    windows.push(r.get_tensor().map_err(err)?);
+                }
+                let nv = r.get_u32().map_err(err)? as usize;
+                let mut val_windows = Vec::with_capacity(nv);
+                for _ in 0..nv {
+                    val_windows.push(r.get_tensor().map_err(err)?);
+                }
+                let nk = r.get_u32().map_err(err)? as usize;
+                let mut head_keeps = Vec::with_capacity(nk);
+                for _ in 0..nk {
+                    head_keeps.push(r.get_usize_list().map_err(err)?);
+                }
+                TaskPayload::LanguageModel { windows, val_windows, head_keeps }
+            }
+            t => return Err(CloudError::Decode(format!("unknown task tag {t}"))),
+        };
+        Ok(CloudJob { model: Bytes::from(model), task, train })
+    }
+}
+
+/// What the cloud returns after training.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The trained augmented model (serialized).
+    pub trained_model: Bytes,
+    /// Cloud-side training history (head 0's metrics — the cloud cannot know
+    /// which head matters).
+    pub history: History,
+    /// Bytes the cloud received (the "upload" size).
+    pub bytes_received: usize,
+    /// Bytes the cloud sent back.
+    pub bytes_sent: usize,
+    /// Wall-clock training seconds on the cloud.
+    pub train_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_tensor::Rng;
+
+    #[test]
+    fn classification_job_roundtrip() {
+        let mut rng = Rng::seed_from(0);
+        let job = CloudJob {
+            model: Bytes::from_static(b"model-bytes"),
+            task: TaskPayload::Classification {
+                inputs: Tensor::randn(&[4, 1, 2, 2], &mut rng),
+                labels: vec![0, 1, 0, 1],
+                val_inputs: Some(Tensor::randn(&[2, 1, 2, 2], &mut rng)),
+                val_labels: vec![1, 0],
+            },
+            train: TrainConfig::new(3, 2, 0.1).with_seed(9),
+        };
+        let back = CloudJob::from_bytes(job.to_bytes()).unwrap();
+        assert_eq!(back.model, job.model);
+        assert_eq!(back.train.epochs, 3);
+        assert_eq!(back.train.seed, 9);
+        match back.task {
+            TaskPayload::Classification { labels, val_labels, .. } => {
+                assert_eq!(labels, vec![0, 1, 0, 1]);
+                assert_eq!(val_labels, vec![1, 0]);
+            }
+            _ => panic!("wrong task kind"),
+        }
+    }
+
+    #[test]
+    fn lm_job_roundtrip() {
+        let mut rng = Rng::seed_from(1);
+        let job = CloudJob {
+            model: Bytes::from_static(b"m"),
+            task: TaskPayload::LanguageModel {
+                windows: vec![Tensor::randn(&[2, 5], &mut rng)],
+                val_windows: vec![],
+                head_keeps: vec![vec![0, 1, 2], vec![1, 3, 4]],
+            },
+            train: TrainConfig::new(1, 2, 0.1),
+        };
+        let back = CloudJob::from_bytes(job.to_bytes()).unwrap();
+        match back.task {
+            TaskPayload::LanguageModel { head_keeps, windows, .. } => {
+                assert_eq!(head_keeps, vec![vec![0, 1, 2], vec![1, 3, 4]]);
+                assert_eq!(windows.len(), 1);
+            }
+            _ => panic!("wrong task kind"),
+        }
+    }
+
+    #[test]
+    fn truncated_job_is_decode_error() {
+        let mut rng = Rng::seed_from(2);
+        let job = CloudJob {
+            model: Bytes::from_static(b"abc"),
+            task: TaskPayload::Classification {
+                inputs: Tensor::randn(&[1, 1, 2, 2], &mut rng),
+                labels: vec![0],
+                val_inputs: None,
+                val_labels: vec![],
+            },
+            train: TrainConfig::new(1, 1, 0.1),
+        };
+        let bytes = job.to_bytes();
+        let cut = bytes.slice(0..bytes.len() / 2);
+        assert!(matches!(CloudJob::from_bytes(cut), Err(CloudError::Decode(_))));
+    }
+}

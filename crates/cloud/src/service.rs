@@ -1,0 +1,432 @@
+//! The cloud service thread and client handle.
+
+use crate::observer::{CloudObserver, NullObserver};
+use crate::protocol::{CloudJob, JobResult, TaskPayload};
+use crate::CloudError;
+use amalgam_core::trainer::{epoch_rng, lm_head_loss};
+use amalgam_data::BatchIter;
+use amalgam_nn::graph::GraphModel;
+use amalgam_nn::loss::cross_entropy;
+use amalgam_nn::metrics::{accuracy, History, RunningMean};
+use amalgam_nn::optim::Sgd;
+use amalgam_nn::Mode;
+use amalgam_tensor::Tensor;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+enum Envelope {
+    Job { payload: Bytes, reply: Sender<Result<JobResult, CloudError>> },
+    Shutdown,
+}
+
+/// The simulated cloud: a training service on its own thread.
+#[derive(Debug)]
+pub struct CloudService {
+    handle: Option<std::thread::JoinHandle<()>>,
+    tx: Sender<Envelope>,
+}
+
+/// Client handle for submitting jobs to a [`CloudService`].
+#[derive(Debug, Clone)]
+pub struct CloudClient {
+    tx: Sender<Envelope>,
+}
+
+/// An in-flight job.
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: Receiver<Result<JobResult, CloudError>>,
+}
+
+impl CloudService {
+    /// Starts a service with no adversary attached.
+    pub fn start() -> CloudService {
+        CloudService::start_with_observer(Arc::new(Mutex::new(NullObserver)))
+    }
+
+    /// Starts a service whose traffic is fed to `observer` — the attack
+    /// experiments' entry point.
+    pub fn start_with_observer(observer: Arc<Mutex<dyn CloudObserver>>) -> CloudService {
+        let (tx, rx) = unbounded::<Envelope>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(env) = rx.recv() {
+                match env {
+                    Envelope::Job { payload, reply } => {
+                        let result = run_job(payload, &observer);
+                        let _ = reply.send(result);
+                    }
+                    Envelope::Shutdown => break,
+                }
+            }
+        });
+        CloudService { handle: Some(handle), tx }
+    }
+
+    /// A client handle (cloneable; jobs are processed sequentially).
+    pub fn client(&self) -> CloudClient {
+        CloudClient { tx: self.tx.clone() }
+    }
+
+    /// Stops the service, waiting for the thread to finish.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Envelope::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CloudService {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Envelope::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl CloudClient {
+    /// Uploads a job (serializing it — this is the trust boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::ServiceUnavailable`] if the service is gone.
+    pub fn submit(&self, job: &CloudJob) -> Result<JobHandle, CloudError> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Envelope::Job { payload: job.to_bytes(), reply: reply_tx })
+            .map_err(|_| CloudError::ServiceUnavailable)?;
+        Ok(JobHandle { rx: reply_rx })
+    }
+
+    /// Convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission, decode and training errors.
+    pub fn train(&self, job: &CloudJob) -> Result<JobResult, CloudError> {
+        self.submit(job)?.wait()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::ServiceUnavailable`] if the service died.
+    pub fn wait(self) -> Result<JobResult, CloudError> {
+        self.rx.recv().map_err(|_| CloudError::ServiceUnavailable)?
+    }
+}
+
+/// Decodes and trains one job — everything here is "cloud side".
+fn run_job(payload: Bytes, observer: &Arc<Mutex<dyn CloudObserver>>) -> Result<JobResult, CloudError> {
+    let bytes_received = payload.len();
+    let job = CloudJob::from_bytes(payload)?;
+    let mut model =
+        GraphModel::from_bytes(job.model.clone()).map_err(|e| CloudError::Decode(e.to_string()))?;
+    if model.outputs().is_empty() {
+        return Err(CloudError::BadJob("model declares no outputs".into()));
+    }
+    observer.lock().on_model(&model);
+
+    let t0 = std::time::Instant::now();
+    let history = match &job.task {
+        TaskPayload::Classification { inputs, labels, val_inputs, val_labels } => {
+            if inputs.dims()[0] != labels.len() {
+                return Err(CloudError::BadJob("label count mismatch".into()));
+            }
+            train_classification(
+                &mut model,
+                inputs,
+                labels,
+                val_inputs.as_ref().map(|v| (v, val_labels.as_slice())),
+                &job.train,
+                observer,
+            )
+        }
+        TaskPayload::LanguageModel { windows, val_windows, head_keeps } => {
+            if head_keeps.len() != model.outputs().len() {
+                return Err(CloudError::BadJob("one keep list per head required".into()));
+            }
+            train_lm(&mut model, windows, val_windows, head_keeps, &job.train, observer)
+        }
+    };
+    let train_seconds = t0.elapsed().as_secs_f64();
+    model.clear_caches();
+    let trained_model = model.to_bytes();
+    Ok(JobResult {
+        bytes_sent: trained_model.len(),
+        trained_model,
+        history,
+        bytes_received,
+        train_seconds,
+    })
+}
+
+/// Algorithm 1 with observer hooks. Numerically identical to
+/// `amalgam_core::trainer::train_image_classifier` (same shuffle source, same
+/// loss, same update), so client-side equivalence guarantees carry over.
+fn train_classification(
+    model: &mut GraphModel,
+    inputs: &Tensor,
+    labels: &[usize],
+    val: Option<(&Tensor, &[usize])>,
+    cfg: &amalgam_core::TrainConfig,
+    observer: &Arc<Mutex<dyn CloudObserver>>,
+) -> History {
+    let n = labels.len();
+    let mut opt = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
+    let mut history = History::new();
+    for epoch in 0..cfg.epochs {
+        let t0 = std::time::Instant::now();
+        let mut rng = epoch_rng(cfg, epoch);
+        let mut loss_mean = RunningMean::new();
+        let mut acc_mean = RunningMean::new();
+        for idx in BatchIter::new(n, cfg.batch_size, &mut rng) {
+            let x = inputs.index_select_axis0(&idx);
+            let batch_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            observer.lock().on_batch(&x, &batch_labels);
+            let outs = model.forward(&[&x], Mode::Train);
+            let mut seeds = Vec::with_capacity(outs.len());
+            for (h, out) in outs.iter().enumerate() {
+                let (loss, grad) = cross_entropy(out, &batch_labels);
+                if h == 0 {
+                    loss_mean.add(loss, batch_labels.len());
+                    acc_mean.add(accuracy(out, &batch_labels), batch_labels.len());
+                }
+                seeds.push(grad);
+            }
+            model.zero_grad();
+            model.backward(&seeds);
+            observer.lock().on_step(model);
+            opt.step(&mut model.params_mut());
+        }
+        history.train_loss.push(loss_mean.mean());
+        history.train_acc.push(acc_mean.mean());
+        history.epoch_secs.push(t0.elapsed().as_secs_f32());
+        if let Some((vx, vl)) = val {
+            let outs = model.forward(&[vx], Mode::Eval);
+            let (loss, _) = cross_entropy(&outs[0], vl);
+            history.val_loss.push(loss);
+            history.val_acc.push(accuracy(&outs[0], vl));
+            model.clear_caches();
+        }
+    }
+    history
+}
+
+fn train_lm(
+    model: &mut GraphModel,
+    windows: &[Tensor],
+    val_windows: &[Tensor],
+    head_keeps: &[Vec<usize>],
+    cfg: &amalgam_core::TrainConfig,
+    observer: &Arc<Mutex<dyn CloudObserver>>,
+) -> History {
+    let mut opt = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
+    let mut history = History::new();
+    for _epoch in 0..cfg.epochs {
+        let t0 = std::time::Instant::now();
+        let mut loss_mean = RunningMean::new();
+        for window in windows {
+            observer.lock().on_batch(window, &[]);
+            let outs = model.forward(&[window], Mode::Train);
+            let mut seeds = Vec::with_capacity(outs.len());
+            for (h, out) in outs.iter().enumerate() {
+                let (loss, grad) = lm_head_loss(out, window, &head_keeps[h]);
+                if h == 0 {
+                    loss_mean.add(loss, window.dims()[0]);
+                }
+                seeds.push(grad);
+            }
+            model.zero_grad();
+            model.backward(&seeds);
+            observer.lock().on_step(model);
+            opt.step(&mut model.params_mut());
+        }
+        history.train_loss.push(loss_mean.mean());
+        history.epoch_secs.push(t0.elapsed().as_secs_f32());
+        if !val_windows.is_empty() {
+            let mut vm = RunningMean::new();
+            for window in val_windows {
+                let outs = model.forward(&[window], Mode::Eval);
+                let (loss, _) = lm_head_loss(&outs[0], window, &head_keeps[0]);
+                vm.add(loss, window.dims()[0]);
+                model.clear_caches();
+            }
+            history.val_loss.push(vm.mean());
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::RecordingObserver;
+    use amalgam_core::TrainConfig;
+    use amalgam_models::lenet5;
+    use amalgam_tensor::Rng;
+
+    /// A recording observer we can inspect after the service consumed it.
+    #[derive(Default)]
+    struct SharedRecorder(RecordingObserver);
+
+    impl CloudObserver for SharedRecorder {
+        fn on_model(&mut self, m: &GraphModel) {
+            self.0.on_model(m);
+        }
+        fn on_batch(&mut self, x: &Tensor, l: &[usize]) {
+            self.0.on_batch(x, l);
+        }
+        fn on_step(&mut self, m: &mut GraphModel) {
+            self.0.on_step(m);
+        }
+    }
+
+    fn tiny_job(rng: &mut Rng) -> (CloudJob, GraphModel) {
+        let model = lenet5(1, 8, 2, rng);
+        let inputs = Tensor::randn(&[16, 1, 8, 8], rng);
+        let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+        let job = CloudJob {
+            model: model.to_bytes(),
+            task: TaskPayload::Classification {
+                inputs,
+                labels,
+                val_inputs: None,
+                val_labels: vec![],
+            },
+            train: TrainConfig::new(2, 8, 0.05).with_seed(3),
+        };
+        (job, model)
+    }
+
+    #[test]
+    fn end_to_end_job_trains_and_returns_model() {
+        let mut rng = Rng::seed_from(0);
+        let (job, model) = tiny_job(&mut rng);
+        let service = CloudService::start();
+        let result = service.client().train(&job).unwrap();
+        service.shutdown();
+        assert_eq!(result.history.epochs(), 2);
+        assert!(result.bytes_received > 0 && result.bytes_sent > 0);
+        let trained = GraphModel::from_bytes(result.trained_model).unwrap();
+        assert_eq!(trained.param_count(), model.param_count());
+        // Weights must have moved.
+        let before = model.state_dict();
+        let after = trained.state_dict();
+        let moved = before.iter().zip(&after).any(|((_, a), (_, b))| a.data() != b.data());
+        assert!(moved, "training did not change any weights");
+    }
+
+    #[test]
+    fn observer_sees_model_and_batches() {
+        let mut rng = Rng::seed_from(1);
+        let (job, _) = tiny_job(&mut rng);
+        let obs: Arc<Mutex<SharedRecorder>> = Arc::new(Mutex::new(SharedRecorder::default()));
+        let service = CloudService::start_with_observer(obs.clone());
+        service.client().train(&job).unwrap();
+        service.shutdown();
+        let rec = &obs.lock().0;
+        assert!(rec.model_params > 0);
+        assert_eq!(rec.batches, 4); // 16 samples / bs 8 × 2 epochs
+        assert_eq!(rec.steps, 4);
+        assert!(rec.first_batch.is_some());
+    }
+
+    #[test]
+    fn cloud_training_matches_local_training_bitwise() {
+        // The cloud's loop must be numerically identical to the local trainer.
+        let mut rng = Rng::seed_from(2);
+        let (job, model) = tiny_job(&mut rng);
+        let service = CloudService::start();
+        let result = service.client().train(&job).unwrap();
+        service.shutdown();
+        let cloud_trained = GraphModel::from_bytes(result.trained_model).unwrap();
+
+        let mut local = model.clone();
+        let (inputs, labels) = match &job.task {
+            TaskPayload::Classification { inputs, labels, .. } => (inputs.clone(), labels.clone()),
+            _ => unreachable!(),
+        };
+        let data = amalgam_data::ImageDataset::new(inputs, labels, 2);
+        amalgam_core::trainer::train_image_classifier(&mut local, &data, None, 0, &job.train);
+
+        for ((n1, t1), (n2, t2)) in local.state_dict().iter().zip(cloud_trained.state_dict().iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.data(), t2.data(), "cloud and local training diverged at {n1}");
+        }
+    }
+
+    #[test]
+    fn lm_job_trains_on_the_cloud() {
+        let mut rng = Rng::seed_from(9);
+        let model = amalgam_models::transformer_lm(
+            &amalgam_models::TransformerLmConfig::tiny(20, 16),
+            &mut rng,
+        );
+        let windows: Vec<Tensor> =
+            (0..3).map(|_| Tensor::from_fn(&[2, 8], |i| ((i * 7) % 20) as f32)).collect();
+        let keep: Vec<usize> = (0..8).collect();
+        let job = CloudJob {
+            model: model.to_bytes(),
+            task: TaskPayload::LanguageModel {
+                windows: windows.clone(),
+                val_windows: vec![windows[0].clone()],
+                head_keeps: vec![keep],
+            },
+            train: TrainConfig::new(1, 2, 0.05).with_seed(1),
+        };
+        let service = CloudService::start();
+        let result = service.client().train(&job).unwrap();
+        service.shutdown();
+        assert_eq!(result.history.epochs(), 1);
+        assert_eq!(result.history.val_loss.len(), 1);
+        let trained = GraphModel::from_bytes(result.trained_model).unwrap();
+        assert_eq!(trained.param_count(), model.param_count());
+    }
+
+    #[test]
+    fn lm_job_with_wrong_keep_arity_is_rejected() {
+        let mut rng = Rng::seed_from(10);
+        let model = amalgam_models::transformer_lm(
+            &amalgam_models::TransformerLmConfig::tiny(10, 8),
+            &mut rng,
+        );
+        let job = CloudJob {
+            model: model.to_bytes(),
+            task: TaskPayload::LanguageModel {
+                windows: vec![Tensor::zeros(&[1, 4])],
+                val_windows: vec![],
+                head_keeps: vec![], // wrong: one list per head required
+            },
+            train: TrainConfig::new(1, 1, 0.05),
+        };
+        let service = CloudService::start();
+        let err = service.client().train(&job).unwrap_err();
+        service.shutdown();
+        assert!(matches!(err, CloudError::BadJob(_)));
+    }
+
+    #[test]
+    fn bad_job_reports_error() {
+        let service = CloudService::start();
+        let job = CloudJob {
+            model: Bytes::from_static(b"garbage"),
+            task: TaskPayload::Classification {
+                inputs: Tensor::zeros(&[1, 1, 2, 2]),
+                labels: vec![0],
+                val_inputs: None,
+                val_labels: vec![],
+            },
+            train: TrainConfig::new(1, 1, 0.1),
+        };
+        let err = service.client().train(&job).unwrap_err();
+        service.shutdown();
+        assert!(matches!(err, CloudError::Decode(_)));
+    }
+}

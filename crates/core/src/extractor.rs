@@ -1,0 +1,203 @@
+//! The NN Model Extractor (paper §4.3).
+//!
+//! After the cloud returns the trained augmented model, the extractor copies
+//! the original layers' trained weights into a fresh instance of the user's
+//! model definition. Masked first layers delegate their parameters to the
+//! wrapped original layer, so extraction is a uniform name-indexed parameter
+//! copy — constant-time in the augmentation amount, as the paper observes
+//! ("typically a few milliseconds").
+
+use crate::model_augmenter::AugmentationSecrets;
+use crate::AmalgamError;
+use amalgam_nn::graph::GraphModel;
+
+/// Result of an extraction, with timing (the paper's "Miscellaneous results").
+#[derive(Debug, Clone)]
+pub struct Extracted {
+    /// The de-obfuscated model: the user's architecture with trained weights.
+    pub model: GraphModel,
+    /// Wall-clock seconds the extraction took.
+    pub seconds: f64,
+}
+
+/// Extracts the original model from a trained augmented graph.
+///
+/// `template` is the user's original model definition (its parameter values
+/// are ignored and replaced).
+///
+/// # Errors
+///
+/// Returns [`AmalgamError::MissingNode`] when the secrets reference a node
+/// absent from `trained`, or [`AmalgamError::ExtractionMismatch`] when
+/// parameter lists disagree in arity or shape.
+pub fn extract(
+    trained: &GraphModel,
+    template: &GraphModel,
+    secrets: &AugmentationSecrets,
+) -> Result<Extracted, AmalgamError> {
+    let start = std::time::Instant::now();
+    let mut model = template.clone();
+    for id in template.node_ids() {
+        let name = template.node(id).name().to_owned();
+        let Some(aug_name) = secrets.name_map.get(&name) else {
+            // Nodes without parameters (inputs) may be unmapped.
+            if template.node(id).layer().param_count() == 0 {
+                continue;
+            }
+            return Err(AmalgamError::MissingNode { name: name.clone() });
+        };
+        let aug_id = trained
+            .node_by_name(aug_name)
+            .ok_or_else(|| AmalgamError::MissingNode { name: aug_name.clone() })?;
+        let src_params = trained.node(aug_id).layer().params();
+        let src_values: Vec<_> = src_params.iter().map(|p| p.value.clone()).collect();
+        let dst = model.node_mut(id).layer_mut().params_mut();
+        if dst.len() != src_values.len() {
+            return Err(AmalgamError::ExtractionMismatch {
+                node: name.clone(),
+                detail: format!("{} params vs {}", src_values.len(), dst.len()),
+            });
+        }
+        for (d, s) in dst.into_iter().zip(src_values) {
+            if d.value.dims() != s.dims() {
+                return Err(AmalgamError::ExtractionMismatch {
+                    node: name.clone(),
+                    detail: format!("shape {:?} vs {:?}", s.dims(), d.value.dims()),
+                });
+            }
+            d.value = s;
+        }
+        // Non-trainable state (batch-norm running statistics) must travel
+        // with the weights, or evaluation-mode behaviour diverges.
+        let src_buffers: Vec<_> =
+            trained.node(aug_id).layer().buffers().into_iter().cloned().collect();
+        let dst_buffers = model.node_mut(id).layer_mut().buffers_mut();
+        if dst_buffers.len() != src_buffers.len() {
+            return Err(AmalgamError::ExtractionMismatch {
+                node: name.clone(),
+                detail: format!("{} buffers vs {}", src_buffers.len(), dst_buffers.len()),
+            });
+        }
+        for (d, s) in dst_buffers.into_iter().zip(src_buffers) {
+            if d.dims() != s.dims() {
+                return Err(AmalgamError::ExtractionMismatch {
+                    node: name.clone(),
+                    detail: "buffer shape mismatch".into(),
+                });
+            }
+            *d = s;
+        }
+    }
+    Ok(Extracted { model, seconds: start.elapsed().as_secs_f64() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_augmenter::{augment_cv, AugmentConfig};
+    use crate::plan::ImagePlan;
+    use amalgam_models::lenet5;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::{Rng, Tensor};
+
+    #[test]
+    fn extraction_recovers_exact_weights() {
+        let mut rng = Rng::seed_from(0);
+        let model = lenet5(1, 8, 10, &mut rng);
+        let plan = ImagePlan::random(8, 8, 0.5, &mut rng);
+        let cfg = AugmentConfig::new(0.5).with_subnets(2).with_seed(1);
+        let (aug, secrets) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+
+        let extracted = extract(&aug, &model, &secrets).unwrap();
+        // Untouched augmented model → extraction must reproduce the template
+        // weights exactly (they were embedded verbatim).
+        for ((n1, t1), (n2, t2)) in model.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.data(), t2.data(), "param {n1} differs");
+        }
+    }
+
+    #[test]
+    fn extracted_model_behaves_like_original_head() {
+        let mut rng = Rng::seed_from(1);
+        let model = lenet5(1, 8, 10, &mut rng);
+        let plan = ImagePlan::random(8, 8, 1.0, &mut rng);
+        let cfg = AugmentConfig::new(1.0).with_subnets(3).with_seed(2);
+        let (mut aug, secrets) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+
+        // Perturb the augmented model's ORIGINAL weights (as if trained).
+        for p in aug.params_mut() {
+            p.value.map_in_place(|v| v * 1.01 + 0.001);
+        }
+        let extracted = extract(&aug, &model, &secrets).unwrap();
+
+        let orig_img = Tensor::randn(&[2, 1, 8, 8], &mut rng);
+        let (ah, aw) = plan.aug_hw();
+        let mut aug_img = Tensor::randn(&[2, 1, ah, aw], &mut rng);
+        for ni in 0..2 {
+            for (k, &pos) in plan.keep().iter().enumerate() {
+                aug_img.data_mut()[ni * ah * aw + pos] = orig_img.data()[ni * 64 + k];
+            }
+        }
+        let outs = aug.forward(&[&aug_img], Mode::Eval);
+        let mut ex = extracted.model;
+        let got = ex.forward_one(&orig_img, Mode::Eval);
+        assert!(got.approx_eq(&outs[secrets.original_output], 1e-6));
+    }
+
+    #[test]
+    fn extraction_carries_batchnorm_running_stats() {
+        // Regression: buffers (BN running stats) must be extracted along with
+        // the weights, or evaluation-mode behaviour diverges (found via the
+        // fig5 ResNet curves).
+        use amalgam_models::{resnet18, CvConfig};
+        let mut rng = Rng::seed_from(7);
+        let cfg = CvConfig::new(1, 4, 8).with_width_mult(0.1);
+        let model = resnet18(&cfg, &mut Rng::seed_from(8));
+        let plan = ImagePlan::random(8, 8, 0.5, &mut rng);
+        let acfg = AugmentConfig::new(0.5).with_subnets(2).with_seed(3);
+        let (mut aug, secrets) = augment_cv(&model, &plan, 4, &acfg).unwrap();
+
+        // A few training-mode forwards update the running statistics.
+        let (ah, aw) = plan.aug_hw();
+        let x = Tensor::randn(&[4, 1, ah, aw], &mut rng).scale(2.0).add_scalar(1.0);
+        for _ in 0..5 {
+            aug.forward(&[&x], Mode::Train);
+        }
+        aug.clear_caches();
+        let extracted = extract(&aug, &model, &secrets).unwrap();
+
+        // Eval-mode outputs must match between the augmented original head
+        // and the extracted model (requires the running stats to be copied).
+        let mut orig_img = Tensor::randn(&[2, 1, 8, 8], &mut rng);
+        orig_img.map_in_place(|v| v * 2.0 + 1.0);
+        let mut aug_img = Tensor::randn(&[2, 1, ah, aw], &mut rng);
+        for ni in 0..2 {
+            for (k, &pos) in plan.keep().iter().enumerate() {
+                aug_img.data_mut()[ni * ah * aw + pos] = orig_img.data()[ni * 64 + k];
+            }
+        }
+        let outs = aug.forward(&[&aug_img], Mode::Eval);
+        let mut ex = extracted.model;
+        let got = ex.forward_one(&orig_img, Mode::Eval);
+        assert!(
+            got.approx_eq(&outs[secrets.original_output], 1e-5),
+            "running stats were not extracted (max diff {})",
+            got.max_abs_diff(&outs[secrets.original_output])
+        );
+    }
+
+    #[test]
+    fn missing_node_is_an_error() {
+        let mut rng = Rng::seed_from(2);
+        let model = lenet5(1, 8, 10, &mut rng);
+        let plan = ImagePlan::random(8, 8, 0.5, &mut rng);
+        let (aug, mut secrets) =
+            augment_cv(&model, &plan, 10, &AugmentConfig::new(0.5).with_subnets(2)).unwrap();
+        secrets.name_map.remove("conv1");
+        assert!(matches!(
+            extract(&aug, &model, &secrets),
+            Err(AmalgamError::MissingNode { .. })
+        ));
+    }
+}

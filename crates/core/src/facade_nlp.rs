@@ -1,0 +1,184 @@
+//! NLP counterparts of the [`Amalgam`] image facade.
+
+use crate::dataset_augmenter::{augment_lm, augment_text_class, AugmentedLmDataset};
+use crate::model_augmenter::{augment_nlp, AugmentConfig, AugmentationSecrets, NlpTask};
+use crate::plan::TextPlan;
+use crate::{Amalgam, AmalgamError, ObfuscationConfig};
+use amalgam_data::{LmBatches, TextClassDataset};
+use amalgam_nn::graph::GraphModel;
+use amalgam_tensor::Rng;
+
+/// Result of obfuscating a text-classification model + corpus.
+#[derive(Debug, Clone)]
+pub struct TextClassBundle {
+    /// The augmented model (safe to ship).
+    pub augmented_model: GraphModel,
+    /// The augmented training corpus (safe to ship).
+    pub augmented_train: TextClassDataset,
+    /// The augmented test corpus (safe to ship).
+    pub augmented_test: TextClassDataset,
+    /// Client-side secrets.
+    pub secrets: AugmentationSecrets,
+    /// The insertion plan (client-side secret).
+    pub plan: TextPlan,
+}
+
+/// Result of obfuscating a language model + token stream.
+#[derive(Debug, Clone)]
+pub struct LmBundle {
+    /// The augmented model (safe to ship).
+    pub augmented_model: GraphModel,
+    /// The augmented training windows (safe to ship).
+    pub augmented_train: AugmentedLmDataset,
+    /// Client-side secrets (including per-head keep lists for the trainer).
+    pub secrets: AugmentationSecrets,
+    /// The insertion plan (client-side secret).
+    pub plan: TextPlan,
+}
+
+impl Amalgam {
+    /// Obfuscates a text-classification model and its corpora in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmalgamError::InvalidAmount`] for invalid amounts and
+    /// [`AmalgamError::UnsupportedModel`] if the model's first layer is not
+    /// an embedding.
+    pub fn obfuscate_text_class(
+        model: &GraphModel,
+        train: &TextClassDataset,
+        test: &TextClassDataset,
+        cfg: &ObfuscationConfig,
+    ) -> Result<TextClassBundle, AmalgamError> {
+        validate_amounts(cfg)?;
+        let mut rng = Rng::seed_from(cfg.seed);
+        let plan = TextPlan::random(train.doc_len(), cfg.dataset_amount, &mut rng);
+        let aug_train = augment_text_class(train, &plan, &cfg.noise, &mut rng);
+        let aug_test = augment_text_class(test, &plan, &cfg.noise, &mut rng);
+        let mut mcfg = AugmentConfig::new(cfg.model_amount).with_seed(rng.next_u64());
+        mcfg.num_subnets = cfg.num_subnets;
+        let (augmented_model, secrets) = augment_nlp(
+            model,
+            &plan,
+            NlpTask::Classification { classes: train.num_classes() },
+            &mcfg,
+        )?;
+        Ok(TextClassBundle {
+            augmented_model,
+            augmented_train: aug_train.dataset,
+            augmented_test: aug_test.dataset,
+            secrets,
+            plan,
+        })
+    }
+
+    /// Obfuscates a language model and its batchified corpus in one call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`obfuscate_text_class`](Self::obfuscate_text_class).
+    pub fn obfuscate_lm(
+        model: &GraphModel,
+        batches: &LmBatches,
+        cfg: &ObfuscationConfig,
+    ) -> Result<LmBundle, AmalgamError> {
+        validate_amounts(cfg)?;
+        let mut rng = Rng::seed_from(cfg.seed);
+        let plan = TextPlan::random(batches.seq_len(), cfg.dataset_amount, &mut rng);
+        let augmented_train = augment_lm(batches, &plan, &cfg.noise, &mut rng);
+        let mut mcfg = AugmentConfig::new(cfg.model_amount).with_seed(rng.next_u64());
+        mcfg.num_subnets = cfg.num_subnets;
+        let (augmented_model, secrets) = augment_nlp(model, &plan, NlpTask::LanguageModel, &mcfg)?;
+        Ok(LmBundle { augmented_model, augmented_train, secrets, plan })
+    }
+}
+
+fn validate_amounts(cfg: &ObfuscationConfig) -> Result<(), AmalgamError> {
+    for value in [cfg.dataset_amount, cfg.model_amount] {
+        if value < 0.0 || !value.is_finite() {
+            return Err(AmalgamError::InvalidAmount { value });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_lm, train_text_classifier, TrainConfig};
+    use amalgam_data::{LmCorpusSpec, TextClassSpec};
+    use amalgam_models::{text_classifier, transformer_lm, TransformerLmConfig};
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn text_class_facade_roundtrip() {
+        let mut rng = Rng::seed_from(0);
+        let (train, test) =
+            TextClassSpec::agnews_like().with_vocab(120).with_counts(64, 16).with_doc_len(10).generate(&mut rng);
+        let model = text_classifier(120, 8, 4, &mut rng);
+        let cfg = ObfuscationConfig::new(0.5).with_seed(3).with_subnets(2);
+        let bundle = Amalgam::obfuscate_text_class(&model, &train, &test, &cfg).unwrap();
+        assert_eq!(bundle.augmented_train.doc_len(), 15);
+        assert_eq!(bundle.augmented_model.outputs().len(), 3);
+
+        let tc = TrainConfig::new(1, 16, 0.2).with_seed(1);
+        let mut aug = bundle.augmented_model;
+        train_text_classifier(&mut aug, &bundle.augmented_train, None, bundle.secrets.original_output, &tc);
+        let extracted = Amalgam::extract(&aug, &model, &bundle.secrets).unwrap();
+        assert_eq!(extracted.model.param_count(), model.param_count());
+    }
+
+    #[test]
+    fn lm_facade_roundtrip_trains() {
+        let mut rng = Rng::seed_from(1);
+        let corpus = LmCorpusSpec::wikitext2_like().with_vocab(40).with_tokens(600).generate(&mut rng);
+        let batches = corpus.batchify(4, 8);
+        let model = transformer_lm(&TransformerLmConfig::tiny(40, 16), &mut rng);
+        let cfg = ObfuscationConfig::new(0.5).with_seed(2).with_subnets(2);
+        let bundle = Amalgam::obfuscate_lm(&model, &batches, &cfg).unwrap();
+        assert_eq!(bundle.plan.aug_len(), 12);
+        let windows: Vec<Tensor> = bundle.augmented_train.windows.clone();
+        let tc = TrainConfig::new(1, 4, 0.05).with_seed(4);
+        let mut aug = bundle.augmented_model;
+        train_lm(&mut aug, &windows, &[], &bundle.secrets.head_keeps, bundle.secrets.original_output, &tc);
+        let extracted = Amalgam::extract(&aug, &model, &bundle.secrets).unwrap();
+        assert_eq!(extracted.model.param_count(), model.param_count());
+    }
+
+    #[test]
+    fn lm_training_equivalence_is_bit_exact() {
+        // The LM analogue of the headline CV equivalence test: the original
+        // transformer inside the augmented model follows the same weight
+        // trajectory as plain LM training with the same windows.
+        let mut rng = Rng::seed_from(2);
+        let corpus = LmCorpusSpec::wikitext2_like().with_vocab(30).with_tokens(600).generate(&mut rng);
+        let batches = corpus.batchify(4, 8);
+        // No dropout: stochastic layers would need synchronized streams.
+        let mut lm_cfg = TransformerLmConfig::tiny(30, 16);
+        lm_cfg.dropout = 0.0;
+        let model = transformer_lm(&lm_cfg, &mut Rng::seed_from(3));
+
+        let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+        let keep_all: Vec<usize> = (0..8).collect();
+        let tc = TrainConfig::new(2, 4, 0.05).with_seed(5);
+        let mut vanilla = model.clone();
+        train_lm(&mut vanilla, &windows, &[], &[keep_all], 0, &tc);
+
+        let cfg = ObfuscationConfig::new(0.5).with_seed(6).with_subnets(2);
+        let bundle = Amalgam::obfuscate_lm(&model, &batches, &cfg).unwrap();
+        let mut aug = bundle.augmented_model;
+        train_lm(
+            &mut aug,
+            &bundle.augmented_train.windows,
+            &[],
+            &bundle.secrets.head_keeps,
+            bundle.secrets.original_output,
+            &tc,
+        );
+        let extracted = Amalgam::extract(&aug, &model, &bundle.secrets).unwrap();
+        for ((n1, t1), (n2, t2)) in vanilla.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.data(), t2.data(), "LM trajectory diverged at {n1}");
+        }
+    }
+}

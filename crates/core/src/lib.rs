@@ -1,0 +1,316 @@
+//! # Amalgam core
+//!
+//! The paper's contribution: obfuscated neural-network training by
+//! *augmentation*. Three components (paper Figure 1):
+//!
+//! 1. **Dataset Augmenter** ([`dataset_augmenter`]) — inserts well-calibrated
+//!    noise values at secret random indices of every sample, growing each
+//!    image plane / token window by the augmentation amount;
+//! 2. **NN Model Augmenter** ([`model_augmenter`]) — wraps the model in
+//!    synthetic sub-networks whose first layers are masked convolutions /
+//!    embeddings (Eq. 1 / Eq. 2), each reading a different index subset of
+//!    the augmented input;
+//! 3. **NN Model Extractor** ([`extractor`]) — recovers the original trained
+//!    model after the cloud returns the augmented one.
+//!
+//! [`trainer`] implements the paper's Algorithm 1; [`privacy`] the §6
+//! analysis. The [`Amalgam`] facade ties everything together.
+//!
+//! # Example
+//!
+//! ```
+//! use amalgam_core::{Amalgam, ObfuscationConfig, TrainConfig};
+//! use amalgam_data::SyntheticImageSpec;
+//! use amalgam_models::lenet5;
+//! use amalgam_tensor::Rng;
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let data = SyntheticImageSpec::mnist_like().with_counts(32, 8).with_hw(8).generate(&mut rng);
+//! let model = lenet5(1, 8, 10, &mut rng);
+//!
+//! // Client side: obfuscate model + dataset.
+//! let cfg = ObfuscationConfig::new(0.5).with_seed(1).with_subnets(2);
+//! let mut bundle = Amalgam::obfuscate(&model, &data, &cfg)?;
+//!
+//! // "Cloud" side: train the augmented artifacts (Algorithm 1).
+//! let tc = TrainConfig::new(1, 16, 0.05);
+//! amalgam_core::trainer::train_image_classifier(
+//!     &mut bundle.augmented_model, &bundle.augmented_train, None, 0, &tc);
+//!
+//! // Client side: extract the original model.
+//! let extracted = Amalgam::extract(&bundle.augmented_model, &model, &bundle.secrets)?;
+//! assert_eq!(extracted.model.param_count(), model.param_count());
+//! # Ok::<(), amalgam_core::AmalgamError>(())
+//! ```
+
+pub mod dataset_augmenter;
+pub mod extractor;
+pub mod facade_nlp;
+pub mod model_augmenter;
+pub mod noise;
+pub mod plan;
+pub mod privacy;
+pub mod trainer;
+
+pub use dataset_augmenter::{
+    augment_images, augment_lm, augment_text_class, deaugment_images, AugmentedImages,
+    AugmentedLmDataset, AugmentedTextClass,
+};
+pub use extractor::{extract, Extracted};
+pub use facade_nlp::{LmBundle, TextClassBundle};
+pub use model_augmenter::{augment_cv, augment_nlp, AugmentConfig, AugmentationSecrets, NlpTask};
+pub use noise::NoiseKind;
+pub use plan::{ImagePlan, TextPlan};
+pub use trainer::TrainConfig;
+
+use amalgam_data::{ImageDataset, ImagePair};
+use amalgam_nn::graph::GraphModel;
+use amalgam_tensor::Rng;
+
+/// Errors produced by the Amalgam pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AmalgamError {
+    /// The model graph cannot be augmented (wrong arity or first layer).
+    UnsupportedModel {
+        /// Why the model was rejected.
+        reason: String,
+    },
+    /// Extraction referenced a node the trained graph does not contain.
+    MissingNode {
+        /// The missing node name.
+        name: String,
+    },
+    /// Extraction found incompatible parameter lists.
+    ExtractionMismatch {
+        /// The offending node.
+        node: String,
+        /// Shape/arity details.
+        detail: String,
+    },
+    /// An augmentation amount outside `[0, ∞)` was supplied.
+    InvalidAmount {
+        /// The rejected value.
+        value: f32,
+    },
+    /// An error bubbled up from the nn layer.
+    Nn(String),
+}
+
+impl std::fmt::Display for AmalgamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmalgamError::UnsupportedModel { reason } => write!(f, "unsupported model: {reason}"),
+            AmalgamError::MissingNode { name } => write!(f, "node '{name}' not found"),
+            AmalgamError::ExtractionMismatch { node, detail } => {
+                write!(f, "extraction mismatch at '{node}': {detail}")
+            }
+            AmalgamError::InvalidAmount { value } => {
+                write!(f, "invalid augmentation amount {value}")
+            }
+            AmalgamError::Nn(msg) => write!(f, "nn error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AmalgamError {}
+
+impl From<amalgam_nn::NnError> for AmalgamError {
+    fn from(e: amalgam_nn::NnError) -> Self {
+        AmalgamError::Nn(e.to_string())
+    }
+}
+
+/// An augmentation amount α expressed as a fraction (0.25 = the paper's
+/// "25 %").
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct AugmentationAmount(f32);
+
+impl AugmentationAmount {
+    /// From a fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite.
+    pub fn new(value: f32) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "invalid augmentation amount {value}");
+        AugmentationAmount(value)
+    }
+
+    /// From a percentage (`pct(25)` == 25 %).
+    pub fn pct(percent: u32) -> Self {
+        AugmentationAmount(percent as f32 / 100.0)
+    }
+
+    /// The fraction value.
+    pub fn value(&self) -> f32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for AugmentationAmount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+/// End-to-end obfuscation settings for the [`Amalgam`] facade.
+#[derive(Debug, Clone)]
+pub struct ObfuscationConfig {
+    /// Dataset augmentation amount.
+    pub dataset_amount: f32,
+    /// Model augmentation amount (defaults to the dataset amount).
+    pub model_amount: f32,
+    /// Noise kind for inserted values.
+    pub noise: NoiseKind,
+    /// Number of synthetic sub-networks (`None` = random 2..=4).
+    pub num_subnets: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ObfuscationConfig {
+    /// Uses `amount` for both the dataset and the model.
+    pub fn new(amount: f32) -> Self {
+        ObfuscationConfig {
+            dataset_amount: amount,
+            model_amount: amount,
+            noise: NoiseKind::UniformRandom,
+            num_subnets: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fixes the number of synthetic sub-networks.
+    pub fn with_subnets(mut self, n: usize) -> Self {
+        self.num_subnets = Some(n);
+        self
+    }
+
+    /// Overrides the noise kind.
+    pub fn with_noise(mut self, noise: NoiseKind) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Overrides the model augmentation amount separately.
+    pub fn with_model_amount(mut self, amount: f32) -> Self {
+        self.model_amount = amount;
+        self
+    }
+}
+
+/// Everything produced by one obfuscation run: the cloud-bound artifacts and
+/// the client-side secrets.
+#[derive(Debug, Clone)]
+pub struct ObfuscationBundle {
+    /// The augmented model (safe to ship: neutral names, shuffled heads).
+    pub augmented_model: GraphModel,
+    /// The augmented training set (safe to ship).
+    pub augmented_train: ImageDataset,
+    /// The augmented test set (safe to ship; used for cloud-side validation).
+    pub augmented_test: ImageDataset,
+    /// Client-side secrets: insertion plan + sub-network identity map.
+    pub secrets: AugmentationSecrets,
+    /// The dataset insertion plan (client-side secret).
+    pub plan: ImagePlan,
+    /// Seconds spent augmenting the dataset (train + test).
+    pub dataset_seconds: f64,
+}
+
+/// High-level facade over the three Amalgam components.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Amalgam;
+
+impl Amalgam {
+    /// Obfuscates an image-classification model and its dataset in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmalgamError::InvalidAmount`] for negative amounts and
+    /// [`AmalgamError::UnsupportedModel`] for graphs the augmenter cannot
+    /// rewrite.
+    pub fn obfuscate(
+        model: &GraphModel,
+        data: &ImagePair,
+        cfg: &ObfuscationConfig,
+    ) -> Result<ObfuscationBundle, AmalgamError> {
+        if cfg.dataset_amount < 0.0 || !cfg.dataset_amount.is_finite() {
+            return Err(AmalgamError::InvalidAmount { value: cfg.dataset_amount });
+        }
+        if cfg.model_amount < 0.0 || !cfg.model_amount.is_finite() {
+            return Err(AmalgamError::InvalidAmount { value: cfg.model_amount });
+        }
+        let mut rng = Rng::seed_from(cfg.seed);
+        let (_, h, w) = data.train.sample_dims();
+        let plan = ImagePlan::random(h, w, cfg.dataset_amount, &mut rng);
+        let aug_train = augment_images(&data.train, &plan, &cfg.noise, &mut rng);
+        let aug_test = augment_images(&data.test, &plan, &cfg.noise, &mut rng);
+        let mut mcfg = AugmentConfig::new(cfg.model_amount).with_seed(rng.next_u64());
+        mcfg.num_subnets = cfg.num_subnets;
+        mcfg.noise = cfg.noise.clone();
+        let (augmented_model, secrets) =
+            augment_cv(model, &plan, data.train.num_classes(), &mcfg)?;
+        Ok(ObfuscationBundle {
+            augmented_model,
+            dataset_seconds: aug_train.seconds + aug_test.seconds,
+            augmented_train: aug_train.dataset,
+            augmented_test: aug_test.dataset,
+            secrets,
+            plan,
+        })
+    }
+
+    /// Extracts the original model from a trained augmented graph.
+    ///
+    /// # Errors
+    ///
+    /// See [`extractor::extract`].
+    pub fn extract(
+        trained: &GraphModel,
+        template: &GraphModel,
+        secrets: &AugmentationSecrets,
+    ) -> Result<Extracted, AmalgamError> {
+        extractor::extract(trained, template, secrets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_data::SyntheticImageSpec;
+    use amalgam_models::lenet5;
+
+    #[test]
+    fn facade_roundtrip() {
+        let mut rng = Rng::seed_from(0);
+        let data = SyntheticImageSpec::mnist_like().with_counts(16, 8).with_hw(8).generate(&mut rng);
+        let model = lenet5(1, 8, 10, &mut rng);
+        let cfg = ObfuscationConfig::new(0.5).with_seed(3).with_subnets(2);
+        let bundle = Amalgam::obfuscate(&model, &data, &cfg).unwrap();
+        assert!(bundle.augmented_model.param_count() > model.param_count());
+        assert_eq!(bundle.augmented_train.sample_dims(), (1, 12, 12));
+        let extracted = Amalgam::extract(&bundle.augmented_model, &model, &bundle.secrets).unwrap();
+        assert_eq!(extracted.model.param_count(), model.param_count());
+    }
+
+    #[test]
+    fn negative_amount_rejected() {
+        let mut rng = Rng::seed_from(1);
+        let data = SyntheticImageSpec::mnist_like().with_counts(4, 2).with_hw(8).generate(&mut rng);
+        let model = lenet5(1, 8, 10, &mut rng);
+        let err = Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(-1.0)).unwrap_err();
+        assert!(matches!(err, AmalgamError::InvalidAmount { .. }));
+    }
+
+    #[test]
+    fn augmentation_amount_type() {
+        assert_eq!(AugmentationAmount::pct(25).value(), 0.25);
+        assert_eq!(AugmentationAmount::pct(100).to_string(), "100%");
+    }
+}

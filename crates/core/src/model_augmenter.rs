@@ -1,0 +1,663 @@
+//! The NN Model Augmenter (paper §4.2, Figure 4).
+//!
+//! Given a user model (a [`GraphModel`]) and the dataset's augmentation plan,
+//! this module produces an *augmented* model:
+//!
+//! * the original first layer is replaced by a masked variant that reads
+//!   exactly the original values out of the augmented input (Eq. 1 / Eq. 2);
+//! * `n_s` synthetic sub-networks are appended, each starting with its own
+//!   masked layer over a random index subset (subsets may overlap and may
+//!   even coincide with the original one, as the paper allows);
+//! * some outputs of original layers are tapped into synthetic branches
+//!   (through [`Detach`] so original gradients stay exactly those of
+//!   Algorithm 1), and synthetic branches tap each other;
+//! * every sub-network ends in its own output head; head order is shuffled.
+//!
+//! The emitted graph uses neutral node names (`n0, n1, …`) in a *randomized*
+//! topological order, so neither names nor node positions reveal which
+//! sub-network is the original. The mapping back is the client-side
+//! [`AugmentationSecrets`].
+
+use crate::plan::{ImagePlan, TextPlan};
+use crate::{AmalgamError, NoiseKind};
+use amalgam_nn::graph::{GraphModel, NodeId, Provenance};
+use amalgam_nn::layer::Layer;
+use amalgam_nn::layers::{
+    Add, BatchNorm2d, Conv2d, Detach, Embedding, Flatten, Linear, MaskedConv2d, MaskedEmbedding,
+    MeanPoolSeq, Relu,
+};
+use amalgam_nn::LayerSpec;
+use amalgam_tensor::Rng;
+use std::collections::HashMap;
+
+/// Configuration of the model augmenter.
+#[derive(Debug, Clone)]
+pub struct AugmentConfig {
+    /// Augmentation amount α: synthetic parameters total ≈ α × original.
+    pub amount: f32,
+    /// Number of synthetic sub-networks (`None` = random in 2..=4, as the
+    /// paper's default "random number of sub-networks").
+    pub num_subnets: Option<usize>,
+    /// Noise kind (recorded for reports; synthetic parameters use standard
+    /// Kaiming initialisation so the augmented model trains stably).
+    pub noise: NoiseKind,
+    /// Seed for all randomized augmentation decisions.
+    pub seed: u64,
+    /// Route cross-sub-network taps through `Detach` (the default, required
+    /// for exact training equivalence — see DESIGN.md D2). Disabling this is
+    /// exposed only for the ablation bench, which demonstrates the gradient
+    /// contamination that would otherwise occur.
+    pub detach_taps: bool,
+}
+
+impl AugmentConfig {
+    /// A config with the given augmentation amount and default options.
+    pub fn new(amount: f32) -> Self {
+        AugmentConfig { amount, num_subnets: None, noise: NoiseKind::UniformRandom, seed: 0, detach_taps: true }
+    }
+
+    /// Fixes the number of synthetic sub-networks.
+    pub fn with_subnets(mut self, n: usize) -> Self {
+        self.num_subnets = Some(n);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables the stop-gradient on cross-sub-network taps (ablation only).
+    pub fn without_detach(mut self) -> Self {
+        self.detach_taps = false;
+        self
+    }
+}
+
+/// The NLP task shape (decides the synthetic heads' output geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlpTask {
+    /// Document classification: heads emit `[B, classes]`.
+    Classification {
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Language modelling: heads emit `[B, T, vocab]`.
+    LanguageModel,
+}
+
+/// Client-side secrets produced by augmentation. **Never serialized to the
+/// cloud.**
+#[derive(Debug, Clone)]
+pub struct AugmentationSecrets {
+    /// Original node name → neutral name in the augmented graph.
+    pub name_map: HashMap<String, String>,
+    /// Index of the original sub-network's head among the augmented outputs.
+    pub original_output: usize,
+    /// Keep list per output head (needed to derive per-head LM targets).
+    pub head_keeps: Vec<Vec<usize>>,
+    /// Number of synthetic sub-networks.
+    pub num_subnets: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Staged construction with randomized emission
+// ---------------------------------------------------------------------------
+
+struct StagedNode {
+    layer: Box<dyn Layer>,
+    inputs: Vec<usize>,
+    subnet: usize,
+    original_name: Option<String>,
+}
+
+struct Stage {
+    nodes: Vec<StagedNode>,
+    outputs: Vec<(usize, usize)>, // (staged id, subnet)
+    input: usize,
+}
+
+impl Stage {
+    fn add(&mut self, layer: Box<dyn Layer>, inputs: &[usize], subnet: usize, original: Option<&str>) -> usize {
+        self.nodes.push(StagedNode {
+            layer,
+            inputs: inputs.to_vec(),
+            subnet,
+            original_name: original.map(str::to_owned),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Emits into a `GraphModel` in a random topological order with neutral
+    /// names, returning the graph, the name map, and the shuffled head order.
+    fn emit(self, rng: &mut Rng) -> (GraphModel, HashMap<String, String>, Vec<(usize, usize)>) {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            indegree[i] = node.inputs.len();
+            for &d in &node.inputs {
+                dependents[d].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while !ready.is_empty() {
+            let pick = ready.swap_remove(rng.below(ready.len()));
+            order.push(pick);
+            for &d in &dependents[pick] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "staged graph has a cycle");
+
+        let mut g = GraphModel::new();
+        let mut id_of: Vec<Option<NodeId>> = vec![None; n];
+        let mut name_map = HashMap::new();
+        let mut nodes: Vec<Option<StagedNode>> = self.nodes.into_iter().map(Some).collect();
+        for (seq, &staged) in order.iter().enumerate() {
+            let node = nodes[staged].take().expect("each staged node emitted once");
+            let name = format!("n{seq}");
+            let gid = if staged == self.input {
+                let id = g.input(&name);
+                id
+            } else {
+                let inputs: Vec<NodeId> =
+                    node.inputs.iter().map(|&d| id_of[d].expect("topo order")).collect();
+                g.add_boxed(&name, node.layer, &inputs)
+            };
+            g.set_subnet(gid, node.subnet);
+            g.set_provenance(
+                gid,
+                if node.original_name.is_some() || node.subnet == 0 {
+                    Provenance::Original
+                } else {
+                    Provenance::Synthetic
+                },
+            );
+            if let Some(orig) = node.original_name {
+                name_map.insert(orig, name.clone());
+            }
+            id_of[staged] = Some(gid);
+        }
+        // Shuffle head order so position reveals nothing.
+        let mut heads: Vec<(usize, usize)> = self
+            .outputs
+            .iter()
+            .map(|&(sid, subnet)| (id_of[sid].expect("emitted").index(), subnet))
+            .collect();
+        rng.shuffle(&mut heads);
+        let ids: Vec<NodeId> = heads
+            .iter()
+            .map(|&(idx, _)| g.node_ids().nth(idx).expect("valid node index"))
+            .collect();
+        g.set_outputs(&ids);
+        (g, name_map, heads)
+    }
+}
+
+/// Adds the tap barrier node: `Detach` normally, `Identity` in the ablation.
+fn add_tap_barrier(stage: &mut Stage, source: usize, subnet: usize, detach: bool) -> usize {
+    if detach {
+        stage.add(Box::new(Detach::new()), &[source], subnet, None)
+    } else {
+        stage.add(Box::new(amalgam_nn::layers::Identity::new()), &[source], subnet, None)
+    }
+}
+
+fn concrete_conv(layer: &dyn Layer) -> Option<Conv2d> {
+    match layer.spec() {
+        LayerSpec::Conv2d { weight, bias, stride, padding } => {
+            Some(Conv2d::from_params(weight, bias, stride, padding))
+        }
+        _ => None,
+    }
+}
+
+fn concrete_embedding(layer: &dyn Layer) -> Option<Embedding> {
+    match layer.spec() {
+        LayerSpec::Embedding { weight } => Some(Embedding::from_params(weight)),
+        _ => None,
+    }
+}
+
+fn validate_single_io(original: &GraphModel) -> Result<(NodeId, NodeId), AmalgamError> {
+    if original.input_ids().len() != 1 {
+        return Err(AmalgamError::UnsupportedModel {
+            reason: "model must have exactly one input".into(),
+        });
+    }
+    if original.outputs().len() != 1 {
+        return Err(AmalgamError::UnsupportedModel {
+            reason: "model must have exactly one output".into(),
+        });
+    }
+    Ok((original.input_ids()[0], original.outputs()[0]))
+}
+
+/// Stages every original node (except the input), wrapping direct consumers
+/// of the input via `wrap_first`. Returns the staged-id map.
+fn stage_original<F>(
+    original: &GraphModel,
+    stage: &mut Stage,
+    input_id: NodeId,
+    mut wrap_first: F,
+) -> Result<HashMap<usize, usize>, AmalgamError>
+where
+    F: FnMut(&dyn Layer) -> Result<Box<dyn Layer>, AmalgamError>,
+{
+    let mut map: HashMap<usize, usize> = HashMap::new();
+    map.insert(input_id.index(), stage.input);
+    for id in original.node_ids() {
+        if id == input_id {
+            continue;
+        }
+        let node = original.node(id);
+        let consumes_input = node.inputs().contains(&input_id);
+        let layer: Box<dyn Layer> = if consumes_input {
+            wrap_first(node.layer())?
+        } else {
+            node.layer().boxed_clone()
+        };
+        let inputs: Vec<usize> = node
+            .inputs()
+            .iter()
+            .map(|nid| *map.get(&nid.index()).expect("topological original graph"))
+            .collect();
+        let sid = stage.add(layer, &inputs, 0, Some(node.name()));
+        map.insert(id.index(), sid);
+    }
+    Ok(map)
+}
+
+/// Entry-conv channel count for synthetic CV sub-networks: small, so the
+/// parameter budget lands in cheap-compute FC layers (the paper's measured
+/// training-time overhead is strongly sublinear in α — e.g. Table 3's
+/// ResNet-18 at 100 % costs 1.4× the baseline, not 2×).
+const SYNTH_ENTRY_CHANNELS: usize = 6;
+
+/// Augments a computer-vision model (paper §4.2, "CNN Augmentation").
+///
+/// The model's single input must feed one or more [`Conv2d`] layers; each is
+/// replaced by a [`MaskedConv2d`] gathering the plan's kept pixels. Synthetic
+/// sub-networks with ≈ `amount × original` total parameters are appended,
+/// taps (through [`Detach`]) connect original activations into synthetic
+/// branches, and all heads are shuffled.
+///
+/// # Errors
+///
+/// Returns [`AmalgamError::UnsupportedModel`] if the graph does not have
+/// exactly one input/output or its first layer is not a convolution.
+pub fn augment_cv(
+    original: &GraphModel,
+    plan: &ImagePlan,
+    num_classes: usize,
+    cfg: &AugmentConfig,
+) -> Result<(GraphModel, AugmentationSecrets), AmalgamError> {
+    let mut rng = Rng::seed_from(cfg.seed);
+    let (input_id, output_id) = validate_single_io(original)?;
+    let (h, w) = plan.orig_hw();
+
+    let mut stage = Stage { nodes: Vec::new(), outputs: Vec::new(), input: 0 };
+    stage.input = stage.add(Box::new(amalgam_nn::layers::Input::new()), &[], 0, None);
+
+    // -- Original sub-network (subnet 0), first conv masked --------------
+    let mut first_conv_channels = None;
+    let mut first_conv_geom = (3usize, 1usize, 1usize);
+    let mut in_channels = 1usize;
+    let map = stage_original(original, &mut stage, input_id, |layer| {
+        let conv = concrete_conv(layer).ok_or_else(|| AmalgamError::UnsupportedModel {
+            reason: format!("first layer must be Conv2d, found {}", layer.kind()),
+        })?;
+        first_conv_channels = Some(conv.out_channels());
+        first_conv_geom = conv.geometry();
+        in_channels = conv.in_channels();
+        Ok(Box::new(MaskedConv2d::new(plan.keep().to_vec(), h, w, conv)))
+    })?;
+    let orig_head = map[&output_id.index()];
+    stage.outputs.push((orig_head, 0));
+    // The original first-conv output is the tap source for synthetic branches.
+    let orig_first_conv_staged = original
+        .node_ids()
+        .find(|&id| id != input_id && original.node(id).inputs().contains(&input_id))
+        .map(|id| map[&id.index()])
+        .expect("validated above");
+
+    // -- Synthetic sub-networks ------------------------------------------
+    let num_subnets = cfg.num_subnets.unwrap_or_else(|| 2 + rng.below(3));
+    let orig_params = original.param_count();
+    let budget_per_subnet = (cfg.amount * orig_params as f32 / num_subnets.max(1) as f32).max(64.0);
+    let (k, stride, padding) = first_conv_geom;
+    let co = first_conv_channels.expect("validated above");
+    let mut head_keeps = vec![plan.keep().to_vec()];
+    let mut prev_synth_entry: Option<(usize, usize)> = None; // (staged id, channels)
+
+    for s in 1..=num_subnets {
+        // Synthetic keep list; occasionally reuse the original subset (the
+        // paper: "even the original subset may go to multiple sub-networks").
+        let keep_s = if rng.chance(1.0 / (num_subnets as f64 + 1.0)) {
+            plan.keep().to_vec()
+        } else {
+            let (ah, aw) = plan.aug_hw();
+            rng.sample_indices(ah * aw, h * w)
+        };
+        head_keeps.push(keep_s.clone());
+        let c = SYNTH_ENTRY_CHANNELS;
+        let mut srng = rng.fork();
+        let entry_conv = Conv2d::new(in_channels, c, k, stride, padding, false, &mut srng);
+        // Spatial dims of the entry conv's output.
+        let (eh, ew) = (
+            (h + 2 * padding - k) / stride + 1,
+            (w + 2 * padding - k) / stride + 1,
+        );
+        let entry = stage.add(
+            Box::new(MaskedConv2d::new(keep_s, h, w, entry_conv)),
+            &[stage.input],
+            s,
+            None,
+        );
+        let mut hnode = stage.add(Box::new(BatchNorm2d::new(c)), &[entry], s, None);
+        hnode = stage.add(Box::new(Relu::new()), &[hnode], s, None);
+
+        // Tap from the original first conv (p = 0.5), through Detach.
+        let mut tap_params = 0usize;
+        if rng.chance(0.5) {
+            let d = add_tap_barrier(&mut stage, orig_first_conv_staged, s, cfg.detach_taps);
+            let adapt = stage.add(
+                Box::new(Conv2d::new(co, c, 1, 1, 0, false, &mut srng)),
+                &[d],
+                s,
+                None,
+            );
+            hnode = stage.add(Box::new(Add::new()), &[hnode, adapt], s, None);
+            tap_params += co * c;
+        }
+        // Tap from the previous synthetic sub-network (p = 0.5), detached.
+        if let Some((prev, prev_c)) = prev_synth_entry {
+            if rng.chance(0.5) {
+                let d = add_tap_barrier(&mut stage, prev, s, cfg.detach_taps);
+                let adapt = stage.add(
+                    Box::new(Conv2d::new(prev_c, c, 1, 1, 0, false, &mut srng)),
+                    &[d],
+                    s,
+                    None,
+                );
+                hnode = stage.add(Box::new(Add::new()), &[hnode, adapt], s, None);
+                tap_params += prev_c * c;
+            }
+        }
+        prev_synth_entry = Some((entry, c));
+
+        // Downsample once (cheap), then spend the rest of the budget on an
+        // FC stack — matching the compute profile the paper measures.
+        let (mut fh, mut fw) = (eh, ew);
+        if fh >= 4 && fw >= 4 {
+            hnode = stage.add(Box::new(amalgam_nn::layers::AvgPool2d::new(2, 2)), &[hnode], s, None);
+            fh /= 2;
+            fw /= 2;
+        }
+        hnode = stage.add(Box::new(Flatten::new()), &[hnode], s, None);
+        let flat_dim = c * fh * fw;
+        let entry_params = (k * k * in_channels * c + 2 * c + tap_params) as f32;
+        let d = (((budget_per_subnet - entry_params) / (flat_dim + num_classes + 2) as f32)
+            .round() as usize)
+            .max(4);
+        hnode = stage.add(Box::new(Linear::new(flat_dim, d, true, &mut srng)), &[hnode], s, None);
+        hnode = stage.add(Box::new(Relu::new()), &[hnode], s, None);
+        let head = stage.add(
+            Box::new(Linear::new(d, num_classes, true, &mut srng)),
+            &[hnode],
+            s,
+            None,
+        );
+        stage.outputs.push((head, s));
+    }
+
+    finish(stage, head_keeps, num_subnets, &mut rng)
+}
+
+/// Augments an NLP model (paper §4.2, "NLP Model Augmentation").
+///
+/// The model's single input must feed one or more [`Embedding`] layers; each
+/// is replaced by a [`MaskedEmbedding`] gathering the plan's kept positions.
+///
+/// # Errors
+///
+/// Returns [`AmalgamError::UnsupportedModel`] if the graph does not have
+/// exactly one input/output or its first layer is not an embedding.
+pub fn augment_nlp(
+    original: &GraphModel,
+    plan: &TextPlan,
+    task: NlpTask,
+    cfg: &AugmentConfig,
+) -> Result<(GraphModel, AugmentationSecrets), AmalgamError> {
+    let mut rng = Rng::seed_from(cfg.seed);
+    let (input_id, output_id) = validate_single_io(original)?;
+
+    let mut stage = Stage { nodes: Vec::new(), outputs: Vec::new(), input: 0 };
+    stage.input = stage.add(Box::new(amalgam_nn::layers::Input::new()), &[], 0, None);
+
+    let mut vocab = 0usize;
+    let mut orig_dim = 0usize;
+    let map = stage_original(original, &mut stage, input_id, |layer| {
+        let emb = concrete_embedding(layer).ok_or_else(|| AmalgamError::UnsupportedModel {
+            reason: format!("first layer must be Embedding, found {}", layer.kind()),
+        })?;
+        vocab = emb.vocab();
+        orig_dim = emb.dim();
+        Ok(Box::new(MaskedEmbedding::new(plan.keep().to_vec(), emb)))
+    })?;
+    let orig_head = map[&output_id.index()];
+    stage.outputs.push((orig_head, 0));
+    let orig_embed_staged = original
+        .node_ids()
+        .find(|&id| id != input_id && original.node(id).inputs().contains(&input_id))
+        .map(|id| map[&id.index()])
+        .expect("validated above");
+
+    let num_subnets = cfg.num_subnets.unwrap_or_else(|| 2 + rng.below(3));
+    let orig_params = original.param_count();
+    let budget_per_subnet = (cfg.amount * orig_params as f32 / num_subnets.max(1) as f32).max(64.0);
+    let mut head_keeps = vec![plan.keep().to_vec()];
+    let t = plan.orig_len();
+
+    for s in 1..=num_subnets {
+        let keep_s = if rng.chance(1.0 / (num_subnets as f64 + 1.0)) {
+            plan.keep().to_vec()
+        } else {
+            rng.sample_indices(plan.aug_len(), t)
+        };
+        head_keeps.push(keep_s.clone());
+        let denom = match task {
+            NlpTask::Classification { classes } => (vocab + classes + orig_dim) as f32,
+            NlpTask::LanguageModel => (2 * vocab + orig_dim) as f32,
+        };
+        let d = ((budget_per_subnet / denom).round() as usize).max(2);
+
+        let mut srng = rng.fork();
+        let entry = stage.add(
+            Box::new(MaskedEmbedding::new(keep_s, Embedding::new(vocab, d, &mut srng))),
+            &[stage.input],
+            s,
+            None,
+        );
+        let mut hnode = entry;
+        // Tap from the original embedding output (p = 0.5), detached.
+        if rng.chance(0.5) {
+            let det = add_tap_barrier(&mut stage, orig_embed_staged, s, cfg.detach_taps);
+            let adapt = stage.add(
+                Box::new(Linear::new(orig_dim, d, false, &mut srng)),
+                &[det],
+                s,
+                None,
+            );
+            hnode = stage.add(Box::new(Add::new()), &[hnode, adapt], s, None);
+        }
+        let head = match task {
+            NlpTask::Classification { classes } => {
+                let pooled = stage.add(Box::new(MeanPoolSeq::new()), &[hnode], s, None);
+                stage.add(Box::new(Linear::new(d, classes, true, &mut srng)), &[pooled], s, None)
+            }
+            NlpTask::LanguageModel => {
+                stage.add(Box::new(Linear::new(d, vocab, true, &mut srng)), &[hnode], s, None)
+            }
+        };
+        stage.outputs.push((head, s));
+    }
+
+    finish(stage, head_keeps, num_subnets, &mut rng)
+}
+
+fn finish(
+    stage: Stage,
+    head_keeps_by_subnet: Vec<Vec<usize>>,
+    num_subnets: usize,
+    rng: &mut Rng,
+) -> Result<(GraphModel, AugmentationSecrets), AmalgamError> {
+    let (graph, name_map, heads) = stage.emit(rng);
+    let original_output = heads
+        .iter()
+        .position(|&(_, subnet)| subnet == 0)
+        .expect("original head present");
+    let head_keeps: Vec<Vec<usize>> =
+        heads.iter().map(|&(_, subnet)| head_keeps_by_subnet[subnet].clone()).collect();
+    Ok((
+        graph,
+        AugmentationSecrets { name_map, original_output, head_keeps, num_subnets },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_models::{lenet5, text_classifier};
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    fn lenet_plan(rng: &mut Rng) -> (GraphModel, ImagePlan) {
+        let model = lenet5(1, 8, 10, rng);
+        let plan = ImagePlan::random(8, 8, 0.5, rng);
+        (model, plan)
+    }
+
+    #[test]
+    fn cv_augmentation_produces_multiple_heads() {
+        let mut rng = Rng::seed_from(0);
+        let (model, plan) = lenet_plan(&mut rng);
+        let cfg = AugmentConfig::new(0.5).with_subnets(3).with_seed(7);
+        let (mut aug, secrets) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+        assert_eq!(aug.outputs().len(), 4);
+        assert_eq!(secrets.head_keeps.len(), 4);
+        assert!(secrets.original_output < 4);
+        // Forward on an augmented-size input: every head gives [N, 10].
+        let x = Tensor::zeros(&[2, 1, 12, 12]);
+        let outs = aug.forward(&[&x], Mode::Eval);
+        for o in &outs {
+            assert_eq!(o.dims(), &[2, 10]);
+        }
+    }
+
+    #[test]
+    fn parameter_growth_tracks_amount() {
+        let mut rng = Rng::seed_from(1);
+        let (model, plan) = lenet_plan(&mut rng);
+        let orig = model.param_count() as f32;
+        for amount in [0.25f32, 0.5, 1.0] {
+            let cfg = AugmentConfig::new(amount).with_subnets(2).with_seed(3);
+            let (aug, _) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+            let growth = aug.param_count() as f32 / orig;
+            assert!(
+                (growth - (1.0 + amount)).abs() < 0.30,
+                "amount {amount}: growth {growth}"
+            );
+        }
+    }
+
+    #[test]
+    fn original_head_equals_original_model_outputs() {
+        // The augmented model's original head on the augmented input must be
+        // bit-identical to the original model on the original input.
+        let mut rng = Rng::seed_from(2);
+        let (model, plan) = lenet_plan(&mut rng);
+        let cfg = AugmentConfig::new(0.75).with_subnets(2).with_seed(11);
+        let (mut aug, secrets) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+
+        let orig_img = Tensor::randn(&[3, 1, 8, 8], &mut rng);
+        // Build the augmented image: scatter original pixels, noise elsewhere.
+        let (ah, aw) = plan.aug_hw();
+        let mut aug_img = Tensor::randn(&[3, 1, ah, aw], &mut rng);
+        for ni in 0..3 {
+            for (k, &pos) in plan.keep().iter().enumerate() {
+                aug_img.data_mut()[ni * ah * aw + pos] = orig_img.data()[ni * 64 + k];
+            }
+        }
+        let mut plain = model.clone();
+        let want = plain.forward_one(&orig_img, Mode::Eval);
+        let outs = aug.forward(&[&aug_img], Mode::Eval);
+        assert!(outs[secrets.original_output].approx_eq(&want, 0.0), "original head diverged");
+    }
+
+    #[test]
+    fn neutral_names_and_unknown_positions() {
+        let mut rng = Rng::seed_from(3);
+        let (model, plan) = lenet_plan(&mut rng);
+        let cfg = AugmentConfig::new(0.5).with_subnets(2).with_seed(5);
+        let (aug, secrets) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+        // All node names are neutral…
+        for id in aug.node_ids() {
+            assert!(aug.node(id).name().starts_with('n'), "leaky name {}", aug.node(id).name());
+        }
+        // …and every original node is reachable through the secrets.
+        for id in model.node_ids().skip(1) {
+            let name = model.node(id).name();
+            let mapped = secrets.name_map.get(name).expect("mapped");
+            assert!(aug.node_by_name(mapped).is_some());
+        }
+    }
+
+    #[test]
+    fn nlp_augmentation_classification() {
+        let mut rng = Rng::seed_from(4);
+        let model = text_classifier(50, 8, 4, &mut rng);
+        let plan = TextPlan::random(6, 0.5, &mut rng);
+        let cfg = AugmentConfig::new(0.5).with_subnets(2).with_seed(9);
+        let (mut aug, secrets) =
+            augment_nlp(&model, &plan, NlpTask::Classification { classes: 4 }, &cfg).unwrap();
+        assert_eq!(aug.outputs().len(), 3);
+        let ids = Tensor::from_fn(&[2, 9], |i| (i % 50) as f32);
+        let outs = aug.forward(&[&ids], Mode::Eval);
+        for o in &outs {
+            assert_eq!(o.dims(), &[2, 4]);
+        }
+        assert_eq!(secrets.head_keeps[secrets.original_output], plan.keep());
+    }
+
+    #[test]
+    fn rejects_non_conv_first_layer() {
+        let mut rng = Rng::seed_from(5);
+        let model = text_classifier(50, 8, 4, &mut rng);
+        let plan = ImagePlan::random(8, 8, 0.5, &mut rng);
+        let err = augment_cv(&model, &plan, 4, &AugmentConfig::new(0.5)).unwrap_err();
+        assert!(matches!(err, AmalgamError::UnsupportedModel { .. }));
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_per_seed() {
+        let mut rng = Rng::seed_from(6);
+        let (model, plan) = lenet_plan(&mut rng);
+        let cfg = AugmentConfig::new(0.5).with_subnets(2).with_seed(42);
+        let (a, sa) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+        let (b, sb) = augment_cv(&model, &plan, 10, &cfg).unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(sa.original_output, sb.original_output);
+        assert_eq!(a.state_dict().len(), b.state_dict().len());
+        for ((na, ta), (nb, tb)) in a.state_dict().iter().zip(b.state_dict().iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(ta.data(), tb.data());
+        }
+    }
+}

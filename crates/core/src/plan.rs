@@ -1,0 +1,237 @@
+//! Augmentation plans — the client-side secrets describing *where* noise was
+//! inserted.
+//!
+//! A plan is drawn once per dataset (Eq. 1/2 fix each layer's skip-index set,
+//! so every sample shares one insertion layout) and never leaves the client
+//! unredacted: the cloud only ever sees the per-sub-network keep lists inside
+//! masked layers, without knowing which list is the original one.
+
+use amalgam_tensor::math::BigMagnitude;
+use amalgam_tensor::Rng;
+
+/// Insertion layout for an image dataset: original `h×w` planes grow to
+/// `aug_h×aug_w`, with original pixels living at `keep` (raster order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImagePlan {
+    orig_h: usize,
+    orig_w: usize,
+    aug_h: usize,
+    aug_w: usize,
+    keep: Vec<usize>,
+}
+
+impl ImagePlan {
+    /// Draws a random layout for augmenting `h×w` planes by `amount`
+    /// (e.g. `0.25` grows each side by 25 %, as in Table 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount < 0` or the original plane is empty.
+    pub fn random(h: usize, w: usize, amount: f32, rng: &mut Rng) -> Self {
+        assert!(amount >= 0.0, "augmentation amount must be non-negative");
+        assert!(h > 0 && w > 0, "original plane must be non-empty");
+        let aug_h = grow(h, amount);
+        let aug_w = grow(w, amount);
+        let keep = rng.sample_indices(aug_h * aug_w, h * w);
+        ImagePlan { orig_h: h, orig_w: w, aug_h, aug_w, keep }
+    }
+
+    /// Builds a plan from an explicit keep list (tests, persistence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` does not have `h·w` strictly increasing entries
+    /// within the augmented plane.
+    pub fn from_keep(h: usize, w: usize, aug_h: usize, aug_w: usize, keep: Vec<usize>) -> Self {
+        assert_eq!(keep.len(), h * w, "keep must list every original pixel");
+        assert!(keep.windows(2).all(|p| p[0] < p[1]), "keep must be strictly increasing");
+        assert!(keep.last().is_none_or(|&k| k < aug_h * aug_w), "keep exceeds augmented plane");
+        ImagePlan { orig_h: h, orig_w: w, aug_h, aug_w, keep }
+    }
+
+    /// Original plane height and width.
+    pub fn orig_hw(&self) -> (usize, usize) {
+        (self.orig_h, self.orig_w)
+    }
+
+    /// Augmented plane height and width.
+    pub fn aug_hw(&self) -> (usize, usize) {
+        (self.aug_h, self.aug_w)
+    }
+
+    /// Flat positions (within the augmented plane) of the original pixels,
+    /// in original raster order.
+    pub fn keep(&self) -> &[usize] {
+        &self.keep
+    }
+
+    /// Number of inserted noise values per channel plane.
+    pub fn inserted(&self) -> usize {
+        self.aug_h * self.aug_w - self.orig_h * self.orig_w
+    }
+
+    /// Flat positions of the noise values, ascending.
+    pub fn noise_positions(&self) -> Vec<usize> {
+        complement(&self.keep, self.aug_h * self.aug_w)
+    }
+
+    /// The brute-force search space `C(aug, inserted)` — Table 2's metric.
+    pub fn search_space(&self) -> BigMagnitude {
+        BigMagnitude::choose((self.aug_h * self.aug_w) as u64, self.inserted() as u64)
+    }
+}
+
+/// Insertion layout for a text dataset: windows of `orig_len` tokens grow to
+/// `aug_len`, original tokens at `keep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextPlan {
+    orig_len: usize,
+    aug_len: usize,
+    keep: Vec<usize>,
+}
+
+impl TextPlan {
+    /// Draws a random layout for augmenting length-`len` windows by `amount`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount < 0` or `len == 0`.
+    pub fn random(len: usize, amount: f32, rng: &mut Rng) -> Self {
+        assert!(amount >= 0.0, "augmentation amount must be non-negative");
+        assert!(len > 0, "window must be non-empty");
+        let aug_len = grow(len, amount);
+        let keep = rng.sample_indices(aug_len, len);
+        TextPlan { orig_len: len, aug_len, keep }
+    }
+
+    /// Builds a plan from an explicit keep list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent inputs (see [`ImagePlan::from_keep`]).
+    pub fn from_keep(len: usize, aug_len: usize, keep: Vec<usize>) -> Self {
+        assert_eq!(keep.len(), len, "keep must list every original position");
+        assert!(keep.windows(2).all(|p| p[0] < p[1]), "keep must be strictly increasing");
+        assert!(keep.last().is_none_or(|&k| k < aug_len), "keep exceeds augmented window");
+        TextPlan { orig_len: len, aug_len, keep }
+    }
+
+    /// Original window length.
+    pub fn orig_len(&self) -> usize {
+        self.orig_len
+    }
+
+    /// Augmented window length.
+    pub fn aug_len(&self) -> usize {
+        self.aug_len
+    }
+
+    /// Kept (original) positions in the augmented window.
+    pub fn keep(&self) -> &[usize] {
+        &self.keep
+    }
+
+    /// Number of inserted noise tokens per window.
+    pub fn inserted(&self) -> usize {
+        self.aug_len - self.orig_len
+    }
+
+    /// Positions of the noise tokens, ascending.
+    pub fn noise_positions(&self) -> Vec<usize> {
+        complement(&self.keep, self.aug_len)
+    }
+
+    /// The brute-force search space `C(aug_len, inserted)` — Table 2's metric.
+    pub fn search_space(&self) -> BigMagnitude {
+        BigMagnitude::choose(self.aug_len as u64, self.inserted() as u64)
+    }
+}
+
+/// Grows a dimension by the augmentation amount: `x + ⌊x·amount⌋` (paper §4.1).
+pub fn grow(x: usize, amount: f32) -> usize {
+    x + (x as f32 * amount).round() as usize
+}
+
+fn complement(keep: &[usize], total: usize) -> Vec<usize> {
+    let mut is_kept = vec![false; total];
+    for &k in keep {
+        is_kept[k] = true;
+    }
+    (0..total).filter(|&i| !is_kept[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_matches_paper_examples() {
+        // Paper: 28 at 25 % → 35; 32 at 50 % → 48; 224 at 100 % → 448.
+        assert_eq!(grow(28, 0.25), 35);
+        assert_eq!(grow(32, 0.50), 48);
+        assert_eq!(grow(224, 1.0), 448);
+        assert_eq!(grow(10, 0.1), 11); // the paper's 10×10 → 11×11 example
+    }
+
+    #[test]
+    fn image_plan_partitions_the_plane() {
+        let mut rng = Rng::seed_from(0);
+        let plan = ImagePlan::random(4, 4, 0.5, &mut rng);
+        assert_eq!(plan.aug_hw(), (6, 6));
+        assert_eq!(plan.keep().len(), 16);
+        assert_eq!(plan.inserted(), 20);
+        let mut all: Vec<usize> = plan.keep().to_vec();
+        all.extend(plan.noise_positions());
+        all.sort_unstable();
+        assert_eq!(all, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mnist_search_space_matches_table2() {
+        let mut rng = Rng::seed_from(1);
+        let plan = ImagePlan::random(28, 28, 0.25, &mut rng);
+        // Paper: 1.00e346.
+        assert!((plan.search_space().log10() - 346.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn text_plan_matches_table2_search_spaces() {
+        let mut rng = Rng::seed_from(2);
+        // Paper WikiText2 row: batch length 20; 25 % → 53130 = C(25, 5).
+        let plan = TextPlan::random(20, 0.25, &mut rng);
+        assert_eq!(plan.aug_len(), 25);
+        let ss = plan.search_space();
+        assert!((ss.log10() - 53130f64.log10()).abs() < 1e-6);
+        // 100 % → C(40, 20) ≈ 1.37e11.
+        let plan = TextPlan::random(20, 1.0, &mut rng);
+        assert!((plan.search_space().log10() - 1.37e11f64.log10()).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_amount_is_identity_layout() {
+        let mut rng = Rng::seed_from(3);
+        let plan = ImagePlan::random(5, 5, 0.0, &mut rng);
+        assert_eq!(plan.aug_hw(), (5, 5));
+        assert_eq!(plan.keep(), (0..25).collect::<Vec<_>>());
+        assert_eq!(plan.inserted(), 0);
+    }
+
+    #[test]
+    fn from_keep_validates() {
+        let plan = ImagePlan::from_keep(1, 2, 1, 3, vec![0, 2]);
+        assert_eq!(plan.noise_positions(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_keep_rejects_unsorted() {
+        TextPlan::from_keep(2, 4, vec![2, 1]);
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a = ImagePlan::random(8, 8, 0.75, &mut Rng::seed_from(9));
+        let b = ImagePlan::random(8, 8, 0.75, &mut Rng::seed_from(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Privacy-loss and computing-performance-loss analysis (paper §6.1–6.2).
+
+use amalgam_tensor::math::BigMagnitude;
+
+/// Privacy loss ε for an augmentation amount α (paper Eq. 5): `ε = 1/(1+α)`.
+///
+/// Smaller is better — more augmentation hides the original features more.
+///
+/// # Panics
+///
+/// Panics if `alpha < 0`.
+pub fn privacy_loss(alpha: f64) -> f64 {
+    assert!(alpha >= 0.0, "augmentation amount must be non-negative");
+    1.0 / (1.0 + alpha)
+}
+
+/// Computing performance loss ρ for an augmentation amount α (paper Eq. 6):
+/// `ρ = 1 − 1/(1+α)`.
+///
+/// # Panics
+///
+/// Panics if `alpha < 0`.
+pub fn performance_loss(alpha: f64) -> f64 {
+    1.0 - privacy_loss(alpha)
+}
+
+/// One row of the paper's Figure 15 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyPoint {
+    /// Augmentation amount α.
+    pub alpha: f64,
+    /// Privacy loss ε = 1/(1+α).
+    pub epsilon: f64,
+    /// Computing performance loss ρ = 1 − 1/(1+α).
+    pub rho: f64,
+}
+
+/// Sweeps α over `amounts`, producing Figure 15's two curves.
+pub fn privacy_sweep(amounts: &[f64]) -> Vec<PrivacyPoint> {
+    amounts
+        .iter()
+        .map(|&alpha| PrivacyPoint {
+            alpha,
+            epsilon: privacy_loss(alpha),
+            rho: performance_loss(alpha),
+        })
+        .collect()
+}
+
+/// Brute-force search space for guessing which of `total` indices are the
+/// `inserted` noise ones — Table 2's rightmost column and the basis of the
+/// paper's brute-force attack analysis (§6.3).
+pub fn brute_force_search_space(total: usize, inserted: usize) -> BigMagnitude {
+    BigMagnitude::choose(total as u64, inserted as u64)
+}
+
+/// Expected number of brute-force attempts (half the search space), in
+/// `log10`. Infeasibility threshold arguments use this.
+pub fn expected_attempts_log10(total: usize, inserted: usize) -> f64 {
+    brute_force_search_space(total, inserted).log10() - std::f64::consts::LOG10_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_and_rho_are_complementary() {
+        for alpha in [0.0, 0.25, 0.5, 1.0, 4.0] {
+            let e = privacy_loss(alpha);
+            let r = performance_loss(alpha);
+            assert!((e + r - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_values() {
+        // Figure 15: at α = 1.0 both curves meet at 0.5.
+        assert!((privacy_loss(1.0) - 0.5).abs() < 1e-12);
+        assert!((performance_loss(1.0) - 0.5).abs() < 1e-12);
+        // No augmentation: ε = 1 (no privacy), ρ = 0 (no overhead).
+        assert_eq!(privacy_loss(0.0), 1.0);
+        assert_eq!(performance_loss(0.0), 0.0);
+    }
+
+    #[test]
+    fn epsilon_monotonically_decreases() {
+        let sweep = privacy_sweep(&[0.0, 0.5, 1.0, 2.0, 4.0]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].epsilon < pair[0].epsilon);
+            assert!(pair[1].rho > pair[0].rho);
+        }
+    }
+
+    #[test]
+    fn search_space_matches_table2() {
+        // MNIST 25 %: C(1225, 441) ≈ 1.00e346.
+        let ss = brute_force_search_space(1225, 441);
+        assert!((ss.log10() - 346.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn expected_attempts_is_half() {
+        let full = brute_force_search_space(30, 10).log10();
+        let half = expected_attempts_log10(30, 10);
+        assert!((full - half - std::f64::consts::LOG10_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,390 @@
+//! Algorithm 1: training augmented models (and, as the degenerate single-head
+//! case, plain models).
+//!
+//! Each output head (one per sub-network) gets its own loss against the same
+//! labels (classification) or against its own masked next-token targets
+//! (language modelling); one backward pass then delivers to every parameter
+//! exactly `∇_{θˢ} L(θˢ)` — the cross-sub-network taps are detached — and SGD
+//! applies the paper's update `θᵗ⁺¹ₛ ← θᵗₛ − η gᵗₛ`.
+//!
+//! Because batch order depends only on the seed, training the *original*
+//! model with the same [`TrainConfig`] reproduces the exact weight
+//! trajectory of the original sub-network inside the augmented model — the
+//! property behind the paper's "augmentation does not affect training
+//! correctness" claims (Figures 5–13), verified bit-exactly in this crate's
+//! integration tests.
+
+use amalgam_data::{BatchIter, ImageDataset, TextClassDataset};
+use amalgam_nn::graph::GraphModel;
+use amalgam_nn::loss::cross_entropy;
+use amalgam_nn::metrics::{accuracy, History, RunningMean};
+use amalgam_nn::optim::Sgd;
+use amalgam_nn::Mode;
+use amalgam_tensor::{Rng, Tensor};
+
+/// Hyper-parameters of one training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum (0 disables).
+    pub momentum: f32,
+    /// Seed for batch shuffling (shared by comparable runs).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A config with the given epochs/batch size/learning rate and no
+    /// momentum, seed 0.
+    pub fn new(epochs: usize, batch_size: usize, lr: f32) -> Self {
+        TrainConfig { epochs, batch_size, lr, momentum: 0.0, seed: 0 }
+    }
+
+    /// Sets the momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the shuffle seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The deterministic per-epoch shuffle source shared by every trainer in the
+/// workspace (including the simulated cloud), so that comparable runs see
+/// identical batch orders.
+pub fn epoch_rng(cfg: &TrainConfig, epoch: usize) -> Rng {
+    Rng::seed_from(cfg.seed.wrapping_add(epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Trains a (possibly augmented) classifier; every head is scored against
+/// the same labels, metrics come from head `primary`.
+///
+/// Works for any model whose input is an image batch `[N, C, H, W]`.
+pub fn train_image_classifier(
+    model: &mut GraphModel,
+    train: &ImageDataset,
+    test: Option<&ImageDataset>,
+    primary: usize,
+    cfg: &TrainConfig,
+) -> History {
+    train_classifier_impl(model, primary, cfg, test, |idx| train.batch_at(idx), train.len())
+}
+
+/// Trains a (possibly augmented) text classifier over token-id documents.
+pub fn train_text_classifier(
+    model: &mut GraphModel,
+    train: &TextClassDataset,
+    test: Option<&TextClassDataset>,
+    primary: usize,
+    cfg: &TrainConfig,
+) -> History {
+    train_classifier_impl(model, primary, cfg, test, |idx| train.batch_at(idx), train.len())
+}
+
+/// Shared classification training loop. `test` types differ between callers,
+/// so evaluation is dispatched through [`EvalSource`].
+fn train_classifier_impl<B, T>(
+    model: &mut GraphModel,
+    primary: usize,
+    cfg: &TrainConfig,
+    test: Option<&T>,
+    batch_fn: B,
+    n: usize,
+) -> History
+where
+    B: Fn(&[usize]) -> (Tensor, Vec<usize>),
+    T: EvalSource + ?Sized,
+{
+    assert!(primary < model.outputs().len(), "primary head out of range");
+    let mut opt = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
+    let mut history = History::new();
+    for epoch in 0..cfg.epochs {
+        let t0 = std::time::Instant::now();
+        let mut rng = epoch_rng(cfg, epoch);
+        let mut loss_mean = RunningMean::new();
+        let mut acc_mean = RunningMean::new();
+        for idx in BatchIter::new(n, cfg.batch_size, &mut rng) {
+            let (x, labels) = batch_fn(&idx);
+            let outs = model.forward(&[&x], Mode::Train);
+            let mut seeds = Vec::with_capacity(outs.len());
+            for (h, out) in outs.iter().enumerate() {
+                let (loss, grad) = cross_entropy(out, &labels);
+                if h == primary {
+                    loss_mean.add(loss, labels.len());
+                    acc_mean.add(accuracy(out, &labels), labels.len());
+                }
+                seeds.push(grad);
+            }
+            model.zero_grad();
+            model.backward(&seeds);
+            opt.step(&mut model.params_mut());
+        }
+        history.train_loss.push(loss_mean.mean());
+        history.train_acc.push(acc_mean.mean());
+        history.epoch_secs.push(t0.elapsed().as_secs_f32());
+        if let Some(t) = test {
+            let (vl, va) = t.evaluate(model, primary, cfg.batch_size);
+            history.val_loss.push(vl);
+            history.val_acc.push(va);
+        }
+    }
+    history
+}
+
+/// Something a classifier can be evaluated on.
+pub trait EvalSource {
+    /// Returns `(mean loss, accuracy)` of head `primary` over the dataset.
+    fn evaluate(&self, model: &mut GraphModel, primary: usize, batch_size: usize) -> (f32, f32);
+}
+
+impl EvalSource for ImageDataset {
+    fn evaluate(&self, model: &mut GraphModel, primary: usize, batch_size: usize) -> (f32, f32) {
+        evaluate_impl(model, primary, batch_size, self.len(), |idx| self.batch_at(idx))
+    }
+}
+
+impl EvalSource for TextClassDataset {
+    fn evaluate(&self, model: &mut GraphModel, primary: usize, batch_size: usize) -> (f32, f32) {
+        evaluate_impl(model, primary, batch_size, self.len(), |idx| self.batch_at(idx))
+    }
+}
+
+fn evaluate_impl<B>(
+    model: &mut GraphModel,
+    primary: usize,
+    batch_size: usize,
+    n: usize,
+    batch_fn: B,
+) -> (f32, f32)
+where
+    B: Fn(&[usize]) -> (Tensor, Vec<usize>),
+{
+    let mut loss_mean = RunningMean::new();
+    let mut acc_mean = RunningMean::new();
+    for idx in BatchIter::sequential(n, batch_size) {
+        let (x, labels) = batch_fn(&idx);
+        let outs = model.forward(&[&x], Mode::Eval);
+        let (loss, _) = cross_entropy(&outs[primary], &labels);
+        loss_mean.add(loss, labels.len());
+        acc_mean.add(accuracy(&outs[primary], &labels), labels.len());
+        model.clear_caches();
+    }
+    (loss_mean.mean(), acc_mean.mean())
+}
+
+/// Convenience: evaluate an image classifier's head.
+pub fn evaluate_image_classifier(
+    model: &mut GraphModel,
+    data: &ImageDataset,
+    primary: usize,
+    batch_size: usize,
+) -> (f32, f32) {
+    data.evaluate(model, primary, batch_size)
+}
+
+// ---------------------------------------------------------------------------
+// Language modelling
+// ---------------------------------------------------------------------------
+
+/// In-window next-token loss for one head.
+///
+/// `window: [B, T']` is the (possibly augmented) token window, `keep` the
+/// head's kept positions (length T). The head's logits are `[B, T, V]`; the
+/// target of position `k < T-1` is the token at kept position `k+1`. The
+/// last position has no in-window target and is excluded — for plain models
+/// (`keep = 0..T`) this reduces to ordinary next-token prediction.
+///
+/// Returns `(mean loss, gradient shaped like logits)`.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies.
+pub fn lm_head_loss(logits: &Tensor, window: &Tensor, keep: &[usize]) -> (f32, Tensor) {
+    let ld = logits.dims();
+    assert_eq!(ld.len(), 3, "logits must be [B, T, V]");
+    let (b, t, v) = (ld[0], ld[1], ld[2]);
+    assert_eq!(t, keep.len(), "logit positions must match keep length");
+    let ta = window.dims()[1];
+    assert_eq!(window.dims()[0], b, "window batch mismatch");
+    assert!(t >= 2, "need at least two positions for next-token loss");
+
+    // Gather logits for positions 0..T-1 and their targets.
+    let mut sliced = Tensor::zeros(&[b, t - 1, v]);
+    let mut targets = Vec::with_capacity(b * (t - 1));
+    for bi in 0..b {
+        for k in 0..t - 1 {
+            let src = &logits.data()[bi * t * v + k * v..bi * t * v + (k + 1) * v];
+            sliced.data_mut()[bi * (t - 1) * v + k * v..bi * (t - 1) * v + (k + 1) * v]
+                .copy_from_slice(src);
+            targets.push(window.data()[bi * ta + keep[k + 1]] as usize);
+        }
+    }
+    let (loss, grad_sliced) = amalgam_nn::loss::cross_entropy_seq(&sliced, &targets);
+    // Pad the gradient back to [B, T, V] with zeros at the last position.
+    let mut grad = Tensor::zeros(&[b, t, v]);
+    for bi in 0..b {
+        for k in 0..t - 1 {
+            let src = &grad_sliced.data()[bi * (t - 1) * v + k * v..bi * (t - 1) * v + (k + 1) * v];
+            grad.data_mut()[bi * t * v + k * v..bi * t * v + (k + 1) * v].copy_from_slice(src);
+        }
+    }
+    (loss, grad)
+}
+
+/// Trains a (possibly augmented) language model on token windows.
+///
+/// `head_keeps` supplies one kept-position list per output head; a plain
+/// model passes a single `0..T` list. Windows are visited in order (standard
+/// LM practice); metrics come from head `primary`.
+pub fn train_lm(
+    model: &mut GraphModel,
+    train_windows: &[Tensor],
+    val_windows: &[Tensor],
+    head_keeps: &[Vec<usize>],
+    primary: usize,
+    cfg: &TrainConfig,
+) -> History {
+    assert_eq!(head_keeps.len(), model.outputs().len(), "one keep list per head");
+    assert!(primary < head_keeps.len(), "primary head out of range");
+    let mut opt = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
+    let mut history = History::new();
+    for _epoch in 0..cfg.epochs {
+        let t0 = std::time::Instant::now();
+        let mut loss_mean = RunningMean::new();
+        for window in train_windows {
+            let outs = model.forward(&[window], Mode::Train);
+            let mut seeds = Vec::with_capacity(outs.len());
+            for (h, out) in outs.iter().enumerate() {
+                let (loss, grad) = lm_head_loss(out, window, &head_keeps[h]);
+                if h == primary {
+                    loss_mean.add(loss, window.dims()[0]);
+                }
+                seeds.push(grad);
+            }
+            model.zero_grad();
+            model.backward(&seeds);
+            opt.step(&mut model.params_mut());
+        }
+        history.train_loss.push(loss_mean.mean());
+        history.epoch_secs.push(t0.elapsed().as_secs_f32());
+        if !val_windows.is_empty() {
+            history.val_loss.push(evaluate_lm(model, val_windows, &head_keeps[primary], primary));
+        }
+    }
+    history
+}
+
+/// Mean validation loss of one LM head over windows.
+pub fn evaluate_lm(
+    model: &mut GraphModel,
+    windows: &[Tensor],
+    keep: &[usize],
+    primary: usize,
+) -> f32 {
+    let mut loss_mean = RunningMean::new();
+    for window in windows {
+        let outs = model.forward(&[window], Mode::Eval);
+        let (loss, _) = lm_head_loss(&outs[primary], window, keep);
+        loss_mean.add(loss, window.dims()[0]);
+        model.clear_caches();
+    }
+    loss_mean.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_data::{LmCorpusSpec, SyntheticImageSpec, TextClassSpec};
+    use amalgam_models::{lenet5, text_classifier, transformer_lm, TransformerLmConfig};
+
+    #[test]
+    fn lenet_learns_synthetic_mnist() {
+        let mut rng = Rng::seed_from(0);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(256, 64)
+            .with_hw(12)
+            .with_classes(4)
+            .generate(&mut rng);
+        let mut model = lenet5(1, 12, 4, &mut rng);
+        let cfg = TrainConfig::new(4, 32, 0.05).with_momentum(0.9).with_seed(1);
+        let history = train_image_classifier(&mut model, &pair.train, Some(&pair.test), 0, &cfg);
+        assert_eq!(history.epochs(), 4);
+        let acc = history.final_val_acc().unwrap();
+        assert!(acc > 0.6, "validation accuracy too low: {acc}");
+        assert!(
+            history.train_loss.last().unwrap() < history.train_loss.first().unwrap(),
+            "loss did not decrease"
+        );
+    }
+
+    #[test]
+    fn text_classifier_learns_synthetic_agnews() {
+        let mut rng = Rng::seed_from(1);
+        let (train, test) = TextClassSpec::agnews_like()
+            .with_vocab(200)
+            .with_counts(256, 64)
+            .with_doc_len(16)
+            .generate(&mut rng);
+        let mut model = text_classifier(200, 16, 4, &mut rng);
+        let cfg = TrainConfig::new(6, 32, 0.5).with_seed(2);
+        let history = train_text_classifier(&mut model, &train, Some(&test), 0, &cfg);
+        let acc = history.final_val_acc().unwrap();
+        assert!(acc > 0.6, "validation accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn transformer_lm_reduces_loss_below_uniform() {
+        let mut rng = Rng::seed_from(2);
+        let corpus = LmCorpusSpec::wikitext2_like().with_vocab(40).with_tokens(4000).generate(&mut rng);
+        let batches = corpus.batchify(8, 12);
+        let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+        let (train_w, val_w) = windows.split_at(windows.len() - 4);
+        let mut model = transformer_lm(&TransformerLmConfig::tiny(40, 16), &mut rng);
+        let keep: Vec<usize> = (0..12).collect();
+        let cfg = TrainConfig::new(3, 8, 0.05).with_seed(3);
+        let history = train_lm(&mut model, train_w, val_w, &[keep], 0, &cfg);
+        let uniform = (40f32).ln();
+        let final_loss = *history.val_loss.last().unwrap();
+        assert!(final_loss < uniform, "LM did not beat uniform: {final_loss} vs {uniform}");
+    }
+
+    #[test]
+    fn lm_head_loss_gradient_shape_and_last_position_zero() {
+        let mut rng = Rng::seed_from(3);
+        let logits = Tensor::randn(&[2, 5, 7], &mut rng);
+        let window = Tensor::from_fn(&[2, 5], |i| (i % 7) as f32);
+        let keep: Vec<usize> = (0..5).collect();
+        let (loss, grad) = lm_head_loss(&logits, &window, &keep);
+        assert!(loss > 0.0);
+        assert_eq!(grad.dims(), &[2, 5, 7]);
+        // Last position contributes no gradient.
+        for bi in 0..2 {
+            let last = &grad.data()[bi * 35 + 28..bi * 35 + 35];
+            assert!(last.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_trajectories() {
+        let mut rng = Rng::seed_from(4);
+        let pair =
+            SyntheticImageSpec::mnist_like().with_counts(64, 16).with_hw(8).with_classes(2).generate(&mut rng);
+        let cfg = TrainConfig::new(2, 16, 0.1).with_seed(7);
+        let mut m1 = lenet5(1, 8, 2, &mut Rng::seed_from(5));
+        let mut m2 = lenet5(1, 8, 2, &mut Rng::seed_from(5));
+        train_image_classifier(&mut m1, &pair.train, None, 0, &cfg);
+        train_image_classifier(&mut m2, &pair.train, None, 0, &cfg);
+        for ((n1, t1), (n2, t2)) in m1.state_dict().iter().zip(m2.state_dict().iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.data(), t2.data(), "nondeterministic training at {n1}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic datasets standing in for the paper's benchmarks.
+//!
+//! The paper evaluates on MNIST, CIFAR10, CIFAR100, Imagenette, WikiText2 and
+//! AGNews. None of those can be downloaded in this environment, so this crate
+//! generates *learnable* synthetic datasets with the same shapes, channel
+//! counts, class counts and (optionally) sample counts:
+//!
+//! * [`SyntheticImageSpec`] — class-conditional image generators (each class
+//!   is a distinct mixture of spatial frequencies and a class blob, plus
+//!   pixel noise), with presets matching each paper dataset's geometry;
+//! * [`LmCorpusSpec`] — a Markov token stream with learnable transition
+//!   structure (WikiText2 stand-in);
+//! * [`TextClassSpec`] — a topic-vocabulary classification corpus with four
+//!   classes (AGNews stand-in).
+//!
+//! What matters for reproducing the paper is preserved: augmentation cost and
+//! search-space numbers depend only on shapes/counts, and training-curve
+//! *shape* (Amalgam's augmentation does not hurt convergence) depends only on
+//! the data being learnable.
+
+mod image;
+mod loader;
+mod stats;
+mod text;
+
+pub use image::{ImageDataset, ImagePair, SyntheticImageSpec};
+pub use loader::BatchIter;
+pub use stats::DataStats;
+pub use text::{LmBatches, LmCorpus, LmCorpusSpec, TextClassDataset, TextClassSpec};

@@ -1,0 +1,116 @@
+//! Seeded mini-batch iteration.
+
+use amalgam_tensor::Rng;
+
+/// Iterator over shuffled index batches.
+///
+/// All trainers in the workspace draw their batch order from this type with
+/// an explicit seed — the determinism Amalgam's training-equivalence tests
+/// rely on (the same seed must yield the same batches for the vanilla and
+/// the augmented run).
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    drop_last: bool,
+}
+
+impl BatchIter {
+    /// Shuffles `0..n` with `rng` and yields chunks of `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, rng: &mut Rng) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        BatchIter { order, batch_size, cursor: 0, drop_last: false }
+    }
+
+    /// Sequential (unshuffled) batches — used for validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn sequential(n: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchIter { order: (0..n).collect(), batch_size, cursor: 0, drop_last: false }
+    }
+
+    /// Drops a trailing partial batch (stable batch statistics).
+    pub fn drop_last(mut self) -> Self {
+        self.drop_last = true;
+        self
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        if self.drop_last {
+            self.order.len() / self.batch_size
+        } else {
+            self.order.len().div_ceil(self.batch_size)
+        }
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        if self.drop_last && end - self.cursor < self.batch_size {
+            return None;
+        }
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_indices_exactly_once() {
+        let mut rng = Rng::seed_from(0);
+        let seen: Vec<usize> = BatchIter::new(103, 16, &mut rng).flatten().collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<Vec<usize>> = BatchIter::new(50, 8, &mut Rng::seed_from(1)).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(50, 8, &mut Rng::seed_from(1)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_last_discards_partial() {
+        let mut rng = Rng::seed_from(2);
+        let batches: Vec<Vec<usize>> = BatchIter::new(10, 4, &mut rng).drop_last().collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.len() == 4));
+    }
+
+    #[test]
+    fn sequential_is_ordered() {
+        let batches: Vec<Vec<usize>> = BatchIter::sequential(6, 4).collect();
+        assert_eq!(batches, vec![vec![0, 1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn num_batches_matches_iteration() {
+        let mut rng = Rng::seed_from(3);
+        let it = BatchIter::new(10, 3, &mut rng);
+        assert_eq!(it.num_batches(), 4);
+        assert_eq!(it.count(), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Dataset statistics for noise calibration.
+//!
+//! The paper's default "random noise" is uniform between the dataset's
+//! minimum and maximum possible values; Gaussian/Laplace noise is calibrated
+//! with a σ relative to the data scale. [`DataStats`] supplies those bounds.
+
+use amalgam_tensor::Tensor;
+
+/// Min/max/mean/standard-deviation of a tensor dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataStats {
+    /// Minimum element.
+    pub min: f32,
+    /// Maximum element.
+    pub max: f32,
+    /// Mean element.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+}
+
+impl DataStats {
+    /// Computes statistics over every element of `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is empty.
+    pub fn of(t: &Tensor) -> Self {
+        assert!(t.numel() > 0, "cannot take statistics of an empty tensor");
+        let mean = t.mean();
+        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        DataStats { min: t.min(), max: t.max(), mean, std: var.sqrt() }
+    }
+
+    /// Statistics of an integer token stream (for text datasets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn of_tokens(tokens: &[usize]) -> Self {
+        assert!(!tokens.is_empty(), "cannot take statistics of an empty stream");
+        let n = tokens.len() as f32;
+        let mean = tokens.iter().sum::<usize>() as f32 / n;
+        let var = tokens.iter().map(|&t| (t as f32 - mean).powi(2)).sum::<f32>() / n;
+        DataStats {
+            min: *tokens.iter().min().expect("non-empty") as f32,
+            max: *tokens.iter().max().expect("non-empty") as f32,
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// The value range `(min, max)`.
+    pub fn range(&self) -> (f32, f32) {
+        (self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        let s = DataStats::of(&t);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-6);
+        assert!((s.std - (1.25f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn token_statistics() {
+        let s = DataStats::of_tokens(&[0, 10, 20]);
+        assert_eq!(s.range(), (0.0, 20.0));
+        assert!((s.mean - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_tensor_panics() {
+        DataStats::of(&Tensor::zeros(&[0]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Convolutional Block Attention Module (Woo et al., ECCV 2018).
+//!
+//! The paper's transfer-learning experiment (Figure 13) modifies a
+//! pre-trained VGG-16 by inserting CBAMs; those inserted modules are the
+//! *new* layers fine-tuning trains.
+
+use amalgam_nn::graph::{GraphModel, NodeId};
+use amalgam_nn::layers::{
+    Add, BroadcastMulChannel, BroadcastMulSpatial, ChannelStats, Conv2d, GlobalAvgPool2d,
+    GlobalMaxPool2d, Linear, Relu, Sigmoid,
+};
+use amalgam_tensor::Rng;
+
+/// Inserts a CBAM (channel attention followed by spatial attention) after
+/// node `input`, which must produce a `[N, channels, H, W]` map. Returns the
+/// module's output node.
+///
+/// The channel-attention MLPs for the average- and max-pooled descriptors
+/// are *unshared* here (the original shares them); this only increases the
+/// module's parameter count slightly and does not change its role in the
+/// experiment.
+///
+/// # Panics
+///
+/// Panics if `reduction` is zero or exceeds `channels`.
+pub fn insert_cbam_after(
+    g: &mut GraphModel,
+    name: &str,
+    input: NodeId,
+    channels: usize,
+    reduction: usize,
+    rng: &mut Rng,
+) -> NodeId {
+    assert!(reduction > 0 && reduction <= channels, "invalid CBAM reduction {reduction} for {channels} channels");
+    let hidden = (channels / reduction).max(1);
+
+    // ---- Channel attention ----
+    let avg = g.add_layer(&format!("{name}.ca.avg"), GlobalAvgPool2d::new(), &[input]);
+    let max = g.add_layer(&format!("{name}.ca.max"), GlobalMaxPool2d::new(), &[input]);
+    let a1 = g.add_layer(&format!("{name}.ca.fc1a"), Linear::new(channels, hidden, true, rng), &[avg]);
+    let a2 = g.add_layer(&format!("{name}.ca.relua"), Relu::new(), &[a1]);
+    let a3 = g.add_layer(&format!("{name}.ca.fc2a"), Linear::new(hidden, channels, true, rng), &[a2]);
+    let m1 = g.add_layer(&format!("{name}.ca.fc1m"), Linear::new(channels, hidden, true, rng), &[max]);
+    let m2 = g.add_layer(&format!("{name}.ca.relum"), Relu::new(), &[m1]);
+    let m3 = g.add_layer(&format!("{name}.ca.fc2m"), Linear::new(hidden, channels, true, rng), &[m2]);
+    let s = g.add_layer(&format!("{name}.ca.sum"), Add::new(), &[a3, m3]);
+    let gate_c = g.add_layer(&format!("{name}.ca.sigmoid"), Sigmoid::new(), &[s]);
+    let scaled = g.add_layer(&format!("{name}.ca.scale"), BroadcastMulChannel::new(), &[input, gate_c]);
+
+    // ---- Spatial attention ----
+    let stats = g.add_layer(&format!("{name}.sa.stats"), ChannelStats::new(), &[scaled]);
+    let conv = g.add_layer(&format!("{name}.sa.conv"), Conv2d::new(2, 1, 7, 1, 3, true, rng), &[stats]);
+    let gate_s = g.add_layer(&format!("{name}.sa.sigmoid"), Sigmoid::new(), &[conv]);
+    g.add_layer(&format!("{name}.sa.scale"), BroadcastMulSpatial::new(), &[scaled, gate_s])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::layers::Identity;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    fn cbam_only_graph(channels: usize, rng: &mut Rng) -> GraphModel {
+        let mut g = GraphModel::new();
+        let x = g.input("x");
+        let pass = g.add_layer("id", Identity::new(), &[x]);
+        let out = insert_cbam_after(&mut g, "cbam", pass, channels, 4, rng);
+        g.set_output(out);
+        g
+    }
+
+    #[test]
+    fn output_preserves_shape() {
+        let mut rng = Rng::seed_from(0);
+        let mut g = cbam_only_graph(8, &mut rng);
+        let y = g.forward_one(&Tensor::randn(&[2, 8, 5, 5], &mut rng), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 8, 5, 5]);
+    }
+
+    #[test]
+    fn gates_attenuate_but_do_not_flip_sign() {
+        // Sigmoid gates are in (0, 1): |output| <= |input| element-wise,
+        // and sign(out) == sign(in) wherever out != 0.
+        let mut rng = Rng::seed_from(1);
+        let mut g = cbam_only_graph(4, &mut rng);
+        let x = Tensor::randn(&[1, 4, 3, 3], &mut rng);
+        let y = g.forward_one(&x, Mode::Eval);
+        for (&xi, &yi) in x.data().iter().zip(y.data()) {
+            assert!(yi.abs() <= xi.abs() + 1e-6);
+            assert!(xi * yi >= 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_reaches_input_and_params() {
+        let mut rng = Rng::seed_from(2);
+        let mut g = cbam_only_graph(4, &mut rng);
+        let x = Tensor::randn(&[2, 4, 3, 3], &mut rng);
+        let y = g.forward_one(&x, Mode::Train);
+        g.zero_grad();
+        g.backward(&[Tensor::ones(y.dims())]);
+        let conv = g.node_by_name("cbam.sa.conv").unwrap();
+        let gnorm: f32 = g.node(conv).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        assert!(gnorm > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CBAM reduction")]
+    fn rejects_bad_reduction() {
+        let mut rng = Rng::seed_from(3);
+        let mut g = GraphModel::new();
+        let x = g.input("x");
+        insert_cbam_after(&mut g, "c", x, 4, 8, &mut rng);
+    }
+}

@@ -1,0 +1,101 @@
+//! DenseNet-121 (Huang et al.) with bottleneck dense blocks.
+
+use crate::CvConfig;
+use amalgam_nn::graph::{GraphModel, NodeId};
+use amalgam_nn::layers::{AvgPool2d, BatchNorm2d, Concat, Conv2d, GlobalAvgPool2d, Linear, Relu};
+use amalgam_tensor::Rng;
+
+/// Block layout of DenseNet-121.
+const BLOCKS: &[usize] = &[6, 12, 24, 16];
+
+fn bn_relu_conv(
+    g: &mut GraphModel,
+    name: &str,
+    input: NodeId,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    padding: usize,
+    rng: &mut Rng,
+) -> NodeId {
+    let h = g.add_layer(&format!("{name}.bn"), BatchNorm2d::new(in_c), &[input]);
+    let h = g.add_layer(&format!("{name}.relu"), Relu::new(), &[h]);
+    g.add_layer(&format!("{name}.conv"), Conv2d::new(in_c, out_c, kernel, 1, padding, false, rng), &[h])
+}
+
+/// DenseNet-121: dense blocks of bottleneck layers (1×1 to 4·growth, then
+/// 3×3 to growth channels, concatenated), with half-compression transitions.
+///
+/// `width_mult` scales the growth rate; the block layout 6-12-24-16 is the
+/// paper architecture's.
+pub fn densenet121(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
+    let growth = cfg.scaled(32);
+    let mut g = GraphModel::new();
+    let x = g.input("x");
+    let mut channels = 2 * growth;
+    let mut h = g.add_layer("stem.conv", Conv2d::new(cfg.in_channels, channels, 3, 1, 1, false, rng), &[x]);
+    let mut hw = cfg.input_hw;
+
+    for (bi, &layers) in BLOCKS.iter().enumerate() {
+        for li in 0..layers {
+            let name = format!("block{bi}.layer{li}");
+            let b = bn_relu_conv(&mut g, &format!("{name}.1x1"), h, channels, 4 * growth, 1, 0, rng);
+            let b = bn_relu_conv(&mut g, &format!("{name}.3x3"), b, 4 * growth, growth, 3, 1, rng);
+            h = g.add_layer(&format!("{name}.cat"), Concat::new(), &[h, b]);
+            channels += growth;
+        }
+        if bi + 1 < BLOCKS.len() {
+            let out_c = channels / 2;
+            h = bn_relu_conv(&mut g, &format!("trans{bi}"), h, channels, out_c, 1, 0, rng);
+            if hw > 2 {
+                h = g.add_layer(&format!("trans{bi}.pool"), AvgPool2d::new(2, 2), &[h]);
+                hw /= 2;
+            }
+            channels = out_c;
+        }
+    }
+    let h = g.add_layer("final.bn", BatchNorm2d::new(channels), &[h]);
+    let h = g.add_layer("final.relu", Relu::new(), &[h]);
+    let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
+    let y = g.add_layer("fc", Linear::new(channels, cfg.num_classes, true, rng), &[pooled]);
+    g.set_output(y);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn full_width_param_count_is_densenet121_scale() {
+        // Full DenseNet-121 (3×3 stem variant) lands at ≈ 7 M parameters.
+        let mut rng = Rng::seed_from(0);
+        let m = densenet121(&CvConfig::new(3, 10, 32), &mut rng);
+        let params = m.param_count();
+        assert!(
+            (6.0e6..9.0e6).contains(&(params as f64)),
+            "DenseNet-121 params = {params}"
+        );
+    }
+
+    #[test]
+    fn scaled_forward_shape() {
+        let mut rng = Rng::seed_from(1);
+        let cfg = CvConfig::new(1, 10, 16).with_width_mult(0.125);
+        let mut m = densenet121(&cfg, &mut rng);
+        let y = m.forward_one(&Tensor::zeros(&[2, 1, 16, 16]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn dense_connectivity_grows_channels() {
+        // The first block must contain concat nodes (dense connectivity).
+        let mut rng = Rng::seed_from(2);
+        let cfg = CvConfig::new(1, 4, 8).with_width_mult(0.125);
+        let m = densenet121(&cfg, &mut rng);
+        assert!(m.node_by_name("block0.layer0.cat").is_some());
+        assert!(m.node_by_name("block3.layer15.cat").is_some());
+    }
+}

@@ -1,0 +1,79 @@
+//! LeNet-5 — the model used in the paper's framework comparison (Figure 14)
+//! and the attack analyses (Figures 16 and 17).
+
+use amalgam_nn::graph::GraphModel;
+use amalgam_nn::layers::{AvgPool2d, Conv2d, Flatten, Linear, Relu};
+use amalgam_tensor::Rng;
+
+/// LeNet-5 for `in_channels × hw × hw` inputs.
+///
+/// `hw` must be at least 8; the classic 28×28 MNIST geometry gives the
+/// original 6-16-120-84 layout. The two conv stages use 5×5 kernels with
+/// padding 2 followed by 2×2 average pooling, so the flattened feature size
+/// is `16·(hw/4)²`.
+///
+/// # Panics
+///
+/// Panics if `hw < 8` or `hw` is not divisible by 4.
+pub fn lenet5(in_channels: usize, hw: usize, num_classes: usize, rng: &mut Rng) -> GraphModel {
+    assert!(hw >= 8 && hw % 4 == 0, "lenet5 needs hw >= 8 divisible by 4, got {hw}");
+    let mut g = GraphModel::new();
+    let x = g.input("x");
+    let h = g.add_layer("conv1", Conv2d::new(in_channels, 6, 5, 1, 2, true, rng), &[x]);
+    let h = g.add_layer("relu1", Relu::new(), &[h]);
+    let h = g.add_layer("pool1", AvgPool2d::new(2, 2), &[h]);
+    let h = g.add_layer("conv2", Conv2d::new(6, 16, 5, 1, 2, true, rng), &[h]);
+    let h = g.add_layer("relu2", Relu::new(), &[h]);
+    let h = g.add_layer("pool2", AvgPool2d::new(2, 2), &[h]);
+    let h = g.add_layer("flatten", Flatten::new(), &[h]);
+    let feat = 16 * (hw / 4) * (hw / 4);
+    let h = g.add_layer("fc1", Linear::new(feat, 120, true, rng), &[h]);
+    let h = g.add_layer("relu3", Relu::new(), &[h]);
+    let h = g.add_layer("fc2", Linear::new(120, 84, true, rng), &[h]);
+    let h = g.add_layer("relu4", Relu::new(), &[h]);
+    let y = g.add_layer("fc3", Linear::new(84, num_classes, true, rng), &[h]);
+    g.set_output(y);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_mnist_geometry() {
+        let mut rng = Rng::seed_from(0);
+        let mut m = lenet5(1, 28, 10, &mut rng);
+        let y = m.forward_one(&Tensor::zeros(&[2, 1, 28, 28]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn param_count_matches_classic_lenet() {
+        // Classic LeNet-5 (with 5×5/pad-2 convs and 28×28 input):
+        // conv1 (1·6·25+6) + conv2 (6·16·25+16) + fc 784·120+120 + 120·84+84 + 84·10+10.
+        let mut rng = Rng::seed_from(1);
+        let m = lenet5(1, 28, 10, &mut rng);
+        let expected = (25 * 6 + 6) + (6 * 16 * 25 + 16) + (784 * 120 + 120) + (120 * 84 + 84) + (84 * 10 + 10);
+        assert_eq!(m.param_count(), expected);
+    }
+
+    #[test]
+    fn trains_one_step_without_panic() {
+        let mut rng = Rng::seed_from(2);
+        let mut m = lenet5(1, 8, 4, &mut rng);
+        let x = Tensor::randn(&[4, 1, 8, 8], &mut rng);
+        let logits = m.forward_one(&x, Mode::Train);
+        let (_, grad) = amalgam_nn::loss::cross_entropy(&logits, &[0, 1, 2, 3]);
+        m.backward(&[grad]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn rejects_odd_geometry() {
+        let mut rng = Rng::seed_from(3);
+        lenet5(1, 30, 10, &mut rng);
+    }
+}

@@ -1,0 +1,93 @@
+//! Model zoo for the Amalgam reproduction.
+//!
+//! Faithful graph-IR implementations of every architecture the paper
+//! evaluates (§5.3): ResNet-18, VGG-16, DenseNet-121, MobileNetV2, LeNet-5,
+//! a bag-of-embeddings text classifier and a transformer language model,
+//! plus CBAM attention modules for the transfer-learning experiment
+//! (Figure 13).
+//!
+//! Every CV constructor takes a [`CvConfig`] whose `width_mult` scales
+//! channel counts uniformly. The paper's overhead metrics (parameter and
+//! training-time ratios under augmentation) are width-invariant, so scaled
+//! models reproduce the same ratios at CPU-friendly cost; `width_mult = 1.0`
+//! yields the full architectures (e.g. ResNet-18 at ≈ 11.2 M parameters,
+//! matching Table 3).
+//!
+//! # Example
+//!
+//! ```
+//! use amalgam_models::{resnet18, CvConfig};
+//! use amalgam_nn::Mode;
+//! use amalgam_tensor::{Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let cfg = CvConfig::new(3, 10, 16).with_width_mult(0.25);
+//! let mut model = resnet18(&cfg, &mut rng);
+//! let logits = model.forward_one(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval);
+//! assert_eq!(logits.dims(), &[2, 10]);
+//! ```
+
+mod cbam;
+mod densenet;
+mod lenet;
+mod mobilenet;
+mod nlp;
+mod registry;
+mod resnet;
+mod vgg;
+
+pub use cbam::insert_cbam_after;
+pub use densenet::densenet121;
+pub use lenet::lenet5;
+pub use mobilenet::mobilenet_v2;
+pub use nlp::{text_classifier, transformer_lm, TransformerLmConfig};
+pub use registry::{build_cv_model, CvFamily};
+pub use resnet::resnet18;
+pub use vgg::{vgg16, vgg16_cbam};
+
+/// Configuration shared by all computer-vision model constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct CvConfig {
+    /// Input channels (1 for MNIST-like, 3 for CIFAR/Imagenette-like data).
+    pub in_channels: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Square input size (height = width).
+    pub input_hw: usize,
+    /// Uniform channel-width multiplier (1.0 = the paper's architectures).
+    pub width_mult: f32,
+}
+
+impl CvConfig {
+    /// A config at full width.
+    pub fn new(in_channels: usize, num_classes: usize, input_hw: usize) -> Self {
+        CvConfig { in_channels, num_classes, input_hw, width_mult: 1.0 }
+    }
+
+    /// Overrides the width multiplier.
+    pub fn with_width_mult(mut self, width_mult: f32) -> Self {
+        self.width_mult = width_mult;
+        self
+    }
+
+    /// Scales a channel count by the width multiplier (minimum 4, rounded to
+    /// a multiple of 4 so attention/group math stays aligned).
+    pub fn scaled(&self, channels: usize) -> usize {
+        let c = (channels as f32 * self.width_mult).round() as usize;
+        (c.max(4) + 3) / 4 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_channels_round_and_floor() {
+        let cfg = CvConfig::new(3, 10, 32).with_width_mult(0.1);
+        assert_eq!(cfg.scaled(64), 8);
+        assert_eq!(cfg.scaled(8), 4);
+        let full = CvConfig::new(3, 10, 32);
+        assert_eq!(full.scaled(64), 64);
+    }
+}

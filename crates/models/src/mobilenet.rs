@@ -1,0 +1,131 @@
+//! MobileNetV2 (Sandler et al.) with inverted residual blocks.
+
+use crate::CvConfig;
+use amalgam_nn::graph::{GraphModel, NodeId};
+use amalgam_nn::layers::{Add, BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool2d, Linear, Relu};
+use amalgam_tensor::Rng;
+
+/// Inverted-residual settings `(expansion, channels, repeats, stride)`.
+const SETTINGS: &[(usize, usize, usize, usize)] = &[
+    (1, 16, 1, 1),
+    (6, 24, 2, 1), // stride 1 (CIFAR-style; ImageNet uses 2)
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+fn conv_bn_relu(
+    g: &mut GraphModel,
+    name: &str,
+    input: NodeId,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    rng: &mut Rng,
+) -> NodeId {
+    let h = g.add_layer(&format!("{name}.conv"), Conv2d::new(in_c, out_c, kernel, stride, padding, false, rng), &[input]);
+    let h = g.add_layer(&format!("{name}.bn"), BatchNorm2d::new(out_c), &[h]);
+    g.add_layer(&format!("{name}.relu"), Relu::new(), &[h])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn inverted_residual(
+    g: &mut GraphModel,
+    name: &str,
+    input: NodeId,
+    in_c: usize,
+    out_c: usize,
+    expansion: usize,
+    stride: usize,
+    rng: &mut Rng,
+) -> NodeId {
+    let hidden = in_c * expansion;
+    let mut h = input;
+    if expansion != 1 {
+        h = conv_bn_relu(g, &format!("{name}.expand"), h, in_c, hidden, 1, 1, 0, rng);
+    }
+    h = g.add_layer(&format!("{name}.dw"), DepthwiseConv2d::new(hidden, 3, stride, 1, false, rng), &[h]);
+    h = g.add_layer(&format!("{name}.dw.bn"), BatchNorm2d::new(hidden), &[h]);
+    h = g.add_layer(&format!("{name}.dw.relu"), Relu::new(), &[h]);
+    h = g.add_layer(&format!("{name}.project"), Conv2d::new(hidden, out_c, 1, 1, 0, false, rng), &[h]);
+    h = g.add_layer(&format!("{name}.project.bn"), BatchNorm2d::new(out_c), &[h]);
+    if stride == 1 && in_c == out_c {
+        g.add_layer(&format!("{name}.add"), Add::new(), &[input, h])
+    } else {
+        h
+    }
+}
+
+/// MobileNetV2: a 3×3 stem, seven inverted-residual stages, a 1×1 head and a
+/// linear classifier. Strides collapse to 1 once the feature map reaches
+/// 2×2 so small inputs don't over-downsample.
+pub fn mobilenet_v2(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
+    let mut g = GraphModel::new();
+    let x = g.input("x");
+    let stem_c = cfg.scaled(32);
+    let mut h = conv_bn_relu(&mut g, "stem", x, cfg.in_channels, stem_c, 3, 1, 1, rng);
+    let mut in_c = stem_c;
+    let mut hw = cfg.input_hw;
+    for (si, &(t, c, n, s)) in SETTINGS.iter().enumerate() {
+        let out_c = cfg.scaled(c);
+        for bi in 0..n {
+            let want_stride = if bi == 0 { s } else { 1 };
+            let stride = if want_stride == 2 && hw > 2 { 2 } else { 1 };
+            if stride == 2 {
+                hw /= 2;
+            }
+            h = inverted_residual(&mut g, &format!("ir{si}.{bi}"), h, in_c, out_c, t, stride, rng);
+            in_c = out_c;
+        }
+    }
+    let head_c = cfg.scaled(1280);
+    h = conv_bn_relu(&mut g, "head", h, in_c, head_c, 1, 1, 0, rng);
+    let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
+    let y = g.add_layer("fc", Linear::new(head_c, cfg.num_classes, true, rng), &[pooled]);
+    g.set_output(y);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn full_width_param_count_is_mobilenetv2_scale() {
+        // MobileNetV2 with 10 classes ≈ 2.2–2.4 M parameters (paper Table 3
+        // lists 22.96 × 10⁵).
+        let mut rng = Rng::seed_from(0);
+        let m = mobilenet_v2(&CvConfig::new(3, 10, 32), &mut rng);
+        let params = m.param_count();
+        assert!(
+            (2.0e6..2.6e6).contains(&(params as f64)),
+            "MobileNetV2 params = {params}, expected ≈ 2.3e6"
+        );
+    }
+
+    #[test]
+    fn scaled_forward_shape() {
+        let mut rng = Rng::seed_from(1);
+        let cfg = CvConfig::new(1, 10, 16).with_width_mult(0.125);
+        let mut m = mobilenet_v2(&cfg, &mut rng);
+        let y = m.forward_one(&Tensor::zeros(&[2, 1, 16, 16]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn residual_adds_exist_where_expected() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = CvConfig::new(1, 4, 16).with_width_mult(0.25);
+        let m = mobilenet_v2(&cfg, &mut rng);
+        // Second block of stage 1 keeps channels and stride 1 → residual add.
+        assert!(m.node_by_name("ir1.1.add").is_some());
+        // First block of a strided stage cannot have a residual.
+        assert!(m.node_by_name("ir2.0.add").is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! NLP models: the paper's text classification model (an embedding plus a
+//! fully connected layer) and a transformer language model.
+
+use amalgam_nn::graph::GraphModel;
+use amalgam_nn::layers::{
+    Add, Dropout, Embedding, LayerNorm, Linear, MeanPoolSeq, MultiHeadSelfAttention,
+    PositionalEncoding, Relu,
+};
+use amalgam_tensor::Rng;
+
+/// The paper's text classification model: embedding → mean pool → linear.
+///
+/// With AGNews-scale settings (`vocab = 95_812`, `dim = 64`, 4 classes) this
+/// sits at ≈ 6.13 M parameters, matching Table 4's "0 % (Original)" row.
+pub fn text_classifier(vocab: usize, dim: usize, num_classes: usize, rng: &mut Rng) -> GraphModel {
+    let mut g = GraphModel::new();
+    let x = g.input("tokens");
+    let h = g.add_layer("embed", Embedding::new(vocab, dim, rng), &[x]);
+    let h = g.add_layer("pool", MeanPoolSeq::new(), &[h]);
+    let y = g.add_layer("fc", Linear::new(dim, num_classes, true, rng), &[h]);
+    g.set_output(y);
+    g
+}
+
+/// Hyper-parameters of [`transformer_lm`].
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerLmConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model dimension.
+    pub dim: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Feed-forward hidden width.
+    pub ff_dim: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_len: usize,
+    /// Dropout probability (0 disables).
+    pub dropout: f32,
+    /// Seed for dropout masks.
+    pub seed: u64,
+}
+
+impl TransformerLmConfig {
+    /// The paper's WikiText2 transformer scale (PyTorch word-LM example:
+    /// d = 200, 2 heads, 2 layers, FF 200 → ≈ 12 M untied parameters at
+    /// a 33k vocabulary).
+    pub fn wikitext2_paper() -> Self {
+        TransformerLmConfig {
+            vocab: 33_278,
+            dim: 176,
+            heads: 2,
+            layers: 2,
+            ff_dim: 200,
+            max_len: 512,
+            dropout: 0.1,
+            seed: 0,
+        }
+    }
+
+    /// A CPU-friendly scaled configuration with the same shape.
+    pub fn tiny(vocab: usize, max_len: usize) -> Self {
+        TransformerLmConfig { vocab, dim: 32, heads: 2, layers: 2, ff_dim: 64, max_len, dropout: 0.0, seed: 0 }
+    }
+}
+
+/// A causal transformer language model: embedding, sinusoidal positions and
+/// `layers` post-norm encoder blocks, closed by an untied linear head.
+pub fn transformer_lm(cfg: &TransformerLmConfig, rng: &mut Rng) -> GraphModel {
+    let mut g = GraphModel::new();
+    let x = g.input("tokens");
+    let mut h = g.add_layer("embed", Embedding::new(cfg.vocab, cfg.dim, rng), &[x]);
+    h = g.add_layer("posenc", PositionalEncoding::new(cfg.max_len, cfg.dim), &[h]);
+    for l in 0..cfg.layers {
+        let attn = g.add_layer(
+            &format!("l{l}.attn"),
+            MultiHeadSelfAttention::new(cfg.dim, cfg.heads, true, rng),
+            &[h],
+        );
+        let attn = if cfg.dropout > 0.0 {
+            g.add_layer(&format!("l{l}.attn.drop"), Dropout::new(cfg.dropout, cfg.seed ^ (l as u64 * 2 + 1)), &[attn])
+        } else {
+            attn
+        };
+        let res1 = g.add_layer(&format!("l{l}.res1"), Add::new(), &[h, attn]);
+        let n1 = g.add_layer(&format!("l{l}.ln1"), LayerNorm::new(cfg.dim), &[res1]);
+        let ff = g.add_layer(&format!("l{l}.ff1"), Linear::new(cfg.dim, cfg.ff_dim, true, rng), &[n1]);
+        let ff = g.add_layer(&format!("l{l}.ff.relu"), Relu::new(), &[ff]);
+        let ff = g.add_layer(&format!("l{l}.ff2"), Linear::new(cfg.ff_dim, cfg.dim, true, rng), &[ff]);
+        let ff = if cfg.dropout > 0.0 {
+            g.add_layer(&format!("l{l}.ff.drop"), Dropout::new(cfg.dropout, cfg.seed ^ (l as u64 * 2 + 2)), &[ff])
+        } else {
+            ff
+        };
+        let res2 = g.add_layer(&format!("l{l}.res2"), Add::new(), &[n1, ff]);
+        h = g.add_layer(&format!("l{l}.ln2"), LayerNorm::new(cfg.dim), &[res2]);
+    }
+    let y = g.add_layer("head", Linear::new(cfg.dim, cfg.vocab, true, rng), &[h]);
+    g.set_output(y);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn text_classifier_param_count_matches_paper() {
+        // Paper Table 4: 6.13 × 10⁶ parameters.
+        let mut rng = Rng::seed_from(0);
+        let m = text_classifier(95_812, 64, 4, &mut rng);
+        let params = m.param_count();
+        assert!(
+            (params as f64 - 6.13e6).abs() < 0.05e6,
+            "text classifier params = {params}, expected ≈ 6.13e6"
+        );
+    }
+
+    #[test]
+    fn transformer_param_count_matches_paper() {
+        // Paper Table 4: 12.03 × 10⁶ parameters.
+        let mut rng = Rng::seed_from(1);
+        let m = transformer_lm(&TransformerLmConfig::wikitext2_paper(), &mut rng);
+        let params = m.param_count();
+        assert!(
+            (params as f64 - 12.03e6).abs() < 0.5e6,
+            "transformer params = {params}, expected ≈ 12.03e6"
+        );
+    }
+
+    #[test]
+    fn classifier_forward_shape() {
+        let mut rng = Rng::seed_from(2);
+        let mut m = text_classifier(50, 8, 4, &mut rng);
+        let ids = Tensor::zeros(&[3, 12]);
+        let y = m.forward_one(&ids, Mode::Eval);
+        assert_eq!(y.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn transformer_forward_shape_and_backward() {
+        let mut rng = Rng::seed_from(3);
+        let cfg = TransformerLmConfig::tiny(20, 16);
+        let mut m = transformer_lm(&cfg, &mut rng);
+        let ids = Tensor::from_fn(&[2, 8], |i| (i % 20) as f32);
+        let logits = m.forward_one(&ids, Mode::Train);
+        assert_eq!(logits.dims(), &[2, 8, 20]);
+        let targets: Vec<usize> = (0..16).map(|i| i % 20).collect();
+        let (_, grad) = amalgam_nn::loss::cross_entropy_seq(&logits, &targets);
+        m.zero_grad();
+        m.backward(&[grad]);
+        let embed = m.node_by_name("embed").unwrap();
+        let gnorm: f32 = m.node(embed).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        assert!(gnorm > 0.0, "embedding got no gradient");
+    }
+}

@@ -1,0 +1,81 @@
+//! Model family registry used by the benchmark harness.
+
+use crate::{densenet121, lenet5, mobilenet_v2, resnet18, vgg16, CvConfig};
+use amalgam_nn::graph::GraphModel;
+use amalgam_tensor::Rng;
+
+/// The computer-vision families the paper evaluates (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CvFamily {
+    /// ResNet-18 with basic blocks.
+    ResNet18,
+    /// VGG-16 with batch norm.
+    Vgg16,
+    /// DenseNet-121.
+    DenseNet121,
+    /// MobileNetV2.
+    MobileNetV2,
+    /// LeNet-5 (framework comparison and attack experiments).
+    LeNet5,
+}
+
+impl CvFamily {
+    /// All families in Table 3 order.
+    pub fn table3() -> [CvFamily; 4] {
+        [CvFamily::ResNet18, CvFamily::Vgg16, CvFamily::DenseNet121, CvFamily::MobileNetV2]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CvFamily::ResNet18 => "ResNet18",
+            CvFamily::Vgg16 => "VGG16",
+            CvFamily::DenseNet121 => "DenseNet121",
+            CvFamily::MobileNetV2 => "MobileNetV2",
+            CvFamily::LeNet5 => "LeNet5",
+        }
+    }
+}
+
+impl std::fmt::Display for CvFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a model of the given family.
+pub fn build_cv_model(family: CvFamily, cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
+    match family {
+        CvFamily::ResNet18 => resnet18(cfg, rng),
+        CvFamily::Vgg16 => vgg16(cfg, rng),
+        CvFamily::DenseNet121 => densenet121(cfg, rng),
+        CvFamily::MobileNetV2 => mobilenet_v2(cfg, rng),
+        CvFamily::LeNet5 => lenet5(cfg.in_channels, cfg.input_hw, cfg.num_classes, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn every_family_builds_and_runs_scaled() {
+        let mut rng = Rng::seed_from(0);
+        let cfg = CvConfig::new(1, 10, 16).with_width_mult(0.125);
+        for family in
+            [CvFamily::ResNet18, CvFamily::Vgg16, CvFamily::DenseNet121, CvFamily::MobileNetV2, CvFamily::LeNet5]
+        {
+            let mut m = build_cv_model(family, &cfg, &mut rng);
+            let y = m.forward_one(&Tensor::zeros(&[1, 1, 16, 16]), Mode::Eval);
+            assert_eq!(y.dims(), &[1, 10], "{family}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CvFamily::ResNet18.name(), "ResNet18");
+        assert_eq!(CvFamily::table3().len(), 4);
+    }
+}

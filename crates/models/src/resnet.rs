@@ -1,0 +1,116 @@
+//! ResNet-18 (He et al.) with basic blocks and a CIFAR-style 3×3 stem.
+
+use crate::CvConfig;
+use amalgam_nn::graph::{GraphModel, NodeId};
+use amalgam_nn::layers::{Add, BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Relu};
+use amalgam_tensor::Rng;
+
+fn conv_bn_relu(
+    g: &mut GraphModel,
+    name: &str,
+    input: NodeId,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    relu: bool,
+    rng: &mut Rng,
+) -> NodeId {
+    let h = g.add_layer(&format!("{name}.conv"), Conv2d::new(in_c, out_c, kernel, stride, padding, false, rng), &[input]);
+    let h = g.add_layer(&format!("{name}.bn"), BatchNorm2d::new(out_c), &[h]);
+    if relu {
+        g.add_layer(&format!("{name}.relu"), Relu::new(), &[h])
+    } else {
+        h
+    }
+}
+
+fn basic_block(
+    g: &mut GraphModel,
+    name: &str,
+    input: NodeId,
+    in_c: usize,
+    out_c: usize,
+    stride: usize,
+    rng: &mut Rng,
+) -> NodeId {
+    let h = conv_bn_relu(g, &format!("{name}.a"), input, in_c, out_c, 3, stride, 1, true, rng);
+    let h = conv_bn_relu(g, &format!("{name}.b"), h, out_c, out_c, 3, 1, 1, false, rng);
+    let shortcut = if stride != 1 || in_c != out_c {
+        conv_bn_relu(g, &format!("{name}.down"), input, in_c, out_c, 1, stride, 0, false, rng)
+    } else {
+        input
+    };
+    let sum = g.add_layer(&format!("{name}.add"), Add::new(), &[h, shortcut]);
+    g.add_layer(&format!("{name}.relu"), Relu::new(), &[sum])
+}
+
+/// ResNet-18: a 3×3 stem, four stages of two basic blocks each
+/// (64/128/256/512 × `width_mult` channels, strides 1/2/2/2), global average
+/// pooling and a linear classifier.
+///
+/// At `width_mult = 1.0` and `num_classes = 10` this has ≈ 11.2 M parameters
+/// (Table 3's "0 % (Original)" row).
+pub fn resnet18(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
+    let widths = [cfg.scaled(64), cfg.scaled(128), cfg.scaled(256), cfg.scaled(512)];
+    let mut g = GraphModel::new();
+    let x = g.input("x");
+    let mut h = conv_bn_relu(&mut g, "stem", x, cfg.in_channels, widths[0], 3, 1, 1, true, rng);
+    let mut in_c = widths[0];
+    for (si, &out_c) in widths.iter().enumerate() {
+        for bi in 0..2 {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            h = basic_block(&mut g, &format!("layer{}.{}", si + 1, bi), h, in_c, out_c, stride, rng);
+            in_c = out_c;
+        }
+    }
+    let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
+    let y = g.add_layer("fc", Linear::new(in_c, cfg.num_classes, true, rng), &[pooled]);
+    g.set_output(y);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn full_width_param_count_matches_paper() {
+        // Paper Table 3: ResNet-18 on CIFAR10 = 11.17 × 10⁶ parameters.
+        let mut rng = Rng::seed_from(0);
+        let m = resnet18(&CvConfig::new(3, 10, 32), &mut rng);
+        let params = m.param_count();
+        assert!(
+            (params as f64 - 11.17e6).abs() < 0.15e6,
+            "ResNet-18 params = {params}, expected ≈ 11.17e6"
+        );
+    }
+
+    #[test]
+    fn scaled_model_forward_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let cfg = CvConfig::new(1, 10, 16).with_width_mult(0.125);
+        let mut m = resnet18(&cfg, &mut rng);
+        let y = m.forward_one(&Tensor::zeros(&[2, 1, 16, 16]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn backward_runs_through_residuals() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = CvConfig::new(1, 4, 8).with_width_mult(0.1);
+        let mut m = resnet18(&cfg, &mut rng);
+        let x = Tensor::randn(&[2, 1, 8, 8], &mut rng);
+        let logits = m.forward_one(&x, Mode::Train);
+        let (_, grad) = amalgam_nn::loss::cross_entropy(&logits, &[0, 1]);
+        m.zero_grad();
+        m.backward(&[grad]);
+        // Stem must receive gradient through all residual paths.
+        let stem = m.node_by_name("stem.conv").unwrap();
+        let gnorm: f32 = m.node(stem).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        assert!(gnorm > 0.0, "stem got no gradient");
+    }
+}

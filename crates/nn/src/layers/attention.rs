@@ -1,0 +1,286 @@
+//! Multi-head self-attention (transformer building block).
+
+use crate::layer::{Layer, Mode, Param};
+use crate::spec::LayerSpec;
+use amalgam_tensor::{Rng, Tensor};
+
+/// Multi-head scaled-dot-product self-attention over `[B, T, D]`.
+///
+/// Projections are `[D, D]` matrices applied as `X @ W`; with `causal = true`
+/// position `i` may only attend to positions `≤ i` (language modelling).
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    heads: usize,
+    causal: bool,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    x2d: Tensor, // [B*T, D]
+    q: Tensor,   // [B*T, D]
+    k: Tensor,
+    v: Tensor,
+    o: Tensor,            // pre-Wo concat of heads, [B*T, D]
+    probs: Vec<Tensor>,   // per (b, h): [T, T]
+    bt: (usize, usize),
+}
+
+/// Copies columns `[c0, c1)` of an `[rows, d]` matrix slice into `[rows, c1-c0]`.
+fn take_cols(data: &[f32], rows: usize, d: usize, c0: usize, c1: usize) -> Tensor {
+    let w = c1 - c0;
+    let mut out = Tensor::zeros(&[rows, w]);
+    for r in 0..rows {
+        out.data_mut()[r * w..(r + 1) * w].copy_from_slice(&data[r * d + c0..r * d + c1]);
+    }
+    out
+}
+
+/// Adds `src: [rows, c1-c0]` into columns `[c0, c1)` of `dst` (an `[rows, d]` slice).
+fn add_cols(dst: &mut [f32], rows: usize, d: usize, c0: usize, c1: usize, src: &Tensor) {
+    let w = c1 - c0;
+    for r in 0..rows {
+        for j in 0..w {
+            dst[r * d + c0 + j] += src.data()[r * w + j];
+        }
+    }
+}
+
+impl MultiHeadSelfAttention {
+    /// A new attention block with `heads` heads over model dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(dim: usize, heads: usize, causal: bool, rng: &mut Rng) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} must be divisible by heads {heads}");
+        let bound = (1.0 / dim as f32).sqrt();
+        let mut mk = || Param::new(Tensor::rand_uniform(&[dim, dim], -bound, bound, rng));
+        MultiHeadSelfAttention { wq: mk(), wk: mk(), wv: mk(), wo: mk(), heads, causal, cache: None }
+    }
+
+    /// Reassembles from explicit projection matrices (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices are not all `[D, D]` with `D % heads == 0`.
+    pub fn from_params(wq: Tensor, wk: Tensor, wv: Tensor, wo: Tensor, heads: usize, causal: bool) -> Self {
+        let d = wq.dims()[0];
+        for m in [&wq, &wk, &wv, &wo] {
+            assert_eq!(m.dims(), &[d, d], "attention projections must be square [D,D]");
+        }
+        assert_eq!(d % heads, 0, "dim must divide heads");
+        MultiHeadSelfAttention {
+            wq: Param::new(wq),
+            wk: Param::new(wk),
+            wv: Param::new(wv),
+            wo: Param::new(wo),
+            heads,
+            causal,
+            cache: None,
+        }
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.wq.value.dims()[0]
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+impl Layer for MultiHeadSelfAttention {
+    fn kind(&self) -> &'static str {
+        "MultiHeadSelfAttention"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "attention takes one input");
+        let x = inputs[0];
+        let dims = x.dims();
+        assert_eq!(dims.len(), 3, "attention input must be [B,T,D]");
+        let (b, t, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.dim(), "attention dim mismatch");
+        let h = self.heads;
+        let dh = d / h;
+        let alpha = 1.0 / (dh as f32).sqrt();
+
+        let x2d = x.reshape(&[b * t, d]);
+        let q = x2d.matmul(&self.wq.value);
+        let k = x2d.matmul(&self.wk.value);
+        let v = x2d.matmul(&self.wv.value);
+
+        let mut o = Tensor::zeros(&[b * t, d]);
+        let mut probs = Vec::with_capacity(b * h);
+        for bi in 0..b {
+            let row0 = bi * t;
+            for hi in 0..h {
+                let (c0, c1) = (hi * dh, (hi + 1) * dh);
+                let qh = take_cols(&q.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+                let kh = take_cols(&k.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+                let vh = take_cols(&v.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+                let mut s = qh.matmul_nt(&kh).scale(alpha); // [T, T]
+                if self.causal {
+                    for i in 0..t {
+                        for j in (i + 1)..t {
+                            s.data_mut()[i * t + j] = -1e30;
+                        }
+                    }
+                }
+                let p = s.softmax_rows();
+                let oh = p.matmul(&vh); // [T, dh]
+                add_cols(&mut o.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &oh);
+                probs.push(p);
+            }
+        }
+        let y = o.matmul(&self.wo.value);
+        self.cache = Some(AttnCache { x2d, q, k, v, o, probs, bt: (b, t) });
+        y.reshape(&[b, t, d])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let AttnCache { x2d, q, k, v, o, probs, bt: (b, t) } =
+            self.cache.take().expect("attention backward before forward");
+        let d = self.dim();
+        let h = self.heads;
+        let dh = d / h;
+        let alpha = 1.0 / (dh as f32).sqrt();
+
+        let g2d = grad_out.reshape(&[b * t, d]);
+        // y = o @ Wo
+        self.wo.grad.add_assign(&o.matmul_tn(&g2d));
+        let d_o = g2d.matmul_nt(&self.wo.value); // [B*T, D]
+
+        let mut dq = Tensor::zeros(&[b * t, d]);
+        let mut dk = Tensor::zeros(&[b * t, d]);
+        let mut dv = Tensor::zeros(&[b * t, d]);
+
+        for bi in 0..b {
+            let row0 = bi * t;
+            for hi in 0..h {
+                let (c0, c1) = (hi * dh, (hi + 1) * dh);
+                let p = &probs[bi * h + hi];
+                let qh = take_cols(&q.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+                let kh = take_cols(&k.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+                let vh = take_cols(&v.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+                let doh = take_cols(&d_o.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+
+                let dp = doh.matmul_nt(&vh); // [T, T]
+                let dvh = p.matmul_tn(&doh); // [T, dh]
+                // Softmax backward per row: dS = P ∘ (dP - rowsum(dP ∘ P)).
+                let mut ds = Tensor::zeros(&[t, t]);
+                for i in 0..t {
+                    let prow = &p.data()[i * t..(i + 1) * t];
+                    let dprow = &dp.data()[i * t..(i + 1) * t];
+                    let dot: f32 = prow.iter().zip(dprow).map(|(&pv, &dpv)| pv * dpv).sum();
+                    for j in 0..t {
+                        ds.data_mut()[i * t + j] = prow[j] * (dprow[j] - dot);
+                    }
+                }
+                ds.scale_in_place(alpha);
+                let dqh = ds.matmul(&kh);
+                let dkh = ds.matmul_tn(&qh);
+
+                add_cols(&mut dq.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &dqh);
+                add_cols(&mut dk.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &dkh);
+                add_cols(&mut dv.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &dvh);
+            }
+        }
+
+        self.wq.grad.add_assign(&x2d.matmul_tn(&dq));
+        self.wk.grad.add_assign(&x2d.matmul_tn(&dk));
+        self.wv.grad.add_assign(&x2d.matmul_tn(&dv));
+
+        let mut dx = dq.matmul_nt(&self.wq.value);
+        dx.add_assign(&dk.matmul_nt(&self.wk.value));
+        dx.add_assign(&dv.matmul_nt(&self.wv.value));
+        vec![dx.reshape(&[b, t, d])]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wq, &self.wk, &self.wv, &self.wo]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::MultiHeadSelfAttention {
+            wq: self.wq.value.clone(),
+            wk: self.wk.value.clone(),
+            wv: self.wv.value.clone(),
+            wo: self.wo.value.clone(),
+            heads: self.heads,
+            causal: self.causal,
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Rng::seed_from(0);
+        let mut a = MultiHeadSelfAttention::new(8, 2, false, &mut rng);
+        let x = Tensor::randn(&[2, 5, 8], &mut rng);
+        assert_eq!(a.forward(&[&x], Mode::Train).dims(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn causal_mask_ignores_future() {
+        // With a causal mask, output at position 0 must not change when we
+        // perturb positions > 0.
+        let mut rng = Rng::seed_from(1);
+        let mut a = MultiHeadSelfAttention::new(4, 1, true, &mut rng);
+        let x1 = Tensor::randn(&[1, 3, 4], &mut rng);
+        let mut x2 = x1.clone();
+        for i in 4..12 {
+            x2.data_mut()[i] += 1.0; // perturb positions 1 and 2
+        }
+        let y1 = a.forward(&[&x1], Mode::Eval);
+        let y2 = a.forward(&[&x2], Mode::Eval);
+        for j in 0..4 {
+            assert!((y1.data()[j] - y2.data()[j]).abs() < 1e-5, "position 0 leaked future info");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(2);
+        let a = MultiHeadSelfAttention::new(4, 2, false, &mut rng);
+        check_layer_gradients(Box::new(a), &[&[1, 3, 4]], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_causal() {
+        let mut rng = Rng::seed_from(3);
+        let a = MultiHeadSelfAttention::new(4, 1, true, &mut rng);
+        check_layer_gradients(Box::new(a), &[&[1, 3, 4]], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn param_count_is_4d2() {
+        let mut rng = Rng::seed_from(4);
+        let a = MultiHeadSelfAttention::new(8, 2, false, &mut rng);
+        assert_eq!(a.param_count(), 4 * 64);
+    }
+}

@@ -1,0 +1,232 @@
+//! Token embedding and positional encoding for NLP models.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::spec::LayerSpec;
+use amalgam_tensor::{Rng, Tensor};
+
+/// Token-embedding lookup: indices `[B, T]` (as `f32` ids) → `[B, T, D]`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    weight: Param, // [vocab, dim]
+    cache_indices: Option<Vec<usize>>,
+    cache_bt: Option<(usize, usize)>,
+}
+
+impl Embedding {
+    /// A new embedding table with N(0, 1) initialisation scaled by `1/√dim`.
+    pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Self {
+        let scale = 1.0 / (dim as f32).sqrt();
+        Embedding {
+            weight: Param::new(Tensor::randn(&[vocab, dim], rng).scale(scale)),
+            cache_indices: None,
+            cache_bt: None,
+        }
+    }
+
+    /// Reassembles from an explicit table (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not 2-D.
+    pub fn from_params(weight: Tensor) -> Self {
+        assert_eq!(weight.shape().rank(), 2, "Embedding weight must be [vocab, dim]");
+        Embedding { weight: Param::new(weight), cache_indices: None, cache_bt: None }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+}
+
+impl Layer for Embedding {
+    fn kind(&self) -> &'static str {
+        "Embedding"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "Embedding takes one input");
+        let ids = inputs[0];
+        let d = ids.dims();
+        assert_eq!(d.len(), 2, "Embedding input must be [B, T] token ids");
+        let (b, t) = (d[0], d[1]);
+        let dim = self.dim();
+        let vocab = self.vocab();
+        let mut out = Tensor::zeros(&[b, t, dim]);
+        let mut idx = Vec::with_capacity(b * t);
+        for (k, &raw) in ids.data().iter().enumerate() {
+            let token = raw as usize;
+            assert!(token < vocab, "token id {token} out of vocabulary ({vocab})");
+            idx.push(token);
+            out.data_mut()[k * dim..(k + 1) * dim]
+                .copy_from_slice(&self.weight.value.data()[token * dim..(token + 1) * dim]);
+        }
+        self.cache_indices = Some(idx);
+        self.cache_bt = Some((b, t));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let idx = self.cache_indices.take().expect("Embedding backward before forward");
+        let (b, t) = self.cache_bt.take().expect("Embedding backward before forward");
+        let dim = self.dim();
+        for (k, &token) in idx.iter().enumerate() {
+            let g = &grad_out.data()[k * dim..(k + 1) * dim];
+            for (j, &gv) in g.iter().enumerate() {
+                self.weight.grad.data_mut()[token * dim + j] += gv;
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient of the
+        // input's shape so the graph executor's bookkeeping stays uniform.
+        vec![Tensor::zeros(&[b, t])]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Embedding { weight: self.weight.value.clone() }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache_indices = None;
+        self.cache_bt = None;
+    }
+}
+
+/// Sinusoidal positional encoding added to `[B, T, D]` activations.
+#[derive(Debug, Clone)]
+pub struct PositionalEncoding {
+    table: Tensor, // [max_len, dim]
+}
+
+impl PositionalEncoding {
+    /// A new sinusoidal table for sequences up to `max_len`.
+    pub fn new(max_len: usize, dim: usize) -> Self {
+        let mut table = Tensor::zeros(&[max_len, dim]);
+        for pos in 0..max_len {
+            for i in 0..dim {
+                let angle = pos as f32 / 10_000f32.powf((2 * (i / 2)) as f32 / dim as f32);
+                table.data_mut()[pos * dim + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            }
+        }
+        PositionalEncoding { table }
+    }
+
+    /// Reassembles from an explicit table (deserialization).
+    pub fn from_table(table: Tensor) -> Self {
+        PositionalEncoding { table }
+    }
+
+    /// Maximum supported sequence length.
+    pub fn max_len(&self) -> usize {
+        self.table.dims()[0]
+    }
+}
+
+impl Layer for PositionalEncoding {
+    fn kind(&self) -> &'static str {
+        "PositionalEncoding"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "PositionalEncoding takes one input");
+        let x = inputs[0];
+        let d = x.dims();
+        assert_eq!(d.len(), 3, "PositionalEncoding input must be [B,T,D]");
+        let (b, t, dim) = (d[0], d[1], d[2]);
+        assert!(t <= self.max_len(), "sequence length {t} exceeds table {}", self.max_len());
+        assert_eq!(dim, self.table.dims()[1], "PositionalEncoding dim mismatch");
+        let mut out = x.clone();
+        for bi in 0..b {
+            for ti in 0..t {
+                for di in 0..dim {
+                    out.data_mut()[bi * t * dim + ti * dim + di] += self.table.data()[ti * dim + di];
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        vec![grad_out.clone()]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::PositionalEncoding { table: self.table.clone() }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let w = Tensor::from_vec(vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0], &[3, 2]);
+        let mut e = Embedding::from_params(w);
+        let ids = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]);
+        let y = e.forward(&[&ids], Mode::Train);
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_per_token() {
+        let w = Tensor::zeros(&[3, 2]);
+        let mut e = Embedding::from_params(w);
+        let ids = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        e.forward(&[&ids], Mode::Train);
+        e.backward(&Tensor::ones(&[1, 2, 2]));
+        // Token 1 used twice → gradient 2 per component.
+        assert_eq!(e.weight.grad.data(), &[0.0, 0.0, 2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab() {
+        let mut e = Embedding::from_params(Tensor::zeros(&[3, 2]));
+        let ids = Tensor::from_vec(vec![5.0], &[1, 1]);
+        e.forward(&[&ids], Mode::Train);
+    }
+
+    #[test]
+    fn positional_encoding_adds_table() {
+        let mut pe = PositionalEncoding::new(4, 2);
+        let x = Tensor::zeros(&[1, 3, 2]);
+        let y = pe.forward(&[&x], Mode::Train);
+        // Position 0: sin(0)=0, cos(0)=1.
+        assert!((y.data()[0] - 0.0).abs() < 1e-6);
+        assert!((y.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn positional_encoding_gradient_is_identity() {
+        let mut pe = PositionalEncoding::new(4, 2);
+        pe.forward(&[&Tensor::zeros(&[1, 2, 2])], Mode::Train);
+        let g = pe.backward(&Tensor::ones(&[1, 2, 2]));
+        assert_eq!(g[0].sum(), 4.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Normalization layers.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::spec::LayerSpec;
+use amalgam_tensor::Tensor;
+
+/// Batch normalization over the channel axis of `[N, C, H, W]`.
+///
+/// Keeps running statistics for evaluation; uses biased batch variance during
+/// training, like the reference PyTorch implementation's normalisation step.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    train: bool,
+}
+
+impl BatchNorm2d {
+    /// A new batch norm over `channels` with γ=1, β=0.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Reassembles from explicit tensors (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four tensors do not share one `[C]` shape.
+    pub fn from_params(gamma: Tensor, beta: Tensor, running_mean: Tensor, running_var: Tensor) -> Self {
+        let c = gamma.numel();
+        assert!(
+            beta.numel() == c && running_mean.numel() == c && running_var.numel() == c,
+            "BatchNorm2d tensors must all be [C]"
+        );
+        BatchNorm2d {
+            gamma: Param::new(gamma),
+            beta: Param::new(beta),
+            running_mean,
+            running_var,
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.numel()
+    }
+
+    /// The running mean buffer.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The running variance buffer.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn kind(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "BatchNorm2d takes one input");
+        let x = inputs[0];
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "BatchNorm2d input must be [N,C,H,W]");
+        let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
+        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+        let m = (n * hw) as f32;
+
+        let mut out = Tensor::zeros(d);
+        let mut xhat = Tensor::zeros(d);
+        let mut inv_std = vec![0.0f32; c];
+        let train = mode == Mode::Train;
+
+        for ci in 0..c {
+            let (mu, var) = if train {
+                let mut sum = 0.0f32;
+                for ni in 0..n {
+                    sum += x.data()[ni * c * hw + ci * hw..ni * c * hw + (ci + 1) * hw].iter().sum::<f32>();
+                }
+                let mu = sum / m;
+                let mut varsum = 0.0f32;
+                for ni in 0..n {
+                    for &v in &x.data()[ni * c * hw + ci * hw..ni * c * hw + (ci + 1) * hw] {
+                        varsum += (v - mu) * (v - mu);
+                    }
+                }
+                let var = varsum / m;
+                // Update running stats.
+                let rm = &mut self.running_mean.data_mut()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mu;
+                let rv = &mut self.running_var.data_mut()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                (mu, var)
+            } else {
+                (self.running_mean.data()[ci], self.running_var.data()[ci])
+            };
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[ci] = istd;
+            let (g, b) = (self.gamma.value.data()[ci], self.beta.value.data()[ci]);
+            for ni in 0..n {
+                let base = ni * c * hw + ci * hw;
+                for p in 0..hw {
+                    let xh = (x.data()[base + p] - mu) * istd;
+                    xhat.data_mut()[base + p] = xh;
+                    out.data_mut()[base + p] = g * xh + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache { xhat, inv_std, train });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let BnCache { xhat, inv_std, train } =
+            self.cache.take().expect("BatchNorm2d backward before forward");
+        let d = xhat.dims().to_vec();
+        let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
+        let m = (n * hw) as f32;
+        let mut dx = Tensor::zeros(&d);
+
+        for ci in 0..c {
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for ni in 0..n {
+                let base = ni * c * hw + ci * hw;
+                for p in 0..hw {
+                    dgamma += grad_out.data()[base + p] * xhat.data()[base + p];
+                    dbeta += grad_out.data()[base + p];
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += dgamma;
+            self.beta.grad.data_mut()[ci] += dbeta;
+
+            let g = self.gamma.value.data()[ci];
+            let istd = inv_std[ci];
+            for ni in 0..n {
+                let base = ni * c * hw + ci * hw;
+                for p in 0..hw {
+                    let dy = grad_out.data()[base + p];
+                    dx.data_mut()[base + p] = if train {
+                        g * istd * (dy - dbeta / m - xhat.data()[base + p] * dgamma / m)
+                    } else {
+                        g * istd * dy
+                    };
+                }
+            }
+        }
+        vec![dx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers(&self) -> Vec<&Tensor> {
+        vec![&self.running_mean, &self.running_var]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::BatchNorm2d {
+            gamma: self.gamma.value.clone(),
+            beta: self.beta.value.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Layer normalization over the last dimension (transformer-style).
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<(Tensor, Vec<f32>)>, // (xhat, inv_std per row)
+}
+
+impl LayerNorm {
+    /// A new layer norm over vectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::ones(&[dim])),
+            beta: Param::new(Tensor::zeros(&[dim])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Reassembles from explicit tensors (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if γ and β shapes differ.
+    pub fn from_params(gamma: Tensor, beta: Tensor) -> Self {
+        assert_eq!(gamma.numel(), beta.numel(), "LayerNorm gamma/beta mismatch");
+        LayerNorm { gamma: Param::new(gamma), beta: Param::new(beta), eps: 1e-5, cache: None }
+    }
+
+    /// Normalised dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.numel()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn kind(&self) -> &'static str {
+        "LayerNorm"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "LayerNorm takes one input");
+        let x = inputs[0];
+        let dim = self.dim();
+        assert_eq!(*x.dims().last().expect("LayerNorm input rank >= 1"), dim, "LayerNorm dim mismatch");
+        let rows = x.numel() / dim;
+        let mut out = Tensor::zeros(x.dims());
+        let mut xhat = Tensor::zeros(x.dims());
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &x.data()[r * dim..(r + 1) * dim];
+            let mu = row.iter().sum::<f32>() / dim as f32;
+            let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / dim as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[r] = istd;
+            for i in 0..dim {
+                let xh = (row[i] - mu) * istd;
+                xhat.data_mut()[r * dim + i] = xh;
+                out.data_mut()[r * dim + i] = self.gamma.value.data()[i] * xh + self.beta.value.data()[i];
+            }
+        }
+        self.cache = Some((xhat, inv_std));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let (xhat, inv_std) = self.cache.take().expect("LayerNorm backward before forward");
+        let dim = self.dim();
+        let rows = xhat.numel() / dim;
+        let mut dx = Tensor::zeros(xhat.dims());
+        for r in 0..rows {
+            let xh = &xhat.data()[r * dim..(r + 1) * dim];
+            let dy = &grad_out.data()[r * dim..(r + 1) * dim];
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xh = 0.0f32;
+            for i in 0..dim {
+                let dyg = dy[i] * self.gamma.value.data()[i];
+                sum_dyg += dyg;
+                sum_dyg_xh += dyg * xh[i];
+                self.gamma.grad.data_mut()[i] += dy[i] * xh[i];
+                self.beta.grad.data_mut()[i] += dy[i];
+            }
+            let istd = inv_std[r];
+            for i in 0..dim {
+                let dyg = dy[i] * self.gamma.value.data()[i];
+                dx.data_mut()[r * dim + i] =
+                    istd * (dyg - sum_dyg / dim as f32 - xh[i] * sum_dyg_xh / dim as f32);
+            }
+        }
+        vec![dx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::LayerNorm { gamma: self.gamma.value.clone(), beta: self.beta.value.clone() }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use amalgam_tensor::Rng;
+
+    #[test]
+    fn batchnorm_normalizes_in_train_mode() {
+        let mut rng = Rng::seed_from(0);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 3, 3], &mut rng).scale(3.0).add_scalar(5.0);
+        let y = bn.forward(&[&x], Mode::Train);
+        // Each channel of the output should be ~zero-mean, ~unit-variance.
+        let (n, c, hw) = (4, 2, 9);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                vals.extend_from_slice(&y.data()[ni * c * hw + ci * hw..ni * c * hw + (ci + 1) * hw]);
+            }
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut rng = Rng::seed_from(1);
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::randn(&[8, 1, 4, 4], &mut rng);
+        for _ in 0..50 {
+            bn.forward(&[&x], Mode::Train);
+        }
+        let y_train = bn.forward(&[&x], Mode::Train);
+        let y_eval = bn.forward(&[&x], Mode::Eval);
+        // After many updates on the same batch, running stats ≈ batch stats.
+        assert!(y_train.max_abs_diff(&y_eval) < 0.1);
+    }
+
+    #[test]
+    fn batchnorm_gradcheck_train() {
+        let mut rng = Rng::seed_from(2);
+        check_layer_gradients(Box::new(BatchNorm2d::new(2)), &[&[3, 2, 2, 2]], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn layernorm_rows_normalized() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let y = ln.forward(&[&x], Mode::Eval);
+        let mean = y.mean();
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut rng = Rng::seed_from(3);
+        check_layer_gradients(Box::new(LayerNorm::new(5)), &[&[3, 5]], 3e-2, &mut rng);
+    }
+}

@@ -1,0 +1,466 @@
+//! Pooling layers over `[N, C, H, W]` feature maps.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::spec::LayerSpec;
+use amalgam_tensor::Tensor;
+
+fn pool_out(h: usize, k: usize, s: usize) -> usize {
+    (h - k) / s + 1
+}
+
+/// Max pooling with a square window (no padding).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax flat indices)
+}
+
+impl MaxPool2d {
+    /// A new pooling layer (`stride` defaults to `kernel` when equal).
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d { kernel, stride, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn kind(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "MaxPool2d takes one input");
+        let x = inputs[0];
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "MaxPool2d input must be [N,C,H,W]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (oh, ow) = (pool_out(h, self.kernel, self.stride), pool_out(w, self.kernel, self.stride));
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut arg = vec![0usize; n * c * oh * ow];
+        let src = x.data();
+        let dst = out.data_mut();
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            let idx = base + (oy * self.stride + ky) * w + ox * self.stride + kx;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = nc * oh * ow + oy * ow + ox;
+                    dst[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+        self.cache = Some((d.to_vec(), arg));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let (dims, arg) = self.cache.take().expect("MaxPool2d backward before forward");
+        let mut dx = Tensor::zeros(&dims);
+        dx.scatter_add_flat(&arg, grad_out.data());
+        vec![dx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::MaxPool2d { kernel: self.kernel, stride: self.stride }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Average pooling with a square window (no padding).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cache_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// A new average pooling layer.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d { kernel, stride, cache_dims: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn kind(&self) -> &'static str {
+        "AvgPool2d"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "AvgPool2d takes one input");
+        let x = inputs[0];
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "AvgPool2d input must be [N,C,H,W]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (oh, ow) = (pool_out(h, self.kernel, self.stride), pool_out(w, self.kernel, self.stride));
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = x.data();
+        let dst = out.data_mut();
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            acc += src[base + (oy * self.stride + ky) * w + ox * self.stride + kx];
+                        }
+                    }
+                    dst[nc * oh * ow + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+        self.cache_dims = Some(d.to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let dims = self.cache_dims.take().expect("AvgPool2d backward before forward");
+        let (h, w) = (dims[2], dims[3]);
+        let god = grad_out.dims();
+        let (oh, ow) = (god[2], god[3]);
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut dx = Tensor::zeros(&dims);
+        let dst = dx.data_mut();
+        let src = grad_out.data();
+        for nc in 0..dims[0] * dims[1] {
+            let base = nc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = src[nc * oh * ow + oy * ow + ox] * inv;
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            dst[base + (oy * self.stride + ky) * w + ox * self.stride + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        vec![dx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::AvgPool2d { kernel: self.kernel, stride: self.stride }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache_dims = None;
+    }
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool2d {
+    cache_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool2d {
+    /// A new global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool2d { cache_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool2d {
+    fn kind(&self) -> &'static str {
+        "GlobalAvgPool2d"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "GlobalAvgPool2d takes one input");
+        let x = inputs[0];
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "GlobalAvgPool2d input must be [N,C,H,W]");
+        let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
+        let inv = 1.0 / hw as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        for nc in 0..n * c {
+            out.data_mut()[nc] = x.data()[nc * hw..(nc + 1) * hw].iter().sum::<f32>() * inv;
+        }
+        self.cache_dims = Some(d.to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let dims = self.cache_dims.take().expect("GlobalAvgPool2d backward before forward");
+        let hw = dims[2] * dims[3];
+        let inv = 1.0 / hw as f32;
+        let mut dx = Tensor::zeros(&dims);
+        for nc in 0..dims[0] * dims[1] {
+            let g = grad_out.data()[nc] * inv;
+            dx.data_mut()[nc * hw..(nc + 1) * hw].iter_mut().for_each(|v| *v = g);
+        }
+        vec![dx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::GlobalAvgPool2d
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache_dims = None;
+    }
+}
+
+/// Global max pooling: `[N, C, H, W]` → `[N, C]` (used by CBAM).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMaxPool2d {
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl GlobalMaxPool2d {
+    /// A new global max pooling layer.
+    pub fn new() -> Self {
+        GlobalMaxPool2d { cache: None }
+    }
+}
+
+impl Layer for GlobalMaxPool2d {
+    fn kind(&self) -> &'static str {
+        "GlobalMaxPool2d"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "GlobalMaxPool2d takes one input");
+        let x = inputs[0];
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "GlobalMaxPool2d input must be [N,C,H,W]");
+        let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
+        let mut out = Tensor::zeros(&[n, c]);
+        let mut arg = vec![0usize; n * c];
+        for nc in 0..n * c {
+            let row = &x.data()[nc * hw..(nc + 1) * hw];
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.data_mut()[nc] = row[best];
+            arg[nc] = nc * hw + best;
+        }
+        self.cache = Some((d.to_vec(), arg));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let (dims, arg) = self.cache.take().expect("GlobalMaxPool2d backward before forward");
+        let mut dx = Tensor::zeros(&dims);
+        dx.scatter_add_flat(&arg, grad_out.data());
+        vec![dx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::GlobalMaxPool2d
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Channel statistics for CBAM's spatial attention:
+/// `[N, C, H, W]` → `[N, 2, H, W]` holding the per-pixel channel mean and max.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelStats {
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (dims, argmax channel per pixel)
+}
+
+impl ChannelStats {
+    /// A new channel-statistics layer.
+    pub fn new() -> Self {
+        ChannelStats { cache: None }
+    }
+}
+
+impl Layer for ChannelStats {
+    fn kind(&self) -> &'static str {
+        "ChannelStats"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
+        assert_eq!(inputs.len(), 1, "ChannelStats takes one input");
+        let x = inputs[0];
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "ChannelStats input must be [N,C,H,W]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let hw = h * w;
+        let inv_c = 1.0 / c as f32;
+        let mut out = Tensor::zeros(&[n, 2, h, w]);
+        let mut arg = vec![0usize; n * hw];
+        for ni in 0..n {
+            for p in 0..hw {
+                let mut sum = 0.0f32;
+                let mut best = 0usize;
+                let mut best_v = f32::NEG_INFINITY;
+                for ci in 0..c {
+                    let v = x.data()[ni * c * hw + ci * hw + p];
+                    sum += v;
+                    if v > best_v {
+                        best_v = v;
+                        best = ci;
+                    }
+                }
+                out.data_mut()[ni * 2 * hw + p] = sum * inv_c;
+                out.data_mut()[ni * 2 * hw + hw + p] = best_v;
+                arg[ni * hw + p] = ni * c * hw + best * hw + p;
+            }
+        }
+        self.cache = Some((d.to_vec(), arg));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
+        let (dims, arg) = self.cache.take().expect("ChannelStats backward before forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = h * w;
+        let inv_c = 1.0 / c as f32;
+        let mut dx = Tensor::zeros(&dims);
+        for ni in 0..n {
+            for p in 0..hw {
+                let g_mean = grad_out.data()[ni * 2 * hw + p] * inv_c;
+                for ci in 0..c {
+                    dx.data_mut()[ni * c * hw + ci * hw + p] += g_mean;
+                }
+                let g_max = grad_out.data()[ni * 2 * hw + hw + p];
+                dx.data_mut()[arg[ni * hw + p]] += g_max;
+            }
+        }
+        vec![dx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::ChannelStats
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use amalgam_tensor::Rng;
+
+    #[test]
+    fn maxpool_2x2_halves_dims() {
+        let mut l = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = l.forward(&[&x], Mode::Eval);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avgpool_matches_mean() {
+        let mut l = AvgPool2d::new(2, 2);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = l.forward(&[&x], Mode::Eval);
+        assert!(y.approx_eq(&Tensor::ones(&[1, 1, 2, 2]), 1e-6));
+    }
+
+    #[test]
+    fn global_pools_shapes() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let mut ga = GlobalAvgPool2d::new();
+        assert_eq!(ga.forward(&[&x], Mode::Eval).data(), &[1.5, 5.5]);
+        let mut gm = GlobalMaxPool2d::new();
+        assert_eq!(gm.forward(&[&x], Mode::Eval).data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn channel_stats_mean_and_max() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]);
+        let mut cs = ChannelStats::new();
+        let y = cs.forward(&[&x], Mode::Eval);
+        assert_eq!(y.dims(), &[1, 2, 1, 2]);
+        assert_eq!(y.data(), &[2.0, 3.0, 3.0, 4.0]); // mean row then max row
+    }
+
+    #[test]
+    fn maxpool_gradcheck() {
+        let mut rng = Rng::seed_from(0);
+        check_layer_gradients(Box::new(MaxPool2d::new(2, 2)), &[&[1, 2, 4, 4]], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        let mut rng = Rng::seed_from(1);
+        check_layer_gradients(Box::new(AvgPool2d::new(2, 2)), &[&[1, 2, 4, 4]], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn global_avg_gradcheck() {
+        let mut rng = Rng::seed_from(2);
+        check_layer_gradients(Box::new(GlobalAvgPool2d::new()), &[&[2, 3, 3, 3]], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn global_max_gradcheck() {
+        let mut rng = Rng::seed_from(3);
+        check_layer_gradients(Box::new(GlobalMaxPool2d::new()), &[&[2, 3, 3, 3]], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn channel_stats_gradcheck() {
+        let mut rng = Rng::seed_from(4);
+        check_layer_gradients(Box::new(ChannelStats::new()), &[&[2, 3, 2, 2]], 1e-2, &mut rng);
+    }
+}

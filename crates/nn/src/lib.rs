@@ -1,0 +1,104 @@
+//! Neural-network building blocks for the Amalgam framework.
+//!
+//! The paper's prototype relies on PyTorch `nn.Module`s; this crate is the
+//! from-scratch Rust substitute. Its central abstraction is deliberately
+//! *structural*: models are explicit DAGs ([`graph::GraphModel`]) of small
+//! [`layer::Layer`] nodes, because Amalgam's model augmenter is a **graph
+//! rewrite** — it inserts synthetic sub-networks, replaces first layers with
+//! masked variants and taps original activations into synthetic branches.
+//!
+//! Backward passes are hand-derived per layer (no taped autograd) and verified
+//! against finite differences in [`gradcheck`]; this keeps the original
+//! sub-network's training trajectory bit-deterministic, which is what makes
+//! Amalgam's extraction exact (paper §4.3).
+//!
+//! # Example
+//!
+//! ```
+//! use amalgam_nn::graph::GraphModel;
+//! use amalgam_nn::layers::{Linear, Relu};
+//! use amalgam_tensor::{Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let mut g = GraphModel::new();
+//! let x = g.input("x");
+//! let h = g.add_layer("fc1", Linear::new(4, 8, true, &mut rng), &[x]);
+//! let h = g.add_layer("relu", Relu::new(), &[h]);
+//! let y = g.add_layer("fc2", Linear::new(8, 2, true, &mut rng), &[h]);
+//! g.set_output(y);
+//!
+//! let out = g.forward_one(&Tensor::zeros(&[3, 4]), amalgam_nn::Mode::Eval);
+//! assert_eq!(out.dims(), &[3, 2]);
+//! ```
+
+pub mod gradcheck;
+pub mod graph;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod spec;
+
+pub use graph::{GraphModel, NodeId, Provenance};
+pub use layer::{Layer, Mode, Param};
+pub use spec::LayerSpec;
+
+/// Errors produced while assembling, serializing or executing models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A graph node referenced an input node id that does not exist.
+    UnknownNode {
+        /// The offending node id.
+        id: usize,
+    },
+    /// The graph contains a cycle and cannot be topologically ordered.
+    CyclicGraph,
+    /// A state-dict key had no matching parameter in the target model.
+    MissingParam {
+        /// The parameter path that could not be matched.
+        path: String,
+    },
+    /// A parameter existed but its shape disagreed with the loaded tensor.
+    ParamShapeMismatch {
+        /// The parameter path.
+        path: String,
+    },
+    /// An error bubbling up from the wire codec.
+    Wire(amalgam_tensor::TensorError),
+    /// A layer spec tag was not recognised during decoding.
+    UnknownLayerTag {
+        /// The unrecognised tag value.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::UnknownNode { id } => write!(f, "graph references unknown node {id}"),
+            NnError::CyclicGraph => write!(f, "graph contains a cycle"),
+            NnError::MissingParam { path } => write!(f, "no parameter found for '{path}'"),
+            NnError::ParamShapeMismatch { path } => {
+                write!(f, "parameter shape mismatch at '{path}'")
+            }
+            NnError::Wire(e) => write!(f, "wire error: {e}"),
+            NnError::UnknownLayerTag { tag } => write!(f, "unknown layer spec tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<amalgam_tensor::TensorError> for NnError {
+    fn from(e: amalgam_tensor::TensorError) -> Self {
+        NnError::Wire(e)
+    }
+}

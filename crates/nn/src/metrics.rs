@@ -1,0 +1,150 @@
+//! Training and evaluation metrics.
+
+use amalgam_tensor::Tensor;
+
+/// Fraction of rows whose argmax equals the target class.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[B, C]` or lengths disagree.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), targets.len(), "accuracy length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Perplexity from a mean cross-entropy loss (language modelling).
+pub fn perplexity(mean_ce_loss: f32) -> f32 {
+    mean_ce_loss.exp()
+}
+
+/// Streaming mean for per-epoch loss/accuracy aggregation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningMean {
+    sum: f64,
+    weight: f64,
+}
+
+impl RunningMean {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        RunningMean::default()
+    }
+
+    /// Adds `value` with the given `weight` (e.g. batch size).
+    pub fn add(&mut self, value: f32, weight: usize) {
+        self.sum += f64::from(value) * weight as f64;
+        self.weight += weight as f64;
+    }
+
+    /// The weighted mean so far (0.0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            (self.sum / self.weight) as f32
+        }
+    }
+}
+
+/// Per-epoch record of training/validation metrics — the raw material for
+/// the paper's Figures 5–13 curves.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Mean training accuracy per epoch (empty for LM tasks).
+    pub train_acc: Vec<f32>,
+    /// Validation loss per epoch.
+    pub val_loss: Vec<f32>,
+    /// Validation accuracy per epoch (empty for LM tasks).
+    pub val_acc: Vec<f32>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_secs: Vec<f32>,
+}
+
+impl History {
+    /// A fresh, empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs(&self) -> usize {
+        self.train_loss.len()
+    }
+
+    /// Total training wall-clock time in seconds.
+    pub fn total_secs(&self) -> f32 {
+        self.epoch_secs.iter().sum()
+    }
+
+    /// Final validation accuracy, if any epochs ran.
+    pub fn final_val_acc(&self) -> Option<f32> {
+        self.val_acc.last().copied()
+    }
+
+    /// Final validation loss, if any epochs ran.
+    pub fn final_val_loss(&self) -> Option<f32> {
+        self.val_loss.last().copied()
+    }
+
+    /// Renders one CSV row per epoch: `epoch,train_loss,train_acc,val_loss,val_acc,secs`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch,train_loss,train_acc,val_loss,val_acc,secs\n");
+        for e in 0..self.epochs() {
+            let get = |v: &Vec<f32>| v.get(e).map_or(String::from(""), |x| format!("{x:.6}"));
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                e + 1,
+                get(&self.train_loss),
+                get(&self.train_acc),
+                get(&self.val_loss),
+                get(&self.val_acc),
+                get(&self.epoch_secs),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_is_class_count() {
+        let loss = (10.0f32).ln();
+        assert!((perplexity(loss) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn running_mean_weighted() {
+        let mut m = RunningMean::new();
+        m.add(1.0, 1);
+        m.add(3.0, 3);
+        assert!((m.mean() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn history_csv_has_header_and_rows() {
+        let mut h = History::new();
+        h.train_loss.push(1.0);
+        h.val_loss.push(0.9);
+        h.epoch_secs.push(2.0);
+        let csv = h.to_csv();
+        assert!(csv.starts_with("epoch,"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Optimizers.
+//!
+//! Algorithm 1 of the paper is plain mini-batch SGD over all sub-networks'
+//! parameters; because cross-sub-network taps are detached, one optimizer
+//! stepping *all* parameters after one backward pass is exactly the paper's
+//! per-sub-network update `θᵗ⁺¹ₛ ← θᵗₛ − η gᵗₛ`.
+
+use crate::layer::Param;
+use amalgam_tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to `params` from their accumulated gradients.
+    ///
+    /// The parameter list must be stable across calls (same order and
+    /// shapes) — it is, when produced by
+    /// [`GraphModel::params_mut`](crate::graph::GraphModel::params_mut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() && self.momentum != 0.0 {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut g = p.grad.clone();
+            if self.weight_decay != 0.0 {
+                g.axpy(self.weight_decay, &p.value);
+            }
+            if self.momentum != 0.0 {
+                let v = &mut self.velocity[i];
+                assert!(v.shape().same_as(g.shape()), "param list changed between steps");
+                v.scale_in_place(self.momentum);
+                v.add_assign(&g);
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, &g);
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to `params` from their accumulated gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            assert!(m.shape().same_as(p.grad.shape()), "param list changed between steps");
+            for ((mv, vv), &g) in
+                m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(p.grad.data())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            }
+            for ((pv, &mv), &vv) in
+                p.value.data_mut().iter_mut().zip(m.data()).zip(v.data())
+            {
+                let mhat = mv / bc1;
+                let vhat = vv / bc2;
+                *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_vec(vec![x0], &[1]))
+    }
+
+    /// Minimise f(x) = x² with the given optimizer-step closure.
+    fn minimise(mut step: impl FnMut(&mut [&mut Param]), p: &mut Param, iters: usize) -> f32 {
+        for _ in 0..iters {
+            p.zero_grad();
+            p.grad.data_mut()[0] = 2.0 * p.value.data()[0]; // df/dx
+            step(&mut [p]);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_param(5.0);
+        let mut opt = Sgd::new(0.1);
+        let x = minimise(|ps| opt.step(ps), &mut p, 100);
+        assert!(x.abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut p = quadratic_param(5.0);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        let x = minimise(|ps| opt.step(ps), &mut p, 200);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_param(5.0);
+        let mut opt = Adam::new(0.2);
+        let x = minimise(|ps| opt.step(ps), &mut p, 300);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], &[1]));
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.step(&mut [&mut p]);
+        }
+        let x = p.value.data()[0];
+        assert!(x < 1.0 && x > 0.0, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_step_is_lr_times_grad() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], &[1]));
+        p.grad.data_mut()[0] = 2.0;
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0] - 0.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based gradient checks: random layer hyper-parameters and input
+//! shapes, all validated against finite differences.
+
+use amalgam_nn::gradcheck::check_layer_gradients;
+use amalgam_nn::layers::{
+    AvgPool2d, Conv2d, DepthwiseConv2d, LayerNorm, Linear, MaskedConv2d, MaxPool2d,
+    MultiHeadSelfAttention,
+};
+use amalgam_tensor::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn linear_gradients_any_shape(inf in 1usize..8, outf in 1usize..8, batch in 1usize..4,
+                                  bias in any::<bool>(), seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let l = Linear::new(inf, outf, bias, &mut rng);
+        check_layer_gradients(Box::new(l), &[&[batch, inf]], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn conv_gradients_any_geometry(ic in 1usize..3, oc in 1usize..4, k in 1usize..4,
+                                   stride in 1usize..3, pad in 0usize..2,
+                                   hw in 4usize..8, seed in 0u64..500) {
+        prop_assume!(hw + 2 * pad >= k);
+        let mut rng = Rng::seed_from(seed);
+        let c = Conv2d::new(ic, oc, k, stride, pad, true, &mut rng);
+        check_layer_gradients(Box::new(c), &[&[1, ic, hw, hw]], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn depthwise_gradients_any_geometry(c in 1usize..4, k in 1usize..4, stride in 1usize..3,
+                                        hw in 4usize..8, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let l = DepthwiseConv2d::new(c, k, stride, k / 2, true, &mut rng);
+        check_layer_gradients(Box::new(l), &[&[1, c, hw, hw]], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn pooling_gradients(k in 1usize..3, hw in 4usize..8, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let k = k + 1; // 2 or 3
+        prop_assume!(hw >= k);
+        check_layer_gradients(Box::new(MaxPool2d::new(k, k)), &[&[1, 2, hw, hw]], 2e-2, &mut rng);
+        check_layer_gradients(Box::new(AvgPool2d::new(k, k)), &[&[1, 2, hw, hw]], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn layernorm_gradients(dim in 2usize..10, rows in 1usize..4, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        check_layer_gradients(Box::new(LayerNorm::new(dim)), &[&[rows, dim]], 4e-2, &mut rng);
+    }
+
+    #[test]
+    fn attention_gradients(heads in 1usize..3, dh in 1usize..3, t in 2usize..5,
+                           causal in any::<bool>(), seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let dim = heads * dh * 2;
+        let a = MultiHeadSelfAttention::new(dim, heads, causal, &mut rng);
+        check_layer_gradients(Box::new(a), &[&[1, t, dim]], 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn masked_conv_gradients_any_layout(hw in 3usize..6, extra in 1usize..12, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let aug = hw * hw + extra;
+        // Find an augmented square big enough; gather from a flat plane of
+        // side `ceil(sqrt(aug))`.
+        let side = (aug as f32).sqrt().ceil() as usize;
+        let keep = rng.sample_indices(side * side, hw * hw);
+        let inner = Conv2d::new(1, 2, 3, 1, 1, true, &mut rng);
+        let m = MaskedConv2d::new(keep, hw, hw, inner);
+        check_layer_gradients(Box::new(m), &[&[1, 1, side, side]], 3e-2, &mut rng);
+    }
+}

@@ -1,0 +1,363 @@
+//! Compute kernels: blocked, multi-threaded matrix products and the
+//! im2col/col2im transforms used by convolution layers.
+
+use crate::parallel;
+use crate::tensor::Tensor;
+
+/// `C = A @ B` for `A: [M,K]`, `B: [K,N]`.
+///
+/// Rows of the output are computed in parallel; within a row the kernel uses
+/// an `ikj` loop order so the innermost loop streams both `B` and `C`
+/// contiguously.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or if `A.cols != B.rows`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
+
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel::parallel_rows_mut(out.data_mut(), m, n, 8, |row_start, row_end, slice| {
+        for i in row_start..row_end {
+            let crow = &mut slice[(i - row_start) * n..(i - row_start + 1) * n];
+            for p in 0..k {
+                let av = ad[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `C = A^T @ B` for `A: [K,M]`, `B: [K,N]` without materializing `A^T`.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or if row counts disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_tn lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul_tn rhs must be 2-D");
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn outer dims disagree: {k} vs {k2}");
+
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel::parallel_rows_mut(out.data_mut(), m, n, 8, |row_start, row_end, slice| {
+        for i in row_start..row_end {
+            let crow = &mut slice[(i - row_start) * n..(i - row_start + 1) * n];
+            for p in 0..k {
+                let av = ad[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `C = A @ B^T` for `A: [M,K]`, `B: [N,K]` without materializing `B^T`.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or if column counts disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_nt lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul_nt rhs must be 2-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dims disagree: {k} vs {k2}");
+
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel::parallel_rows_mut(out.data_mut(), m, n, 8, |row_start, row_end, slice| {
+        for i in row_start..row_end {
+            let arow = &ad[i * k..(i + 1) * k];
+            let crow = &mut slice[(i - row_start) * n..(i - row_start + 1) * n];
+            for (j, c) in crow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *c = acc;
+            }
+        }
+    });
+    out
+}
+
+/// Geometry of one 2-D convolution: input `[C, H, W]`, square kernel,
+/// symmetric stride/padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dGeom {
+    /// Output height for this geometry.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width for this geometry.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix (`C * k * k`).
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unfolds a batch input `[N, C, H, W]` into an im2col matrix
+/// `[C*k*k, N*out_h*out_w]`, so convolution becomes one matmul.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the geometry.
+pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "im2col input must be [N,C,H,W]");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, g.in_channels, "im2col channel mismatch");
+    assert_eq!(h, g.in_h, "im2col height mismatch");
+    assert_eq!(w, g.in_w, "im2col width mismatch");
+
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols = n * oh * ow;
+    let rows = g.col_rows();
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.data();
+    let k = g.kernel;
+    let (stride, pad) = (g.stride, g.padding);
+
+    // Parallelise over the row dimension (channel × kernel offset).
+    parallel::parallel_rows_mut(out.data_mut(), rows, cols, 4, |r0, r1, slice| {
+        for r in r0..r1 {
+            let ci = r / (k * k);
+            let ky = (r / k) % k;
+            let kx = r % k;
+            let dst = &mut slice[(r - r0) * cols..(r - r0 + 1) * cols];
+            for ni in 0..n {
+                let base = ni * c * h * w + ci * h * w;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst_row = &mut dst[ni * oh * ow + oy * ow..ni * oh * ow + (oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst_row.iter_mut().for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    let src_row = &src[base + iy as usize * w..base + (iy as usize + 1) * w];
+                    for (ox, d) in dst_row.iter_mut().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        *d = if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Folds an im2col-shaped gradient `[C*k*k, N*out_h*out_w]` back into the
+/// input gradient `[N, C, H, W]` (the adjoint of [`im2col`]).
+///
+/// # Panics
+///
+/// Panics if `cols` does not match the geometry for batch size `n`.
+pub fn col2im(cols_mat: &Tensor, g: &Conv2dGeom, n: usize) -> Tensor {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    assert_eq!(cols_mat.dims(), &[g.col_rows(), n * oh * ow], "col2im shape mismatch");
+    let (c, h, w) = (g.in_channels, g.in_h, g.in_w);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let dst = out.data_mut();
+    let src = cols_mat.data();
+    let k = g.kernel;
+    let (stride, pad) = (g.stride, g.padding);
+    let ncols = n * oh * ow;
+
+    for r in 0..g.col_rows() {
+        let ci = r / (k * k);
+        let ky = (r / k) % k;
+        let kx = r % k;
+        let row = &src[r * ncols..(r + 1) * ncols];
+        for ni in 0..n {
+            let base = ni * c * h * w + ci * h * w;
+            for oy in 0..oh {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for ox in 0..ow {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    dst[base + iy as usize * w + ix as usize] += row[ni * oh * ow + oy * ow + ox];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn(&[17, 9], &mut rng);
+        let b = Tensor::randn(&[9, 23], &mut rng);
+        assert!(matmul(&a, &b).approx_eq(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from(4);
+        let a = Tensor::randn(&[11, 6], &mut rng);
+        let b = Tensor::randn(&[11, 8], &mut rng);
+        assert!(matmul_tn(&a, &b).approx_eq(&matmul(&a.transpose2d(), &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from(5);
+        let a = Tensor::randn(&[7, 13], &mut rng);
+        let b = Tensor::randn(&[10, 13], &mut rng);
+        assert!(matmul_nt(&a, &b).approx_eq(&matmul(&a, &b.transpose2d()), 1e-4));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from(6);
+        let a = Tensor::randn(&[5, 5], &mut rng);
+        assert!(matmul(&a, &Tensor::eye(5)).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn conv_geom_output_dims() {
+        let g = Conv2dGeom { in_channels: 3, in_h: 32, in_w: 32, kernel: 3, stride: 1, padding: 1 };
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g2 = Conv2dGeom { in_channels: 3, in_h: 32, in_w: 32, kernel: 3, stride: 2, padding: 1 };
+        assert_eq!((g2.out_h(), g2.out_w()), (16, 16));
+    }
+
+    /// Direct (quadruple-loop) convolution used as the reference.
+    fn naive_conv(input: &Tensor, weight: &Tensor, g: &Conv2dGeom) -> Tensor {
+        let n = input.dims()[0];
+        let oc = weight.dims()[0];
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for ni in 0..n {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..g.in_channels {
+                            for ky in 0..g.kernel {
+                                for kx in 0..g.kernel {
+                                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= g.in_h as isize || ix >= g.in_w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[ni, ci, iy as usize, ix as usize])
+                                        * weight.at(&[o, ci, ky, kx]);
+                                }
+                            }
+                        }
+                        out.set(&[ni, o, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn im2col_convolution_matches_naive() {
+        let mut rng = Rng::seed_from(9);
+        let g = Conv2dGeom { in_channels: 2, in_h: 7, in_w: 6, kernel: 3, stride: 2, padding: 1 };
+        let input = Tensor::randn(&[3, 2, 7, 6], &mut rng);
+        let weight = Tensor::randn(&[4, 2, 3, 3], &mut rng);
+
+        let cols = im2col(&input, &g);
+        let wmat = weight.reshape(&[4, g.col_rows()]);
+        let out = matmul(&wmat, &cols); // [oc, N*oh*ow]
+
+        let reference = naive_conv(&input, &weight, &g);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        // out is [oc, N*oh*ow]; reference is [N, oc, oh, ow].
+        for ni in 0..3 {
+            for o in 0..4 {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let got = out.at(&[o, ni * oh * ow + oy * ow + ox]);
+                        let want = reference.at(&[ni, o, oy, ox]);
+                        assert!((got - want).abs() < 1e-4, "mismatch at {ni},{o},{oy},{ox}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let mut rng = Rng::seed_from(10);
+        let g = Conv2dGeom { in_channels: 2, in_h: 5, in_w: 5, kernel: 3, stride: 1, padding: 1 };
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let y = Tensor::randn(&[g.col_rows(), 2 * g.out_h() * g.out_w()], &mut rng);
+        let lhs = im2col(&x, &g).dot(&y);
+        let rhs = x.dot(&col2im(&y, &g, 2));
+        assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+}

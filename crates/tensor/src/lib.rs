@@ -1,0 +1,79 @@
+//! Dense `f32` tensor library underpinning the Amalgam framework.
+//!
+//! The paper's prototype builds on PyTorch; this crate is the from-scratch Rust
+//! substitute. It provides:
+//!
+//! * [`Tensor`] — a contiguous, row-major, n-dimensional `f32` array with the
+//!   element-wise, reduction, indexing and linear-algebra operations needed to
+//!   train convolutional and transformer networks;
+//! * [`kernels`] — cache-blocked, data-parallel matmul and im2col convolution
+//!   helpers;
+//! * [`rng`] — seeded random sources with uniform, Gaussian and Laplace
+//!   distributions (the paper's three built-in noise kinds);
+//! * [`math`] — log-domain combinatorics used for the paper's search-space
+//!   numbers (Table 2), which overflow `f64` by hundreds of orders of magnitude;
+//! * [`wire`] — a small length-prefixed binary codec used to ship tensors and
+//!   model specs across the simulated cloud boundary.
+//!
+//! # Example
+//!
+//! ```
+//! use amalgam_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod kernels;
+pub mod math;
+pub mod parallel;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+pub mod wire;
+
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Errors produced by tensor construction and wire (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape dims.
+    ShapeMismatch {
+        /// Expected number of elements (product of dims).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A wire buffer ended before the declared payload was complete.
+    TruncatedWire {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A wire buffer contained an invalid tag or inconsistent framing.
+    MalformedWire {
+        /// Human-readable description of the inconsistency.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::TruncatedWire { context } => {
+                write!(f, "wire buffer truncated while decoding {context}")
+            }
+            TensorError::MalformedWire { context } => {
+                write!(f, "malformed wire data: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

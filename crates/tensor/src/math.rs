@@ -1,0 +1,185 @@
+//! Log-domain combinatorics for the paper's search-space analysis.
+//!
+//! Table 2 reports brute-force search spaces like `9.58e22245` — the number of
+//! ways an adversary could guess *which* indices of an augmented sample are
+//! noise, i.e. `C(total, inserted)`. These counts overflow `f64` by thousands
+//! of orders of magnitude, so all arithmetic here happens on `log10`.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Reflection for x < 0.5 keeps the approximation in its accurate range.
+    if x < 0.5 {
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `log10 C(n, k)`.
+pub fn log10_choose(n: u64, k: u64) -> f64 {
+    ln_choose(n, k) / std::f64::consts::LN_10
+}
+
+/// A non-negative number stored as `log10`, e.g. the Table 2 search spaces.
+///
+/// # Example
+///
+/// ```
+/// use amalgam_tensor::math::BigMagnitude;
+///
+/// let m = BigMagnitude::from_log10(346.2);
+/// assert_eq!(m.to_string(), "1.58e346");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct BigMagnitude {
+    log10: f64,
+}
+
+impl BigMagnitude {
+    /// Wraps an explicit `log10` value.
+    pub fn from_log10(log10: f64) -> Self {
+        BigMagnitude { log10 }
+    }
+
+    /// The binomial coefficient `C(n, k)` as a magnitude.
+    pub fn choose(n: u64, k: u64) -> Self {
+        BigMagnitude { log10: log10_choose(n, k) }
+    }
+
+    /// The `log10` of the value.
+    pub fn log10(&self) -> f64 {
+        self.log10
+    }
+
+    /// Multiplies two magnitudes.
+    pub fn times(&self, other: BigMagnitude) -> BigMagnitude {
+        BigMagnitude { log10: self.log10 + other.log10 }
+    }
+
+    /// The value as `f64` if it fits, else `None`.
+    pub fn to_f64(&self) -> Option<f64> {
+        if self.log10 < f64::MAX.log10() {
+            Some(10f64.powf(self.log10))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for BigMagnitude {
+    /// Formats in the paper's `m.mm eNNN` scientific style.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.log10.is_finite() {
+            return write!(f, "{}", if self.log10 < 0.0 { "0" } else { "inf" });
+        }
+        let exp = self.log10.floor();
+        let mantissa = 10f64.powf(self.log10 - exp);
+        write!(f, "{:.2}e{}", mantissa, exp as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let cases = [(1u64, 1.0f64), (2, 2.0), (5, 120.0), (10, 3_628_800.0)];
+        for (n, fact) in cases {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!((got - fact.ln()).abs() < 1e-9, "n={n}: {got} vs {}", fact.ln());
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        let got = ln_gamma(0.5);
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((got - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn choose_small_cases_exact() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 5).exp() - 252.0).abs() < 1e-6);
+        assert_eq!(ln_choose(3, 7), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn wikitext_search_space_from_paper() {
+        // Paper Table 2: WikiText2 at 25% has search space 53130 = C(25, 5).
+        let v = log10_choose(25, 5);
+        assert!((10f64.powf(v) - 53_130.0).abs() < 1.0, "got {}", 10f64.powf(v));
+        // 50% → C(30,10) = 30,045,015 ≈ 3.01e7 (paper: 3.01e7).
+        let v = log10_choose(30, 10);
+        assert!((10f64.powf(v) - 30_045_015.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn mnist_search_space_magnitude_from_paper() {
+        // Paper Table 2: MNIST at 25% → augmented 35×35 = 1225 indices of
+        // which 441 are noise → C(1225, 441) ≈ 1.00e346.
+        let v = log10_choose(1225, 441);
+        assert!((v - 346.0).abs() < 1.0, "log10 = {v}");
+        // CIFAR10 at 50% → 48×48 = 2304, noise = 2304-1024 = 1280 →
+        // paper says 1.21e686.
+        let v = log10_choose(2304, 1280);
+        assert!((v - 686.0).abs() < 1.5, "log10 = {v}");
+    }
+
+    #[test]
+    fn big_magnitude_display() {
+        assert_eq!(BigMagnitude::choose(25, 5).to_string(), "5.31e4");
+        let huge = BigMagnitude::choose(78_400, 28_224);
+        // Paper: Imagenette 25% → 9.58e22245.
+        assert!((huge.log10() - 22_245.0).abs() < 5.0, "log10={}", huge.log10());
+    }
+
+    #[test]
+    fn big_magnitude_times_adds_logs() {
+        let a = BigMagnitude::from_log10(3.0);
+        let b = BigMagnitude::from_log10(4.0);
+        assert!((a.times(b).log10() - 7.0).abs() < 1e-12);
+    }
+}

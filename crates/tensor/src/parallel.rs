@@ -1,0 +1,132 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The paper trains on GPUs; this reproduction substitutes multi-core CPU
+//! kernels. A tiny scoped fork-join is all we need — no work stealing, no
+//! global pool — which keeps execution order deterministic per chunk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for parallel kernels.
+///
+/// Defaults to the machine's available parallelism (capped at 16) and can be
+/// overridden with [`set_threads`] — the TEE/CPU baseline pins it to 1 to
+/// model enclave-style single-threaded training.
+pub fn threads() -> usize {
+    let configured = CONFIGURED.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(1)
+}
+
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker thread count (0 restores the default).
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f(start, end)` over disjoint chunks of `0..len` on up to
+/// [`threads()`] scoped threads.
+///
+/// Falls back to a direct call when `len` is small or one thread is
+/// configured, so tiny tensors never pay thread-spawn costs.
+pub fn parallel_chunks<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let nthreads = threads().min(len / min_chunk.max(1)).max(1);
+    if nthreads <= 1 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(nthreads);
+    std::thread::scope(|scope| {
+        for t in 0..nthreads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Like [`parallel_chunks`], but each worker writes into a disjoint slice of
+/// `out` (split along the same `0..len` rows, `row_width` elements per row).
+///
+/// # Panics
+///
+/// Panics if `out.len() != len * row_width`.
+pub fn parallel_rows_mut<F>(out: &mut [f32], len: usize, row_width: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), len * row_width, "output slice does not match rows");
+    let nthreads = threads().min(len / min_chunk.max(1)).max(1);
+    if nthreads <= 1 {
+        f(0, len, out);
+        return;
+    }
+    let chunk = len.div_ceil(nthreads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + chunk).min(len);
+            let (head, tail) = rest.split_at_mut((end - start) * row_width);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(start, end, head));
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 1000]);
+        parallel_chunks(1000, 1, |s, e| {
+            let mut h = hits.lock().unwrap();
+            for i in s..e {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn rows_mut_writes_disjoint_slices() {
+        let mut out = vec![0.0f32; 12];
+        parallel_rows_mut(&mut out, 4, 3, 1, |s, _e, slice| {
+            for (k, v) in slice.iter_mut().enumerate() {
+                *v = (s * 3 + k) as f32;
+            }
+        });
+        assert_eq!(out, (0..12).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_input_runs_inline() {
+        let mut out = vec![0.0f32; 2];
+        parallel_rows_mut(&mut out, 2, 1, 64, |_s, _e, slice| {
+            slice.iter_mut().for_each(|v| *v = 1.0);
+        });
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn set_threads_override() {
+        set_threads(1);
+        assert_eq!(threads(), 1);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

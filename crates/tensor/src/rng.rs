@@ -1,0 +1,194 @@
+//! Seeded random sources and the noise distributions Amalgam supports.
+//!
+//! The paper's dataset augmenter offers three noise families: uniform random
+//! over the data range (the default), Gaussian/Laplace with a user-chosen σ,
+//! and user-provided values. This module supplies the first two; the third is
+//! sampling from a pool, handled by the augmenter itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// A seeded pseudo-random source.
+///
+/// Wraps [`rand::rngs::StdRng`] so that every stochastic component of the
+/// workspace (weight init, noise generation, insertion layouts, shuffling)
+/// takes an explicit `&mut Rng` and is reproducible from a `u64` seed —
+/// determinism underpins Amalgam's training-equivalence invariant.
+///
+/// # Example
+///
+/// ```
+/// use amalgam_tensor::Rng;
+///
+/// let mut a = Rng::seed_from(42);
+/// let mut b = Rng::seed_from(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Rng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator (useful for giving each
+    /// sub-network or dataset its own stream).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from(self.inner.next_u64())
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform range inverted: [{lo}, {hi})");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Gaussian sample via Box–Muller.
+    pub fn normal(&mut self, mean: f32, sigma: f32) -> f32 {
+        // Box–Muller: two uniforms → one normal (the second is discarded to
+        // keep the stream stateless and simple).
+        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + sigma * z
+    }
+
+    /// Laplace sample via inverse-CDF.
+    pub fn laplace(&mut self, mean: f32, scale: f32) -> f32 {
+        let u: f32 = self.inner.gen_range(-0.5f32..0.5f32);
+        mean - scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n`, returned sorted ascending.
+    ///
+    /// Used to pick the insertion positions of augmented values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        // Floyd's algorithm: O(k) expected, no O(n) allocation.
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (n - k)..n {
+            let t = self.below(j + 1);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        chosen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_streams_diverge() {
+        let mut a = Rng::seed_from(1);
+        let mut fork1 = a.fork();
+        let mut fork2 = a.fork();
+        assert_ne!(fork1.next_u64(), fork2.next_u64());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng::seed_from(12345);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn laplace_moments_are_plausible() {
+        let mut rng = Rng::seed_from(999);
+        let n = 40_000;
+        let scale = 2.0f32;
+        let samples: Vec<f32> = (0..n).map(|_| rng.laplace(0.0, scale)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        // Laplace variance = 2 * scale^2 = 8.
+        assert!((var - 8.0).abs() < 0.6, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_sorted_in_range() {
+        let mut rng = Rng::seed_from(7);
+        for _ in 0..50 {
+            let idx = rng.sample_indices(100, 37);
+            assert_eq!(idx.len(), 37);
+            assert!(idx.windows(2).all(|w| w[0] < w[1]));
+            assert!(idx.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_range() {
+        let mut rng = Rng::seed_from(8);
+        let idx = rng.sample_indices(10, 10);
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from(9);
+        let mut xs: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+}

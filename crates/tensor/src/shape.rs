@@ -1,0 +1,167 @@
+//! Tensor shapes and index arithmetic.
+
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), row-major.
+///
+/// A scalar is represented by the empty shape `[]` (one element).
+///
+/// # Example
+///
+/// ```
+/// use amalgam_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// Creates a scalar (0-dimensional) shape with one element.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of bounds.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.dims.len()
+        );
+        let mut flat = 0usize;
+        for (i, (&ix, &d)) in idx.iter().zip(&self.dims).enumerate() {
+            assert!(ix < d, "index {ix} out of bounds for dim {i} of size {d}");
+            flat = flat * d + ix;
+        }
+        flat
+    }
+
+    /// Inverse of [`flat_index`](Self::flat_index).
+    pub fn unflatten(&self, mut flat: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            idx[i] = flat % self.dims[i];
+            flat /= self.dims[i];
+        }
+        idx
+    }
+
+    /// Returns `true` if the two shapes have identical dims.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.strides(), vec![6, 2, 1]);
+    }
+
+    #[test]
+    fn flat_and_unflatten_roundtrip() {
+        let s = Shape::new(&[3, 5, 7]);
+        for flat in 0..s.numel() {
+            let idx = s.unflatten(flat);
+            assert_eq!(s.flat_index(&idx), flat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_bounds_checked() {
+        Shape::new(&[2, 2]).flat_index(&[2, 0]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2×3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

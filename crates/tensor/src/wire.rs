@@ -1,0 +1,280 @@
+//! Length-prefixed binary codec for crossing the simulated cloud boundary.
+//!
+//! The paper ships an augmented TorchScript model plus augmented tensors to
+//! the cloud; this reproduction ships [`Tensor`]s and layer specs encoded with
+//! this module. The format is deliberately dumb: little-endian scalars,
+//! `u32`-length-prefixed strings and lists, `f32` payloads. Everything the
+//! adversary (cloud) sees is exactly these bytes.
+
+use crate::{Shape, Tensor, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serializer over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// A fresh empty writer.
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::new() }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed list of `usize` (as u64).
+    pub fn put_usize_list(&mut self, xs: &[usize]) {
+        self.put_u32(xs.len() as u32);
+        for &x in xs {
+            self.put_u64(x as u64);
+        }
+    }
+
+    /// Appends a tensor: rank, dims, then raw f32 payload.
+    pub fn put_tensor(&mut self, t: &Tensor) {
+        self.put_usize_list(t.dims());
+        self.put_u64(t.numel() as u64);
+        for &v in t.data() {
+            self.buf.put_f32_le(v);
+        }
+    }
+
+    /// Finishes, returning the immutable byte buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Deserializer over a byte buffer.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wraps a byte buffer for reading.
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    fn need(&self, n: usize, context: &'static str) -> Result<(), TensorError> {
+        if self.buf.remaining() < n {
+            Err(TensorError::TruncatedWire { context })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, TensorError> {
+        self.need(1, "u8")?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    pub fn get_u32(&mut self) -> Result<u32, TensorError> {
+        self.need(4, "u32")?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    pub fn get_u64(&mut self) -> Result<u64, TensorError> {
+        self.need(8, "u64")?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    pub fn get_f32(&mut self) -> Result<f32, TensorError> {
+        self.need(4, "f32")?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    pub fn get_f64(&mut self) -> Result<f64, TensorError> {
+        self.need(8, "f64")?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] on a short buffer or
+    /// [`TensorError::MalformedWire`] on invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String, TensorError> {
+        let len = self.get_u32()? as usize;
+        self.need(len, "string payload")?;
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| TensorError::MalformedWire { context: "string is not valid UTF-8" })
+    }
+
+    /// Reads a length-prefixed list of `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    pub fn get_usize_list(&mut self) -> Result<Vec<usize>, TensorError> {
+        let len = self.get_u32()? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(self.get_u64()? as usize);
+        }
+        Ok(out)
+    }
+
+    /// Reads a tensor written by [`Writer::put_tensor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] on a short buffer or
+    /// [`TensorError::MalformedWire`] if the element count disagrees with the
+    /// encoded shape.
+    pub fn get_tensor(&mut self) -> Result<Tensor, TensorError> {
+        let dims = self.get_usize_list()?;
+        let n = self.get_u64()? as usize;
+        let shape = Shape::new(&dims);
+        if shape.numel() != n {
+            return Err(TensorError::MalformedWire { context: "tensor element count mismatch" });
+        }
+        self.need(n * 4, "tensor payload")?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.buf.get_f32_le());
+        }
+        Tensor::try_from_vec(data, &dims)
+            .map_err(|_| TensorError::MalformedWire { context: "tensor shape mismatch" })
+    }
+
+    /// Bytes remaining unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(1234);
+        w.put_u64(u64::MAX);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        w.put_str("amalgam");
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 1234);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_f32().unwrap(), 1.5);
+        assert_eq!(r.get_f64().unwrap(), -2.25);
+        assert_eq!(r.get_str().unwrap(), "amalgam");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let mut rng = Rng::seed_from(42);
+        let t = Tensor::randn(&[3, 4, 5], &mut rng);
+        let mut w = Writer::new();
+        w.put_tensor(&t);
+        let mut r = Reader::new(w.finish());
+        let back = r.get_tensor().unwrap();
+        assert_eq!(back.dims(), t.dims());
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let mut w = Writer::new();
+        w.put_u64(99);
+        let bytes = w.finish();
+        let mut r = Reader::new(bytes.slice(0..4));
+        assert_eq!(r.get_u64().unwrap_err(), TensorError::TruncatedWire { context: "u64" });
+    }
+
+    #[test]
+    fn malformed_tensor_count_errors() {
+        let mut w = Writer::new();
+        w.put_usize_list(&[2, 2]); // claims 4 elements
+        w.put_u64(3); // but count says 3
+        w.put_f32(0.0);
+        w.put_f32(0.0);
+        w.put_f32(0.0);
+        let mut r = Reader::new(w.finish());
+        assert!(matches!(r.get_tensor(), Err(TensorError::MalformedWire { .. })));
+    }
+
+    #[test]
+    fn usize_list_roundtrip() {
+        let xs = vec![0usize, 1, 42, 1_000_000];
+        let mut w = Writer::new();
+        w.put_usize_list(&xs);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.get_usize_list().unwrap(), xs);
+    }
+}

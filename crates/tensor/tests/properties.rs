@@ -1,0 +1,107 @@
+//! Property-based tests for tensor algebra invariants.
+
+use amalgam_tensor::kernels::{col2im, im2col, Conv2dGeom};
+use amalgam_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(dims, &mut Rng::seed_from(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C) within f32 tolerance.
+    #[test]
+    fn matmul_is_associative(m in 1usize..6, k in 1usize..6, n in 1usize..6, p in 1usize..6, seed in 0u64..500) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 1);
+        let c = rand_tensor(&[n, p], seed ^ 2);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-3), "max diff {}", left.max_abs_diff(&right));
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributes_over_add(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 3);
+        let c = rand_tensor(&[k, n], seed ^ 4);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-3));
+    }
+
+    /// matmul_tn/matmul_nt agree with explicit transposes.
+    #[test]
+    fn transpose_fused_matmuls_agree(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+        let a = rand_tensor(&[k, m], seed);
+        let b = rand_tensor(&[k, n], seed ^ 5);
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose2d().matmul(&b), 1e-3));
+        let a2 = rand_tensor(&[m, k], seed ^ 6);
+        let b2 = rand_tensor(&[n, k], seed ^ 7);
+        prop_assert!(a2.matmul_nt(&b2).approx_eq(&a2.matmul(&b2.transpose2d()), 1e-3));
+    }
+
+    /// softmax rows are a probability simplex and invariant to shifts.
+    #[test]
+    fn softmax_invariances(m in 1usize..5, n in 2usize..8, shift in -5.0f32..5.0, seed in 0u64..500) {
+        let a = rand_tensor(&[m, n], seed);
+        let s1 = a.softmax_rows();
+        let s2 = a.add_scalar(shift).softmax_rows();
+        prop_assert!(s1.approx_eq(&s2, 1e-4), "softmax not shift-invariant");
+        for i in 0..m {
+            let row: f32 = s1.data()[i * n..(i + 1) * n].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-4);
+            prop_assert!(s1.data()[i * n..(i + 1) * n].iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// im2col/col2im satisfy the adjoint identity ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩.
+    #[test]
+    fn im2col_adjoint(n in 1usize..3, c in 1usize..3, hw in 3usize..7, k in 1usize..4, seed in 0u64..300) {
+        prop_assume!(k <= hw);
+        let g = Conv2dGeom { in_channels: c, in_h: hw, in_w: hw, kernel: k, stride: 1, padding: k / 2 };
+        let x = rand_tensor(&[n, c, hw, hw], seed);
+        let y = rand_tensor(&[g.col_rows(), n * g.out_h() * g.out_w()], seed ^ 8);
+        let lhs = im2col(&x, &g).dot(&y);
+        let rhs = x.dot(&col2im(&y, &g, n));
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        prop_assert!((lhs - rhs).abs() / scale < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// index_select then concat of complementary halves is a permutation.
+    #[test]
+    fn select_concat_permutes(n in 2usize..10, cols in 1usize..5, split in 1usize..9, seed in 0u64..500) {
+        prop_assume!(split < n);
+        let t = rand_tensor(&[n, cols], seed);
+        let head: Vec<usize> = (0..split).collect();
+        let tail: Vec<usize> = (split..n).collect();
+        let a = t.index_select_axis0(&head);
+        let b = t.index_select_axis0(&tail);
+        let joined = Tensor::concat_axis0(&[&a, &b]);
+        prop_assert_eq!(joined.data(), t.data());
+    }
+
+    /// sample_indices always yields sorted distinct values in range.
+    #[test]
+    fn sample_indices_invariants(n in 1usize..200, frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let k = ((n as f64) * frac) as usize;
+        let idx = Rng::seed_from(seed).sample_indices(n, k);
+        prop_assert_eq!(idx.len(), k);
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+
+    /// log10 C(n,k) is symmetric and peaks at k = n/2.
+    #[test]
+    fn binomial_symmetry(n in 1u64..500, k in 0u64..500) {
+        prop_assume!(k <= n);
+        let a = amalgam_tensor::math::log10_choose(n, k);
+        let b = amalgam_tensor::math::log10_choose(n, n - k);
+        prop_assert!((a - b).abs() < 1e-9);
+        let mid = amalgam_tensor::math::log10_choose(n, n / 2);
+        prop_assert!(mid + 1e-9 >= a);
+    }
+}

@@ -1,0 +1,60 @@
+//! NLP obfuscation: augmenting a text classifier and its (synthetic) AGNews
+//! corpus, training, and extracting — paper §4.2's "NLP Model Augmentation".
+//!
+//! Run with: `cargo run --release --example nlp_obfuscation`
+
+use amalgam::core::trainer::{train_text_classifier, EvalSource};
+use amalgam::core::{augment_nlp, augment_text_class, AugmentConfig, NlpTask, TextPlan};
+use amalgam::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(21);
+    let (vocab, doc_len) = (400usize, 24usize);
+    let (train, test) = amalgam::data::TextClassSpec::agnews_like()
+        .with_vocab(vocab)
+        .with_counts(768, 128)
+        .with_doc_len(doc_len)
+        .generate(&mut rng);
+    let model = amalgam::models::text_classifier(vocab, 16, 4, &mut rng);
+    println!("text classifier: {} parameters", model.param_count());
+
+    // Augment the corpus (75 % noise tokens) and the model.
+    let plan = TextPlan::random(doc_len, 0.75, &mut rng);
+    println!(
+        "documents grow {} → {} tokens; layout search space {}",
+        plan.orig_len(),
+        plan.aug_len(),
+        plan.search_space()
+    );
+    let aug_train = augment_text_class(&train, &plan, &NoiseKind::UniformRandom, &mut rng);
+    let aug_test = augment_text_class(&test, &plan, &NoiseKind::UniformRandom, &mut rng);
+    let acfg = AugmentConfig::new(0.75).with_seed(9).with_subnets(2);
+    let (mut aug_model, secrets) =
+        augment_nlp(&model, &plan, NlpTask::Classification { classes: 4 }, &acfg)?;
+    println!(
+        "augmented model: {} parameters, {} heads",
+        aug_model.param_count(),
+        aug_model.outputs().len()
+    );
+
+    // Train (Algorithm 1) on the augmented corpus.
+    let tc = TrainConfig::new(5, 32, 0.5).with_seed(2);
+    let history = train_text_classifier(
+        &mut aug_model,
+        &aug_train.dataset,
+        Some(&aug_test.dataset),
+        secrets.original_output,
+        &tc,
+    );
+    println!(
+        "augmented validation accuracy: {:.1}%",
+        history.final_val_acc().unwrap() * 100.0
+    );
+
+    // Extract and validate with the ORIGINAL corpus.
+    let extracted = amalgam::core::extract(&aug_model, &model, &secrets)?;
+    let mut clean = extracted.model;
+    let (_, acc) = test.evaluate(&mut clean, 0, 32);
+    println!("extracted model on original test documents: {:.1}%", acc * 100.0);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the full Amalgam pipeline in one file.
+//!
+//! 1. Build a model and a (synthetic) dataset.
+//! 2. Obfuscate both with Amalgam.
+//! 3. Train the augmented artifacts (here: locally, standing in for the cloud).
+//! 4. Extract the original model and validate it on the original test set.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use amalgam::core::trainer::{evaluate_image_classifier, train_image_classifier};
+use amalgam::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(7);
+
+    // A LeNet-5 and an MNIST-like synthetic dataset (shrunk for speed).
+    let hw = 12;
+    let model = amalgam::models::lenet5(1, hw, 10, &mut rng);
+    let data = amalgam::data::SyntheticImageSpec::mnist_like()
+        .with_counts(768, 128)
+        .with_hw(hw)
+        .generate(&mut rng);
+    println!("original model: {} parameters", model.param_count());
+
+    // Obfuscate: 50 % dataset + model augmentation, 3 synthetic sub-networks.
+    let cfg = ObfuscationConfig::new(0.5).with_seed(42).with_subnets(3);
+    let bundle = Amalgam::obfuscate(&model, &data, &cfg)?;
+    let (c, ah, aw) = bundle.augmented_train.sample_dims();
+    println!(
+        "augmented model: {} parameters across {} heads; augmented images: {c}×{ah}×{aw}",
+        bundle.augmented_model.param_count(),
+        bundle.augmented_model.outputs().len(),
+    );
+    println!("layout search space: {}", bundle.plan.search_space());
+
+    // "Cloud" training (Algorithm 1): every head gets its own loss.
+    let mut augmented = bundle.augmented_model;
+    let tc = TrainConfig::new(4, 32, 0.03).with_momentum(0.9).with_seed(7);
+    let history = train_image_classifier(
+        &mut augmented,
+        &bundle.augmented_train,
+        Some(&bundle.augmented_test),
+        bundle.secrets.original_output,
+        &tc,
+    );
+    println!(
+        "augmented training: loss {:.3} → {:.3}, val acc {:.1}%",
+        history.train_loss.first().unwrap(),
+        history.train_loss.last().unwrap(),
+        history.final_val_acc().unwrap() * 100.0
+    );
+
+    // Extraction: the original architecture with the trained weights.
+    let extracted = Amalgam::extract(&augmented, &model, &bundle.secrets)?;
+    println!("extraction took {:.2} ms", extracted.seconds * 1e3);
+    let mut clean = extracted.model;
+    let (loss, acc) = evaluate_image_classifier(&mut clean, &data.test, 0, 32);
+    println!("extracted model on ORIGINAL test set: loss {loss:.3}, acc {:.1}%", acc * 100.0);
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over the core invariants, via proptest.
+
+use amalgam::core::{
+    augment_images, deaugment_images, ImagePlan, NoiseKind, TextPlan,
+};
+use amalgam::data::ImageDataset;
+use amalgam::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An image plan always partitions the augmented plane exactly.
+    #[test]
+    fn image_plan_partitions_plane(h in 2usize..12, w in 2usize..12, pct in 0u32..150, seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let plan = ImagePlan::random(h, w, pct as f32 / 100.0, &mut rng);
+        let (ah, aw) = plan.aug_hw();
+        let mut seen = vec![false; ah * aw];
+        for &k in plan.keep() {
+            prop_assert!(!seen[k], "duplicate keep index");
+            seen[k] = true;
+        }
+        for &p in &plan.noise_positions() {
+            prop_assert!(!seen[p], "noise overlaps keep");
+            seen[p] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "plane not covered");
+    }
+
+    /// Augment → de-augment is the identity on every image, any noise kind.
+    #[test]
+    fn augment_roundtrip_identity(hw in 3usize..10, pct in 0u32..120, seed in 0u64..500, kind in 0u8..3) {
+        let mut rng = Rng::seed_from(seed);
+        let n = 3usize;
+        let images = Tensor::rand_uniform(&[n, 2, hw, hw], 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let data = ImageDataset::new(images, labels, 2);
+        let plan = ImagePlan::random(hw, hw, pct as f32 / 100.0, &mut rng);
+        let noise = match kind {
+            0 => NoiseKind::UniformRandom,
+            1 => NoiseKind::Gaussian { sigma: 0.3 },
+            _ => NoiseKind::Laplace { sigma: 0.3 },
+        };
+        let aug = augment_images(&data, &plan, &noise, &mut rng);
+        let back = deaugment_images(&aug.dataset, &plan);
+        prop_assert_eq!(back.images().data(), data.images().data());
+        prop_assert_eq!(back.labels(), data.labels());
+    }
+
+    /// Search spaces grow monotonically with the augmentation amount.
+    #[test]
+    fn search_space_monotone(len in 4usize..40, seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let mut last = -1.0f64;
+        for pct in [25u32, 50, 75, 100] {
+            let plan = TextPlan::random(len, pct as f32 / 100.0, &mut rng);
+            let log = plan.search_space().log10();
+            prop_assert!(log >= last, "search space shrank at {pct}%");
+            last = log;
+        }
+    }
+
+    /// Wire round trips never corrupt a tensor.
+    #[test]
+    fn tensor_wire_roundtrip(dims in proptest::collection::vec(1usize..6, 1..4), seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let t = Tensor::randn(&dims, &mut rng);
+        let mut w = amalgam::tensor::wire::Writer::new();
+        w.put_tensor(&t);
+        let mut r = amalgam::tensor::wire::Reader::new(w.finish());
+        let back = r.get_tensor().unwrap();
+        prop_assert_eq!(back.dims(), t.dims());
+        prop_assert_eq!(back.data(), t.data());
+    }
+
+    /// The privacy-loss equations always satisfy ε + ρ = 1 and ε ∈ (0, 1].
+    #[test]
+    fn privacy_identities(alpha in 0.0f64..16.0) {
+        let e = amalgam::core::privacy::privacy_loss(alpha);
+        let r = amalgam::core::privacy::performance_loss(alpha);
+        prop_assert!((e + r - 1.0).abs() < 1e-12);
+        prop_assert!(e > 0.0 && e <= 1.0);
+    }
+
+    /// Model graphs survive serialization with identical behaviour on a
+    /// random input (spec round trip over a random-ish architecture).
+    #[test]
+    fn graph_wire_roundtrip_behaviour(seed in 0u64..200, hw in 4usize..9) {
+        let mut rng = Rng::seed_from(seed);
+        let hw = hw / 2 * 2; // even
+        let model = amalgam::models::lenet5(1, hw.max(8), 5, &mut rng);
+        let mut a = model.clone();
+        let mut b = amalgam::nn::graph::GraphModel::from_bytes(model.to_bytes()).unwrap();
+        let x = Tensor::randn(&[2, 1, hw.max(8), hw.max(8)], &mut rng);
+        let ya = a.forward_one(&x, Mode::Eval);
+        let yb = b.forward_one(&x, Mode::Eval);
+        prop_assert_eq!(ya.data(), yb.data());
+    }
+}
+
+/// Augmented datasets always embed the original values verbatim at the
+/// plan's kept positions (non-proptest spot check across amounts).
+#[test]
+fn kept_positions_carry_originals() {
+    let mut rng = Rng::seed_from(77);
+    let data = amalgam::data::SyntheticImageSpec::cifar10_like()
+        .with_counts(4, 1)
+        .with_hw(6)
+        .generate(&mut rng)
+        .train;
+    for amount in [0.25f32, 0.5, 1.0] {
+        let plan = ImagePlan::random(6, 6, amount, &mut rng);
+        let aug = augment_images(&data, &plan, &NoiseKind::UniformRandom, &mut rng);
+        let (ah, aw) = plan.aug_hw();
+        for nc in 0..4 * 3 {
+            for (k, &pos) in plan.keep().iter().enumerate() {
+                assert_eq!(
+                    aug.dataset.images().data()[nc * ah * aw + pos],
+                    data.images().data()[nc * 36 + k]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end integration tests spanning every crate: the paper's central
+//! claims as executable checks.
+
+use amalgam::cloud::{CloudJob, CloudService, TaskPayload};
+use amalgam::core::trainer::{evaluate_image_classifier, train_image_classifier};
+use amalgam::nn::graph::{GraphModel, Provenance};
+use amalgam::prelude::*;
+
+fn tiny_setup(seed: u64) -> (GraphModel, amalgam::data::ImagePair) {
+    let mut rng = Rng::seed_from(seed);
+    let data = amalgam::data::SyntheticImageSpec::mnist_like()
+        .with_counts(96, 32)
+        .with_hw(8)
+        .with_classes(4)
+        .generate(&mut rng);
+    let model = amalgam::models::lenet5(1, 8, 4, &mut rng);
+    (model, data)
+}
+
+/// The paper's headline guarantee (Figs. 5–10): training the augmented model
+/// and extracting yields the *same weights* as training the original model
+/// directly — not just similar accuracy, bit-identical parameters.
+#[test]
+fn training_equivalence_is_bit_exact() {
+    let (model, data) = tiny_setup(1);
+    let tc = TrainConfig::new(2, 16, 0.05).with_momentum(0.9).with_seed(5);
+
+    // Vanilla run.
+    let mut vanilla = model.clone();
+    train_image_classifier(&mut vanilla, &data.train, None, 0, &tc);
+
+    // Obfuscated run with identical seeds.
+    let bundle =
+        Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(0.5).with_seed(9).with_subnets(2))
+            .expect("obfuscation");
+    let mut augmented = bundle.augmented_model;
+    train_image_classifier(
+        &mut augmented,
+        &bundle.augmented_train,
+        None,
+        bundle.secrets.original_output,
+        &tc,
+    );
+    let extracted = Amalgam::extract(&augmented, &model, &bundle.secrets).expect("extraction");
+
+    for ((n1, t1), (n2, t2)) in vanilla.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+        assert_eq!(n1, n2);
+        assert_eq!(t1.data(), t2.data(), "weight trajectory diverged at {n1}");
+    }
+}
+
+/// Validation metrics of the extracted model on original data equal the
+/// augmented model's original head on augmented data (§5.4).
+#[test]
+fn extracted_model_matches_augmented_head_metrics() {
+    let (model, data) = tiny_setup(2);
+    let tc = TrainConfig::new(2, 16, 0.05).with_momentum(0.9).with_seed(3);
+    let bundle =
+        Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(1.0).with_seed(4).with_subnets(3))
+            .expect("obfuscation");
+    let mut augmented = bundle.augmented_model;
+    train_image_classifier(
+        &mut augmented,
+        &bundle.augmented_train,
+        None,
+        bundle.secrets.original_output,
+        &tc,
+    );
+    // Augmented model's original head on the augmented test set…
+    let aug_test = bundle.augmented_test;
+    let (aug_loss, aug_acc) = evaluate_image_classifier(
+        &mut augmented,
+        &aug_test,
+        bundle.secrets.original_output,
+        16,
+    );
+    // …equals the extracted model on the ORIGINAL test set.
+    let extracted = Amalgam::extract(&augmented, &model, &bundle.secrets).expect("extraction");
+    let mut clean = extracted.model;
+    let (ex_loss, ex_acc) = evaluate_image_classifier(&mut clean, &data.test, 0, 16);
+    assert!((aug_loss - ex_loss).abs() < 1e-5, "loss differs: {aug_loss} vs {ex_loss}");
+    assert!((aug_acc - ex_acc).abs() < 1e-6, "accuracy differs: {aug_acc} vs {ex_acc}");
+}
+
+/// The full cloud workflow: serialize → remote train → deserialize → extract.
+#[test]
+fn cloud_roundtrip_preserves_equivalence() {
+    let (model, data) = tiny_setup(3);
+    let tc = TrainConfig::new(1, 16, 0.05).with_seed(8);
+    let bundle =
+        Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(0.5).with_seed(6).with_subnets(2))
+            .expect("obfuscation");
+
+    let job = CloudJob {
+        model: bundle.augmented_model.to_bytes(),
+        task: TaskPayload::Classification {
+            inputs: bundle.augmented_train.images().clone(),
+            labels: bundle.augmented_train.labels().to_vec(),
+            val_inputs: None,
+            val_labels: vec![],
+        },
+        train: tc,
+    };
+    let service = CloudService::start();
+    let result = service.client().train(&job).expect("cloud training");
+    service.shutdown();
+    let trained = GraphModel::from_bytes(result.trained_model).expect("decode");
+    let extracted = Amalgam::extract(&trained, &model, &bundle.secrets).expect("extraction");
+
+    // Reference: the same training done locally.
+    let mut local = model.clone();
+    train_image_classifier(&mut local, &data.train, None, 0, &tc);
+    for ((n1, t1), (n2, t2)) in local.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+        assert_eq!(n1, n2);
+        assert_eq!(t1.data(), t2.data(), "cloud path diverged at {n1}");
+    }
+}
+
+/// Every model family the paper evaluates survives the full pipeline.
+#[test]
+fn every_cv_family_roundtrips() {
+    use amalgam::models::{build_cv_model, CvConfig, CvFamily};
+    let mut rng = Rng::seed_from(4);
+    let data = amalgam::data::SyntheticImageSpec::cifar10_like()
+        .with_counts(32, 8)
+        .with_hw(16)
+        .with_classes(4)
+        .generate(&mut rng);
+    let cfg = CvConfig::new(3, 4, 16).with_width_mult(0.125);
+    let tc = TrainConfig::new(1, 16, 0.02).with_seed(2);
+    for family in CvFamily::table3() {
+        let model = build_cv_model(family, &cfg, &mut Rng::seed_from(11));
+        let bundle = Amalgam::obfuscate(
+            &model,
+            &data,
+            &ObfuscationConfig::new(0.25).with_seed(12).with_subnets(2),
+        )
+        .unwrap_or_else(|e| panic!("{family}: {e}"));
+        let mut augmented = bundle.augmented_model;
+        train_image_classifier(
+            &mut augmented,
+            &bundle.augmented_train,
+            None,
+            bundle.secrets.original_output,
+            &tc,
+        );
+        let extracted = Amalgam::extract(&augmented, &model, &bundle.secrets)
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
+        assert_eq!(extracted.model.param_count(), model.param_count(), "{family}");
+    }
+}
+
+/// The serialized (cloud-visible) form of an augmented model leaks neither
+/// provenance nor meaningful names, and head order does not expose subnet 0.
+#[test]
+fn cloud_view_hides_the_secrets() {
+    let (model, data) = tiny_setup(5);
+    // Across several seeds, the original head must land at different output
+    // positions (shuffled), and all decoded nodes must be Unknown/neutral.
+    let mut positions = std::collections::HashSet::new();
+    for seed in 0..6 {
+        let bundle = Amalgam::obfuscate(
+            &model,
+            &data,
+            &ObfuscationConfig::new(0.5).with_seed(seed).with_subnets(3),
+        )
+        .expect("obfuscation");
+        positions.insert(bundle.secrets.original_output);
+        let decoded = GraphModel::from_bytes(bundle.augmented_model.to_bytes()).expect("decode");
+        for id in decoded.node_ids() {
+            assert_eq!(decoded.node(id).provenance(), Provenance::Unknown);
+            let name = decoded.node(id).name();
+            assert!(
+                name.starts_with('n') && name[1..].chars().all(|c| c.is_ascii_digit()),
+                "name '{name}' is not neutral"
+            );
+        }
+    }
+    assert!(positions.len() > 1, "original head position is not shuffled across seeds");
+}
+
+/// Augmentation amounts drive monotone parameter growth (Table 3's trend).
+#[test]
+fn parameter_growth_is_monotone_in_amount() {
+    let (model, data) = tiny_setup(6);
+    let mut last = model.param_count();
+    for (i, amount) in [0.25f32, 0.5, 0.75, 1.0].into_iter().enumerate() {
+        let bundle = Amalgam::obfuscate(
+            &model,
+            &data,
+            &ObfuscationConfig::new(amount).with_seed(7 + i as u64).with_subnets(2),
+        )
+        .expect("obfuscation");
+        let params = bundle.augmented_model.param_count();
+        assert!(params > last, "params did not grow at {amount}");
+        last = params;
+    }
+}
