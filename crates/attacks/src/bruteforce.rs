@@ -28,7 +28,11 @@ impl Combinations {
     /// Panics if `k > n`.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k <= n, "cannot choose {k} from {n}");
-        Combinations { n, k, current: Some((0..k).collect()) }
+        Combinations {
+            n,
+            k,
+            current: Some((0..k).collect()),
+        }
     }
 }
 
@@ -111,7 +115,11 @@ pub fn brute_force_layout(
 ) -> BruteForceOutcome {
     let (h, w) = plan.orig_hw();
     let (ah, aw) = plan.aug_hw();
-    assert_eq!(augmented.numel(), ah * aw, "augmented image geometry mismatch");
+    assert_eq!(
+        augmented.numel(),
+        ah * aw,
+        "augmented image geometry mismatch"
+    );
     let space = plan.search_space();
     assert!(
         space.to_f64().is_some_and(|v| v <= max_attempts as f64),
@@ -207,7 +215,10 @@ mod tests {
                 recovered += 1;
             }
         }
-        assert!(recovered <= 3, "TV prior pinned the layout {recovered}/10 times");
+        assert!(
+            recovered <= 3,
+            "TV prior pinned the layout {recovered}/10 times"
+        );
     }
 
     #[test]

@@ -174,7 +174,11 @@ impl CnnDenoiser {
         let h1 = g.add_layer("r1", Relu::new(), &[h1]);
         let h2 = g.add_layer("c2", Conv2d::new(width, width, 3, 1, 1, true, rng), &[h1]);
         let h2 = g.add_layer("r2", Relu::new(), &[h2]);
-        let noise = g.add_layer("c3", Conv2d::new(width, channels, 3, 1, 1, true, rng), &[h2]);
+        let noise = g.add_layer(
+            "c3",
+            Conv2d::new(width, channels, 3, 1, 1, true, rng),
+            &[h2],
+        );
         // Residual: output = input + predicted(-noise).
         let y = g.add_layer("res", Add::new(), &[x, noise]);
         g.set_output(y);
@@ -248,9 +252,10 @@ mod tests {
     fn gaussian_denoiser_improves_noisy_psnr() {
         let mut rng = Rng::seed_from(0);
         let clean = smooth_image(16);
-        let noisy = clean.zip_map(&Tensor::from_fn(&[1, 16, 16], |_| rng.normal(0.0, 0.15)), |a, b| {
-            (a + b).clamp(0.0, 1.0)
-        });
+        let noisy = clean.zip_map(
+            &Tensor::from_fn(&[1, 16, 16], |_| rng.normal(0.0, 0.15)),
+            |a, b| (a + b).clamp(0.0, 1.0),
+        );
         let denoised = gaussian_denoise(&noisy, 0.8);
         assert!(psnr(&clean, &denoised, 1.0) > psnr(&clean, &noisy, 1.0));
     }
@@ -304,9 +309,10 @@ mod tests {
         let cfg = TrainConfig::new(300, 8, 0.01);
         let mut den = CnnDenoiser::train(&data, 0.15, &cfg, &mut rng);
         let clean = smooth_image(12);
-        let noisy = clean.zip_map(&Tensor::from_fn(&[1, 12, 12], |_| rng.normal(0.0, 0.15)), |a, b| {
-            (a + b).clamp(0.0, 1.0)
-        });
+        let noisy = clean.zip_map(
+            &Tensor::from_fn(&[1, 12, 12], |_| rng.normal(0.0, 0.15)),
+            |a, b| (a + b).clamp(0.0, 1.0),
+        );
         let out = den.denoise(&noisy);
         assert!(
             psnr(&clean, &out, 1.0) > psnr(&clean, &noisy, 1.0) + 1.0,

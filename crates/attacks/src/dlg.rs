@@ -31,7 +31,12 @@ pub enum HeadTarget {
 
 /// Captures the full flattened parameter gradient of `model` for one
 /// labelled sample — what the honest-but-curious server observes per step.
-pub fn observed_gradient(model: &mut GraphModel, x: &Tensor, label: usize, head: HeadTarget) -> Vec<f32> {
+pub fn observed_gradient(
+    model: &mut GraphModel,
+    x: &Tensor,
+    label: usize,
+    head: HeadTarget,
+) -> Vec<f32> {
     let outs = model.forward(&[x], Mode::Train);
     let seeds: Vec<Tensor> = outs
         .iter()
@@ -50,7 +55,13 @@ pub fn observed_gradient(model: &mut GraphModel, x: &Tensor, label: usize, head:
     flat
 }
 
-fn gradient_distance(model: &mut GraphModel, x: &Tensor, label: usize, head: HeadTarget, target: &[f32]) -> f32 {
+fn gradient_distance(
+    model: &mut GraphModel,
+    x: &Tensor,
+    label: usize,
+    head: HeadTarget,
+    target: &[f32],
+) -> f32 {
     let g = observed_gradient(model, x, label, head);
     g.iter().zip(target).map(|(a, b)| (a - b) * (a - b)).sum()
 }
@@ -70,7 +81,12 @@ pub struct DlgConfig {
 
 impl Default for DlgConfig {
     fn default() -> Self {
-        DlgConfig { iterations: 84, lr: 0.5, fd_eps: 5e-3, seed: 0 }
+        DlgConfig {
+            iterations: 84,
+            lr: 0.5,
+            fd_eps: 5e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -90,6 +106,7 @@ pub struct DlgOutcome {
 ///
 /// `ground_truth`, when given, is only used to report the final MSE (the
 /// attacker does not see it).
+#[allow(clippy::needless_range_loop)]
 pub fn dlg_attack(
     model: &mut GraphModel,
     input_dims: &[usize],
@@ -139,7 +156,11 @@ pub fn dlg_attack(
         x = best.1;
     }
     let reconstruction_mse = ground_truth.map(|gt| mse(gt, &x));
-    DlgOutcome { reconstruction: x, objective, reconstruction_mse }
+    DlgOutcome {
+        reconstruction: x,
+        objective,
+        reconstruction_mse,
+    }
 }
 
 /// iDLG's analytic label inference: with softmax cross-entropy and a single
@@ -153,7 +174,11 @@ pub fn dlg_attack(
 ///
 /// Panics if the tensor is not 2-D.
 pub fn idlg_infer_label(last_weight_grad: &Tensor) -> usize {
-    assert_eq!(last_weight_grad.shape().rank(), 2, "expected [classes, features] gradient");
+    assert_eq!(
+        last_weight_grad.shape().rank(),
+        2,
+        "expected [classes, features] gradient"
+    );
     let (c, f) = (last_weight_grad.dims()[0], last_weight_grad.dims()[1]);
     let mut best = 0usize;
     let mut best_sum = f32::INFINITY;
@@ -193,7 +218,11 @@ mod tests {
             observed_gradient(&mut model, &x, label, HeadTarget::Single(0));
             let fc = model.node_by_name("fc").unwrap();
             let wgrad = model.node(fc).layer().params()[0].grad.clone();
-            assert_eq!(idlg_infer_label(&wgrad), label, "label {label} not recovered");
+            assert_eq!(
+                idlg_infer_label(&wgrad),
+                label,
+                "label {label} not recovered"
+            );
         }
     }
 
@@ -203,8 +232,19 @@ mod tests {
         let mut model = tiny_cnn(4, 3, &mut rng);
         let x_true = Tensor::rand_uniform(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
         let target = observed_gradient(&mut model, &x_true, 1, HeadTarget::Single(0));
-        let cfg = DlgConfig { iterations: 30, ..DlgConfig::default() };
-        let out = dlg_attack(&mut model, &[1, 1, 4, 4], 1, HeadTarget::Single(0), &target, Some(&x_true), &cfg);
+        let cfg = DlgConfig {
+            iterations: 30,
+            ..DlgConfig::default()
+        };
+        let out = dlg_attack(
+            &mut model,
+            &[1, 1, 4, 4],
+            1,
+            HeadTarget::Single(0),
+            &target,
+            Some(&x_true),
+            &cfg,
+        );
         assert!(
             out.objective.last().unwrap() < &(out.objective[0] * 0.5),
             "objective did not decrease: {:?}",
@@ -218,10 +258,24 @@ mod tests {
         let mut model = tiny_cnn(4, 3, &mut rng);
         let x_true = Tensor::rand_uniform(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
         let target = observed_gradient(&mut model, &x_true, 0, HeadTarget::Single(0));
-        let cfg = DlgConfig { iterations: 60, ..DlgConfig::default() };
-        let out = dlg_attack(&mut model, &[1, 1, 4, 4], 0, HeadTarget::Single(0), &target, Some(&x_true), &cfg);
+        let cfg = DlgConfig {
+            iterations: 60,
+            ..DlgConfig::default()
+        };
+        let out = dlg_attack(
+            &mut model,
+            &[1, 1, 4, 4],
+            0,
+            HeadTarget::Single(0),
+            &target,
+            Some(&x_true),
+            &cfg,
+        );
         // A uniform-random guess has expected MSE 1/6 ≈ 0.167 against U(0,1).
         let attacked = out.reconstruction_mse.unwrap();
-        assert!(attacked < 0.12, "reconstruction MSE {attacked} not better than random");
+        assert!(
+            attacked < 0.12,
+            "reconstruction MSE {attacked} not better than random"
+        );
     }
 }

@@ -11,11 +11,14 @@
 //! * [`shap`] — KernelSHAP model explanations, used to try to tell original
 //!   from synthetic structure (Figure 17);
 //! * [`denoise`] — classical and learned denoisers attempting to strip the
-//!   inserted noise (Figure 18).
+//!   inserted noise (Figure 18);
+//! * [`observer`] — `CloudObserver` implementations that harvest attack
+//!   material live from a running cloud service's observer layer.
 
 pub mod bruteforce;
 pub mod denoise;
 pub mod dlg;
+pub mod observer;
 pub mod shap;
 
 use amalgam_tensor::Tensor;

@@ -22,7 +22,11 @@ pub struct ShapConfig {
 
 impl Default for ShapConfig {
     fn default() -> Self {
-        ShapConfig { patch: 2, samples: 256, seed: 0 }
+        ShapConfig {
+            patch: 2,
+            samples: 256,
+            seed: 0,
+        }
     }
 }
 
@@ -41,6 +45,7 @@ fn shapley_kernel(m: usize, s: usize) -> f64 {
 
 /// Solves the symmetric positive (semi-)definite system `A x = b` by
 /// Gaussian elimination with partial pivoting and Tikhonov damping.
+#[allow(clippy::needless_range_loop)]
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for (i, row) in a.iter_mut().enumerate().take(n) {
@@ -74,7 +79,11 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for k in row + 1..n {
             acc -= a[row][k] * x[k];
         }
-        x[row] = if a[row][row].abs() < 1e-12 { 0.0 } else { acc / a[row][row] };
+        x[row] = if a[row][row].abs() < 1e-12 {
+            0.0
+        } else {
+            acc / a[row][row]
+        };
     }
     x
 }
@@ -95,7 +104,10 @@ where
     let d = image.dims();
     assert_eq!(d.len(), 3, "image must be [C, H, W]");
     let (c, h, w) = (d[0], d[1], d[2]);
-    assert!(h % cfg.patch == 0 && w % cfg.patch == 0, "patch must divide image dims");
+    assert!(
+        h % cfg.patch == 0 && w % cfg.patch == 0,
+        "patch must divide image dims"
+    );
     let (rows, cols) = (h / cfg.patch, w / cfg.patch);
     let m = rows * cols;
     let background = image.mean();
@@ -140,8 +152,16 @@ where
     // The two exact coalitions (empty, full) anchor the regression…
     let empty = vec![false; m];
     let full = vec![true; m];
-    accumulate(&empty, shapley_kernel(m, 0), f64::from(model_fn(&apply_mask(&empty))));
-    accumulate(&full, shapley_kernel(m, m), f64::from(model_fn(&apply_mask(&full))));
+    accumulate(
+        &empty,
+        shapley_kernel(m, 0),
+        f64::from(model_fn(&apply_mask(&empty))),
+    );
+    accumulate(
+        &full,
+        shapley_kernel(m, m),
+        f64::from(model_fn(&apply_mask(&full))),
+    );
     // …then random coalitions with Shapley-kernel weights.
     for _ in 0..cfg.samples {
         let s = 1 + rng.below(m - 1);
@@ -150,7 +170,11 @@ where
         for &i in &on {
             z[i] = true;
         }
-        accumulate(&z, shapley_kernel(m, s), f64::from(model_fn(&apply_mask(&z))));
+        accumulate(
+            &z,
+            shapley_kernel(m, s),
+            f64::from(model_fn(&apply_mask(&z))),
+        );
     }
 
     let phi = solve(ata, atb);
@@ -165,7 +189,6 @@ where
 /// Panics if shapes disagree.
 pub fn attribution_correlation(a: &Tensor, b: &Tensor) -> f32 {
     assert_eq!(a.dims(), b.dims(), "attribution maps must share a shape");
-    let n = a.numel() as f32;
     let (ma, mb) = (a.mean(), b.mean());
     let mut cov = 0.0f32;
     let mut va = 0.0f32;
@@ -178,7 +201,7 @@ pub fn attribution_correlation(a: &Tensor, b: &Tensor) -> f32 {
     if va == 0.0 || vb == 0.0 {
         return 0.0;
     }
-    cov / (va.sqrt() * vb.sqrt()) * (n / n)
+    cov / (va.sqrt() * vb.sqrt())
 }
 
 #[cfg(test)]
@@ -191,7 +214,10 @@ mod tests {
             for s in 1..m {
                 let a = shapley_kernel(m, s);
                 let b = shapley_kernel(m, m - s);
-                assert!((a - b).abs() < 1e-12, "kernel not symmetric at m={m}, s={s}");
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "kernel not symmetric at m={m}, s={s}"
+                );
             }
         }
     }
@@ -207,16 +233,28 @@ mod tests {
     #[test]
     fn attribution_finds_the_influential_patch() {
         // Model output = mean of the top-left 2×2 patch only.
-        let image = Tensor::from_fn(&[1, 4, 4], |i| if i == 0 || i == 1 || i == 4 || i == 5 { 1.0 } else { 0.3 });
-        let model = |img: &Tensor| {
-            (img.data()[0] + img.data()[1] + img.data()[4] + img.data()[5]) / 4.0
+        let image = Tensor::from_fn(&[1, 4, 4], |i| {
+            if i == 0 || i == 1 || i == 4 || i == 5 {
+                1.0
+            } else {
+                0.3
+            }
+        });
+        let model =
+            |img: &Tensor| (img.data()[0] + img.data()[1] + img.data()[4] + img.data()[5]) / 4.0;
+        let cfg = ShapConfig {
+            patch: 2,
+            samples: 200,
+            seed: 0,
         };
-        let cfg = ShapConfig { patch: 2, samples: 200, seed: 0 };
         let phi = kernel_shap(model, &image, &cfg);
         assert_eq!(phi.dims(), &[2, 2]);
         let top_left = phi.data()[0].abs();
         for (i, &v) in phi.data().iter().enumerate().skip(1) {
-            assert!(top_left > v.abs() * 3.0, "patch 0 not dominant: phi[{i}]={v}, phi[0]={top_left}");
+            assert!(
+                top_left > v.abs() * 3.0,
+                "patch 0 not dominant: phi[{i}]={v}, phi[0]={top_left}"
+            );
         }
     }
 

@@ -91,13 +91,14 @@ pub fn run_comparison(cfg: &ComparisonConfig) -> Vec<ComparisonRow> {
         .with_momentum(0.9)
         .with_seed(cfg.seed);
 
-    let mut rows = Vec::new();
-    rows.push(run_baseline(&data, cfg, &tc));
-    rows.push(run_amalgam(&data, cfg, &tc));
-    rows.push(run_disco(&data, cfg, &tc));
-    rows.push(run_tee(&data, cfg, &tc));
-    rows.push(extrapolate_mpc(cfg));
-    rows.push(extrapolate_he(cfg));
+    let rows = vec![
+        run_baseline(&data, cfg, &tc),
+        run_amalgam(&data, cfg, &tc),
+        run_disco(&data, cfg, &tc),
+        run_tee(&data, cfg, &tc),
+        extrapolate_mpc(cfg),
+        extrapolate_he(cfg),
+    ];
     rows
 }
 
@@ -115,10 +116,18 @@ fn run_baseline(data: &ImagePair, cfg: &ComparisonConfig, tc: &TrainConfig) -> C
 fn run_amalgam(data: &ImagePair, cfg: &ComparisonConfig, tc: &TrainConfig) -> ComparisonRow {
     // Paper: 100 % model and dataset augmentation.
     let model = lenet5(1, cfg.hw, 10, &mut Rng::seed_from(cfg.seed));
-    let ocfg = ObfuscationConfig::new(1.0).with_seed(cfg.seed).with_subnets(3);
+    let ocfg = ObfuscationConfig::new(1.0)
+        .with_seed(cfg.seed)
+        .with_subnets(3);
     let bundle = Amalgam::obfuscate(&model, data, &ocfg).expect("obfuscation");
     let mut aug = bundle.augmented_model;
-    let h = train_image_classifier(&mut aug, &bundle.augmented_train, None, bundle.secrets.original_output, tc);
+    let h = train_image_classifier(
+        &mut aug,
+        &bundle.augmented_train,
+        None,
+        bundle.secrets.original_output,
+        tc,
+    );
     // Extract and validate on the *original* test set (the paper's pipeline).
     let extracted = Amalgam::extract(&aug, &model, &bundle.secrets).expect("extraction");
     let mut ex = extracted.model;
@@ -134,7 +143,11 @@ fn run_amalgam(data: &ImagePair, cfg: &ComparisonConfig, tc: &TrainConfig) -> Co
 
 fn run_disco(data: &ImagePair, cfg: &ComparisonConfig, tc: &TrainConfig) -> ComparisonRow {
     let base = lenet5(1, cfg.hw, 10, &mut Rng::seed_from(cfg.seed));
-    let mut model = disco_obfuscate(&base, &DiscoConfig::default(), &mut Rng::seed_from(cfg.seed ^ 1));
+    let mut model = disco_obfuscate(
+        &base,
+        &DiscoConfig::default(),
+        &mut Rng::seed_from(cfg.seed ^ 1),
+    );
     let h = train_image_classifier(&mut model, &data.train, Some(&data.test), 0, tc);
     ComparisonRow {
         framework: Framework::Disco,
@@ -160,11 +173,11 @@ fn lenet_matmul_shapes(hw: usize, batch: usize) -> Vec<(usize, usize, usize)> {
     let h2 = hw / 2;
     let h4 = hw / 4;
     vec![
-        (6, 25, batch * hw * hw),          // conv1 as [oc, ic·k²] × [·, N·oh·ow]
-        (16, 6 * 25, batch * h2 * h2),     // conv2
-        (batch, 16 * h4 * h4, 120),        // fc1
-        (batch, 120, 84),                  // fc2
-        (batch, 84, 10),                   // fc3
+        (6, 25, batch * hw * hw),      // conv1 as [oc, ic·k²] × [·, N·oh·ow]
+        (16, 6 * 25, batch * h2 * h2), // conv2
+        (batch, 16 * h4 * h4, 120),    // fc1
+        (batch, 120, 84),              // fc2
+        (batch, 84, 10),               // fc3
     ]
 }
 
@@ -195,7 +208,12 @@ fn extrapolate_mpc(cfg: &ComparisonConfig) -> ComparisonRow {
     // forward + backward ≈ 3× forward cost; plus non-linearities ≈ +10 %.
     let seconds =
         probe_secs * (full_flops / probe_flops) * 3.0 * 1.1 * batches_per_epoch * cfg.epochs as f64;
-    ComparisonRow { framework: Framework::Mpc, seconds, extrapolated: true, val_acc: None }
+    ComparisonRow {
+        framework: Framework::Mpc,
+        seconds,
+        extrapolated: true,
+        val_acc: None,
+    }
 }
 
 /// Measures genuine encrypted multiply-accumulate cost with the BFV scheme
@@ -224,7 +242,12 @@ fn extrapolate_he(cfg: &ComparisonConfig) -> ComparisonRow {
     let samples = cfg.train_count as f64 * cfg.epochs as f64;
     // Encrypted training ≈ 3× forward MACs (fwd+bwd), as for MPC.
     let seconds = per_mac * macs_per_sample * samples * 3.0;
-    ComparisonRow { framework: Framework::He, seconds, extrapolated: true, val_acc: None }
+    ComparisonRow {
+        framework: Framework::He,
+        seconds,
+        extrapolated: true,
+        val_acc: None,
+    }
 }
 
 #[cfg(test)]

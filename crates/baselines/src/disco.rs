@@ -25,7 +25,11 @@ pub struct DiscoConfig {
 
 impl Default for DiscoConfig {
     fn default() -> Self {
-        DiscoConfig { prune_ratio: 0.25, noise_channels: 8, seed: 0 }
+        DiscoConfig {
+            prune_ratio: 0.25,
+            noise_channels: 8,
+            seed: 0,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ struct FixedChannelMask {
 
 impl FixedChannelMask {
     fn new(mask: Vec<f32>) -> Self {
-        FixedChannelMask { inner: BroadcastMulChannel::new(), mask }
+        FixedChannelMask {
+            inner: BroadcastMulChannel::new(),
+            mask,
+        }
     }
 }
 
@@ -90,7 +97,11 @@ pub fn disco_obfuscate(model: &GraphModel, cfg: &DiscoConfig, rng: &mut Rng) -> 
         .node_ids()
         .find(|&id| id != input_id && model.node(id).inputs().contains(&input_id))
         .expect("model must consume its input");
-    assert_eq!(model.node(first_conv).kind(), "Conv2d", "first layer must be Conv2d");
+    assert_eq!(
+        model.node(first_conv).kind(),
+        "Conv2d",
+        "first layer must be Conv2d"
+    );
     let channels = match model.node(first_conv).layer().spec() {
         amalgam_nn::LayerSpec::Conv2d { weight, .. } => weight.dims()[0],
         _ => unreachable!(),
@@ -116,8 +127,11 @@ pub fn disco_obfuscate(model: &GraphModel, cfg: &DiscoConfig, rng: &mut Rng) -> 
         let new_id = if id == input_id {
             g.input(node.name())
         } else {
-            let inputs: Vec<NodeId> =
-                node.inputs().iter().map(|i| map[i.index()].expect("topo order")).collect();
+            let inputs: Vec<NodeId> = node
+                .inputs()
+                .iter()
+                .map(|i| map[i.index()].expect("topo order"))
+                .collect();
             g.add_boxed(node.name(), node.layer().boxed_clone(), &inputs)
         };
         map[id.index()] = Some(new_id);
@@ -125,7 +139,11 @@ pub fn disco_obfuscate(model: &GraphModel, cfg: &DiscoConfig, rng: &mut Rng) -> 
         if id == first_conv {
             // Splice: mask → concat with noise branch → 1×1 remix.
             let conv_out = map[id.index()].expect("just inserted");
-            let masked = g.add_layer("disco.mask", FixedChannelMask::new(mask.clone()), &[conv_out]);
+            let masked = g.add_layer(
+                "disco.mask",
+                FixedChannelMask::new(mask.clone()),
+                &[conv_out],
+            );
             let noise_branch = g.add_layer(
                 "disco.noise",
                 Conv2d::new(in_channels, cfg.noise_channels, 3, 1, 1, true, rng),
@@ -150,8 +168,11 @@ pub fn disco_obfuscate(model: &GraphModel, cfg: &DiscoConfig, rng: &mut Rng) -> 
             map[id.index()] = Some(remix); // downstream consumers read the remix
         }
     }
-    let outs: Vec<NodeId> =
-        model.outputs().iter().map(|o| map[o.index()].expect("output mapped")).collect();
+    let outs: Vec<NodeId> = model
+        .outputs()
+        .iter()
+        .map(|o| map[o.index()].expect("output mapped"))
+        .collect();
     g.set_outputs(&outs);
     // Silence the unused-import warning for Input (kept for API symmetry).
     let _ = Input::new();
@@ -203,8 +224,13 @@ mod tests {
         disco.zero_grad();
         disco.backward(&[grad]);
         let remix = disco.node_by_name("disco.remix").unwrap();
-        let gnorm: f32 =
-            disco.node(remix).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        let gnorm: f32 = disco
+            .node(remix)
+            .layer()
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum();
         assert!(gnorm > 0.0);
     }
 }

@@ -35,7 +35,13 @@ pub struct BfvParams {
 impl BfvParams {
     /// Test-friendly parameters: `N = 256`, 40-bit modulus.
     pub fn small() -> Self {
-        BfvParams { n: 256, q: (1u64 << 56) - 5, t: 65_537, sigma: 3.2, base_bits: 6 }
+        BfvParams {
+            n: 256,
+            q: (1u64 << 56) - 5,
+            t: 65_537,
+            sigma: 3.2,
+            base_bits: 6,
+        }
     }
 
     /// Δ = ⌊q/t⌋, the plaintext scaling factor.
@@ -56,7 +62,9 @@ impl Poly {
     }
 
     fn uniform(n: usize, q: u64, rng: &mut Rng) -> Self {
-        Poly { coeffs: (0..n).map(|_| rng.next_u64() % q).collect() }
+        Poly {
+            coeffs: (0..n).map(|_| rng.next_u64() % q).collect(),
+        }
     }
 
     fn ternary(n: usize, q: u64, rng: &mut Rng) -> Self {
@@ -106,7 +114,13 @@ impl Poly {
     }
 
     fn neg(&self, q: u64) -> Poly {
-        Poly { coeffs: self.coeffs.iter().map(|&a| if a == 0 { 0 } else { q - a }).collect() }
+        Poly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| if a == 0 { 0 } else { q - a })
+                .collect(),
+        }
     }
 
     /// Negacyclic multiplication: `X^N = −1`.
@@ -131,7 +145,9 @@ impl Poly {
     }
 
     fn scale(&self, k: u64, q: u64) -> Poly {
-        Poly { coeffs: self.coeffs.iter().map(|&a| mulmod(a, k % q, q)).collect() }
+        Poly {
+            coeffs: self.coeffs.iter().map(|&a| mulmod(a, k % q, q)).collect(),
+        }
     }
 }
 
@@ -188,7 +204,9 @@ impl Bfv {
 
     /// Samples a fresh secret key.
     pub fn keygen(&self, rng: &mut Rng) -> SecretKey {
-        SecretKey { s: Poly::ternary(self.params.n, self.params.q, rng) }
+        SecretKey {
+            s: Poly::ternary(self.params.n, self.params.q, rng),
+        }
     }
 
     /// Generates the relinearization key for `sk`.
@@ -202,7 +220,11 @@ impl Bfv {
             let a = Poly::uniform(p.n, p.q, rng);
             let e = Poly::gaussian(p.n, p.q, p.sigma, rng);
             // b = −a·s + e + factor·s²
-            let b = a.mul(&sk.s, p.q).neg(p.q).add(&e, p.q).add(&s2.scale(factor, p.q), p.q);
+            let b = a
+                .mul(&sk.s, p.q)
+                .neg(p.q)
+                .add(&e, p.q)
+                .add(&s2.scale(factor, p.q), p.q);
             parts.push((b, a));
             factor = factor.wrapping_shl(p.base_bits) % p.q;
         }
@@ -217,7 +239,10 @@ impl Bfv {
     pub fn encrypt(&self, msg: &[u64], sk: &SecretKey, rng: &mut Rng) -> Ciphertext {
         let p = self.params;
         assert!(msg.len() <= p.n, "message too long for ring dimension");
-        assert!(msg.iter().all(|&m| m < p.t), "message entry exceeds plaintext modulus");
+        assert!(
+            msg.iter().all(|&m| m < p.t),
+            "message entry exceeds plaintext modulus"
+        );
         let mut m = Poly::zero(p.n);
         for (i, &v) in msg.iter().enumerate() {
             m.coeffs[i] = mulmod(v, p.delta(), p.q);
@@ -247,12 +272,18 @@ impl Bfv {
 
     /// Homomorphic addition.
     pub fn add(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
-        Ciphertext { c0: x.c0.add(&y.c0, self.params.q), c1: x.c1.add(&y.c1, self.params.q) }
+        Ciphertext {
+            c0: x.c0.add(&y.c0, self.params.q),
+            c1: x.c1.add(&y.c1, self.params.q),
+        }
     }
 
     /// Multiplication by a plaintext scalar (`k < t`).
     pub fn mul_plain_scalar(&self, x: &Ciphertext, k: u64) -> Ciphertext {
-        Ciphertext { c0: x.c0.scale(k, self.params.q), c1: x.c1.scale(k, self.params.q) }
+        Ciphertext {
+            c0: x.c0.scale(k, self.params.q),
+            c1: x.c1.scale(k, self.params.q),
+        }
     }
 
     /// Multiplication by a plaintext polynomial (entries `< t`).
@@ -262,7 +293,10 @@ impl Bfv {
         for (i, &v) in plain.iter().enumerate() {
             m.coeffs[i] = v % p.q;
         }
-        Ciphertext { c0: x.c0.mul(&m, p.q), c1: x.c1.mul(&m, p.q) }
+        Ciphertext {
+            c0: x.c0.mul(&m, p.q),
+            c1: x.c1.mul(&m, p.q),
+        }
     }
 
     /// Ciphertext-ciphertext multiplication with relinearization.
@@ -273,7 +307,9 @@ impl Bfv {
         let p = self.params;
         // Tensor product in Z (exact), then scale by t/q and round.
         let d0 = self.scaled_mul(&x.c0, &y.c0);
-        let d1 = self.scaled_mul(&x.c0, &y.c1).add(&self.scaled_mul(&x.c1, &y.c0), p.q);
+        let d1 = self
+            .scaled_mul(&x.c0, &y.c1)
+            .add(&self.scaled_mul(&x.c1, &y.c0), p.q);
         let d2 = self.scaled_mul(&x.c1, &y.c1);
         // Relinearize d2 via base decomposition.
         let mask = (1u64 << p.base_bits) - 1;
@@ -281,8 +317,12 @@ impl Bfv {
         let mut c1 = d1;
         let mut rem = d2;
         for (b, a) in &evk.parts {
-            let digit = Poly { coeffs: rem.coeffs.iter().map(|&c| c & mask).collect() };
-            rem = Poly { coeffs: rem.coeffs.iter().map(|&c| c >> p.base_bits).collect() };
+            let digit = Poly {
+                coeffs: rem.coeffs.iter().map(|&c| c & mask).collect(),
+            };
+            rem = Poly {
+                coeffs: rem.coeffs.iter().map(|&c| c >> p.base_bits).collect(),
+            };
             c0 = c0.add(&digit.mul(b, p.q), p.q);
             c1 = c1.add(&digit.mul(a, p.q), p.q);
         }
@@ -351,7 +391,10 @@ mod tests {
         let (bfv, sk, mut rng) = setup();
         let a = vec![3u64, 10, 100];
         let b = vec![4u64, 20, 200];
-        let ct = bfv.add(&bfv.encrypt(&a, &sk, &mut rng), &bfv.encrypt(&b, &sk, &mut rng));
+        let ct = bfv.add(
+            &bfv.encrypt(&a, &sk, &mut rng),
+            &bfv.encrypt(&b, &sk, &mut rng),
+        );
         assert_eq!(bfv.decrypt(&ct, &sk, 3), vec![7, 30, 300]);
     }
 

@@ -98,14 +98,24 @@ impl SharedTensor {
     /// Shares every element of a plaintext tensor.
     pub fn share(t: &Tensor, rng: &mut Rng) -> Self {
         SharedTensor {
-            shares: t.data().iter().map(|&v| Share3::share(encode(v), rng)).collect(),
+            shares: t
+                .data()
+                .iter()
+                .map(|&v| Share3::share(encode(v), rng))
+                .collect(),
             dims: t.dims().to_vec(),
         }
     }
 
     /// Reconstructs the plaintext tensor.
     pub fn reconstruct(&self) -> Tensor {
-        Tensor::from_vec(self.shares.iter().map(|s| decode(s.reconstruct())).collect(), &self.dims)
+        Tensor::from_vec(
+            self.shares
+                .iter()
+                .map(|s| decode(s.reconstruct()))
+                .collect(),
+            &self.dims,
+        )
     }
 
     /// The tensor's dimensions.
@@ -203,7 +213,10 @@ impl MpcSession {
         }
         drop(rng);
         self.charge(n as u64 * 2 * 8 * 3);
-        SharedTensor { shares: out, dims: x.dims.clone() }
+        SharedTensor {
+            shares: out,
+            dims: x.dims.clone(),
+        }
     }
 
     /// Shared matrix product `X @ Y` for `X: [M,K]`, `Y: [K,N]` using one
@@ -237,10 +250,18 @@ impl MpcSession {
         let c_sh: Vec<Share3> = c.iter().map(|&v| Share3::share(v, &mut rng)).collect();
 
         // Open E = X−A and F = Y−B.
-        let e: Vec<u64> =
-            x.shares.iter().zip(&a_sh).map(|(xs, as_)| xs.sub(as_).reconstruct()).collect();
-        let f: Vec<u64> =
-            y.shares.iter().zip(&b_sh).map(|(ys, bs)| ys.sub(bs).reconstruct()).collect();
+        let e: Vec<u64> = x
+            .shares
+            .iter()
+            .zip(&a_sh)
+            .map(|(xs, as_)| xs.sub(as_).reconstruct())
+            .collect();
+        let f: Vec<u64> = y
+            .shares
+            .iter()
+            .zip(&b_sh)
+            .map(|(ys, bs)| ys.sub(bs).reconstruct())
+            .collect();
 
         // Z = C + E·B + A·F + E·F.
         let mut z = c_sh;
@@ -261,7 +282,10 @@ impl MpcSession {
         }
         drop(rng);
         self.charge(((m * k + k * n) * 3 * 8) as u64);
-        SharedTensor { shares: z, dims: vec![m, n] }
+        SharedTensor {
+            shares: z,
+            dims: vec![m, n],
+        }
     }
 
     /// Adds two shared tensors (local, no communication).
@@ -272,7 +296,12 @@ impl MpcSession {
     pub fn add(&self, x: &SharedTensor, y: &SharedTensor) -> SharedTensor {
         assert_eq!(x.dims, y.dims, "mpc add shape mismatch");
         SharedTensor {
-            shares: x.shares.iter().zip(&y.shares).map(|(a, b)| a.add(b)).collect(),
+            shares: x
+                .shares
+                .iter()
+                .zip(&y.shares)
+                .map(|(a, b)| a.add(b))
+                .collect(),
             dims: x.dims.clone(),
         }
     }
@@ -283,7 +312,11 @@ impl MpcSession {
     ///
     /// Panics if shapes disagree.
     pub fn mul_public(&self, x: &SharedTensor, public: &Tensor) -> SharedTensor {
-        assert_eq!(x.dims.as_slice(), public.dims(), "mpc mul_public shape mismatch");
+        assert_eq!(
+            x.dims.as_slice(),
+            public.dims(),
+            "mpc mul_public shape mismatch"
+        );
         let mut rng = self.rng.borrow_mut();
         SharedTensor {
             shares: x
@@ -315,7 +348,10 @@ impl MpcSession {
             .collect();
         drop(rng);
         self.charge(x.shares.len() as u64 * 3);
-        SharedTensor { shares, dims: x.dims.clone() }
+        SharedTensor {
+            shares,
+            dims: x.dims.clone(),
+        }
     }
 }
 
@@ -333,7 +369,10 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         for v in [-3.5f32, -0.001, 0.0, 0.25, 7.75] {
-            assert!((decode(encode(v)) - v).abs() < 1e-3, "roundtrip failed for {v}");
+            assert!(
+                (decode(encode(v)) - v).abs() < 1e-3,
+                "roundtrip failed for {v}"
+            );
         }
     }
 
@@ -374,9 +413,15 @@ mod tests {
         let session = MpcSession::new(4);
         let a = Tensor::rand_uniform(&[3, 4], -2.0, 2.0, &mut rng);
         let b = Tensor::rand_uniform(&[4, 2], -2.0, 2.0, &mut rng);
-        let z = session.matmul(&session.share(&a), &session.share(&b)).reconstruct();
+        let z = session
+            .matmul(&session.share(&a), &session.share(&b))
+            .reconstruct();
         let want = a.matmul(&b);
-        assert!(z.approx_eq(&want, 5e-2), "max diff {}", z.max_abs_diff(&want));
+        assert!(
+            z.approx_eq(&want, 5e-2),
+            "max diff {}",
+            z.max_abs_diff(&want)
+        );
     }
 
     #[test]

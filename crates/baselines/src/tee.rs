@@ -35,7 +35,11 @@ mod tests {
     fn single_threaded_training_matches_parallel_numerics() {
         // Thread count must not change results (determinism property).
         let mut rng = Rng::seed_from(0);
-        let pair = SyntheticImageSpec::mnist_like().with_counts(32, 8).with_hw(8).with_classes(2).generate(&mut rng);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(32, 8)
+            .with_hw(8)
+            .with_classes(2)
+            .generate(&mut rng);
         let cfg = TrainConfig::new(1, 16, 0.05).with_seed(1);
 
         let mut m1 = lenet5(1, 8, 2, &mut Rng::seed_from(3));
@@ -46,14 +50,22 @@ mod tests {
 
         for ((n1, t1), (n2, t2)) in m1.state_dict().iter().zip(m2.state_dict().iter()) {
             assert_eq!(n1, n2);
-            assert_eq!(t1.data(), t2.data(), "thread count changed numerics at {n1}");
+            assert_eq!(
+                t1.data(),
+                t2.data(),
+                "thread count changed numerics at {n1}"
+            );
         }
     }
 
     #[test]
     fn restores_thread_setting() {
         let mut rng = Rng::seed_from(1);
-        let pair = SyntheticImageSpec::mnist_like().with_counts(16, 4).with_hw(8).with_classes(2).generate(&mut rng);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(16, 4)
+            .with_hw(8)
+            .with_classes(2)
+            .generate(&mut rng);
         let mut m = lenet5(1, 8, 2, &mut rng);
         train_single_threaded(&mut m, &pair.train, None, &TrainConfig::new(1, 8, 0.05));
         assert!(amalgam_tensor::parallel::threads() >= 1);

@@ -103,5 +103,8 @@ fn matmul_communication_accounting() {
     assert_eq!(session.rounds(), 0);
     session.matmul(&xs, &ys);
     assert_eq!(session.rounds(), 1);
-    assert_eq!(session.bytes_communicated(), ((3 * 4 + 4 * 2) * 3 * 8) as u64);
+    assert_eq!(
+        session.bytes_communicated(),
+        ((3 * 4 + 4 * 2) * 3 * 8) as u64
+    );
 }

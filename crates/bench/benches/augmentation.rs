@@ -12,7 +12,11 @@ fn bench_dataset_augmentation(c: &mut Criterion) {
     let mut group = c.benchmark_group("augment_images_64");
     for &amount in &[0.25f32, 0.5, 1.0] {
         let mut rng = Rng::seed_from(3);
-        let data = SyntheticImageSpec::cifar10_like().with_counts(64, 0).with_hw(32).generate(&mut rng).train;
+        let data = SyntheticImageSpec::cifar10_like()
+            .with_counts(64, 0)
+            .with_hw(32)
+            .generate(&mut rng)
+            .train;
         let plan = ImagePlan::random(32, 32, amount, &mut rng);
         group.bench_with_input(
             BenchmarkId::from_parameter((amount * 100.0) as u32),
@@ -51,5 +55,10 @@ fn bench_extraction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dataset_augmentation, bench_model_augmentation, bench_extraction);
+criterion_group!(
+    benches,
+    bench_dataset_augmentation,
+    bench_model_augmentation,
+    bench_extraction
+);
 criterion_main!(benches);

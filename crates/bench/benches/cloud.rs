@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the cloud boundary: job serialize/decode
+//! throughput (the bulk-bytes hot path) and end-to-end jobs/sec through
+//! the middleware stack at 1, 2 and 4 workers.
+
+use amalgam_cloud::{CloudJob, CloudService, TaskPayload};
+use amalgam_core::TrainConfig;
+use amalgam_models::lenet5;
+use amalgam_tensor::{Rng, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sample_job(rng: &mut Rng) -> CloudJob {
+    // A realistically sized upload: a LeNet on 16×16 inputs plus 64 images.
+    let model = lenet5(1, 16, 10, rng);
+    let inputs = Tensor::randn(&[64, 1, 16, 16], rng);
+    let labels: Vec<usize> = (0..64).map(|i| i % 10).collect();
+    CloudJob {
+        model: model.to_bytes(),
+        task: TaskPayload::Classification {
+            inputs,
+            labels,
+            val_inputs: None,
+            val_labels: vec![],
+        },
+        train: TrainConfig::new(1, 16, 0.05).with_seed(1),
+    }
+}
+
+/// A tiny trainable job for end-to-end scheduling throughput.
+fn tiny_job(rng: &mut Rng, seed: u64) -> CloudJob {
+    let model = lenet5(1, 8, 2, rng);
+    let inputs = Tensor::randn(&[8, 1, 8, 8], rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+    CloudJob {
+        model: model.to_bytes(),
+        task: TaskPayload::Classification {
+            inputs,
+            labels,
+            val_inputs: None,
+            val_labels: vec![],
+        },
+        train: TrainConfig::new(1, 8, 0.05).with_seed(seed),
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let job = sample_job(&mut rng);
+    let payload = job.to_bytes();
+    let mut group = c.benchmark_group("cloud_wire");
+    group.bench_function(&format!("serialize_{}KiB", payload.len() / 1024), |b| {
+        b.iter(|| job.to_bytes());
+    });
+    group.bench_function(&format!("decode_{}KiB", payload.len() / 1024), |b| {
+        b.iter(|| CloudJob::from_bytes(payload.clone()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_pool_throughput(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    // Distinct pre-built jobs so the bench measures the service (queue +
+    // middleware + training), not client-side job construction.
+    let jobs: Vec<CloudJob> = (0..8).map(|s| tiny_job(&mut rng, s)).collect();
+    let mut group = c.benchmark_group("cloud_jobs_per_wave8");
+    for &workers in &[1usize, 2, 4] {
+        let service = CloudService::builder().workers(workers).build();
+        let client = service.client();
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let handles: Vec<_> = jobs.iter().map(|job| client.submit(job).unwrap()).collect();
+                for handle in handles {
+                    handle.wait().unwrap();
+                }
+            });
+        });
+        service.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_pool_throughput);
+criterion_main!(benches);

@@ -23,7 +23,14 @@ fn bench_im2col(c: &mut Criterion) {
     let mut rng = Rng::seed_from(1);
     for &hw in &[16usize, 32] {
         let x = Tensor::randn(&[8, 3, hw, hw], &mut rng);
-        let g = Conv2dGeom { in_channels: 3, in_h: hw, in_w: hw, kernel: 3, stride: 1, padding: 1 };
+        let g = Conv2dGeom {
+            in_channels: 3,
+            in_h: hw,
+            in_w: hw,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bch, _| {
             bch.iter(|| im2col(&x, &g));
         });

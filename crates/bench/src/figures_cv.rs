@@ -39,8 +39,14 @@ pub fn training_curves(fig: u32, opts: &Options) -> Report {
     let mut report = Report::new(
         &format!("fig{fig}_{}_{dataset}", family.name().to_lowercase()),
         &[
-            "amount", "epoch", "train_loss", "train_acc", "val_loss", "val_acc",
-            "extracted_val_loss", "extracted_val_acc",
+            "amount",
+            "epoch",
+            "train_loss",
+            "train_acc",
+            "val_loss",
+            "val_acc",
+            "extracted_val_loss",
+            "extracted_val_acc",
         ],
     );
     let mut rng = Rng::seed_from(opts.seed);
@@ -70,9 +76,11 @@ pub fn training_curves(fig: u32, opts: &Options) -> Report {
         let plan = ImagePlan::random(cfg.input_hw, cfg.input_hw, amount, &mut rng);
         let aug_train = augment_images(&data.train, &plan, &NoiseKind::UniformRandom, &mut rng);
         let aug_test = augment_images(&data.test, &plan, &NoiseKind::UniformRandom, &mut rng);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed ^ u64::from(fig)).with_subnets(3);
-        let (mut aug, secrets) =
-            amalgam_core::augment_cv(&template, &plan, cfg.num_classes, &acfg).expect("augmentation");
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed ^ u64::from(fig))
+            .with_subnets(3);
+        let (mut aug, secrets) = amalgam_core::augment_cv(&template, &plan, cfg.num_classes, &acfg)
+            .expect("augmentation");
         let h = train_image_classifier(
             &mut aug,
             &aug_train.dataset,
@@ -92,8 +100,16 @@ pub fn training_curves(fig: u32, opts: &Options) -> Report {
                 format!("{:.4}", h.train_acc[e]),
                 format!("{:.4}", h.val_loss[e]),
                 format!("{:.4}", h.val_acc[e]),
-                if e + 1 == h.epochs() { format!("{ex_loss:.4}") } else { "-".into() },
-                if e + 1 == h.epochs() { format!("{ex_acc:.4}") } else { "-".into() },
+                if e + 1 == h.epochs() {
+                    format!("{ex_loss:.4}")
+                } else {
+                    "-".into()
+                },
+                if e + 1 == h.epochs() {
+                    format!("{ex_acc:.4}")
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
@@ -105,7 +121,15 @@ pub fn training_curves(fig: u32, opts: &Options) -> Report {
 pub fn fig13(opts: &Options) -> Report {
     let mut report = Report::new(
         "fig13_transfer_vgg16_cbam",
-        &["amount", "epoch", "train_loss", "train_acc", "val_loss", "val_acc", "extracted_val_acc"],
+        &[
+            "amount",
+            "epoch",
+            "train_loss",
+            "train_acc",
+            "val_loss",
+            "val_acc",
+            "extracted_val_acc",
+        ],
     );
     let mut rng = Rng::seed_from(opts.seed);
     let (spec, cfg, train_n, test_n) = cv_geometry(opts, "imagenette");
@@ -124,14 +148,11 @@ pub fn fig13(opts: &Options) -> Report {
         let sd = pretrained.state_dict();
         let mut m = vgg16_with_cbam_from(&cfg, &mut Rng::seed_from(opts.seed ^ 9));
         // Load every pretrained weight that still exists in the modified model.
-        let loadable: Vec<_> = sd
-            .into_iter()
-            .filter(|(name, _)| m.node_by_name(name.split('.').next().unwrap_or(name)).is_some() || true)
-            .collect();
         let own: std::collections::HashSet<String> =
             m.state_dict().into_iter().map(|(n, _)| n).collect();
-        let filtered: Vec<_> = loadable.into_iter().filter(|(n, _)| own.contains(n)).collect();
-        m.load_state_dict(&filtered).expect("pretrained weights load");
+        let filtered: Vec<_> = sd.into_iter().filter(|(n, _)| own.contains(n)).collect();
+        m.load_state_dict(&filtered)
+            .expect("pretrained weights load");
         m
     };
 
@@ -139,9 +160,11 @@ pub fn fig13(opts: &Options) -> Report {
         let plan = ImagePlan::random(cfg.input_hw, cfg.input_hw, amount, &mut rng);
         let aug_train = augment_images(&data.train, &plan, &NoiseKind::UniformRandom, &mut rng);
         let aug_test = augment_images(&data.test, &plan, &NoiseKind::UniformRandom, &mut rng);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed ^ 13).with_subnets(2);
-        let (mut aug, secrets) =
-            amalgam_core::augment_cv(&template, &plan, cfg.num_classes, &acfg).expect("augmentation");
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed ^ 13)
+            .with_subnets(2);
+        let (mut aug, secrets) = amalgam_core::augment_cv(&template, &plan, cfg.num_classes, &acfg)
+            .expect("augmentation");
         let h = train_image_classifier(
             &mut aug,
             &aug_train.dataset,
@@ -160,7 +183,11 @@ pub fn fig13(opts: &Options) -> Report {
                 format!("{:.4}", h.train_acc[e]),
                 format!("{:.4}", h.val_loss[e]),
                 format!("{:.4}", h.val_acc[e]),
-                if e + 1 == h.epochs() { format!("{ex_acc:.4}") } else { "-".into() },
+                if e + 1 == h.epochs() {
+                    format!("{ex_acc:.4}")
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
@@ -170,7 +197,10 @@ pub fn fig13(opts: &Options) -> Report {
 /// VGG16 with a CBAM on its final feature map (mirrors
 /// `amalgam_models::vgg16_cbam`, kept local so `insert_cbam_after` is
 /// exercised from the bench crate too).
-fn vgg16_with_cbam_from(cfg: &amalgam_models::CvConfig, rng: &mut Rng) -> amalgam_nn::graph::GraphModel {
+fn vgg16_with_cbam_from(
+    cfg: &amalgam_models::CvConfig,
+    rng: &mut Rng,
+) -> amalgam_nn::graph::GraphModel {
     let mut m = vgg16(cfg, rng);
     // Splice CBAM between gap's producer and the classifier by rebuilding:
     // simplest route — reuse the library constructor.
@@ -192,12 +222,21 @@ pub fn ablations(opts: &Options) -> Vec<Report> {
     let aug_train = augment_images(&data.train, &plan, &NoiseKind::UniformRandom, &mut rng);
 
     // --- sub-network count sweep -------------------------------------------
-    let mut subnets = Report::new("ablate_subnets", &["subnets", "params", "nodes", "train_time_s"]);
+    let mut subnets = Report::new(
+        "ablate_subnets",
+        &["subnets", "params", "nodes", "train_time_s"],
+    );
     for n in [1usize, 2, 3, 5, 8] {
         let acfg = AugmentConfig::new(0.5).with_seed(opts.seed).with_subnets(n);
         let (mut aug, secrets) =
             amalgam_core::augment_cv(&template, &plan, cfg.num_classes, &acfg).expect("augment");
-        let h = train_image_classifier(&mut aug, &aug_train.dataset, None, secrets.original_output, &tc);
+        let h = train_image_classifier(
+            &mut aug,
+            &aug_train.dataset,
+            None,
+            secrets.original_output,
+            &tc,
+        );
         subnets.push(vec![
             n.to_string(),
             aug.param_count().to_string(),
@@ -218,7 +257,13 @@ pub fn ablations(opts: &Options) -> Vec<Report> {
         let acfg = AugmentConfig::new(0.5).with_seed(opts.seed).with_subnets(2);
         let (mut aug, secrets) =
             amalgam_core::augment_cv(&template, &plan, cfg.num_classes, &acfg).expect("augment");
-        train_image_classifier(&mut aug, &aug_train.dataset, None, secrets.original_output, &tc);
+        train_image_classifier(
+            &mut aug,
+            &aug_train.dataset,
+            None,
+            secrets.original_output,
+            &tc,
+        );
         let extracted = amalgam_core::extract(&aug, &template, &secrets).expect("extract");
         let mut ex = extracted.model;
         let (_, acc) = evaluate_image_classifier(&mut ex, &data.test, 0, tc.batch_size);
@@ -234,10 +279,20 @@ pub fn ablations(opts: &Options) -> Vec<Report> {
         acfg.detach_taps = detach_taps;
         let (mut aug, secrets) =
             amalgam_core::augment_cv(&template, &plan, cfg.num_classes, &acfg).expect("augment");
-        train_image_classifier(&mut aug, &aug_train.dataset, None, secrets.original_output, &tc);
+        train_image_classifier(
+            &mut aug,
+            &aug_train.dataset,
+            None,
+            secrets.original_output,
+            &tc,
+        );
         let extracted = amalgam_core::extract(&aug, &template, &secrets).expect("extract");
         let mut max_div = 0.0f32;
-        for ((_, a), (_, b)) in vanilla.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+        for ((_, a), (_, b)) in vanilla
+            .state_dict()
+            .iter()
+            .zip(extracted.model.state_dict().iter())
+        {
             max_div = max_div.max(a.max_abs_diff(b));
         }
         detach.push(vec![label.into(), format!("{max_div:.6}")]);

@@ -11,8 +11,10 @@ use amalgam_tensor::{Rng, Tensor};
 
 /// Figure 11: transformer LM train/val loss on (synthetic) WikiText2.
 pub fn fig11(opts: &Options) -> Report {
-    let mut report =
-        Report::new("fig11_transformer_wikitext2", &["amount", "epoch", "train_loss", "val_loss"]);
+    let mut report = Report::new(
+        "fig11_transformer_wikitext2",
+        &["amount", "epoch", "train_loss", "val_loss"],
+    );
     let mut rng = Rng::seed_from(opts.seed);
     let (vocab, tokens, seq, epochs) = match opts.scale {
         Scale::Scaled => (300usize, 24_000usize, 16usize, 3usize),
@@ -22,9 +24,14 @@ pub fn fig11(opts: &Options) -> Report {
         Scale::Scaled => TransformerLmConfig::tiny(vocab, 2 * seq),
         Scale::Full => TransformerLmConfig::wikitext2_paper(),
     };
-    let corpus = LmCorpusSpec::wikitext2_like().with_vocab(vocab).with_tokens(tokens).generate(&mut rng);
+    let corpus = LmCorpusSpec::wikitext2_like()
+        .with_vocab(vocab)
+        .with_tokens(tokens)
+        .generate(&mut rng);
     let batches = corpus.batchify(8, seq);
-    let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+    let windows: Vec<Tensor> = (0..batches.num_batches())
+        .map(|i| batches.window(i).0)
+        .collect();
     let split = windows.len() * 9 / 10;
     let (train_w, val_w) = windows.split_at(split);
     let tc = TrainConfig::new(epochs, 8, 0.05).with_seed(opts.seed);
@@ -33,7 +40,14 @@ pub fn fig11(opts: &Options) -> Report {
 
     // 0 % baseline.
     let mut baseline = template.clone();
-    let h = train_lm(&mut baseline, train_w, val_w, &[keep_all.clone()], 0, &tc);
+    let h = train_lm(
+        &mut baseline,
+        train_w,
+        val_w,
+        std::slice::from_ref(&keep_all),
+        0,
+        &tc,
+    );
     for e in 0..h.epochs() {
         report.push(vec![
             "0%".into(),
@@ -47,7 +61,9 @@ pub fn fig11(opts: &Options) -> Report {
         let plan = TextPlan::random(seq, amount, &mut rng);
         let aug = augment_lm(&batches, &plan, &NoiseKind::UniformRandom, &mut rng);
         let (aug_train, aug_val) = aug.windows.split_at(split);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed ^ 11).with_subnets(2);
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed ^ 11)
+            .with_subnets(2);
         let (mut aug_model, secrets) =
             amalgam_core::augment_nlp(&template, &plan, NlpTask::LanguageModel, &acfg)
                 .expect("augmentation");
@@ -76,7 +92,15 @@ pub fn fig11(opts: &Options) -> Report {
 pub fn fig12(opts: &Options) -> Report {
     let mut report = Report::new(
         "fig12_textclass_agnews",
-        &["amount", "epoch", "train_loss", "train_acc", "val_loss", "val_acc", "extracted_val_acc"],
+        &[
+            "amount",
+            "epoch",
+            "train_loss",
+            "train_acc",
+            "val_loss",
+            "val_acc",
+            "extracted_val_acc",
+        ],
     );
     let mut rng = Rng::seed_from(opts.seed);
     let (vocab, docs, test_docs, doc_len, dim, epochs) = match opts.scale {
@@ -109,10 +133,16 @@ pub fn fig12(opts: &Options) -> Report {
         let plan = TextPlan::random(doc_len, amount, &mut rng);
         let aug_train = augment_text_class(&train, &plan, &NoiseKind::UniformRandom, &mut rng);
         let aug_test = augment_text_class(&test, &plan, &NoiseKind::UniformRandom, &mut rng);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed ^ 12).with_subnets(2);
-        let (mut aug_model, secrets) =
-            amalgam_core::augment_nlp(&template, &plan, NlpTask::Classification { classes: 4 }, &acfg)
-                .expect("augmentation");
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed ^ 12)
+            .with_subnets(2);
+        let (mut aug_model, secrets) = amalgam_core::augment_nlp(
+            &template,
+            &plan,
+            NlpTask::Classification { classes: 4 },
+            &acfg,
+        )
+        .expect("augmentation");
         let h = train_text_classifier(
             &mut aug_model,
             &aug_train.dataset,
@@ -122,7 +152,8 @@ pub fn fig12(opts: &Options) -> Report {
         );
         let extracted = amalgam_core::extract(&aug_model, &template, &secrets).expect("extraction");
         let mut ex = extracted.model;
-        let (_, ex_acc) = amalgam_core::trainer::EvalSource::evaluate(&test, &mut ex, 0, tc.batch_size);
+        let (_, ex_acc) =
+            amalgam_core::trainer::EvalSource::evaluate(&test, &mut ex, 0, tc.batch_size);
         for e in 0..h.epochs() {
             report.push(vec![
                 format!("{}%", (amount * 100.0) as u32),
@@ -131,7 +162,11 @@ pub fn fig12(opts: &Options) -> Report {
                 format!("{:.4}", h.train_acc[e]),
                 format!("{:.4}", h.val_loss[e]),
                 format!("{:.4}", h.val_acc[e]),
-                if e + 1 == h.epochs() { format!("{ex_acc:.4}") } else { "-".into() },
+                if e + 1 == h.epochs() {
+                    format!("{ex_acc:.4}")
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }

@@ -4,16 +4,18 @@ use crate::{write_pgm, Options, Report, Scale};
 use amalgam_attacks::denoise::{
     bilateral_denoise, bilinear_resize, gaussian_denoise, median_denoise, CnnDenoiser,
 };
-use amalgam_attacks::dlg::{dlg_attack, idlg_infer_label, observed_gradient, DlgConfig, HeadTarget};
+use amalgam_attacks::dlg::{
+    dlg_attack, idlg_infer_label, observed_gradient, DlgConfig, HeadTarget,
+};
 use amalgam_attacks::shap::{attribution_correlation, kernel_shap, ShapConfig};
 use amalgam_attacks::{mse, psnr};
 use amalgam_baselines::comparison::{run_comparison, ComparisonConfig};
 use amalgam_core::privacy::privacy_sweep;
 use amalgam_core::trainer::TrainConfig;
 use amalgam_core::{augment_images, AugmentConfig, ImagePlan, NoiseKind};
-use amalgam_data::SyntheticImageSpec;
 #[allow(unused_imports)]
 use amalgam_data::ImageDataset;
+use amalgam_data::SyntheticImageSpec;
 use amalgam_models::lenet5;
 use amalgam_nn::Mode;
 use amalgam_tensor::{Rng, Tensor};
@@ -26,7 +28,13 @@ pub fn fig14(opts: &Options) -> Report {
     };
     let mut report = Report::new(
         "fig14_framework_comparison",
-        &["framework", "seconds", "vs_baseline", "extrapolated", "val_acc"],
+        &[
+            "framework",
+            "seconds",
+            "vs_baseline",
+            "extrapolated",
+            "val_acc",
+        ],
     );
     let rows = run_comparison(&cfg);
     let baseline = rows[0].seconds;
@@ -62,15 +70,30 @@ pub fn fig15(opts: &Options) -> Report {
 pub fn fig16(opts: &Options) -> Report {
     let mut report = Report::new(
         "fig16_dlg",
-        &["target", "iterations", "final_objective", "attacker_view_mse", "mean_guess_mse", "idlg_label_ok"],
+        &[
+            "target",
+            "iterations",
+            "final_objective",
+            "attacker_view_mse",
+            "mean_guess_mse",
+            "idlg_label_ok",
+        ],
     );
     let mut rng = Rng::seed_from(opts.seed);
     let hw = if opts.scale == Scale::Scaled { 8 } else { 12 };
-    let data = SyntheticImageSpec::mnist_like().with_counts(8, 2).with_hw(hw).with_noise(0.25).generate(&mut rng);
+    let data = SyntheticImageSpec::mnist_like()
+        .with_counts(8, 2)
+        .with_hw(hw)
+        .with_noise(0.25)
+        .generate(&mut rng);
     let (img, labels) = data.train.batch(0, 1);
     let label = labels[0];
     let iters = if opts.scale == Scale::Scaled { 160 } else { 84 };
-    let dcfg = DlgConfig { iterations: iters, seed: opts.seed, ..DlgConfig::default() };
+    let dcfg = DlgConfig {
+        iterations: iters,
+        seed: opts.seed,
+        ..DlgConfig::default()
+    };
 
     // --- control: plain LeNet --------------------------------------------
     let mut plain = lenet5(1, hw, 10, &mut Rng::seed_from(opts.seed));
@@ -79,8 +102,19 @@ pub fn fig16(opts: &Options) -> Report {
     let fc3 = plain.node_by_name("fc3").expect("lenet fc3");
     let wgrad = plain.node(fc3).layer().params()[0].grad.clone();
     let idlg_ok = idlg_infer_label(&wgrad) == label;
-    let out = dlg_attack(&mut plain, img.dims(), label, HeadTarget::Single(0), &target, Some(&img), &dcfg);
-    write_pgm(&img.reshape(&[1, hw, hw]), &opts.out_dir.join("fig16_ground_truth.pgm"));
+    let out = dlg_attack(
+        &mut plain,
+        img.dims(),
+        label,
+        HeadTarget::Single(0),
+        &target,
+        Some(&img),
+        &dcfg,
+    );
+    write_pgm(
+        &img.reshape(&[1, hw, hw]),
+        &opts.out_dir.join("fig16_ground_truth.pgm"),
+    );
     write_pgm(
         &out.reconstruction.reshape(&[1, hw, hw]),
         &opts.out_dir.join("fig16_plain_reconstruction.pgm"),
@@ -108,7 +142,15 @@ pub fn fig16(opts: &Options) -> Report {
     // The adversary observes the gradient of a genuine Algorithm-1 step —
     // the sum over ALL heads — and cannot know which sub-network is real.
     let target = observed_gradient(&mut aug, &aug_img, label, HeadTarget::All);
-    let out = dlg_attack(&mut aug, aug_img.dims(), label, HeadTarget::All, &target, None, &dcfg);
+    let out = dlg_attack(
+        &mut aug,
+        aug_img.dims(),
+        label,
+        HeadTarget::All,
+        &target,
+        None,
+        &dcfg,
+    );
     // The adversary reconstructs in *augmented* space. Without the secret
     // plan it cannot pick the original pixels out of the noise — C(ah·aw,
     // inserted) layouts (§6.3); its best geometric readout is a resample of
@@ -117,7 +159,10 @@ pub fn fig16(opts: &Options) -> Report {
     let rec_img = out.reconstruction.reshape(&[1, ah, aw]);
     let attacker_view = amalgam_attacks::denoise::bilinear_resize(&rec_img, hw, hw);
     let rec_mse = mse(&img.reshape(&[1, hw, hw]), &attacker_view);
-    write_pgm(&rec_img, &opts.out_dir.join("fig16_amalgam_reconstruction.pgm"));
+    write_pgm(
+        &rec_img,
+        &opts.out_dir.join("fig16_amalgam_reconstruction.pgm"),
+    );
     report.push(vec![
         "Amalgam 50%".into(),
         iters.to_string(),
@@ -137,11 +182,18 @@ pub fn fig17(opts: &Options) -> Report {
     );
     let mut rng = Rng::seed_from(opts.seed);
     let hw = 8usize;
-    let data = SyntheticImageSpec::mnist_like().with_counts(16, 4).with_hw(hw).generate(&mut rng);
+    let data = SyntheticImageSpec::mnist_like()
+        .with_counts(16, 4)
+        .with_hw(hw)
+        .generate(&mut rng);
     let (img_b, labels) = data.train.batch(0, 1);
     let label = labels[0];
     let img = img_b.reshape(&[1, hw, hw]);
-    let cfg = ShapConfig { patch: 2, samples: 192, seed: opts.seed };
+    let cfg = ShapConfig {
+        patch: 2,
+        samples: 192,
+        seed: opts.seed,
+    };
 
     // Plain LeNet attribution of the true class probability.
     let mut plain = lenet5(1, hw, 10, &mut Rng::seed_from(opts.seed));
@@ -170,7 +222,8 @@ pub fn fig17(opts: &Options) -> Report {
     let aug_imgs = augment_images(&data.train, &plan, &NoiseKind::UniformRandom, &mut rng);
     let template = lenet5(1, hw, 10, &mut Rng::seed_from(opts.seed));
     let acfg = AugmentConfig::new(1.0).with_seed(opts.seed).with_subnets(3);
-    let (mut aug, secrets) = amalgam_core::augment_cv(&template, &plan, 10, &acfg).expect("augment");
+    let (mut aug, secrets) =
+        amalgam_core::augment_cv(&template, &plan, 10, &acfg).expect("augment");
     let (ah, aw) = plan.aug_hw();
     let aug_img = aug_imgs.dataset.batch(0, 1).0.reshape(&[1, ah, aw]);
     let head = secrets.original_output;
@@ -215,7 +268,10 @@ fn project_attribution(
     for (k, &pos) in plan.keep().iter().enumerate() {
         let (oy, ox) = (k / hw, k % hw);
         let (ay, ax) = (pos / aw, pos % aw);
-        let (ay, ax) = (((ay / patch).min(ah / patch - 1)), ((ax / patch).min(aug_cols - 1)));
+        let (ay, ax) = (
+            ((ay / patch).min(ah / patch - 1)),
+            ((ax / patch).min(aug_cols - 1)),
+        );
         let op = (oy / patch) * grid + ox / patch;
         out.data_mut()[op] += phi_aug.data()[ay * aug_cols + ax];
         counts[op] += 1.0;
@@ -233,7 +289,12 @@ fn project_attribution(
 pub fn fig18(opts: &Options) -> Report {
     let mut report = Report::new(
         "fig18_denoise",
-        &["denoiser", "control_psnr_db", "amalgam_psnr_db", "amalgam_resists"],
+        &[
+            "denoiser",
+            "control_psnr_db",
+            "amalgam_psnr_db",
+            "amalgam_resists",
+        ],
     );
     let mut rng = Rng::seed_from(opts.seed);
     let hw = if opts.scale == Scale::Scaled { 16 } else { 32 };
@@ -246,7 +307,11 @@ pub fn fig18(opts: &Options) -> Report {
             let p = i % (hw * hw);
             let (y, x) = (p / hw, p % hw);
             let checker = if (x + y) % 2 == 0 { 0.30 } else { -0.30 };
-            let edge = if x == hw / 2 || y == hw / 3 { 0.35 } else { 0.0 };
+            let edge = if x == hw / 2 || y == hw / 3 {
+                0.35
+            } else {
+                0.0
+            };
             let fy = y as f32 / hw as f32 - 0.5;
             let fx = x as f32 / hw as f32 - 0.5;
             let blob = 0.3 * (-(fx * fx + fy * fy) / 0.05).exp();
@@ -267,10 +332,10 @@ pub fn fig18(opts: &Options) -> Report {
     let sigma = 50.0 / 255.0; // the paper's σ = 50 on 8-bit images
 
     // Control: plain additive Gaussian noise.
-    let noisy =
-        clean.zip_map(&Tensor::from_fn(clean.dims(), |_| rng.normal(0.0, sigma)), |a, b| {
-            (a + b).clamp(0.0, 1.0)
-        });
+    let noisy = clean.zip_map(
+        &Tensor::from_fn(clean.dims(), |_| rng.normal(0.0, sigma)),
+        |a, b| (a + b).clamp(0.0, 1.0),
+    );
     // Amalgam: 20 % augmentation with Gaussian noise values (paper Fig. 18).
     let plan = ImagePlan::random(hw, hw, 0.2, &mut rng);
     let aug = augment_images(&data_train, &plan, &NoiseKind::Gaussian { sigma }, &mut rng);
@@ -278,11 +343,21 @@ pub fn fig18(opts: &Options) -> Report {
     let aug_img = aug.dataset.batch(0, 1).0.reshape(&[3, ah, aw]);
 
     write_pgm(&grey(&clean), &opts.out_dir.join("fig18_ground_truth.pgm"));
-    write_pgm(&grey(&noisy), &opts.out_dir.join("fig18_gaussian_noisy.pgm"));
-    write_pgm(&grey(&aug_img), &opts.out_dir.join("fig18_amalgam_augmented.pgm"));
+    write_pgm(
+        &grey(&noisy),
+        &opts.out_dir.join("fig18_gaussian_noisy.pgm"),
+    );
+    write_pgm(
+        &grey(&aug_img),
+        &opts.out_dir.join("fig18_amalgam_augmented.pgm"),
+    );
 
     // Train the learned denoiser once (stand-in for Restormer/KBNet).
-    let epochs = if opts.scale == Scale::Scaled { 150 } else { 300 };
+    let epochs = if opts.scale == Scale::Scaled {
+        150
+    } else {
+        300
+    };
     let mut cnn = CnnDenoiser::train(
         data_train.images(),
         sigma,

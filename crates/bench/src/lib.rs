@@ -36,7 +36,11 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: Scale::Scaled, out_dir: PathBuf::from("results"), seed: 7 }
+        Options {
+            scale: Scale::Scaled,
+            out_dir: PathBuf::from("results"),
+            seed: 7,
+        }
     }
 }
 
@@ -67,7 +71,12 @@ impl Report {
     ///
     /// Panics if the arity differs from the column count.
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in {}", self.name);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.name
+        );
         self.rows.push(row);
     }
 
@@ -132,7 +141,11 @@ pub fn write_pgm(img: &amalgam_tensor::Tensor, path: &Path) {
     let mut bytes = format!("P5\n{w} {h}\n255\n").into_bytes();
     let (lo, hi) = (img.min(), img.max());
     let span = (hi - lo).max(1e-6);
-    bytes.extend(img.data().iter().map(|&v| (((v - lo) / span) * 255.0) as u8));
+    bytes.extend(
+        img.data()
+            .iter()
+            .map(|&v| (((v - lo) / span) * 255.0) as u8),
+    );
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create output directory");
     }

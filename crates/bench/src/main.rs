@@ -23,7 +23,11 @@ fn parse_options(args: &[String]) -> Options {
                 opts.out_dir = it.next().expect("--out requires a directory").into();
             }
             "--seed" => {
-                opts.seed = it.next().expect("--seed requires a value").parse().expect("numeric seed");
+                opts.seed = it
+                    .next()
+                    .expect("--seed requires a value")
+                    .parse()
+                    .expect("numeric seed");
             }
             other => panic!("unknown option {other}"),
         }
@@ -77,8 +81,11 @@ fn main() {
     }
     let experiment = args[0].clone();
     let opts = parse_options(&args[1..]);
-    let names: Vec<&str> =
-        if experiment == "all" { ALL.to_vec() } else { vec![experiment.as_str()] };
+    let names: Vec<&str> = if experiment == "all" {
+        ALL.to_vec()
+    } else {
+        vec![experiment.as_str()]
+    };
     for name in names {
         let t0 = std::time::Instant::now();
         for report in run_one(name, &opts) {

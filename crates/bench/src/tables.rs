@@ -33,8 +33,13 @@ pub fn table2(opts: &Options) -> Report {
     let mut report = Report::new(
         "table2",
         &[
-            "dataset", "amount", "measured_time_s", "extrapolated_time_s", "resolution",
-            "paper_scale_size", "search_space",
+            "dataset",
+            "amount",
+            "measured_time_s",
+            "extrapolated_time_s",
+            "resolution",
+            "paper_scale_size",
+            "search_space",
         ],
     );
     let mut rng = Rng::seed_from(opts.seed);
@@ -93,7 +98,9 @@ pub fn table2(opts: &Options) -> Report {
         Scale::Scaled => 60_000,
         Scale::Full => paper_tokens,
     };
-    let corpus = LmCorpusSpec::wikitext2_like().with_tokens(tokens).generate(&mut rng);
+    let corpus = LmCorpusSpec::wikitext2_like()
+        .with_tokens(tokens)
+        .generate(&mut rng);
     let batches = corpus.batchify(20, 20);
     report.push(vec![
         "wikitext2".into(),
@@ -125,8 +132,10 @@ pub fn table2(opts: &Options) -> Report {
         Scale::Scaled => 512,
         Scale::Full => paper_docs,
     };
-    let (agnews, _) =
-        TextClassSpec::agnews_like().with_counts(docs, 1).with_doc_len(140).generate(&mut rng);
+    let (agnews, _) = TextClassSpec::agnews_like()
+        .with_counts(docs, 1)
+        .with_doc_len(140)
+        .generate(&mut rng);
     report.push(vec![
         "agnews".into(),
         "0%".into(),
@@ -181,7 +190,9 @@ pub fn cv_geometry(opts: &Options, dataset: &str) -> (SyntheticImageSpec, CvConf
 
 /// Shared Table 3/figure training config.
 pub fn cv_train_config(opts: &Options, epochs: usize) -> TrainConfig {
-    TrainConfig::new(epochs, 32, 0.03).with_momentum(0.9).with_seed(opts.seed)
+    TrainConfig::new(epochs, 32, 0.03)
+        .with_momentum(0.9)
+        .with_seed(opts.seed)
 }
 
 /// Table 3: parameter counts and training times for the four CV families
@@ -189,7 +200,15 @@ pub fn cv_train_config(opts: &Options, epochs: usize) -> TrainConfig {
 pub fn table3(opts: &Options) -> Report {
     let mut report = Report::new(
         "table3",
-        &["model", "dataset", "amount", "params", "param_ratio", "train_time_s", "time_ratio"],
+        &[
+            "model",
+            "dataset",
+            "amount",
+            "params",
+            "param_ratio",
+            "train_time_s",
+            "time_ratio",
+        ],
     );
     let epochs = if opts.scale == Scale::Scaled { 1 } else { 10 };
     for dataset in ["mnist", "cifar10", "cifar100"] {
@@ -212,15 +231,20 @@ pub fn table3(opts: &Options) -> Report {
     ]);
     for amount in AMOUNTS {
         let plan = ImagePlan::random(cfg.input_hw, cfg.input_hw, amount, &mut rng);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(3);
-        let (aug, _) = amalgam_core::augment_cv(&model, &plan, cfg.num_classes, &acfg)
-            .expect("augmentation");
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed)
+            .with_subnets(3);
+        let (aug, _) =
+            amalgam_core::augment_cv(&model, &plan, cfg.num_classes, &acfg).expect("augmentation");
         report.push(vec![
             "VGG16+CBAM".into(),
             "imagenette".into(),
             format!("{}%", (amount * 100.0) as u32),
             aug.param_count().to_string(),
-            format!("{:.2}", aug.param_count() as f64 / model.param_count() as f64),
+            format!(
+                "{:.2}",
+                aug.param_count() as f64 / model.param_count() as f64
+            ),
             "-".into(),
             "-".into(),
         ]);
@@ -228,7 +252,13 @@ pub fn table3(opts: &Options) -> Report {
     report
 }
 
-fn run_cv_rows(report: &mut Report, opts: &Options, family: CvFamily, dataset: &str, epochs: usize) {
+fn run_cv_rows(
+    report: &mut Report,
+    opts: &Options,
+    family: CvFamily,
+    dataset: &str,
+    epochs: usize,
+) {
     let mut rng = Rng::seed_from(opts.seed);
     let (spec, cfg, train_n, test_n) = cv_geometry(opts, dataset);
     let data = spec.with_counts(train_n, test_n).generate(&mut rng);
@@ -251,7 +281,9 @@ fn run_cv_rows(report: &mut Report, opts: &Options, family: CvFamily, dataset: &
     for amount in AMOUNTS {
         let plan = ImagePlan::random(cfg.input_hw, cfg.input_hw, amount, &mut rng);
         let aug_data = augment_images(&data.train, &plan, &NoiseKind::UniformRandom, &mut rng);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(3);
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed)
+            .with_subnets(3);
         let (mut aug, secrets) =
             amalgam_core::augment_cv(&model, &plan, cfg.num_classes, &acfg).expect("augmentation");
         let h = train_image_classifier(
@@ -278,18 +310,40 @@ fn run_cv_rows(report: &mut Report, opts: &Options, family: CvFamily, dataset: &
 pub fn table4(opts: &Options) -> Report {
     let mut report = Report::new(
         "table4",
-        &["model", "dataset", "amount", "params", "param_ratio", "train_time_s"],
+        &[
+            "model",
+            "dataset",
+            "amount",
+            "params",
+            "param_ratio",
+            "train_time_s",
+        ],
     );
     let mut rng = Rng::seed_from(opts.seed);
 
     // --- transformer / WikiText2 -----------------------------------------
     let (vocab, tokens, seq, lm_cfg) = match opts.scale {
-        Scale::Scaled => (500usize, 20_000usize, 16usize, TransformerLmConfig::tiny(500, 32)),
-        Scale::Full => (33_278, 2_088_628, 20, TransformerLmConfig::wikitext2_paper()),
+        Scale::Scaled => (
+            500usize,
+            20_000usize,
+            16usize,
+            TransformerLmConfig::tiny(500, 32),
+        ),
+        Scale::Full => (
+            33_278,
+            2_088_628,
+            20,
+            TransformerLmConfig::wikitext2_paper(),
+        ),
     };
-    let corpus = LmCorpusSpec::wikitext2_like().with_vocab(vocab).with_tokens(tokens).generate(&mut rng);
+    let corpus = LmCorpusSpec::wikitext2_like()
+        .with_vocab(vocab)
+        .with_tokens(tokens)
+        .generate(&mut rng);
     let batches = corpus.batchify(8, seq);
-    let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+    let windows: Vec<Tensor> = (0..batches.num_batches())
+        .map(|i| batches.window(i).0)
+        .collect();
     let model = transformer_lm(&lm_cfg, &mut Rng::seed_from(opts.seed));
     let base_params = model.param_count();
     let tc = TrainConfig::new(1, 8, 0.05).with_seed(opts.seed);
@@ -297,7 +351,14 @@ pub fn table4(opts: &Options) -> Report {
 
     let mut baseline = model.clone();
     let t0 = std::time::Instant::now();
-    train_lm(&mut baseline, &windows, &[], &[keep_all.clone()], 0, &tc);
+    train_lm(
+        &mut baseline,
+        &windows,
+        &[],
+        std::slice::from_ref(&keep_all),
+        0,
+        &tc,
+    );
     report.push(vec![
         "Transformer".into(),
         "wikitext2".into(),
@@ -309,12 +370,21 @@ pub fn table4(opts: &Options) -> Report {
     for amount in AMOUNTS {
         let plan = TextPlan::random(seq, amount, &mut rng);
         let aug = augment_lm(&batches, &plan, &NoiseKind::UniformRandom, &mut rng);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(2);
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed)
+            .with_subnets(2);
         let (mut aug_model, secrets) =
             amalgam_core::augment_nlp(&model, &plan, amalgam_core::NlpTask::LanguageModel, &acfg)
                 .expect("augmentation");
         let t0 = std::time::Instant::now();
-        train_lm(&mut aug_model, &aug.windows, &[], &secrets.head_keeps, secrets.original_output, &tc);
+        train_lm(
+            &mut aug_model,
+            &aug.windows,
+            &[],
+            &secrets.head_keeps,
+            secrets.original_output,
+            &tc,
+        );
         report.push(vec![
             "Transformer".into(),
             "wikitext2".into(),
@@ -330,8 +400,11 @@ pub fn table4(opts: &Options) -> Report {
         Scale::Scaled => (400usize, 512usize, 24usize, 16usize),
         Scale::Full => (95_812, 120_000, 40, 64),
     };
-    let (train, _) =
-        TextClassSpec::agnews_like().with_vocab(vocab).with_counts(docs, 1).with_doc_len(doc_len).generate(&mut rng);
+    let (train, _) = TextClassSpec::agnews_like()
+        .with_vocab(vocab)
+        .with_counts(docs, 1)
+        .with_doc_len(doc_len)
+        .generate(&mut rng);
     let model = text_classifier(vocab, dim, 4, &mut Rng::seed_from(opts.seed));
     let base_params = model.param_count();
     let tc = TrainConfig::new(1, 32, 0.5).with_seed(opts.seed);
@@ -350,7 +423,9 @@ pub fn table4(opts: &Options) -> Report {
     for amount in AMOUNTS {
         let plan = TextPlan::random(doc_len, amount, &mut rng);
         let aug = augment_text_class(&train, &plan, &NoiseKind::UniformRandom, &mut rng);
-        let acfg = AugmentConfig::new(amount).with_seed(opts.seed).with_subnets(2);
+        let acfg = AugmentConfig::new(amount)
+            .with_seed(opts.seed)
+            .with_subnets(2);
         let (mut aug_model, secrets) = amalgam_core::augment_nlp(
             &model,
             &plan,
@@ -359,7 +434,13 @@ pub fn table4(opts: &Options) -> Report {
         )
         .expect("augmentation");
         let t0 = std::time::Instant::now();
-        train_text_classifier(&mut aug_model, &aug.dataset, None, secrets.original_output, &tc);
+        train_text_classifier(
+            &mut aug_model,
+            &aug.dataset,
+            None,
+            secrets.original_output,
+            &tc,
+        );
         report.push(vec![
             "TextClassifier".into(),
             "agnews".into(),

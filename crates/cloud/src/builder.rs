@@ -1,0 +1,123 @@
+//! Configures and launches a [`CloudService`]: worker count, observer,
+//! admission control, panic policy and custom middleware.
+
+use crate::metrics::ServiceMetrics;
+use crate::middleware::{
+    AdmissionLayer, CloudLayer, DecodeLayer, MetricsLayer, ObserverLayer, PanicLayer,
+    ServiceBuilder, ValidateLayer,
+};
+use crate::observer::CloudObserver;
+use crate::service::CloudService;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Builder for [`CloudService`] (obtained via [`CloudService::builder`]).
+///
+/// The default stack it assembles, outermost first:
+///
+/// `metrics → panic → admission → [custom layers] → decode → validate →
+/// observer → train`
+///
+/// Custom layers therefore see the raw serialized payload (decode has not
+/// run yet) plus whatever the admission gate let through.
+pub struct CloudServiceBuilder {
+    pub(crate) workers: usize,
+    pub(crate) observer: Option<Arc<Mutex<dyn CloudObserver>>>,
+    pub(crate) max_queue_depth: Option<usize>,
+    pub(crate) catch_panics: bool,
+    pub(crate) custom_layers: Vec<Box<dyn CloudLayer>>,
+}
+
+impl CloudServiceBuilder {
+    pub(crate) fn new() -> CloudServiceBuilder {
+        CloudServiceBuilder {
+            workers: 1,
+            observer: None,
+            max_queue_depth: None,
+            catch_panics: true,
+            custom_layers: Vec::new(),
+        }
+    }
+
+    /// Number of worker threads pulling from the shared queue (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> CloudServiceBuilder {
+        assert!(n > 0, "a cloud service needs at least one worker");
+        self.workers = n;
+        self
+    }
+
+    /// Attaches the honest-but-curious observer. Without one, no observer
+    /// layer is installed at all — workers skip the tap's mutex entirely.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<Mutex<dyn CloudObserver>>) -> CloudServiceBuilder {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Enables admission control: jobs submitted while more than `depth`
+    /// jobs were already queued fail with [`crate::CloudError::Overloaded`].
+    #[must_use]
+    pub fn max_queue_depth(mut self, depth: usize) -> CloudServiceBuilder {
+        self.max_queue_depth = Some(depth);
+        self
+    }
+
+    /// Whether panics in the stack become [`crate::CloudError::Panicked`]
+    /// instead of killing the worker (default `true`).
+    #[must_use]
+    pub fn catch_panics(mut self, on: bool) -> CloudServiceBuilder {
+        self.catch_panics = on;
+        self
+    }
+
+    /// Inserts a custom layer between admission control and decode; layers
+    /// added first sit outermost among the custom ones.
+    #[must_use]
+    pub fn layer(mut self, layer: impl CloudLayer + 'static) -> CloudServiceBuilder {
+        self.custom_layers.push(Box::new(layer));
+        self
+    }
+
+    /// Assembles the default middleware stack around the trainer.
+    pub(crate) fn assemble(
+        &mut self,
+        metrics: Arc<ServiceMetrics>,
+    ) -> crate::middleware::ServiceBuilder {
+        let mut stack = ServiceBuilder::new().layer(MetricsLayer::new(metrics));
+        if self.catch_panics {
+            stack = stack.layer(PanicLayer);
+        }
+        if let Some(depth) = self.max_queue_depth {
+            stack = stack.layer(AdmissionLayer::new(depth));
+        }
+        for layer in self.custom_layers.drain(..) {
+            stack = stack.layer_boxed(layer);
+        }
+        stack = stack.layer(DecodeLayer).layer(ValidateLayer);
+        if let Some(observer) = &self.observer {
+            stack = stack.layer(ObserverLayer::new(Arc::clone(observer)));
+        }
+        stack
+    }
+
+    /// Launches the worker pool and returns the running service.
+    pub fn build(self) -> CloudService {
+        CloudService::from_builder(self)
+    }
+}
+
+impl std::fmt::Debug for CloudServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudServiceBuilder")
+            .field("workers", &self.workers)
+            .field("max_queue_depth", &self.max_queue_depth)
+            .field("catch_panics", &self.catch_panics)
+            .field("custom_layers", &self.custom_layers.len())
+            .finish()
+    }
+}

@@ -2,33 +2,107 @@
 //!
 //! The paper uploads an augmented TorchScript model plus augmented tensors to
 //! a Python-based cloud service (Colab, SageMaker, …). This crate stands in
-//! for that trust boundary: a [`CloudService`] runs on its own thread,
-//! receives **fully serialized** jobs (model spec bytes + dataset tensors)
-//! over a crossbeam channel, trains with the paper's Algorithm 1, and returns
-//! the trained augmented model as bytes.
+//! for that trust boundary as a small production-shaped service: a
+//! [`CloudService`] owns a pool of worker threads pulling **fully
+//! serialized** jobs (model spec bytes + dataset tensors) off one shared
+//! queue, and every job runs through a composable Tower-style middleware
+//! stack before and after the paper's Algorithm 1 trains it.
 //!
-//! Everything the cloud can see is available to a registered
-//! [`CloudObserver`] — the vantage point from which `amalgam-attacks` mounts
-//! its attacks. Notably absent from anything that crosses the wire:
-//! provenance tags, sub-network identities, and the client's insertion plan.
+//! # The layer stack
+//!
+//! Requests flow outside-in, responses inside-out. The default stack built
+//! by [`CloudService::builder`]:
+//!
+//! ```text
+//!   CloudClient::submit ──► [job queue] ──► worker thread
+//!                                               │ payload: Bytes
+//!   ┌───────────────────────────────────────────▼───────────┐
+//!   │ metrics     per-job latency, bytes in/out, jobs/sec   │
+//!   │ ┌─────────────────────────────────────────────────┐   │
+//!   │ │ panic       catch_unwind → CloudError::Panicked │   │
+//!   │ │ ┌─────────────────────────────────────────────┐ │   │
+//!   │ │ │ admission   queue too deep → Overloaded     │ │   │
+//!   │ │ │ ┌─────────────────────────────────────────┐ │ │   │
+//!   │ │ │ │ [custom layers from builder().layer()]  │ │ │   │
+//!   │ │ │ │ ┌─────────────────────────────────────┐ │ │ │   │
+//!   │ │ │ │ │ decode      wire → CloudJob + model │ │ │ │   │
+//!   │ │ │ │ │ ┌─────────────────────────────────┐ │ │ │ │   │
+//!   │ │ │ │ │ │ validate    the BadJob checks   │ │ │ │ │   │
+//!   │ │ │ │ │ │ ┌─────────────────────────────┐ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ observer    adversary's tap │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ ┌─────────────────────────┐ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ train    Algorithm 1    │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ └─────────────────────────┘ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ └─────────────────────────────┘ │ │ │ │ │   │
+//!   │ │ │ │ │ └─────────────────────────────────┘ │ │ │ │   │
+//!   │ │ │ │ └─────────────────────────────────────┘ │ │ │   │
+//!   │ │ │ └─────────────────────────────────────────┘ │ │   │
+//!   │ │ └─────────────────────────────────────────────┘ │   │
+//!   │ └─────────────────────────────────────────────────┘   │
+//!   └───────────────────────────────────────────────────────┘
+//!                                               │ Result<JobResult, CloudError>
+//!                                               ▼ reply channel → JobHandle
+//! ```
+//!
+//! * **metrics** is outermost so it observes every outcome, including
+//!   panics already converted to errors by **panic**.
+//! * **admission** judges the queue depth each job found at submit time;
+//!   jobs past the configured watermark are answered with
+//!   [`CloudError::Overloaded`] instead of being trained.
+//! * Custom layers sit between admission and **decode**, so they see the
+//!   raw serialized payload — the exact bytes that crossed the wire.
+//! * **validate** holds the `BadJob` checks, out of the trainer's path.
+//! * **observer** feeds everything the cloud legitimately sees to a
+//!   registered [`CloudObserver`] — the vantage point from which
+//!   `amalgam-attacks` mounts its attacks. The layer is installed only
+//!   when an observer is attached, so unobserved pools pay nothing for
+//!   it. Notably absent from anything that crosses the wire: provenance
+//!   tags, sub-network identities, and the client's insertion plan.
+//! * **train** is numerically identical to the local trainer, preserving
+//!   the bitwise cloud-vs-local equivalence guarantee; middleware wraps it
+//!   without touching tensors.
+//!
+//! Scale the pool with [`CloudServiceBuilder::workers`]; jobs from any
+//! number of cloned [`CloudClient`]s are scheduled FIFO across workers.
+//! [`CloudService::shutdown`] drains queued jobs before the workers exit.
 
+mod builder;
+mod metrics;
+pub mod middleware;
 mod observer;
 mod protocol;
 mod service;
 
+pub use builder::CloudServiceBuilder;
+pub use metrics::{ServiceMetrics, ServiceStats};
+pub use middleware::{
+    AdmissionLayer, CloudLayer, DecodeLayer, JobContext, JobService, MetricsLayer, ObserverLayer,
+    PanicLayer, ServiceBuilder, ValidateLayer,
+};
 pub use observer::{CloudObserver, NullObserver, RecordingObserver};
 pub use protocol::{CloudJob, JobResult, TaskPayload};
-pub use service::{CloudClient, CloudService, JobHandle};
+pub use service::{CloudClient, CloudService, JobHandle, TrainService};
 
 /// Errors crossing the simulated cloud boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CloudError {
-    /// The service thread is gone (channel closed).
+    /// The service is gone (worker pool stopped or channel closed).
     ServiceUnavailable,
     /// A job or result failed to decode.
     Decode(String),
     /// The job was malformed (e.g. no output heads).
     BadJob(String),
+    /// Admission control shed the job: it was submitted while the queue was
+    /// deeper than the service's configured maximum.
+    Overloaded {
+        /// Jobs already waiting when this one was submitted.
+        queue_depth: usize,
+        /// The configured watermark.
+        max_queue_depth: usize,
+    },
+    /// Processing panicked; the worker survived and the job was answered
+    /// with the panic message.
+    Panicked(String),
 }
 
 impl std::fmt::Display for CloudError {
@@ -37,6 +111,14 @@ impl std::fmt::Display for CloudError {
             CloudError::ServiceUnavailable => write!(f, "cloud service unavailable"),
             CloudError::Decode(msg) => write!(f, "decode error: {msg}"),
             CloudError::BadJob(msg) => write!(f, "bad job: {msg}"),
+            CloudError::Overloaded {
+                queue_depth,
+                max_queue_depth,
+            } => write!(
+                f,
+                "cloud overloaded: {queue_depth} jobs queued (max {max_queue_depth})"
+            ),
+            CloudError::Panicked(msg) => write!(f, "cloud job panicked: {msg}"),
         }
     }
 }

@@ -1,0 +1,234 @@
+//! Service telemetry: lock-free counters shared by the client handles, the
+//! metrics layer and the worker pool, snapshot into [`ServiceStats`].
+
+use crate::protocol::JobResult;
+use crate::CloudError;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared atomic counters. Writers are the submit path (queue gauge), the
+/// worker loop (dequeue) and [`crate::middleware::MetricsLayer`]; readers
+/// call [`snapshot`](Self::snapshot) at any time.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started_at: Instant,
+    queued: AtomicUsize,
+    in_flight: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    panicked: AtomicU64,
+    bytes_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Zeroed counters with the uptime clock started.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            started_at: Instant::now(),
+            queued: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit path: counts the job and bumps the queue gauge, returning the
+    /// depth the job found (jobs already waiting).
+    pub(crate) fn job_queued(&self) -> usize {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Submit path rollback when the channel rejected the envelope.
+    pub(crate) fn job_unqueued(&self) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Worker path: a job left the queue for a worker.
+    pub(crate) fn job_dequeued(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Metrics layer: a job entered the stack. The returned guard restores
+    /// the in-flight gauge even if the job panics out of the stack (with
+    /// `catch_panics(false)` the unwind would otherwise leak it forever).
+    pub(crate) fn job_started(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(self)
+    }
+
+    /// Metrics layer: a job left the stack with `result` after `elapsed`.
+    pub(crate) fn job_finished(
+        &self,
+        bytes_in: usize,
+        result: &Result<JobResult, CloudError>,
+        elapsed: Duration,
+    ) {
+        self.busy_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes_in as u64, Ordering::Relaxed);
+        match result {
+            Ok(r) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                self.bytes_sent
+                    .fetch_add(r.bytes_sent as u64, Ordering::Relaxed);
+            }
+            Err(CloudError::Overloaded { .. }) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(CloudError::Panicked(_)) => {
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every counter plus derived rates.
+    pub fn snapshot(&self) -> ServiceStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let busy = Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed));
+        let uptime = self.started_at.elapsed();
+        ServiceStats {
+            queue_depth: self.queued.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            jobs_submitted: self.submitted.load(Ordering::Relaxed),
+            jobs_completed: completed,
+            jobs_failed: self.failed.load(Ordering::Relaxed),
+            jobs_rejected: self.rejected.load(Ordering::Relaxed),
+            jobs_panicked: self.panicked.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            mean_job_seconds: if completed > 0 {
+                busy.as_secs_f64() / completed as f64
+            } else {
+                0.0
+            },
+            jobs_per_second: if uptime.as_secs_f64() > 0.0 {
+                completed as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            uptime_seconds: uptime.as_secs_f64(),
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::new()
+    }
+}
+
+/// Decrements the in-flight gauge on drop, surviving unwinds.
+pub(crate) struct InFlightGuard<'a>(&'a ServiceMetrics);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of the service's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs waiting in the channel right now.
+    pub queue_depth: usize,
+    /// Jobs inside the middleware stack right now.
+    pub in_flight: usize,
+    /// Jobs ever submitted (including rejected ones).
+    pub jobs_submitted: u64,
+    /// Jobs trained to completion.
+    pub jobs_completed: u64,
+    /// Jobs answered with an error (decode/validation/panic).
+    pub jobs_failed: u64,
+    /// Jobs shed by admission control.
+    pub jobs_rejected: u64,
+    /// Jobs whose processing panicked (also counted in `jobs_failed`).
+    pub jobs_panicked: u64,
+    /// Total uploaded bytes seen by the metrics layer.
+    pub bytes_received: u64,
+    /// Total bytes returned for completed jobs.
+    pub bytes_sent: u64,
+    /// Mean wall-clock seconds per completed job.
+    pub mean_job_seconds: f64,
+    /// Completed jobs per second of service uptime.
+    pub jobs_per_second: f64,
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::metrics::History;
+    use bytes::Bytes;
+
+    fn ok_result(bytes_sent: usize) -> Result<JobResult, CloudError> {
+        Ok(JobResult {
+            job_id: 0,
+            trained_model: Bytes::new(),
+            history: History::new(),
+            bytes_received: 0,
+            bytes_sent,
+            train_seconds: 0.0,
+        })
+    }
+
+    #[test]
+    fn counters_roll_up_into_snapshot() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.job_queued(), 0);
+        assert_eq!(m.job_queued(), 1);
+        m.job_dequeued();
+        m.job_started();
+        m.job_finished(100, &ok_result(40), Duration::from_millis(2));
+        m.job_started();
+        m.job_finished(
+            7,
+            &Err(CloudError::Decode("x".into())),
+            Duration::from_millis(1),
+        );
+        m.job_started();
+        m.job_finished(
+            7,
+            &Err(CloudError::Panicked("boom".into())),
+            Duration::from_millis(1),
+        );
+        m.job_started();
+        m.job_finished(
+            7,
+            &Err(CloudError::Overloaded {
+                queue_depth: 9,
+                max_queue_depth: 1,
+            }),
+            Duration::ZERO,
+        );
+        let s = m.snapshot();
+        assert_eq!(s.jobs_submitted, 2);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.jobs_completed, 1);
+        assert_eq!(s.jobs_failed, 2);
+        assert_eq!(s.jobs_panicked, 1);
+        assert_eq!(s.jobs_rejected, 1);
+        assert_eq!(s.bytes_received, 121);
+        assert_eq!(s.bytes_sent, 40);
+        assert!(s.mean_job_seconds > 0.0);
+        assert!(s.uptime_seconds >= 0.0);
+    }
+}

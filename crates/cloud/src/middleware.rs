@@ -1,0 +1,533 @@
+//! Tower-style composable middleware for the cloud service.
+//!
+//! A job travels through a stack of [`JobService`]s, each produced by a
+//! [`CloudLayer`]. The request (serialized payload + [`JobContext`]) flows
+//! outside-in; the [`JobResult`] flows inside-out. [`ServiceBuilder`]
+//! composes a stack; [`crate::CloudServiceBuilder`] assembles the default
+//! one (see the crate docs for the diagram).
+
+use crate::metrics::ServiceMetrics;
+use crate::observer::CloudObserver;
+use crate::protocol::{CloudJob, JobResult, TaskPayload};
+use crate::CloudError;
+use amalgam_nn::graph::GraphModel;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-job state threaded through the stack alongside the raw payload.
+///
+/// Outer layers populate it (decode fills [`job`](Self::job) and
+/// [`model`](Self::model), the observer tap fills
+/// [`observer`](Self::observer)); inner layers and the trainer consume it.
+#[derive(Debug)]
+pub struct JobContext {
+    /// Service-assigned id, unique per service instance.
+    pub job_id: u64,
+    /// Jobs already waiting in the queue when this one was submitted —
+    /// what admission control judges.
+    pub queue_depth_at_submit: usize,
+    /// Size of the uploaded payload (set by the decode layer).
+    pub bytes_received: usize,
+    /// The decoded job, once the decode layer has run.
+    pub job: Option<CloudJob>,
+    /// The decoded model, once the decode layer has run.
+    pub model: Option<GraphModel>,
+    /// The adversary's vantage point, installed by the observer layer.
+    pub observer: Option<Arc<Mutex<dyn CloudObserver>>>,
+}
+
+impl JobContext {
+    /// A fresh context for one dequeued job.
+    pub fn new(job_id: u64, queue_depth_at_submit: usize) -> JobContext {
+        JobContext {
+            job_id,
+            queue_depth_at_submit,
+            bytes_received: 0,
+            job: None,
+            model: None,
+            observer: None,
+        }
+    }
+}
+
+/// One stage of the cloud's processing pipeline.
+///
+/// Implementations either transform/inspect and delegate to an inner
+/// service, or (innermost) do the actual work.
+pub trait JobService: Send + Sync {
+    /// Processes one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stage's own [`CloudError`] or propagates the inner one.
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError>;
+}
+
+/// A factory wrapping an inner [`JobService`] with one middleware stage
+/// (Tower's `Layer`, monomorphised to boxed services).
+pub trait CloudLayer: Send + Sync {
+    /// Wraps `inner`, returning the composed service.
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService>;
+
+    /// Short name for diagnostics (`"decode"`, `"metrics"`, …).
+    fn name(&self) -> &'static str;
+}
+
+/// Composes [`CloudLayer`]s into one service. Layers added first sit
+/// **outermost**: requests traverse them in insertion order.
+#[derive(Default)]
+pub struct ServiceBuilder {
+    layers: Vec<Box<dyn CloudLayer>>,
+}
+
+impl ServiceBuilder {
+    /// An empty stack.
+    pub fn new() -> ServiceBuilder {
+        ServiceBuilder { layers: Vec::new() }
+    }
+
+    /// Adds a layer inside all previously added ones.
+    #[must_use]
+    pub fn layer(mut self, layer: impl CloudLayer + 'static) -> ServiceBuilder {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Adds an already-boxed layer inside all previously added ones.
+    #[must_use]
+    pub fn layer_boxed(mut self, layer: Box<dyn CloudLayer>) -> ServiceBuilder {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The stack's layer names, outermost first.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Wraps `innermost` with every layer, outermost-first composition.
+    pub fn service(self, innermost: Box<dyn JobService>) -> Box<dyn JobService> {
+        self.layers
+            .into_iter()
+            .rev()
+            .fold(innermost, |inner, layer| layer.wrap(inner))
+    }
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("layers", &self.names())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+/// Decodes the wire payload into a [`CloudJob`] + [`GraphModel`] and stores
+/// both in the context for the layers beneath.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeLayer;
+
+struct DecodeSvc {
+    inner: Box<dyn JobService>,
+}
+
+impl CloudLayer for DecodeLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(DecodeSvc { inner })
+    }
+
+    fn name(&self) -> &'static str {
+        "decode"
+    }
+}
+
+impl JobService for DecodeSvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        ctx.bytes_received = payload.len();
+        let job = CloudJob::from_bytes(payload.clone())?;
+        let model = GraphModel::from_bytes(job.model.clone())
+            .map_err(|e| CloudError::Decode(e.to_string()))?;
+        ctx.job = Some(job);
+        ctx.model = Some(model);
+        self.inner.call(ctx, payload)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validate
+// ---------------------------------------------------------------------------
+
+/// Rejects malformed jobs (the `BadJob` checks, out of the trainer's path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidateLayer;
+
+struct ValidateSvc {
+    inner: Box<dyn JobService>,
+}
+
+impl CloudLayer for ValidateLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(ValidateSvc { inner })
+    }
+
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+}
+
+impl JobService for ValidateSvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        let job = ctx.job.as_ref().ok_or_else(|| {
+            CloudError::BadJob("validate layer needs a decode layer above it".into())
+        })?;
+        let model = ctx.model.as_ref().ok_or_else(|| {
+            CloudError::BadJob("validate layer needs a decode layer above it".into())
+        })?;
+        if model.outputs().is_empty() {
+            return Err(CloudError::BadJob("model declares no outputs".into()));
+        }
+        match &job.task {
+            TaskPayload::Classification {
+                inputs,
+                labels,
+                val_inputs,
+                val_labels,
+            } => {
+                let Some(&batch) = inputs.dims().first() else {
+                    return Err(CloudError::BadJob(
+                        "classification inputs must be batched".into(),
+                    ));
+                };
+                if batch != labels.len() {
+                    return Err(CloudError::BadJob("label count mismatch".into()));
+                }
+                if let Some(v) = val_inputs {
+                    let Some(&val_batch) = v.dims().first() else {
+                        return Err(CloudError::BadJob(
+                            "validation inputs must be batched".into(),
+                        ));
+                    };
+                    if val_batch != val_labels.len() {
+                        return Err(CloudError::BadJob("validation label count mismatch".into()));
+                    }
+                }
+            }
+            TaskPayload::LanguageModel { head_keeps, .. } => {
+                if head_keeps.len() != model.outputs().len() {
+                    return Err(CloudError::BadJob("one keep list per head required".into()));
+                }
+            }
+        }
+        self.inner.call(ctx, payload)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observer tap
+// ---------------------------------------------------------------------------
+
+/// Feeds everything the cloud legitimately sees to a [`CloudObserver`] —
+/// the honest-but-curious provider as a middleware stage instead of a
+/// parameter threaded through the training loops.
+pub struct ObserverLayer {
+    observer: Arc<Mutex<dyn CloudObserver>>,
+}
+
+impl ObserverLayer {
+    /// A tap feeding `observer`.
+    pub fn new(observer: Arc<Mutex<dyn CloudObserver>>) -> ObserverLayer {
+        ObserverLayer { observer }
+    }
+}
+
+impl std::fmt::Debug for ObserverLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ObserverLayer")
+    }
+}
+
+struct ObserverSvc {
+    observer: Arc<Mutex<dyn CloudObserver>>,
+    inner: Box<dyn JobService>,
+}
+
+impl CloudLayer for ObserverLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(ObserverSvc {
+            observer: Arc::clone(&self.observer),
+            inner,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "observer"
+    }
+}
+
+impl JobService for ObserverSvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        if let Some(model) = ctx.model.as_ref() {
+            self.observer.lock().on_model(model);
+        }
+        ctx.observer = Some(Arc::clone(&self.observer));
+        let result = self.inner.call(ctx, payload);
+        if let Ok(r) = &result {
+            self.observer.lock().on_result(r);
+        }
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Records per-job latency, bytes in/out and outcome counters into the
+/// shared [`ServiceMetrics`] (snapshot via [`crate::CloudService::stats`]).
+pub struct MetricsLayer {
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl MetricsLayer {
+    /// A recorder writing into `metrics`.
+    pub fn new(metrics: Arc<ServiceMetrics>) -> MetricsLayer {
+        MetricsLayer { metrics }
+    }
+}
+
+impl std::fmt::Debug for MetricsLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsLayer")
+    }
+}
+
+struct MetricsSvc {
+    metrics: Arc<ServiceMetrics>,
+    inner: Box<dyn JobService>,
+}
+
+impl CloudLayer for MetricsLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(MetricsSvc {
+            metrics: Arc::clone(&self.metrics),
+            inner,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "metrics"
+    }
+}
+
+impl JobService for MetricsSvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        let bytes_in = payload.len();
+        let t0 = Instant::now();
+        let _in_flight = self.metrics.job_started();
+        let result = self.inner.call(ctx, payload);
+        self.metrics.job_finished(bytes_in, &result, t0.elapsed());
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Sheds load: jobs submitted while more than `max_queue_depth` jobs were
+/// already waiting are answered with [`CloudError::Overloaded`] instead of
+/// being trained.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionLayer {
+    max_queue_depth: usize,
+}
+
+impl AdmissionLayer {
+    /// Rejects jobs that found more than `max_queue_depth` jobs queued.
+    pub fn new(max_queue_depth: usize) -> AdmissionLayer {
+        AdmissionLayer { max_queue_depth }
+    }
+}
+
+struct AdmissionSvc {
+    max_queue_depth: usize,
+    inner: Box<dyn JobService>,
+}
+
+impl CloudLayer for AdmissionLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(AdmissionSvc {
+            max_queue_depth: self.max_queue_depth,
+            inner,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "admission"
+    }
+}
+
+impl JobService for AdmissionSvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        if ctx.queue_depth_at_submit > self.max_queue_depth {
+            return Err(CloudError::Overloaded {
+                queue_depth: ctx.queue_depth_at_submit,
+                max_queue_depth: self.max_queue_depth,
+            });
+        }
+        self.inner.call(ctx, payload)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic catching
+// ---------------------------------------------------------------------------
+
+/// Converts panics anywhere beneath it into [`CloudError::Panicked`], so a
+/// poisoned job cannot take a worker thread down with it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PanicLayer;
+
+struct PanicSvc {
+    inner: Box<dyn JobService>,
+}
+
+impl CloudLayer for PanicLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(PanicSvc { inner })
+    }
+
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+}
+
+impl JobService for PanicSvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        match catch_unwind(AssertUnwindSafe(|| self.inner.call(ctx, payload))) {
+            Ok(result) => result,
+            Err(cause) => Err(CloudError::Panicked(panic_message(&*cause))),
+        }
+    }
+}
+
+fn panic_message(cause: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = cause.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = cause.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Innermost test service that echoes a fixed result.
+    struct Probe;
+
+    impl JobService for Probe {
+        fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+            Ok(JobResult {
+                job_id: ctx.job_id,
+                trained_model: payload,
+                history: amalgam_nn::metrics::History::new(),
+                bytes_received: ctx.bytes_received,
+                bytes_sent: 0,
+                train_seconds: 0.0,
+            })
+        }
+    }
+
+    struct TagLayer(&'static str, Arc<Mutex<Vec<&'static str>>>);
+    struct TagSvc(
+        &'static str,
+        Arc<Mutex<Vec<&'static str>>>,
+        Box<dyn JobService>,
+    );
+
+    impl CloudLayer for TagLayer {
+        fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+            Box::new(TagSvc(self.0, Arc::clone(&self.1), inner))
+        }
+        fn name(&self) -> &'static str {
+            self.0
+        }
+    }
+
+    impl JobService for TagSvc {
+        fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+            self.1.lock().push(self.0);
+            self.2.call(ctx, payload)
+        }
+    }
+
+    #[test]
+    fn layers_run_outside_in_insertion_order() {
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let svc = ServiceBuilder::new()
+            .layer(TagLayer("outer", Arc::clone(&order)))
+            .layer(TagLayer("middle", Arc::clone(&order)))
+            .layer(TagLayer("inner", Arc::clone(&order)))
+            .service(Box::new(Probe));
+        let mut ctx = JobContext::new(1, 0);
+        svc.call(&mut ctx, Bytes::new()).unwrap();
+        assert_eq!(*order.lock(), vec!["outer", "middle", "inner"]);
+    }
+
+    #[test]
+    fn panic_layer_converts_unwind_to_error() {
+        struct Bomb;
+        impl JobService for Bomb {
+            fn call(&self, _: &mut JobContext, _: Bytes) -> Result<JobResult, CloudError> {
+                panic!("kaboom {}", 7);
+            }
+        }
+        let svc = ServiceBuilder::new()
+            .layer(PanicLayer)
+            .service(Box::new(Bomb));
+        let mut ctx = JobContext::new(2, 0);
+        match svc.call(&mut ctx, Bytes::new()) {
+            Err(CloudError::Panicked(msg)) => assert!(msg.contains("kaboom 7"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_layer_sheds_deep_queues() {
+        let svc = ServiceBuilder::new()
+            .layer(AdmissionLayer::new(2))
+            .service(Box::new(Probe));
+        let mut shallow = JobContext::new(3, 2);
+        assert!(svc.call(&mut shallow, Bytes::new()).is_ok());
+        let mut deep = JobContext::new(4, 3);
+        assert!(matches!(
+            svc.call(&mut deep, Bytes::new()),
+            Err(CloudError::Overloaded {
+                queue_depth: 3,
+                max_queue_depth: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_layer_requires_decode_above() {
+        let svc = ServiceBuilder::new()
+            .layer(ValidateLayer)
+            .service(Box::new(Probe));
+        let mut ctx = JobContext::new(5, 0);
+        assert!(matches!(
+            svc.call(&mut ctx, Bytes::new()),
+            Err(CloudError::BadJob(_))
+        ));
+    }
+}

@@ -1,13 +1,17 @@
 //! The honest-but-curious adversary's vantage point.
 
+use crate::protocol::JobResult;
 use amalgam_nn::graph::GraphModel;
 use amalgam_tensor::Tensor;
 
 /// Hooks invoked with everything the cloud legitimately sees — the threat
 /// model's "cloud provider as attacker" position (paper §3).
 ///
-/// Implementations live in `amalgam-attacks`; [`RecordingObserver`] is a
-/// simple capture-everything implementation for tests.
+/// Wired into the service as a middleware stage
+/// ([`crate::middleware::ObserverLayer`]); with a multi-worker pool the
+/// hooks of concurrent jobs interleave, each serialized by the observer's
+/// mutex. Implementations live in `amalgam-attacks`; [`RecordingObserver`]
+/// is a simple capture-everything implementation for tests.
 pub trait CloudObserver: Send {
     /// Called once with the decoded model, before training starts.
     fn on_model(&mut self, model: &GraphModel);
@@ -22,6 +26,12 @@ pub trait CloudObserver: Send {
     /// material of gradient-leakage attacks.
     fn on_step(&mut self, model: &mut GraphModel) {
         let _ = model;
+    }
+
+    /// Called with every result the cloud sends back (the trained model is
+    /// equally visible to the provider on the way out).
+    fn on_result(&mut self, result: &JobResult) {
+        let _ = result;
     }
 }
 
@@ -44,6 +54,8 @@ pub struct RecordingObserver {
     pub batches: usize,
     /// Number of optimizer steps observed.
     pub steps: usize,
+    /// Number of results seen leaving the cloud.
+    pub results: usize,
     /// First batch's input tensor, if any was seen.
     pub first_batch: Option<Tensor>,
 }
@@ -70,5 +82,9 @@ impl CloudObserver for RecordingObserver {
 
     fn on_step(&mut self, _model: &mut GraphModel) {
         self.steps += 1;
+    }
+
+    fn on_result(&mut self, _result: &JobResult) {
+        self.results += 1;
     }
 }

@@ -48,17 +48,19 @@ impl CloudJob {
     /// Serializes the whole job into one buffer (what "upload" means here).
     pub fn to_bytes(&self) -> Bytes {
         let mut w = Writer::new();
-        w.put_u32(self.model.len() as u32);
-        for &b in self.model.iter() {
-            w.put_u8(b);
-        }
+        w.put_bytes(&self.model);
         w.put_u64(self.train.epochs as u64);
         w.put_u64(self.train.batch_size as u64);
         w.put_f32(self.train.lr);
         w.put_f32(self.train.momentum);
         w.put_u64(self.train.seed);
         match &self.task {
-            TaskPayload::Classification { inputs, labels, val_inputs, val_labels } => {
+            TaskPayload::Classification {
+                inputs,
+                labels,
+                val_inputs,
+                val_labels,
+            } => {
                 w.put_u8(0);
                 w.put_tensor(inputs);
                 w.put_usize_list(labels);
@@ -71,7 +73,11 @@ impl CloudJob {
                     None => w.put_u8(0),
                 }
             }
-            TaskPayload::LanguageModel { windows, val_windows, head_keeps } => {
+            TaskPayload::LanguageModel {
+                windows,
+                val_windows,
+                head_keeps,
+            } => {
                 w.put_u8(1);
                 w.put_u32(windows.len() as u32);
                 for t in windows {
@@ -98,11 +104,7 @@ impl CloudJob {
     pub fn from_bytes(buf: Bytes) -> Result<CloudJob, CloudError> {
         let mut r = Reader::new(buf);
         let err = |e: amalgam_tensor::TensorError| CloudError::Decode(e.to_string());
-        let model_len = r.get_u32().map_err(err)? as usize;
-        let mut model = Vec::with_capacity(model_len);
-        for _ in 0..model_len {
-            model.push(r.get_u8().map_err(err)?);
-        }
+        let model = r.get_bytes().map_err(err)?;
         let train = TrainConfig {
             epochs: r.get_u64().map_err(err)? as usize,
             batch_size: r.get_u64().map_err(err)? as usize,
@@ -115,11 +117,19 @@ impl CloudJob {
                 let inputs = r.get_tensor().map_err(err)?;
                 let labels = r.get_usize_list().map_err(err)?;
                 let (val_inputs, val_labels) = if r.get_u8().map_err(err)? == 1 {
-                    (Some(r.get_tensor().map_err(err)?), r.get_usize_list().map_err(err)?)
+                    (
+                        Some(r.get_tensor().map_err(err)?),
+                        r.get_usize_list().map_err(err)?,
+                    )
                 } else {
                     (None, Vec::new())
                 };
-                TaskPayload::Classification { inputs, labels, val_inputs, val_labels }
+                TaskPayload::Classification {
+                    inputs,
+                    labels,
+                    val_inputs,
+                    val_labels,
+                }
             }
             1 => {
                 let n = r.get_u32().map_err(err)? as usize;
@@ -137,17 +147,24 @@ impl CloudJob {
                 for _ in 0..nk {
                     head_keeps.push(r.get_usize_list().map_err(err)?);
                 }
-                TaskPayload::LanguageModel { windows, val_windows, head_keeps }
+                TaskPayload::LanguageModel {
+                    windows,
+                    val_windows,
+                    head_keeps,
+                }
             }
             t => return Err(CloudError::Decode(format!("unknown task tag {t}"))),
         };
-        Ok(CloudJob { model: Bytes::from(model), task, train })
+        Ok(CloudJob { model, task, train })
     }
 }
 
 /// What the cloud returns after training.
 #[derive(Debug, Clone)]
 pub struct JobResult {
+    /// Service-assigned id of the job this result answers (matches
+    /// `JobHandle::id`).
+    pub job_id: u64,
     /// The trained augmented model (serialized).
     pub trained_model: Bytes,
     /// Cloud-side training history (head 0's metrics — the cloud cannot know
@@ -184,7 +201,9 @@ mod tests {
         assert_eq!(back.train.epochs, 3);
         assert_eq!(back.train.seed, 9);
         match back.task {
-            TaskPayload::Classification { labels, val_labels, .. } => {
+            TaskPayload::Classification {
+                labels, val_labels, ..
+            } => {
                 assert_eq!(labels, vec![0, 1, 0, 1]);
                 assert_eq!(val_labels, vec![1, 0]);
             }
@@ -206,7 +225,11 @@ mod tests {
         };
         let back = CloudJob::from_bytes(job.to_bytes()).unwrap();
         match back.task {
-            TaskPayload::LanguageModel { head_keeps, windows, .. } => {
+            TaskPayload::LanguageModel {
+                head_keeps,
+                windows,
+                ..
+            } => {
                 assert_eq!(head_keeps, vec![vec![0, 1, 2], vec![1, 3, 4]]);
                 assert_eq!(windows.len(), 1);
             }
@@ -229,6 +252,9 @@ mod tests {
         };
         let bytes = job.to_bytes();
         let cut = bytes.slice(0..bytes.len() / 2);
-        assert!(matches!(CloudJob::from_bytes(cut), Err(CloudError::Decode(_))));
+        assert!(matches!(
+            CloudJob::from_bytes(cut),
+            Err(CloudError::Decode(_))
+        ));
     }
 }

@@ -1,5 +1,8 @@
-//! The cloud service thread and client handle.
+//! The worker pool, the client handle, and the innermost training service.
 
+use crate::builder::CloudServiceBuilder;
+use crate::metrics::{ServiceMetrics, ServiceStats};
+use crate::middleware::{JobContext, JobService};
 use crate::observer::{CloudObserver, NullObserver};
 use crate::protocol::{CloudJob, JobResult, TaskPayload};
 use crate::CloudError;
@@ -12,164 +15,347 @@ use amalgam_nn::optim::Sgd;
 use amalgam_nn::Mode;
 use amalgam_tensor::Tensor;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 enum Envelope {
-    Job { payload: Bytes, reply: Sender<Result<JobResult, CloudError>> },
+    Job {
+        id: u64,
+        queue_depth_at_submit: usize,
+        payload: Bytes,
+        reply: Sender<Result<JobResult, CloudError>>,
+    },
     Shutdown,
 }
 
-/// The simulated cloud: a training service on its own thread.
+/// The simulated cloud: a middleware stack served by a pool of worker
+/// threads pulling jobs from one shared queue.
 #[derive(Debug)]
 pub struct CloudService {
-    handle: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     tx: Sender<Envelope>,
-}
-
-/// Client handle for submitting jobs to a [`CloudService`].
-#[derive(Debug, Clone)]
-pub struct CloudClient {
-    tx: Sender<Envelope>,
-}
-
-/// An in-flight job.
-#[derive(Debug)]
-pub struct JobHandle {
-    rx: Receiver<Result<JobResult, CloudError>>,
+    // Kept so shutdown can drain envelopes the workers never reached
+    // (jobs racing with shutdown, or queued behind a dead worker).
+    rx: Receiver<Envelope>,
+    closed: Arc<AtomicBool>,
+    metrics: Arc<ServiceMetrics>,
+    next_id: Arc<AtomicU64>,
 }
 
 impl CloudService {
-    /// Starts a service with no adversary attached.
+    /// A single-worker service with the default stack and no adversary.
     pub fn start() -> CloudService {
-        CloudService::start_with_observer(Arc::new(Mutex::new(NullObserver)))
+        CloudService::builder().build()
     }
 
-    /// Starts a service whose traffic is fed to `observer` — the attack
+    /// A single-worker service whose traffic feeds `observer` — the attack
     /// experiments' entry point.
     pub fn start_with_observer(observer: Arc<Mutex<dyn CloudObserver>>) -> CloudService {
+        CloudService::builder().observer(observer).build()
+    }
+
+    /// Configures workers, observer, admission control and custom layers.
+    pub fn builder() -> CloudServiceBuilder {
+        CloudServiceBuilder::new()
+    }
+
+    pub(crate) fn from_builder(mut builder: CloudServiceBuilder) -> CloudService {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let stack = builder.assemble(Arc::clone(&metrics));
+        let service: Arc<dyn JobService> = Arc::from(stack.service(Box::new(TrainService)));
         let (tx, rx) = unbounded::<Envelope>();
-        let handle = std::thread::spawn(move || {
-            while let Ok(env) = rx.recv() {
-                match env {
-                    Envelope::Job { payload, reply } => {
-                        let result = run_job(payload, &observer);
-                        let _ = reply.send(result);
-                    }
-                    Envelope::Shutdown => break,
-                }
-            }
-        });
-        CloudService { handle: Some(handle), tx }
+        let workers = (0..builder.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let service = Arc::clone(&service);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("cloud-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &*service, &metrics))
+                    .expect("spawn cloud worker")
+            })
+            .collect();
+        CloudService {
+            workers,
+            tx,
+            rx,
+            closed: Arc::new(AtomicBool::new(false)),
+            metrics,
+            next_id: Arc::new(AtomicU64::new(0)),
+        }
     }
 
-    /// A client handle (cloneable; jobs are processed sequentially).
+    /// A client handle; cloneable and usable from any thread.
     pub fn client(&self) -> CloudClient {
-        CloudClient { tx: self.tx.clone() }
+        CloudClient {
+            tx: self.tx.clone(),
+            closed: Arc::clone(&self.closed),
+            metrics: Arc::clone(&self.metrics),
+            next_id: Arc::clone(&self.next_id),
+        }
     }
 
-    /// Stops the service, waiting for the thread to finish.
+    /// Point-in-time telemetry: latency, throughput, bytes, queue depth.
+    pub fn stats(&self) -> ServiceStats {
+        self.metrics.snapshot()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Graceful shutdown: already-queued jobs are drained and answered,
+    /// then every worker exits and is joined.
     pub fn shutdown(mut self) {
-        let _ = self.tx.send(Envelope::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        self.shutdown_and_join();
+    }
+
+    /// One shutdown path shared by [`shutdown`](Self::shutdown) and `Drop`:
+    /// refuse new submissions, enqueue one stop marker per worker (FIFO —
+    /// queued jobs finish first), join, then answer any envelope the
+    /// workers never reached (jobs that raced with shutdown, or were
+    /// stranded behind a worker that died with `catch_panics(false)`).
+    /// Idempotent, because `workers` is drained.
+    fn shutdown_and_join(&mut self) {
+        self.closed.store(true, Ordering::SeqCst);
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Envelope::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        while let Ok(envelope) = self.rx.try_recv() {
+            if let Envelope::Job { reply, .. } = envelope {
+                self.metrics.job_dequeued();
+                let _ = reply.send(Err(CloudError::ServiceUnavailable));
+            }
         }
     }
 }
 
 impl Drop for CloudService {
     fn drop(&mut self) {
-        let _ = self.tx.send(Envelope::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        self.shutdown_and_join();
+    }
+}
+
+fn worker_loop(rx: &Receiver<Envelope>, service: &dyn JobService, metrics: &ServiceMetrics) {
+    while let Ok(envelope) = rx.recv() {
+        match envelope {
+            Envelope::Job {
+                id,
+                queue_depth_at_submit,
+                payload,
+                reply,
+            } => {
+                metrics.job_dequeued();
+                let mut ctx = JobContext::new(id, queue_depth_at_submit);
+                let result = service.call(&mut ctx, payload);
+                let _ = reply.send(result);
+            }
+            Envelope::Shutdown => break,
         }
     }
 }
 
+/// Client handle for submitting jobs to a [`CloudService`].
+#[derive(Debug, Clone)]
+pub struct CloudClient {
+    tx: Sender<Envelope>,
+    closed: Arc<AtomicBool>,
+    metrics: Arc<ServiceMetrics>,
+    next_id: Arc<AtomicU64>,
+}
+
 impl CloudClient {
-    /// Uploads a job (serializing it — this is the trust boundary).
+    /// Uploads a job (serializing it — this is the trust boundary) and
+    /// returns a handle to the in-flight work.
     ///
     /// # Errors
     ///
     /// Returns [`CloudError::ServiceUnavailable`] if the service is gone.
     pub fn submit(&self, job: &CloudJob) -> Result<JobHandle, CloudError> {
+        self.submit_payload(job.to_bytes())
+    }
+
+    /// Uploads an already-serialized payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::ServiceUnavailable`] if the service is gone.
+    pub fn submit_payload(&self, payload: Bytes) -> Result<JobHandle, CloudError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(CloudError::ServiceUnavailable);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let queue_depth_at_submit = self.metrics.job_queued();
         let (reply_tx, reply_rx) = unbounded();
-        self.tx
-            .send(Envelope::Job { payload: job.to_bytes(), reply: reply_tx })
-            .map_err(|_| CloudError::ServiceUnavailable)?;
-        Ok(JobHandle { rx: reply_rx })
+        let envelope = Envelope::Job {
+            id,
+            queue_depth_at_submit,
+            payload,
+            reply: reply_tx,
+        };
+        if self.tx.send(envelope).is_err() {
+            self.metrics.job_unqueued();
+            return Err(CloudError::ServiceUnavailable);
+        }
+        if self.closed.load(Ordering::SeqCst) {
+            // Shutdown raced this submission: the envelope may sit behind
+            // the stop markers where neither a worker nor the shutdown
+            // drain is guaranteed to reach it. Don't hand out a handle
+            // that could wait forever; the drain (if it does see the
+            // envelope) answers a dropped receiver, which is harmless.
+            return Err(CloudError::ServiceUnavailable);
+        }
+        Ok(JobHandle {
+            id,
+            rx: reply_rx,
+            done: None,
+        })
     }
 
     /// Convenience: submit and wait.
     ///
     /// # Errors
     ///
-    /// Propagates submission, decode and training errors.
+    /// Propagates submission, decode, validation and training errors.
     pub fn train(&self, job: &CloudJob) -> Result<JobResult, CloudError> {
         self.submit(job)?.wait()
     }
 }
 
+/// An in-flight job.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: u64,
+    rx: Receiver<Result<JobResult, CloudError>>,
+    done: Option<Result<JobResult, CloudError>>,
+}
+
 impl JobHandle {
+    /// The service-assigned job id (matches [`JobResult::job_id`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Blocks until the job finishes.
     ///
     /// # Errors
     ///
-    /// Returns [`CloudError::ServiceUnavailable`] if the service died.
+    /// Returns [`CloudError::ServiceUnavailable`] if the service died with
+    /// the job still queued.
     pub fn wait(self) -> Result<JobResult, CloudError> {
+        if let Some(done) = self.done {
+            return done;
+        }
         self.rx.recv().map_err(|_| CloudError::ServiceUnavailable)?
+    }
+
+    /// Non-blocking poll: `None` while the job is still running. Once the
+    /// outcome is known it is cached, so polling again keeps returning it.
+    pub fn try_wait(&mut self) -> Option<Result<JobResult, CloudError>> {
+        if self.done.is_none() {
+            match self.rx.try_recv() {
+                Ok(result) => self.done = Some(result),
+                Err(TryRecvError::Empty) => return None,
+                Err(TryRecvError::Disconnected) => {
+                    self.done = Some(Err(CloudError::ServiceUnavailable));
+                }
+            }
+        }
+        self.done.clone()
+    }
+
+    /// Blocks at most `timeout`; `None` on timeout, the (cached) outcome
+    /// otherwise.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<JobResult, CloudError>> {
+        if self.done.is_none() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(result) => self.done = Some(result),
+                Err(RecvTimeoutError::Timeout) => return None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.done = Some(Err(CloudError::ServiceUnavailable));
+                }
+            }
+        }
+        self.done.clone()
     }
 }
 
-/// Decodes and trains one job — everything here is "cloud side".
-fn run_job(payload: Bytes, observer: &Arc<Mutex<dyn CloudObserver>>) -> Result<JobResult, CloudError> {
-    let bytes_received = payload.len();
-    let job = CloudJob::from_bytes(payload)?;
-    let mut model =
-        GraphModel::from_bytes(job.model.clone()).map_err(|e| CloudError::Decode(e.to_string()))?;
-    if model.outputs().is_empty() {
-        return Err(CloudError::BadJob("model declares no outputs".into()));
-    }
-    observer.lock().on_model(&model);
+/// The innermost service: Algorithm 1 on the decoded job. Numerically
+/// identical to `amalgam_core::trainer::train_image_classifier` (same
+/// shuffle source, same loss, same update), so client-side equivalence
+/// guarantees carry over — middleware above it never touches tensors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainService;
 
-    let t0 = std::time::Instant::now();
-    let history = match &job.task {
-        TaskPayload::Classification { inputs, labels, val_inputs, val_labels } => {
-            if inputs.dims()[0] != labels.len() {
-                return Err(CloudError::BadJob("label count mismatch".into()));
-            }
-            train_classification(
+impl JobService for TrainService {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        // Stand-alone operation (no decode layer above) decodes here, so a
+        // bare `TrainService` is still a complete service.
+        if ctx.job.is_none() {
+            ctx.bytes_received = payload.len();
+            ctx.job = Some(CloudJob::from_bytes(payload)?);
+        }
+        let job = ctx.job.take().expect("job decoded above");
+        let mut model = match ctx.model.take() {
+            Some(m) => m,
+            None => GraphModel::from_bytes(job.model.clone())
+                .map_err(|e| CloudError::Decode(e.to_string()))?,
+        };
+        let observer = ctx
+            .observer
+            .clone()
+            .unwrap_or_else(|| Arc::new(Mutex::new(NullObserver)) as Arc<Mutex<dyn CloudObserver>>);
+
+        let t0 = std::time::Instant::now();
+        let history = match &job.task {
+            TaskPayload::Classification {
+                inputs,
+                labels,
+                val_inputs,
+                val_labels,
+            } => train_classification(
                 &mut model,
                 inputs,
                 labels,
                 val_inputs.as_ref().map(|v| (v, val_labels.as_slice())),
                 &job.train,
-                observer,
-            )
-        }
-        TaskPayload::LanguageModel { windows, val_windows, head_keeps } => {
-            if head_keeps.len() != model.outputs().len() {
-                return Err(CloudError::BadJob("one keep list per head required".into()));
-            }
-            train_lm(&mut model, windows, val_windows, head_keeps, &job.train, observer)
-        }
-    };
-    let train_seconds = t0.elapsed().as_secs_f64();
-    model.clear_caches();
-    let trained_model = model.to_bytes();
-    Ok(JobResult {
-        bytes_sent: trained_model.len(),
-        trained_model,
-        history,
-        bytes_received,
-        train_seconds,
-    })
+                &observer,
+            ),
+            TaskPayload::LanguageModel {
+                windows,
+                val_windows,
+                head_keeps,
+            } => train_lm(
+                &mut model,
+                windows,
+                val_windows,
+                head_keeps,
+                &job.train,
+                &observer,
+            ),
+        };
+        let train_seconds = t0.elapsed().as_secs_f64();
+        model.clear_caches();
+        let trained_model = model.to_bytes();
+        Ok(JobResult {
+            job_id: ctx.job_id,
+            bytes_sent: trained_model.len(),
+            trained_model,
+            history,
+            bytes_received: ctx.bytes_received,
+            train_seconds,
+        })
+    }
 }
 
-/// Algorithm 1 with observer hooks. Numerically identical to
-/// `amalgam_core::trainer::train_image_classifier` (same shuffle source, same
-/// loss, same update), so client-side equivalence guarantees carry over.
+/// Algorithm 1 with observer hooks, classification tasks.
 fn train_classification(
     model: &mut GraphModel,
     inputs: &Tensor,
@@ -219,6 +405,7 @@ fn train_classification(
     history
 }
 
+/// Algorithm 1 with observer hooks, language-model tasks.
 fn train_lm(
     model: &mut GraphModel,
     windows: &[Tensor],
@@ -267,6 +454,7 @@ fn train_lm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::middleware::CloudLayer;
     use crate::observer::RecordingObserver;
     use amalgam_core::TrainConfig;
     use amalgam_models::lenet5;
@@ -285,6 +473,9 @@ mod tests {
         }
         fn on_step(&mut self, m: &mut GraphModel) {
             self.0.on_step(m);
+        }
+        fn on_result(&mut self, r: &JobResult) {
+            self.0.on_result(r);
         }
     }
 
@@ -305,6 +496,13 @@ mod tests {
         (job, model)
     }
 
+    /// A job whose seed differs, so results are distinguishable per job.
+    fn tiny_job_with_seed(rng: &mut Rng, seed: u64) -> CloudJob {
+        let (mut job, _) = tiny_job(rng);
+        job.train = job.train.with_seed(seed);
+        job
+    }
+
     #[test]
     fn end_to_end_job_trains_and_returns_model() {
         let mut rng = Rng::seed_from(0);
@@ -319,12 +517,15 @@ mod tests {
         // Weights must have moved.
         let before = model.state_dict();
         let after = trained.state_dict();
-        let moved = before.iter().zip(&after).any(|((_, a), (_, b))| a.data() != b.data());
+        let moved = before
+            .iter()
+            .zip(&after)
+            .any(|((_, a), (_, b))| a.data() != b.data());
         assert!(moved, "training did not change any weights");
     }
 
     #[test]
-    fn observer_sees_model_and_batches() {
+    fn observer_sees_model_batches_and_result() {
         let mut rng = Rng::seed_from(1);
         let (job, _) = tiny_job(&mut rng);
         let obs: Arc<Mutex<SharedRecorder>> = Arc::new(Mutex::new(SharedRecorder::default()));
@@ -335,12 +536,14 @@ mod tests {
         assert!(rec.model_params > 0);
         assert_eq!(rec.batches, 4); // 16 samples / bs 8 × 2 epochs
         assert_eq!(rec.steps, 4);
+        assert_eq!(rec.results, 1);
         assert!(rec.first_batch.is_some());
     }
 
     #[test]
     fn cloud_training_matches_local_training_bitwise() {
-        // The cloud's loop must be numerically identical to the local trainer.
+        // The cloud's loop must be numerically identical to the local
+        // trainer, through the whole default middleware stack.
         let mut rng = Rng::seed_from(2);
         let (job, model) = tiny_job(&mut rng);
         let service = CloudService::start();
@@ -356,9 +559,17 @@ mod tests {
         let data = amalgam_data::ImageDataset::new(inputs, labels, 2);
         amalgam_core::trainer::train_image_classifier(&mut local, &data, None, 0, &job.train);
 
-        for ((n1, t1), (n2, t2)) in local.state_dict().iter().zip(cloud_trained.state_dict().iter()) {
+        for ((n1, t1), (n2, t2)) in local
+            .state_dict()
+            .iter()
+            .zip(cloud_trained.state_dict().iter())
+        {
             assert_eq!(n1, n2);
-            assert_eq!(t1.data(), t2.data(), "cloud and local training diverged at {n1}");
+            assert_eq!(
+                t1.data(),
+                t2.data(),
+                "cloud and local training diverged at {n1}"
+            );
         }
     }
 
@@ -369,8 +580,9 @@ mod tests {
             &amalgam_models::TransformerLmConfig::tiny(20, 16),
             &mut rng,
         );
-        let windows: Vec<Tensor> =
-            (0..3).map(|_| Tensor::from_fn(&[2, 8], |i| ((i * 7) % 20) as f32)).collect();
+        let windows: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::from_fn(&[2, 8], |i| ((i * 7) % 20) as f32))
+            .collect();
         let keep: Vec<usize> = (0..8).collect();
         let job = CloudJob {
             model: model.to_bytes(),
@@ -428,5 +640,269 @@ mod tests {
         let err = service.client().train(&job).unwrap_err();
         service.shutdown();
         assert!(matches!(err, CloudError::Decode(_)));
+    }
+
+    #[test]
+    fn multi_worker_pool_serves_concurrent_clients() {
+        let service = CloudService::builder().workers(3).build();
+        let mut rng = Rng::seed_from(20);
+        // 6 jobs with distinct seeds from 3 cloned clients on 3 threads;
+        // every result must match its own job (checked via job ids and the
+        // seed-dependent final weights).
+        let jobs: Vec<CloudJob> = (0..6)
+            .map(|s| tiny_job_with_seed(&mut rng, 100 + s))
+            .collect();
+        let expected: Vec<Vec<f32>> = jobs
+            .iter()
+            .map(|job| {
+                let mut local = GraphModel::from_bytes(job.model.clone()).unwrap();
+                let (inputs, labels) = match &job.task {
+                    TaskPayload::Classification { inputs, labels, .. } => {
+                        (inputs.clone(), labels.clone())
+                    }
+                    _ => unreachable!(),
+                };
+                let data = amalgam_data::ImageDataset::new(inputs, labels, 2);
+                amalgam_core::trainer::train_image_classifier(
+                    &mut local, &data, None, 0, &job.train,
+                );
+                local
+                    .state_dict()
+                    .iter()
+                    .flat_map(|(_, t)| t.data().to_vec())
+                    .collect()
+            })
+            .collect();
+
+        let handles: Vec<_> = jobs
+            .chunks(2)
+            .map(|chunk| {
+                let client = service.client();
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|job| {
+                            let handle = client.submit(job).unwrap();
+                            let id = handle.id();
+                            let result = handle.wait().unwrap();
+                            assert_eq!(result.job_id, id, "result routed to the wrong handle");
+                            result
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<JobResult> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(results.len(), 6);
+        for (result, expected) in results.iter().zip(&expected) {
+            let trained = GraphModel::from_bytes(result.trained_model.clone()).unwrap();
+            let got: Vec<f32> = trained
+                .state_dict()
+                .iter()
+                .flat_map(|(_, t)| t.data().to_vec())
+                .collect();
+            assert_eq!(
+                &got, expected,
+                "job {} returned another job's weights",
+                result.job_id
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.jobs_completed, 6);
+        assert_eq!(stats.jobs_failed, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let mut rng = Rng::seed_from(21);
+        let service = CloudService::builder().workers(2).build();
+        let client = service.client();
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|s| client.submit(&tiny_job_with_seed(&mut rng, s)).unwrap())
+            .collect();
+        // Shutdown with jobs still queued/in flight must drain, not drop.
+        service.shutdown();
+        for handle in handles {
+            handle
+                .wait()
+                .expect("queued job dropped during graceful shutdown");
+        }
+    }
+
+    #[test]
+    fn try_wait_and_wait_timeout_poll_without_losing_the_result() {
+        let mut rng = Rng::seed_from(22);
+        let (job, _) = tiny_job(&mut rng);
+        let service = CloudService::start();
+        let mut handle = service.client().submit(&job).unwrap();
+        let mut polled = handle.try_wait();
+        while polled.is_none() {
+            polled = handle.wait_timeout(Duration::from_millis(20));
+        }
+        polled.unwrap().unwrap();
+        // The outcome is cached: polling again still succeeds.
+        handle.try_wait().unwrap().unwrap();
+        assert!(handle
+            .wait_timeout(Duration::from_millis(1))
+            .unwrap()
+            .is_ok());
+        handle.wait().unwrap();
+        service.shutdown();
+    }
+
+    /// A layer that panics on every job — used to prove workers survive.
+    struct BombLayer;
+    struct BombSvc;
+
+    impl CloudLayer for BombLayer {
+        fn wrap(&self, _inner: Box<dyn JobService>) -> Box<dyn JobService> {
+            Box::new(BombSvc)
+        }
+        fn name(&self) -> &'static str {
+            "bomb"
+        }
+    }
+
+    impl JobService for BombSvc {
+        fn call(&self, _: &mut JobContext, _: Bytes) -> Result<JobResult, CloudError> {
+            panic!("intentional test panic");
+        }
+    }
+
+    /// A layer that passes through, gated so tests can hold jobs in the
+    /// queue deterministically.
+    struct GateLayer(Arc<Mutex<()>>);
+    struct GateSvc(Arc<Mutex<()>>, Box<dyn JobService>);
+
+    impl CloudLayer for GateLayer {
+        fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+            Box::new(GateSvc(Arc::clone(&self.0), inner))
+        }
+        fn name(&self) -> &'static str {
+            "gate"
+        }
+    }
+
+    impl JobService for GateSvc {
+        fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+            let _hold = self.0.lock();
+            self.1.call(ctx, payload)
+        }
+    }
+
+    #[test]
+    fn worker_survives_panicking_jobs() {
+        let mut rng = Rng::seed_from(23);
+        let (job, _) = tiny_job(&mut rng);
+        let service = CloudService::builder().layer(BombLayer).build();
+        let client = service.client();
+        match client.train(&job) {
+            Err(CloudError::Panicked(msg)) => assert!(msg.contains("intentional"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(service.stats().jobs_panicked, 1);
+        // BombLayer replaced the whole inner stack, so a second job proves
+        // the same worker thread is still alive and answering.
+        assert!(matches!(client.train(&job), Err(CloudError::Panicked(_))));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_jobs_stranded_behind_a_dead_worker() {
+        // With panic catching off, a poisoned job kills its worker; jobs
+        // already queued behind it must still get an answer at shutdown
+        // instead of hanging their handles forever.
+        let mut rng = Rng::seed_from(27);
+        let service = CloudService::builder()
+            .workers(1)
+            .catch_panics(false)
+            .layer(BombLayer)
+            .build();
+        let client = service.client();
+        let doomed = client.submit(&tiny_job_with_seed(&mut rng, 0)).unwrap();
+        let stranded: Vec<JobHandle> = (1..4)
+            .map(|s| client.submit(&tiny_job_with_seed(&mut rng, s)).unwrap())
+            .collect();
+        // The first job's panic kills the worker; its reply channel drops.
+        assert!(matches!(doomed.wait(), Err(CloudError::ServiceUnavailable)));
+        // The unwind must not leak the in-flight gauge.
+        assert_eq!(service.stats().in_flight, 0);
+        service.shutdown();
+        for handle in stranded {
+            assert!(
+                matches!(handle.wait(), Err(CloudError::ServiceUnavailable)),
+                "stranded job must be answered at shutdown, not dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_control_sheds_excess_jobs() {
+        let mut rng = Rng::seed_from(24);
+        let gate = Arc::new(Mutex::new(()));
+        let service = CloudService::builder()
+            .workers(1)
+            .max_queue_depth(1)
+            .layer(GateLayer(Arc::clone(&gate)))
+            .build();
+        let client = service.client();
+        let blocker = gate.lock(); // worker will block inside the gate
+        let first = client.submit(&tiny_job_with_seed(&mut rng, 0)).unwrap();
+        // Wait until the worker has picked up the first job, so submissions
+        // below observe a stable queue depth.
+        while service.stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        let queued = client.submit(&tiny_job_with_seed(&mut rng, 1)).unwrap();
+        let deep1 = client.submit(&tiny_job_with_seed(&mut rng, 2)).unwrap();
+        let deep2 = client.submit(&tiny_job_with_seed(&mut rng, 3)).unwrap();
+        drop(blocker); // release the worker
+        first.wait().unwrap();
+        queued.wait().unwrap();
+        let mut rejected = 0;
+        for handle in [deep1, deep2] {
+            if matches!(handle.wait(), Err(CloudError::Overloaded { .. })) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 1, "no job was shed at queue depth > 1");
+        assert_eq!(service.stats().jobs_rejected, rejected);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_track_bytes_and_latency() {
+        let mut rng = Rng::seed_from(25);
+        let (job, _) = tiny_job(&mut rng);
+        let service = CloudService::start();
+        let result = service.client().train(&job).unwrap();
+        let stats = service.stats();
+        service.shutdown();
+        assert_eq!(stats.jobs_submitted, 1);
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.bytes_received, result.bytes_received as u64);
+        assert_eq!(stats.bytes_sent, result.bytes_sent as u64);
+        assert!(stats.mean_job_seconds > 0.0);
+        assert!(stats.jobs_per_second > 0.0);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn submitting_after_shutdown_fails_cleanly() {
+        let mut rng = Rng::seed_from(26);
+        let (job, _) = tiny_job(&mut rng);
+        let service = CloudService::start();
+        let client = service.client();
+        service.shutdown();
+        assert!(matches!(
+            client.train(&job),
+            Err(CloudError::ServiceUnavailable)
+        ));
     }
 }

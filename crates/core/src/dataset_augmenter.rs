@@ -60,7 +60,10 @@ pub fn augment_images(
         }
     }
     let dataset = ImageDataset::new(out, data.labels().to_vec(), data.num_classes());
-    AugmentedImages { dataset, seconds: start.elapsed().as_secs_f64() }
+    AugmentedImages {
+        dataset,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// An augmented language-model dataset: fixed windows with inserted tokens.
@@ -93,7 +96,11 @@ pub fn augment_lm(
     rng: &mut Rng,
 ) -> AugmentedLmDataset {
     let start = std::time::Instant::now();
-    assert_eq!(batches.seq_len(), plan.orig_len(), "plan window length mismatch");
+    assert_eq!(
+        batches.seq_len(),
+        plan.orig_len(),
+        "plan window length mismatch"
+    );
     let vocab = batches.vocab();
     let noise_pos = plan.noise_positions();
     let (b, t, ta) = (batches.batch_size(), plan.orig_len(), plan.aug_len());
@@ -112,7 +119,11 @@ pub fn augment_lm(
         }
         windows.push(aug);
     }
-    AugmentedLmDataset { windows, vocab, seconds: start.elapsed().as_secs_f64() }
+    AugmentedLmDataset {
+        windows,
+        vocab,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// An augmented text-classification dataset.
@@ -136,7 +147,11 @@ pub fn augment_text_class(
     rng: &mut Rng,
 ) -> AugmentedTextClass {
     let start = std::time::Instant::now();
-    assert_eq!(data.doc_len(), plan.orig_len(), "plan document length mismatch");
+    assert_eq!(
+        data.doc_len(),
+        plan.orig_len(),
+        "plan document length mismatch"
+    );
     let vocab = data.vocab();
     let noise_pos = plan.noise_positions();
     let ta = plan.aug_len();
@@ -153,7 +168,10 @@ pub fn augment_text_class(
         docs.push(aug);
     }
     let dataset = TextClassDataset::new(docs, data.labels().to_vec(), vocab, data.num_classes());
-    AugmentedTextClass { dataset, seconds: start.elapsed().as_secs_f64() }
+    AugmentedTextClass {
+        dataset,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Recovers the original images from an augmented dataset using the secret
@@ -184,7 +202,11 @@ mod tests {
     use amalgam_data::{LmCorpus, SyntheticImageSpec, TextClassSpec};
 
     fn small_images(rng: &mut Rng) -> ImageDataset {
-        SyntheticImageSpec::cifar10_like().with_counts(6, 2).with_hw(8).generate(rng).train
+        SyntheticImageSpec::cifar10_like()
+            .with_counts(6, 2)
+            .with_hw(8)
+            .generate(rng)
+            .train
     }
 
     #[test]
@@ -241,7 +263,10 @@ mod tests {
         let (orig, _) = batches.window(0);
         for bi in 0..4 {
             for (k, &pos) in plan.keep().iter().enumerate() {
-                assert_eq!(aug.windows[0].data()[bi * 15 + pos], orig.data()[bi * 10 + k]);
+                assert_eq!(
+                    aug.windows[0].data()[bi * 15 + pos],
+                    orig.data()[bi * 10 + k]
+                );
             }
         }
     }
@@ -249,8 +274,11 @@ mod tests {
     #[test]
     fn text_class_augmentation_preserves_docs() {
         let mut rng = Rng::seed_from(5);
-        let (train, _) =
-            TextClassSpec::agnews_like().with_vocab(100).with_counts(8, 2).with_doc_len(6).generate(&mut rng);
+        let (train, _) = TextClassSpec::agnews_like()
+            .with_vocab(100)
+            .with_counts(8, 2)
+            .with_doc_len(6)
+            .generate(&mut rng);
         let plan = TextPlan::random(6, 1.0, &mut rng);
         let aug = augment_text_class(&train, &plan, &NoiseKind::UniformRandom, &mut rng);
         assert_eq!(aug.dataset.doc_len(), 12);

@@ -48,7 +48,9 @@ pub fn extract(
         };
         let aug_id = trained
             .node_by_name(aug_name)
-            .ok_or_else(|| AmalgamError::MissingNode { name: aug_name.clone() })?;
+            .ok_or_else(|| AmalgamError::MissingNode {
+                name: aug_name.clone(),
+            })?;
         let src_params = trained.node(aug_id).layer().params();
         let src_values: Vec<_> = src_params.iter().map(|p| p.value.clone()).collect();
         let dst = model.node_mut(id).layer_mut().params_mut();
@@ -69,8 +71,13 @@ pub fn extract(
         }
         // Non-trainable state (batch-norm running statistics) must travel
         // with the weights, or evaluation-mode behaviour diverges.
-        let src_buffers: Vec<_> =
-            trained.node(aug_id).layer().buffers().into_iter().cloned().collect();
+        let src_buffers: Vec<_> = trained
+            .node(aug_id)
+            .layer()
+            .buffers()
+            .into_iter()
+            .cloned()
+            .collect();
         let dst_buffers = model.node_mut(id).layer_mut().buffers_mut();
         if dst_buffers.len() != src_buffers.len() {
             return Err(AmalgamError::ExtractionMismatch {
@@ -88,7 +95,10 @@ pub fn extract(
             *d = s;
         }
     }
-    Ok(Extracted { model, seconds: start.elapsed().as_secs_f64() })
+    Ok(Extracted {
+        model,
+        seconds: start.elapsed().as_secs_f64(),
+    })
 }
 
 #[cfg(test)]
@@ -111,7 +121,11 @@ mod tests {
         let extracted = extract(&aug, &model, &secrets).unwrap();
         // Untouched augmented model → extraction must reproduce the template
         // weights exactly (they were embedded verbatim).
-        for ((n1, t1), (n2, t2)) in model.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+        for ((n1, t1), (n2, t2)) in model
+            .state_dict()
+            .iter()
+            .zip(extracted.model.state_dict().iter())
+        {
             assert_eq!(n1, n2);
             assert_eq!(t1.data(), t2.data(), "param {n1} differs");
         }
@@ -160,7 +174,9 @@ mod tests {
 
         // A few training-mode forwards update the running statistics.
         let (ah, aw) = plan.aug_hw();
-        let x = Tensor::randn(&[4, 1, ah, aw], &mut rng).scale(2.0).add_scalar(1.0);
+        let x = Tensor::randn(&[4, 1, ah, aw], &mut rng)
+            .scale(2.0)
+            .add_scalar(1.0);
         for _ in 0..5 {
             aug.forward(&[&x], Mode::Train);
         }

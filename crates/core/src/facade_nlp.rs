@@ -60,7 +60,9 @@ impl Amalgam {
         let (augmented_model, secrets) = augment_nlp(
             model,
             &plan,
-            NlpTask::Classification { classes: train.num_classes() },
+            NlpTask::Classification {
+                classes: train.num_classes(),
+            },
             &mcfg,
         )?;
         Ok(TextClassBundle {
@@ -89,7 +91,12 @@ impl Amalgam {
         let mut mcfg = AugmentConfig::new(cfg.model_amount).with_seed(rng.next_u64());
         mcfg.num_subnets = cfg.num_subnets;
         let (augmented_model, secrets) = augment_nlp(model, &plan, NlpTask::LanguageModel, &mcfg)?;
-        Ok(LmBundle { augmented_model, augmented_train, secrets, plan })
+        Ok(LmBundle {
+            augmented_model,
+            augmented_train,
+            secrets,
+            plan,
+        })
     }
 }
 
@@ -113,8 +120,11 @@ mod tests {
     #[test]
     fn text_class_facade_roundtrip() {
         let mut rng = Rng::seed_from(0);
-        let (train, test) =
-            TextClassSpec::agnews_like().with_vocab(120).with_counts(64, 16).with_doc_len(10).generate(&mut rng);
+        let (train, test) = TextClassSpec::agnews_like()
+            .with_vocab(120)
+            .with_counts(64, 16)
+            .with_doc_len(10)
+            .generate(&mut rng);
         let model = text_classifier(120, 8, 4, &mut rng);
         let cfg = ObfuscationConfig::new(0.5).with_seed(3).with_subnets(2);
         let bundle = Amalgam::obfuscate_text_class(&model, &train, &test, &cfg).unwrap();
@@ -123,7 +133,13 @@ mod tests {
 
         let tc = TrainConfig::new(1, 16, 0.2).with_seed(1);
         let mut aug = bundle.augmented_model;
-        train_text_classifier(&mut aug, &bundle.augmented_train, None, bundle.secrets.original_output, &tc);
+        train_text_classifier(
+            &mut aug,
+            &bundle.augmented_train,
+            None,
+            bundle.secrets.original_output,
+            &tc,
+        );
         let extracted = Amalgam::extract(&aug, &model, &bundle.secrets).unwrap();
         assert_eq!(extracted.model.param_count(), model.param_count());
     }
@@ -131,7 +147,10 @@ mod tests {
     #[test]
     fn lm_facade_roundtrip_trains() {
         let mut rng = Rng::seed_from(1);
-        let corpus = LmCorpusSpec::wikitext2_like().with_vocab(40).with_tokens(600).generate(&mut rng);
+        let corpus = LmCorpusSpec::wikitext2_like()
+            .with_vocab(40)
+            .with_tokens(600)
+            .generate(&mut rng);
         let batches = corpus.batchify(4, 8);
         let model = transformer_lm(&TransformerLmConfig::tiny(40, 16), &mut rng);
         let cfg = ObfuscationConfig::new(0.5).with_seed(2).with_subnets(2);
@@ -140,7 +159,14 @@ mod tests {
         let windows: Vec<Tensor> = bundle.augmented_train.windows.clone();
         let tc = TrainConfig::new(1, 4, 0.05).with_seed(4);
         let mut aug = bundle.augmented_model;
-        train_lm(&mut aug, &windows, &[], &bundle.secrets.head_keeps, bundle.secrets.original_output, &tc);
+        train_lm(
+            &mut aug,
+            &windows,
+            &[],
+            &bundle.secrets.head_keeps,
+            bundle.secrets.original_output,
+            &tc,
+        );
         let extracted = Amalgam::extract(&aug, &model, &bundle.secrets).unwrap();
         assert_eq!(extracted.model.param_count(), model.param_count());
     }
@@ -151,14 +177,19 @@ mod tests {
         // transformer inside the augmented model follows the same weight
         // trajectory as plain LM training with the same windows.
         let mut rng = Rng::seed_from(2);
-        let corpus = LmCorpusSpec::wikitext2_like().with_vocab(30).with_tokens(600).generate(&mut rng);
+        let corpus = LmCorpusSpec::wikitext2_like()
+            .with_vocab(30)
+            .with_tokens(600)
+            .generate(&mut rng);
         let batches = corpus.batchify(4, 8);
         // No dropout: stochastic layers would need synchronized streams.
         let mut lm_cfg = TransformerLmConfig::tiny(30, 16);
         lm_cfg.dropout = 0.0;
         let model = transformer_lm(&lm_cfg, &mut Rng::seed_from(3));
 
-        let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+        let windows: Vec<Tensor> = (0..batches.num_batches())
+            .map(|i| batches.window(i).0)
+            .collect();
         let keep_all: Vec<usize> = (0..8).collect();
         let tc = TrainConfig::new(2, 4, 0.05).with_seed(5);
         let mut vanilla = model.clone();
@@ -176,7 +207,11 @@ mod tests {
             &tc,
         );
         let extracted = Amalgam::extract(&aug, &model, &bundle.secrets).unwrap();
-        for ((n1, t1), (n2, t2)) in vanilla.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+        for ((n1, t1), (n2, t2)) in vanilla
+            .state_dict()
+            .iter()
+            .zip(extracted.model.state_dict().iter())
+        {
             assert_eq!(n1, n2);
             assert_eq!(t1.data(), t2.data(), "LM trajectory diverged at {n1}");
         }

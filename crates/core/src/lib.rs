@@ -132,7 +132,10 @@ impl AugmentationAmount {
     ///
     /// Panics if `value` is negative or non-finite.
     pub fn new(value: f32) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "invalid augmentation amount {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "invalid augmentation amount {value}"
+        );
         AugmentationAmount(value)
     }
 
@@ -241,10 +244,14 @@ impl Amalgam {
         cfg: &ObfuscationConfig,
     ) -> Result<ObfuscationBundle, AmalgamError> {
         if cfg.dataset_amount < 0.0 || !cfg.dataset_amount.is_finite() {
-            return Err(AmalgamError::InvalidAmount { value: cfg.dataset_amount });
+            return Err(AmalgamError::InvalidAmount {
+                value: cfg.dataset_amount,
+            });
         }
         if cfg.model_amount < 0.0 || !cfg.model_amount.is_finite() {
-            return Err(AmalgamError::InvalidAmount { value: cfg.model_amount });
+            return Err(AmalgamError::InvalidAmount {
+                value: cfg.model_amount,
+            });
         }
         let mut rng = Rng::seed_from(cfg.seed);
         let (_, h, w) = data.train.sample_dims();
@@ -254,8 +261,7 @@ impl Amalgam {
         let mut mcfg = AugmentConfig::new(cfg.model_amount).with_seed(rng.next_u64());
         mcfg.num_subnets = cfg.num_subnets;
         mcfg.noise = cfg.noise.clone();
-        let (augmented_model, secrets) =
-            augment_cv(model, &plan, data.train.num_classes(), &mcfg)?;
+        let (augmented_model, secrets) = augment_cv(model, &plan, data.train.num_classes(), &mcfg)?;
         Ok(ObfuscationBundle {
             augmented_model,
             dataset_seconds: aug_train.seconds + aug_test.seconds,
@@ -289,7 +295,10 @@ mod tests {
     #[test]
     fn facade_roundtrip() {
         let mut rng = Rng::seed_from(0);
-        let data = SyntheticImageSpec::mnist_like().with_counts(16, 8).with_hw(8).generate(&mut rng);
+        let data = SyntheticImageSpec::mnist_like()
+            .with_counts(16, 8)
+            .with_hw(8)
+            .generate(&mut rng);
         let model = lenet5(1, 8, 10, &mut rng);
         let cfg = ObfuscationConfig::new(0.5).with_seed(3).with_subnets(2);
         let bundle = Amalgam::obfuscate(&model, &data, &cfg).unwrap();
@@ -302,7 +311,10 @@ mod tests {
     #[test]
     fn negative_amount_rejected() {
         let mut rng = Rng::seed_from(1);
-        let data = SyntheticImageSpec::mnist_like().with_counts(4, 2).with_hw(8).generate(&mut rng);
+        let data = SyntheticImageSpec::mnist_like()
+            .with_counts(4, 2)
+            .with_hw(8)
+            .generate(&mut rng);
         let model = lenet5(1, 8, 10, &mut rng);
         let err = Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(-1.0)).unwrap_err();
         assert!(matches!(err, AmalgamError::InvalidAmount { .. }));

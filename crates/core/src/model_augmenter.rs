@@ -53,7 +53,13 @@ pub struct AugmentConfig {
 impl AugmentConfig {
     /// A config with the given augmentation amount and default options.
     pub fn new(amount: f32) -> Self {
-        AugmentConfig { amount, num_subnets: None, noise: NoiseKind::UniformRandom, seed: 0, detach_taps: true }
+        AugmentConfig {
+            amount,
+            num_subnets: None,
+            noise: NoiseKind::UniformRandom,
+            seed: 0,
+            detach_taps: true,
+        }
     }
 
     /// Fixes the number of synthetic sub-networks.
@@ -119,7 +125,13 @@ struct Stage {
 }
 
 impl Stage {
-    fn add(&mut self, layer: Box<dyn Layer>, inputs: &[usize], subnet: usize, original: Option<&str>) -> usize {
+    fn add(
+        &mut self,
+        layer: Box<dyn Layer>,
+        inputs: &[usize],
+        subnet: usize,
+        original: Option<&str>,
+    ) -> usize {
         self.nodes.push(StagedNode {
             layer,
             inputs: inputs.to_vec(),
@@ -163,11 +175,13 @@ impl Stage {
             let node = nodes[staged].take().expect("each staged node emitted once");
             let name = format!("n{seq}");
             let gid = if staged == self.input {
-                let id = g.input(&name);
-                id
+                g.input(&name)
             } else {
-                let inputs: Vec<NodeId> =
-                    node.inputs.iter().map(|&d| id_of[d].expect("topo order")).collect();
+                let inputs: Vec<NodeId> = node
+                    .inputs
+                    .iter()
+                    .map(|&d| id_of[d].expect("topo order"))
+                    .collect();
                 g.add_boxed(&name, node.layer, &inputs)
             };
             g.set_subnet(gid, node.subnet);
@@ -205,15 +219,23 @@ fn add_tap_barrier(stage: &mut Stage, source: usize, subnet: usize, detach: bool
     if detach {
         stage.add(Box::new(Detach::new()), &[source], subnet, None)
     } else {
-        stage.add(Box::new(amalgam_nn::layers::Identity::new()), &[source], subnet, None)
+        stage.add(
+            Box::new(amalgam_nn::layers::Identity::new()),
+            &[source],
+            subnet,
+            None,
+        )
     }
 }
 
 fn concrete_conv(layer: &dyn Layer) -> Option<Conv2d> {
     match layer.spec() {
-        LayerSpec::Conv2d { weight, bias, stride, padding } => {
-            Some(Conv2d::from_params(weight, bias, stride, padding))
-        }
+        LayerSpec::Conv2d {
+            weight,
+            bias,
+            stride,
+            padding,
+        } => Some(Conv2d::from_params(weight, bias, stride, padding)),
         _ => None,
     }
 }
@@ -302,7 +324,11 @@ pub fn augment_cv(
     let (input_id, output_id) = validate_single_io(original)?;
     let (h, w) = plan.orig_hw();
 
-    let mut stage = Stage { nodes: Vec::new(), outputs: Vec::new(), input: 0 };
+    let mut stage = Stage {
+        nodes: Vec::new(),
+        outputs: Vec::new(),
+        input: 0,
+    };
     stage.input = stage.add(Box::new(amalgam_nn::layers::Input::new()), &[], 0, None);
 
     // -- Original sub-network (subnet 0), first conv masked --------------
@@ -316,7 +342,12 @@ pub fn augment_cv(
         first_conv_channels = Some(conv.out_channels());
         first_conv_geom = conv.geometry();
         in_channels = conv.in_channels();
-        Ok(Box::new(MaskedConv2d::new(plan.keep().to_vec(), h, w, conv)))
+        Ok(Box::new(MaskedConv2d::new(
+            plan.keep().to_vec(),
+            h,
+            w,
+            conv,
+        )))
     })?;
     let orig_head = map[&output_id.index()];
     stage.outputs.push((orig_head, 0));
@@ -396,17 +427,27 @@ pub fn augment_cv(
         // FC stack — matching the compute profile the paper measures.
         let (mut fh, mut fw) = (eh, ew);
         if fh >= 4 && fw >= 4 {
-            hnode = stage.add(Box::new(amalgam_nn::layers::AvgPool2d::new(2, 2)), &[hnode], s, None);
+            hnode = stage.add(
+                Box::new(amalgam_nn::layers::AvgPool2d::new(2, 2)),
+                &[hnode],
+                s,
+                None,
+            );
             fh /= 2;
             fw /= 2;
         }
         hnode = stage.add(Box::new(Flatten::new()), &[hnode], s, None);
         let flat_dim = c * fh * fw;
         let entry_params = (k * k * in_channels * c + 2 * c + tap_params) as f32;
-        let d = (((budget_per_subnet - entry_params) / (flat_dim + num_classes + 2) as f32)
-            .round() as usize)
+        let d = (((budget_per_subnet - entry_params) / (flat_dim + num_classes + 2) as f32).round()
+            as usize)
             .max(4);
-        hnode = stage.add(Box::new(Linear::new(flat_dim, d, true, &mut srng)), &[hnode], s, None);
+        hnode = stage.add(
+            Box::new(Linear::new(flat_dim, d, true, &mut srng)),
+            &[hnode],
+            s,
+            None,
+        );
         hnode = stage.add(Box::new(Relu::new()), &[hnode], s, None);
         let head = stage.add(
             Box::new(Linear::new(d, num_classes, true, &mut srng)),
@@ -438,7 +479,11 @@ pub fn augment_nlp(
     let mut rng = Rng::seed_from(cfg.seed);
     let (input_id, output_id) = validate_single_io(original)?;
 
-    let mut stage = Stage { nodes: Vec::new(), outputs: Vec::new(), input: 0 };
+    let mut stage = Stage {
+        nodes: Vec::new(),
+        outputs: Vec::new(),
+        input: 0,
+    };
     stage.input = stage.add(Box::new(amalgam_nn::layers::Input::new()), &[], 0, None);
 
     let mut vocab = 0usize;
@@ -480,7 +525,10 @@ pub fn augment_nlp(
 
         let mut srng = rng.fork();
         let entry = stage.add(
-            Box::new(MaskedEmbedding::new(keep_s, Embedding::new(vocab, d, &mut srng))),
+            Box::new(MaskedEmbedding::new(
+                keep_s,
+                Embedding::new(vocab, d, &mut srng),
+            )),
             &[stage.input],
             s,
             None,
@@ -500,11 +548,19 @@ pub fn augment_nlp(
         let head = match task {
             NlpTask::Classification { classes } => {
                 let pooled = stage.add(Box::new(MeanPoolSeq::new()), &[hnode], s, None);
-                stage.add(Box::new(Linear::new(d, classes, true, &mut srng)), &[pooled], s, None)
+                stage.add(
+                    Box::new(Linear::new(d, classes, true, &mut srng)),
+                    &[pooled],
+                    s,
+                    None,
+                )
             }
-            NlpTask::LanguageModel => {
-                stage.add(Box::new(Linear::new(d, vocab, true, &mut srng)), &[hnode], s, None)
-            }
+            NlpTask::LanguageModel => stage.add(
+                Box::new(Linear::new(d, vocab, true, &mut srng)),
+                &[hnode],
+                s,
+                None,
+            ),
         };
         stage.outputs.push((head, s));
     }
@@ -523,11 +579,18 @@ fn finish(
         .iter()
         .position(|&(_, subnet)| subnet == 0)
         .expect("original head present");
-    let head_keeps: Vec<Vec<usize>> =
-        heads.iter().map(|&(_, subnet)| head_keeps_by_subnet[subnet].clone()).collect();
+    let head_keeps: Vec<Vec<usize>> = heads
+        .iter()
+        .map(|&(_, subnet)| head_keeps_by_subnet[subnet].clone())
+        .collect();
     Ok((
         graph,
-        AugmentationSecrets { name_map, original_output, head_keeps, num_subnets },
+        AugmentationSecrets {
+            name_map,
+            original_output,
+            head_keeps,
+            num_subnets,
+        },
     ))
 }
 
@@ -598,7 +661,10 @@ mod tests {
         let mut plain = model.clone();
         let want = plain.forward_one(&orig_img, Mode::Eval);
         let outs = aug.forward(&[&aug_img], Mode::Eval);
-        assert!(outs[secrets.original_output].approx_eq(&want, 0.0), "original head diverged");
+        assert!(
+            outs[secrets.original_output].approx_eq(&want, 0.0),
+            "original head diverged"
+        );
     }
 
     #[test]
@@ -609,7 +675,11 @@ mod tests {
         let (aug, secrets) = augment_cv(&model, &plan, 10, &cfg).unwrap();
         // All node names are neutral…
         for id in aug.node_ids() {
-            assert!(aug.node(id).name().starts_with('n'), "leaky name {}", aug.node(id).name());
+            assert!(
+                aug.node(id).name().starts_with('n'),
+                "leaky name {}",
+                aug.node(id).name()
+            );
         }
         // …and every original node is reachable through the secrets.
         for id in model.node_ids().skip(1) {

@@ -9,9 +9,10 @@ use amalgam_data::DataStats;
 use amalgam_tensor::{Rng, Tensor};
 
 /// The kind of synthetic values inserted by the augmenters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum NoiseKind {
     /// Uniform over `[min, max]` of the dataset (the paper's default).
+    #[default]
     UniformRandom,
     /// Gaussian with the given σ, centred on the dataset mean.
     Gaussian {
@@ -61,11 +62,15 @@ impl NoiseKind {
             NoiseKind::UniformRandom => rng.below(vocab),
             NoiseKind::Gaussian { sigma } => {
                 let center = vocab as f32 / 2.0;
-                (rng.normal(center, *sigma * vocab as f32).round().clamp(0.0, (vocab - 1) as f32)) as usize
+                (rng.normal(center, *sigma * vocab as f32)
+                    .round()
+                    .clamp(0.0, (vocab - 1) as f32)) as usize
             }
             NoiseKind::Laplace { sigma } => {
                 let center = vocab as f32 / 2.0;
-                (rng.laplace(center, *sigma * vocab as f32).round().clamp(0.0, (vocab - 1) as f32)) as usize
+                (rng.laplace(center, *sigma * vocab as f32)
+                    .round()
+                    .clamp(0.0, (vocab - 1) as f32)) as usize
             }
             NoiseKind::UserProvided(pool) => {
                 assert!(pool.numel() > 0, "user-provided noise pool is empty");
@@ -83,12 +88,6 @@ impl NoiseKind {
             NoiseKind::Laplace { .. } => "laplace",
             NoiseKind::UserProvided(_) => "user",
         }
-    }
-}
-
-impl Default for NoiseKind {
-    fn default() -> Self {
-        NoiseKind::UniformRandom
     }
 }
 
@@ -136,7 +135,11 @@ mod tests {
     #[test]
     fn token_sampling_in_vocab() {
         let mut rng = Rng::seed_from(3);
-        for kind in [NoiseKind::UniformRandom, NoiseKind::Gaussian { sigma: 0.3 }, NoiseKind::Laplace { sigma: 0.3 }] {
+        for kind in [
+            NoiseKind::UniformRandom,
+            NoiseKind::Gaussian { sigma: 0.3 },
+            NoiseKind::Laplace { sigma: 0.3 },
+        ] {
             for _ in 0..200 {
                 assert!(kind.sample_token(37, &mut rng) < 37);
             }

@@ -33,7 +33,13 @@ impl ImagePlan {
         let aug_h = grow(h, amount);
         let aug_w = grow(w, amount);
         let keep = rng.sample_indices(aug_h * aug_w, h * w);
-        ImagePlan { orig_h: h, orig_w: w, aug_h, aug_w, keep }
+        ImagePlan {
+            orig_h: h,
+            orig_w: w,
+            aug_h,
+            aug_w,
+            keep,
+        }
     }
 
     /// Builds a plan from an explicit keep list (tests, persistence).
@@ -44,9 +50,21 @@ impl ImagePlan {
     /// within the augmented plane.
     pub fn from_keep(h: usize, w: usize, aug_h: usize, aug_w: usize, keep: Vec<usize>) -> Self {
         assert_eq!(keep.len(), h * w, "keep must list every original pixel");
-        assert!(keep.windows(2).all(|p| p[0] < p[1]), "keep must be strictly increasing");
-        assert!(keep.last().is_none_or(|&k| k < aug_h * aug_w), "keep exceeds augmented plane");
-        ImagePlan { orig_h: h, orig_w: w, aug_h, aug_w, keep }
+        assert!(
+            keep.windows(2).all(|p| p[0] < p[1]),
+            "keep must be strictly increasing"
+        );
+        assert!(
+            keep.last().is_none_or(|&k| k < aug_h * aug_w),
+            "keep exceeds augmented plane"
+        );
+        ImagePlan {
+            orig_h: h,
+            orig_w: w,
+            aug_h,
+            aug_w,
+            keep,
+        }
     }
 
     /// Original plane height and width.
@@ -101,7 +119,11 @@ impl TextPlan {
         assert!(len > 0, "window must be non-empty");
         let aug_len = grow(len, amount);
         let keep = rng.sample_indices(aug_len, len);
-        TextPlan { orig_len: len, aug_len, keep }
+        TextPlan {
+            orig_len: len,
+            aug_len,
+            keep,
+        }
     }
 
     /// Builds a plan from an explicit keep list.
@@ -111,9 +133,19 @@ impl TextPlan {
     /// Panics on inconsistent inputs (see [`ImagePlan::from_keep`]).
     pub fn from_keep(len: usize, aug_len: usize, keep: Vec<usize>) -> Self {
         assert_eq!(keep.len(), len, "keep must list every original position");
-        assert!(keep.windows(2).all(|p| p[0] < p[1]), "keep must be strictly increasing");
-        assert!(keep.last().is_none_or(|&k| k < aug_len), "keep exceeds augmented window");
-        TextPlan { orig_len: len, aug_len, keep }
+        assert!(
+            keep.windows(2).all(|p| p[0] < p[1]),
+            "keep must be strictly increasing"
+        );
+        assert!(
+            keep.last().is_none_or(|&k| k < aug_len),
+            "keep exceeds augmented window"
+        );
+        TextPlan {
+            orig_len: len,
+            aug_len,
+            keep,
+        }
     }
 
     /// Original window length.

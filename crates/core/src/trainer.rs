@@ -41,7 +41,13 @@ impl TrainConfig {
     /// A config with the given epochs/batch size/learning rate and no
     /// momentum, seed 0.
     pub fn new(epochs: usize, batch_size: usize, lr: f32) -> Self {
-        TrainConfig { epochs, batch_size, lr, momentum: 0.0, seed: 0 }
+        TrainConfig {
+            epochs,
+            batch_size,
+            lr,
+            momentum: 0.0,
+            seed: 0,
+        }
     }
 
     /// Sets the momentum.
@@ -61,7 +67,11 @@ impl TrainConfig {
 /// workspace (including the simulated cloud), so that comparable runs see
 /// identical batch orders.
 pub fn epoch_rng(cfg: &TrainConfig, epoch: usize) -> Rng {
-    Rng::seed_from(cfg.seed.wrapping_add(epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    Rng::seed_from(
+        cfg.seed
+            .wrapping_add(epoch as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
 }
 
 /// Trains a (possibly augmented) classifier; every head is scored against
@@ -75,7 +85,14 @@ pub fn train_image_classifier(
     primary: usize,
     cfg: &TrainConfig,
 ) -> History {
-    train_classifier_impl(model, primary, cfg, test, |idx| train.batch_at(idx), train.len())
+    train_classifier_impl(
+        model,
+        primary,
+        cfg,
+        test,
+        |idx| train.batch_at(idx),
+        train.len(),
+    )
 }
 
 /// Trains a (possibly augmented) text classifier over token-id documents.
@@ -86,7 +103,14 @@ pub fn train_text_classifier(
     primary: usize,
     cfg: &TrainConfig,
 ) -> History {
-    train_classifier_impl(model, primary, cfg, test, |idx| train.batch_at(idx), train.len())
+    train_classifier_impl(
+        model,
+        primary,
+        cfg,
+        test,
+        |idx| train.batch_at(idx),
+        train.len(),
+    )
 }
 
 /// Shared classification training loop. `test` types differ between callers,
@@ -147,13 +171,17 @@ pub trait EvalSource {
 
 impl EvalSource for ImageDataset {
     fn evaluate(&self, model: &mut GraphModel, primary: usize, batch_size: usize) -> (f32, f32) {
-        evaluate_impl(model, primary, batch_size, self.len(), |idx| self.batch_at(idx))
+        evaluate_impl(model, primary, batch_size, self.len(), |idx| {
+            self.batch_at(idx)
+        })
     }
 }
 
 impl EvalSource for TextClassDataset {
     fn evaluate(&self, model: &mut GraphModel, primary: usize, batch_size: usize) -> (f32, f32) {
-        evaluate_impl(model, primary, batch_size, self.len(), |idx| self.batch_at(idx))
+        evaluate_impl(model, primary, batch_size, self.len(), |idx| {
+            self.batch_at(idx)
+        })
     }
 }
 
@@ -252,7 +280,11 @@ pub fn train_lm(
     primary: usize,
     cfg: &TrainConfig,
 ) -> History {
-    assert_eq!(head_keeps.len(), model.outputs().len(), "one keep list per head");
+    assert_eq!(
+        head_keeps.len(),
+        model.outputs().len(),
+        "one keep list per head"
+    );
     assert!(primary < head_keeps.len(), "primary head out of range");
     let mut opt = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
     let mut history = History::new();
@@ -276,7 +308,12 @@ pub fn train_lm(
         history.train_loss.push(loss_mean.mean());
         history.epoch_secs.push(t0.elapsed().as_secs_f32());
         if !val_windows.is_empty() {
-            history.val_loss.push(evaluate_lm(model, val_windows, &head_keeps[primary], primary));
+            history.val_loss.push(evaluate_lm(
+                model,
+                val_windows,
+                &head_keeps[primary],
+                primary,
+            ));
         }
     }
     history
@@ -314,7 +351,9 @@ mod tests {
             .with_classes(4)
             .generate(&mut rng);
         let mut model = lenet5(1, 12, 4, &mut rng);
-        let cfg = TrainConfig::new(4, 32, 0.05).with_momentum(0.9).with_seed(1);
+        let cfg = TrainConfig::new(4, 32, 0.05)
+            .with_momentum(0.9)
+            .with_seed(1);
         let history = train_image_classifier(&mut model, &pair.train, Some(&pair.test), 0, &cfg);
         assert_eq!(history.epochs(), 4);
         let acc = history.final_val_acc().unwrap();
@@ -343,9 +382,14 @@ mod tests {
     #[test]
     fn transformer_lm_reduces_loss_below_uniform() {
         let mut rng = Rng::seed_from(2);
-        let corpus = LmCorpusSpec::wikitext2_like().with_vocab(40).with_tokens(4000).generate(&mut rng);
+        let corpus = LmCorpusSpec::wikitext2_like()
+            .with_vocab(40)
+            .with_tokens(4000)
+            .generate(&mut rng);
         let batches = corpus.batchify(8, 12);
-        let windows: Vec<Tensor> = (0..batches.num_batches()).map(|i| batches.window(i).0).collect();
+        let windows: Vec<Tensor> = (0..batches.num_batches())
+            .map(|i| batches.window(i).0)
+            .collect();
         let (train_w, val_w) = windows.split_at(windows.len() - 4);
         let mut model = transformer_lm(&TransformerLmConfig::tiny(40, 16), &mut rng);
         let keep: Vec<usize> = (0..12).collect();
@@ -353,7 +397,10 @@ mod tests {
         let history = train_lm(&mut model, train_w, val_w, &[keep], 0, &cfg);
         let uniform = (40f32).ln();
         let final_loss = *history.val_loss.last().unwrap();
-        assert!(final_loss < uniform, "LM did not beat uniform: {final_loss} vs {uniform}");
+        assert!(
+            final_loss < uniform,
+            "LM did not beat uniform: {final_loss} vs {uniform}"
+        );
     }
 
     #[test]
@@ -375,8 +422,11 @@ mod tests {
     #[test]
     fn identical_seeds_give_identical_trajectories() {
         let mut rng = Rng::seed_from(4);
-        let pair =
-            SyntheticImageSpec::mnist_like().with_counts(64, 16).with_hw(8).with_classes(2).generate(&mut rng);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(64, 16)
+            .with_hw(8)
+            .with_classes(2)
+            .generate(&mut rng);
         let cfg = TrainConfig::new(2, 16, 0.1).with_seed(7);
         let mut m1 = lenet5(1, 8, 2, &mut Rng::seed_from(5));
         let mut m2 = lenet5(1, 8, 2, &mut Rng::seed_from(5));

@@ -20,8 +20,15 @@ impl ImageDataset {
     pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(images.shape().rank(), 4, "images must be [N,C,H,W]");
         assert_eq!(images.dims()[0], labels.len(), "label count mismatch");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
-        ImageDataset { images, labels, num_classes }
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        ImageDataset {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples.
@@ -67,7 +74,10 @@ impl ImageDataset {
     ///
     /// Panics if the range is out of bounds.
     pub fn batch(&self, start: usize, end: usize) -> (Tensor, &[usize]) {
-        (self.images.slice_axis0(start, end), &self.labels[start..end])
+        (
+            self.images.slice_axis0(start, end),
+            &self.labels[start..end],
+        )
     }
 
     /// Gathers a batch at the given indices.
@@ -140,7 +150,11 @@ impl SyntheticImageSpec {
 
     /// CIFAR100 geometry: 3×32×32, 100 classes, 50k/10k.
     pub fn cifar100_like() -> Self {
-        SyntheticImageSpec { num_classes: 100, name: "cifar100", ..Self::cifar10_like() }
+        SyntheticImageSpec {
+            num_classes: 100,
+            name: "cifar100",
+            ..Self::cifar10_like()
+        }
     }
 
     /// Imagenette geometry: 3×224×224, 10 classes, ~9.5k/3.9k.
@@ -212,7 +226,12 @@ impl SyntheticImageSpec {
         ImagePair { train, test }
     }
 
-    fn generate_split(&self, count: usize, patterns: &[ClassPattern], rng: &mut Rng) -> ImageDataset {
+    fn generate_split(
+        &self,
+        count: usize,
+        patterns: &[ClassPattern],
+        rng: &mut Rng,
+    ) -> ImageDataset {
         let (c, hw) = (self.channels, self.hw);
         let mut images = Tensor::zeros(&[count, c, hw, hw]);
         let mut labels = Vec::with_capacity(count);
@@ -230,7 +249,9 @@ impl SyntheticImageSpec {
                     for x in 0..hw {
                         let fx = x as f32 / hw as f32;
                         let fy = y as f32 / hw as f32;
-                        let wave = (p.freq_x * (fx + jx * 0.02) * std::f32::consts::TAU + p.phase[ci]).sin()
+                        let wave = (p.freq_x * (fx + jx * 0.02) * std::f32::consts::TAU
+                            + p.phase[ci])
+                            .sin()
                             * (p.freq_y * (fy + jy * 0.02) * std::f32::consts::TAU).cos();
                         let dx = fx - blob_x;
                         let dy = fy - blob_y;
@@ -264,7 +285,9 @@ impl ClassPattern {
         ClassPattern {
             freq_x: rng.uniform(1.0, 5.0),
             freq_y: rng.uniform(1.0, 5.0),
-            phase: (0..channels).map(|_| rng.uniform(0.0, std::f32::consts::TAU)).collect(),
+            phase: (0..channels)
+                .map(|_| rng.uniform(0.0, std::f32::consts::TAU))
+                .collect(),
             channel_gain: (0..channels).map(|_| rng.uniform(0.4, 1.0)).collect(),
             blob_x: rng.uniform(0.2, 0.8),
             blob_y: rng.uniform(0.2, 0.8),
@@ -290,7 +313,10 @@ mod tests {
     #[test]
     fn generated_shapes_and_ranges() {
         let mut rng = Rng::seed_from(0);
-        let pair = SyntheticImageSpec::mnist_like().with_counts(32, 8).with_hw(12).generate(&mut rng);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(32, 8)
+            .with_hw(12)
+            .generate(&mut rng);
         assert_eq!(pair.train.len(), 32);
         assert_eq!(pair.test.len(), 8);
         assert_eq!(pair.train.images().dims(), &[32, 1, 12, 12]);
@@ -302,7 +328,9 @@ mod tests {
     fn nbytes_matches_paper_formula() {
         // Paper Table 2: MNIST original = 70_000 × 1 × 28 × 28 × 4 B ≈ 219.6 MB.
         let mut rng = Rng::seed_from(1);
-        let pair = SyntheticImageSpec::mnist_like().with_counts(64, 8).generate(&mut rng);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(64, 8)
+            .generate(&mut rng);
         assert_eq!(pair.train.nbytes(), 64 * 28 * 28 * 4);
     }
 
@@ -311,16 +339,19 @@ mod tests {
         // Mean images of two classes should differ much more than two mean
         // images of the same class (i.e. the data is learnable).
         let mut rng = Rng::seed_from(2);
-        let pair =
-            SyntheticImageSpec::mnist_like().with_counts(200, 10).with_hw(10).with_classes(2).generate(&mut rng);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(200, 10)
+            .with_hw(10)
+            .with_classes(2)
+            .generate(&mut rng);
         let (c, h, w) = pair.train.sample_dims();
         let chw = c * h * w;
         let mut means = vec![vec![0.0f32; chw]; 2];
         let mut counts = [0usize; 2];
         for (i, &l) in pair.train.labels().iter().enumerate() {
             counts[l] += 1;
-            for j in 0..chw {
-                means[l][j] += pair.train.images().data()[i * chw + j];
+            for (j, m) in means[l].iter_mut().enumerate() {
+                *m += pair.train.images().data()[i * chw + j];
             }
         }
         for l in 0..2 {
@@ -328,15 +359,22 @@ mod tests {
                 *v /= counts[l] as f32;
             }
         }
-        let dist: f32 =
-            means[0].iter().zip(&means[1]).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dist: f32 = means[0]
+            .iter()
+            .zip(&means[1])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         assert!(dist > 0.5, "class means too close: {dist}");
     }
 
     #[test]
     fn batch_and_batch_at() {
         let mut rng = Rng::seed_from(3);
-        let pair = SyntheticImageSpec::mnist_like().with_counts(10, 2).with_hw(6).generate(&mut rng);
+        let pair = SyntheticImageSpec::mnist_like()
+            .with_counts(10, 2)
+            .with_hw(6)
+            .generate(&mut rng);
         let (imgs, labels) = pair.train.batch(2, 5);
         assert_eq!(imgs.dims(), &[3, 1, 6, 6]);
         assert_eq!(labels.len(), 3);
@@ -347,8 +385,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = SyntheticImageSpec::cifar10_like().with_counts(4, 2).with_hw(8).generate(&mut Rng::seed_from(9));
-        let b = SyntheticImageSpec::cifar10_like().with_counts(4, 2).with_hw(8).generate(&mut Rng::seed_from(9));
+        let a = SyntheticImageSpec::cifar10_like()
+            .with_counts(4, 2)
+            .with_hw(8)
+            .generate(&mut Rng::seed_from(9));
+        let b = SyntheticImageSpec::cifar10_like()
+            .with_counts(4, 2)
+            .with_hw(8)
+            .generate(&mut Rng::seed_from(9));
         assert_eq!(a.train.images().data(), b.train.images().data());
         assert_eq!(a.train.labels(), b.train.labels());
     }

@@ -26,7 +26,12 @@ impl BatchIter {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
-        BatchIter { order, batch_size, cursor: 0, drop_last: false }
+        BatchIter {
+            order,
+            batch_size,
+            cursor: 0,
+            drop_last: false,
+        }
     }
 
     /// Sequential (unshuffled) batches — used for validation.
@@ -36,7 +41,12 @@ impl BatchIter {
     /// Panics if `batch_size == 0`.
     pub fn sequential(n: usize, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchIter { order: (0..n).collect(), batch_size, cursor: 0, drop_last: false }
+        BatchIter {
+            order: (0..n).collect(),
+            batch_size,
+            cursor: 0,
+            drop_last: false,
+        }
     }
 
     /// Drops a trailing partial batch (stable batch statistics).

@@ -28,8 +28,18 @@ impl DataStats {
     pub fn of(t: &Tensor) -> Self {
         assert!(t.numel() > 0, "cannot take statistics of an empty tensor");
         let mean = t.mean();
-        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
-        DataStats { min: t.min(), max: t.max(), mean, std: var.sqrt() }
+        let var = t
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.numel() as f32;
+        DataStats {
+            min: t.min(),
+            max: t.max(),
+            mean,
+            std: var.sqrt(),
+        }
     }
 
     /// Statistics of an integer token stream (for text datasets).
@@ -38,10 +48,17 @@ impl DataStats {
     ///
     /// Panics if `tokens` is empty.
     pub fn of_tokens(tokens: &[usize]) -> Self {
-        assert!(!tokens.is_empty(), "cannot take statistics of an empty stream");
+        assert!(
+            !tokens.is_empty(),
+            "cannot take statistics of an empty stream"
+        );
         let n = tokens.len() as f32;
         let mean = tokens.iter().sum::<usize>() as f32 / n;
-        let var = tokens.iter().map(|&t| (t as f32 - mean).powi(2)).sum::<f32>() / n;
+        let var = tokens
+            .iter()
+            .map(|&t| (t as f32 - mean).powi(2))
+            .sum::<f32>()
+            / n;
         DataStats {
             min: *tokens.iter().min().expect("non-empty") as f32,
             max: *tokens.iter().max().expect("non-empty") as f32,

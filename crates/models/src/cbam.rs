@@ -31,27 +31,58 @@ pub fn insert_cbam_after(
     reduction: usize,
     rng: &mut Rng,
 ) -> NodeId {
-    assert!(reduction > 0 && reduction <= channels, "invalid CBAM reduction {reduction} for {channels} channels");
+    assert!(
+        reduction > 0 && reduction <= channels,
+        "invalid CBAM reduction {reduction} for {channels} channels"
+    );
     let hidden = (channels / reduction).max(1);
 
     // ---- Channel attention ----
     let avg = g.add_layer(&format!("{name}.ca.avg"), GlobalAvgPool2d::new(), &[input]);
     let max = g.add_layer(&format!("{name}.ca.max"), GlobalMaxPool2d::new(), &[input]);
-    let a1 = g.add_layer(&format!("{name}.ca.fc1a"), Linear::new(channels, hidden, true, rng), &[avg]);
+    let a1 = g.add_layer(
+        &format!("{name}.ca.fc1a"),
+        Linear::new(channels, hidden, true, rng),
+        &[avg],
+    );
     let a2 = g.add_layer(&format!("{name}.ca.relua"), Relu::new(), &[a1]);
-    let a3 = g.add_layer(&format!("{name}.ca.fc2a"), Linear::new(hidden, channels, true, rng), &[a2]);
-    let m1 = g.add_layer(&format!("{name}.ca.fc1m"), Linear::new(channels, hidden, true, rng), &[max]);
+    let a3 = g.add_layer(
+        &format!("{name}.ca.fc2a"),
+        Linear::new(hidden, channels, true, rng),
+        &[a2],
+    );
+    let m1 = g.add_layer(
+        &format!("{name}.ca.fc1m"),
+        Linear::new(channels, hidden, true, rng),
+        &[max],
+    );
     let m2 = g.add_layer(&format!("{name}.ca.relum"), Relu::new(), &[m1]);
-    let m3 = g.add_layer(&format!("{name}.ca.fc2m"), Linear::new(hidden, channels, true, rng), &[m2]);
+    let m3 = g.add_layer(
+        &format!("{name}.ca.fc2m"),
+        Linear::new(hidden, channels, true, rng),
+        &[m2],
+    );
     let s = g.add_layer(&format!("{name}.ca.sum"), Add::new(), &[a3, m3]);
     let gate_c = g.add_layer(&format!("{name}.ca.sigmoid"), Sigmoid::new(), &[s]);
-    let scaled = g.add_layer(&format!("{name}.ca.scale"), BroadcastMulChannel::new(), &[input, gate_c]);
+    let scaled = g.add_layer(
+        &format!("{name}.ca.scale"),
+        BroadcastMulChannel::new(),
+        &[input, gate_c],
+    );
 
     // ---- Spatial attention ----
     let stats = g.add_layer(&format!("{name}.sa.stats"), ChannelStats::new(), &[scaled]);
-    let conv = g.add_layer(&format!("{name}.sa.conv"), Conv2d::new(2, 1, 7, 1, 3, true, rng), &[stats]);
+    let conv = g.add_layer(
+        &format!("{name}.sa.conv"),
+        Conv2d::new(2, 1, 7, 1, 3, true, rng),
+        &[stats],
+    );
     let gate_s = g.add_layer(&format!("{name}.sa.sigmoid"), Sigmoid::new(), &[conv]);
-    g.add_layer(&format!("{name}.sa.scale"), BroadcastMulSpatial::new(), &[scaled, gate_s])
+    g.add_layer(
+        &format!("{name}.sa.scale"),
+        BroadcastMulSpatial::new(),
+        &[scaled, gate_s],
+    )
 }
 
 #[cfg(test)]
@@ -101,7 +132,13 @@ mod tests {
         g.zero_grad();
         g.backward(&[Tensor::ones(y.dims())]);
         let conv = g.node_by_name("cbam.sa.conv").unwrap();
-        let gnorm: f32 = g.node(conv).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        let gnorm: f32 = g
+            .node(conv)
+            .layer()
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum();
         assert!(gnorm > 0.0);
     }
 

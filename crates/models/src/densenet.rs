@@ -8,6 +8,7 @@ use amalgam_tensor::Rng;
 /// Block layout of DenseNet-121.
 const BLOCKS: &[usize] = &[6, 12, 24, 16];
 
+#[allow(clippy::too_many_arguments)]
 fn bn_relu_conv(
     g: &mut GraphModel,
     name: &str,
@@ -20,7 +21,11 @@ fn bn_relu_conv(
 ) -> NodeId {
     let h = g.add_layer(&format!("{name}.bn"), BatchNorm2d::new(in_c), &[input]);
     let h = g.add_layer(&format!("{name}.relu"), Relu::new(), &[h]);
-    g.add_layer(&format!("{name}.conv"), Conv2d::new(in_c, out_c, kernel, 1, padding, false, rng), &[h])
+    g.add_layer(
+        &format!("{name}.conv"),
+        Conv2d::new(in_c, out_c, kernel, 1, padding, false, rng),
+        &[h],
+    )
 }
 
 /// DenseNet-121: dense blocks of bottleneck layers (1×1 to 4·growth, then
@@ -33,14 +38,36 @@ pub fn densenet121(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
     let mut g = GraphModel::new();
     let x = g.input("x");
     let mut channels = 2 * growth;
-    let mut h = g.add_layer("stem.conv", Conv2d::new(cfg.in_channels, channels, 3, 1, 1, false, rng), &[x]);
+    let mut h = g.add_layer(
+        "stem.conv",
+        Conv2d::new(cfg.in_channels, channels, 3, 1, 1, false, rng),
+        &[x],
+    );
     let mut hw = cfg.input_hw;
 
     for (bi, &layers) in BLOCKS.iter().enumerate() {
         for li in 0..layers {
             let name = format!("block{bi}.layer{li}");
-            let b = bn_relu_conv(&mut g, &format!("{name}.1x1"), h, channels, 4 * growth, 1, 0, rng);
-            let b = bn_relu_conv(&mut g, &format!("{name}.3x3"), b, 4 * growth, growth, 3, 1, rng);
+            let b = bn_relu_conv(
+                &mut g,
+                &format!("{name}.1x1"),
+                h,
+                channels,
+                4 * growth,
+                1,
+                0,
+                rng,
+            );
+            let b = bn_relu_conv(
+                &mut g,
+                &format!("{name}.3x3"),
+                b,
+                4 * growth,
+                growth,
+                3,
+                1,
+                rng,
+            );
             h = g.add_layer(&format!("{name}.cat"), Concat::new(), &[h, b]);
             channels += growth;
         }
@@ -57,7 +84,11 @@ pub fn densenet121(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
     let h = g.add_layer("final.bn", BatchNorm2d::new(channels), &[h]);
     let h = g.add_layer("final.relu", Relu::new(), &[h]);
     let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
-    let y = g.add_layer("fc", Linear::new(channels, cfg.num_classes, true, rng), &[pooled]);
+    let y = g.add_layer(
+        "fc",
+        Linear::new(channels, cfg.num_classes, true, rng),
+        &[pooled],
+    );
     g.set_output(y);
     g
 }

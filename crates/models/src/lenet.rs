@@ -16,10 +16,17 @@ use amalgam_tensor::Rng;
 ///
 /// Panics if `hw < 8` or `hw` is not divisible by 4.
 pub fn lenet5(in_channels: usize, hw: usize, num_classes: usize, rng: &mut Rng) -> GraphModel {
-    assert!(hw >= 8 && hw % 4 == 0, "lenet5 needs hw >= 8 divisible by 4, got {hw}");
+    assert!(
+        hw >= 8 && hw.is_multiple_of(4),
+        "lenet5 needs hw >= 8 divisible by 4, got {hw}"
+    );
     let mut g = GraphModel::new();
     let x = g.input("x");
-    let h = g.add_layer("conv1", Conv2d::new(in_channels, 6, 5, 1, 2, true, rng), &[x]);
+    let h = g.add_layer(
+        "conv1",
+        Conv2d::new(in_channels, 6, 5, 1, 2, true, rng),
+        &[x],
+    );
     let h = g.add_layer("relu1", Relu::new(), &[h]);
     let h = g.add_layer("pool1", AvgPool2d::new(2, 2), &[h]);
     let h = g.add_layer("conv2", Conv2d::new(6, 16, 5, 1, 2, true, rng), &[h]);
@@ -56,7 +63,11 @@ mod tests {
         // conv1 (1·6·25+6) + conv2 (6·16·25+16) + fc 784·120+120 + 120·84+84 + 84·10+10.
         let mut rng = Rng::seed_from(1);
         let m = lenet5(1, 28, 10, &mut rng);
-        let expected = (25 * 6 + 6) + (6 * 16 * 25 + 16) + (784 * 120 + 120) + (120 * 84 + 84) + (84 * 10 + 10);
+        let expected = (25 * 6 + 6)
+            + (6 * 16 * 25 + 16)
+            + (784 * 120 + 120)
+            + (120 * 84 + 84)
+            + (84 * 10 + 10);
         assert_eq!(m.param_count(), expected);
     }
 

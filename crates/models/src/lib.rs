@@ -61,7 +61,12 @@ pub struct CvConfig {
 impl CvConfig {
     /// A config at full width.
     pub fn new(in_channels: usize, num_classes: usize, input_hw: usize) -> Self {
-        CvConfig { in_channels, num_classes, input_hw, width_mult: 1.0 }
+        CvConfig {
+            in_channels,
+            num_classes,
+            input_hw,
+            width_mult: 1.0,
+        }
     }
 
     /// Overrides the width multiplier.
@@ -74,7 +79,7 @@ impl CvConfig {
     /// a multiple of 4 so attention/group math stays aligned).
     pub fn scaled(&self, channels: usize) -> usize {
         let c = (channels as f32 * self.width_mult).round() as usize;
-        (c.max(4) + 3) / 4 * 4
+        c.max(4).div_ceil(4) * 4
     }
 }
 

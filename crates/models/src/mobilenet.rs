@@ -2,7 +2,9 @@
 
 use crate::CvConfig;
 use amalgam_nn::graph::{GraphModel, NodeId};
-use amalgam_nn::layers::{Add, BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool2d, Linear, Relu};
+use amalgam_nn::layers::{
+    Add, BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool2d, Linear, Relu,
+};
 use amalgam_tensor::Rng;
 
 /// Inverted-residual settings `(expansion, channels, repeats, stride)`.
@@ -16,6 +18,7 @@ const SETTINGS: &[(usize, usize, usize, usize)] = &[
     (6, 320, 1, 1),
 ];
 
+#[allow(clippy::too_many_arguments)]
 fn conv_bn_relu(
     g: &mut GraphModel,
     name: &str,
@@ -27,7 +30,11 @@ fn conv_bn_relu(
     padding: usize,
     rng: &mut Rng,
 ) -> NodeId {
-    let h = g.add_layer(&format!("{name}.conv"), Conv2d::new(in_c, out_c, kernel, stride, padding, false, rng), &[input]);
+    let h = g.add_layer(
+        &format!("{name}.conv"),
+        Conv2d::new(in_c, out_c, kernel, stride, padding, false, rng),
+        &[input],
+    );
     let h = g.add_layer(&format!("{name}.bn"), BatchNorm2d::new(out_c), &[h]);
     g.add_layer(&format!("{name}.relu"), Relu::new(), &[h])
 }
@@ -48,10 +55,18 @@ fn inverted_residual(
     if expansion != 1 {
         h = conv_bn_relu(g, &format!("{name}.expand"), h, in_c, hidden, 1, 1, 0, rng);
     }
-    h = g.add_layer(&format!("{name}.dw"), DepthwiseConv2d::new(hidden, 3, stride, 1, false, rng), &[h]);
+    h = g.add_layer(
+        &format!("{name}.dw"),
+        DepthwiseConv2d::new(hidden, 3, stride, 1, false, rng),
+        &[h],
+    );
     h = g.add_layer(&format!("{name}.dw.bn"), BatchNorm2d::new(hidden), &[h]);
     h = g.add_layer(&format!("{name}.dw.relu"), Relu::new(), &[h]);
-    h = g.add_layer(&format!("{name}.project"), Conv2d::new(hidden, out_c, 1, 1, 0, false, rng), &[h]);
+    h = g.add_layer(
+        &format!("{name}.project"),
+        Conv2d::new(hidden, out_c, 1, 1, 0, false, rng),
+        &[h],
+    );
     h = g.add_layer(&format!("{name}.project.bn"), BatchNorm2d::new(out_c), &[h]);
     if stride == 1 && in_c == out_c {
         g.add_layer(&format!("{name}.add"), Add::new(), &[input, h])
@@ -78,14 +93,27 @@ pub fn mobilenet_v2(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
             if stride == 2 {
                 hw /= 2;
             }
-            h = inverted_residual(&mut g, &format!("ir{si}.{bi}"), h, in_c, out_c, t, stride, rng);
+            h = inverted_residual(
+                &mut g,
+                &format!("ir{si}.{bi}"),
+                h,
+                in_c,
+                out_c,
+                t,
+                stride,
+                rng,
+            );
             in_c = out_c;
         }
     }
     let head_c = cfg.scaled(1280);
     h = conv_bn_relu(&mut g, "head", h, in_c, head_c, 1, 1, 0, rng);
     let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
-    let y = g.add_layer("fc", Linear::new(head_c, cfg.num_classes, true, rng), &[pooled]);
+    let y = g.add_layer(
+        "fc",
+        Linear::new(head_c, cfg.num_classes, true, rng),
+        &[pooled],
+    );
     g.set_output(y);
     g
 }

@@ -62,7 +62,16 @@ impl TransformerLmConfig {
 
     /// A CPU-friendly scaled configuration with the same shape.
     pub fn tiny(vocab: usize, max_len: usize) -> Self {
-        TransformerLmConfig { vocab, dim: 32, heads: 2, layers: 2, ff_dim: 64, max_len, dropout: 0.0, seed: 0 }
+        TransformerLmConfig {
+            vocab,
+            dim: 32,
+            heads: 2,
+            layers: 2,
+            ff_dim: 64,
+            max_len,
+            dropout: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -72,7 +81,11 @@ pub fn transformer_lm(cfg: &TransformerLmConfig, rng: &mut Rng) -> GraphModel {
     let mut g = GraphModel::new();
     let x = g.input("tokens");
     let mut h = g.add_layer("embed", Embedding::new(cfg.vocab, cfg.dim, rng), &[x]);
-    h = g.add_layer("posenc", PositionalEncoding::new(cfg.max_len, cfg.dim), &[h]);
+    h = g.add_layer(
+        "posenc",
+        PositionalEncoding::new(cfg.max_len, cfg.dim),
+        &[h],
+    );
     for l in 0..cfg.layers {
         let attn = g.add_layer(
             &format!("l{l}.attn"),
@@ -80,17 +93,33 @@ pub fn transformer_lm(cfg: &TransformerLmConfig, rng: &mut Rng) -> GraphModel {
             &[h],
         );
         let attn = if cfg.dropout > 0.0 {
-            g.add_layer(&format!("l{l}.attn.drop"), Dropout::new(cfg.dropout, cfg.seed ^ (l as u64 * 2 + 1)), &[attn])
+            g.add_layer(
+                &format!("l{l}.attn.drop"),
+                Dropout::new(cfg.dropout, cfg.seed ^ (l as u64 * 2 + 1)),
+                &[attn],
+            )
         } else {
             attn
         };
         let res1 = g.add_layer(&format!("l{l}.res1"), Add::new(), &[h, attn]);
         let n1 = g.add_layer(&format!("l{l}.ln1"), LayerNorm::new(cfg.dim), &[res1]);
-        let ff = g.add_layer(&format!("l{l}.ff1"), Linear::new(cfg.dim, cfg.ff_dim, true, rng), &[n1]);
+        let ff = g.add_layer(
+            &format!("l{l}.ff1"),
+            Linear::new(cfg.dim, cfg.ff_dim, true, rng),
+            &[n1],
+        );
         let ff = g.add_layer(&format!("l{l}.ff.relu"), Relu::new(), &[ff]);
-        let ff = g.add_layer(&format!("l{l}.ff2"), Linear::new(cfg.ff_dim, cfg.dim, true, rng), &[ff]);
+        let ff = g.add_layer(
+            &format!("l{l}.ff2"),
+            Linear::new(cfg.ff_dim, cfg.dim, true, rng),
+            &[ff],
+        );
         let ff = if cfg.dropout > 0.0 {
-            g.add_layer(&format!("l{l}.ff.drop"), Dropout::new(cfg.dropout, cfg.seed ^ (l as u64 * 2 + 2)), &[ff])
+            g.add_layer(
+                &format!("l{l}.ff.drop"),
+                Dropout::new(cfg.dropout, cfg.seed ^ (l as u64 * 2 + 2)),
+                &[ff],
+            )
         } else {
             ff
         };
@@ -154,7 +183,13 @@ mod tests {
         m.zero_grad();
         m.backward(&[grad]);
         let embed = m.node_by_name("embed").unwrap();
-        let gnorm: f32 = m.node(embed).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        let gnorm: f32 = m
+            .node(embed)
+            .layer()
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum();
         assert!(gnorm > 0.0, "embedding got no gradient");
     }
 }

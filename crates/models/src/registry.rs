@@ -22,7 +22,12 @@ pub enum CvFamily {
 impl CvFamily {
     /// All families in Table 3 order.
     pub fn table3() -> [CvFamily; 4] {
-        [CvFamily::ResNet18, CvFamily::Vgg16, CvFamily::DenseNet121, CvFamily::MobileNetV2]
+        [
+            CvFamily::ResNet18,
+            CvFamily::Vgg16,
+            CvFamily::DenseNet121,
+            CvFamily::MobileNetV2,
+        ]
     }
 
     /// Human-readable name.
@@ -64,9 +69,13 @@ mod tests {
     fn every_family_builds_and_runs_scaled() {
         let mut rng = Rng::seed_from(0);
         let cfg = CvConfig::new(1, 10, 16).with_width_mult(0.125);
-        for family in
-            [CvFamily::ResNet18, CvFamily::Vgg16, CvFamily::DenseNet121, CvFamily::MobileNetV2, CvFamily::LeNet5]
-        {
+        for family in [
+            CvFamily::ResNet18,
+            CvFamily::Vgg16,
+            CvFamily::DenseNet121,
+            CvFamily::MobileNetV2,
+            CvFamily::LeNet5,
+        ] {
             let mut m = build_cv_model(family, &cfg, &mut rng);
             let y = m.forward_one(&Tensor::zeros(&[1, 1, 16, 16]), Mode::Eval);
             assert_eq!(y.dims(), &[1, 10], "{family}");

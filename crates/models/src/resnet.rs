@@ -5,6 +5,7 @@ use amalgam_nn::graph::{GraphModel, NodeId};
 use amalgam_nn::layers::{Add, BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Relu};
 use amalgam_tensor::Rng;
 
+#[allow(clippy::too_many_arguments)]
 fn conv_bn_relu(
     g: &mut GraphModel,
     name: &str,
@@ -17,7 +18,11 @@ fn conv_bn_relu(
     relu: bool,
     rng: &mut Rng,
 ) -> NodeId {
-    let h = g.add_layer(&format!("{name}.conv"), Conv2d::new(in_c, out_c, kernel, stride, padding, false, rng), &[input]);
+    let h = g.add_layer(
+        &format!("{name}.conv"),
+        Conv2d::new(in_c, out_c, kernel, stride, padding, false, rng),
+        &[input],
+    );
     let h = g.add_layer(&format!("{name}.bn"), BatchNorm2d::new(out_c), &[h]);
     if relu {
         g.add_layer(&format!("{name}.relu"), Relu::new(), &[h])
@@ -35,10 +40,43 @@ fn basic_block(
     stride: usize,
     rng: &mut Rng,
 ) -> NodeId {
-    let h = conv_bn_relu(g, &format!("{name}.a"), input, in_c, out_c, 3, stride, 1, true, rng);
-    let h = conv_bn_relu(g, &format!("{name}.b"), h, out_c, out_c, 3, 1, 1, false, rng);
+    let h = conv_bn_relu(
+        g,
+        &format!("{name}.a"),
+        input,
+        in_c,
+        out_c,
+        3,
+        stride,
+        1,
+        true,
+        rng,
+    );
+    let h = conv_bn_relu(
+        g,
+        &format!("{name}.b"),
+        h,
+        out_c,
+        out_c,
+        3,
+        1,
+        1,
+        false,
+        rng,
+    );
     let shortcut = if stride != 1 || in_c != out_c {
-        conv_bn_relu(g, &format!("{name}.down"), input, in_c, out_c, 1, stride, 0, false, rng)
+        conv_bn_relu(
+            g,
+            &format!("{name}.down"),
+            input,
+            in_c,
+            out_c,
+            1,
+            stride,
+            0,
+            false,
+            rng,
+        )
     } else {
         input
     };
@@ -53,20 +91,48 @@ fn basic_block(
 /// At `width_mult = 1.0` and `num_classes = 10` this has ≈ 11.2 M parameters
 /// (Table 3's "0 % (Original)" row).
 pub fn resnet18(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
-    let widths = [cfg.scaled(64), cfg.scaled(128), cfg.scaled(256), cfg.scaled(512)];
+    let widths = [
+        cfg.scaled(64),
+        cfg.scaled(128),
+        cfg.scaled(256),
+        cfg.scaled(512),
+    ];
     let mut g = GraphModel::new();
     let x = g.input("x");
-    let mut h = conv_bn_relu(&mut g, "stem", x, cfg.in_channels, widths[0], 3, 1, 1, true, rng);
+    let mut h = conv_bn_relu(
+        &mut g,
+        "stem",
+        x,
+        cfg.in_channels,
+        widths[0],
+        3,
+        1,
+        1,
+        true,
+        rng,
+    );
     let mut in_c = widths[0];
     for (si, &out_c) in widths.iter().enumerate() {
         for bi in 0..2 {
             let stride = if si > 0 && bi == 0 { 2 } else { 1 };
-            h = basic_block(&mut g, &format!("layer{}.{}", si + 1, bi), h, in_c, out_c, stride, rng);
+            h = basic_block(
+                &mut g,
+                &format!("layer{}.{}", si + 1, bi),
+                h,
+                in_c,
+                out_c,
+                stride,
+                rng,
+            );
             in_c = out_c;
         }
     }
     let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
-    let y = g.add_layer("fc", Linear::new(in_c, cfg.num_classes, true, rng), &[pooled]);
+    let y = g.add_layer(
+        "fc",
+        Linear::new(in_c, cfg.num_classes, true, rng),
+        &[pooled],
+    );
     g.set_output(y);
     g
 }
@@ -110,7 +176,13 @@ mod tests {
         m.backward(&[grad]);
         // Stem must receive gradient through all residual paths.
         let stem = m.node_by_name("stem.conv").unwrap();
-        let gnorm: f32 = m.node(stem).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        let gnorm: f32 = m
+            .node(stem)
+            .layer()
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum();
         assert!(gnorm > 0.0, "stem got no gradient");
     }
 }

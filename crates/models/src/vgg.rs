@@ -33,7 +33,11 @@ fn vgg_backbone(g: &mut GraphModel, cfg: &CvConfig, rng: &mut Rng) -> (NodeId, u
             }
         } else {
             let out_c = cfg.scaled(spec);
-            h = g.add_layer(&format!("conv{conv_idx}"), Conv2d::new(in_c, out_c, 3, 1, 1, true, rng), &[h]);
+            h = g.add_layer(
+                &format!("conv{conv_idx}"),
+                Conv2d::new(in_c, out_c, 3, 1, 1, true, rng),
+                &[h],
+            );
             h = g.add_layer(&format!("bn{conv_idx}"), BatchNorm2d::new(out_c), &[h]);
             h = g.add_layer(&format!("relu{conv_idx}"), Relu::new(), &[h]);
             block_ends.push(format!("relu{conv_idx}"));
@@ -52,7 +56,11 @@ pub fn vgg16(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
     let mut g = GraphModel::new();
     let (h, feat, _) = vgg_backbone(&mut g, cfg, rng);
     let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
-    let y = g.add_layer("fc", Linear::new(feat, cfg.num_classes, true, rng), &[pooled]);
+    let y = g.add_layer(
+        "fc",
+        Linear::new(feat, cfg.num_classes, true, rng),
+        &[pooled],
+    );
     g.set_output(y);
     g
 }
@@ -67,7 +75,11 @@ pub fn vgg16_cbam(cfg: &CvConfig, rng: &mut Rng) -> GraphModel {
     // most; per-block insertion is available via `insert_cbam_after`).
     h = insert_cbam_after(&mut g, "cbam_top", h, feat, 8, rng);
     let pooled = g.add_layer("gap", GlobalAvgPool2d::new(), &[h]);
-    let y = g.add_layer("fc", Linear::new(feat, cfg.num_classes, true, rng), &[pooled]);
+    let y = g.add_layer(
+        "fc",
+        Linear::new(feat, cfg.num_classes, true, rng),
+        &[pooled],
+    );
     g.set_output(y);
     g
 }

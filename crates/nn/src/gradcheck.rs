@@ -25,14 +25,14 @@ fn objective(layer: &mut dyn Layer, inputs: &[Tensor], w: &Tensor) -> f32 {
 ///
 /// Panics (with a diagnostic message) when any probed coordinate disagrees —
 /// this is a test utility.
+#[allow(clippy::needless_range_loop)]
 pub fn check_layer_gradients(
     mut layer: Box<dyn Layer>,
     input_shapes: &[&[usize]],
     tol: f32,
     rng: &mut Rng,
 ) {
-    let mut inputs: Vec<Tensor> =
-        input_shapes.iter().map(|s| Tensor::randn(s, rng)).collect();
+    let mut inputs: Vec<Tensor> = input_shapes.iter().map(|s| Tensor::randn(s, rng)).collect();
 
     // One forward to learn the output shape, then fix a cotangent w.
     let refs: Vec<&Tensor> = inputs.iter().collect();
@@ -144,6 +144,11 @@ mod tests {
     #[should_panic(expected = "grad mismatch")]
     fn fails_on_a_broken_layer() {
         let mut rng = Rng::seed_from(1);
-        check_layer_gradients(Box::new(BrokenSquare { dims: None }), &[&[3, 3]], 1e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(BrokenSquare { dims: None }),
+            &[&[3, 3]],
+            1e-2,
+            &mut rng,
+        );
     }
 }

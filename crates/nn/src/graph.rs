@@ -113,7 +113,12 @@ impl GraphModel {
     /// # Panics
     ///
     /// Panics if the name is already taken or any input id is out of range.
-    pub fn add_layer<L: Layer + 'static>(&mut self, name: &str, layer: L, inputs: &[NodeId]) -> NodeId {
+    pub fn add_layer<L: Layer + 'static>(
+        &mut self,
+        name: &str,
+        layer: L,
+        inputs: &[NodeId],
+    ) -> NodeId {
         self.add_boxed(name, Box::new(layer), inputs)
     }
 
@@ -128,7 +133,11 @@ impl GraphModel {
             "duplicate node name '{name}'"
         );
         for id in inputs {
-            assert!(id.0 < self.nodes.len(), "input NodeId {} does not exist yet", id.0);
+            assert!(
+                id.0 < self.nodes.len(),
+                "input NodeId {} does not exist yet",
+                id.0
+            );
         }
         let id = NodeId(self.nodes.len());
         self.nodes.push(Node {
@@ -216,11 +225,19 @@ impl GraphModel {
     /// Panics if the number of externals differs from the number of input
     /// nodes, or no outputs were declared.
     pub fn forward(&mut self, externals: &[&Tensor], mode: Mode) -> Vec<Tensor> {
-        assert_eq!(externals.len(), self.inputs.len(), "external input arity mismatch");
+        assert_eq!(
+            externals.len(),
+            self.inputs.len(),
+            "external input arity mismatch"
+        );
         assert!(!self.outputs.is_empty(), "no outputs declared");
         let mut values: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        let input_map: HashMap<usize, usize> =
-            self.inputs.iter().enumerate().map(|(k, id)| (id.0, k)).collect();
+        let input_map: HashMap<usize, usize> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(k, id)| (id.0, k))
+            .collect();
         for i in 0..self.nodes.len() {
             let out = if let Some(&k) = input_map.get(&i) {
                 self.nodes[i].layer.forward(&[externals[k]], mode)
@@ -228,8 +245,10 @@ impl GraphModel {
                 let in_ids = self.nodes[i].inputs.clone();
                 // Temporarily move input tensors out to satisfy the borrow
                 // checker, then restore them.
-                let ins: Vec<Tensor> =
-                    in_ids.iter().map(|id| values[id.0].clone().expect("topo order violated")).collect();
+                let ins: Vec<Tensor> = in_ids
+                    .iter()
+                    .map(|id| values[id.0].clone().expect("topo order violated"))
+                    .collect();
                 let refs: Vec<&Tensor> = ins.iter().collect();
                 self.nodes[i].layer.forward(&refs, mode)
             };
@@ -247,8 +266,16 @@ impl GraphModel {
     ///
     /// Panics if the graph does not have exactly one input and one output.
     pub fn forward_one(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        assert_eq!(self.inputs.len(), 1, "forward_one requires exactly one input");
-        assert_eq!(self.outputs.len(), 1, "forward_one requires exactly one output");
+        assert_eq!(
+            self.inputs.len(),
+            1,
+            "forward_one requires exactly one input"
+        );
+        assert_eq!(
+            self.outputs.len(),
+            1,
+            "forward_one requires exactly one output"
+        );
         self.forward(&[x], mode).remove(0)
     }
 
@@ -279,7 +306,11 @@ impl GraphModel {
             }
             let input_grads = self.nodes[i].layer.backward(&g);
             let in_ids = self.nodes[i].inputs.clone();
-            assert_eq!(input_grads.len(), in_ids.len(), "backward arity mismatch at node {i}");
+            assert_eq!(
+                input_grads.len(),
+                in_ids.len(),
+                "backward arity mismatch at node {i}"
+            );
             for (gi, id) in input_grads.into_iter().zip(in_ids) {
                 match &mut grads[id.0] {
                     Some(acc) => acc.add_assign(&gi),
@@ -302,7 +333,10 @@ impl GraphModel {
 
     /// All trainable parameters, in topological node order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.nodes.iter_mut().flat_map(|n| n.layer.params_mut()).collect()
+        self.nodes
+            .iter_mut()
+            .flat_map(|n| n.layer.params_mut())
+            .collect()
     }
 
     /// Zeroes every parameter gradient.
@@ -352,7 +386,9 @@ impl GraphModel {
             }
         }
         for (path, value) in entries {
-            let &(ni, pi) = index.get(path).ok_or_else(|| NnError::MissingParam { path: path.clone() })?;
+            let &(ni, pi) = index
+                .get(path)
+                .ok_or_else(|| NnError::MissingParam { path: path.clone() })?;
             let params = self.nodes[ni].layer.params_mut();
             let p = params.into_iter().nth(pi).expect("indexed param exists");
             if p.value.dims() != value.dims() {
@@ -488,13 +524,23 @@ mod tests {
         // Zero seed on out1, big seed on out2: fc must receive NO gradient.
         g.backward(&[Tensor::zeros(&[1, 2]), Tensor::full(&[1, 2], 100.0)]);
         let fc_id = g.node_by_name("fc").unwrap();
-        let fc_grad_sum: f32 =
-            g.node(fc_id).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        let fc_grad_sum: f32 = g
+            .node(fc_id)
+            .layer()
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum();
         assert_eq!(fc_grad_sum, 0.0, "detach leaked gradient into fc");
         // …while fc2 does receive gradient.
         let fc2_id = g.node_by_name("fc2").unwrap();
-        let fc2_grad: f32 =
-            g.node(fc2_id).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+        let fc2_grad: f32 = g
+            .node(fc2_id)
+            .layer()
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum();
         assert!(fc2_grad > 0.0);
     }
 
@@ -513,7 +559,9 @@ mod tests {
     fn load_state_dict_rejects_unknown_path() {
         let mut rng = Rng::seed_from(3);
         let mut g = tiny_mlp(&mut rng);
-        let err = g.load_state_dict(&[("nope.p0".into(), Tensor::zeros(&[1]))]).unwrap_err();
+        let err = g
+            .load_state_dict(&[("nope.p0".into(), Tensor::zeros(&[1]))])
+            .unwrap_err();
         assert!(matches!(err, NnError::MissingParam { .. }));
     }
 
@@ -521,7 +569,9 @@ mod tests {
     fn load_state_dict_rejects_bad_shape() {
         let mut rng = Rng::seed_from(4);
         let mut g = tiny_mlp(&mut rng);
-        let err = g.load_state_dict(&[("fc1.p0".into(), Tensor::zeros(&[1, 1]))]).unwrap_err();
+        let err = g
+            .load_state_dict(&[("fc1.p0".into(), Tensor::zeros(&[1, 1]))])
+            .unwrap_err();
         assert!(matches!(err, NnError::ParamShapeMismatch { .. }));
     }
 
@@ -565,7 +615,13 @@ mod tests {
         g.backward(&[Tensor::ones(&[1, 3])]);
         for name in ["fa", "fb"] {
             let id = g.node_by_name(name).unwrap();
-            let gn: f32 = g.node(id).layer().params().iter().map(|p| p.grad.norm_sq()).sum();
+            let gn: f32 = g
+                .node(id)
+                .layer()
+                .params()
+                .iter()
+                .map(|p| p.grad.norm_sq())
+                .sum();
             assert!(gn >= 0.0, "{name} missing grad slot");
         }
     }

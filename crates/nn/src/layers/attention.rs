@@ -25,8 +25,8 @@ struct AttnCache {
     q: Tensor,   // [B*T, D]
     k: Tensor,
     v: Tensor,
-    o: Tensor,            // pre-Wo concat of heads, [B*T, D]
-    probs: Vec<Tensor>,   // per (b, h): [T, T]
+    o: Tensor,          // pre-Wo concat of heads, [B*T, D]
+    probs: Vec<Tensor>, // per (b, h): [T, T]
     bt: (usize, usize),
 }
 
@@ -57,10 +57,22 @@ impl MultiHeadSelfAttention {
     ///
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new(dim: usize, heads: usize, causal: bool, rng: &mut Rng) -> Self {
-        assert_eq!(dim % heads, 0, "dim {dim} must be divisible by heads {heads}");
+        assert_eq!(
+            dim % heads,
+            0,
+            "dim {dim} must be divisible by heads {heads}"
+        );
         let bound = (1.0 / dim as f32).sqrt();
         let mut mk = || Param::new(Tensor::rand_uniform(&[dim, dim], -bound, bound, rng));
-        MultiHeadSelfAttention { wq: mk(), wk: mk(), wv: mk(), wo: mk(), heads, causal, cache: None }
+        MultiHeadSelfAttention {
+            wq: mk(),
+            wk: mk(),
+            wv: mk(),
+            wo: mk(),
+            heads,
+            causal,
+            cache: None,
+        }
     }
 
     /// Reassembles from explicit projection matrices (deserialization).
@@ -68,10 +80,21 @@ impl MultiHeadSelfAttention {
     /// # Panics
     ///
     /// Panics if the matrices are not all `[D, D]` with `D % heads == 0`.
-    pub fn from_params(wq: Tensor, wk: Tensor, wv: Tensor, wo: Tensor, heads: usize, causal: bool) -> Self {
+    pub fn from_params(
+        wq: Tensor,
+        wk: Tensor,
+        wv: Tensor,
+        wo: Tensor,
+        heads: usize,
+        causal: bool,
+    ) -> Self {
         let d = wq.dims()[0];
         for m in [&wq, &wk, &wv, &wo] {
-            assert_eq!(m.dims(), &[d, d], "attention projections must be square [D,D]");
+            assert_eq!(
+                m.dims(),
+                &[d, d],
+                "attention projections must be square [D,D]"
+            );
         }
         assert_eq!(d % heads, 0, "dim must divide heads");
         MultiHeadSelfAttention {
@@ -136,18 +159,43 @@ impl Layer for MultiHeadSelfAttention {
                 }
                 let p = s.softmax_rows();
                 let oh = p.matmul(&vh); // [T, dh]
-                add_cols(&mut o.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &oh);
+                add_cols(
+                    &mut o.data_mut()[row0 * d..(row0 + t) * d],
+                    t,
+                    d,
+                    c0,
+                    c1,
+                    &oh,
+                );
                 probs.push(p);
             }
         }
         let y = o.matmul(&self.wo.value);
-        self.cache = Some(AttnCache { x2d, q, k, v, o, probs, bt: (b, t) });
+        self.cache = Some(AttnCache {
+            x2d,
+            q,
+            k,
+            v,
+            o,
+            probs,
+            bt: (b, t),
+        });
         y.reshape(&[b, t, d])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let AttnCache { x2d, q, k, v, o, probs, bt: (b, t) } =
-            self.cache.take().expect("attention backward before forward");
+        let AttnCache {
+            x2d,
+            q,
+            k,
+            v,
+            o,
+            probs,
+            bt: (b, t),
+        } = self
+            .cache
+            .take()
+            .expect("attention backward before forward");
         let d = self.dim();
         let h = self.heads;
         let dh = d / h;
@@ -174,7 +222,7 @@ impl Layer for MultiHeadSelfAttention {
 
                 let dp = doh.matmul_nt(&vh); // [T, T]
                 let dvh = p.matmul_tn(&doh); // [T, dh]
-                // Softmax backward per row: dS = P ∘ (dP - rowsum(dP ∘ P)).
+                                             // Softmax backward per row: dS = P ∘ (dP - rowsum(dP ∘ P)).
                 let mut ds = Tensor::zeros(&[t, t]);
                 for i in 0..t {
                     let prow = &p.data()[i * t..(i + 1) * t];
@@ -188,9 +236,30 @@ impl Layer for MultiHeadSelfAttention {
                 let dqh = ds.matmul(&kh);
                 let dkh = ds.matmul_tn(&qh);
 
-                add_cols(&mut dq.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &dqh);
-                add_cols(&mut dk.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &dkh);
-                add_cols(&mut dv.data_mut()[row0 * d..(row0 + t) * d], t, d, c0, c1, &dvh);
+                add_cols(
+                    &mut dq.data_mut()[row0 * d..(row0 + t) * d],
+                    t,
+                    d,
+                    c0,
+                    c1,
+                    &dqh,
+                );
+                add_cols(
+                    &mut dk.data_mut()[row0 * d..(row0 + t) * d],
+                    t,
+                    d,
+                    c0,
+                    c1,
+                    &dkh,
+                );
+                add_cols(
+                    &mut dv.data_mut()[row0 * d..(row0 + t) * d],
+                    t,
+                    d,
+                    c0,
+                    c1,
+                    &dvh,
+                );
             }
         }
 
@@ -259,7 +328,10 @@ mod tests {
         let y1 = a.forward(&[&x1], Mode::Eval);
         let y2 = a.forward(&[&x2], Mode::Eval);
         for j in 0..4 {
-            assert!((y1.data()[j] - y2.data()[j]).abs() < 1e-5, "position 0 leaked future info");
+            assert!(
+                (y1.data()[j] - y2.data()[j]).abs() < 1e-5,
+                "position 0 leaked future info"
+            );
         }
     }
 

@@ -48,8 +48,16 @@ impl Conv2d {
             bound,
             rng,
         ));
-        let bias = bias.then(|| Param::new(Tensor::rand_uniform(&[out_channels], -bound, bound, rng)));
-        Conv2d { weight, bias, kernel, stride, padding, cache: None }
+        let bias =
+            bias.then(|| Param::new(Tensor::rand_uniform(&[out_channels], -bound, bound, rng)));
+        Conv2d {
+            weight,
+            bias,
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
     }
 
     /// Reassembles a convolution from explicit tensors (deserialization).
@@ -57,11 +65,31 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if `weight` is not 4-D square-kernel shaped.
-    pub fn from_params(weight: Tensor, bias: Option<Tensor>, stride: usize, padding: usize) -> Self {
-        assert_eq!(weight.shape().rank(), 4, "Conv2d weight must be [oc, ic, k, k]");
-        assert_eq!(weight.dims()[2], weight.dims()[3], "Conv2d kernel must be square");
+    pub fn from_params(
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert_eq!(
+            weight.shape().rank(),
+            4,
+            "Conv2d weight must be [oc, ic, k, k]"
+        );
+        assert_eq!(
+            weight.dims()[2],
+            weight.dims()[3],
+            "Conv2d kernel must be square"
+        );
         let kernel = weight.dims()[2];
-        Conv2d { weight: Param::new(weight), bias: bias.map(Param::new), kernel, stride, padding, cache: None }
+        Conv2d {
+            weight: Param::new(weight),
+            bias: bias.map(Param::new),
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
     }
 
     /// Output channel count.
@@ -89,7 +117,11 @@ impl Layer for Conv2d {
         assert_eq!(inputs.len(), 1, "Conv2d takes one input");
         let x = inputs[0];
         let dims = x.dims();
-        assert_eq!(dims.len(), 4, "Conv2d input must be [N,C,H,W], got {dims:?}");
+        assert_eq!(
+            dims.len(),
+            4,
+            "Conv2d input must be [N,C,H,W], got {dims:?}"
+        );
         assert_eq!(dims[1], self.in_channels(), "Conv2d channel mismatch");
         let geom = Conv2dGeom {
             in_channels: dims[1],
@@ -104,7 +136,7 @@ impl Layer for Conv2d {
         let cols = kernels::im2col(x, &geom);
         let wmat = self.weight.value.reshape(&[oc, geom.col_rows()]);
         let ymat = wmat.matmul(&cols); // [oc, N*oh*ow]
-        // Permute [oc, N*oh*ow] -> [N, oc, oh, ow]; each (o, n) block is contiguous.
+                                       // Permute [oc, N*oh*ow] -> [N, oc, oh, ow]; each (o, n) block is contiguous.
         let ohw = oh * ow;
         let mut out = Tensor::zeros(&[n, oc, oh, ow]);
         {
@@ -128,13 +160,20 @@ impl Layer for Conv2d {
                 }
             }
         }
-        self.cache = Some(ConvCache { cols, geom, batch: n });
+        self.cache = Some(ConvCache {
+            cols,
+            geom,
+            batch: n,
+        });
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let ConvCache { cols, geom, batch: n } =
-            self.cache.take().expect("Conv2d backward before forward");
+        let ConvCache {
+            cols,
+            geom,
+            batch: n,
+        } = self.cache.take().expect("Conv2d backward before forward");
         let oc = self.out_channels();
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let ohw = oh * ow;
@@ -152,7 +191,9 @@ impl Layer for Conv2d {
         }
         // dW = g @ colsᵀ
         let dw = gmat.matmul_nt(&cols);
-        self.weight.grad.add_assign(&dw.reshape(self.weight.value.dims()));
+        self.weight
+            .grad
+            .add_assign(&dw.reshape(self.weight.value.dims()));
         if let Some(b) = &mut self.bias {
             let mut db = Tensor::zeros(&[oc]);
             for o in 0..oc {

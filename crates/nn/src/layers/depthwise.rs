@@ -27,9 +27,21 @@ impl DepthwiseConv2d {
         rng: &mut Rng,
     ) -> Self {
         let bound = (6.0 / (kernel * kernel) as f32).sqrt();
-        let weight = Param::new(Tensor::rand_uniform(&[channels, kernel, kernel], -bound, bound, rng));
+        let weight = Param::new(Tensor::rand_uniform(
+            &[channels, kernel, kernel],
+            -bound,
+            bound,
+            rng,
+        ));
         let bias = bias.then(|| Param::new(Tensor::rand_uniform(&[channels], -bound, bound, rng)));
-        DepthwiseConv2d { weight, bias, kernel, stride, padding, cache: None }
+        DepthwiseConv2d {
+            weight,
+            bias,
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
     }
 
     /// Reassembles from explicit tensors (deserialization).
@@ -37,11 +49,27 @@ impl DepthwiseConv2d {
     /// # Panics
     ///
     /// Panics if `weight` is not `[C, k, k]` with a square kernel.
-    pub fn from_params(weight: Tensor, bias: Option<Tensor>, stride: usize, padding: usize) -> Self {
-        assert_eq!(weight.shape().rank(), 3, "depthwise weight must be [C, k, k]");
+    pub fn from_params(
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert_eq!(
+            weight.shape().rank(),
+            3,
+            "depthwise weight must be [C, k, k]"
+        );
         assert_eq!(weight.dims()[1], weight.dims()[2], "kernel must be square");
         let kernel = weight.dims()[1];
-        DepthwiseConv2d { weight: Param::new(weight), bias: bias.map(Param::new), kernel, stride, padding, cache: None }
+        DepthwiseConv2d {
+            weight: Param::new(weight),
+            bias: bias.map(Param::new),
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
     }
 
     /// Channel count.
@@ -93,7 +121,8 @@ impl Layer for DepthwiseConv2d {
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                acc += src[base + iy as usize * w + ix as usize] * wd[wbase + ky * k + kx];
+                                acc += src[base + iy as usize * w + ix as usize]
+                                    * wd[wbase + ky * k + kx];
                             }
                         }
                         if let Some(b) = &self.bias {
@@ -109,7 +138,10 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let x = self.cache.take().expect("DepthwiseConv2d backward before forward");
+        let x = self
+            .cache
+            .take()
+            .expect("DepthwiseConv2d backward before forward");
         let d = x.dims();
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let god = grad_out.dims();
@@ -139,7 +171,8 @@ impl Layer for DepthwiseConv2d {
                                     continue;
                                 }
                                 let src_idx = base + iy as usize * w + ix as usize;
-                                self.weight.grad.data_mut()[wbase + ky * k + kx] += g * x.data()[src_idx];
+                                self.weight.grad.data_mut()[wbase + ky * k + kx] +=
+                                    g * x.data()[src_idx];
                                 dx.data_mut()[src_idx] += g * wd[wbase + ky * k + kx];
                             }
                         }
@@ -223,7 +256,10 @@ impl Layer for BroadcastMulSpatial {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let (x, g) = self.cache.take().expect("BroadcastMulSpatial backward before forward");
+        let (x, g) = self
+            .cache
+            .take()
+            .expect("BroadcastMulSpatial backward before forward");
         let d = x.dims();
         let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
         let mut dx = grad_out.clone();
@@ -314,6 +350,9 @@ mod tests {
     #[test]
     fn depthwise_param_count() {
         let mut rng = Rng::seed_from(5);
-        assert_eq!(DepthwiseConv2d::new(8, 3, 1, 1, false, &mut rng).param_count(), 72);
+        assert_eq!(
+            DepthwiseConv2d::new(8, 3, 1, 1, false, &mut rng).param_count(),
+            72
+        );
     }
 }

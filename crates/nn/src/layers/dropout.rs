@@ -25,8 +25,16 @@ impl Dropout {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
-        Dropout { p, rng: Rng::seed_from(seed), seed, cache_mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1), got {p}"
+        );
+        Dropout {
+            p,
+            rng: Rng::seed_from(seed),
+            seed,
+            cache_mask: None,
+        }
     }
 
     /// The drop probability.
@@ -49,7 +57,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let inv = 1.0 / keep;
-        let mask = Tensor::from_fn(x.dims(), |_| if self.rng.chance(keep as f64) { inv } else { 0.0 });
+        let mask = Tensor::from_fn(x.dims(), |_| {
+            if self.rng.chance(keep as f64) {
+                inv
+            } else {
+                0.0
+            }
+        });
         let out = x.mul(&mask);
         self.cache_mask = Some(mask);
         out
@@ -67,7 +81,10 @@ impl Layer for Dropout {
     }
 
     fn spec(&self) -> LayerSpec {
-        LayerSpec::Dropout { p: self.p, seed: self.seed }
+        LayerSpec::Dropout {
+            p: self.p,
+            seed: self.seed,
+        }
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

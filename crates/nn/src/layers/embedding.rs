@@ -29,8 +29,16 @@ impl Embedding {
     ///
     /// Panics if `weight` is not 2-D.
     pub fn from_params(weight: Tensor) -> Self {
-        assert_eq!(weight.shape().rank(), 2, "Embedding weight must be [vocab, dim]");
-        Embedding { weight: Param::new(weight), cache_indices: None, cache_bt: None }
+        assert_eq!(
+            weight.shape().rank(),
+            2,
+            "Embedding weight must be [vocab, dim]"
+        );
+        Embedding {
+            weight: Param::new(weight),
+            cache_indices: None,
+            cache_bt: None,
+        }
     }
 
     /// Vocabulary size.
@@ -61,7 +69,10 @@ impl Layer for Embedding {
         let mut idx = Vec::with_capacity(b * t);
         for (k, &raw) in ids.data().iter().enumerate() {
             let token = raw as usize;
-            assert!(token < vocab, "token id {token} out of vocabulary ({vocab})");
+            assert!(
+                token < vocab,
+                "token id {token} out of vocabulary ({vocab})"
+            );
             idx.push(token);
             out.data_mut()[k * dim..(k + 1) * dim]
                 .copy_from_slice(&self.weight.value.data()[token * dim..(token + 1) * dim]);
@@ -72,8 +83,14 @@ impl Layer for Embedding {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let idx = self.cache_indices.take().expect("Embedding backward before forward");
-        let (b, t) = self.cache_bt.take().expect("Embedding backward before forward");
+        let idx = self
+            .cache_indices
+            .take()
+            .expect("Embedding backward before forward");
+        let (b, t) = self
+            .cache_bt
+            .take()
+            .expect("Embedding backward before forward");
         let dim = self.dim();
         for (k, &token) in idx.iter().enumerate() {
             let g = &grad_out.data()[k * dim..(k + 1) * dim];
@@ -95,7 +112,9 @@ impl Layer for Embedding {
     }
 
     fn spec(&self) -> LayerSpec {
-        LayerSpec::Embedding { weight: self.weight.value.clone() }
+        LayerSpec::Embedding {
+            weight: self.weight.value.clone(),
+        }
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -121,7 +140,8 @@ impl PositionalEncoding {
         for pos in 0..max_len {
             for i in 0..dim {
                 let angle = pos as f32 / 10_000f32.powf((2 * (i / 2)) as f32 / dim as f32);
-                table.data_mut()[pos * dim + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+                table.data_mut()[pos * dim + i] =
+                    if i % 2 == 0 { angle.sin() } else { angle.cos() };
             }
         }
         PositionalEncoding { table }
@@ -149,13 +169,18 @@ impl Layer for PositionalEncoding {
         let d = x.dims();
         assert_eq!(d.len(), 3, "PositionalEncoding input must be [B,T,D]");
         let (b, t, dim) = (d[0], d[1], d[2]);
-        assert!(t <= self.max_len(), "sequence length {t} exceeds table {}", self.max_len());
+        assert!(
+            t <= self.max_len(),
+            "sequence length {t} exceeds table {}",
+            self.max_len()
+        );
         assert_eq!(dim, self.table.dims()[1], "PositionalEncoding dim mismatch");
         let mut out = x.clone();
         for bi in 0..b {
             for ti in 0..t {
                 for di in 0..dim {
-                    out.data_mut()[bi * t * dim + ti * dim + di] += self.table.data()[ti * dim + di];
+                    out.data_mut()[bi * t * dim + ti * dim + di] +=
+                        self.table.data()[ti * dim + di];
                 }
             }
         }
@@ -171,7 +196,9 @@ impl Layer for PositionalEncoding {
     }
 
     fn spec(&self) -> LayerSpec {
-        LayerSpec::PositionalEncoding { table: self.table.clone() }
+        LayerSpec::PositionalEncoding {
+            table: self.table.clone(),
+        }
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

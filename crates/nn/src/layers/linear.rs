@@ -25,9 +25,28 @@ impl Linear {
         // He-uniform (gain √2) weights; small uniform bias.
         let bound = (6.0 / in_features as f32).sqrt();
         let bias_bound = (1.0 / in_features as f32).sqrt();
-        let weight = Param::new(Tensor::rand_uniform(&[out_features, in_features], -bound, bound, rng));
-        let bias = bias.then(|| Param::new(Tensor::rand_uniform(&[out_features], -bias_bound, bias_bound, rng)));
-        Linear { weight, bias, in_features, out_features, cache_x2d: None, cache_lead: Vec::new() }
+        let weight = Param::new(Tensor::rand_uniform(
+            &[out_features, in_features],
+            -bound,
+            bound,
+            rng,
+        ));
+        let bias = bias.then(|| {
+            Param::new(Tensor::rand_uniform(
+                &[out_features],
+                -bias_bound,
+                bias_bound,
+                rng,
+            ))
+        });
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            cache_x2d: None,
+            cache_lead: Vec::new(),
+        }
     }
 
     /// Reassembles a layer from explicit parameter tensors (deserialization).
@@ -94,11 +113,17 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let x2d = self.cache_x2d.take().expect("Linear backward before forward");
+        let x2d = self
+            .cache_x2d
+            .take()
+            .expect("Linear backward before forward");
         let rows = x2d.dims()[0];
         let g2d = grad_out.reshape(&[rows, self.out_features]);
         // dW += gᵀ x ; db += Σ g ; dx = g W
-        self.weight.grad.add_assign(&g2d.matmul_tn(&x2d).reshape(&[self.out_features, self.in_features]));
+        self.weight.grad.add_assign(
+            &g2d.matmul_tn(&x2d)
+                .reshape(&[self.out_features, self.in_features]),
+        );
         if let Some(b) = &mut self.bias {
             b.grad.add_assign(&g2d.sum_axis0());
         }

@@ -40,8 +40,18 @@ impl MaskedConv2d {
     ///
     /// Panics if `keep.len() != out_h * out_w`.
     pub fn new(keep: Vec<usize>, out_h: usize, out_w: usize, inner: Conv2d) -> Self {
-        assert_eq!(keep.len(), out_h * out_w, "keep must have out_h*out_w entries");
-        MaskedConv2d { keep, out_h, out_w, inner, cache_in_dims: None }
+        assert_eq!(
+            keep.len(),
+            out_h * out_w,
+            "keep must have out_h*out_w entries"
+        );
+        MaskedConv2d {
+            keep,
+            out_h,
+            out_w,
+            inner,
+            cache_in_dims: None,
+        }
     }
 
     /// The kept flat positions (the layer's `x_a, y_a` complement).
@@ -100,7 +110,10 @@ impl Layer for MaskedConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let in_dims = self.cache_in_dims.take().expect("MaskedConv2d backward before forward");
+        let in_dims = self
+            .cache_in_dims
+            .take()
+            .expect("MaskedConv2d backward before forward");
         let dg = self.inner.backward(grad_out).remove(0); // [N, C, h, w]
         let (n, c) = (in_dims[0], in_dims[1]);
         let plane = in_dims[2] * in_dims[3];
@@ -125,7 +138,12 @@ impl Layer for MaskedConv2d {
 
     fn spec(&self) -> LayerSpec {
         match self.inner.spec() {
-            LayerSpec::Conv2d { weight, bias, stride, padding } => LayerSpec::MaskedConv2d {
+            LayerSpec::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => LayerSpec::MaskedConv2d {
                 keep: self.keep.clone(),
                 out_h: self.out_h,
                 out_w: self.out_w,
@@ -162,7 +180,11 @@ pub struct MaskedEmbedding {
 impl MaskedEmbedding {
     /// Wraps `inner` so it embeds only `keep` positions of the sequence.
     pub fn new(keep: Vec<usize>, inner: Embedding) -> Self {
-        MaskedEmbedding { keep, inner, cache_in_dims: None }
+        MaskedEmbedding {
+            keep,
+            inner,
+            cache_in_dims: None,
+        }
     }
 
     /// The kept sequence positions.
@@ -192,7 +214,10 @@ impl Layer for MaskedEmbedding {
         let d = x.dims();
         assert_eq!(d.len(), 2, "MaskedEmbedding input must be [B, T'] ids");
         let (b, t_aug) = (d[0], d[1]);
-        assert!(self.keep.iter().all(|&p| p < t_aug), "keep position out of bounds");
+        assert!(
+            self.keep.iter().all(|&p| p < t_aug),
+            "keep position out of bounds"
+        );
         self.cache_in_dims = Some(d.to_vec());
         let t = self.keep.len();
         let mut gathered = Tensor::zeros(&[b, t]);
@@ -205,7 +230,10 @@ impl Layer for MaskedEmbedding {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let in_dims = self.cache_in_dims.take().expect("MaskedEmbedding backward before forward");
+        let in_dims = self
+            .cache_in_dims
+            .take()
+            .expect("MaskedEmbedding backward before forward");
         let _ = self.inner.backward(grad_out); // accumulates table grads; ids get no gradient
         vec![Tensor::zeros(&in_dims)]
     }
@@ -220,9 +248,10 @@ impl Layer for MaskedEmbedding {
 
     fn spec(&self) -> LayerSpec {
         match self.inner.spec() {
-            LayerSpec::Embedding { weight } => {
-                LayerSpec::MaskedEmbedding { keep: self.keep.clone(), weight }
-            }
+            LayerSpec::Embedding { weight } => LayerSpec::MaskedEmbedding {
+                keep: self.keep.clone(),
+                weight,
+            },
             _ => unreachable!("inner layer is always Embedding"),
         }
     }
@@ -261,7 +290,10 @@ mod tests {
         let want = conv.forward(&[&orig], Mode::Eval);
         let mut masked = MaskedConv2d::new(keep, 3, 3, conv.clone());
         let got = masked.forward(&[&aug], Mode::Eval);
-        assert!(got.approx_eq(&want, 0.0), "masked conv must be bit-identical");
+        assert!(
+            got.approx_eq(&want, 0.0),
+            "masked conv must be bit-identical"
+        );
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl BatchNorm2d {
     /// # Panics
     ///
     /// Panics if the four tensors do not share one `[C]` shape.
-    pub fn from_params(gamma: Tensor, beta: Tensor, running_mean: Tensor, running_var: Tensor) -> Self {
+    pub fn from_params(
+        gamma: Tensor,
+        beta: Tensor,
+        running_mean: Tensor,
+        running_var: Tensor,
+    ) -> Self {
         let c = gamma.numel();
         assert!(
             beta.numel() == c && running_mean.numel() == c && running_var.numel() == c,
@@ -83,6 +88,7 @@ impl Layer for BatchNorm2d {
         "BatchNorm2d"
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
         assert_eq!(inputs.len(), 1, "BatchNorm2d takes one input");
         let x = inputs[0];
@@ -101,7 +107,9 @@ impl Layer for BatchNorm2d {
             let (mu, var) = if train {
                 let mut sum = 0.0f32;
                 for ni in 0..n {
-                    sum += x.data()[ni * c * hw + ci * hw..ni * c * hw + (ci + 1) * hw].iter().sum::<f32>();
+                    sum += x.data()[ni * c * hw + ci * hw..ni * c * hw + (ci + 1) * hw]
+                        .iter()
+                        .sum::<f32>();
                 }
                 let mu = sum / m;
                 let mut varsum = 0.0f32;
@@ -132,13 +140,24 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cache = Some(BnCache { xhat, inv_std, train });
+        self.cache = Some(BnCache {
+            xhat,
+            inv_std,
+            train,
+        });
         out
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let BnCache { xhat, inv_std, train } =
-            self.cache.take().expect("BatchNorm2d backward before forward");
+        let BnCache {
+            xhat,
+            inv_std,
+            train,
+        } = self
+            .cache
+            .take()
+            .expect("BatchNorm2d backward before forward");
         let d = xhat.dims().to_vec();
         let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
         let m = (n * hw) as f32;
@@ -235,7 +254,12 @@ impl LayerNorm {
     /// Panics if γ and β shapes differ.
     pub fn from_params(gamma: Tensor, beta: Tensor) -> Self {
         assert_eq!(gamma.numel(), beta.numel(), "LayerNorm gamma/beta mismatch");
-        LayerNorm { gamma: Param::new(gamma), beta: Param::new(beta), eps: 1e-5, cache: None }
+        LayerNorm {
+            gamma: Param::new(gamma),
+            beta: Param::new(beta),
+            eps: 1e-5,
+            cache: None,
+        }
     }
 
     /// Normalised dimension.
@@ -249,11 +273,16 @@ impl Layer for LayerNorm {
         "LayerNorm"
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
         assert_eq!(inputs.len(), 1, "LayerNorm takes one input");
         let x = inputs[0];
         let dim = self.dim();
-        assert_eq!(*x.dims().last().expect("LayerNorm input rank >= 1"), dim, "LayerNorm dim mismatch");
+        assert_eq!(
+            *x.dims().last().expect("LayerNorm input rank >= 1"),
+            dim,
+            "LayerNorm dim mismatch"
+        );
         let rows = x.numel() / dim;
         let mut out = Tensor::zeros(x.dims());
         let mut xhat = Tensor::zeros(x.dims());
@@ -267,15 +296,20 @@ impl Layer for LayerNorm {
             for i in 0..dim {
                 let xh = (row[i] - mu) * istd;
                 xhat.data_mut()[r * dim + i] = xh;
-                out.data_mut()[r * dim + i] = self.gamma.value.data()[i] * xh + self.beta.value.data()[i];
+                out.data_mut()[r * dim + i] =
+                    self.gamma.value.data()[i] * xh + self.beta.value.data()[i];
             }
         }
         self.cache = Some((xhat, inv_std));
         out
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let (xhat, inv_std) = self.cache.take().expect("LayerNorm backward before forward");
+        let (xhat, inv_std) = self
+            .cache
+            .take()
+            .expect("LayerNorm backward before forward");
         let dim = self.dim();
         let rows = xhat.numel() / dim;
         let mut dx = Tensor::zeros(xhat.dims());
@@ -310,7 +344,10 @@ impl Layer for LayerNorm {
     }
 
     fn spec(&self) -> LayerSpec {
-        LayerSpec::LayerNorm { gamma: self.gamma.value.clone(), beta: self.beta.value.clone() }
+        LayerSpec::LayerNorm {
+            gamma: self.gamma.value.clone(),
+            beta: self.beta.value.clone(),
+        }
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -332,14 +369,18 @@ mod tests {
     fn batchnorm_normalizes_in_train_mode() {
         let mut rng = Rng::seed_from(0);
         let mut bn = BatchNorm2d::new(2);
-        let x = Tensor::randn(&[4, 2, 3, 3], &mut rng).scale(3.0).add_scalar(5.0);
+        let x = Tensor::randn(&[4, 2, 3, 3], &mut rng)
+            .scale(3.0)
+            .add_scalar(5.0);
         let y = bn.forward(&[&x], Mode::Train);
         // Each channel of the output should be ~zero-mean, ~unit-variance.
         let (n, c, hw) = (4, 2, 9);
         for ci in 0..c {
             let mut vals = Vec::new();
             for ni in 0..n {
-                vals.extend_from_slice(&y.data()[ni * c * hw + ci * hw..ni * c * hw + (ci + 1) * hw]);
+                vals.extend_from_slice(
+                    &y.data()[ni * c * hw + ci * hw..ni * c * hw + (ci + 1) * hw],
+                );
             }
             let mean = vals.iter().sum::<f32>() / vals.len() as f32;
             let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
@@ -365,7 +406,12 @@ mod tests {
     #[test]
     fn batchnorm_gradcheck_train() {
         let mut rng = Rng::seed_from(2);
-        check_layer_gradients(Box::new(BatchNorm2d::new(2)), &[&[3, 2, 2, 2]], 3e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(BatchNorm2d::new(2)),
+            &[&[3, 2, 2, 2]],
+            3e-2,
+            &mut rng,
+        );
     }
 
     #[test]

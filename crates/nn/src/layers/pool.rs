@@ -19,7 +19,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// A new pooling layer (`stride` defaults to `kernel` when equal).
     pub fn new(kernel: usize, stride: usize) -> Self {
-        MaxPool2d { kernel, stride, cache: None }
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
     }
 }
 
@@ -34,7 +38,10 @@ impl Layer for MaxPool2d {
         let d = x.dims();
         assert_eq!(d.len(), 4, "MaxPool2d input must be [N,C,H,W]");
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
-        let (oh, ow) = (pool_out(h, self.kernel, self.stride), pool_out(w, self.kernel, self.stride));
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut arg = vec![0usize; n * c * oh * ow];
         let src = x.data();
@@ -65,7 +72,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let (dims, arg) = self.cache.take().expect("MaxPool2d backward before forward");
+        let (dims, arg) = self
+            .cache
+            .take()
+            .expect("MaxPool2d backward before forward");
         let mut dx = Tensor::zeros(&dims);
         dx.scatter_add_flat(&arg, grad_out.data());
         vec![dx]
@@ -76,7 +86,10 @@ impl Layer for MaxPool2d {
     }
 
     fn spec(&self) -> LayerSpec {
-        LayerSpec::MaxPool2d { kernel: self.kernel, stride: self.stride }
+        LayerSpec::MaxPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        }
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -99,7 +112,11 @@ pub struct AvgPool2d {
 impl AvgPool2d {
     /// A new average pooling layer.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        AvgPool2d { kernel, stride, cache_dims: None }
+        AvgPool2d {
+            kernel,
+            stride,
+            cache_dims: None,
+        }
     }
 }
 
@@ -114,7 +131,10 @@ impl Layer for AvgPool2d {
         let d = x.dims();
         assert_eq!(d.len(), 4, "AvgPool2d input must be [N,C,H,W]");
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
-        let (oh, ow) = (pool_out(h, self.kernel, self.stride), pool_out(w, self.kernel, self.stride));
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
         let inv = 1.0 / (self.kernel * self.kernel) as f32;
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let src = x.data();
@@ -138,7 +158,10 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let dims = self.cache_dims.take().expect("AvgPool2d backward before forward");
+        let dims = self
+            .cache_dims
+            .take()
+            .expect("AvgPool2d backward before forward");
         let (h, w) = (dims[2], dims[3]);
         let god = grad_out.dims();
         let (oh, ow) = (god[2], god[3]);
@@ -167,7 +190,10 @@ impl Layer for AvgPool2d {
     }
 
     fn spec(&self) -> LayerSpec {
-        LayerSpec::AvgPool2d { kernel: self.kernel, stride: self.stride }
+        LayerSpec::AvgPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        }
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -213,13 +239,18 @@ impl Layer for GlobalAvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let dims = self.cache_dims.take().expect("GlobalAvgPool2d backward before forward");
+        let dims = self
+            .cache_dims
+            .take()
+            .expect("GlobalAvgPool2d backward before forward");
         let hw = dims[2] * dims[3];
         let inv = 1.0 / hw as f32;
         let mut dx = Tensor::zeros(&dims);
         for nc in 0..dims[0] * dims[1] {
             let g = grad_out.data()[nc] * inv;
-            dx.data_mut()[nc * hw..(nc + 1) * hw].iter_mut().for_each(|v| *v = g);
+            dx.data_mut()[nc * hw..(nc + 1) * hw]
+                .iter_mut()
+                .for_each(|v| *v = g);
         }
         vec![dx]
     }
@@ -259,6 +290,7 @@ impl Layer for GlobalMaxPool2d {
         "GlobalMaxPool2d"
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
         assert_eq!(inputs.len(), 1, "GlobalMaxPool2d takes one input");
         let x = inputs[0];
@@ -283,7 +315,10 @@ impl Layer for GlobalMaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let (dims, arg) = self.cache.take().expect("GlobalMaxPool2d backward before forward");
+        let (dims, arg) = self
+            .cache
+            .take()
+            .expect("GlobalMaxPool2d backward before forward");
         let mut dx = Tensor::zeros(&dims);
         dx.scatter_add_flat(&arg, grad_out.data());
         vec![dx]
@@ -358,7 +393,10 @@ impl Layer for ChannelStats {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let (dims, arg) = self.cache.take().expect("ChannelStats backward before forward");
+        let (dims, arg) = self
+            .cache
+            .take()
+            .expect("ChannelStats backward before forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let hw = h * w;
         let inv_c = 1.0 / c as f32;
@@ -437,30 +475,55 @@ mod tests {
     #[test]
     fn maxpool_gradcheck() {
         let mut rng = Rng::seed_from(0);
-        check_layer_gradients(Box::new(MaxPool2d::new(2, 2)), &[&[1, 2, 4, 4]], 1e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(MaxPool2d::new(2, 2)),
+            &[&[1, 2, 4, 4]],
+            1e-2,
+            &mut rng,
+        );
     }
 
     #[test]
     fn avgpool_gradcheck() {
         let mut rng = Rng::seed_from(1);
-        check_layer_gradients(Box::new(AvgPool2d::new(2, 2)), &[&[1, 2, 4, 4]], 1e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(AvgPool2d::new(2, 2)),
+            &[&[1, 2, 4, 4]],
+            1e-2,
+            &mut rng,
+        );
     }
 
     #[test]
     fn global_avg_gradcheck() {
         let mut rng = Rng::seed_from(2);
-        check_layer_gradients(Box::new(GlobalAvgPool2d::new()), &[&[2, 3, 3, 3]], 1e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(GlobalAvgPool2d::new()),
+            &[&[2, 3, 3, 3]],
+            1e-2,
+            &mut rng,
+        );
     }
 
     #[test]
     fn global_max_gradcheck() {
         let mut rng = Rng::seed_from(3);
-        check_layer_gradients(Box::new(GlobalMaxPool2d::new()), &[&[2, 3, 3, 3]], 1e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(GlobalMaxPool2d::new()),
+            &[&[2, 3, 3, 3]],
+            1e-2,
+            &mut rng,
+        );
     }
 
     #[test]
     fn channel_stats_gradcheck() {
         let mut rng = Rng::seed_from(4);
-        check_layer_gradients(Box::new(ChannelStats::new()), &[&[2, 3, 2, 2]], 1e-2, &mut rng);
+        check_layer_gradients(
+            Box::new(ChannelStats::new()),
+            &[&[2, 3, 2, 2]],
+            1e-2,
+            &mut rng,
+        );
     }
 }

@@ -27,7 +27,11 @@ impl Layer for Input {
     }
 
     fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
-        assert_eq!(inputs.len(), 1, "Input receives exactly the external tensor");
+        assert_eq!(
+            inputs.len(),
+            1,
+            "Input receives exactly the external tensor"
+        );
         inputs[0].clone()
     }
 
@@ -111,7 +115,10 @@ impl Layer for Detach {
     }
 
     fn backward(&mut self, _grad_out: &Tensor) -> Vec<Tensor> {
-        let dims = self.cache_dims.take().expect("Detach backward before forward");
+        let dims = self
+            .cache_dims
+            .take()
+            .expect("Detach backward before forward");
         vec![Tensor::zeros(&dims)]
     }
 
@@ -255,7 +262,11 @@ impl Layer for Concat {
         for x in inputs {
             let d = x.dims();
             assert_eq!(d[0], n, "Concat batch mismatch");
-            assert_eq!(d[2..].iter().product::<usize>(), rest, "Concat trailing dims mismatch");
+            assert_eq!(
+                d[2..].iter().product::<usize>(),
+                rest,
+                "Concat trailing dims mismatch"
+            );
             total_c += d[1];
         }
         let mut out_dims = first.to_vec();
@@ -268,7 +279,8 @@ impl Layer for Concat {
                 for x in inputs {
                     let ci = x.dims()[1];
                     let src = &x.data()[ni * ci * rest..(ni + 1) * ci * rest];
-                    dst[ni * total_c * rest + c_off * rest..ni * total_c * rest + (c_off + ci) * rest]
+                    dst[ni * total_c * rest + c_off * rest
+                        ..ni * total_c * rest + (c_off + ci) * rest]
                         .copy_from_slice(src);
                     c_off += ci;
                 }
@@ -342,7 +354,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let dims = self.cache_dims.take().expect("Flatten backward before forward");
+        let dims = self
+            .cache_dims
+            .take()
+            .expect("Flatten backward before forward");
         vec![grad_out.reshape(&dims)]
     }
 
@@ -392,14 +407,19 @@ impl Layer for BroadcastMulChannel {
         let mut out = x.clone();
         for nc in 0..d[0] * d[1] {
             let gv = g.data()[nc];
-            out.data_mut()[nc * hw..(nc + 1) * hw].iter_mut().for_each(|v| *v *= gv);
+            out.data_mut()[nc * hw..(nc + 1) * hw]
+                .iter_mut()
+                .for_each(|v| *v *= gv);
         }
         self.cache = Some((x.clone(), g.clone()));
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let (x, g) = self.cache.take().expect("BroadcastMulChannel backward before forward");
+        let (x, g) = self
+            .cache
+            .take()
+            .expect("BroadcastMulChannel backward before forward");
         let d = x.dims();
         let hw = d[2] * d[3];
         let mut dx = grad_out.clone();
@@ -473,14 +493,18 @@ impl Layer for MeanPoolSeq {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
-        let dims = self.cache_dims.take().expect("MeanPoolSeq backward before forward");
+        let dims = self
+            .cache_dims
+            .take()
+            .expect("MeanPoolSeq backward before forward");
         let (b, t, dim) = (dims[0], dims[1], dims[2]);
         let inv = 1.0 / t as f32;
         let mut dx = Tensor::zeros(&dims);
         for bi in 0..b {
             for ti in 0..t {
                 for di in 0..dim {
-                    dx.data_mut()[bi * t * dim + ti * dim + di] = grad_out.data()[bi * dim + di] * inv;
+                    dx.data_mut()[bi * t * dim + ti * dim + di] =
+                        grad_out.data()[bi * dim + di] * inv;
                 }
             }
         }

@@ -16,7 +16,11 @@ use amalgam_tensor::Tensor;
 ///
 /// Panics if shapes disagree or any target is out of range.
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.shape().rank(), 2, "cross_entropy expects [B, C] logits");
+    assert_eq!(
+        logits.shape().rank(),
+        2,
+        "cross_entropy expects [B, C] logits"
+    );
     let (b, c) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(targets.len(), b, "target count must equal batch size");
     let log_p = logits.log_softmax_rows();
@@ -40,7 +44,10 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
 ///
 /// Panics if shapes disagree.
 pub fn mse(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
-    assert!(prediction.shape().same_as(target.shape()), "mse shape mismatch");
+    assert!(
+        prediction.shape().same_as(target.shape()),
+        "mse shape mismatch"
+    );
     let n = prediction.numel() as f32;
     let diff = prediction.sub(target);
     let loss = diff.norm_sq() / n;
@@ -58,7 +65,11 @@ pub fn mse(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
 ///
 /// Panics if shapes disagree.
 pub fn cross_entropy_seq(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.shape().rank(), 3, "cross_entropy_seq expects [B, T, V]");
+    assert_eq!(
+        logits.shape().rank(),
+        3,
+        "cross_entropy_seq expects [B, T, V]"
+    );
     let (b, t, v) = (logits.dims()[0], logits.dims()[1], logits.dims()[2]);
     let flat = logits.reshape(&[b * t, v]);
     let (loss, grad) = cross_entropy(&flat, targets);

@@ -20,7 +20,12 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds classical momentum.
@@ -56,7 +61,10 @@ impl Sgd {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() && self.momentum != 0.0 {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             let mut g = p.grad.clone();
@@ -65,7 +73,10 @@ impl Sgd {
             }
             if self.momentum != 0.0 {
                 let v = &mut self.velocity[i];
-                assert!(v.shape().same_as(g.shape()), "param list changed between steps");
+                assert!(
+                    v.shape().same_as(g.shape()),
+                    "param list changed between steps"
+                );
                 v.scale_in_place(self.momentum);
                 v.add_assign(&g);
                 p.value.axpy(-self.lr, v);
@@ -91,7 +102,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard β₁ = 0.9, β₂ = 0.999.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -111,8 +130,14 @@ impl Adam {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -120,16 +145,20 @@ impl Adam {
         for (i, p) in params.iter_mut().enumerate() {
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            assert!(m.shape().same_as(p.grad.shape()), "param list changed between steps");
-            for ((mv, vv), &g) in
-                m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(p.grad.data())
+            assert!(
+                m.shape().same_as(p.grad.shape()),
+                "param list changed between steps"
+            );
+            for ((mv, vv), &g) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.grad.data())
             {
                 *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
                 *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
             }
-            for ((pv, &mv), &vv) in
-                p.value.data_mut().iter_mut().zip(m.data()).zip(v.data())
-            {
+            for ((pv, &mv), &vv) in p.value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let mhat = mv / bc1;
                 let vhat = vv / bc2;
                 *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);

@@ -32,21 +32,57 @@ pub enum LayerSpec {
     Sigmoid,
     Tanh,
     Gelu,
-    MaxPool2d { kernel: usize, stride: usize },
-    AvgPool2d { kernel: usize, stride: usize },
+    MaxPool2d {
+        kernel: usize,
+        stride: usize,
+    },
+    AvgPool2d {
+        kernel: usize,
+        stride: usize,
+    },
     GlobalAvgPool2d,
     GlobalMaxPool2d,
     ChannelStats,
     MeanPoolSeq,
     BroadcastMulChannel,
-    Dropout { p: f32, seed: u64 },
-    Linear { weight: Tensor, bias: Option<Tensor> },
-    Conv2d { weight: Tensor, bias: Option<Tensor>, stride: usize, padding: usize },
-    BatchNorm2d { gamma: Tensor, beta: Tensor, running_mean: Tensor, running_var: Tensor },
-    LayerNorm { gamma: Tensor, beta: Tensor },
-    Embedding { weight: Tensor },
-    PositionalEncoding { table: Tensor },
-    MultiHeadSelfAttention { wq: Tensor, wk: Tensor, wv: Tensor, wo: Tensor, heads: usize, causal: bool },
+    Dropout {
+        p: f32,
+        seed: u64,
+    },
+    Linear {
+        weight: Tensor,
+        bias: Option<Tensor>,
+    },
+    Conv2d {
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        padding: usize,
+    },
+    BatchNorm2d {
+        gamma: Tensor,
+        beta: Tensor,
+        running_mean: Tensor,
+        running_var: Tensor,
+    },
+    LayerNorm {
+        gamma: Tensor,
+        beta: Tensor,
+    },
+    Embedding {
+        weight: Tensor,
+    },
+    PositionalEncoding {
+        table: Tensor,
+    },
+    MultiHeadSelfAttention {
+        wq: Tensor,
+        wk: Tensor,
+        wv: Tensor,
+        wo: Tensor,
+        heads: usize,
+        causal: bool,
+    },
     MaskedConv2d {
         keep: Vec<usize>,
         out_h: usize,
@@ -56,8 +92,16 @@ pub enum LayerSpec {
         stride: usize,
         padding: usize,
     },
-    MaskedEmbedding { keep: Vec<usize>, weight: Tensor },
-    DepthwiseConv2d { weight: Tensor, bias: Option<Tensor>, stride: usize, padding: usize },
+    MaskedEmbedding {
+        keep: Vec<usize>,
+        weight: Tensor,
+    },
+    DepthwiseConv2d {
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        padding: usize,
+    },
     BroadcastMulSpatial,
 }
 
@@ -85,28 +129,59 @@ impl LayerSpec {
             LayerSpec::BroadcastMulChannel => Box::new(BroadcastMulChannel::new()),
             LayerSpec::Dropout { p, seed } => Box::new(Dropout::new(p, seed)),
             LayerSpec::Linear { weight, bias } => Box::new(Linear::from_params(weight, bias)),
-            LayerSpec::Conv2d { weight, bias, stride, padding } => {
-                Box::new(Conv2d::from_params(weight, bias, stride, padding))
-            }
-            LayerSpec::BatchNorm2d { gamma, beta, running_mean, running_var } => {
-                Box::new(BatchNorm2d::from_params(gamma, beta, running_mean, running_var))
-            }
+            LayerSpec::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => Box::new(Conv2d::from_params(weight, bias, stride, padding)),
+            LayerSpec::BatchNorm2d {
+                gamma,
+                beta,
+                running_mean,
+                running_var,
+            } => Box::new(BatchNorm2d::from_params(
+                gamma,
+                beta,
+                running_mean,
+                running_var,
+            )),
             LayerSpec::LayerNorm { gamma, beta } => Box::new(LayerNorm::from_params(gamma, beta)),
             LayerSpec::Embedding { weight } => Box::new(Embedding::from_params(weight)),
-            LayerSpec::PositionalEncoding { table } => Box::new(PositionalEncoding::from_table(table)),
-            LayerSpec::MultiHeadSelfAttention { wq, wk, wv, wo, heads, causal } => {
-                Box::new(MultiHeadSelfAttention::from_params(wq, wk, wv, wo, heads, causal))
+            LayerSpec::PositionalEncoding { table } => {
+                Box::new(PositionalEncoding::from_table(table))
             }
-            LayerSpec::MaskedConv2d { keep, out_h, out_w, weight, bias, stride, padding } => {
+            LayerSpec::MultiHeadSelfAttention {
+                wq,
+                wk,
+                wv,
+                wo,
+                heads,
+                causal,
+            } => Box::new(MultiHeadSelfAttention::from_params(
+                wq, wk, wv, wo, heads, causal,
+            )),
+            LayerSpec::MaskedConv2d {
+                keep,
+                out_h,
+                out_w,
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
                 let inner = Conv2d::from_params(weight, bias, stride, padding);
                 Box::new(MaskedConv2d::new(keep, out_h, out_w, inner))
             }
             LayerSpec::MaskedEmbedding { keep, weight } => {
                 Box::new(MaskedEmbedding::new(keep, Embedding::from_params(weight)))
             }
-            LayerSpec::DepthwiseConv2d { weight, bias, stride, padding } => {
-                Box::new(DepthwiseConv2d::from_params(weight, bias, stride, padding))
-            }
+            LayerSpec::DepthwiseConv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => Box::new(DepthwiseConv2d::from_params(weight, bias, stride, padding)),
             LayerSpec::BroadcastMulSpatial => Box::new(BroadcastMulSpatial::new()),
         }
     }
@@ -188,13 +263,23 @@ impl LayerSpec {
                 w.put_tensor(weight);
                 put_opt(w, bias);
             }
-            LayerSpec::Conv2d { weight, bias, stride, padding } => {
+            LayerSpec::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
                 w.put_tensor(weight);
                 put_opt(w, bias);
                 w.put_u64(*stride as u64);
                 w.put_u64(*padding as u64);
             }
-            LayerSpec::BatchNorm2d { gamma, beta, running_mean, running_var } => {
+            LayerSpec::BatchNorm2d {
+                gamma,
+                beta,
+                running_mean,
+                running_var,
+            } => {
                 w.put_tensor(gamma);
                 w.put_tensor(beta);
                 w.put_tensor(running_mean);
@@ -206,7 +291,14 @@ impl LayerSpec {
             }
             LayerSpec::Embedding { weight } => w.put_tensor(weight),
             LayerSpec::PositionalEncoding { table } => w.put_tensor(table),
-            LayerSpec::MultiHeadSelfAttention { wq, wk, wv, wo, heads, causal } => {
+            LayerSpec::MultiHeadSelfAttention {
+                wq,
+                wk,
+                wv,
+                wo,
+                heads,
+                causal,
+            } => {
                 w.put_tensor(wq);
                 w.put_tensor(wk);
                 w.put_tensor(wv);
@@ -214,7 +306,15 @@ impl LayerSpec {
                 w.put_u64(*heads as u64);
                 w.put_u8(u8::from(*causal));
             }
-            LayerSpec::MaskedConv2d { keep, out_h, out_w, weight, bias, stride, padding } => {
+            LayerSpec::MaskedConv2d {
+                keep,
+                out_h,
+                out_w,
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
                 w.put_usize_list(keep);
                 w.put_u64(*out_h as u64);
                 w.put_u64(*out_w as u64);
@@ -227,7 +327,12 @@ impl LayerSpec {
                 w.put_usize_list(keep);
                 w.put_tensor(weight);
             }
-            LayerSpec::DepthwiseConv2d { weight, bias, stride, padding } => {
+            LayerSpec::DepthwiseConv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
                 w.put_tensor(weight);
                 put_opt(w, bias);
                 w.put_u64(*stride as u64);
@@ -244,7 +349,11 @@ impl LayerSpec {
     /// error if the buffer is truncated or malformed.
     pub fn decode(r: &mut Reader) -> Result<LayerSpec, NnError> {
         fn get_opt(r: &mut Reader) -> Result<Option<Tensor>, NnError> {
-            Ok(if r.get_u8()? == 1 { Some(r.get_tensor()?) } else { None })
+            Ok(if r.get_u8()? == 1 {
+                Some(r.get_tensor()?)
+            } else {
+                None
+            })
         }
         let tag = r.get_u8()?;
         Ok(match tag {
@@ -259,15 +368,27 @@ impl LayerSpec {
             8 => LayerSpec::Sigmoid,
             9 => LayerSpec::Tanh,
             10 => LayerSpec::Gelu,
-            11 => LayerSpec::MaxPool2d { kernel: r.get_u64()? as usize, stride: r.get_u64()? as usize },
-            12 => LayerSpec::AvgPool2d { kernel: r.get_u64()? as usize, stride: r.get_u64()? as usize },
+            11 => LayerSpec::MaxPool2d {
+                kernel: r.get_u64()? as usize,
+                stride: r.get_u64()? as usize,
+            },
+            12 => LayerSpec::AvgPool2d {
+                kernel: r.get_u64()? as usize,
+                stride: r.get_u64()? as usize,
+            },
             13 => LayerSpec::GlobalAvgPool2d,
             14 => LayerSpec::GlobalMaxPool2d,
             15 => LayerSpec::ChannelStats,
             16 => LayerSpec::MeanPoolSeq,
             17 => LayerSpec::BroadcastMulChannel,
-            18 => LayerSpec::Dropout { p: r.get_f32()?, seed: r.get_u64()? },
-            19 => LayerSpec::Linear { weight: r.get_tensor()?, bias: get_opt(r)? },
+            18 => LayerSpec::Dropout {
+                p: r.get_f32()?,
+                seed: r.get_u64()?,
+            },
+            19 => LayerSpec::Linear {
+                weight: r.get_tensor()?,
+                bias: get_opt(r)?,
+            },
             20 => LayerSpec::Conv2d {
                 weight: r.get_tensor()?,
                 bias: get_opt(r)?,
@@ -280,9 +401,16 @@ impl LayerSpec {
                 running_mean: r.get_tensor()?,
                 running_var: r.get_tensor()?,
             },
-            22 => LayerSpec::LayerNorm { gamma: r.get_tensor()?, beta: r.get_tensor()? },
-            23 => LayerSpec::Embedding { weight: r.get_tensor()? },
-            24 => LayerSpec::PositionalEncoding { table: r.get_tensor()? },
+            22 => LayerSpec::LayerNorm {
+                gamma: r.get_tensor()?,
+                beta: r.get_tensor()?,
+            },
+            23 => LayerSpec::Embedding {
+                weight: r.get_tensor()?,
+            },
+            24 => LayerSpec::PositionalEncoding {
+                table: r.get_tensor()?,
+            },
             25 => LayerSpec::MultiHeadSelfAttention {
                 wq: r.get_tensor()?,
                 wk: r.get_tensor()?,
@@ -300,7 +428,10 @@ impl LayerSpec {
                 stride: r.get_u64()? as usize,
                 padding: r.get_u64()? as usize,
             },
-            27 => LayerSpec::MaskedEmbedding { keep: r.get_usize_list()?, weight: r.get_tensor()? },
+            27 => LayerSpec::MaskedEmbedding {
+                keep: r.get_usize_list()?,
+                weight: r.get_tensor()?,
+            },
             28 => LayerSpec::DepthwiseConv2d {
                 weight: r.get_tensor()?,
                 bias: get_opt(r)?,
@@ -330,7 +461,12 @@ mod tests {
 
     #[test]
     fn stateless_specs_roundtrip() {
-        for spec in [LayerSpec::Relu, LayerSpec::Add, LayerSpec::Detach, LayerSpec::Flatten] {
+        for spec in [
+            LayerSpec::Relu,
+            LayerSpec::Add,
+            LayerSpec::Detach,
+            LayerSpec::Flatten,
+        ] {
             let back = roundtrip(spec.clone());
             assert_eq!(back.tag(), spec.tag());
         }
@@ -364,7 +500,12 @@ mod tests {
         let inner = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng);
         let m = MaskedConv2d::new(keep.clone(), 3, 3, inner);
         match roundtrip(m.spec()) {
-            LayerSpec::MaskedConv2d { keep: k2, out_h, out_w, .. } => {
+            LayerSpec::MaskedConv2d {
+                keep: k2,
+                out_h,
+                out_w,
+                ..
+            } => {
                 assert_eq!(k2, keep);
                 assert_eq!((out_h, out_w), (3, 3));
             }
@@ -387,7 +528,10 @@ mod tests {
         let mut w = Writer::new();
         w.put_u8(200);
         let mut r = Reader::new(w.finish());
-        assert!(matches!(LayerSpec::decode(&mut r), Err(NnError::UnknownLayerTag { tag: 200 })));
+        assert!(matches!(
+            LayerSpec::decode(&mut r),
+            Err(NnError::UnknownLayerTag { tag: 200 })
+        ));
     }
 
     #[test]

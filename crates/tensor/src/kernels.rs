@@ -179,7 +179,11 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
                     let src_row = &src[base + iy as usize * w..base + (iy as usize + 1) * w];
                     for (ox, d) in dst_row.iter_mut().enumerate() {
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        *d = if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
                     }
                 }
             }
@@ -196,7 +200,11 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
 /// Panics if `cols` does not match the geometry for batch size `n`.
 pub fn col2im(cols_mat: &Tensor, g: &Conv2dGeom, n: usize) -> Tensor {
     let (oh, ow) = (g.out_h(), g.out_w());
-    assert_eq!(cols_mat.dims(), &[g.col_rows(), n * oh * ow], "col2im shape mismatch");
+    assert_eq!(
+        cols_mat.dims(),
+        &[g.col_rows(), n * oh * ow],
+        "col2im shape mismatch"
+    );
     let (c, h, w) = (g.in_channels, g.in_h, g.in_w);
     let mut out = Tensor::zeros(&[n, c, h, w]);
     let dst = out.data_mut();
@@ -284,9 +292,23 @@ mod tests {
 
     #[test]
     fn conv_geom_output_dims() {
-        let g = Conv2dGeom { in_channels: 3, in_h: 32, in_w: 32, kernel: 3, stride: 1, padding: 1 };
+        let g = Conv2dGeom {
+            in_channels: 3,
+            in_h: 32,
+            in_w: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!((g.out_h(), g.out_w()), (32, 32));
-        let g2 = Conv2dGeom { in_channels: 3, in_h: 32, in_w: 32, kernel: 3, stride: 2, padding: 1 };
+        let g2 = Conv2dGeom {
+            in_channels: 3,
+            in_h: 32,
+            in_w: 32,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!((g2.out_h(), g2.out_w()), (16, 16));
     }
 
@@ -306,7 +328,11 @@ mod tests {
                                 for kx in 0..g.kernel {
                                     let iy = (oy * g.stride + ky) as isize - g.padding as isize;
                                     let ix = (ox * g.stride + kx) as isize - g.padding as isize;
-                                    if iy < 0 || ix < 0 || iy >= g.in_h as isize || ix >= g.in_w as isize {
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= g.in_h as isize
+                                        || ix >= g.in_w as isize
+                                    {
                                         continue;
                                     }
                                     acc += input.at(&[ni, ci, iy as usize, ix as usize])
@@ -325,7 +351,14 @@ mod tests {
     #[test]
     fn im2col_convolution_matches_naive() {
         let mut rng = Rng::seed_from(9);
-        let g = Conv2dGeom { in_channels: 2, in_h: 7, in_w: 6, kernel: 3, stride: 2, padding: 1 };
+        let g = Conv2dGeom {
+            in_channels: 2,
+            in_h: 7,
+            in_w: 6,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let input = Tensor::randn(&[3, 2, 7, 6], &mut rng);
         let weight = Tensor::randn(&[4, 2, 3, 3], &mut rng);
 
@@ -353,7 +386,14 @@ mod tests {
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
         let mut rng = Rng::seed_from(10);
-        let g = Conv2dGeom { in_channels: 2, in_h: 5, in_w: 5, kernel: 3, stride: 1, padding: 1 };
+        let g = Conv2dGeom {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
         let y = Tensor::randn(&[g.col_rows(), 2 * g.out_h() * g.out_w()], &mut rng);
         let lhs = im2col(&x, &g).dot(&y);

@@ -64,7 +64,10 @@ impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} elements, got {actual}"
+                )
             }
             TensorError::TruncatedWire { context } => {
                 write!(f, "wire buffer truncated while decoding {context}")

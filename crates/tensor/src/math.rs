@@ -15,10 +15,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     }
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -80,7 +80,9 @@ impl BigMagnitude {
 
     /// The binomial coefficient `C(n, k)` as a magnitude.
     pub fn choose(n: u64, k: u64) -> Self {
-        BigMagnitude { log10: log10_choose(n, k) }
+        BigMagnitude {
+            log10: log10_choose(n, k),
+        }
     }
 
     /// The `log10` of the value.
@@ -90,7 +92,9 @@ impl BigMagnitude {
 
     /// Multiplies two magnitudes.
     pub fn times(&self, other: BigMagnitude) -> BigMagnitude {
-        BigMagnitude { log10: self.log10 + other.log10 }
+        BigMagnitude {
+            log10: self.log10 + other.log10,
+        }
     }
 
     /// The value as `f64` if it fits, else `None`.
@@ -125,7 +129,11 @@ mod tests {
         let cases = [(1u64, 1.0f64), (2, 2.0), (5, 120.0), (10, 3_628_800.0)];
         for (n, fact) in cases {
             let got = ln_gamma(n as f64 + 1.0);
-            assert!((got - fact.ln()).abs() < 1e-9, "n={n}: {got} vs {}", fact.ln());
+            assert!(
+                (got - fact.ln()).abs() < 1e-9,
+                "n={n}: {got} vs {}",
+                fact.ln()
+            );
         }
     }
 
@@ -150,7 +158,11 @@ mod tests {
     fn wikitext_search_space_from_paper() {
         // Paper Table 2: WikiText2 at 25% has search space 53130 = C(25, 5).
         let v = log10_choose(25, 5);
-        assert!((10f64.powf(v) - 53_130.0).abs() < 1.0, "got {}", 10f64.powf(v));
+        assert!(
+            (10f64.powf(v) - 53_130.0).abs() < 1.0,
+            "got {}",
+            10f64.powf(v)
+        );
         // 50% → C(30,10) = 30,045,015 ≈ 3.01e7 (paper: 3.01e7).
         let v = log10_choose(30, 10);
         assert!((10f64.powf(v) - 30_045_015.0).abs() < 100.0);
@@ -173,7 +185,11 @@ mod tests {
         assert_eq!(BigMagnitude::choose(25, 5).to_string(), "5.31e4");
         let huge = BigMagnitude::choose(78_400, 28_224);
         // Paper: Imagenette 25% → 9.58e22245.
-        assert!((huge.log10() - 22_245.0).abs() < 5.0, "log10={}", huge.log10());
+        assert!(
+            (huge.log10() - 22_245.0).abs() < 5.0,
+            "log10={}",
+            huge.log10()
+        );
     }
 
     #[test]

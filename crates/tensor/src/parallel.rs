@@ -16,7 +16,9 @@ pub fn threads() -> usize {
     if configured != 0 {
         return configured;
     }
-    std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(1)
 }
 
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
@@ -64,7 +66,11 @@ pub fn parallel_rows_mut<F>(out: &mut [f32], len: usize, row_width: usize, min_c
 where
     F: Fn(usize, usize, &mut [f32]) + Sync,
 {
-    assert_eq!(out.len(), len * row_width, "output slice does not match rows");
+    assert_eq!(
+        out.len(),
+        len * row_width,
+        "output slice does not match rows"
+    );
     let nthreads = threads().min(len / min_chunk.max(1)).max(1);
     if nthreads <= 1 {
         f(0, len, out);

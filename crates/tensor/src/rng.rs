@@ -32,7 +32,9 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        Rng { inner: StdRng::seed_from_u64(seed) }
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator (useful for giving each

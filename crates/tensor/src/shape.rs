@@ -24,7 +24,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimension sizes.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates a scalar (0-dimensional) shape with one element.

@@ -61,7 +61,10 @@ impl Tensor {
     /// A tensor of zeros with the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// A tensor of ones with the given shape.
@@ -72,12 +75,18 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// A 0-dimensional tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::scalar() }
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
     }
 
     /// The `n`×`n` identity matrix.
@@ -108,7 +117,10 @@ impl Tensor {
     pub fn try_from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
         let shape = Shape::new(dims);
         if data.len() != shape.numel() {
-            return Err(TensorError::ShapeMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { data, shape })
     }
@@ -211,7 +223,10 @@ impl Tensor {
             self.shape,
             shape
         );
-        Tensor { data: self.data.clone(), shape }
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
     }
 
     /// In-place reshape (no data copy).
@@ -227,7 +242,10 @@ impl Tensor {
 
     /// Flattens to a 1-D tensor.
     pub fn flatten(&self) -> Tensor {
-        Tensor { data: self.data.clone(), shape: Shape::new(&[self.numel()]) }
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new(&[self.numel()]),
+        }
     }
 
     /// Transpose of a 2-D tensor.
@@ -253,7 +271,10 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -275,8 +296,16 @@ impl Tensor {
             self.shape,
             other.shape
         );
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { data, shape: self.shape.clone() }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
     }
 
     /// Element-wise sum.
@@ -305,7 +334,10 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert!(self.shape.same_as(&other.shape), "add_assign shape mismatch");
+        assert!(
+            self.shape.same_as(&other.shape),
+            "add_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -385,7 +417,11 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.numel(), other.numel(), "dot length mismatch");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Sum over axis 0 of a 2-D tensor, yielding a `[cols]` vector.
@@ -489,7 +525,10 @@ impl Tensor {
     pub fn slice_axis0(&self, start: usize, end: usize) -> Tensor {
         assert!(self.shape.rank() >= 1, "slice_axis0 requires rank >= 1");
         let n0 = self.shape.dim(0);
-        assert!(start <= end && end <= n0, "slice [{start},{end}) out of bounds for axis of size {n0}");
+        assert!(
+            start <= end && end <= n0,
+            "slice [{start},{end}) out of bounds for axis of size {n0}"
+        );
         let row: usize = self.shape.dims()[1..].iter().product();
         let mut dims = self.shape.dims().to_vec();
         dims[0] = end - start;
@@ -502,7 +541,10 @@ impl Tensor {
     ///
     /// Panics if any index is out of bounds.
     pub fn index_select_axis0(&self, indices: &[usize]) -> Tensor {
-        assert!(self.shape.rank() >= 1, "index_select_axis0 requires rank >= 1");
+        assert!(
+            self.shape.rank() >= 1,
+            "index_select_axis0 requires rank >= 1"
+        );
         let n0 = self.shape.dim(0);
         let row: usize = self.shape.dims()[1..].iter().product();
         let mut dims = self.shape.dims().to_vec();
@@ -524,7 +566,11 @@ impl Tensor {
         let data: Vec<f32> = indices
             .iter()
             .map(|&i| {
-                assert!(i < self.data.len(), "flat index {i} out of bounds ({})", self.data.len());
+                assert!(
+                    i < self.data.len(),
+                    "flat index {i} out of bounds ({})",
+                    self.data.len()
+                );
                 self.data[i]
             })
             .collect();
@@ -549,7 +595,10 @@ impl Tensor {
     ///
     /// Panics if `parts` is empty or trailing dimensions disagree.
     pub fn concat_axis0(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "concat_axis0 requires at least one tensor");
+        assert!(
+            !parts.is_empty(),
+            "concat_axis0 requires at least one tensor"
+        );
         let tail = &parts[0].dims()[1..];
         let mut total = 0usize;
         for p in parts {
@@ -571,7 +620,10 @@ impl Tensor {
     ///
     /// Panics if `parts` is empty, any part is not 2-D, or row counts differ.
     pub fn concat_axis1(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "concat_axis1 requires at least one tensor");
+        assert!(
+            !parts.is_empty(),
+            "concat_axis1 requires at least one tensor"
+        );
         let m = parts[0].dims()[0];
         let mut total_cols = 0usize;
         for p in parts {
@@ -680,7 +732,13 @@ mod tests {
     #[test]
     fn try_from_vec_rejects_bad_length() {
         let err = Tensor::try_from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
-        assert_eq!(err, TensorError::ShapeMismatch { expected: 6, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::ShapeMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
     }
 
     #[test]

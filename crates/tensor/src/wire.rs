@@ -18,7 +18,9 @@ pub struct Writer {
 impl Writer {
     /// A fresh empty writer.
     pub fn new() -> Self {
-        Writer { buf: BytesMut::new() }
+        Writer {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Appends a `u8`.
@@ -52,6 +54,15 @@ impl Writer {
         self.buf.put_slice(s.as_bytes());
     }
 
+    /// Appends a `u32`-length-prefixed byte blob in one bulk copy.
+    ///
+    /// Wire-compatible with a `put_u32(len)` followed by `len` `put_u8`
+    /// calls, but O(len) memcpy instead of a byte-at-a-time loop.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.buf.put_slice(bytes);
+    }
+
     /// Appends a length-prefixed list of `usize` (as u64).
     pub fn put_usize_list(&mut self, xs: &[usize]) {
         self.put_u32(xs.len() as u32);
@@ -60,13 +71,17 @@ impl Writer {
         }
     }
 
-    /// Appends a tensor: rank, dims, then raw f32 payload.
+    /// Appends a tensor: rank, dims, then raw f32 payload (staged into one
+    /// exact-size buffer so the payload lands with a single bulk append).
     pub fn put_tensor(&mut self, t: &Tensor) {
         self.put_usize_list(t.dims());
         self.put_u64(t.numel() as u64);
-        for &v in t.data() {
-            self.buf.put_f32_le(v);
+        let data = t.data();
+        let mut raw = vec![0u8; data.len() * 4];
+        for (dst, &v) in raw.chunks_exact_mut(4).zip(data) {
+            dst.copy_from_slice(&v.to_le_bytes());
         }
+        self.buf.put_slice(&raw);
     }
 
     /// Finishes, returning the immutable byte buffer.
@@ -165,8 +180,21 @@ impl Reader {
         let len = self.get_u32()? as usize;
         self.need(len, "string payload")?;
         let bytes = self.buf.copy_to_bytes(len);
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| TensorError::MalformedWire { context: "string is not valid UTF-8" })
+        String::from_utf8(bytes.to_vec()).map_err(|_| TensorError::MalformedWire {
+            context: "string is not valid UTF-8",
+        })
+    }
+
+    /// Reads a blob written by [`Writer::put_bytes`] without copying (the
+    /// returned [`Bytes`] shares the reader's buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    pub fn get_bytes(&mut self) -> Result<Bytes, TensorError> {
+        let len = self.get_u32()? as usize;
+        self.need(len, "byte blob")?;
+        Ok(self.buf.copy_to_bytes(len))
     }
 
     /// Reads a length-prefixed list of `usize`.
@@ -195,15 +223,23 @@ impl Reader {
         let n = self.get_u64()? as usize;
         let shape = Shape::new(&dims);
         if shape.numel() != n {
-            return Err(TensorError::MalformedWire { context: "tensor element count mismatch" });
+            return Err(TensorError::MalformedWire {
+                context: "tensor element count mismatch",
+            });
         }
-        self.need(n * 4, "tensor payload")?;
+        // Attacker-chosen counts must not overflow the byte-length math.
+        let byte_len = n.checked_mul(4).ok_or(TensorError::MalformedWire {
+            context: "tensor element count overflow",
+        })?;
+        self.need(byte_len, "tensor payload")?;
+        let raw = self.buf.copy_to_bytes(byte_len);
         let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            data.push(self.buf.get_f32_le());
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes(chunk.try_into().expect("4-byte chunk")));
         }
-        Tensor::try_from_vec(data, &dims)
-            .map_err(|_| TensorError::MalformedWire { context: "tensor shape mismatch" })
+        Tensor::try_from_vec(data, &dims).map_err(|_| TensorError::MalformedWire {
+            context: "tensor shape mismatch",
+        })
     }
 
     /// Bytes remaining unread.
@@ -254,7 +290,10 @@ mod tests {
         w.put_u64(99);
         let bytes = w.finish();
         let mut r = Reader::new(bytes.slice(0..4));
-        assert_eq!(r.get_u64().unwrap_err(), TensorError::TruncatedWire { context: "u64" });
+        assert_eq!(
+            r.get_u64().unwrap_err(),
+            TensorError::TruncatedWire { context: "u64" }
+        );
     }
 
     #[test]
@@ -266,7 +305,59 @@ mod tests {
         w.put_f32(0.0);
         w.put_f32(0.0);
         let mut r = Reader::new(w.finish());
-        assert!(matches!(r.get_tensor(), Err(TensorError::MalformedWire { .. })));
+        assert!(matches!(
+            r.get_tensor(),
+            Err(TensorError::MalformedWire { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip_matches_byte_at_a_time() {
+        let blob: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        // Bulk writer…
+        let mut bulk = Writer::new();
+        bulk.put_bytes(&blob);
+        // …must be bitwise identical to the legacy byte loop.
+        let mut loopw = Writer::new();
+        loopw.put_u32(blob.len() as u32);
+        for &b in &blob {
+            loopw.put_u8(b);
+        }
+        let bulk_bytes = bulk.finish();
+        assert_eq!(bulk_bytes, loopw.finish());
+        let mut r = Reader::new(bulk_bytes);
+        assert_eq!(r.get_bytes().unwrap().to_vec(), blob);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_bulk_bytes_error() {
+        let mut w = Writer::new();
+        w.put_bytes(b"hello");
+        let bytes = w.finish();
+        let mut r = Reader::new(bytes.slice(0..6));
+        assert_eq!(
+            r.get_bytes().unwrap_err(),
+            TensorError::TruncatedWire {
+                context: "byte blob"
+            }
+        );
+    }
+
+    #[test]
+    fn huge_claimed_tensor_count_is_malformed_not_a_panic() {
+        // An adversarial header claiming 2^62 elements must fail cleanly:
+        // 2^62 * 4 overflows the byte-length math if left unchecked.
+        let mut w = Writer::new();
+        w.put_usize_list(&[1usize << 62]);
+        w.put_u64(1u64 << 62);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(
+            r.get_tensor().unwrap_err(),
+            TensorError::MalformedWire {
+                context: "tensor element count overflow"
+            }
+        );
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! boundary, train it remotely, and verify what the adversary saw.
 //!
 //! This is the paper's Figure 1 workflow end to end, with a curious observer
-//! standing in for the honest-but-curious provider.
+//! standing in for the honest-but-curious provider — wired in as the
+//! service's observer middleware layer, beneath decode and validation and
+//! above the trainer (see the `amalgam::cloud` docs for the stack diagram).
 //!
 //! Run with: `cargo run --release --example cloud_roundtrip`
 
-use amalgam::cloud::{CloudJob, CloudObserver, CloudService, TaskPayload};
+use amalgam::cloud::{CloudObserver, CloudService};
 use amalgam::core::trainer::evaluate_image_classifier;
 use amalgam::nn::graph::{GraphModel, Provenance};
 use amalgam::prelude::*;
@@ -20,6 +22,7 @@ struct CuriousProvider {
     params_seen: usize,
     provenance_leaks: usize,
     batches: usize,
+    results_seen: usize,
 }
 
 impl CloudObserver for CuriousProvider {
@@ -35,6 +38,10 @@ impl CloudObserver for CuriousProvider {
 
     fn on_batch(&mut self, _inputs: &Tensor, _labels: &[usize]) {
         self.batches += 1;
+    }
+
+    fn on_result(&mut self, _result: &JobResult) {
+        self.results_seen += 1;
     }
 }
 
@@ -57,32 +64,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             val_inputs: Some(bundle.augmented_test.images().clone()),
             val_labels: bundle.augmented_test.labels().to_vec(),
         },
-        train: TrainConfig::new(3, 32, 0.03).with_momentum(0.9).with_seed(11),
+        train: TrainConfig::new(3, 32, 0.03)
+            .with_momentum(0.9)
+            .with_seed(11),
     };
 
-    // Cloud side: a service with an attached curious observer.
+    // Cloud side: a two-worker pool with an attached curious observer and
+    // admission control, all composed as middleware.
     let observer = Arc::new(Mutex::new(CuriousProvider::default()));
-    let service = CloudService::start_with_observer(observer.clone());
+    let service = CloudService::builder()
+        .workers(2)
+        .observer(observer.clone())
+        .max_queue_depth(64)
+        .build();
     let result = service.client().train(&job)?;
-    service.shutdown();
 
     println!(
-        "uploaded {} KiB, downloaded {} KiB",
+        "uploaded {} KiB, downloaded {} KiB (job #{})",
         result.bytes_received / 1024,
-        result.bytes_sent / 1024
+        result.bytes_sent / 1024,
+        result.job_id,
     );
     println!(
         "cloud trained for {:.2}s over {} epochs",
         result.train_seconds,
         result.history.epochs()
     );
+    let stats = service.stats();
+    println!(
+        "service telemetry: {} submitted / {} completed, mean {:.2}s/job, {:.2} jobs/s, {} B in / {} B out",
+        stats.jobs_submitted,
+        stats.jobs_completed,
+        stats.mean_job_seconds,
+        stats.jobs_per_second,
+        stats.bytes_received,
+        stats.bytes_sent,
+    );
+    service.shutdown();
     {
         let view = observer.lock();
         println!(
-            "the provider saw {} nodes / {} params / {} batches — and {} provenance leaks",
-            view.nodes_seen, view.params_seen, view.batches, view.provenance_leaks
+            "the provider saw {} nodes / {} params / {} batches / {} results — and {} provenance leaks",
+            view.nodes_seen, view.params_seen, view.batches, view.results_seen, view.provenance_leaks
         );
-        assert_eq!(view.provenance_leaks, 0, "the wire must not reveal sub-network identity");
+        assert_eq!(
+            view.provenance_leaks, 0,
+            "the wire must not reveal sub-network identity"
+        );
     }
 
     // Client side: decode, extract, validate on the original test data.
@@ -90,6 +118,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extracted = Amalgam::extract(&trained, &model, &bundle.secrets)?;
     let mut clean = extracted.model;
     let (_, acc) = evaluate_image_classifier(&mut clean, &data.test, 0, 32);
-    println!("extracted model accuracy on original test set: {:.1}%", acc * 100.0);
+    println!(
+        "extracted model accuracy on original test set: {:.1}%",
+        acc * 100.0
+    );
     Ok(())
 }

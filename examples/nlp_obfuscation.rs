@@ -55,6 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extracted = amalgam::core::extract(&aug_model, &model, &secrets)?;
     let mut clean = extracted.model;
     let (_, acc) = test.evaluate(&mut clean, 0, 32);
-    println!("extracted model on original test documents: {:.1}%", acc * 100.0);
+    println!(
+        "extracted model on original test documents: {:.1}%",
+        acc * 100.0
+    );
     Ok(())
 }

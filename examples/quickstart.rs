@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // "Cloud" training (Algorithm 1): every head gets its own loss.
     let mut augmented = bundle.augmented_model;
-    let tc = TrainConfig::new(4, 32, 0.03).with_momentum(0.9).with_seed(7);
+    let tc = TrainConfig::new(4, 32, 0.03)
+        .with_momentum(0.9)
+        .with_seed(7);
     let history = train_image_classifier(
         &mut augmented,
         &bundle.augmented_train,
@@ -55,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("extraction took {:.2} ms", extracted.seconds * 1e3);
     let mut clean = extracted.model;
     let (loss, acc) = evaluate_image_classifier(&mut clean, &data.test, 0, 32);
-    println!("extracted model on ORIGINAL test set: loss {loss:.3}, acc {:.1}%", acc * 100.0);
+    println!(
+        "extracted model on ORIGINAL test set: loss {loss:.3}, acc {:.1}%",
+        acc * 100.0
+    );
     Ok(())
 }

@@ -24,7 +24,9 @@
 //!   a text classifier and a transformer language model,
 //! * [`core`] — the Amalgam contribution: dataset/model augmenters, masked
 //!   layers, the extractor, Algorithm-1 trainer and privacy math,
-//! * [`cloud`] — the simulated untrusted training service,
+//! * [`cloud`] — the simulated untrusted training service: a composable
+//!   middleware pipeline (decode/validate/observe/metrics/admission/panic
+//!   layers) over a multi-worker scheduler,
 //! * [`attacks`] — DLG/iDLG, KernelSHAP, denoising and brute-force analyses,
 //! * [`baselines`] — vanilla, MPC, HE, DISCO-like and TEE/CPU comparators.
 //!
@@ -59,6 +61,9 @@ pub use amalgam_tensor as tensor;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
+    pub use amalgam_cloud::{
+        CloudClient, CloudError, CloudJob, CloudService, JobResult, ServiceStats, TaskPayload,
+    };
     pub use amalgam_core::{
         Amalgam, AugmentationAmount, NoiseKind, ObfuscationConfig, TrainConfig,
     };

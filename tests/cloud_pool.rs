@@ -1,0 +1,112 @@
+//! Integration tests of the cloud's middleware pipeline and worker pool
+//! through the public facade: concurrent clients, pool scaling, admission
+//! control and telemetry.
+
+use amalgam::cloud::{CloudService, RecordingObserver};
+use amalgam::prelude::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn tiny_job(seed: u64) -> CloudJob {
+    let mut rng = Rng::seed_from(40 + seed);
+    let model = amalgam::models::lenet5(1, 8, 2, &mut rng);
+    let inputs = Tensor::randn(&[8, 1, 8, 8], &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+    CloudJob {
+        model: model.to_bytes(),
+        task: TaskPayload::Classification {
+            inputs,
+            labels,
+            val_inputs: None,
+            val_labels: vec![],
+        },
+        train: TrainConfig::new(1, 4, 0.05).with_seed(seed),
+    }
+}
+
+/// Concurrent cloned clients against a 2-worker pool: every job completes,
+/// every result carries its own job's id, shutdown with traffic in flight
+/// does not deadlock, and the telemetry adds up.
+#[test]
+fn parallel_clients_on_a_two_worker_pool() {
+    let service = CloudService::builder().workers(2).build();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let client = service.client();
+            std::thread::spawn(move || {
+                (0..3u64)
+                    .map(|j| {
+                        let job = tiny_job(t * 10 + j);
+                        let handle = client.submit(&job).expect("submit");
+                        let id = handle.id();
+                        let result = handle.wait().expect("train");
+                        assert_eq!(result.job_id, id, "result crossed between handles");
+                        assert_eq!(result.history.epochs(), 1);
+                        result.job_id
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut ids: Vec<u64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..12).collect::<Vec<u64>>(),
+        "job ids must be unique and dense"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.jobs_submitted, 12);
+    assert_eq!(stats.jobs_completed, 12);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.jobs_per_second > 0.0);
+    service.shutdown();
+}
+
+/// A pool observer sees the traffic of every worker, serialized by its
+/// mutex: counts add up across concurrent jobs.
+#[test]
+fn shared_observer_counts_all_pool_traffic() {
+    let observer = Arc::new(Mutex::new(RecordingObserver::new()));
+    let service = CloudService::builder()
+        .workers(3)
+        .observer(observer.clone())
+        .build();
+    let client = service.client();
+    let handles: Vec<_> = (0..6)
+        .map(|s| client.submit(&tiny_job(s)).unwrap())
+        .collect();
+    for handle in handles {
+        handle.wait().unwrap();
+    }
+    service.shutdown();
+    let rec = observer.lock();
+    // 6 jobs × (8 samples / batch 4) = 12 batches and steps, 6 results.
+    assert_eq!(rec.batches, 12);
+    assert_eq!(rec.steps, 12);
+    assert_eq!(rec.results, 6);
+}
+
+/// Shutdown with jobs still queued drains them: every handle gets a real
+/// answer, not a dropped channel.
+#[test]
+fn graceful_shutdown_answers_queued_jobs() {
+    let service = CloudService::builder().workers(1).build();
+    let client = service.client();
+    let handles: Vec<_> = (0..5)
+        .map(|s| client.submit(&tiny_job(s)).unwrap())
+        .collect();
+    service.shutdown();
+    for handle in handles {
+        handle.wait().expect("job dropped during graceful shutdown");
+    }
+    // The pool is gone: new submissions fail cleanly.
+    assert!(matches!(
+        client.submit(&tiny_job(9)),
+        Err(CloudError::ServiceUnavailable)
+    ));
+}

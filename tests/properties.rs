@@ -1,8 +1,6 @@
 //! Property-based tests over the core invariants, via proptest.
 
-use amalgam::core::{
-    augment_images, deaugment_images, ImagePlan, NoiseKind, TextPlan,
-};
+use amalgam::core::{augment_images, deaugment_images, ImagePlan, NoiseKind, TextPlan};
 use amalgam::data::ImageDataset;
 use amalgam::prelude::*;
 use proptest::prelude::*;

@@ -23,16 +23,21 @@ fn tiny_setup(seed: u64) -> (GraphModel, amalgam::data::ImagePair) {
 #[test]
 fn training_equivalence_is_bit_exact() {
     let (model, data) = tiny_setup(1);
-    let tc = TrainConfig::new(2, 16, 0.05).with_momentum(0.9).with_seed(5);
+    let tc = TrainConfig::new(2, 16, 0.05)
+        .with_momentum(0.9)
+        .with_seed(5);
 
     // Vanilla run.
     let mut vanilla = model.clone();
     train_image_classifier(&mut vanilla, &data.train, None, 0, &tc);
 
     // Obfuscated run with identical seeds.
-    let bundle =
-        Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(0.5).with_seed(9).with_subnets(2))
-            .expect("obfuscation");
+    let bundle = Amalgam::obfuscate(
+        &model,
+        &data,
+        &ObfuscationConfig::new(0.5).with_seed(9).with_subnets(2),
+    )
+    .expect("obfuscation");
     let mut augmented = bundle.augmented_model;
     train_image_classifier(
         &mut augmented,
@@ -43,7 +48,11 @@ fn training_equivalence_is_bit_exact() {
     );
     let extracted = Amalgam::extract(&augmented, &model, &bundle.secrets).expect("extraction");
 
-    for ((n1, t1), (n2, t2)) in vanilla.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+    for ((n1, t1), (n2, t2)) in vanilla
+        .state_dict()
+        .iter()
+        .zip(extracted.model.state_dict().iter())
+    {
         assert_eq!(n1, n2);
         assert_eq!(t1.data(), t2.data(), "weight trajectory diverged at {n1}");
     }
@@ -54,10 +63,15 @@ fn training_equivalence_is_bit_exact() {
 #[test]
 fn extracted_model_matches_augmented_head_metrics() {
     let (model, data) = tiny_setup(2);
-    let tc = TrainConfig::new(2, 16, 0.05).with_momentum(0.9).with_seed(3);
-    let bundle =
-        Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(1.0).with_seed(4).with_subnets(3))
-            .expect("obfuscation");
+    let tc = TrainConfig::new(2, 16, 0.05)
+        .with_momentum(0.9)
+        .with_seed(3);
+    let bundle = Amalgam::obfuscate(
+        &model,
+        &data,
+        &ObfuscationConfig::new(1.0).with_seed(4).with_subnets(3),
+    )
+    .expect("obfuscation");
     let mut augmented = bundle.augmented_model;
     train_image_classifier(
         &mut augmented,
@@ -78,8 +92,14 @@ fn extracted_model_matches_augmented_head_metrics() {
     let extracted = Amalgam::extract(&augmented, &model, &bundle.secrets).expect("extraction");
     let mut clean = extracted.model;
     let (ex_loss, ex_acc) = evaluate_image_classifier(&mut clean, &data.test, 0, 16);
-    assert!((aug_loss - ex_loss).abs() < 1e-5, "loss differs: {aug_loss} vs {ex_loss}");
-    assert!((aug_acc - ex_acc).abs() < 1e-6, "accuracy differs: {aug_acc} vs {ex_acc}");
+    assert!(
+        (aug_loss - ex_loss).abs() < 1e-5,
+        "loss differs: {aug_loss} vs {ex_loss}"
+    );
+    assert!(
+        (aug_acc - ex_acc).abs() < 1e-6,
+        "accuracy differs: {aug_acc} vs {ex_acc}"
+    );
 }
 
 /// The full cloud workflow: serialize → remote train → deserialize → extract.
@@ -87,9 +107,12 @@ fn extracted_model_matches_augmented_head_metrics() {
 fn cloud_roundtrip_preserves_equivalence() {
     let (model, data) = tiny_setup(3);
     let tc = TrainConfig::new(1, 16, 0.05).with_seed(8);
-    let bundle =
-        Amalgam::obfuscate(&model, &data, &ObfuscationConfig::new(0.5).with_seed(6).with_subnets(2))
-            .expect("obfuscation");
+    let bundle = Amalgam::obfuscate(
+        &model,
+        &data,
+        &ObfuscationConfig::new(0.5).with_seed(6).with_subnets(2),
+    )
+    .expect("obfuscation");
 
     let job = CloudJob {
         model: bundle.augmented_model.to_bytes(),
@@ -110,7 +133,11 @@ fn cloud_roundtrip_preserves_equivalence() {
     // Reference: the same training done locally.
     let mut local = model.clone();
     train_image_classifier(&mut local, &data.train, None, 0, &tc);
-    for ((n1, t1), (n2, t2)) in local.state_dict().iter().zip(extracted.model.state_dict().iter()) {
+    for ((n1, t1), (n2, t2)) in local
+        .state_dict()
+        .iter()
+        .zip(extracted.model.state_dict().iter())
+    {
         assert_eq!(n1, n2);
         assert_eq!(t1.data(), t2.data(), "cloud path diverged at {n1}");
     }
@@ -146,7 +173,11 @@ fn every_cv_family_roundtrips() {
         );
         let extracted = Amalgam::extract(&augmented, &model, &bundle.secrets)
             .unwrap_or_else(|e| panic!("{family}: {e}"));
-        assert_eq!(extracted.model.param_count(), model.param_count(), "{family}");
+        assert_eq!(
+            extracted.model.param_count(),
+            model.param_count(),
+            "{family}"
+        );
     }
 }
 
@@ -176,7 +207,10 @@ fn cloud_view_hides_the_secrets() {
             );
         }
     }
-    assert!(positions.len() > 1, "original head position is not shuffled across seeds");
+    assert!(
+        positions.len() > 1,
+        "original head position is not shuffled across seeds"
+    );
 }
 
 /// Augmentation amounts drive monotone parameter growth (Table 3's trend).
@@ -188,7 +222,9 @@ fn parameter_growth_is_monotone_in_amount() {
         let bundle = Amalgam::obfuscate(
             &model,
             &data,
-            &ObfuscationConfig::new(amount).with_seed(7 + i as u64).with_subnets(2),
+            &ObfuscationConfig::new(amount)
+                .with_seed(7 + i as u64)
+                .with_subnets(2),
         )
         .expect("obfuscation");
         let params = bundle.augmented_model.param_count();

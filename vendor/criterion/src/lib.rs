@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Benchmarks written against the real crate's macro/API shape
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`) run here as simple wall-clock
+//! timings: a short warmup, then batched measurement for a fixed budget,
+//! reporting mean ns/iter. No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the iteration loop of one benchmark and records the timing.
+pub struct Bencher {
+    budget: Duration,
+    warmup: Duration,
+    stats: Option<BenchStats>,
+}
+
+impl Bencher {
+    /// Times `f`: a short warmup, then batched measurement for the budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_end = Instant::now() + self.warmup;
+        let mut warmed: u64 = 0;
+        while Instant::now() < warmup_end || warmed == 0 {
+            black_box(f());
+            warmed += 1;
+        }
+        let mut total = Duration::ZERO;
+        let mut measured: u64 = 0;
+        while total < self.budget {
+            let t0 = Instant::now();
+            black_box(f());
+            total += t0.elapsed();
+            measured += 1;
+        }
+        self.stats = Some(BenchStats {
+            iters: measured,
+            total,
+        });
+    }
+}
+
+/// Raw timing result of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Measured iterations.
+    pub iters: u64,
+    /// Total measured wall-clock time.
+    pub total: Duration,
+}
+
+impl BenchStats {
+    fn report(&self, label: &str) {
+        let ns = self.total.as_nanos() as f64 / self.iters.max(1) as f64;
+        let per_sec = if ns > 0.0 { 1e9 / ns } else { f64::INFINITY };
+        println!(
+            "bench {label:<44} {ns:>14.1} ns/iter  ({per_sec:>12.1} iters/s, n={})",
+            self.iters
+        );
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        budget,
+        warmup: budget / 5,
+        stats: None,
+    };
+    f(&mut b);
+    match b.stats {
+        Some(s) => s.report(label),
+        None => println!("bench {label:<44} (no iter call)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep the whole suite fast; override with CRITERION_BUDGET_MS.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(name, self.budget, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.budget, |b| f(b, input));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.budget, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; matches the real API).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let mut group = c.benchmark_group("grouped");
+        group.bench_with_input(BenchmarkId::from_parameter(32), &32usize, |b, &n| {
+            b.iter(|| (0..n as u64).product::<u64>());
+        });
+        group.finish();
+    }
+}
