@@ -1,14 +1,23 @@
 //! Criterion micro-benchmarks for the compute kernels that dominate
 //! training time (context for the wall-clock numbers in the tables).
+//!
+//! The `matmul` group sweeps square shapes from the pool-skipping small path
+//! (32) through multi-block sizes (512); `matmul_ikj_reference` benches the
+//! seed's naive kernel on the same shapes so the blocked-GEMM speedup is
+//! directly visible in one report. `matmul_conv_shapes` covers the skinny
+//! `[oc, c*k*k] @ [c*k*k, N*oh*ow]` products that convolution lowers to.
 
-use amalgam_tensor::kernels::{im2col, matmul, Conv2dGeom};
-use amalgam_tensor::{Rng, Tensor};
+use amalgam_bench::matmul_ikj_reference as matmul_ikj;
+use amalgam_tensor::kernels::{im2col, matmul, matmul_nt, matmul_tn, Conv2dGeom};
+use amalgam_tensor::{parallel, Rng, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_matmul(c: &mut Criterion) {
+    // Single-threaded so the numbers measure kernel quality, not core count.
+    parallel::set_threads(1);
     let mut group = c.benchmark_group("matmul");
     let mut rng = Rng::seed_from(0);
-    for &n in &[32usize, 64, 128] {
+    for &n in &[32usize, 64, 128, 256, 512] {
         let a = Tensor::randn(&[n, n], &mut rng);
         let b = Tensor::randn(&[n, n], &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
@@ -16,6 +25,58 @@ fn bench_matmul(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    let mut group = c.benchmark_group("matmul_ikj_reference");
+    let mut rng = Rng::seed_from(0);
+    for &n in &[32usize, 256] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul_ikj(&a, &b));
+        });
+    }
+    group.finish();
+    parallel::set_threads(0);
+}
+
+fn bench_matmul_transposed(c: &mut Criterion) {
+    parallel::set_threads(1);
+    let mut group = c.benchmark_group("matmul_transposed_256");
+    let mut rng = Rng::seed_from(3);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    group.bench_function("tn", |bch| {
+        bch.iter(|| matmul_tn(&a, &b));
+    });
+    group.bench_function("nt", |bch| {
+        bch.iter(|| matmul_nt(&a, &b));
+    });
+    group.finish();
+    parallel::set_threads(0);
+}
+
+fn bench_matmul_conv_shapes(c: &mut Criterion) {
+    // The skinny products conv layers lower to: [oc, c*k*k] @ [c*k*k, N*oh*ow].
+    parallel::set_threads(1);
+    let mut group = c.benchmark_group("matmul_conv_shapes");
+    let mut rng = Rng::seed_from(4);
+    for &(m, k, n) in &[
+        (64usize, 576usize, 3136usize),
+        (32, 288, 6272),
+        (128, 1152, 784),
+    ] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &m,
+            |bch, _| {
+                bch.iter(|| matmul(&a, &b));
+            },
+        );
+    }
+    group.finish();
+    parallel::set_threads(0);
 }
 
 fn bench_im2col(c: &mut Criterion) {
@@ -56,5 +117,12 @@ fn bench_masked_gather(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_im2col, bench_masked_gather);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_transposed,
+    bench_matmul_conv_shapes,
+    bench_im2col,
+    bench_masked_gather
+);
 criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Quick kernel-regression smoke: times the blocked GEMM against the seed's
+//! naive `ikj` kernel and emits a `BENCH_kernels.json` baseline.
+//!
+//! ```text
+//! kernels-quick [--out DIR] [--check]
+//! ```
+//!
+//! `--check` turns the run into a pass/fail gate (used by CI): it fails if
+//! the blocked GEMM is not clearly faster than the `ikj` reference on the
+//! 256³ shape, or if the small-shape fast path regresses, or if any variant
+//! diverges from the reference numerically.
+
+use amalgam_bench::matmul_ikj_reference as matmul_ikj;
+use amalgam_tensor::kernels;
+use amalgam_tensor::{parallel, Rng, Tensor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<F: FnMut() -> Tensor>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0f32;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        sink += out.data()[0];
+        best = best.min(elapsed);
+    }
+    // Keep the accumulated value observable so the timed calls cannot be
+    // optimized away.
+    if sink.is_nan() {
+        eprintln!("sink {sink}");
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    ikj_ms: Option<f64>,
+    gemm_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from(".");
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_dir = it.next().expect("--out requires a directory").clone(),
+            "--check" => check = true,
+            other => panic!("unknown option {other} (usage: kernels-quick [--out DIR] [--check])"),
+        }
+    }
+
+    // Single-threaded: the acceptance criterion is a per-core speedup, and
+    // CI runners have unpredictable core counts.
+    parallel::set_threads(1);
+    let mut rng = Rng::seed_from(42);
+
+    let mut entries = Vec::new();
+    let mut failures = Vec::new();
+
+    // 256³ — the headline shape.
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    let reference = matmul_ikj(&a, &b);
+    let blocked = kernels::matmul(&a, &b);
+    if !blocked.approx_eq(&reference, 1e-3) {
+        failures.push("matmul 256³ diverges from ikj reference".to_string());
+    }
+    let ikj_ms = time_ms(5, || matmul_ikj(&a, &b));
+    let gemm_ms = time_ms(5, || kernels::matmul(&a, &b));
+    let speedup = ikj_ms / gemm_ms;
+    entries.push(Entry {
+        name: "matmul_256",
+        ikj_ms: Some(ikj_ms),
+        gemm_ms,
+    });
+    // Loose threshold: locally the blocked kernel is ≥ 2x; noisy shared CI
+    // runners get headroom, but a real regression (blocked ≈ naive) still
+    // fails loudly.
+    if speedup < 1.2 {
+        failures.push(format!(
+            "blocked GEMM only {speedup:.2}x faster than ikj at 256³ (want ≥ 1.2x in CI, ≥ 2x locally)"
+        ));
+    }
+
+    // 32³ — must not regress (this shape skips packing and the pool).
+    let a32 = Tensor::randn(&[32, 32], &mut rng);
+    let b32 = Tensor::randn(&[32, 32], &mut rng);
+    let ikj32 = time_ms(200, || matmul_ikj(&a32, &b32));
+    let gemm32 = time_ms(200, || kernels::matmul(&a32, &b32));
+    entries.push(Entry {
+        name: "matmul_32",
+        ikj_ms: Some(ikj32),
+        gemm_ms: gemm32,
+    });
+    // Loose bound (parity locally): only a gross regression — e.g. the small
+    // path accidentally routing through packing or the pool — trips it.
+    if gemm32 > ikj32 * 2.5 {
+        failures.push(format!(
+            "small-shape path regressed: {gemm32:.4} ms vs ikj {ikj32:.4} ms at 32³"
+        ));
+    }
+
+    // Transposed variants at 256³ (correctness + timing only).
+    let t_tn = time_ms(5, || kernels::matmul_tn(&a, &b));
+    entries.push(Entry {
+        name: "matmul_tn_256",
+        ikj_ms: None,
+        gemm_ms: t_tn,
+    });
+    let t_nt = time_ms(5, || kernels::matmul_nt(&a, &b));
+    entries.push(Entry {
+        name: "matmul_nt_256",
+        ikj_ms: None,
+        gemm_ms: t_nt,
+    });
+
+    // Conv-shaped skinny product: [64, 576] @ [576, 3136]
+    // (an 8-image 32×32 conv layer with 64 output channels).
+    let wmat = Tensor::randn(&[64, 576], &mut rng);
+    let cols = Tensor::randn(&[576, 3136], &mut rng);
+    let conv_ikj = time_ms(5, || matmul_ikj(&wmat, &cols));
+    let conv_gemm = time_ms(5, || kernels::matmul(&wmat, &cols));
+    entries.push(Entry {
+        name: "matmul_conv_64x576x3136",
+        ikj_ms: Some(conv_ikj),
+        gemm_ms: conv_gemm,
+    });
+
+    parallel::set_threads(0);
+
+    let mut json = String::from("{\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(json, "  \"{}\": {{", e.name);
+        if let Some(ikj) = e.ikj_ms {
+            let _ = write!(
+                json,
+                "\"ikj_ms\": {:.4}, \"gemm_ms\": {:.4}, \"speedup\": {:.3}",
+                ikj,
+                e.gemm_ms,
+                ikj / e.gemm_ms
+            );
+        } else {
+            let _ = write!(json, "\"gemm_ms\": {:.4}", e.gemm_ms);
+        }
+        json.push('}');
+        if i + 1 < entries.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("}\n");
+
+    let path = format!("{out_dir}/BENCH_kernels.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    print!("{json}");
+    println!("wrote {path} (256³ speedup: {speedup:.2}x)");
+
+    if check && !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

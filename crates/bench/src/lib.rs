@@ -23,6 +23,35 @@ pub enum Scale {
     Full,
 }
 
+/// The seed repository's single-threaded `ikj` matmul, kept verbatim as the
+/// speedup baseline for the blocked GEMM (used by `benches/kernels.rs` and
+/// the `kernels-quick` CI smoke binary — one copy so the two gates cannot
+/// drift apart).
+pub fn matmul_ikj_reference(
+    a: &amalgam_tensor::Tensor,
+    b: &amalgam_tensor::Tensor,
+) -> amalgam_tensor::Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = amalgam_tensor::Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let crow = &mut od[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    out
+}
+
 /// Harness options parsed from the command line.
 #[derive(Debug, Clone)]
 pub struct Options {

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::spec::LayerSpec;
-use amalgam_tensor::{Rng, Tensor};
+use amalgam_tensor::{kernels, scratch, Rng, Tensor};
 
 /// Multi-head scaled-dot-product self-attention over `[B, T, D]`.
 ///
@@ -30,10 +30,12 @@ struct AttnCache {
     bt: (usize, usize),
 }
 
-/// Copies columns `[c0, c1)` of an `[rows, d]` matrix slice into `[rows, c1-c0]`.
+/// Copies columns `[c0, c1)` of an `[rows, d]` matrix slice into a
+/// scratch-backed `[rows, c1-c0]` staging tensor (return with
+/// [`scratch::give_tensor`] when done).
 fn take_cols(data: &[f32], rows: usize, d: usize, c0: usize, c1: usize) -> Tensor {
     let w = c1 - c0;
-    let mut out = Tensor::zeros(&[rows, w]);
+    let mut out = scratch::take_tensor_raw(&[rows, w]);
     for r in 0..rows {
         out.data_mut()[r * w..(r + 1) * w].copy_from_slice(&data[r * d + c0..r * d + c1]);
     }
@@ -136,11 +138,14 @@ impl Layer for MultiHeadSelfAttention {
         let alpha = 1.0 / (dh as f32).sqrt();
 
         let x2d = x.reshape(&[b * t, d]);
-        let q = x2d.matmul(&self.wq.value);
-        let k = x2d.matmul(&self.wk.value);
-        let v = x2d.matmul(&self.wv.value);
+        let mut q = scratch::take_tensor_raw(&[b * t, d]);
+        kernels::matmul_into(&x2d, &self.wq.value, &mut q);
+        let mut k = scratch::take_tensor_raw(&[b * t, d]);
+        kernels::matmul_into(&x2d, &self.wk.value, &mut k);
+        let mut v = scratch::take_tensor_raw(&[b * t, d]);
+        kernels::matmul_into(&x2d, &self.wv.value, &mut v);
 
-        let mut o = Tensor::zeros(&[b * t, d]);
+        let mut o = scratch::take_tensor(&[b * t, d]);
         let mut probs = Vec::with_capacity(b * h);
         for bi in 0..b {
             let row0 = bi * t;
@@ -149,7 +154,9 @@ impl Layer for MultiHeadSelfAttention {
                 let qh = take_cols(&q.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
                 let kh = take_cols(&k.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
                 let vh = take_cols(&v.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
-                let mut s = qh.matmul_nt(&kh).scale(alpha); // [T, T]
+                let mut s = scratch::take_tensor_raw(&[t, t]);
+                kernels::matmul_nt_into(&qh, &kh, &mut s);
+                s.scale_in_place(alpha);
                 if self.causal {
                     for i in 0..t {
                         for j in (i + 1)..t {
@@ -158,7 +165,8 @@ impl Layer for MultiHeadSelfAttention {
                     }
                 }
                 let p = s.softmax_rows();
-                let oh = p.matmul(&vh); // [T, dh]
+                let mut oh = scratch::take_tensor_raw(&[t, dh]);
+                kernels::matmul_into(&p, &vh, &mut oh); // [T, dh]
                 add_cols(
                     &mut o.data_mut()[row0 * d..(row0 + t) * d],
                     t,
@@ -167,10 +175,15 @@ impl Layer for MultiHeadSelfAttention {
                     c1,
                     &oh,
                 );
+                scratch::give_tensor(oh);
+                scratch::give_tensor(s);
+                scratch::give_tensor(vh);
+                scratch::give_tensor(kh);
+                scratch::give_tensor(qh);
                 probs.push(p);
             }
         }
-        let y = o.matmul(&self.wo.value);
+        let mut y = o.matmul(&self.wo.value);
         self.cache = Some(AttnCache {
             x2d,
             q,
@@ -180,7 +193,8 @@ impl Layer for MultiHeadSelfAttention {
             probs,
             bt: (b, t),
         });
-        y.reshape(&[b, t, d])
+        y.reshape_in_place(&[b, t, d]);
+        y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
@@ -203,12 +217,16 @@ impl Layer for MultiHeadSelfAttention {
 
         let g2d = grad_out.reshape(&[b * t, d]);
         // y = o @ Wo
-        self.wo.grad.add_assign(&o.matmul_tn(&g2d));
-        let d_o = g2d.matmul_nt(&self.wo.value); // [B*T, D]
+        let mut dwo = scratch::take_tensor_raw(&[d, d]);
+        kernels::matmul_tn_into(&o, &g2d, &mut dwo);
+        self.wo.grad.add_assign(&dwo);
+        let mut d_o = scratch::take_tensor_raw(&[b * t, d]);
+        kernels::matmul_nt_into(&g2d, &self.wo.value, &mut d_o); // [B*T, D]
+        scratch::give_tensor(o);
 
-        let mut dq = Tensor::zeros(&[b * t, d]);
-        let mut dk = Tensor::zeros(&[b * t, d]);
-        let mut dv = Tensor::zeros(&[b * t, d]);
+        let mut dq = scratch::take_tensor(&[b * t, d]);
+        let mut dk = scratch::take_tensor(&[b * t, d]);
+        let mut dv = scratch::take_tensor(&[b * t, d]);
 
         for bi in 0..b {
             let row0 = bi * t;
@@ -220,10 +238,12 @@ impl Layer for MultiHeadSelfAttention {
                 let vh = take_cols(&v.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
                 let doh = take_cols(&d_o.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
 
-                let dp = doh.matmul_nt(&vh); // [T, T]
-                let dvh = p.matmul_tn(&doh); // [T, dh]
-                                             // Softmax backward per row: dS = P ∘ (dP - rowsum(dP ∘ P)).
-                let mut ds = Tensor::zeros(&[t, t]);
+                let mut dp = scratch::take_tensor_raw(&[t, t]);
+                kernels::matmul_nt_into(&doh, &vh, &mut dp); // [T, T]
+                let mut dvh = scratch::take_tensor_raw(&[t, dh]);
+                kernels::matmul_tn_into(p, &doh, &mut dvh); // [T, dh]
+                                                            // Softmax backward per row: dS = P ∘ (dP - rowsum(dP ∘ P)).
+                let mut ds = scratch::take_tensor_raw(&[t, t]);
                 for i in 0..t {
                     let prow = &p.data()[i * t..(i + 1) * t];
                     let dprow = &dp.data()[i * t..(i + 1) * t];
@@ -233,8 +253,10 @@ impl Layer for MultiHeadSelfAttention {
                     }
                 }
                 ds.scale_in_place(alpha);
-                let dqh = ds.matmul(&kh);
-                let dkh = ds.matmul_tn(&qh);
+                let mut dqh = scratch::take_tensor_raw(&[t, dh]);
+                kernels::matmul_into(&ds, &kh, &mut dqh);
+                let mut dkh = scratch::take_tensor_raw(&[t, dh]);
+                kernels::matmul_tn_into(&ds, &qh, &mut dkh);
 
                 add_cols(
                     &mut dq.data_mut()[row0 * d..(row0 + t) * d],
@@ -260,17 +282,38 @@ impl Layer for MultiHeadSelfAttention {
                     c1,
                     &dvh,
                 );
+                for staging in [dkh, dqh, ds, dvh, dp, doh, vh, kh, qh] {
+                    scratch::give_tensor(staging);
+                }
             }
         }
+        scratch::give_tensor(d_o);
+        for p in probs {
+            scratch::give_tensor(p);
+        }
 
-        self.wq.grad.add_assign(&x2d.matmul_tn(&dq));
-        self.wk.grad.add_assign(&x2d.matmul_tn(&dk));
-        self.wv.grad.add_assign(&x2d.matmul_tn(&dv));
+        // dW{q,k,v} += x2dᵀ · d{q,k,v}, reusing one scratch accumulator.
+        let mut dw = dwo;
+        kernels::matmul_tn_into(&x2d, &dq, &mut dw);
+        self.wq.grad.add_assign(&dw);
+        kernels::matmul_tn_into(&x2d, &dk, &mut dw);
+        self.wk.grad.add_assign(&dw);
+        kernels::matmul_tn_into(&x2d, &dv, &mut dw);
+        self.wv.grad.add_assign(&dw);
+        scratch::give_tensor(dw);
+        scratch::give_tensor(x2d);
 
         let mut dx = dq.matmul_nt(&self.wq.value);
-        dx.add_assign(&dk.matmul_nt(&self.wk.value));
-        dx.add_assign(&dv.matmul_nt(&self.wv.value));
-        vec![dx.reshape(&[b, t, d])]
+        let mut tmp = scratch::take_tensor_raw(&[b * t, d]);
+        kernels::matmul_nt_into(&dk, &self.wk.value, &mut tmp);
+        dx.add_assign(&tmp);
+        kernels::matmul_nt_into(&dv, &self.wv.value, &mut tmp);
+        dx.add_assign(&tmp);
+        for staging in [tmp, dv, dk, dq, q, k, v] {
+            scratch::give_tensor(staging);
+        }
+        dx.reshape_in_place(&[b, t, d]);
+        vec![dx]
     }
 
     fn params(&self) -> Vec<&Param> {

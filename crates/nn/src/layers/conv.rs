@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode, Param};
 use crate::spec::LayerSpec;
 use amalgam_tensor::kernels::{self, Conv2dGeom};
-use amalgam_tensor::{Rng, Tensor};
+use amalgam_tensor::{scratch, Rng, Tensor};
 
 /// 2-D convolution over `[N, C, H, W]` inputs with a square kernel.
 ///
@@ -133,33 +133,40 @@ impl Layer for Conv2d {
         };
         let (n, oc) = (dims[0], self.out_channels());
         let (oh, ow) = (geom.out_h(), geom.out_w());
-        let cols = kernels::im2col(x, &geom);
-        let wmat = self.weight.value.reshape(&[oc, geom.col_rows()]);
-        let ymat = wmat.matmul(&cols); // [oc, N*oh*ow]
-                                       // Permute [oc, N*oh*ow] -> [N, oc, oh, ow]; each (o, n) block is contiguous.
         let ohw = oh * ow;
+        // Column matrix and GEMM output both come from the thread-local
+        // scratch arena, so repeated steps reuse the same allocations.
+        let mut cols = scratch::take_tensor_raw(&[geom.col_rows(), n * ohw]);
+        kernels::im2col_into(x, &geom, &mut cols);
+        let wmat = self.weight.value.reshape(&[oc, geom.col_rows()]);
+        let mut ymat = scratch::take_tensor_raw(&[oc, n * ohw]);
+        kernels::matmul_into(&wmat, &cols, &mut ymat); // [oc, N*oh*ow]
+        scratch::give_tensor(wmat);
+        // Fused pass: permute [oc, N*oh*ow] -> [N, oc, oh, ow] and add the
+        // bias while each (o, n) block is being written, instead of a second
+        // full-tensor sweep.
         let mut out = Tensor::zeros(&[n, oc, oh, ow]);
         {
             let src = ymat.data();
             let dst = out.data_mut();
-            for o in 0..oc {
-                for ni in 0..n {
-                    let s = &src[o * n * ohw + ni * ohw..o * n * ohw + (ni + 1) * ohw];
-                    dst[ni * oc * ohw + o * ohw..ni * oc * ohw + (o + 1) * ohw].copy_from_slice(s);
-                }
-            }
-        }
-        if let Some(b) = &self.bias {
-            let dst = out.data_mut();
+            let bias = self.bias.as_ref().map(|b| b.value.data());
             for ni in 0..n {
                 for o in 0..oc {
-                    let bv = b.value.data()[o];
-                    for v in &mut dst[ni * oc * ohw + o * ohw..ni * oc * ohw + (o + 1) * ohw] {
-                        *v += bv;
+                    let s = &src[o * n * ohw + ni * ohw..o * n * ohw + (ni + 1) * ohw];
+                    let d = &mut dst[ni * oc * ohw + o * ohw..ni * oc * ohw + (o + 1) * ohw];
+                    match bias {
+                        Some(bd) => {
+                            let bv = bd[o];
+                            for (dv, &sv) in d.iter_mut().zip(s) {
+                                *dv = sv + bv;
+                            }
+                        }
+                        None => d.copy_from_slice(s),
                     }
                 }
             }
         }
+        scratch::give_tensor(ymat);
         self.cache = Some(ConvCache {
             cols,
             geom,
@@ -178,7 +185,7 @@ impl Layer for Conv2d {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let ohw = oh * ow;
         // Un-permute grad to [oc, N*oh*ow].
-        let mut gmat = Tensor::zeros(&[oc, n * ohw]);
+        let mut gmat = scratch::take_tensor_raw(&[oc, n * ohw]);
         {
             let src = grad_out.data();
             let dst = gmat.data_mut();
@@ -189,11 +196,15 @@ impl Layer for Conv2d {
                 }
             }
         }
-        // dW = g @ colsᵀ
-        let dw = gmat.matmul_nt(&cols);
-        self.weight
-            .grad
-            .add_assign(&dw.reshape(self.weight.value.dims()));
+        // dW = g @ colsᵀ (accumulated flat — dw is the same row-major data
+        // as the [oc, ic, k, k] gradient).
+        let mut dw = scratch::take_tensor_raw(&[oc, geom.col_rows()]);
+        kernels::matmul_nt_into(&gmat, &cols, &mut dw);
+        debug_assert_eq!(self.weight.grad.numel(), dw.numel());
+        for (g, &d) in self.weight.grad.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        scratch::give_tensor(dw);
         if let Some(b) = &mut self.bias {
             let mut db = Tensor::zeros(&[oc]);
             for o in 0..oc {
@@ -203,8 +214,14 @@ impl Layer for Conv2d {
         }
         // dcols = Wᵀ @ g, then fold back to input space.
         let wmat = self.weight.value.reshape(&[oc, geom.col_rows()]);
-        let dcols = wmat.matmul_tn(&gmat);
-        vec![kernels::col2im(&dcols, &geom, n)]
+        let mut dcols = scratch::take_tensor_raw(&[geom.col_rows(), n * ohw]);
+        kernels::matmul_tn_into(&wmat, &gmat, &mut dcols);
+        scratch::give_tensor(wmat);
+        scratch::give_tensor(gmat);
+        let dx = kernels::col2im(&dcols, &geom, n);
+        scratch::give_tensor(dcols);
+        scratch::give_tensor(cols);
+        vec![dx]
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::spec::LayerSpec;
-use amalgam_tensor::{Rng, Tensor};
+use amalgam_tensor::{parallel, scratch, Rng, Tensor};
 
 /// Depthwise convolution: each input channel is convolved with its own
 /// `k×k` filter (`groups == channels` in PyTorch terms).
@@ -102,22 +102,27 @@ impl Layer for DepthwiseConv2d {
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let src = x.data();
         let wd = self.weight.value.data();
-        let dst = out.data_mut();
-        for ni in 0..n {
-            for ci in 0..c {
+        let bias = self.bias.as_ref().map(|b| b.value.data());
+        let (stride, padding) = (self.stride, self.padding);
+        // Each (batch, channel) map is an independent convolution writing a
+        // disjoint output slice — chunk them over the worker pool.
+        parallel::parallel_rows_mut(out.data_mut(), n * c, oh * ow, 2, |p0, p1, dst| {
+            for pair in p0..p1 {
+                let (ni, ci) = (pair / c, pair % c);
                 let base = ni * c * h * w + ci * h * w;
                 let wbase = ci * k * k;
-                let obase = ni * c * oh * ow + ci * oh * ow;
+                let bv = bias.map_or(0.0, |bd| bd[ci]);
+                let dmap = &mut dst[(pair - p0) * oh * ow..(pair - p0 + 1) * oh * ow];
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let mut acc = 0.0f32;
                         for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            let iy = (oy * stride + ky) as isize - padding as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
                             for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                let ix = (ox * stride + kx) as isize - padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -125,14 +130,11 @@ impl Layer for DepthwiseConv2d {
                                     * wd[wbase + ky * k + kx];
                             }
                         }
-                        if let Some(b) = &self.bias {
-                            acc += b.value.data()[ci];
-                        }
-                        dst[obase + oy * ow + ox] = acc;
+                        dmap[oy * ow + ox] = acc + bv;
                     }
                 }
             }
-        }
+        });
         self.cache = Some(x.clone());
         out
     }
@@ -148,7 +150,10 @@ impl Layer for DepthwiseConv2d {
         let (oh, ow) = (god[2], god[3]);
         let k = self.kernel;
         let mut dx = Tensor::zeros(d);
-        let wd = self.weight.value.data().to_vec();
+        // Scratch-backed copy of the weights so `self.weight.grad` can be
+        // borrowed mutably inside the loop.
+        let mut wd = scratch::take_raw(self.weight.value.numel());
+        wd.copy_from_slice(self.weight.value.data());
         for ni in 0..n {
             for ci in 0..c {
                 let base = ni * c * h * w + ci * h * w;
@@ -180,6 +185,8 @@ impl Layer for DepthwiseConv2d {
                 }
             }
         }
+        scratch::give(wd);
+        scratch::give_tensor(x);
         vec![dx]
     }
 

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::spec::LayerSpec;
-use amalgam_tensor::{Rng, Tensor};
+use amalgam_tensor::{kernels, scratch, Rng, Tensor};
 
 /// Affine map `y = x Wᵀ + b` over the last dimension.
 ///
@@ -102,7 +102,7 @@ impl Layer for Linear {
         let x2d = x.reshape(&[rows, self.in_features]);
         let mut y = x2d.matmul_nt(&self.weight.value); // [rows, out]
         if let Some(b) = &self.bias {
-            y = y.add_bias_row(&b.value);
+            y.add_bias_row_assign(&b.value);
         }
         self.cache_x2d = Some(x2d);
         self.cache_lead = lead.clone();
@@ -120,14 +120,16 @@ impl Layer for Linear {
         let rows = x2d.dims()[0];
         let g2d = grad_out.reshape(&[rows, self.out_features]);
         // dW += gᵀ x ; db += Σ g ; dx = g W
-        self.weight.grad.add_assign(
-            &g2d.matmul_tn(&x2d)
-                .reshape(&[self.out_features, self.in_features]),
-        );
+        let mut dw = scratch::take_tensor_raw(&[self.out_features, self.in_features]);
+        kernels::matmul_tn_into(&g2d, &x2d, &mut dw);
+        self.weight.grad.add_assign(&dw);
+        scratch::give_tensor(dw);
         if let Some(b) = &mut self.bias {
             b.grad.add_assign(&g2d.sum_axis0());
         }
         let mut dx = g2d.matmul(&self.weight.value); // [rows, in]
+        scratch::give_tensor(x2d);
+        scratch::give_tensor(g2d);
         let mut dims = self.cache_lead.clone();
         dims.push(self.in_features);
         dx.reshape_in_place(&dims);

@@ -1,0 +1,270 @@
+//! Blocked, packed, register-tiled GEMM — the compute core of the crate.
+//!
+//! Structure follows the BLIS decomposition. The three nested cache blocks
+//! ([`NC`] → [`KC`] → [`MC`]) walk the operands so that:
+//!
+//! * one `KC × NR` B micro-panel stays resident in L1 across a whole row
+//!   sweep of the macro-kernel,
+//! * the packed `MC × KC` A panel stays resident in L2,
+//! * the packed `KC × NC` B panel stays resident in L3 (or main memory on
+//!   small parts) and is reused by every row block.
+//!
+//! Inside a block, [`microkernel`] computes an `MR × NR` tile of `C` with the
+//! full tile held in an explicitly-unrolled register accumulator; the
+//! compiler autovectorizes the `NR`-wide inner loop (8 f32 lanes = two SSE /
+//! one AVX vector per row). Operands are read through
+//! [`MatRef`](crate::pack::MatRef) stride views, so the `Aᵀ`/`Bᵀ` variants
+//! are packing-order choices, not separate kernels.
+//!
+//! Row blocks are farmed out to the persistent worker pool
+//! ([`parallel`](crate::parallel)); each worker packs its own A panel into a
+//! thread-local [`scratch`](crate::scratch) buffer that persists across
+//! kernel calls. Per-element accumulation order is `p = 0..k` ascending
+//! regardless of the thread count or block partition, so results are bitwise
+//! reproducible for any `set_threads` value.
+//!
+//! Shapes with `m·n·k` at or below [`SMALL_FLOPS`] skip packing *and* the
+//! pool entirely and run a direct loop on the calling thread, so tiny
+//! matmuls (≤ 32³) pay no blocking or dispatch overhead.
+
+use crate::pack::{pack_a, pack_b, MatRef};
+use crate::{parallel, scratch};
+
+/// Micro-tile rows: C tile height held in registers.
+pub const MR: usize = 8;
+/// Micro-tile columns: C tile width held in registers.
+pub const NR: usize = 8;
+/// K-dimension block: panel depth sized for L1 residency of a B micro-panel
+/// (`KC × NR × 4` bytes = 8 KiB).
+pub const KC: usize = 256;
+/// M-dimension block: packed A panel height (`MC × KC × 4` bytes = 128 KiB,
+/// sized for L2).
+pub const MC: usize = 128;
+/// N-dimension block: packed B panel width (`KC × NC × 4` bytes = 512 KiB).
+pub const NC: usize = 512;
+
+/// Largest `m·n·k` routed to the direct (non-packing, non-pool) path.
+pub const SMALL_FLOPS: usize = 32 * 32 * 32;
+
+/// Minimum C rows per parallel task (one MR tile).
+const ROWS_MIN_CHUNK: usize = MR;
+
+/// `C += A·B` for `A: m×k`, `B: k×n` given as stride views, `C` row-major.
+///
+/// Callers pass a zeroed `c` for a plain product. Accumulation over `k` is
+/// performed in ascending order per output element independent of blocking
+/// and threading, so the result is bitwise deterministic.
+///
+/// # Panics
+///
+/// Panics if `c.len() != m * n`.
+pub fn gemm(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
+    assert_eq!(c.len(), m * n, "gemm output buffer mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k <= SMALL_FLOPS {
+        small_gemm(m, n, k, a, b, c);
+        return;
+    }
+    for jc in (0..n).step_by(NC) {
+        let nc = (n - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            let mut pb_buf = scratch::take_raw(nc.div_ceil(NR) * NR * kc);
+            pack_b(b, pc, jc, kc, nc, &mut pb_buf);
+            let pb = &pb_buf;
+            parallel::parallel_rows_mut(c, m, n, ROWS_MIN_CHUNK, |r0, r1, rows| {
+                let mut pa = scratch::take_raw((r1 - r0).min(MC).div_ceil(MR) * MR * kc);
+                for ic in (r0..r1).step_by(MC) {
+                    let mc = (r1 - ic).min(MC);
+                    pack_a(a, ic, pc, mc, kc, &mut pa);
+                    macro_kernel(&pa, pb, mc, nc, kc, &mut rows[(ic - r0) * n + jc..], n);
+                }
+                scratch::give(pa);
+            });
+            scratch::give(pb_buf);
+        }
+    }
+}
+
+/// Sweeps the packed panels over one `mc × nc` block of C.
+///
+/// `c` starts at the block's top-left element; rows are `ldc` elements
+/// apart (the full C row stride), so the block occupies
+/// `c[i*ldc .. i*ldc + nc]` for `i < mc`.
+fn macro_kernel(
+    pa: &[f32],
+    pb: &[f32],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let a_panels = mc.div_ceil(MR);
+    let b_panels = nc.div_ceil(NR);
+    let mut acc = [0.0f32; MR * NR];
+    for jp in 0..b_panels {
+        let j_base = jp * NR;
+        let ncols = (nc - j_base).min(NR);
+        let bpanel = &pb[jp * kc * NR..(jp + 1) * kc * NR];
+        for ip in 0..a_panels {
+            let i_base = ip * MR;
+            let nrows = (mc - i_base).min(MR);
+            let apanel = &pa[ip * kc * MR..(ip + 1) * kc * MR];
+            microkernel(kc, apanel, bpanel, &mut acc);
+            for i in 0..nrows {
+                let row0 = (i_base + i) * ldc + j_base;
+                let crow = &mut c[row0..row0 + ncols];
+                let arow = &acc[i * NR..i * NR + ncols];
+                for (cv, &av) in crow.iter_mut().zip(arow) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+/// Rank-`kc` update of one `MR × NR` tile, fully held in `acc`.
+///
+/// Both panels are K-major and zero-padded to the tile size, so there are no
+/// edge branches here; the fixed-trip inner loops unroll and vectorize.
+#[inline(always)]
+fn microkernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; MR * NR]) {
+    acc.fill(0.0);
+    for p in 0..kc {
+        let a: &[f32; MR] = pa[p * MR..].first_chunk().expect("packed A panel");
+        let b: &[f32; NR] = pb[p * NR..].first_chunk().expect("packed B panel");
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i * NR + j] += ai * b[j];
+            }
+        }
+    }
+}
+
+/// Direct loops for shapes too small to amortize packing or pool handoff.
+fn small_gemm(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
+    if b.cs == 1 {
+        // B rows contiguous: ikj axpy order streams B and C.
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a.at(i, p);
+                let brow = &b.data[p * b.rs..p * b.rs + n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    } else if a.cs == 1 && b.rs == 1 {
+        // A·Bᵀ: both operands contiguous along k — dot products.
+        for i in 0..m {
+            let arow = &a.data[i * a.rs..i * a.rs + k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let bcol = &b.data[j * b.cs..j * b.cs + k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(bcol) {
+                    acc += av * bv;
+                }
+                *cv += acc;
+            }
+        }
+    } else {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(i, p) * b.at(p, j);
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(i, p) * b.at(p, j);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn ramp(len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|v| ((v * 37 + 11) % 23) as f32 * 0.25 - 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn blocked_path_matches_reference_off_tile_boundaries() {
+        // m, n straddle MR/NR/MC boundaries; k straddles KC.
+        for &(m, n, k) in &[(1usize, 1usize, 300usize), (129, 65, 257), (8, 520, 40)] {
+            let ad = ramp(m * k);
+            let bd = ramp(k * n);
+            let a = MatRef::row_major(&ad, k);
+            let b = MatRef::row_major(&bd, n);
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, n, k, a, b, &mut c);
+            let want = reference(m, n, k, a, b);
+            for (got, want) in c.iter().zip(&want) {
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "{got} vs {want} at ({m},{n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_path_matches_reference_for_all_stride_variants() {
+        let (m, n, k) = (5usize, 7usize, 6usize);
+        let ad = ramp(m * k);
+        let bd = ramp(k * n);
+        // nn
+        let a = MatRef::row_major(&ad, k);
+        let b = MatRef::row_major(&bd, n);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, n, k, a, b, &mut c);
+        assert_eq!(c, reference(m, n, k, a, b));
+        // tn: A stored as [k, m]
+        let adt = ramp(k * m);
+        let a_t = MatRef::transposed(&adt, m);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, n, k, a_t, b, &mut c);
+        assert_eq!(c, reference(m, n, k, a_t, b));
+        // nt: B stored as [n, k]
+        let bdt = ramp(n * k);
+        let b_t = MatRef::transposed(&bdt, k);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, n, k, a, b_t, &mut c);
+        assert_eq!(c, reference(m, n, k, a, b_t));
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let data: Vec<f32> = Vec::new();
+        let a = MatRef::row_major(&data, 0);
+        let b = MatRef::row_major(&data, 0);
+        let mut c = vec![0.0f32; 0];
+        gemm(0, 0, 0, a, b, &mut c);
+        let mut c = vec![1.0f32; 4];
+        // k == 0: C unchanged (gemm accumulates).
+        gemm(2, 2, 0, a, b, &mut c);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+}

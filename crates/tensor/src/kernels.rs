@@ -1,43 +1,60 @@
-//! Compute kernels: blocked, multi-threaded matrix products and the
-//! im2col/col2im transforms used by convolution layers.
+//! Compute kernels: blocked matrix products and the im2col/col2im
+//! transforms used by convolution layers.
+//!
+//! All three matmul variants lower onto the packed, register-tiled GEMM in
+//! [`crate::gemm`]; transposition is expressed as a stride choice on the
+//! [`MatRef`] views, so `A`, `Aᵀ` and `Bᵀ` share one kernel and one packing
+//! code path. The `*_into` variants write into caller-provided tensors so
+//! hot loops can recycle buffers through [`crate::scratch`].
 
+use crate::gemm;
+use crate::pack::MatRef;
 use crate::parallel;
 use crate::tensor::Tensor;
 
 /// `C = A @ B` for `A: [M,K]`, `B: [K,N]`.
 ///
-/// Rows of the output are computed in parallel; within a row the kernel uses
-/// an `ikj` loop order so the innermost loop streams both `B` and `C`
-/// contiguously.
-///
 /// # Panics
 ///
 /// Panics if either operand is not 2-D or if `A.cols != B.rows`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = matmul_dims(a, b);
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_unchecked(a, b, &mut out);
+    out
+}
+
+/// [`matmul`] writing into `out` (shape-checked, previous contents ignored).
+///
+/// # Panics
+///
+/// Panics on operand rank/shape mismatch or if `out` is not `[M, N]`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, n) = matmul_dims(a, b);
+    assert_eq!(out.dims(), &[m, n], "matmul_into output shape mismatch");
+    out.data_mut().fill(0.0);
+    matmul_unchecked(a, b, out);
+}
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> (usize, usize) {
     assert_eq!(a.shape().rank(), 2, "matmul lhs must be 2-D");
     assert_eq!(b.shape().rank(), 2, "matmul rhs must be 2-D");
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    let (k, k2) = (a.dims()[1], b.dims()[0]);
     assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
+    (a.dims()[0], b.dims()[1])
+}
 
-    let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    parallel::parallel_rows_mut(out.data_mut(), m, n, 8, |row_start, row_end, slice| {
-        for i in row_start..row_end {
-            let crow = &mut slice[(i - row_start) * n..(i - row_start + 1) * n];
-            for p in 0..k {
-                let av = ad[i * k + p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[p * n..(p + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
-                }
-            }
-        }
-    });
-    out
+fn matmul_unchecked(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    gemm::gemm(
+        m,
+        n,
+        k,
+        MatRef::row_major(a.data(), k),
+        MatRef::row_major(b.data(), n),
+        out.data_mut(),
+    );
 }
 
 /// `C = A^T @ B` for `A: [K,M]`, `B: [K,N]` without materializing `A^T`.
@@ -46,30 +63,43 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if either operand is not 2-D or if row counts disagree.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = matmul_tn_dims(a, b);
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_tn_unchecked(a, b, &mut out);
+    out
+}
+
+/// [`matmul_tn`] writing into `out` (shape-checked, contents ignored).
+///
+/// # Panics
+///
+/// Panics on operand rank/shape mismatch or if `out` is not `[M, N]`.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, n) = matmul_tn_dims(a, b);
+    assert_eq!(out.dims(), &[m, n], "matmul_tn_into output shape mismatch");
+    out.data_mut().fill(0.0);
+    matmul_tn_unchecked(a, b, out);
+}
+
+fn matmul_tn_dims(a: &Tensor, b: &Tensor) -> (usize, usize) {
     assert_eq!(a.shape().rank(), 2, "matmul_tn lhs must be 2-D");
     assert_eq!(b.shape().rank(), 2, "matmul_tn rhs must be 2-D");
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    let (k, k2) = (a.dims()[0], b.dims()[0]);
     assert_eq!(k, k2, "matmul_tn outer dims disagree: {k} vs {k2}");
+    (a.dims()[1], b.dims()[1])
+}
 
-    let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    parallel::parallel_rows_mut(out.data_mut(), m, n, 8, |row_start, row_end, slice| {
-        for i in row_start..row_end {
-            let crow = &mut slice[(i - row_start) * n..(i - row_start + 1) * n];
-            for p in 0..k {
-                let av = ad[p * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[p * n..(p + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
-                }
-            }
-        }
-    });
-    out
+fn matmul_tn_unchecked(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    gemm::gemm(
+        m,
+        n,
+        k,
+        MatRef::transposed(a.data(), m),
+        MatRef::row_major(b.data(), n),
+        out.data_mut(),
+    );
 }
 
 /// `C = A @ B^T` for `A: [M,K]`, `B: [N,K]` without materializing `B^T`.
@@ -78,29 +108,43 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if either operand is not 2-D or if column counts disagree.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = matmul_nt_dims(a, b);
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_nt_unchecked(a, b, &mut out);
+    out
+}
+
+/// [`matmul_nt`] writing into `out` (shape-checked, contents ignored).
+///
+/// # Panics
+///
+/// Panics on operand rank/shape mismatch or if `out` is not `[M, N]`.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, n) = matmul_nt_dims(a, b);
+    assert_eq!(out.dims(), &[m, n], "matmul_nt_into output shape mismatch");
+    out.data_mut().fill(0.0);
+    matmul_nt_unchecked(a, b, out);
+}
+
+fn matmul_nt_dims(a: &Tensor, b: &Tensor) -> (usize, usize) {
     assert_eq!(a.shape().rank(), 2, "matmul_nt lhs must be 2-D");
     assert_eq!(b.shape().rank(), 2, "matmul_nt rhs must be 2-D");
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    let (k, k2) = (a.dims()[1], b.dims()[1]);
     assert_eq!(k, k2, "matmul_nt inner dims disagree: {k} vs {k2}");
+    (a.dims()[0], b.dims()[0])
+}
 
-    let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    parallel::parallel_rows_mut(out.data_mut(), m, n, 8, |row_start, row_end, slice| {
-        for i in row_start..row_end {
-            let arow = &ad[i * k..(i + 1) * k];
-            let crow = &mut slice[(i - row_start) * n..(i - row_start + 1) * n];
-            for (j, c) in crow.iter_mut().enumerate() {
-                let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *c = acc;
-            }
-        }
-    });
-    out
+fn matmul_nt_unchecked(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[0];
+    gemm::gemm(
+        m,
+        n,
+        k,
+        MatRef::row_major(a.data(), k),
+        MatRef::transposed(b.data(), k),
+        out.data_mut(),
+    );
 }
 
 /// Geometry of one 2-D convolution: input `[C, H, W]`, square kernel,
@@ -147,6 +191,21 @@ impl Conv2dGeom {
 pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
     let dims = input.dims();
     assert_eq!(dims.len(), 4, "im2col input must be [N,C,H,W]");
+    let n = dims[0];
+    let mut out = Tensor::zeros(&[g.col_rows(), n * g.out_h() * g.out_w()]);
+    im2col_into(input, g, &mut out);
+    out
+}
+
+/// [`im2col`] writing into `out` (shape-checked), so the conv layers can
+/// reuse one column buffer across training steps.
+///
+/// # Panics
+///
+/// Panics if `input` or `out` does not match the geometry.
+pub fn im2col_into(input: &Tensor, g: &Conv2dGeom, out: &mut Tensor) {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "im2col input must be [N,C,H,W]");
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     assert_eq!(c, g.in_channels, "im2col channel mismatch");
     assert_eq!(h, g.in_h, "im2col height mismatch");
@@ -155,7 +214,7 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
     let (oh, ow) = (g.out_h(), g.out_w());
     let cols = n * oh * ow;
     let rows = g.col_rows();
-    let mut out = Tensor::zeros(&[rows, cols]);
+    assert_eq!(out.dims(), &[rows, cols], "im2col output shape mismatch");
     let src = input.data();
     let k = g.kernel;
     let (stride, pad) = (g.stride, g.padding);
@@ -189,11 +248,14 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
             }
         }
     });
-    out
 }
 
 /// Folds an im2col-shaped gradient `[C*k*k, N*out_h*out_w]` back into the
 /// input gradient `[N, C, H, W]` (the adjoint of [`im2col`]).
+///
+/// Parallelised over the batch dimension: each worker owns the disjoint
+/// `[ni, :, :, :]` output slice for its batch range, so no synchronisation
+/// is needed and the scatter-add order per element is fixed.
 ///
 /// # Panics
 ///
@@ -207,34 +269,37 @@ pub fn col2im(cols_mat: &Tensor, g: &Conv2dGeom, n: usize) -> Tensor {
     );
     let (c, h, w) = (g.in_channels, g.in_h, g.in_w);
     let mut out = Tensor::zeros(&[n, c, h, w]);
-    let dst = out.data_mut();
     let src = cols_mat.data();
     let k = g.kernel;
     let (stride, pad) = (g.stride, g.padding);
     let ncols = n * oh * ow;
+    let chw = c * h * w;
 
-    for r in 0..g.col_rows() {
-        let ci = r / (k * k);
-        let ky = (r / k) % k;
-        let kx = r % k;
-        let row = &src[r * ncols..(r + 1) * ncols];
-        for ni in 0..n {
-            let base = ni * c * h * w + ci * h * w;
-            for oy in 0..oh {
-                let iy = (oy * stride + ky) as isize - pad as isize;
-                if iy < 0 || iy >= h as isize {
-                    continue;
-                }
-                for ox in 0..ow {
-                    let ix = (ox * stride + kx) as isize - pad as isize;
-                    if ix < 0 || ix >= w as isize {
+    parallel::parallel_rows_mut(out.data_mut(), n, chw, 1, |n0, n1, dst| {
+        for r in 0..g.col_rows() {
+            let ci = r / (k * k);
+            let ky = (r / k) % k;
+            let kx = r % k;
+            let row = &src[r * ncols..(r + 1) * ncols];
+            for ni in n0..n1 {
+                let base = (ni - n0) * chw + ci * h * w;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    dst[base + iy as usize * w + ix as usize] += row[ni * oh * ow + oy * ow + ox];
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[base + iy as usize * w + ix as usize] +=
+                            row[ni * oh * ow + oy * ow + ox];
+                    }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -268,6 +333,15 @@ mod tests {
     }
 
     #[test]
+    fn matmul_matches_naive_above_small_threshold() {
+        // Large enough to take the packed, blocked path.
+        let mut rng = Rng::seed_from(7);
+        let a = Tensor::randn(&[65, 33], &mut rng);
+        let b = Tensor::randn(&[33, 70], &mut rng);
+        assert!(matmul(&a, &b).approx_eq(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
     fn matmul_tn_matches_explicit_transpose() {
         let mut rng = Rng::seed_from(4);
         let a = Tensor::randn(&[11, 6], &mut rng);
@@ -281,6 +355,26 @@ mod tests {
         let a = Tensor::randn(&[7, 13], &mut rng);
         let b = Tensor::randn(&[10, 13], &mut rng);
         assert!(matmul_nt(&a, &b).approx_eq(&matmul(&a, &b.transpose2d()), 1e-4));
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let mut rng = Rng::seed_from(11);
+        let a = Tensor::randn(&[6, 5], &mut rng);
+        let b = Tensor::randn(&[5, 4], &mut rng);
+        let mut out = Tensor::full(&[6, 4], 99.0);
+        matmul_into(&a, &b, &mut out);
+        assert!(out.approx_eq(&matmul(&a, &b), 0.0));
+
+        let bt = Tensor::randn(&[4, 5], &mut rng);
+        let mut out = Tensor::full(&[6, 4], 99.0);
+        matmul_nt_into(&a, &bt, &mut out);
+        assert!(out.approx_eq(&matmul_nt(&a, &bt), 0.0));
+
+        let at = Tensor::randn(&[5, 6], &mut rng);
+        let mut out = Tensor::full(&[6, 4], 99.0);
+        matmul_tn_into(&at, &b, &mut out);
+        assert!(out.approx_eq(&matmul_tn(&at, &b), 0.0));
     }
 
     #[test]

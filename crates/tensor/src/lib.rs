@@ -7,7 +7,7 @@
 //!   element-wise, reduction, indexing and linear-algebra operations needed to
 //!   train convolutional and transformer networks;
 //! * [`kernels`] — cache-blocked, data-parallel matmul and im2col convolution
-//!   helpers;
+//!   helpers, lowered onto the packed GEMM in [`gemm`];
 //! * [`rng`] — seeded random sources with uniform, Gaussian and Laplace
 //!   distributions (the paper's three built-in noise kinds);
 //! * [`math`] — log-domain combinatorics used for the paper's search-space
@@ -25,11 +25,43 @@
 //! let c = a.matmul(&b);
 //! assert_eq!(c.data(), a.data());
 //! ```
+//!
+//! # Kernel architecture
+//!
+//! Every matrix product in the workspace — linear layers, im2col
+//! convolutions, attention scores — funnels into one BLIS-style blocked GEMM
+//! ([`gemm`]). The moving parts:
+//!
+//! * **Packing** ([`pack`]): operand blocks are copied once into contiguous
+//!   micro-panels — A as `MR`-row panels (`buf[p*MR + i]`), B as `NR`-column
+//!   panels (`buf[p*NR + j]`), both K-major and zero-padded at ragged edges.
+//!   Operands are read through stride views ([`pack::MatRef`]), so the
+//!   `Aᵀ`/`Bᵀ` product variants are packing-order choices, not separate
+//!   kernels.
+//! * **Register tiling** (the [`gemm`] micro-kernel): an `MR × NR = 8 × 8`
+//!   C tile is accumulated entirely in registers across the K block; the
+//!   fixed-trip inner loops unroll and autovectorize.
+//! * **Cache blocking**: `KC = 256`, `MC = 128`, `NC = 512` keep one B
+//!   micro-panel in L1, the packed A panel in L2 and the packed B panel in
+//!   L3 across the macro-kernel sweep. Products with `m·n·k ≤ 32³` skip
+//!   packing and threading entirely.
+//! * **Worker pool** ([`parallel`]): row blocks are dispatched to a
+//!   lazily-created persistent thread pool (parked workers, channel + latch
+//!   handoff) instead of spawning threads per call; `set_threads(1)` runs
+//!   inline for the TEE baseline. Per-element accumulation order is fixed,
+//!   so results are bitwise identical for any thread count.
+//! * **Scratch arena** ([`scratch`]): pack panels, im2col column matrices
+//!   and attention staging tensors come from a per-thread free list and are
+//!   returned after use, so steady-state training performs no hot-path
+//!   allocations.
 
+pub mod gemm;
 pub mod kernels;
 pub mod math;
+pub mod pack;
 pub mod parallel;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 pub mod wire;

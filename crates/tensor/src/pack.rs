@@ -1,0 +1,175 @@
+//! Panel packing for the blocked GEMM (BLIS layout).
+//!
+//! The micro-kernel in [`gemm`](crate::gemm) wants its operands as
+//! contiguous *micro-panels*:
+//!
+//! * an A panel is `ceil(mc / MR)` micro-panels; micro-panel `ip` stores the
+//!   `MR` rows `i0 + ip*MR ..` K-major — for each `p` in the K block, the
+//!   `MR` values of column `p` are adjacent (`buf[p*MR + i]`);
+//! * a B panel is `ceil(nc / NR)` micro-panels; micro-panel `jp` stores the
+//!   `NR` columns `j0 + jp*NR ..` K-major (`buf[p*NR + j]`).
+//!
+//! Ragged edges (when `mc`/`nc` are not tile multiples) are padded with
+//! zeros, so the micro-kernel is branch-free; the padded lanes contribute
+//! `0.0` products and the write-back step simply skips them.
+//!
+//! Both packers read through [`MatRef`], a stride pair over the source
+//! matrix — this is what collapses the three transpose variants into one
+//! kernel: `A`, `Aᵀ`, `B` and `Bᵀ` differ only in `(rs, cs)`.
+
+use crate::gemm::{MR, NR};
+
+/// A borrowed matrix view: element `(i, j)` lives at `data[i*rs + j*cs]`.
+///
+/// `rs`/`cs` are the row/column strides in elements. A row-major `[R, C]`
+/// matrix is `{rs: C, cs: 1}`; its transpose is the same data with
+/// `{rs: 1, cs: C}` — no copy.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    /// Underlying storage (row-major for `rs > cs`, etc.).
+    pub data: &'a [f32],
+    /// Element stride between consecutive rows.
+    pub rs: usize,
+    /// Element stride between consecutive columns.
+    pub cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// View of a row-major `[rows, cols]` matrix.
+    pub fn row_major(data: &'a [f32], cols: usize) -> MatRef<'a> {
+        MatRef {
+            data,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// View of the transpose of a row-major `[rows, cols]` matrix.
+    pub fn transposed(data: &'a [f32], cols: usize) -> MatRef<'a> {
+        MatRef {
+            data,
+            rs: 1,
+            cs: cols,
+        }
+    }
+
+    /// Element `(i, j)`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Packs the `mc × kc` block of `a` starting at `(i0, p0)` into MR-row
+/// micro-panels in `buf` (see module docs for the layout).
+///
+/// `buf` must hold at least `ceil(mc / MR) * kc * MR` elements.
+pub fn pack_a(a: MatRef, i0: usize, p0: usize, mc: usize, kc: usize, buf: &mut [f32]) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(buf.len() >= panels * kc * MR);
+    for ip in 0..panels {
+        let i_base = i0 + ip * MR;
+        let rows = (mc - ip * MR).min(MR);
+        let panel = &mut buf[ip * kc * MR..(ip + 1) * kc * MR];
+        if rows == MR {
+            for p in 0..kc {
+                let col = p0 + p;
+                let dst = &mut panel[p * MR..(p + 1) * MR];
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = a.at(i_base + i, col);
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let col = p0 + p;
+                let dst = &mut panel[p * MR..(p + 1) * MR];
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = if i < rows { a.at(i_base + i, col) } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` block of `b` starting at `(p0, j0)` into NR-column
+/// micro-panels in `buf` (see module docs for the layout).
+///
+/// `buf` must hold at least `kc * ceil(nc / NR) * NR` elements.
+pub fn pack_b(b: MatRef, p0: usize, j0: usize, kc: usize, nc: usize, buf: &mut [f32]) {
+    let panels = nc.div_ceil(NR);
+    debug_assert!(buf.len() >= panels * kc * NR);
+    for jp in 0..panels {
+        let j_base = j0 + jp * NR;
+        let cols = (nc - jp * NR).min(NR);
+        let panel = &mut buf[jp * kc * NR..(jp + 1) * kc * NR];
+        if cols == NR && b.cs == 1 {
+            // Contiguous source rows: bulk copy (the matmul/matmul_tn case).
+            for p in 0..kc {
+                let row = p0 + p;
+                let src = &b.data[row * b.rs + j_base..row * b.rs + j_base + NR];
+                panel[p * NR..(p + 1) * NR].copy_from_slice(src);
+            }
+        } else if cols == NR {
+            for p in 0..kc {
+                let row = p0 + p;
+                let dst = &mut panel[p * NR..(p + 1) * NR];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = b.at(row, j_base + j);
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let row = p0 + p;
+                let dst = &mut panel[p * NR..(p + 1) * NR];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = if j < cols { b.at(row, j_base + j) } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matref_transpose_reads_same_storage() {
+        // data is a row-major [2, 3]
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let m = MatRef::row_major(&data, 3);
+        let t = MatRef::transposed(&data, 3);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m.at(i, j), t.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_pads_ragged_rows_with_zeros() {
+        // 3×2 block of a row-major 3×2 matrix, MR > 3 ⇒ one padded panel.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let a = MatRef::row_major(&data, 2);
+        let mut buf = vec![f32::NAN; MR * 2];
+        pack_a(a, 0, 0, 3, 2, &mut buf);
+        // Column 0 then column 1, each padded to MR values.
+        assert_eq!(&buf[..3], &[1.0, 3.0, 5.0]);
+        assert!(buf[3..MR].iter().all(|&v| v == 0.0));
+        assert_eq!(&buf[MR..MR + 3], &[2.0, 4.0, 6.0]);
+        assert!(buf[MR + 3..2 * MR].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pack_b_pads_ragged_cols_with_zeros() {
+        // 2×3 block, NR > 3 ⇒ one padded panel per k-step.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = MatRef::row_major(&data, 3);
+        let mut buf = vec![f32::NAN; 2 * NR];
+        pack_b(b, 0, 0, 2, 3, &mut buf);
+        assert_eq!(&buf[..3], &[1.0, 2.0, 3.0]);
+        assert!(buf[3..NR].iter().all(|&v| v == 0.0));
+        assert_eq!(&buf[NR..NR + 3], &[4.0, 5.0, 6.0]);
+        assert!(buf[NR + 3..2 * NR].iter().all(|&v| v == 0.0));
+    }
+}

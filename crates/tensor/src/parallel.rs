@@ -1,10 +1,32 @@
-//! Minimal data-parallel helpers built on `std::thread::scope`.
+//! Data-parallel helpers backed by a lazily-initialized persistent worker
+//! pool.
 //!
 //! The paper trains on GPUs; this reproduction substitutes multi-core CPU
-//! kernels. A tiny scoped fork-join is all we need — no work stealing, no
-//! global pool — which keeps execution order deterministic per chunk.
+//! kernels. Earlier revisions forked fresh OS threads with
+//! `std::thread::scope` on *every* kernel call, which put thread creation on
+//! the per-matmul critical path. The pool here is created once, on the first
+//! dispatch that actually wants parallelism, and its workers then park on a
+//! shared MPMC channel between kernels:
+//!
+//! * dispatchers enqueue one [`Job`] per chunk and run the first chunk
+//!   themselves, so an `n`-way dispatch needs only `n - 1` workers;
+//! * a counting latch makes the dispatcher block until every chunk finished,
+//!   which is what lets jobs borrow the caller's stack (see safety notes on
+//!   [`run_tasks`]);
+//! * while blocked, the dispatcher *helps* — it drains other queued jobs —
+//!   so concurrent dispatchers (e.g. the cloud scheduler's training workers)
+//!   can share one pool without deadlock;
+//! * [`set_threads`]`(1)` bypasses the pool entirely and runs inline, which
+//!   keeps the TEE baseline single-threaded and deterministic.
+//!
+//! Chunk boundaries only decide *which* thread computes an output region,
+//! never the order of floating-point accumulation inside it, so results are
+//! bitwise identical for any thread count.
 
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Number of worker threads to use for parallel kernels.
 ///
@@ -28,11 +50,196 @@ pub fn set_threads(n: usize) {
     CONFIGURED.store(n, Ordering::Relaxed);
 }
 
+/// Hard cap on pool size, independent of what [`set_threads`] asks for.
+const MAX_POOL_WORKERS: usize = 32;
+
+/// Total pool threads ever spawned by this process.
+///
+/// The pool is persistent, so after warm-up this number is constant no
+/// matter how many kernels run — the property the no-per-call-spawn test
+/// asserts.
+pub fn pool_spawned_threads() -> usize {
+    SPAWNED.load(Ordering::Relaxed)
+}
+
+static SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Countdown latch: the dispatcher waits until every outsourced chunk ran.
+///
+/// Also carries the first panic payload raised by an outsourced chunk so the
+/// dispatcher can re-raise it (matching the old `std::thread::scope`
+/// behaviour of propagating worker panics).
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until the count reaches zero, running other queued jobs while
+    /// waiting so that a dispatcher stuck behind a busy pool still makes
+    /// global progress (required when pool clients dispatch concurrently).
+    fn wait_helping(&self, queue: &Receiver<Job>) {
+        loop {
+            if *self.remaining.lock().unwrap() == 0 {
+                return;
+            }
+            match queue.try_recv() {
+                Ok(job) => job.run(),
+                Err(_) => {
+                    let remaining = self.remaining.lock().unwrap();
+                    if *remaining == 0 {
+                        return;
+                    }
+                    // Re-check the queue periodically; a missed notify costs
+                    // at most one timeout period.
+                    let _unused = self
+                        .done
+                        .wait_timeout(remaining, Duration::from_micros(200))
+                        .unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// One chunk of a dispatched task.
+///
+/// `task` points at the dispatcher's `&(dyn Fn(usize) + Sync)`; the pointer
+/// is valid for the job's whole life because the dispatcher blocks on
+/// `latch` before that borrow can expire.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    index: usize,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: the pointee is `Sync` (shared by every worker) and outlives the
+// job per the latch protocol above.
+unsafe impl Send for Job {}
+
+impl Job {
+    fn run(self) {
+        // Catch panics so the latch ALWAYS counts down: the dispatcher's
+        // borrow-validity argument (and its liveness) depends on it. The
+        // payload is re-raised on the dispatching thread.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: see the latch protocol on `Job`.
+            let task = unsafe { &*self.task };
+            task(self.index);
+        }));
+        if let Err(payload) = result {
+            let mut slot = self.latch.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.latch.count_down();
+    }
+}
+
+struct Pool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    workers: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded();
+        Pool {
+            tx,
+            rx,
+            workers: Mutex::new(0),
+        }
+    })
+}
+
+impl Pool {
+    /// Grows the pool to at least `needed` parked workers (capped), spawning
+    /// each thread exactly once for the process lifetime.
+    fn ensure_workers(&self, needed: usize) {
+        let needed = needed.min(MAX_POOL_WORKERS);
+        let mut count = self.workers.lock().unwrap();
+        while *count < needed {
+            let rx = self.rx.clone();
+            std::thread::Builder::new()
+                .name(format!("amalgam-pool-{count}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job.run();
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            SPAWNED.fetch_add(1, Ordering::Relaxed);
+            *count += 1;
+        }
+    }
+}
+
+/// Runs `task(0) .. task(ntasks - 1)`, farming all but the first chunk out
+/// to the persistent pool and executing chunk 0 on the calling thread.
+///
+/// Returns only after every chunk completed, which is what makes it sound
+/// for `task` to borrow the caller's stack.
+fn run_tasks(ntasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if ntasks <= 1 {
+        task(0);
+        return;
+    }
+    let pool = pool();
+    pool.ensure_workers(ntasks - 1);
+    let latch = Arc::new(Latch::new(ntasks - 1));
+    // SAFETY: erase the borrow's lifetime so jobs can cross the channel.
+    // The latch wait below keeps this call frame (and thus the pointee)
+    // alive until the last job ran.
+    let task_ptr: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync)) };
+    for index in 1..ntasks {
+        let job = Job {
+            task: task_ptr,
+            index,
+            latch: Arc::clone(&latch),
+        };
+        if pool.tx.send(job).is_err() {
+            unreachable!("worker pool channel closed");
+        }
+    }
+    // Run chunk 0 locally, but never unwind past the latch wait: queued jobs
+    // still hold pointers into this frame until the latch reaches zero.
+    let local = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
+    latch.wait_helping(&pool.rx);
+    if let Err(payload) = local {
+        std::panic::resume_unwind(payload);
+    }
+    let remote_panic = latch.panic.lock().unwrap().take();
+    if let Some(payload) = remote_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
 /// Runs `f(start, end)` over disjoint chunks of `0..len` on up to
-/// [`threads()`] scoped threads.
+/// [`threads()`] pool workers (plus the calling thread).
 ///
 /// Falls back to a direct call when `len` is small or one thread is
-/// configured, so tiny tensors never pay thread-spawn costs.
+/// configured, so tiny tensors never touch the pool.
 pub fn parallel_chunks<F>(len: usize, min_chunk: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -43,17 +250,28 @@ where
         return;
     }
     let chunk = len.div_ceil(nthreads);
-    std::thread::scope(|scope| {
-        for t in 0..nthreads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(len);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            scope.spawn(move || f(start, end));
+    let ntasks = len.div_ceil(chunk);
+    run_tasks(ntasks, &|t| {
+        let start = t * chunk;
+        let end = ((t + 1) * chunk).min(len);
+        if start < end {
+            f(start, end);
         }
     });
+}
+
+/// Shared base pointer for handing disjoint sub-slices to pool workers.
+struct SendPtr(*mut f32);
+// SAFETY: every task derives a non-overlapping range from the same base.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture `&SendPtr`,
+    /// which is `Sync`, instead of the bare `*mut f32`, which is not.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
 }
 
 /// Like [`parallel_chunks`], but each worker writes into a disjoint slice of
@@ -77,23 +295,33 @@ where
         return;
     }
     let chunk = len.div_ceil(nthreads);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut start = 0usize;
-        while start < len {
-            let end = (start + chunk).min(len);
-            let (head, tail) = rest.split_at_mut((end - start) * row_width);
-            rest = tail;
-            let f = &f;
-            scope.spawn(move || f(start, end, head));
-            start = end;
+    let ntasks = len.div_ceil(chunk);
+    let base = SendPtr(out.as_mut_ptr());
+    run_tasks(ntasks, &|t| {
+        let start = t * chunk;
+        let end = ((t + 1) * chunk).min(len);
+        if start >= end {
+            return;
         }
+        // SAFETY: row ranges [start, end) are disjoint across tasks, and the
+        // dispatcher's `&mut out` borrow outlives the dispatch.
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(
+                base.get().add(start * row_width),
+                (end - start) * row_width,
+            )
+        };
+        f(start, end, slice);
     });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serialises tests that flip the process-global `set_threads` knob —
+    /// the default harness runs tests concurrently in one process.
+    static THREADS_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn chunks_cover_range_exactly_once() {
@@ -130,9 +358,79 @@ mod tests {
 
     #[test]
     fn set_threads_override() {
+        let _guard = THREADS_LOCK.lock().unwrap();
         set_threads(1);
         assert_eq!(threads(), 1);
         set_threads(0);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn pool_survives_many_dispatches() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        // Warm the pool to the largest size any concurrently-running test
+        // can ask for (threads() defaults are capped at 16), so the spawn
+        // counter cannot move under us while the test harness runs other
+        // tests in this process.
+        set_threads(16);
+        let mut out = vec![0.0f32; 64 * 8];
+        parallel_rows_mut(&mut out, 64, 8, 1, |_s, _e, slice| {
+            slice.iter_mut().for_each(|v| *v += 1.0);
+        });
+        let after_first = pool_spawned_threads();
+        for _ in 0..32 {
+            parallel_rows_mut(&mut out, 64, 8, 1, |_s, _e, slice| {
+                slice.iter_mut().for_each(|v| *v += 1.0);
+            });
+        }
+        set_threads(0);
+        assert_eq!(
+            pool_spawned_threads(),
+            after_first,
+            "pool must not spawn threads per dispatch"
+        );
+        assert!(out.iter().all(|&v| v == 33.0));
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            parallel_chunks(64, 1, |s, _e| {
+                assert!(s < 8, "chunk boundary blew up (intentional)");
+            });
+        });
+        assert!(result.is_err(), "worker panic must reach the dispatcher");
+        // The pool must still be fully functional afterwards.
+        let mut out = vec![0.0f32; 64];
+        parallel_rows_mut(&mut out, 64, 1, 1, |_s, _e, slice| {
+            slice.iter_mut().for_each(|v| *v = 1.0);
+        });
+        set_threads(0);
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn concurrent_dispatchers_share_pool() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        // Several client threads dispatching at once must all complete
+        // (the help-while-waiting path prevents queue starvation).
+        set_threads(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut out = vec![0.0f32; 256];
+                    parallel_rows_mut(&mut out, 256, 1, 1, |s, e, slice| {
+                        for (k, v) in slice.iter_mut().enumerate() {
+                            *v = (s + k) as f32;
+                        }
+                        let _ = e;
+                    });
+                    assert_eq!(out[255], 255.0);
+                });
+            }
+        });
+        set_threads(0);
     }
 }

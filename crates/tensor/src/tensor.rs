@@ -513,6 +513,24 @@ impl Tensor {
         out
     }
 
+    /// In-place version of [`add_bias_row`](Self::add_bias_row): adds a `[N]`
+    /// bias vector to every row without allocating a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible.
+    pub fn add_bias_row_assign(&mut self, bias: &Tensor) {
+        assert_eq!(self.shape.rank(), 2, "add_bias_row requires a matrix");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        assert_eq!(bias.numel(), n, "bias length must equal column count");
+        for i in 0..m {
+            let row = &mut self.data[i * n..(i + 1) * n];
+            for (v, &bv) in row.iter_mut().zip(&bias.data) {
+                *v += bv;
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Indexing / selection
     // ------------------------------------------------------------------

@@ -1,0 +1,172 @@
+//! Property-based and behavioural tests for the blocked GEMM and the
+//! persistent worker pool.
+//!
+//! The shape strategy deliberately samples adversarial sizes: 1, primes,
+//! and values one off the MR/NR/MC/KC tile boundaries, so edge-tile packing
+//! and write-back are exercised for every transpose variant.
+
+use amalgam_tensor::kernels::{matmul, matmul_nt, matmul_tn};
+use amalgam_tensor::{parallel, Rng, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises tests that flip the global `set_threads` knob.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Adversarial M/N sizes: 1, primes, tile-boundary ± 1 around MR/NR = 8
+/// and MC = 128.
+const EDGE_MN: &[usize] = &[1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 31, 33, 64, 65, 127, 129];
+
+/// Adversarial K sizes, additionally straddling KC = 256.
+const EDGE_K: &[usize] = &[1, 2, 3, 7, 8, 9, 17, 64, 65, 255, 256, 257];
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(dims, &mut Rng::seed_from(seed))
+}
+
+/// Triple-loop reference product.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.data()[i * k + p] * b.data()[p * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Blocked GEMM matches the naive reference on adversarial shapes.
+    #[test]
+    fn matmul_matches_naive_on_edge_shapes(
+        mi in 0usize..EDGE_MN.len(),
+        ni in 0usize..EDGE_MN.len(),
+        ki in 0usize..EDGE_K.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (EDGE_MN[mi], EDGE_MN[ni], EDGE_K[ki]);
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 0x9e37);
+        let got = matmul(&a, &b);
+        let want = naive_matmul(&a, &b);
+        prop_assert!(got.approx_eq(&want, 1e-4), "max diff {}", got.max_abs_diff(&want));
+    }
+
+    /// `Aᵀ·B` agrees with the reference on the materialized transpose.
+    #[test]
+    fn matmul_tn_matches_naive_on_edge_shapes(
+        mi in 0usize..EDGE_MN.len(),
+        ni in 0usize..EDGE_MN.len(),
+        ki in 0usize..EDGE_K.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (EDGE_MN[mi], EDGE_MN[ni], EDGE_K[ki]);
+        let a = rand_tensor(&[k, m], seed);
+        let b = rand_tensor(&[k, n], seed ^ 0x51ed);
+        let got = matmul_tn(&a, &b);
+        let want = naive_matmul(&a.transpose2d(), &b);
+        prop_assert!(got.approx_eq(&want, 1e-4), "max diff {}", got.max_abs_diff(&want));
+    }
+
+    /// `A·Bᵀ` agrees with the reference on the materialized transpose.
+    #[test]
+    fn matmul_nt_matches_naive_on_edge_shapes(
+        mi in 0usize..EDGE_MN.len(),
+        ni in 0usize..EDGE_MN.len(),
+        ki in 0usize..EDGE_K.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (EDGE_MN[mi], EDGE_MN[ni], EDGE_K[ki]);
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[n, k], seed ^ 0x2545);
+        let got = matmul_nt(&a, &b);
+        let want = naive_matmul(&a, &b.transpose2d());
+        prop_assert!(got.approx_eq(&want, 1e-4), "max diff {}", got.max_abs_diff(&want));
+    }
+}
+
+/// All tile boundaries crossed at once, for every variant.
+#[test]
+fn boundary_straddling_shapes_match_naive() {
+    let (m, n, k) = (129, 65, 257);
+    let a = rand_tensor(&[m, k], 1);
+    let b = rand_tensor(&[k, n], 2);
+    assert!(matmul(&a, &b).approx_eq(&naive_matmul(&a, &b), 1e-4));
+
+    let at = rand_tensor(&[k, m], 3);
+    assert!(matmul_tn(&at, &b).approx_eq(&naive_matmul(&at.transpose2d(), &b), 1e-4));
+
+    let bt = rand_tensor(&[n, k], 4);
+    assert!(matmul_nt(&a, &bt).approx_eq(&naive_matmul(&a, &bt.transpose2d()), 1e-4));
+}
+
+/// The pool's chunking must never change results: `set_threads(1)` and a
+/// multi-threaded run are bitwise identical (per-element accumulation order
+/// is fixed), which is what keeps the TEE baseline and the cloud-vs-local
+/// equivalence sound.
+#[test]
+fn pool_respects_set_threads_determinism() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let a = rand_tensor(&[130, 120], 7);
+    let b = rand_tensor(&[120, 90], 8);
+    let at = rand_tensor(&[120, 130], 9);
+    let bt = rand_tensor(&[90, 120], 10);
+
+    parallel::set_threads(1);
+    let serial = matmul(&a, &b);
+    let serial_tn = matmul_tn(&at, &b);
+    let serial_nt = matmul_nt(&a, &bt);
+    parallel::set_threads(4);
+    let pooled = matmul(&a, &b);
+    let pooled_tn = matmul_tn(&at, &b);
+    let pooled_nt = matmul_nt(&a, &bt);
+    parallel::set_threads(0);
+
+    assert_eq!(
+        serial.data(),
+        pooled.data(),
+        "threaded GEMM must be bitwise identical to single-threaded"
+    );
+    assert_eq!(serial_tn.data(), pooled_tn.data());
+    assert_eq!(serial_nt.data(), pooled_nt.data());
+}
+
+/// Kernel dispatches must reuse pool threads: after warm-up, repeated
+/// matmuls spawn zero new threads.
+#[test]
+fn no_per_call_thread_spawns() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    // Warm the pool to the largest size any concurrently-running test can
+    // request (threads() defaults are capped at 16), so the global spawn
+    // counter cannot move while this test runs.
+    parallel::set_threads(16);
+    let a = rand_tensor(&[128, 128], 9);
+    let b = rand_tensor(&[128, 128], 10);
+    // Warm-up: first dispatch may create the pool.
+    let _ = matmul(&a, &b);
+    parallel::set_threads(4);
+    let after_warmup = parallel::pool_spawned_threads();
+    for _ in 0..20 {
+        let _ = matmul(&a, &b);
+        let _ = matmul_tn(&a, &b);
+        let _ = matmul_nt(&a, &b);
+    }
+    let after_burst = parallel::pool_spawned_threads();
+    parallel::set_threads(0);
+    assert_eq!(
+        after_warmup, after_burst,
+        "matmul dispatches must not spawn threads per call"
+    );
+    assert!(
+        after_warmup >= 3,
+        "a 4-way dispatch should have populated the pool (got {after_warmup})"
+    );
+}
