@@ -6,10 +6,17 @@
 //! seed's naive kernel on the same shapes so the blocked-GEMM speedup is
 //! directly visible in one report. `matmul_conv_shapes` covers the skinny
 //! `[oc, c*k*k] @ [c*k*k, N*oh*ow]` products that convolution lowers to.
+//! `microkernel_tier` times the same 256³ product under forced-portable and
+//! forced-SIMD dispatch, and `attention_batched` compares attention's
+//! per-head products run serially (one kernel call per head, as the layer
+//! used to) against one `matmul_batch` dispatch for the whole `B·H` batch.
 
-use amalgam_bench::matmul_ikj_reference as matmul_ikj;
-use amalgam_tensor::kernels::{im2col, matmul, matmul_nt, matmul_tn, Conv2dGeom};
-use amalgam_tensor::{parallel, Rng, Tensor};
+use amalgam_bench::{attention_qk_serial_per_head, matmul_ikj_reference as matmul_ikj};
+use amalgam_tensor::kernels::{
+    im2col, matmul, matmul_batch_nt_scaled_into, matmul_nt, matmul_tn, Conv2dGeom,
+};
+use amalgam_tensor::simd::{self, Tier};
+use amalgam_tensor::{parallel, scratch, Rng, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -79,6 +86,57 @@ fn bench_matmul_conv_shapes(c: &mut Criterion) {
     parallel::set_threads(0);
 }
 
+fn bench_microkernel_tier(c: &mut Criterion) {
+    // Same 256³ product under each micro-kernel tier (results are bitwise
+    // identical; only the inner loop's code generation differs).
+    parallel::set_threads(1);
+    let mut group = c.benchmark_group("microkernel_tier_256");
+    let mut rng = Rng::seed_from(5);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    group.bench_function("portable", |bch| {
+        simd::force_tier(Some(Tier::Portable));
+        bch.iter(|| matmul(&a, &b));
+        simd::force_tier(None);
+    });
+    if simd::simd_available() {
+        group.bench_function("simd", |bch| {
+            simd::force_tier(Some(Tier::Simd));
+            bch.iter(|| matmul(&a, &b));
+            simd::force_tier(None);
+        });
+    }
+    group.finish();
+    parallel::set_threads(0);
+}
+
+fn bench_attention_batched(c: &mut Criterion) {
+    // B·H = 64 heads of Q·Kᵀ over [T, dh] = [128, 64]: the per-head loop the
+    // attention layer used to run vs one batched dispatch (default threads).
+    let (heads, t, dh) = (64usize, 128usize, 64usize);
+    let mut rng = Rng::seed_from(6);
+    let qh = Tensor::randn(&[heads, t, dh], &mut rng);
+    let kh = Tensor::randn(&[heads, t, dh], &mut rng);
+    let alpha = 1.0 / (dh as f32).sqrt();
+
+    let mut group = c.benchmark_group("attention_qk_64x128x64");
+    group.bench_function("serial_per_head", |bch| {
+        bch.iter(|| {
+            let mut out = scratch::take_tensor_raw(&[heads, t, t]);
+            attention_qk_serial_per_head(&qh, &kh, alpha, &mut out);
+            scratch::give_tensor(out);
+        });
+    });
+    group.bench_function("batched", |bch| {
+        bch.iter(|| {
+            let mut out = scratch::take_tensor_raw(&[heads, t, t]);
+            matmul_batch_nt_scaled_into(&qh, &kh, alpha, &mut out);
+            scratch::give_tensor(out);
+        });
+    });
+    group.finish();
+}
+
 fn bench_im2col(c: &mut Criterion) {
     let mut group = c.benchmark_group("im2col");
     let mut rng = Rng::seed_from(1);
@@ -122,6 +180,8 @@ criterion_group!(
     bench_matmul,
     bench_matmul_transposed,
     bench_matmul_conv_shapes,
+    bench_microkernel_tier,
+    bench_attention_batched,
     bench_im2col,
     bench_masked_gather
 );

@@ -52,6 +52,66 @@ pub fn matmul_ikj_reference(
     out
 }
 
+/// The serial per-head attention Q·Kᵀ loop: one kernel dispatch per head
+/// into disjoint `[T, T]` output slices, with the `1/√dh` scale applied as a
+/// separate pass — exactly the loop shape the attention layer ran before
+/// the batched GEMM. One copy shared by `benches/kernels.rs` and the
+/// `kernels-quick` CI gate so the two baselines cannot drift apart.
+///
+/// `qh`/`kh` are head-major `[heads, T, dh]`; `out` is `[heads, T, T]`.
+pub fn attention_qk_serial_per_head(
+    qh: &amalgam_tensor::Tensor,
+    kh: &amalgam_tensor::Tensor,
+    alpha: f32,
+    out: &mut amalgam_tensor::Tensor,
+) {
+    use amalgam_tensor::{gemm, pack::MatRef};
+    let (heads, t, dh) = (qh.dims()[0], qh.dims()[1], qh.dims()[2]);
+    for i in 0..heads {
+        let cslice = &mut out.data_mut()[i * t * t..(i + 1) * t * t];
+        cslice.fill(0.0);
+        gemm::gemm(
+            t,
+            t,
+            dh,
+            MatRef::row_major(&qh.data()[i * t * dh..], dh),
+            MatRef {
+                data: &kh.data()[i * t * dh..],
+                rs: 1,
+                cs: dh,
+            },
+            cslice,
+        );
+        for v in cslice.iter_mut() {
+            *v *= alpha;
+        }
+    }
+}
+
+/// The serial per-head attention P·V loop (see
+/// [`attention_qk_serial_per_head`]): `probs` is `[heads, T, T]`, `vh` is
+/// `[heads, T, dh]`, `out` is `[heads, T, dh]`.
+pub fn attention_pv_serial_per_head(
+    probs: &amalgam_tensor::Tensor,
+    vh: &amalgam_tensor::Tensor,
+    out: &mut amalgam_tensor::Tensor,
+) {
+    use amalgam_tensor::{gemm, pack::MatRef};
+    let (heads, t, dh) = (vh.dims()[0], vh.dims()[1], vh.dims()[2]);
+    for i in 0..heads {
+        let cslice = &mut out.data_mut()[i * t * dh..(i + 1) * t * dh];
+        cslice.fill(0.0);
+        gemm::gemm(
+            t,
+            dh,
+            t,
+            MatRef::row_major(&probs.data()[i * t * t..], t),
+            MatRef::row_major(&vh.data()[i * t * dh..], dh),
+            cslice,
+        );
+    }
+}
+
 /// Harness options parsed from the command line.
 #[derive(Debug, Clone)]
 pub struct Options {

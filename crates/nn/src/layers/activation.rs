@@ -2,7 +2,16 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::spec::LayerSpec;
-use amalgam_tensor::Tensor;
+use amalgam_tensor::{scratch, Tensor};
+
+/// A scratch-arena copy of `src` (the activation caches are same-sized every
+/// step, so the copy's storage round-trips through the arena instead of the
+/// allocator).
+fn cache_copy(src: &Tensor) -> Tensor {
+    let mut out = scratch::take_tensor_raw(src.dims());
+    out.data_mut().copy_from_slice(src.data());
+    out
+}
 
 macro_rules! unary_activation {
     ($(#[$doc:meta])* $name:ident, $tag:ident, fwd = $fwd:expr, bwd = $bwd:expr) => {
@@ -26,16 +35,21 @@ macro_rules! unary_activation {
 
             fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
                 assert_eq!(inputs.len(), 1, concat!(stringify!($name), " takes one input"));
+                if let Some(stale) = self.cache.take() {
+                    scratch::give_tensor(stale);
+                }
                 let fwd: fn(f32) -> f32 = $fwd;
                 let y = inputs[0].map(fwd);
-                self.cache = Some(y.clone());
+                self.cache = Some(cache_copy(&y));
                 y
             }
 
             fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
                 let y = self.cache.take().expect(concat!(stringify!($name), " backward before forward"));
                 let bwd: fn(f32) -> f32 = $bwd;
-                vec![grad_out.zip_map(&y, |g, yv| g * bwd(yv))]
+                let dx = grad_out.zip_map(&y, |g, yv| g * bwd(yv));
+                scratch::give_tensor(y);
+                vec![dx]
             }
 
             fn params(&self) -> Vec<&Param> {
@@ -106,20 +120,25 @@ impl Layer for Gelu {
 
     fn forward(&mut self, inputs: &[&Tensor], _mode: Mode) -> Tensor {
         assert_eq!(inputs.len(), 1, "Gelu takes one input");
-        self.cache = Some(inputs[0].clone());
+        if let Some(stale) = self.cache.take() {
+            scratch::give_tensor(stale);
+        }
+        self.cache = Some(cache_copy(inputs[0]));
         inputs[0].map(|x| x * Self::phi(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
         let x = self.cache.take().expect("Gelu backward before forward");
-        vec![grad_out.zip_map(&x, |g, xv| {
+        let dx = grad_out.zip_map(&x, |g, xv| {
             const C: f32 = 0.797_884_6;
             let inner = C * (xv + 0.044_715 * xv * xv * xv);
             let t = inner.tanh();
             let sech2 = 1.0 - t * t;
             let dphi = 0.5 * sech2 * C * (1.0 + 3.0 * 0.044_715 * xv * xv);
             g * (0.5 * (1.0 + t) + xv * dphi)
-        })]
+        });
+        scratch::give_tensor(x);
+        vec![dx]
     }
 
     fn spec(&self) -> LayerSpec {

@@ -1,7 +1,16 @@
 //! Multi-head self-attention (transformer building block).
+//!
+//! All per-(batch, head) products — Q·Kᵀ and P·V in the forward pass, and
+//! the four products of the backward pass — run through the batched GEMM
+//! (`matmul_batch_*`), so a layer with `B·H` heads pays **one** worker-pool
+//! dispatch per product instead of `B·H` serial kernel calls, and the
+//! `1/√dh` score scale is folded into the batched Q·Kᵀ epilogue. Heads are
+//! staged head-major (`[B·H, T, dh]`) in scratch-arena tensors so the
+//! batched kernels see contiguous row-major items.
 
 use crate::layer::{Layer, Mode, Param};
 use crate::spec::LayerSpec;
+use amalgam_tensor::tensor::softmax_rows_in_place;
 use amalgam_tensor::{kernels, scratch, Rng, Tensor};
 
 /// Multi-head scaled-dot-product self-attention over `[B, T, D]`.
@@ -22,34 +31,50 @@ pub struct MultiHeadSelfAttention {
 #[derive(Debug, Clone)]
 struct AttnCache {
     x2d: Tensor, // [B*T, D]
-    q: Tensor,   // [B*T, D]
-    k: Tensor,
-    v: Tensor,
-    o: Tensor,          // pre-Wo concat of heads, [B*T, D]
-    probs: Vec<Tensor>, // per (b, h): [T, T]
+    qh: Tensor,  // head-major [B*H, T, dh]
+    kh: Tensor,
+    vh: Tensor,
+    o: Tensor,     // pre-Wo concat of heads, [B*T, D]
+    probs: Tensor, // [B*H, T, T]
     bt: (usize, usize),
 }
 
-/// Copies columns `[c0, c1)` of an `[rows, d]` matrix slice into a
-/// scratch-backed `[rows, c1-c0]` staging tensor (return with
-/// [`scratch::give_tensor`] when done).
-fn take_cols(data: &[f32], rows: usize, d: usize, c0: usize, c1: usize) -> Tensor {
-    let w = c1 - c0;
-    let mut out = scratch::take_tensor_raw(&[rows, w]);
-    for r in 0..rows {
-        out.data_mut()[r * w..(r + 1) * w].copy_from_slice(&data[r * d + c0..r * d + c1]);
+/// Restages a `[B*T, D]` projection head-major as `[B*H, T, dh]` in a
+/// scratch-backed tensor (return with [`scratch::give_tensor`] when done).
+fn split_heads(src: &Tensor, b: usize, t: usize, h: usize, dh: usize) -> Tensor {
+    let d = h * dh;
+    let mut out = scratch::take_tensor_raw(&[b * h, t, dh]);
+    let dst = out.data_mut();
+    let data = src.data();
+    for bi in 0..b {
+        for hi in 0..h {
+            let head = (bi * h + hi) * t * dh;
+            for r in 0..t {
+                let row = (bi * t + r) * d + hi * dh;
+                dst[head + r * dh..head + (r + 1) * dh].copy_from_slice(&data[row..row + dh]);
+            }
+        }
     }
     out
 }
 
-/// Adds `src: [rows, c1-c0]` into columns `[c0, c1)` of `dst` (an `[rows, d]` slice).
-fn add_cols(dst: &mut [f32], rows: usize, d: usize, c0: usize, c1: usize, src: &Tensor) {
-    let w = c1 - c0;
-    for r in 0..rows {
-        for j in 0..w {
-            dst[r * d + c0 + j] += src.data()[r * w + j];
+/// The adjoint restaging: head-major `[B*H, T, dh]` back to `[B*T, D]`
+/// (each head owns a disjoint column slice, so this is a pure copy).
+fn merge_heads(heads: &Tensor, b: usize, t: usize, h: usize, dh: usize) -> Tensor {
+    let d = h * dh;
+    let mut out = scratch::take_tensor_raw(&[b * t, d]);
+    let dst = out.data_mut();
+    let data = heads.data();
+    for bi in 0..b {
+        for hi in 0..h {
+            let head = (bi * h + hi) * t * dh;
+            for r in 0..t {
+                let row = (bi * t + r) * d + hi * dh;
+                dst[row..row + dh].copy_from_slice(&data[head + r * dh..head + (r + 1) * dh]);
+            }
         }
     }
+    out
 }
 
 impl MultiHeadSelfAttention {
@@ -119,6 +144,26 @@ impl MultiHeadSelfAttention {
     pub fn heads(&self) -> usize {
         self.heads
     }
+
+    /// Recycles a cache's tensors into the scratch arena (forward replaces
+    /// the cache on every call; eval loops would otherwise churn the
+    /// allocator).
+    fn reclaim_cache(&mut self) {
+        if let Some(cache) = self.cache.take() {
+            let AttnCache {
+                x2d,
+                qh,
+                kh,
+                vh,
+                o,
+                probs,
+                ..
+            } = cache;
+            for staging in [x2d, qh, kh, vh, o, probs] {
+                scratch::give_tensor(staging);
+            }
+        }
+    }
 }
 
 impl Layer for MultiHeadSelfAttention {
@@ -136,6 +181,7 @@ impl Layer for MultiHeadSelfAttention {
         let h = self.heads;
         let dh = d / h;
         let alpha = 1.0 / (dh as f32).sqrt();
+        self.reclaim_cache();
 
         let x2d = x.reshape(&[b * t, d]);
         let mut q = scratch::take_tensor_raw(&[b * t, d]);
@@ -145,50 +191,38 @@ impl Layer for MultiHeadSelfAttention {
         let mut v = scratch::take_tensor_raw(&[b * t, d]);
         kernels::matmul_into(&x2d, &self.wv.value, &mut v);
 
-        let mut o = scratch::take_tensor(&[b * t, d]);
-        let mut probs = Vec::with_capacity(b * h);
-        for bi in 0..b {
-            let row0 = bi * t;
-            for hi in 0..h {
-                let (c0, c1) = (hi * dh, (hi + 1) * dh);
-                let qh = take_cols(&q.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
-                let kh = take_cols(&k.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
-                let vh = take_cols(&v.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
-                let mut s = scratch::take_tensor_raw(&[t, t]);
-                kernels::matmul_nt_into(&qh, &kh, &mut s);
-                s.scale_in_place(alpha);
-                if self.causal {
-                    for i in 0..t {
-                        for j in (i + 1)..t {
-                            s.data_mut()[i * t + j] = -1e30;
-                        }
+        let qh = split_heads(&q, b, t, h, dh);
+        let kh = split_heads(&k, b, t, h, dh);
+        let vh = split_heads(&v, b, t, h, dh);
+        for staging in [v, k, q] {
+            scratch::give_tensor(staging);
+        }
+
+        // All B·H score products in one batched dispatch, scale folded in.
+        let mut probs = scratch::take_tensor_raw(&[b * h, t, t]);
+        kernels::matmul_batch_nt_scaled_into(&qh, &kh, alpha, &mut probs);
+        if self.causal {
+            for item in probs.data_mut().chunks_mut(t * t) {
+                for i in 0..t {
+                    for s in item[i * t + i + 1..(i + 1) * t].iter_mut() {
+                        *s = -1e30;
                     }
                 }
-                let p = s.softmax_rows();
-                let mut oh = scratch::take_tensor_raw(&[t, dh]);
-                kernels::matmul_into(&p, &vh, &mut oh); // [T, dh]
-                add_cols(
-                    &mut o.data_mut()[row0 * d..(row0 + t) * d],
-                    t,
-                    d,
-                    c0,
-                    c1,
-                    &oh,
-                );
-                scratch::give_tensor(oh);
-                scratch::give_tensor(s);
-                scratch::give_tensor(vh);
-                scratch::give_tensor(kh);
-                scratch::give_tensor(qh);
-                probs.push(p);
             }
         }
+        softmax_rows_in_place(probs.data_mut(), t);
+
+        let mut oh = scratch::take_tensor_raw(&[b * h, t, dh]);
+        kernels::matmul_batch_into(&probs, &vh, &mut oh);
+        let o = merge_heads(&oh, b, t, h, dh);
+        scratch::give_tensor(oh);
+
         let mut y = o.matmul(&self.wo.value);
         self.cache = Some(AttnCache {
             x2d,
-            q,
-            k,
-            v,
+            qh,
+            kh,
+            vh,
             o,
             probs,
             bt: (b, t),
@@ -200,9 +234,9 @@ impl Layer for MultiHeadSelfAttention {
     fn backward(&mut self, grad_out: &Tensor) -> Vec<Tensor> {
         let AttnCache {
             x2d,
-            q,
-            k,
-            v,
+            qh,
+            kh,
+            vh,
             o,
             probs,
             bt: (b, t),
@@ -224,72 +258,47 @@ impl Layer for MultiHeadSelfAttention {
         kernels::matmul_nt_into(&g2d, &self.wo.value, &mut d_o); // [B*T, D]
         scratch::give_tensor(o);
 
-        let mut dq = scratch::take_tensor(&[b * t, d]);
-        let mut dk = scratch::take_tensor(&[b * t, d]);
-        let mut dv = scratch::take_tensor(&[b * t, d]);
+        let doh = split_heads(&d_o, b, t, h, dh);
+        scratch::give_tensor(d_o);
 
-        for bi in 0..b {
-            let row0 = bi * t;
-            for hi in 0..h {
-                let (c0, c1) = (hi * dh, (hi + 1) * dh);
-                let p = &probs[bi * h + hi];
-                let qh = take_cols(&q.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
-                let kh = take_cols(&k.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
-                let vh = take_cols(&v.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
-                let doh = take_cols(&d_o.data()[row0 * d..(row0 + t) * d], t, d, c0, c1);
+        // dP = dO · Vᵀ and dV = Pᵀ · dO, each as one batched dispatch.
+        let mut dp = scratch::take_tensor_raw(&[b * h, t, t]);
+        kernels::matmul_batch_nt_into(&doh, &vh, &mut dp);
+        let mut dvh = scratch::take_tensor_raw(&[b * h, t, dh]);
+        kernels::matmul_batch_tn_into(&probs, &doh, &mut dvh);
+        scratch::give_tensor(doh);
 
-                let mut dp = scratch::take_tensor_raw(&[t, t]);
-                kernels::matmul_nt_into(&doh, &vh, &mut dp); // [T, T]
-                let mut dvh = scratch::take_tensor_raw(&[t, dh]);
-                kernels::matmul_tn_into(p, &doh, &mut dvh); // [T, dh]
-                                                            // Softmax backward per row: dS = P ∘ (dP - rowsum(dP ∘ P)).
-                let mut ds = scratch::take_tensor_raw(&[t, t]);
-                for i in 0..t {
-                    let prow = &p.data()[i * t..(i + 1) * t];
-                    let dprow = &dp.data()[i * t..(i + 1) * t];
-                    let dot: f32 = prow.iter().zip(dprow).map(|(&pv, &dpv)| pv * dpv).sum();
-                    for j in 0..t {
-                        ds.data_mut()[i * t + j] = prow[j] * (dprow[j] - dot);
-                    }
-                }
-                ds.scale_in_place(alpha);
-                let mut dqh = scratch::take_tensor_raw(&[t, dh]);
-                kernels::matmul_into(&ds, &kh, &mut dqh);
-                let mut dkh = scratch::take_tensor_raw(&[t, dh]);
-                kernels::matmul_tn_into(&ds, &qh, &mut dkh);
-
-                add_cols(
-                    &mut dq.data_mut()[row0 * d..(row0 + t) * d],
-                    t,
-                    d,
-                    c0,
-                    c1,
-                    &dqh,
-                );
-                add_cols(
-                    &mut dk.data_mut()[row0 * d..(row0 + t) * d],
-                    t,
-                    d,
-                    c0,
-                    c1,
-                    &dkh,
-                );
-                add_cols(
-                    &mut dv.data_mut()[row0 * d..(row0 + t) * d],
-                    t,
-                    d,
-                    c0,
-                    c1,
-                    &dvh,
-                );
-                for staging in [dkh, dqh, ds, dvh, dp, doh, vh, kh, qh] {
-                    scratch::give_tensor(staging);
-                }
+        // Softmax backward per row, in place: dS = α · P ∘ (dP - rowsum(dP ∘ P)).
+        // The α factor multiplies each element once after the product — the
+        // same two roundings as a separate scale pass, without re-sweeping
+        // the largest backward temporary.
+        let mut ds = dp;
+        for (srow, prow) in ds.data_mut().chunks_mut(t).zip(probs.data().chunks(t)) {
+            let dot: f32 = prow
+                .iter()
+                .zip(srow.iter())
+                .map(|(&pv, &dpv)| pv * dpv)
+                .sum();
+            for (sv, &pv) in srow.iter_mut().zip(prow) {
+                *sv = (pv * (*sv - dot)) * alpha;
             }
         }
-        scratch::give_tensor(d_o);
-        for p in probs {
-            scratch::give_tensor(p);
+        scratch::give_tensor(probs);
+
+        // dQ = dS · K and dK = dSᵀ · Q, batched.
+        let mut dqh = scratch::take_tensor_raw(&[b * h, t, dh]);
+        kernels::matmul_batch_into(&ds, &kh, &mut dqh);
+        let mut dkh = scratch::take_tensor_raw(&[b * h, t, dh]);
+        kernels::matmul_batch_tn_into(&ds, &qh, &mut dkh);
+        for staging in [ds, qh, kh, vh] {
+            scratch::give_tensor(staging);
+        }
+
+        let dq = merge_heads(&dqh, b, t, h, dh);
+        let dk = merge_heads(&dkh, b, t, h, dh);
+        let dv = merge_heads(&dvh, b, t, h, dh);
+        for staging in [dqh, dkh, dvh] {
+            scratch::give_tensor(staging);
         }
 
         // dW{q,k,v} += x2dᵀ · d{q,k,v}, reusing one scratch accumulator.
@@ -309,7 +318,7 @@ impl Layer for MultiHeadSelfAttention {
         dx.add_assign(&tmp);
         kernels::matmul_nt_into(&dv, &self.wv.value, &mut tmp);
         dx.add_assign(&tmp);
-        for staging in [tmp, dv, dk, dq, q, k, v] {
+        for staging in [tmp, dv, dk, dq] {
             scratch::give_tensor(staging);
         }
         dx.reshape_in_place(&[b, t, d]);
@@ -376,6 +385,19 @@ mod tests {
                 "position 0 leaked future info"
             );
         }
+    }
+
+    #[test]
+    fn split_merge_heads_round_trip() {
+        let mut rng = Rng::seed_from(5);
+        let (b, t, h, dh) = (2usize, 3usize, 2usize, 4usize);
+        let x = Tensor::randn(&[b * t, h * dh], &mut rng);
+        let heads = split_heads(&x, b, t, h, dh);
+        assert_eq!(heads.dims(), &[b * h, t, dh]);
+        let back = merge_heads(&heads, b, t, h, dh);
+        assert_eq!(back.data(), x.data());
+        scratch::give_tensor(heads);
+        scratch::give_tensor(back);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::spec::LayerSpec;
-use amalgam_tensor::Tensor;
+use amalgam_tensor::{scratch, Tensor};
 
 /// Batch normalization over the channel axis of `[N, C, H, W]`.
 ///
@@ -24,6 +24,14 @@ struct BnCache {
     xhat: Tensor,
     inv_std: Vec<f32>,
     train: bool,
+}
+
+impl BnCache {
+    /// Recycles the cache's buffers into the scratch arena.
+    fn reclaim(self) {
+        scratch::give_tensor(self.xhat);
+        scratch::give(self.inv_std);
+    }
 }
 
 impl BatchNorm2d {
@@ -97,10 +105,15 @@ impl Layer for BatchNorm2d {
         let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
         assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
         let m = (n * hw) as f32;
+        if let Some(stale) = self.cache.take() {
+            stale.reclaim();
+        }
 
-        let mut out = Tensor::zeros(d);
-        let mut xhat = Tensor::zeros(d);
-        let mut inv_std = vec![0.0f32; c];
+        // Every element of `out`/`xhat` and every `inv_std` slot is written
+        // below, so the raw (non-zeroing) arena variants are safe.
+        let mut out = scratch::take_tensor_raw(d);
+        let mut xhat = scratch::take_tensor_raw(d);
+        let mut inv_std = scratch::take_raw(c);
         let train = mode == Mode::Train;
 
         for ci in 0..c {
@@ -161,7 +174,7 @@ impl Layer for BatchNorm2d {
         let d = xhat.dims().to_vec();
         let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
         let m = (n * hw) as f32;
-        let mut dx = Tensor::zeros(&d);
+        let mut dx = scratch::take_tensor_raw(&d);
 
         for ci in 0..c {
             let mut dgamma = 0.0f32;
@@ -190,6 +203,8 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
+        scratch::give_tensor(xhat);
+        scratch::give(inv_std);
         vec![dx]
     }
 
@@ -284,9 +299,14 @@ impl Layer for LayerNorm {
             "LayerNorm dim mismatch"
         );
         let rows = x.numel() / dim;
-        let mut out = Tensor::zeros(x.dims());
-        let mut xhat = Tensor::zeros(x.dims());
-        let mut inv_std = vec![0.0f32; rows];
+        if let Some((stale_xhat, stale_inv)) = self.cache.take() {
+            scratch::give_tensor(stale_xhat);
+            scratch::give(stale_inv);
+        }
+        // Fully overwritten below, so the raw arena variants are safe.
+        let mut out = scratch::take_tensor_raw(x.dims());
+        let mut xhat = scratch::take_tensor_raw(x.dims());
+        let mut inv_std = scratch::take_raw(rows);
         for r in 0..rows {
             let row = &x.data()[r * dim..(r + 1) * dim];
             let mu = row.iter().sum::<f32>() / dim as f32;
@@ -312,7 +332,7 @@ impl Layer for LayerNorm {
             .expect("LayerNorm backward before forward");
         let dim = self.dim();
         let rows = xhat.numel() / dim;
-        let mut dx = Tensor::zeros(xhat.dims());
+        let mut dx = scratch::take_tensor_raw(xhat.dims());
         for r in 0..rows {
             let xh = &xhat.data()[r * dim..(r + 1) * dim];
             let dy = &grad_out.data()[r * dim..(r + 1) * dim];
@@ -332,6 +352,8 @@ impl Layer for LayerNorm {
                     istd * (dyg - sum_dyg / dim as f32 - xh[i] * sum_dyg_xh / dim as f32);
             }
         }
+        scratch::give_tensor(xhat);
+        scratch::give(inv_std);
         vec![dx]
     }
 

@@ -6,7 +6,7 @@
 //! per-sub-network update `θᵗ⁺¹ₛ ← θᵗₛ − η gᵗₛ`.
 
 use crate::layer::Param;
-use amalgam_tensor::Tensor;
+use amalgam_tensor::{scratch, Tensor};
 
 /// Stochastic gradient descent with optional momentum and weight decay.
 #[derive(Debug, Clone)]
@@ -67,10 +67,19 @@ impl Sgd {
                 .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
-            let mut g = p.grad.clone();
-            if self.weight_decay != 0.0 {
-                g.axpy(self.weight_decay, &p.value);
-            }
+            let Param { value, grad } = &mut **p;
+            // The decayed gradient is the only temporary; it is staged in
+            // the scratch arena (and only when decay is on — the plain path
+            // reads the gradient in place, no copy at all).
+            let staged = if self.weight_decay != 0.0 {
+                let mut g = scratch::take_tensor_raw(grad.dims());
+                g.data_mut().copy_from_slice(grad.data());
+                g.axpy(self.weight_decay, value);
+                Some(g)
+            } else {
+                None
+            };
+            let g: &Tensor = staged.as_ref().unwrap_or(grad);
             if self.momentum != 0.0 {
                 let v = &mut self.velocity[i];
                 assert!(
@@ -78,10 +87,13 @@ impl Sgd {
                     "param list changed between steps"
                 );
                 v.scale_in_place(self.momentum);
-                v.add_assign(&g);
-                p.value.axpy(-self.lr, v);
+                v.add_assign(g);
+                value.axpy(-self.lr, v);
             } else {
-                p.value.axpy(-self.lr, &g);
+                value.axpy(-self.lr, g);
+            }
+            if let Some(g) = staged {
+                scratch::give_tensor(g);
             }
         }
     }

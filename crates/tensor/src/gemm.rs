@@ -9,12 +9,13 @@
 //! * the packed `KC × NC` B panel stays resident in L3 (or main memory on
 //!   small parts) and is reused by every row block.
 //!
-//! Inside a block, [`microkernel`] computes an `MR × NR` tile of `C` with the
-//! full tile held in an explicitly-unrolled register accumulator; the
-//! compiler autovectorizes the `NR`-wide inner loop (8 f32 lanes = two SSE /
-//! one AVX vector per row). Operands are read through
-//! [`MatRef`](crate::pack::MatRef) stride views, so the `Aᵀ`/`Bᵀ` variants
-//! are packing-order choices, not separate kernels.
+//! Inside a block, a micro-kernel computes an `MR × NR` tile of `C` with the
+//! full tile held in an explicitly-unrolled register accumulator. The kernel
+//! itself is runtime-dispatched through [`simd`](crate::simd): a hand-written
+//! AVX2/NEON implementation where the CPU has one, the portable scalar tile
+//! loop everywhere else — all tiers bitwise identical. Operands are read
+//! through [`MatRef`](crate::pack::MatRef) stride views, so the `Aᵀ`/`Bᵀ`
+//! variants are packing-order choices, not separate kernels.
 //!
 //! Row blocks are farmed out to the persistent worker pool
 //! ([`parallel`](crate::parallel)); each worker packs its own A panel into a
@@ -26,8 +27,16 @@
 //! Shapes with `m·n·k` at or below [`SMALL_FLOPS`] skip packing *and* the
 //! pool entirely and run a direct loop on the calling thread, so tiny
 //! matmuls (≤ 32³) pay no blocking or dispatch overhead.
+//!
+//! [`gemm_batch`] extends the same machinery to N independent products that
+//! share one `(m, n, k)` shape — the pattern attention lowers to, with one
+//! small product per (batch, head). The whole batch is dispatched to the
+//! pool as a *single* parallel-for over the concatenated output rows, so a
+//! transformer layer pays one pool handoff instead of `B·H` of them, and a
+//! shared B operand (batch stride 0) is packed once for every item.
 
 use crate::pack::{pack_a, pack_b, MatRef};
+use crate::simd::{self, MicroKernelFn};
 use crate::{parallel, scratch};
 
 /// Micro-tile rows: C tile height held in registers.
@@ -67,6 +76,7 @@ pub fn gemm(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, c: &mut 
         small_gemm(m, n, k, a, b, c);
         return;
     }
+    let ukr = simd::microkernel();
     for jc in (0..n).step_by(NC) {
         let nc = (n - jc).min(NC);
         for pc in (0..k).step_by(KC) {
@@ -79,10 +89,188 @@ pub fn gemm(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, c: &mut 
                 for ic in (r0..r1).step_by(MC) {
                     let mc = (r1 - ic).min(MC);
                     pack_a(a, ic, pc, mc, kc, &mut pa);
-                    macro_kernel(&pa, pb, mc, nc, kc, &mut rows[(ic - r0) * n + jc..], n);
+                    macro_kernel(&pa, pb, mc, nc, kc, &mut rows[(ic - r0) * n + jc..], n, ukr);
                 }
                 scratch::give(pa);
             });
+            scratch::give(pb_buf);
+        }
+    }
+}
+
+/// One matrix per batch item, all sharing element strides: item `i` is a
+/// [`MatRef`] whose data starts `i * stride` elements into `data`.
+///
+/// `stride == 0` means every item reads the *same* matrix (a shared
+/// operand), which lets [`gemm_batch`] pack it once for the whole batch.
+#[derive(Clone, Copy)]
+pub struct BatchMat<'a> {
+    /// Backing storage for all items.
+    pub data: &'a [f32],
+    /// Elements between consecutive items (0 = one matrix shared by all).
+    pub stride: usize,
+    /// Element stride between consecutive rows of one item.
+    pub rs: usize,
+    /// Element stride between consecutive columns of one item.
+    pub cs: usize,
+}
+
+impl<'a> BatchMat<'a> {
+    /// Items stored back-to-back as row-major `[rows, cols]` matrices.
+    pub fn row_major(data: &'a [f32], rows: usize, cols: usize) -> BatchMat<'a> {
+        BatchMat {
+            data,
+            stride: rows * cols,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// Items stored back-to-back as row-major `[rows, cols]` matrices, each
+    /// *used* as its transpose (`[cols, rows]`) — no copies.
+    pub fn transposed(data: &'a [f32], rows: usize, cols: usize) -> BatchMat<'a> {
+        BatchMat {
+            data,
+            stride: rows * cols,
+            rs: 1,
+            cs: cols,
+        }
+    }
+
+    /// One matrix shared by every batch item.
+    pub fn shared(mat: MatRef<'a>) -> BatchMat<'a> {
+        BatchMat {
+            data: mat.data,
+            stride: 0,
+            rs: mat.rs,
+            cs: mat.cs,
+        }
+    }
+
+    /// The `i`-th item as a [`MatRef`].
+    #[inline(always)]
+    pub fn item(&self, i: usize) -> MatRef<'a> {
+        MatRef {
+            data: &self.data[i * self.stride..],
+            rs: self.rs,
+            cs: self.cs,
+        }
+    }
+}
+
+/// Batched GEMM: `C_i = alpha · (A_i · B_i)` for `batch` independent
+/// products sharing one `(m, n, k)` shape.
+///
+/// `c` holds the outputs back-to-back (`c[i*m*n..]` is item `i`, row-major)
+/// and is fully overwritten. The whole batch is one parallel-for over the
+/// concatenated `batch * m` output rows — one pool dispatch regardless of
+/// the batch size, which is what lets attention's per-(batch, head) products
+/// scale with cores instead of running serially per head. A shared B
+/// (`stride == 0`) that fits a single cache block is packed once up front.
+///
+/// Per item, the result is bitwise identical to `gemm` on that item followed
+/// by a multiplication of each output element by `alpha` (the path choice,
+/// blocking and per-element `k` order all match), for any thread count.
+///
+/// # Panics
+///
+/// Panics if `c.len() != batch * m * n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batch(
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: BatchMat<'_>,
+    b: BatchMat<'_>,
+    alpha: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(c.len(), batch * m * n, "gemm_batch output buffer mismatch");
+    if batch == 0 || m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let small = m * n * k <= SMALL_FLOPS;
+    let ukr = simd::microkernel();
+    // A shared B that fits one (KC, NC) block is packed once, outside the
+    // parallel region; larger or per-item Bs are packed by each worker.
+    let mut shared_pb_buf = Vec::new();
+    let shared_pb: Option<&[f32]> = if !small && b.stride == 0 && k <= KC && n <= NC {
+        shared_pb_buf = scratch::take_raw(n.div_ceil(NR) * NR * k);
+        pack_b(b.item(0), 0, 0, k, n, &mut shared_pb_buf);
+        Some(&shared_pb_buf)
+    } else {
+        None
+    };
+
+    parallel::parallel_rows_mut(c, batch * m, n, ROWS_MIN_CHUNK.min(m), |r0, r1, rows| {
+        let mut row = r0;
+        while row < r1 {
+            let bi = row / m;
+            let item_end = ((bi + 1) * m).min(r1);
+            let local0 = row - bi * m;
+            let nrows = item_end - row;
+            let cslice = &mut rows[(row - r0) * n..(item_end - r0) * n];
+            cslice.fill(0.0);
+            let av = a.item(bi).sub_rows(local0);
+            let bv = b.item(bi);
+            if small {
+                small_gemm(nrows, n, k, av, bv, cslice);
+            } else {
+                blocked_rows(nrows, n, k, av, bv, cslice, shared_pb, ukr);
+            }
+            if alpha != 1.0 {
+                for v in cslice.iter_mut() {
+                    *v *= alpha;
+                }
+            }
+            row = item_end;
+        }
+    });
+    scratch::give(shared_pb_buf);
+}
+
+/// Blocked GEMM over a row range of one batch item, on the calling thread.
+///
+/// Same `NC → KC` block walk (and therefore the same per-element `k`
+/// association) as [`gemm`]; only the row partitioning differs, which never
+/// affects results.
+#[allow(clippy::too_many_arguments)]
+fn blocked_rows(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut [f32],
+    shared_pb: Option<&[f32]>,
+    ukr: MicroKernelFn,
+) {
+    for jc in (0..n).step_by(NC) {
+        let nc = (n - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            let mut pb_buf = Vec::new();
+            let pb: &[f32] = match shared_pb {
+                // The pre-packed shared panel covers the whole (k, n) extent.
+                Some(panel) => panel,
+                None => {
+                    pb_buf = scratch::take_raw(nc.div_ceil(NR) * NR * kc);
+                    pack_b(b, pc, jc, kc, nc, &mut pb_buf);
+                    &pb_buf
+                }
+            };
+            let mut pa = scratch::take_raw(m.min(MC).div_ceil(MR) * MR * kc);
+            for ic in (0..m).step_by(MC) {
+                let mc = (m - ic).min(MC);
+                pack_a(a, ic, pc, mc, kc, &mut pa);
+                macro_kernel(&pa, pb, mc, nc, kc, &mut c[ic * n + jc..], n, ukr);
+            }
+            scratch::give(pa);
             scratch::give(pb_buf);
         }
     }
@@ -93,6 +281,7 @@ pub fn gemm(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, c: &mut 
 /// `c` starts at the block's top-left element; rows are `ldc` elements
 /// apart (the full C row stride), so the block occupies
 /// `c[i*ldc .. i*ldc + nc]` for `i < mc`.
+#[allow(clippy::too_many_arguments)]
 fn macro_kernel(
     pa: &[f32],
     pb: &[f32],
@@ -101,6 +290,7 @@ fn macro_kernel(
     kc: usize,
     c: &mut [f32],
     ldc: usize,
+    ukr: MicroKernelFn,
 ) {
     let a_panels = mc.div_ceil(MR);
     let b_panels = nc.div_ceil(NR);
@@ -113,7 +303,7 @@ fn macro_kernel(
             let i_base = ip * MR;
             let nrows = (mc - i_base).min(MR);
             let apanel = &pa[ip * kc * MR..(ip + 1) * kc * MR];
-            microkernel(kc, apanel, bpanel, &mut acc);
+            ukr(kc, apanel, bpanel, &mut acc);
             for i in 0..nrows {
                 let row0 = (i_base + i) * ldc + j_base;
                 let crow = &mut c[row0..row0 + ncols];
@@ -121,25 +311,6 @@ fn macro_kernel(
                 for (cv, &av) in crow.iter_mut().zip(arow) {
                     *cv += av;
                 }
-            }
-        }
-    }
-}
-
-/// Rank-`kc` update of one `MR × NR` tile, fully held in `acc`.
-///
-/// Both panels are K-major and zero-padded to the tile size, so there are no
-/// edge branches here; the fixed-trip inner loops unroll and vectorize.
-#[inline(always)]
-fn microkernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; MR * NR]) {
-    acc.fill(0.0);
-    for p in 0..kc {
-        let a: &[f32; MR] = pa[p * MR..].first_chunk().expect("packed A panel");
-        let b: &[f32; NR] = pb[p * NR..].first_chunk().expect("packed B panel");
-        for i in 0..MR {
-            let ai = a[i];
-            for j in 0..NR {
-                acc[i * NR + j] += ai * b[j];
             }
         }
     }
@@ -253,6 +424,94 @@ mod tests {
         let mut c = vec![0.0f32; m * n];
         gemm(m, n, k, a, b_t, &mut c);
         assert_eq!(c, reference(m, n, k, a, b_t));
+    }
+
+    #[test]
+    fn gemm_batch_matches_looped_gemm_bitwise() {
+        // One small-path and one blocked-path shape, plus an edge tile.
+        for &(batch, m, n, k) in &[
+            (3usize, 5usize, 7usize, 6usize),
+            (2, 40, 33, 65),
+            (4, 9, 8, 257),
+        ] {
+            let ad = ramp(batch * m * k);
+            let bd = ramp(batch * k * n);
+            let mut want = vec![0.0f32; batch * m * n];
+            for bi in 0..batch {
+                gemm(
+                    m,
+                    n,
+                    k,
+                    MatRef::row_major(&ad[bi * m * k..], k),
+                    MatRef::row_major(&bd[bi * k * n..], n),
+                    &mut want[bi * m * n..(bi + 1) * m * n],
+                );
+            }
+            let mut got = vec![f32::NAN; batch * m * n];
+            gemm_batch(
+                batch,
+                m,
+                n,
+                k,
+                BatchMat::row_major(&ad, m, k),
+                BatchMat::row_major(&bd, k, n),
+                1.0,
+                &mut got,
+            );
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "batch mismatch at ({batch},{m},{n},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_batch_shared_b_and_alpha() {
+        let (batch, m, n, k) = (3usize, 33usize, 17usize, 40usize);
+        let ad = ramp(batch * m * k);
+        let bd = ramp(k * n);
+        let b = MatRef::row_major(&bd, n);
+        let alpha = 0.125f32;
+        let mut want = vec![0.0f32; batch * m * n];
+        for bi in 0..batch {
+            gemm(
+                m,
+                n,
+                k,
+                MatRef::row_major(&ad[bi * m * k..], k),
+                b,
+                &mut want[bi * m * n..(bi + 1) * m * n],
+            );
+        }
+        for v in want.iter_mut() {
+            *v *= alpha;
+        }
+        let mut got = vec![f32::NAN; batch * m * n];
+        gemm_batch(
+            batch,
+            m,
+            n,
+            k,
+            BatchMat::row_major(&ad, m, k),
+            BatchMat::shared(b),
+            alpha,
+            &mut got,
+        );
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn gemm_batch_degenerate_k_zeroes_output() {
+        let data: Vec<f32> = Vec::new();
+        let a = BatchMat::row_major(&data, 2, 0);
+        let b = BatchMat::row_major(&data, 0, 2);
+        let mut c = vec![f32::NAN; 2 * 2 * 2];
+        gemm_batch(2, 2, 2, 0, a, b, 1.0, &mut c);
+        assert!(c.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -6,8 +6,13 @@
 //! [`MatRef`] views, so `A`, `Aᵀ` and `Bᵀ` share one kernel and one packing
 //! code path. The `*_into` variants write into caller-provided tensors so
 //! hot loops can recycle buffers through [`crate::scratch`].
+//!
+//! The `matmul_batch_*` family runs N independent same-shape products (a
+//! `[N, ·, ·]` rank-3 tensor per operand, or a rank-2 B shared by every
+//! item) as a *single* pool dispatch via [`gemm::gemm_batch`] — the shape
+//! attention's per-(batch, head) products lower to.
 
-use crate::gemm;
+use crate::gemm::{self, BatchMat};
 use crate::pack::MatRef;
 use crate::parallel;
 use crate::tensor::Tensor;
@@ -143,6 +148,137 @@ fn matmul_nt_unchecked(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         k,
         MatRef::row_major(a.data(), k),
         MatRef::transposed(b.data(), k),
+        out.data_mut(),
+    );
+}
+
+/// Validates a rank-3 batched operand `[N, rows, cols]` and returns
+/// `(n, rows, cols)`.
+fn batch_dims(t: &Tensor, what: &str) -> (usize, usize, usize) {
+    assert_eq!(t.shape().rank(), 3, "{what} must be [N, rows, cols]");
+    (t.dims()[0], t.dims()[1], t.dims()[2])
+}
+
+/// Resolves B as either a per-item rank-3 `[N, rows, cols]` batch or a
+/// shared rank-2 `[rows, cols]` matrix, checking the batch count.
+fn batch_b<'a>(b: &'a Tensor, batch: usize, what: &str) -> (BatchMat<'a>, usize, usize) {
+    match b.shape().rank() {
+        2 => {
+            let (rows, cols) = (b.dims()[0], b.dims()[1]);
+            (
+                BatchMat::shared(MatRef::row_major(b.data(), cols)),
+                rows,
+                cols,
+            )
+        }
+        3 => {
+            let (nb, rows, cols) = batch_dims(b, what);
+            assert_eq!(nb, batch, "{what} batch count mismatch: {nb} vs {batch}");
+            (BatchMat::row_major(b.data(), rows, cols), rows, cols)
+        }
+        r => panic!("{what} must be rank 2 (shared) or 3 (batched), got rank {r}"),
+    }
+}
+
+/// Batched `C_i = A_i @ B_i` for `A: [N,M,K]`, `B: [N,K,P]` (or a shared
+/// `[K,P]`), writing `out: [N,M,P]` in one pool dispatch.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch between the operands and `out`.
+pub fn matmul_batch_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (batch, m, k) = batch_dims(a, "matmul_batch lhs");
+    let (bmat, kb, p) = batch_b(b, batch, "matmul_batch rhs");
+    assert_eq!(k, kb, "matmul_batch inner dims disagree: {k} vs {kb}");
+    assert_eq!(
+        out.dims(),
+        &[batch, m, p],
+        "matmul_batch output shape mismatch"
+    );
+    gemm::gemm_batch(
+        batch,
+        m,
+        p,
+        k,
+        BatchMat::row_major(a.data(), m, k),
+        bmat,
+        1.0,
+        out.data_mut(),
+    );
+}
+
+/// Batched `C_i = A_iᵀ @ B_i` for `A: [N,K,M]`, `B: [N,K,P]` (or a shared
+/// `[K,P]`), writing `out: [N,M,P]` without materializing any transpose.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch between the operands and `out`.
+pub fn matmul_batch_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (batch, k, m) = batch_dims(a, "matmul_batch_tn lhs");
+    let (bmat, kb, p) = batch_b(b, batch, "matmul_batch_tn rhs");
+    assert_eq!(k, kb, "matmul_batch_tn outer dims disagree: {k} vs {kb}");
+    assert_eq!(
+        out.dims(),
+        &[batch, m, p],
+        "matmul_batch_tn output shape mismatch"
+    );
+    gemm::gemm_batch(
+        batch,
+        m,
+        p,
+        k,
+        BatchMat::transposed(a.data(), k, m),
+        bmat,
+        1.0,
+        out.data_mut(),
+    );
+}
+
+/// Batched `C_i = A_i @ B_iᵀ` — see [`matmul_batch_nt_scaled_into`] with
+/// `alpha = 1`.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch between the operands and `out`.
+pub fn matmul_batch_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    matmul_batch_nt_scaled_into(a, b, 1.0, out);
+}
+
+/// Batched `C_i = alpha · (A_i @ B_iᵀ)` for `A: [N,M,K]`, `B: [N,P,K]` (or a
+/// shared `[P,K]`), writing `out: [N,M,P]`.
+///
+/// The scale is applied once per output element after the full `k`
+/// accumulation — bitwise identical to a plain product followed by
+/// `scale_in_place(alpha)`, which is how attention folds its `1/√dh` into
+/// the batched Q·Kᵀ.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch between the operands and `out`.
+pub fn matmul_batch_nt_scaled_into(a: &Tensor, b: &Tensor, alpha: f32, out: &mut Tensor) {
+    let (batch, m, k) = batch_dims(a, "matmul_batch_nt lhs");
+    let (bmat, p, kb) = batch_b(b, batch, "matmul_batch_nt rhs");
+    assert_eq!(k, kb, "matmul_batch_nt inner dims disagree: {k} vs {kb}");
+    assert_eq!(
+        out.dims(),
+        &[batch, m, p],
+        "matmul_batch_nt output shape mismatch"
+    );
+    // Each B item is stored [P, K] and used as its transpose [K, P].
+    let bmat = BatchMat {
+        data: bmat.data,
+        stride: bmat.stride,
+        rs: 1,
+        cs: k,
+    };
+    gemm::gemm_batch(
+        batch,
+        m,
+        p,
+        k,
+        BatchMat::row_major(a.data(), m, k),
+        bmat,
+        alpha,
         out.data_mut(),
     );
 }
@@ -375,6 +511,71 @@ mod tests {
         let mut out = Tensor::full(&[6, 4], 99.0);
         matmul_tn_into(&at, &b, &mut out);
         assert!(out.approx_eq(&matmul_tn(&at, &b), 0.0));
+    }
+
+    #[test]
+    fn batched_wrappers_match_looped_variants_bitwise() {
+        let mut rng = Rng::seed_from(21);
+        let (batch, m, k, p) = (5usize, 13usize, 9usize, 11usize);
+        let a = Tensor::randn(&[batch, m, k], &mut rng);
+        let b = Tensor::randn(&[batch, k, p], &mut rng);
+        let mut out = Tensor::full(&[batch, m, p], f32::NAN);
+        matmul_batch_into(&a, &b, &mut out);
+        for bi in 0..batch {
+            let ai = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let bim = Tensor::from_vec(b.data()[bi * k * p..(bi + 1) * k * p].to_vec(), &[k, p]);
+            let want = matmul(&ai, &bim);
+            assert_eq!(
+                &out.data()[bi * m * p..(bi + 1) * m * p],
+                want.data(),
+                "nn item {bi}"
+            );
+        }
+
+        let at = Tensor::randn(&[batch, k, m], &mut rng);
+        let mut out_tn = Tensor::full(&[batch, m, p], f32::NAN);
+        matmul_batch_tn_into(&at, &b, &mut out_tn);
+        for bi in 0..batch {
+            let ai = Tensor::from_vec(at.data()[bi * k * m..(bi + 1) * k * m].to_vec(), &[k, m]);
+            let bim = Tensor::from_vec(b.data()[bi * k * p..(bi + 1) * k * p].to_vec(), &[k, p]);
+            let want = matmul_tn(&ai, &bim);
+            assert_eq!(
+                &out_tn.data()[bi * m * p..(bi + 1) * m * p],
+                want.data(),
+                "tn item {bi}"
+            );
+        }
+
+        let bt = Tensor::randn(&[batch, p, k], &mut rng);
+        let alpha = 0.25f32;
+        let mut out_nt = Tensor::full(&[batch, m, p], f32::NAN);
+        matmul_batch_nt_scaled_into(&a, &bt, alpha, &mut out_nt);
+        for bi in 0..batch {
+            let ai = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let bim = Tensor::from_vec(bt.data()[bi * p * k..(bi + 1) * p * k].to_vec(), &[p, k]);
+            let mut want = matmul_nt(&ai, &bim);
+            want.scale_in_place(alpha);
+            assert_eq!(
+                &out_nt.data()[bi * m * p..(bi + 1) * m * p],
+                want.data(),
+                "nt item {bi}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_shared_b_broadcasts_one_matrix() {
+        let mut rng = Rng::seed_from(22);
+        let (batch, m, k, p) = (3usize, 6usize, 5usize, 4usize);
+        let a = Tensor::randn(&[batch, m, k], &mut rng);
+        let b = Tensor::randn(&[k, p], &mut rng);
+        let mut out = Tensor::full(&[batch, m, p], f32::NAN);
+        matmul_batch_into(&a, &b, &mut out);
+        for bi in 0..batch {
+            let ai = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let want = matmul(&ai, &b);
+            assert_eq!(&out.data()[bi * m * p..(bi + 1) * m * p], want.data());
+        }
     }
 
     #[test]

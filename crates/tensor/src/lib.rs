@@ -38,22 +38,38 @@
 //!   Operands are read through stride views ([`pack::MatRef`]), so the
 //!   `Aᵀ`/`Bᵀ` product variants are packing-order choices, not separate
 //!   kernels.
-//! * **Register tiling** (the [`gemm`] micro-kernel): an `MR × NR = 8 × 8`
-//!   C tile is accumulated entirely in registers across the K block; the
-//!   fixed-trip inner loops unroll and autovectorize.
+//! * **Register tiling**: an `MR × NR = 8 × 8` C tile is accumulated
+//!   entirely in registers across the K block by the selected micro-kernel.
+//! * **Micro-kernel dispatch** ([`simd`]): the micro-kernel is chosen once
+//!   at startup through a function-pointer table — **portable** (scalar tile
+//!   loop, always available, the test oracle) or **simd** (hand-written
+//!   AVX2 on `x86_64` / NEON on `aarch64`, selected via
+//!   `is_x86_feature_detected!`). Every tier multiplies then adds without
+//!   fusing, in the same `k` order, so all tiers are bitwise identical;
+//!   `simd::force_tier` or `AMALGAM_KERNEL_TIER=portable|simd` pins a tier
+//!   for debugging and A/B timing.
 //! * **Cache blocking**: `KC = 256`, `MC = 128`, `NC = 512` keep one B
 //!   micro-panel in L1, the packed A panel in L2 and the packed B panel in
-//!   L3 across the macro-kernel sweep. Products with `m·n·k ≤ 32³` skip
-//!   packing and threading entirely.
+//!   L3 across the macro-kernel sweep.
+//! * **Shape routing** — *direct → blocked → batched*: products with
+//!   `m·n·k ≤ 32³` take a direct loop that skips packing and threading;
+//!   larger single products run the blocked path above; N same-shape
+//!   independent products go through [`gemm::gemm_batch`] /
+//!   `kernels::matmul_batch_*`, which fans the *whole batch* out to the
+//!   pool as one parallel-for over (item, row block), packs a shared B
+//!   operand once, and applies an optional epilogue scale — this is how
+//!   attention's per-(batch, head) products amortize one dispatch.
 //! * **Worker pool** ([`parallel`]): row blocks are dispatched to a
 //!   lazily-created persistent thread pool (parked workers, channel + latch
 //!   handoff) instead of spawning threads per call; `set_threads(1)` runs
-//!   inline for the TEE baseline. Per-element accumulation order is fixed,
-//!   so results are bitwise identical for any thread count.
-//! * **Scratch arena** ([`scratch`]): pack panels, im2col column matrices
-//!   and attention staging tensors come from a per-thread free list and are
-//!   returned after use, so steady-state training performs no hot-path
-//!   allocations.
+//!   inline for the TEE baseline and releases the pool workers' scratch
+//!   arenas so long-lived single-thread runs don't pin peak-sized pack
+//!   buffers. Per-element accumulation order is fixed, so results are
+//!   bitwise identical for any thread count.
+//! * **Scratch arena** ([`scratch`]): pack panels, im2col column matrices,
+//!   attention staging tensors, norm/activation caches and optimizer
+//!   temporaries come from a per-thread free list and are returned after
+//!   use, so steady-state training performs no hot-path allocations.
 
 pub mod gemm;
 pub mod kernels;
@@ -63,6 +79,7 @@ pub mod parallel;
 pub mod rng;
 pub mod scratch;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod wire;
 

@@ -58,6 +58,18 @@ impl<'a> MatRef<'a> {
     pub fn at(&self, i: usize, j: usize) -> f32 {
         self.data[i * self.rs + j * self.cs]
     }
+
+    /// The same matrix with the first `r0` rows dropped: element `(i, j)` of
+    /// the view is element `(r0 + i, j)` of `self`. Used by the batched GEMM
+    /// to hand row sub-ranges of one batch item to different workers.
+    #[inline(always)]
+    pub fn sub_rows(&self, r0: usize) -> MatRef<'a> {
+        MatRef {
+            data: &self.data[r0 * self.rs..],
+            rs: self.rs,
+            cs: self.cs,
+        }
+    }
 }
 
 /// Packs the `mc × kc` block of `a` starting at `(i0, p0)` into MR-row
@@ -144,6 +156,15 @@ mod tests {
                 assert_eq!(m.at(i, j), t.at(j, i));
             }
         }
+    }
+
+    #[test]
+    fn sub_rows_offsets_both_layouts() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let m = MatRef::row_major(&data, 3); // [2, 3]
+        assert_eq!(m.sub_rows(1).at(0, 2), m.at(1, 2));
+        let t = MatRef::transposed(&data, 3); // [3, 2]
+        assert_eq!(t.sub_rows(2).at(0, 1), t.at(2, 1));
     }
 
     #[test]

@@ -24,9 +24,16 @@
 //! bitwise identical for any thread count.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+thread_local! {
+    /// Whether the current thread is one of the pool's spawned workers
+    /// (drain jobs must only ever run on those — see [`Job::worker_only`]).
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Number of worker threads to use for parallel kernels.
 ///
@@ -46,8 +53,26 @@ pub fn threads() -> usize {
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
 
 /// Overrides the worker thread count (0 restores the default).
+///
+/// Selecting exactly one thread additionally drains every pool worker's
+/// [`scratch`](crate::scratch) arena: a long-lived single-thread run (the
+/// TEE baseline) will never dispatch to the pool again, so the workers'
+/// peak-sized pack buffers would otherwise stay pinned for the process
+/// lifetime. The drain blocks until every worker has emptied its arena;
+/// the workers themselves stay parked and are reused if threading is
+/// re-enabled later.
+///
+/// The no-retained-scratch guarantee assumes the caller quiesces its own
+/// kernel dispatches first (as the TEE baseline does): a dispatch still in
+/// flight on another thread when `set_threads(1)` is entered may hand a
+/// worker new work after that worker's arena was cleared, re-retaining pack
+/// buffers. Concurrent `set_threads(1)` calls themselves are safe — drains
+/// are serialised internally.
 pub fn set_threads(n: usize) {
     CONFIGURED.store(n, Ordering::Relaxed);
+    if n == 1 {
+        drain_worker_arenas();
+    }
 }
 
 /// Hard cap on pool size, independent of what [`set_threads`] asks for.
@@ -92,30 +117,54 @@ impl Latch {
         }
     }
 
+    /// Blocks until the count reaches zero without helping. Only for waits
+    /// whose jobs must run on *other* threads (the arena drain: helping
+    /// would clear the caller's arena instead of a worker's).
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+
     /// Blocks until the count reaches zero, running other queued jobs while
     /// waiting so that a dispatcher stuck behind a busy pool still makes
     /// global progress (required when pool clients dispatch concurrently).
-    fn wait_helping(&self, queue: &Receiver<Job>) {
+    ///
+    /// Worker-only jobs (the arena drain) are not executed here unless the
+    /// current thread *is* a pool worker (nested dispatch): a client
+    /// dispatcher stealing one would clear its own arena instead of a
+    /// worker's. Such jobs are re-queued and the helper backs off so a
+    /// parked worker can take them.
+    fn wait_helping(&self, pool: &Pool) {
         loop {
             if *self.remaining.lock().unwrap() == 0 {
                 return;
             }
-            match queue.try_recv() {
-                Ok(job) => job.run(),
-                Err(_) => {
-                    let remaining = self.remaining.lock().unwrap();
-                    if *remaining == 0 {
-                        return;
+            match pool.rx.try_recv() {
+                Ok(job) if job.worker_only && !IS_POOL_WORKER.with(Cell::get) => {
+                    if pool.tx.send(job).is_err() {
+                        unreachable!("worker pool channel closed");
                     }
-                    // Re-check the queue periodically; a missed notify costs
-                    // at most one timeout period.
-                    let _unused = self
-                        .done
-                        .wait_timeout(remaining, Duration::from_micros(200))
-                        .unwrap();
+                    self.backoff();
                 }
+                Ok(job) => job.run(),
+                Err(_) => self.backoff(),
             }
         }
+    }
+
+    /// Sleeps briefly unless the count already reached zero. A missed notify
+    /// costs at most one timeout period.
+    fn backoff(&self) {
+        let remaining = self.remaining.lock().unwrap();
+        if *remaining == 0 {
+            return;
+        }
+        let _unused = self
+            .done
+            .wait_timeout(remaining, Duration::from_micros(200))
+            .unwrap();
     }
 }
 
@@ -128,6 +177,10 @@ struct Job {
     task: *const (dyn Fn(usize) + Sync),
     index: usize,
     latch: Arc<Latch>,
+    /// Set on arena-drain jobs, which must run on a spawned pool worker —
+    /// helping client dispatchers route around them (see
+    /// [`Latch::wait_helping`]).
+    worker_only: bool,
 }
 
 // SAFETY: the pointee is `Sync` (shared by every worker) and outlives the
@@ -160,8 +213,9 @@ struct Pool {
     workers: Mutex<usize>,
 }
 
+static POOL: OnceLock<Pool> = OnceLock::new();
+
 fn pool() -> &'static Pool {
-    static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
         let (tx, rx) = unbounded();
         Pool {
@@ -170,6 +224,80 @@ fn pool() -> &'static Pool {
             workers: Mutex::new(0),
         }
     })
+}
+
+/// Barrier that releases its jobs only once *all* of them have started.
+///
+/// Each drain job clears the running thread's scratch arena and then parks
+/// here. Drain jobs only execute on pool workers (client helpers re-queue
+/// them — see [`Latch::wait_helping`]), and a thread cannot pick up a
+/// second job while parked in the first, so `count` jobs are necessarily
+/// held by `count` distinct *workers* before any of them returns — which is
+/// how the drain reaches every pool worker exactly once.
+struct ClearBarrier {
+    remaining: Mutex<usize>,
+    all_in: Condvar,
+}
+
+impl ClearBarrier {
+    fn arrive_and_wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_in.notify_all();
+            return;
+        }
+        while *remaining > 0 {
+            remaining = self.all_in.wait(remaining).unwrap();
+        }
+    }
+}
+
+/// Empties the scratch arena of every spawned pool worker (see
+/// [`set_threads`]). No-op when the pool was never created.
+///
+/// Drains are serialised on one mutex: two concurrent drains would split
+/// the workers between two barriers, with each barrier waiting on jobs no
+/// free worker is left to start — a deadlock that would also wedge every
+/// later kernel dispatch.
+fn drain_worker_arenas() {
+    let Some(pool) = POOL.get() else {
+        return;
+    };
+    static DRAIN_LOCK: Mutex<()> = Mutex::new(());
+    let _serialised = DRAIN_LOCK.lock().unwrap();
+    let workers = *pool.workers.lock().unwrap();
+    if workers == 0 {
+        return;
+    }
+    let barrier = ClearBarrier {
+        remaining: Mutex::new(workers),
+        all_in: Condvar::new(),
+    };
+    let latch = Arc::new(Latch::new(workers));
+    let task = |_index: usize| {
+        crate::scratch::clear();
+        barrier.arrive_and_wait();
+    };
+    let taskref: &(dyn Fn(usize) + Sync) = &task;
+    // SAFETY: same latch protocol as `run_tasks` — the `latch.wait()` below
+    // keeps this frame (and the borrows in `task`) alive until every job ran.
+    let task_ptr: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(taskref as *const (dyn Fn(usize) + Sync)) };
+    for index in 0..workers {
+        let job = Job {
+            task: task_ptr,
+            index,
+            latch: Arc::clone(&latch),
+            worker_only: true,
+        };
+        if pool.tx.send(job).is_err() {
+            unreachable!("worker pool channel closed");
+        }
+    }
+    // Plain (non-helping) wait: helping would run a drain job on *this*
+    // thread, clearing the caller's arena and leaving one worker undrained.
+    latch.wait();
 }
 
 impl Pool {
@@ -183,6 +311,7 @@ impl Pool {
             std::thread::Builder::new()
                 .name(format!("amalgam-pool-{count}"))
                 .spawn(move || {
+                    IS_POOL_WORKER.with(|flag| flag.set(true));
                     while let Ok(job) = rx.recv() {
                         job.run();
                     }
@@ -217,6 +346,7 @@ fn run_tasks(ntasks: usize, task: &(dyn Fn(usize) + Sync)) {
             task: task_ptr,
             index,
             latch: Arc::clone(&latch),
+            worker_only: false,
         };
         if pool.tx.send(job).is_err() {
             unreachable!("worker pool channel closed");
@@ -225,7 +355,7 @@ fn run_tasks(ntasks: usize, task: &(dyn Fn(usize) + Sync)) {
     // Run chunk 0 locally, but never unwind past the latch wait: queued jobs
     // still hold pointers into this frame until the latch reaches zero.
     let local = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
-    latch.wait_helping(&pool.rx);
+    latch.wait_helping(pool);
     if let Err(payload) = local {
         std::panic::resume_unwind(payload);
     }
@@ -405,6 +535,33 @@ mod tests {
         // The pool must still be fully functional afterwards.
         let mut out = vec![0.0f32; 64];
         parallel_rows_mut(&mut out, 64, 1, 1, |_s, _e, slice| {
+            slice.iter_mut().for_each(|v| *v = 1.0);
+        });
+        set_threads(0);
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn concurrent_drains_do_not_deadlock() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        // Warm the pool so there are workers to drain.
+        set_threads(4);
+        let mut out = vec![0.0f32; 256];
+        parallel_rows_mut(&mut out, 256, 1, 1, |_s, _e, slice| {
+            slice.iter_mut().for_each(|v| *v = 1.0);
+        });
+        // Several threads hitting set_threads(1) at once must all return:
+        // unserialised drains would split the workers between two barriers
+        // and wedge the pool forever.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| set_threads(1));
+            }
+        });
+        // The pool must still be fully functional afterwards.
+        set_threads(4);
+        let mut out = vec![0.0f32; 256];
+        parallel_rows_mut(&mut out, 256, 1, 1, |_s, _e, slice| {
             slice.iter_mut().for_each(|v| *v = 1.0);
         });
         set_threads(0);

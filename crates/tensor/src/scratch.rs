@@ -15,15 +15,38 @@
 //! [`give_tensor`]). The arena retains at most [`MAX_RETAINED`] buffers per
 //! thread, evicting the smallest first, so memory use stays bounded by the
 //! largest working set actually seen.
+//!
+//! Retention is observable: [`total_retained_elems`] sums the capacity held
+//! by *every* thread's arena, and [`clear`] releases the calling thread's
+//! buffers. `parallel::set_threads(1)` uses these to drain the pool
+//! workers' arenas, so long-lived single-thread runs (the TEE baseline) do
+//! not pin peak-sized pack buffers they will never use again.
 
 use crate::Tensor;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Maximum buffers retained per thread; beyond this the smallest is dropped.
 const MAX_RETAINED: usize = 16;
 
+/// Total `f32` capacity currently parked in arenas across all threads.
+static TOTAL_RETAINED: AtomicUsize = AtomicUsize::new(0);
+
+/// A thread's free list; the wrapper keeps [`TOTAL_RETAINED`] honest when a
+/// thread exits with buffers still parked.
+struct Arena {
+    free: Vec<Vec<f32>>,
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        let held: usize = self.free.iter().map(Vec::capacity).sum();
+        TOTAL_RETAINED.fetch_sub(held, Ordering::Relaxed);
+    }
+}
+
 thread_local! {
-    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static FREE: RefCell<Arena> = const { RefCell::new(Arena { free: Vec::new() }) };
 }
 
 /// A buffer of exactly `len` elements with *unspecified* (but initialized)
@@ -36,7 +59,8 @@ thread_local! {
 /// (best fit); otherwise grows an arbitrary retained buffer or allocates.
 pub fn take_raw(len: usize) -> Vec<f32> {
     let mut buf = FREE.with(|cell| {
-        let mut free = cell.borrow_mut();
+        let mut arena = cell.borrow_mut();
+        let free = &mut arena.free;
         let mut best: Option<(usize, usize)> = None; // (index, capacity)
         for (index, b) in free.iter().enumerate() {
             let cap = b.capacity();
@@ -44,9 +68,15 @@ pub fn take_raw(len: usize) -> Vec<f32> {
                 best = Some((index, cap));
             }
         }
-        match best {
-            Some((index, _)) => free.swap_remove(index),
-            None => free.pop().unwrap_or_default(),
+        let taken = match best {
+            Some((index, _)) => Some(free.swap_remove(index)),
+            None => free.pop(),
+        };
+        if let Some(taken) = taken {
+            TOTAL_RETAINED.fetch_sub(taken.capacity(), Ordering::Relaxed);
+            taken
+        } else {
+            Vec::new()
         }
     });
     // Shrink without touching memory; grow by writing only the new tail
@@ -72,7 +102,8 @@ pub fn give(buf: Vec<f32>) {
         return;
     }
     FREE.with(|cell| {
-        let mut free = cell.borrow_mut();
+        let mut arena = cell.borrow_mut();
+        let free = &mut arena.free;
         if free.len() >= MAX_RETAINED {
             if let Some(smallest) = free
                 .iter()
@@ -80,10 +111,25 @@ pub fn give(buf: Vec<f32>) {
                 .min_by_key(|(_, b)| b.capacity())
                 .map(|(i, _)| i)
             {
-                free.swap_remove(smallest);
+                let evicted = free.swap_remove(smallest);
+                TOTAL_RETAINED.fetch_sub(evicted.capacity(), Ordering::Relaxed);
             }
         }
+        TOTAL_RETAINED.fetch_add(buf.capacity(), Ordering::Relaxed);
         free.push(buf);
+    });
+}
+
+/// Drops every buffer retained by the *calling* thread's arena.
+///
+/// The pool drains each worker's arena through this when
+/// `parallel::set_threads(1)` retires the workers from the hot path.
+pub fn clear() {
+    FREE.with(|cell| {
+        let mut arena = cell.borrow_mut();
+        let held: usize = arena.free.iter().map(Vec::capacity).sum();
+        TOTAL_RETAINED.fetch_sub(held, Ordering::Relaxed);
+        arena.free.clear();
     });
 }
 
@@ -107,7 +153,13 @@ pub fn give_tensor(tensor: Tensor) {
 
 /// Number of buffers currently retained by this thread's arena (for tests).
 pub fn retained() -> usize {
-    FREE.with(|cell| cell.borrow().len())
+    FREE.with(|cell| cell.borrow().free.len())
+}
+
+/// Total `f32` capacity parked in *all* threads' arenas (live threads only;
+/// a thread's share is removed when it exits or calls [`clear`]).
+pub fn total_retained_elems() -> usize {
+    TOTAL_RETAINED.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -144,6 +196,23 @@ mod tests {
             give(vec![0.0; 16]);
         }
         assert!(retained() <= MAX_RETAINED);
+    }
+
+    #[test]
+    fn clear_releases_this_threads_buffers() {
+        // The global counter is shared with concurrently-running tests, so
+        // only this thread's arena length is asserted exactly; the precise
+        // global accounting is covered by the single-test integration run in
+        // `tests/scratch_drain.rs`.
+        std::thread::spawn(|| {
+            give(vec![0.0; 64]);
+            give(vec![0.0; 128]);
+            assert!(retained() >= 2);
+            clear();
+            assert_eq!(retained(), 0);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

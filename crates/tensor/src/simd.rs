@@ -1,0 +1,331 @@
+//! Runtime-dispatched SIMD micro-kernels for the blocked GEMM.
+//!
+//! [`gemm`](crate::gemm) computes every `MR × NR` C tile through a single
+//! function-pointer obtained from [`microkernel`], selected once per process:
+//!
+//! * **portable** ([`portable_microkernel`]) — the scalar 8×8 tile loop.
+//!   Always available, autovectorizes under `target-cpu=native`, and serves
+//!   as the oracle the SIMD kernels are tested against.
+//! * **simd** — a hand-written `std::arch` kernel: AVX2 on `x86_64`
+//!   (one 8-lane register per C row, 8 accumulators), NEON on `aarch64`
+//!   (two 4-lane registers per row). Chosen at startup via
+//!   `is_x86_feature_detected!` (NEON is baseline on `aarch64`).
+//!
+//! All kernels perform an *unfused* multiply then add per lane, in the same
+//! ascending-`k` order, so every tier produces bitwise-identical results —
+//! switching tiers (or running on a machine without AVX2) never changes
+//! training numerics, which is what keeps the cloud-vs-local and TEE
+//! equivalence checks sound.
+//!
+//! # Forcing a tier
+//!
+//! For debugging and A/B timing, the choice can be overridden:
+//!
+//! * programmatically: [`force_tier`]`(Some(Tier::Portable))` (tests use this
+//!   to compare tiers bitwise); `None` restores auto-detection;
+//! * from the environment: `AMALGAM_KERNEL_TIER=portable` (or `simd`) pins
+//!   the auto-detected default before the first kernel runs.
+//!
+//! A forced/requested `Simd` tier silently falls back to portable when the
+//! CPU lacks the feature, so the override is always safe to set.
+
+use crate::gemm::{MR, NR};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Signature shared by every micro-kernel: rank-`kc` update of one
+/// `MR × NR` C tile held in `acc`, from K-major packed panels.
+pub type MicroKernelFn = fn(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; MR * NR]);
+
+/// Micro-kernel implementation tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Scalar 8×8 tile loop (always available; the test oracle).
+    Portable,
+    /// Hand-written `std::arch` kernel (AVX2 on x86_64, NEON on aarch64).
+    Simd,
+}
+
+/// Forced-tier override: 0 = auto (detect), 1 = portable, 2 = simd.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether this CPU has a hand-written SIMD kernel available.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true // NEON is part of the aarch64 baseline.
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// The tier auto-detection would pick (feature detection plus the
+/// `AMALGAM_KERNEL_TIER` environment override), cached after first use.
+pub fn detected_tier() -> Tier {
+    static DETECTED: OnceLock<Tier> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        match std::env::var("AMALGAM_KERNEL_TIER").as_deref() {
+            Ok("portable") | Ok("scalar") => return Tier::Portable,
+            Ok("simd") | Err(_) => {}
+            Ok(other) => {
+                eprintln!("AMALGAM_KERNEL_TIER={other} not recognised; auto-detecting");
+            }
+        }
+        if simd_available() {
+            Tier::Simd
+        } else {
+            Tier::Portable
+        }
+    })
+}
+
+/// Overrides the dispatch tier for subsequent GEMM calls (`None` restores
+/// auto-detection). A `Simd` override on a CPU without SIMD support falls
+/// back to portable.
+///
+/// Process-global; tests that flip it must serialise with each other.
+pub fn force_tier(tier: Option<Tier>) {
+    let encoded = match tier {
+        None => 0,
+        Some(Tier::Portable) => 1,
+        Some(Tier::Simd) => 2,
+    };
+    FORCED.store(encoded, Ordering::Relaxed);
+}
+
+/// The tier GEMM calls will actually use right now.
+pub fn active_tier() -> Tier {
+    let tier = match FORCED.load(Ordering::Relaxed) {
+        1 => Tier::Portable,
+        2 => Tier::Simd,
+        _ => detected_tier(),
+    };
+    if tier == Tier::Simd && !simd_available() {
+        Tier::Portable
+    } else {
+        tier
+    }
+}
+
+/// The micro-kernel function for [`active_tier`]; fetched once per GEMM
+/// call and passed down, so the per-tile cost is one indirect call.
+pub(crate) fn microkernel() -> MicroKernelFn {
+    match active_tier() {
+        Tier::Portable => portable_microkernel,
+        Tier::Simd => simd_microkernel(),
+    }
+}
+
+/// Resolves the hand-written kernel for this architecture.
+///
+/// Only called when [`active_tier`] returned `Simd`, which implies the
+/// feature check already passed.
+#[allow(unreachable_code)]
+fn simd_microkernel() -> MicroKernelFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        return avx2_microkernel;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return neon_microkernel;
+    }
+    portable_microkernel
+}
+
+/// Scalar rank-`kc` update of one `MR × NR` tile, fully held in `acc`.
+///
+/// Both panels are K-major and zero-padded to the tile size, so there are no
+/// edge branches here; the fixed-trip inner loops unroll and vectorize.
+#[inline(always)]
+pub fn portable_microkernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; MR * NR]) {
+    acc.fill(0.0);
+    for p in 0..kc {
+        let a: &[f32; MR] = pa[p * MR..].first_chunk().expect("packed A panel");
+        let b: &[f32; NR] = pb[p * NR..].first_chunk().expect("packed B panel");
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i * NR + j] += ai * b[j];
+            }
+        }
+    }
+}
+
+/// AVX2 micro-kernel wrapper (plain `fn` so it fits the dispatch table).
+#[cfg(target_arch = "x86_64")]
+fn avx2_microkernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; MR * NR]) {
+    assert!(pa.len() >= kc * MR, "packed A panel too short");
+    assert!(pb.len() >= kc * NR, "packed B panel too short");
+    // SAFETY: bounds asserted above; AVX2 presence was verified by
+    // `simd_available` before this kernel was selected.
+    unsafe { avx2::microkernel(kc, pa.as_ptr(), pb.as_ptr(), acc) }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// One `__m256` accumulator per C row; per k step: broadcast `a[i]`,
+    /// multiply by the B row vector, add. Mul and add stay separate
+    /// intrinsics (no FMA), so each lane performs exactly the two roundings
+    /// of the portable kernel — bitwise identical output.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and that `pa`/`pb` point at
+    /// `kc * MR` / `kc * NR` readable `f32`s.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn microkernel(
+        kc: usize,
+        mut pa: *const f32,
+        mut pb: *const f32,
+        acc: &mut [f32; MR * NR],
+    ) {
+        let mut c0 = _mm256_setzero_ps();
+        let mut c1 = _mm256_setzero_ps();
+        let mut c2 = _mm256_setzero_ps();
+        let mut c3 = _mm256_setzero_ps();
+        let mut c4 = _mm256_setzero_ps();
+        let mut c5 = _mm256_setzero_ps();
+        let mut c6 = _mm256_setzero_ps();
+        let mut c7 = _mm256_setzero_ps();
+        for _ in 0..kc {
+            let b = _mm256_loadu_ps(pb);
+            c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_set1_ps(*pa), b));
+            c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_set1_ps(*pa.add(1)), b));
+            c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_set1_ps(*pa.add(2)), b));
+            c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_set1_ps(*pa.add(3)), b));
+            c4 = _mm256_add_ps(c4, _mm256_mul_ps(_mm256_set1_ps(*pa.add(4)), b));
+            c5 = _mm256_add_ps(c5, _mm256_mul_ps(_mm256_set1_ps(*pa.add(5)), b));
+            c6 = _mm256_add_ps(c6, _mm256_mul_ps(_mm256_set1_ps(*pa.add(6)), b));
+            c7 = _mm256_add_ps(c7, _mm256_mul_ps(_mm256_set1_ps(*pa.add(7)), b));
+            pa = pa.add(MR);
+            pb = pb.add(NR);
+        }
+        let out = acc.as_mut_ptr();
+        _mm256_storeu_ps(out, c0);
+        _mm256_storeu_ps(out.add(NR), c1);
+        _mm256_storeu_ps(out.add(2 * NR), c2);
+        _mm256_storeu_ps(out.add(3 * NR), c3);
+        _mm256_storeu_ps(out.add(4 * NR), c4);
+        _mm256_storeu_ps(out.add(5 * NR), c5);
+        _mm256_storeu_ps(out.add(6 * NR), c6);
+        _mm256_storeu_ps(out.add(7 * NR), c7);
+    }
+}
+
+/// NEON micro-kernel wrapper (plain `fn` so it fits the dispatch table).
+#[cfg(target_arch = "aarch64")]
+fn neon_microkernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; MR * NR]) {
+    assert!(pa.len() >= kc * MR, "packed A panel too short");
+    assert!(pb.len() >= kc * NR, "packed B panel too short");
+    // SAFETY: bounds asserted above; NEON is baseline on aarch64.
+    unsafe { neon::microkernel(kc, pa.as_ptr(), pb.as_ptr(), acc) }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{MR, NR};
+    use std::arch::aarch64::*;
+
+    /// Two `float32x4_t` accumulators per C row. `vmulq`/`vaddq` stay
+    /// separate (no `vfmaq`), matching the portable kernel's two roundings
+    /// per lane — bitwise identical output.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `pa`/`pb` point at `kc * MR` / `kc * NR` readable
+    /// `f32`s.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn microkernel(
+        kc: usize,
+        mut pa: *const f32,
+        mut pb: *const f32,
+        acc: &mut [f32; MR * NR],
+    ) {
+        let zero = vdupq_n_f32(0.0);
+        let mut c: [[float32x4_t; 2]; MR] = [[zero; 2]; MR];
+        for _ in 0..kc {
+            let b0 = vld1q_f32(pb);
+            let b1 = vld1q_f32(pb.add(4));
+            for (i, row) in c.iter_mut().enumerate() {
+                let a = vdupq_n_f32(*pa.add(i));
+                row[0] = vaddq_f32(row[0], vmulq_f32(a, b0));
+                row[1] = vaddq_f32(row[1], vmulq_f32(a, b1));
+            }
+            pa = pa.add(MR);
+            pb = pb.add(NR);
+        }
+        let out = acc.as_mut_ptr();
+        for (i, row) in c.iter().enumerate() {
+            vst1q_f32(out.add(i * NR), row[0]);
+            vst1q_f32(out.add(i * NR + 4), row[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panels(kc: usize) -> (Vec<f32>, Vec<f32>) {
+        let pa: Vec<f32> = (0..kc * MR)
+            .map(|v| ((v * 31 + 7) % 17) as f32 * 0.5 - 4.0)
+            .collect();
+        let pb: Vec<f32> = (0..kc * NR)
+            .map(|v| ((v * 13 + 3) % 19) as f32 * 0.25 - 2.0)
+            .collect();
+        (pa, pb)
+    }
+
+    #[test]
+    fn simd_kernel_matches_portable_bitwise() {
+        if !simd_available() {
+            eprintln!("no SIMD tier on this CPU; skipping");
+            return;
+        }
+        let simd = simd_microkernel();
+        for kc in [1usize, 2, 7, 63, 256] {
+            let (pa, pb) = panels(kc);
+            let mut want = [f32::NAN; MR * NR];
+            portable_microkernel(kc, &pa, &pb, &mut want);
+            let mut got = [f32::NAN; MR * NR];
+            simd(kc, &pa, &pb, &mut got);
+            assert_eq!(
+                want.map(f32::to_bits),
+                got.map(f32::to_bits),
+                "SIMD kernel diverged at kc={kc}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_kc_clears_the_accumulator() {
+        let (pa, pb) = panels(1);
+        let mut acc = [f32::NAN; MR * NR];
+        portable_microkernel(0, &pa, &pb, &mut acc);
+        assert!(acc.iter().all(|&v| v == 0.0));
+        if simd_available() {
+            let mut acc = [f32::NAN; MR * NR];
+            simd_microkernel()(0, &pa, &pb, &mut acc);
+            assert!(acc.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn forced_tier_round_trip() {
+        force_tier(Some(Tier::Portable));
+        assert_eq!(active_tier(), Tier::Portable);
+        force_tier(None);
+        let auto = active_tier();
+        assert!(auto == detected_tier() || auto == Tier::Portable);
+    }
+}

@@ -673,20 +673,8 @@ impl Tensor {
     /// Panics if the tensor is not 2-D.
     pub fn softmax_rows(&self) -> Tensor {
         assert_eq!(self.shape.rank(), 2, "softmax_rows requires a matrix");
-        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = self.clone();
-        for i in 0..m {
-            let row = &mut out.data[i * n..(i + 1) * n];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-        }
+        softmax_rows_in_place(&mut out.data, self.shape.dim(1));
         out
     }
 
@@ -731,6 +719,27 @@ impl Tensor {
     /// Returns `true` if all elements differ by at most `tol`.
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape.same_as(&other.shape) && self.max_abs_diff(other) <= tol
+    }
+}
+
+/// Numerically-stable softmax applied in place over each `width`-sized row
+/// of `data` — the single softmax implementation shared by
+/// [`Tensor::softmax_rows`] and the attention layer's flattened `[B·H·T, T]`
+/// score rows (no rank restriction, no allocation).
+pub fn softmax_rows_in_place(data: &mut [f32], width: usize) {
+    if width == 0 {
+        return;
+    }
+    for row in data.chunks_mut(width) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
     }
 }
 

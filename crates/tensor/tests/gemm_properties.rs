@@ -5,7 +5,10 @@
 //! and values one off the MR/NR/MC/KC tile boundaries, so edge-tile packing
 //! and write-back are exercised for every transpose variant.
 
-use amalgam_tensor::kernels::{matmul, matmul_nt, matmul_tn};
+use amalgam_tensor::kernels::{
+    matmul, matmul_batch_into, matmul_batch_nt_scaled_into, matmul_batch_tn_into, matmul_nt,
+    matmul_tn,
+};
 use amalgam_tensor::{parallel, Rng, Tensor};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -91,6 +94,125 @@ proptest! {
         let want = naive_matmul(&a, &b.transpose2d());
         prop_assert!(got.approx_eq(&want, 1e-4), "max diff {}", got.max_abs_diff(&want));
     }
+}
+
+fn item(t: &Tensor, bi: usize, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(
+        t.data()[bi * rows * cols..(bi + 1) * rows * cols].to_vec(),
+        &[rows, cols],
+    )
+}
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// The batched GEMM must be *bitwise* identical to calling the plain
+    /// GEMM once per item, for every transpose variant, on adversarial
+    /// shapes — same path choice, same blocking, same per-element k order.
+    #[test]
+    fn gemm_batch_is_bitwise_identical_to_looped_gemm(
+        batch in 1usize..6,
+        mi in 0usize..EDGE_MN.len(),
+        ni in 0usize..EDGE_MN.len(),
+        ki in 0usize..EDGE_K.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (EDGE_MN[mi], EDGE_MN[ni], EDGE_K[ki]);
+
+        // nn
+        let a = rand_tensor(&[batch, m, k], seed);
+        let b = rand_tensor(&[batch, k, n], seed ^ 0x9e37);
+        let mut got = Tensor::zeros(&[batch, m, n]);
+        matmul_batch_into(&a, &b, &mut got);
+        for bi in 0..batch {
+            let want = matmul(&item(&a, bi, m, k), &item(&b, bi, k, n));
+            prop_assert_eq!(
+                bits(&got.data()[bi * m * n..(bi + 1) * m * n]),
+                bits(want.data()),
+                "nn item {} of {} at ({},{},{})", bi, batch, m, n, k
+            );
+        }
+
+        // tn
+        let at = rand_tensor(&[batch, k, m], seed ^ 0x51ed);
+        let mut got = Tensor::zeros(&[batch, m, n]);
+        matmul_batch_tn_into(&at, &b, &mut got);
+        for bi in 0..batch {
+            let want = matmul_tn(&item(&at, bi, k, m), &item(&b, bi, k, n));
+            prop_assert_eq!(
+                bits(&got.data()[bi * m * n..(bi + 1) * m * n]),
+                bits(want.data()),
+                "tn item {} of {} at ({},{},{})", bi, batch, m, n, k
+            );
+        }
+
+        // nt with the attention-style epilogue scale
+        let bt = rand_tensor(&[batch, n, k], seed ^ 0x2545);
+        let alpha = 0.125f32;
+        let mut got = Tensor::zeros(&[batch, m, n]);
+        matmul_batch_nt_scaled_into(&a, &bt, alpha, &mut got);
+        for bi in 0..batch {
+            let mut want = matmul_nt(&item(&a, bi, m, k), &item(&bt, bi, n, k));
+            want.scale_in_place(alpha);
+            prop_assert_eq!(
+                bits(&got.data()[bi * m * n..(bi + 1) * m * n]),
+                bits(want.data()),
+                "nt item {} of {} at ({},{},{})", bi, batch, m, n, k
+            );
+        }
+    }
+
+    /// A shared (rank-2) B must behave exactly like repeating it per item.
+    #[test]
+    fn gemm_batch_shared_b_is_bitwise_identical(
+        batch in 1usize..6,
+        mi in 0usize..EDGE_MN.len(),
+        ni in 0usize..EDGE_MN.len(),
+        ki in 0usize..EDGE_K.len(),
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (EDGE_MN[mi], EDGE_MN[ni], EDGE_K[ki]);
+        let a = rand_tensor(&[batch, m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 0x1234);
+        let mut got = Tensor::zeros(&[batch, m, n]);
+        matmul_batch_into(&a, &b, &mut got);
+        for bi in 0..batch {
+            let want = matmul(&item(&a, bi, m, k), &b);
+            prop_assert_eq!(
+                bits(&got.data()[bi * m * n..(bi + 1) * m * n]),
+                bits(want.data()),
+                "shared-B item {} of {} at ({},{},{})", bi, batch, m, n, k
+            );
+        }
+    }
+}
+
+/// Batched results must not depend on the thread count (chunk boundaries may
+/// split items mid-tile; the per-element accumulation order may not change).
+#[test]
+fn gemm_batch_is_bitwise_deterministic_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (batch, m, n, k) = (8usize, 33usize, 17usize, 65usize);
+    let a = rand_tensor(&[batch, m, k], 11);
+    let bt = rand_tensor(&[batch, n, k], 12);
+
+    parallel::set_threads(1);
+    let mut serial = Tensor::zeros(&[batch, m, n]);
+    matmul_batch_nt_scaled_into(&a, &bt, 0.25, &mut serial);
+    parallel::set_threads(4);
+    let mut pooled = Tensor::zeros(&[batch, m, n]);
+    matmul_batch_nt_scaled_into(&a, &bt, 0.25, &mut pooled);
+    parallel::set_threads(0);
+
+    assert_eq!(
+        serial.data(),
+        pooled.data(),
+        "threaded batch must be bitwise identical to single-threaded"
+    );
 }
 
 /// All tile boundaries crossed at once, for every variant.
