@@ -1,8 +1,11 @@
 //! Criterion benchmarks of the cloud boundary: job serialize/decode
-//! throughput (the bulk-bytes hot path) and end-to-end jobs/sec through
-//! the middleware stack at 1, 2 and 4 workers.
+//! throughput (the bulk-bytes hot path), end-to-end jobs/sec through the
+//! middleware stack at 1, 2 and 4 workers, and the transport — frame
+//! encode/decode throughput plus remote-over-loopback jobs/sec against
+//! in-process dispatch on the same pool.
 
-use amalgam_cloud::{CloudJob, CloudService, TaskPayload};
+use amalgam_cloud::transport::Frame;
+use amalgam_cloud::{CloudJob, CloudServer, CloudService, RemoteCloudClient, TaskPayload};
 use amalgam_core::TrainConfig;
 use amalgam_models::lenet5;
 use amalgam_tensor::{Rng, Tensor};
@@ -78,5 +81,64 @@ fn bench_pool_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_pool_throughput);
+fn bench_frame_throughput(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let payload = sample_job(&mut rng).to_bytes();
+    let frame = Frame::Submit {
+        request_id: 1,
+        payload,
+    };
+    let body = frame.encode();
+    let mut group = c.benchmark_group("cloud_frame");
+    group.bench_function(&format!("encode_{}KiB", body.len() / 1024), |b| {
+        b.iter(|| frame.encode());
+    });
+    group.bench_function(&format!("decode_{}KiB", body.len() / 1024), |b| {
+        b.iter(|| Frame::decode(body.clone()).unwrap());
+    });
+    group.finish();
+}
+
+/// Remote jobs/sec over loopback TCP versus in-process dispatch on the
+/// same 2-worker pool: the gap is pure transport overhead (framing, socket
+/// hops, reply routing), since the trained bytes are bitwise identical.
+fn bench_remote_vs_in_process(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let jobs: Vec<CloudJob> = (0..8).map(|s| tiny_job(&mut rng, s)).collect();
+    let mut group = c.benchmark_group("cloud_dispatch_wave8");
+
+    let service = CloudService::builder().workers(2).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+
+    let local = server.local_client();
+    group.bench_function("in_process", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = jobs.iter().map(|job| local.submit(job).unwrap()).collect();
+            for handle in handles {
+                handle.wait().unwrap();
+            }
+        });
+    });
+
+    let remote = RemoteCloudClient::connect(server.local_addr()).expect("connect");
+    group.bench_function("remote_loopback", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = jobs.iter().map(|job| remote.submit(job).unwrap()).collect();
+            for handle in handles {
+                handle.wait().unwrap();
+            }
+        });
+    });
+    remote.close();
+    server.shutdown();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_pool_throughput,
+    bench_frame_throughput,
+    bench_remote_vs_in_process
+);
 criterion_main!(benches);

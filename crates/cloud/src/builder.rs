@@ -3,7 +3,7 @@
 
 use crate::metrics::ServiceMetrics;
 use crate::middleware::{
-    AdmissionLayer, CloudLayer, DecodeLayer, MetricsLayer, ObserverLayer, PanicLayer,
+    AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, MetricsLayer, ObserverLayer, PanicLayer,
     ServiceBuilder, ValidateLayer,
 };
 use crate::observer::CloudObserver;
@@ -15,16 +15,17 @@ use std::sync::Arc;
 ///
 /// The default stack it assembles, outermost first:
 ///
-/// `metrics → panic → admission → [custom layers] → decode → validate →
-/// observer → train`
+/// `metrics → panic → admission → auth → [custom layers] → decode →
+/// validate → observer → train`
 ///
 /// Custom layers therefore see the raw serialized payload (decode has not
-/// run yet) plus whatever the admission gate let through.
+/// run yet) plus whatever the admission and auth gates let through.
 pub struct CloudServiceBuilder {
     pub(crate) workers: usize,
     pub(crate) observer: Option<Arc<Mutex<dyn CloudObserver>>>,
     pub(crate) max_queue_depth: Option<usize>,
     pub(crate) catch_panics: bool,
+    pub(crate) api_keys: Option<Vec<String>>,
     pub(crate) custom_layers: Vec<Box<dyn CloudLayer>>,
 }
 
@@ -35,6 +36,7 @@ impl CloudServiceBuilder {
             observer: None,
             max_queue_depth: None,
             catch_panics: true,
+            api_keys: None,
             custom_layers: Vec::new(),
         }
     }
@@ -75,6 +77,20 @@ impl CloudServiceBuilder {
         self
     }
 
+    /// Requires every job's session to present one of `keys`: installs an
+    /// [`ApiKeyLayer`] between admission control and the custom layers.
+    /// Remote sessions carry their key from the connection handshake;
+    /// in-process clients opt in via [`crate::CloudClient::with_api_key`].
+    #[must_use]
+    pub fn api_keys<I, S>(mut self, keys: I) -> CloudServiceBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.api_keys = Some(keys.into_iter().map(Into::into).collect());
+        self
+    }
+
     /// Inserts a custom layer between admission control and decode; layers
     /// added first sit outermost among the custom ones.
     #[must_use]
@@ -94,6 +110,9 @@ impl CloudServiceBuilder {
         }
         if let Some(depth) = self.max_queue_depth {
             stack = stack.layer(AdmissionLayer::new(depth));
+        }
+        if let Some(keys) = self.api_keys.take() {
+            stack = stack.layer(ApiKeyLayer::new(keys));
         }
         for layer in self.custom_layers.drain(..) {
             stack = stack.layer_boxed(layer);
@@ -117,6 +136,7 @@ impl std::fmt::Debug for CloudServiceBuilder {
             .field("workers", &self.workers)
             .field("max_queue_depth", &self.max_queue_depth)
             .field("catch_panics", &self.catch_panics)
+            .field("api_keys", &self.api_keys.as_ref().map(Vec::len))
             .field("custom_layers", &self.custom_layers.len())
             .finish()
     }

@@ -10,38 +10,50 @@
 //!
 //! # The layer stack
 //!
-//! Requests flow outside-in, responses inside-out. The default stack built
-//! by [`CloudService::builder`]:
+//! Requests flow outside-in, responses inside-out. With the
+//! [`transport`] subsystem in front, the "wire" is a real TCP socket: a
+//! [`RemoteCloudClient`] frames jobs onto a multiplexed connection, and a
+//! [`CloudServer`] session feeds them into the same queue an in-process
+//! [`CloudClient`] uses — the middleware stack cannot tell the two apart.
 //!
 //! ```text
-//!   CloudClient::submit ──► [job queue] ──► worker thread
+//!   RemoteCloudClient::submit ──► TCP ──► CloudServer session      CloudClient::submit
+//!   │ length-prefixed frames        │ handshake: version + API key       │ (in-process)
+//!   │ keep-alive pings              │ max in-flight per connection       │
+//!   │ request-id multiplexing       ▼                                    │
+//!   └──────────────────────► [shared job queue] ◄───────────────────────┘
+//!                                               │ worker thread
 //!                                               │ payload: Bytes
-//!   ┌───────────────────────────────────────────▼───────────┐
-//!   │ metrics     per-job latency, bytes in/out, jobs/sec   │
-//!   │ ┌─────────────────────────────────────────────────┐   │
-//!   │ │ panic       catch_unwind → CloudError::Panicked │   │
-//!   │ │ ┌─────────────────────────────────────────────┐ │   │
-//!   │ │ │ admission   queue too deep → Overloaded     │ │   │
-//!   │ │ │ ┌─────────────────────────────────────────┐ │ │   │
-//!   │ │ │ │ [custom layers from builder().layer()]  │ │ │   │
-//!   │ │ │ │ ┌─────────────────────────────────────┐ │ │ │   │
-//!   │ │ │ │ │ decode      wire → CloudJob + model │ │ │ │   │
-//!   │ │ │ │ │ ┌─────────────────────────────────┐ │ │ │ │   │
-//!   │ │ │ │ │ │ validate    the BadJob checks   │ │ │ │ │   │
-//!   │ │ │ │ │ │ ┌─────────────────────────────┐ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ observer    adversary's tap │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ ┌─────────────────────────┐ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ │ train    Algorithm 1    │ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ └─────────────────────────┘ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ └─────────────────────────────┘ │ │ │ │ │   │
-//!   │ │ │ │ │ └─────────────────────────────────┘ │ │ │ │   │
-//!   │ │ │ │ └─────────────────────────────────────┘ │ │ │   │
-//!   │ │ │ └─────────────────────────────────────────┘ │ │   │
-//!   │ │ └─────────────────────────────────────────────┘ │   │
-//!   │ └─────────────────────────────────────────────────┘   │
-//!   └───────────────────────────────────────────────────────┘
+//!   ┌───────────────────────────────────────────▼───────────────┐
+//!   │ metrics     per-job latency, bytes in/out, jobs/sec       │
+//!   │ ┌─────────────────────────────────────────────────────┐   │
+//!   │ │ panic       catch_unwind → CloudError::Panicked     │   │
+//!   │ │ ┌─────────────────────────────────────────────────┐ │   │
+//!   │ │ │ admission   queue too deep → Overloaded         │ │   │
+//!   │ │ │ ┌─────────────────────────────────────────────┐ │ │   │
+//!   │ │ │ │ auth        session API key → Unauthorized  │ │ │   │
+//!   │ │ │ │ ┌─────────────────────────────────────────┐ │ │ │   │
+//!   │ │ │ │ │ [custom layers from builder().layer()]  │ │ │ │   │
+//!   │ │ │ │ │ ┌─────────────────────────────────────┐ │ │ │ │   │
+//!   │ │ │ │ │ │ decode      wire → CloudJob + model │ │ │ │ │   │
+//!   │ │ │ │ │ │ ┌─────────────────────────────────┐ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ validate    the BadJob checks   │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ ┌─────────────────────────────┐ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ observer    adversary's tap │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ ┌─────────────────────────┐ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ │ train    Algorithm 1    │ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ └─────────────────────────┘ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ └─────────────────────────────┘ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ └─────────────────────────────────┘ │ │ │ │ │   │
+//!   │ │ │ │ │ └─────────────────────────────────────┘ │ │ │ │   │
+//!   │ │ │ │ └─────────────────────────────────────────┘ │ │ │   │
+//!   │ │ │ └─────────────────────────────────────────────┘ │ │   │
+//!   │ │ └─────────────────────────────────────────────────┘ │   │
+//!   │ └─────────────────────────────────────────────────────┘   │
+//!   └───────────────────────────────────────────────────────────┘
 //!                                               │ Result<JobResult, CloudError>
-//!                                               ▼ reply channel → JobHandle
+//!                                               ▼ reply channel → JobHandle /
+//!                                                 Reply frame → RemoteJobHandle
 //! ```
 //!
 //! * **metrics** is outermost so it observes every outcome, including
@@ -62,9 +74,17 @@
 //!   the bitwise cloud-vs-local equivalence guarantee; middleware wraps it
 //!   without touching tensors.
 //!
+//! * **auth** is installed by [`CloudServiceBuilder::api_keys`]: it checks
+//!   the session-scoped API key (negotiated at the transport handshake, or
+//!   stamped by [`CloudClient::with_api_key`] in-process) while the payload
+//!   is still the raw framed bytes — unauthenticated uploads are refused
+//!   before a single wire byte is decoded.
+//!
 //! Scale the pool with [`CloudServiceBuilder::workers`]; jobs from any
 //! number of cloned [`CloudClient`]s are scheduled FIFO across workers.
 //! [`CloudService::shutdown`] drains queued jobs before the workers exit.
+//! Put the whole stack on a real wire with [`CloudServer::bind`] — the
+//! framing and handshake formats are documented in [`transport`].
 
 mod builder;
 mod metrics;
@@ -72,16 +92,18 @@ pub mod middleware;
 mod observer;
 mod protocol;
 mod service;
+pub mod transport;
 
 pub use builder::CloudServiceBuilder;
 pub use metrics::{ServiceMetrics, ServiceStats};
 pub use middleware::{
-    AdmissionLayer, CloudLayer, DecodeLayer, JobContext, JobService, MetricsLayer, ObserverLayer,
-    PanicLayer, ServiceBuilder, ValidateLayer,
+    AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, JobContext, JobService, MetricsLayer,
+    ObserverLayer, PanicLayer, ServiceBuilder, ValidateLayer,
 };
 pub use observer::{CloudObserver, NullObserver, RecordingObserver};
 pub use protocol::{CloudJob, JobResult, TaskPayload};
 pub use service::{CloudClient, CloudService, JobHandle, TrainService};
+pub use transport::{CloudServer, RemoteCloudClient, RemoteJobHandle, TransportConfig};
 
 /// Errors crossing the simulated cloud boundary.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +125,13 @@ pub enum CloudError {
     /// Processing panicked; the worker survived and the job was answered
     /// with the panic message.
     Panicked(String),
+    /// A transport-level failure: socket I/O error, oversized or truncated
+    /// frame, or the connection died mid-request.
+    Transport(String),
+    /// The session presented no API key, or one the service does not accept.
+    Unauthorized(String),
+    /// Protocol-version negotiation failed, or the peer broke the handshake.
+    Handshake(String),
 }
 
 impl std::fmt::Display for CloudError {
@@ -119,6 +148,9 @@ impl std::fmt::Display for CloudError {
                 "cloud overloaded: {queue_depth} jobs queued (max {max_queue_depth})"
             ),
             CloudError::Panicked(msg) => write!(f, "cloud job panicked: {msg}"),
+            CloudError::Transport(msg) => write!(f, "transport error: {msg}"),
+            CloudError::Unauthorized(msg) => write!(f, "unauthorized: {msg}"),
+            CloudError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
         }
     }
 }

@@ -22,6 +22,14 @@ pub struct ServiceMetrics {
     bytes_received: AtomicU64,
     bytes_sent: AtomicU64,
     busy_nanos: AtomicU64,
+    // Transport counters, written by the TCP server's acceptor and sessions.
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    connections_active: AtomicUsize,
+    frames_received: AtomicU64,
+    frames_sent: AtomicU64,
+    transport_bytes_received: AtomicU64,
+    transport_bytes_sent: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -39,7 +47,46 @@ impl ServiceMetrics {
             bytes_received: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            connections_active: AtomicUsize::new(0),
+            frames_received: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            transport_bytes_received: AtomicU64::new(0),
+            transport_bytes_sent: AtomicU64::new(0),
         }
+    }
+
+    /// Transport path: a connection completed its handshake.
+    pub(crate) fn conn_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transport path: an accepted connection ended (any reason).
+    pub(crate) fn conn_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Transport path: a connection was refused (capacity, handshake or
+    /// version/auth failure before a session was established).
+    pub(crate) fn conn_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transport path: one framed message arrived (`wire_len` includes the
+    /// length prefix).
+    pub(crate) fn frame_received(&self, wire_len: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.transport_bytes_received
+            .fetch_add(wire_len as u64, Ordering::Relaxed);
+    }
+
+    /// Transport path: one framed message was written out.
+    pub(crate) fn frame_sent(&self, wire_len: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.transport_bytes_sent
+            .fetch_add(wire_len as u64, Ordering::Relaxed);
     }
 
     /// Submit path: counts the job and bumps the queue gauge, returning the
@@ -124,6 +171,13 @@ impl ServiceMetrics {
                 0.0
             },
             uptime_seconds: uptime.as_secs_f64(),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            transport_bytes_received: self.transport_bytes_received.load(Ordering::Relaxed),
+            transport_bytes_sent: self.transport_bytes_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +224,22 @@ pub struct ServiceStats {
     pub jobs_per_second: f64,
     /// Seconds since the service started.
     pub uptime_seconds: f64,
+    /// TCP sessions that completed a handshake (0 without a
+    /// [`crate::CloudServer`] in front).
+    pub connections_accepted: u64,
+    /// Connections refused before a session existed (capacity, bad
+    /// handshake, version mismatch).
+    pub connections_rejected: u64,
+    /// Sessions open right now.
+    pub connections_active: usize,
+    /// Framed messages received over all sessions.
+    pub frames_received: u64,
+    /// Framed messages sent over all sessions.
+    pub frames_sent: u64,
+    /// Wire bytes received (frame payloads plus length prefixes).
+    pub transport_bytes_received: u64,
+    /// Wire bytes sent (frame payloads plus length prefixes).
+    pub transport_bytes_sent: u64,
 }
 
 #[cfg(test)]

@@ -37,6 +37,10 @@ pub struct JobContext {
     pub model: Option<GraphModel>,
     /// The adversary's vantage point, installed by the observer layer.
     pub observer: Option<Arc<Mutex<dyn CloudObserver>>>,
+    /// The session's API key: negotiated at the transport handshake for
+    /// remote jobs, or stamped by [`crate::CloudClient::with_api_key`] for
+    /// in-process ones. Judged by [`ApiKeyLayer`].
+    pub api_key: Option<Arc<str>>,
 }
 
 impl JobContext {
@@ -49,6 +53,7 @@ impl JobContext {
             job: None,
             model: None,
             observer: None,
+            api_key: None,
         }
     }
 }
@@ -387,6 +392,70 @@ impl JobService for AdmissionSvc {
 }
 
 // ---------------------------------------------------------------------------
+// API-key auth
+// ---------------------------------------------------------------------------
+
+/// Refuses jobs whose session key is missing or unknown, while the payload
+/// is still the raw framed bytes — an unauthenticated upload is never
+/// decoded, validated or trained.
+///
+/// The key itself is session state (the transport handshake, or
+/// [`crate::CloudClient::with_api_key`] in-process), not payload bytes, so
+/// one check covers every job of a connection without re-parsing frames.
+pub struct ApiKeyLayer {
+    keys: Arc<std::collections::HashSet<String>>,
+}
+
+impl ApiKeyLayer {
+    /// Accepts exactly the given keys.
+    pub fn new<I, S>(keys: I) -> ApiKeyLayer
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ApiKeyLayer {
+            keys: Arc::new(keys.into_iter().map(Into::into).collect()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ApiKeyLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiKeyLayer")
+            .field("keys", &self.keys.len())
+            .finish()
+    }
+}
+
+struct ApiKeySvc {
+    keys: Arc<std::collections::HashSet<String>>,
+    inner: Box<dyn JobService>,
+}
+
+impl CloudLayer for ApiKeyLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(ApiKeySvc {
+            keys: Arc::clone(&self.keys),
+            inner,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "auth"
+    }
+}
+
+impl JobService for ApiKeySvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        match ctx.api_key.as_deref() {
+            Some(key) if self.keys.contains(key) => self.inner.call(ctx, payload),
+            Some(_) => Err(CloudError::Unauthorized("unknown API key".into())),
+            None => Err(CloudError::Unauthorized("no API key presented".into())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Panic catching
 // ---------------------------------------------------------------------------
 
@@ -517,6 +586,30 @@ mod tests {
                 max_queue_depth: 2
             })
         ));
+    }
+
+    #[test]
+    fn api_key_layer_gates_on_session_key() {
+        let svc = ServiceBuilder::new()
+            .layer(ApiKeyLayer::new(["secret-1", "secret-2"]))
+            .service(Box::new(Probe));
+        // No key.
+        let mut ctx = JobContext::new(7, 0);
+        assert!(matches!(
+            svc.call(&mut ctx, Bytes::new()),
+            Err(CloudError::Unauthorized(_))
+        ));
+        // Wrong key.
+        let mut ctx = JobContext::new(8, 0);
+        ctx.api_key = Some(Arc::from("nope"));
+        assert!(matches!(
+            svc.call(&mut ctx, Bytes::new()),
+            Err(CloudError::Unauthorized(_))
+        ));
+        // Known key.
+        let mut ctx = JobContext::new(9, 0);
+        ctx.api_key = Some(Arc::from("secret-2"));
+        assert!(svc.call(&mut ctx, Bytes::new()).is_ok());
     }
 
     #[test]

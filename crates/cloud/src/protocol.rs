@@ -160,7 +160,7 @@ impl CloudJob {
 }
 
 /// What the cloud returns after training.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
     /// Service-assigned id of the job this result answers (matches
     /// `JobHandle::id`).
@@ -176,6 +176,61 @@ pub struct JobResult {
     pub bytes_sent: usize,
     /// Wall-clock training seconds on the cloud.
     pub train_seconds: f64,
+}
+
+impl JobResult {
+    /// Serializes the result for the return leg of the wire (the transport's
+    /// `Reply` frame body).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u64(self.job_id);
+        w.put_bytes(&self.trained_model);
+        w.put_f32_list(&self.history.train_loss);
+        w.put_f32_list(&self.history.train_acc);
+        w.put_f32_list(&self.history.val_loss);
+        w.put_f32_list(&self.history.val_acc);
+        w.put_f32_list(&self.history.epoch_secs);
+        w.put_u64(self.bytes_received as u64);
+        w.put_u64(self.bytes_sent as u64);
+        w.put_f64(self.train_seconds);
+        w.finish()
+    }
+
+    /// Decodes a result written by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Decode`] on truncated or malformed buffers.
+    pub fn from_bytes(buf: Bytes) -> Result<JobResult, CloudError> {
+        let mut r = Reader::new(buf);
+        let err = |e: amalgam_tensor::TensorError| CloudError::Decode(e.to_string());
+        let job_id = r.get_u64().map_err(err)?;
+        let trained_model = r.get_bytes().map_err(err)?;
+        let history = History {
+            train_loss: r.get_f32_list().map_err(err)?,
+            train_acc: r.get_f32_list().map_err(err)?,
+            val_loss: r.get_f32_list().map_err(err)?,
+            val_acc: r.get_f32_list().map_err(err)?,
+            epoch_secs: r.get_f32_list().map_err(err)?,
+        };
+        let bytes_received = r.get_u64().map_err(err)? as usize;
+        let bytes_sent = r.get_u64().map_err(err)? as usize;
+        let train_seconds = r.get_f64().map_err(err)?;
+        if r.remaining() != 0 {
+            return Err(CloudError::Decode(format!(
+                "{} trailing bytes after job result",
+                r.remaining()
+            )));
+        }
+        Ok(JobResult {
+            job_id,
+            trained_model,
+            history,
+            bytes_received,
+            bytes_sent,
+            train_seconds,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +290,44 @@ mod tests {
             }
             _ => panic!("wrong task kind"),
         }
+    }
+
+    #[test]
+    fn job_result_roundtrip() {
+        let result = JobResult {
+            job_id: 42,
+            trained_model: Bytes::from_static(b"trained"),
+            history: History {
+                train_loss: vec![1.0, 0.5],
+                train_acc: vec![0.4, 0.9],
+                val_loss: vec![0.7],
+                val_acc: vec![0.8],
+                epoch_secs: vec![0.01, 0.02],
+            },
+            bytes_received: 123,
+            bytes_sent: 456,
+            train_seconds: 1.25,
+        };
+        let back = JobResult::from_bytes(result.to_bytes()).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn truncated_job_result_is_decode_error() {
+        let result = JobResult {
+            job_id: 1,
+            trained_model: Bytes::from_static(b"m"),
+            history: History::new(),
+            bytes_received: 0,
+            bytes_sent: 0,
+            train_seconds: 0.0,
+        };
+        let bytes = result.to_bytes();
+        let cut = bytes.slice(0..bytes.len() - 3);
+        assert!(matches!(
+            JobResult::from_bytes(cut),
+            Err(CloudError::Decode(_))
+        ));
     }
 
     #[test]

@@ -21,12 +21,42 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Where a finished job's outcome goes.
+///
+/// In-process handles get a dedicated channel per job; transport sessions
+/// multiplex every job of one connection onto a single channel, tagged with
+/// the session's request id, so one writer thread can serve any number of
+/// out-of-order completions.
+pub(crate) enum ReplySink {
+    /// One dedicated channel, consumed by a [`JobHandle`].
+    Handle(Sender<Result<JobResult, CloudError>>),
+    /// A shared per-connection channel; `tag` is the wire request id.
+    Routed {
+        tag: u64,
+        tx: Sender<(u64, Result<JobResult, CloudError>)>,
+    },
+}
+
+impl ReplySink {
+    fn send(&self, result: Result<JobResult, CloudError>) {
+        match self {
+            ReplySink::Handle(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplySink::Routed { tag, tx } => {
+                let _ = tx.send((*tag, result));
+            }
+        }
+    }
+}
+
 enum Envelope {
     Job {
         id: u64,
         queue_depth_at_submit: usize,
         payload: Bytes,
-        reply: Sender<Result<JobResult, CloudError>>,
+        auth: Option<Arc<str>>,
+        reply: ReplySink,
     },
     Shutdown,
 }
@@ -95,7 +125,14 @@ impl CloudService {
             closed: Arc::clone(&self.closed),
             metrics: Arc::clone(&self.metrics),
             next_id: Arc::clone(&self.next_id),
+            api_key: None,
         }
+    }
+
+    /// The shared telemetry sink (the transport server folds its counters
+    /// into the same instance `stats()` snapshots).
+    pub(crate) fn metrics_arc(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Point-in-time telemetry: latency, throughput, bytes, queue depth.
@@ -131,7 +168,7 @@ impl CloudService {
         while let Ok(envelope) = self.rx.try_recv() {
             if let Envelope::Job { reply, .. } = envelope {
                 self.metrics.job_dequeued();
-                let _ = reply.send(Err(CloudError::ServiceUnavailable));
+                reply.send(Err(CloudError::ServiceUnavailable));
             }
         }
     }
@@ -150,12 +187,14 @@ fn worker_loop(rx: &Receiver<Envelope>, service: &dyn JobService, metrics: &Serv
                 id,
                 queue_depth_at_submit,
                 payload,
+                auth,
                 reply,
             } => {
                 metrics.job_dequeued();
                 let mut ctx = JobContext::new(id, queue_depth_at_submit);
+                ctx.api_key = auth;
                 let result = service.call(&mut ctx, payload);
-                let _ = reply.send(result);
+                reply.send(result);
             }
             Envelope::Shutdown => break,
         }
@@ -169,9 +208,18 @@ pub struct CloudClient {
     closed: Arc<AtomicBool>,
     metrics: Arc<ServiceMetrics>,
     next_id: Arc<AtomicU64>,
+    api_key: Option<Arc<str>>,
 }
 
 impl CloudClient {
+    /// Stamps every job submitted through this handle with `key` — what an
+    /// [`crate::ApiKeyLayer`] in the stack checks. Transport sessions get
+    /// their key from the connection handshake instead.
+    #[must_use]
+    pub fn with_api_key(mut self, key: impl Into<String>) -> CloudClient {
+        self.api_key = Some(Arc::from(key.into().into_boxed_str()));
+        self
+    }
     /// Uploads a job (serializing it — this is the trust boundary) and
     /// returns a handle to the in-flight work.
     ///
@@ -198,7 +246,8 @@ impl CloudClient {
             id,
             queue_depth_at_submit,
             payload,
-            reply: reply_tx,
+            auth: self.api_key.clone(),
+            reply: ReplySink::Handle(reply_tx),
         };
         if self.tx.send(envelope).is_err() {
             self.metrics.job_unqueued();
@@ -217,6 +266,43 @@ impl CloudClient {
             rx: reply_rx,
             done: None,
         })
+    }
+
+    /// Submits a payload whose outcome is multiplexed onto a shared reply
+    /// channel, tagged with the caller's `tag` (the transport's request id).
+    ///
+    /// Unlike [`submit_payload`](Self::submit_payload) there is no unhandled
+    /// shutdown race: the shared sink outlives this call, so an envelope
+    /// stranded behind the stop markers is still answered (with
+    /// [`CloudError::ServiceUnavailable`]) by the shutdown drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::ServiceUnavailable`] if the service is gone.
+    pub(crate) fn submit_routed(
+        &self,
+        payload: Bytes,
+        tag: u64,
+        replies: Sender<(u64, Result<JobResult, CloudError>)>,
+        auth: Option<Arc<str>>,
+    ) -> Result<u64, CloudError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(CloudError::ServiceUnavailable);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let queue_depth_at_submit = self.metrics.job_queued();
+        let envelope = Envelope::Job {
+            id,
+            queue_depth_at_submit,
+            payload,
+            auth,
+            reply: ReplySink::Routed { tag, tx: replies },
+        };
+        if self.tx.send(envelope).is_err() {
+            self.metrics.job_unqueued();
+            return Err(CloudError::ServiceUnavailable);
+        }
+        Ok(id)
     }
 
     /// Convenience: submit and wait.

@@ -1,0 +1,357 @@
+//! The remote counterpart of [`crate::CloudClient`]: the same
+//! submit/handle API, but every job crosses a real socket.
+//!
+//! One connection carries any number of concurrent jobs: submissions are
+//! tagged with a client-chosen request id, replies are matched back by that
+//! id (they arrive in *completion* order, not submission order), and a
+//! background reader thread routes each one to its waiting
+//! [`RemoteJobHandle`]. A keep-alive thread pings whenever the connection
+//! has been quiet, so the server's idle timeout only ends sessions whose
+//! client is actually gone.
+
+use super::frame::{self, read_frame_blocking, write_frame, Frame};
+use super::{TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use crate::protocol::{CloudJob, JobResult};
+use crate::CloudError;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// A client of a [`crate::CloudServer`] over one multiplexed TCP
+/// connection. Cloneable: clones share the connection and its session.
+#[derive(Debug, Clone)]
+pub struct RemoteCloudClient {
+    shared: Arc<ClientShared>,
+}
+
+#[derive(Debug)]
+struct ClientShared {
+    /// Write half; every frame is written whole under this lock.
+    writer: Mutex<TcpStream>,
+    /// In-flight request ids → the channel their reply is routed to.
+    pending: Mutex<HashMap<u64, Sender<Result<JobResult, CloudError>>>>,
+    next_request: AtomicU64,
+    closed: AtomicBool,
+    /// The server's advertised frame cap: oversized submits are refused
+    /// locally instead of poisoning the shared connection.
+    server_max_frame_len: usize,
+    /// Negotiated protocol version.
+    version: u32,
+    /// In-flight cap the server advertised for this session.
+    server_max_in_flight: usize,
+    last_write: Mutex<Instant>,
+}
+
+impl ClientShared {
+    /// Marks the connection dead, tears the socket down (so the reader
+    /// thread unblocks and exits instead of parking on a timeout-less read
+    /// forever) and answers every outstanding handle. Callers must not hold
+    /// the writer lock.
+    fn fail_pending(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+        let pending: Vec<_> = {
+            let mut map = self.pending.lock();
+            map.drain().collect()
+        };
+        for (_, tx) in pending {
+            let _ = tx.send(Err(CloudError::ServiceUnavailable));
+        }
+    }
+}
+
+impl Drop for ClientShared {
+    fn drop(&mut self) {
+        // Unblocks the reader (it holds only a `Weak` to this state) and
+        // lets the keep-alive thread retire on its next tick.
+        self.closed.store(true, Ordering::SeqCst);
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+    }
+}
+
+impl RemoteCloudClient {
+    /// Connects and handshakes with the default [`TransportConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Transport`] on connect/I-O failure and
+    /// [`CloudError::Handshake`] if the server refuses the session.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteCloudClient, CloudError> {
+        RemoteCloudClient::connect_with(addr, TransportConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with explicit tunables (API key,
+    /// keep-alive cadence, frame cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Transport`] on connect/I-O failure and
+    /// [`CloudError::Handshake`] if the server refuses the session.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: TransportConfig,
+    ) -> Result<RemoteCloudClient, CloudError> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| CloudError::Transport(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(config.handshake_timeout));
+        // A peer that stops reading must not wedge submit/keepalive/close
+        // behind the writer lock forever; a timed-out write marks the
+        // connection broken (symmetric with the server's session policy).
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                min_version: MIN_PROTOCOL_VERSION,
+                max_version: PROTOCOL_VERSION,
+                api_key: config.api_key.clone(),
+            },
+        )
+        .map_err(|e| CloudError::Transport(format!("handshake write failed: {e}")))?;
+        let (frame, _) = read_frame_blocking(&mut stream, config.max_frame_len)?
+            .ok_or_else(|| CloudError::Handshake("server closed during handshake".into()))?;
+        let (version, max_in_flight, server_max_frame_len) = match frame {
+            Frame::Welcome {
+                version,
+                max_in_flight,
+                max_frame_len,
+            } => (version, max_in_flight, max_frame_len),
+            Frame::Reject { reason } => return Err(CloudError::Handshake(reason)),
+            other => {
+                return Err(CloudError::Handshake(format!(
+                    "expected Welcome, got {other:?}"
+                )))
+            }
+        };
+        let _ = stream.set_read_timeout(None);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| CloudError::Transport(format!("socket clone failed: {e}")))?;
+        let shared = Arc::new(ClientShared {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            server_max_frame_len: usize::try_from(server_max_frame_len).unwrap_or(usize::MAX),
+            version,
+            server_max_in_flight: max_in_flight as usize,
+            last_write: Mutex::new(Instant::now()),
+        });
+        spawn_reader(Arc::downgrade(&shared), read_half, config.max_frame_len);
+        spawn_keepalive(Arc::downgrade(&shared), config.keepalive_interval);
+        Ok(RemoteCloudClient { shared })
+    }
+
+    /// The protocol version negotiated at the handshake.
+    pub fn protocol_version(&self) -> u32 {
+        self.shared.version
+    }
+
+    /// The per-connection in-flight cap the server advertised.
+    pub fn max_in_flight(&self) -> usize {
+        self.shared.server_max_in_flight
+    }
+
+    /// Uploads a job (serializing it — this *is* the trust boundary now)
+    /// and returns a handle to the in-flight work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Transport`] if the connection is broken and
+    /// [`CloudError::ServiceUnavailable`] if it was already closed.
+    pub fn submit(&self, job: &CloudJob) -> Result<RemoteJobHandle, CloudError> {
+        self.submit_payload(job.to_bytes())
+    }
+
+    /// Uploads an already-serialized payload.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`submit`](Self::submit).
+    pub fn submit_payload(&self, payload: Bytes) -> Result<RemoteJobHandle, CloudError> {
+        let shared = &*self.shared;
+        if shared.closed.load(Ordering::SeqCst) {
+            return Err(CloudError::ServiceUnavailable);
+        }
+        let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+        // Zero-copy upload: the payload goes straight from the caller's
+        // buffer to the socket, after only the small frame head is built.
+        let head = frame::submit_head(id, payload.len());
+        let body_len = head.len() + payload.len();
+        // The wire cap is the smaller of the server's advertised limit and
+        // what a u32 length prefix can carry at all; refusing here keeps an
+        // oversized job from killing the shared connection.
+        let cap = shared.server_max_frame_len.min(u32::MAX as usize);
+        if body_len > cap {
+            return Err(CloudError::Transport(format!(
+                "job frame of {body_len} bytes exceeds the connection's cap of {cap} bytes"
+            )));
+        }
+        let (tx, rx) = unbounded();
+        shared.pending.lock().insert(id, tx);
+        let written = {
+            let mut w = shared.writer.lock();
+            frame::write_split(&mut *w, &head, &payload)
+        };
+        if let Err(e) = written {
+            shared.pending.lock().remove(&id);
+            shared.fail_pending();
+            return Err(CloudError::Transport(format!("submit write failed: {e}")));
+        }
+        *shared.last_write.lock() = Instant::now();
+        if shared.closed.load(Ordering::SeqCst) {
+            // The reader died between our first check and the write. Either
+            // it already failed this entry (rx holds an error), or we remove
+            // it here — both ways no handle can hang.
+            shared.pending.lock().remove(&id);
+            return Err(CloudError::ServiceUnavailable);
+        }
+        Ok(RemoteJobHandle { id, rx, done: None })
+    }
+
+    /// Convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission, transport, decode, validation and training
+    /// errors.
+    pub fn train(&self, job: &CloudJob) -> Result<JobResult, CloudError> {
+        self.submit(job)?.wait()
+    }
+
+    /// Polite hang-up: sends `Goodbye`, closes the socket, and answers any
+    /// still-pending handles with [`CloudError::ServiceUnavailable`].
+    pub fn close(self) {
+        let shared = &*self.shared;
+        if !shared.closed.swap(true, Ordering::SeqCst) {
+            let mut w = shared.writer.lock();
+            let _ = write_frame(&mut *w, &Frame::Goodbye);
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        shared.fail_pending();
+    }
+}
+
+/// Routes replies to their pending handles until the connection ends.
+fn spawn_reader(weak: Weak<ClientShared>, mut stream: TcpStream, max_frame_len: usize) {
+    std::thread::Builder::new()
+        .name("cloud-remote-reader".into())
+        .spawn(move || loop {
+            match read_frame_blocking(&mut stream, max_frame_len) {
+                Ok(Some((Frame::Reply { request_id, result }, _))) => {
+                    let Some(shared) = weak.upgrade() else { return };
+                    let tx = shared.pending.lock().remove(&request_id);
+                    if let Some(tx) = tx {
+                        let _ = tx.send(result);
+                    }
+                }
+                Ok(Some((Frame::Pong { .. }, _))) => {}
+                // Anything else from the server — or EOF, or a transport/
+                // decode error — ends the session.
+                Ok(Some(_)) | Ok(None) | Err(_) => {
+                    if let Some(shared) = weak.upgrade() {
+                        shared.fail_pending();
+                    }
+                    return;
+                }
+            }
+        })
+        .expect("spawn remote reader");
+}
+
+/// Pings whenever the connection has been write-idle for a full interval.
+fn spawn_keepalive(weak: Weak<ClientShared>, interval: Duration) {
+    std::thread::Builder::new()
+        .name("cloud-remote-keepalive".into())
+        .spawn(move || {
+            let tick = (interval / 4).max(Duration::from_millis(10));
+            let mut nonce = 0u64;
+            loop {
+                std::thread::sleep(tick);
+                let Some(shared) = weak.upgrade() else { return };
+                if shared.closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                if shared.last_write.lock().elapsed() >= interval {
+                    nonce += 1;
+                    let sent = {
+                        let mut w = shared.writer.lock();
+                        write_frame(&mut *w, &Frame::Ping { nonce })
+                    };
+                    match sent {
+                        Ok(_) => *shared.last_write.lock() = Instant::now(),
+                        Err(_) => {
+                            shared.fail_pending();
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn remote keepalive");
+}
+
+/// An in-flight remote job — API parity with [`crate::JobHandle`],
+/// including the result-id match: `wait().unwrap().job_id == handle.id()`.
+#[derive(Debug)]
+pub struct RemoteJobHandle {
+    id: u64,
+    rx: Receiver<Result<JobResult, CloudError>>,
+    done: Option<Result<JobResult, CloudError>>,
+}
+
+impl RemoteJobHandle {
+    /// The request id this connection assigned (matches
+    /// [`JobResult::job_id`] in the reply).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::ServiceUnavailable`] if the connection died
+    /// with the job still unanswered.
+    pub fn wait(self) -> Result<JobResult, CloudError> {
+        if let Some(done) = self.done {
+            return done;
+        }
+        self.rx.recv().map_err(|_| CloudError::ServiceUnavailable)?
+    }
+
+    /// Non-blocking poll: `None` while the job is still running. Once the
+    /// outcome is known it is cached, so polling again keeps returning it.
+    pub fn try_wait(&mut self) -> Option<Result<JobResult, CloudError>> {
+        if self.done.is_none() {
+            match self.rx.try_recv() {
+                Ok(result) => self.done = Some(result),
+                Err(TryRecvError::Empty) => return None,
+                Err(TryRecvError::Disconnected) => {
+                    self.done = Some(Err(CloudError::ServiceUnavailable));
+                }
+            }
+        }
+        self.done.clone()
+    }
+
+    /// Blocks at most `timeout`; `None` on timeout, the (cached) outcome
+    /// otherwise.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<JobResult, CloudError>> {
+        if self.done.is_none() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(result) => self.done = Some(result),
+                Err(RecvTimeoutError::Timeout) => return None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.done = Some(Err(CloudError::ServiceUnavailable));
+                }
+            }
+        }
+        self.done.clone()
+    }
+}

@@ -1,0 +1,691 @@
+//! Frame codec: the length-prefixed messages both transport peers speak.
+//!
+//! See the [module docs](crate::transport) for the wire format tables. The
+//! codec is deliberately symmetric with the job protocol: frame bodies are
+//! `wire::Writer`/`wire::Reader` encodings, so everything that crosses the
+//! socket is the same dumb little-endian format the adversary model
+//! already assumes.
+
+use crate::protocol::JobResult;
+use crate::CloudError;
+use amalgam_tensor::wire::{Reader, Writer};
+use amalgam_tensor::TensorError;
+use bytes::Bytes;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const TAG_HELLO: u8 = 1;
+const TAG_SUBMIT: u8 = 2;
+const TAG_PING: u8 = 3;
+const TAG_GOODBYE: u8 = 4;
+const TAG_WELCOME: u8 = 129;
+const TAG_REJECT: u8 = 130;
+const TAG_REPLY: u8 = 131;
+const TAG_PONG: u8 = 132;
+
+/// One framed transport message (either direction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client opener: supported protocol-version range plus optional key.
+    Hello {
+        /// Oldest protocol version the client accepts.
+        min_version: u32,
+        /// Newest protocol version the client speaks.
+        max_version: u32,
+        /// API key to bind to the session, if any.
+        api_key: Option<String>,
+    },
+    /// Server accepts the session.
+    Welcome {
+        /// Negotiated protocol version.
+        version: u32,
+        /// Unanswered submits the session may keep in flight.
+        max_in_flight: u32,
+        /// The server's frame-length cap (clients must stay under it).
+        max_frame_len: u64,
+    },
+    /// Server refuses the session (version mismatch, capacity, bad opener).
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// One job upload; `payload` is a serialized [`crate::CloudJob`].
+    Submit {
+        /// Client-chosen id echoed back in the matching [`Frame::Reply`].
+        request_id: u64,
+        /// The serialized job.
+        payload: Bytes,
+    },
+    /// The outcome of one submit; replies may arrive out of order.
+    Reply {
+        /// The id of the [`Frame::Submit`] this answers.
+        request_id: u64,
+        /// What the service produced.
+        result: Result<JobResult, CloudError>,
+    },
+    /// Keep-alive probe.
+    Ping {
+        /// Echoed back in the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Keep-alive answer.
+    Pong {
+        /// The probe's nonce.
+        nonce: u64,
+    },
+    /// Polite client hang-up.
+    Goodbye,
+}
+
+fn wire_err(e: TensorError) -> CloudError {
+    CloudError::Decode(e.to_string())
+}
+
+fn put_error(w: &mut Writer, e: &CloudError) {
+    match e {
+        CloudError::ServiceUnavailable => w.put_u8(0),
+        CloudError::Decode(msg) => {
+            w.put_u8(1);
+            w.put_str(msg);
+        }
+        CloudError::BadJob(msg) => {
+            w.put_u8(2);
+            w.put_str(msg);
+        }
+        CloudError::Overloaded {
+            queue_depth,
+            max_queue_depth,
+        } => {
+            w.put_u8(3);
+            w.put_u64(*queue_depth as u64);
+            w.put_u64(*max_queue_depth as u64);
+        }
+        CloudError::Panicked(msg) => {
+            w.put_u8(4);
+            w.put_str(msg);
+        }
+        CloudError::Transport(msg) => {
+            w.put_u8(5);
+            w.put_str(msg);
+        }
+        CloudError::Unauthorized(msg) => {
+            w.put_u8(6);
+            w.put_str(msg);
+        }
+        CloudError::Handshake(msg) => {
+            w.put_u8(7);
+            w.put_str(msg);
+        }
+    }
+}
+
+fn get_error(r: &mut Reader) -> Result<CloudError, CloudError> {
+    Ok(match r.get_u8().map_err(wire_err)? {
+        0 => CloudError::ServiceUnavailable,
+        1 => CloudError::Decode(r.get_str().map_err(wire_err)?),
+        2 => CloudError::BadJob(r.get_str().map_err(wire_err)?),
+        3 => CloudError::Overloaded {
+            queue_depth: r.get_u64().map_err(wire_err)? as usize,
+            max_queue_depth: r.get_u64().map_err(wire_err)? as usize,
+        },
+        4 => CloudError::Panicked(r.get_str().map_err(wire_err)?),
+        5 => CloudError::Transport(r.get_str().map_err(wire_err)?),
+        6 => CloudError::Unauthorized(r.get_str().map_err(wire_err)?),
+        7 => CloudError::Handshake(r.get_str().map_err(wire_err)?),
+        t => return Err(CloudError::Decode(format!("unknown error tag {t}"))),
+    })
+}
+
+impl Frame {
+    /// Serializes the frame *body* (tag + fields, no length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            Frame::Hello {
+                min_version,
+                max_version,
+                api_key,
+            } => {
+                w.put_u8(TAG_HELLO);
+                w.put_u32(*min_version);
+                w.put_u32(*max_version);
+                match api_key {
+                    Some(key) => {
+                        w.put_u8(1);
+                        w.put_str(key);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            Frame::Welcome {
+                version,
+                max_in_flight,
+                max_frame_len,
+            } => {
+                w.put_u8(TAG_WELCOME);
+                w.put_u32(*version);
+                w.put_u32(*max_in_flight);
+                w.put_u64(*max_frame_len);
+            }
+            Frame::Reject { reason } => {
+                w.put_u8(TAG_REJECT);
+                w.put_str(reason);
+            }
+            Frame::Submit {
+                request_id,
+                payload,
+            } => {
+                w.put_u8(TAG_SUBMIT);
+                w.put_u64(*request_id);
+                w.put_bytes(payload);
+            }
+            Frame::Reply { request_id, result } => {
+                w.put_u8(TAG_REPLY);
+                w.put_u64(*request_id);
+                match result {
+                    Ok(r) => {
+                        w.put_u8(1);
+                        w.put_bytes(&r.to_bytes());
+                    }
+                    Err(e) => {
+                        w.put_u8(0);
+                        put_error(&mut w, e);
+                    }
+                }
+            }
+            Frame::Ping { nonce } => {
+                w.put_u8(TAG_PING);
+                w.put_u64(*nonce);
+            }
+            Frame::Pong { nonce } => {
+                w.put_u8(TAG_PONG);
+                w.put_u64(*nonce);
+            }
+            Frame::Goodbye => w.put_u8(TAG_GOODBYE),
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame body produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Decode`] on truncated bodies or unknown tags.
+    pub fn decode(body: Bytes) -> Result<Frame, CloudError> {
+        let mut r = Reader::new(body);
+        let frame = match r.get_u8().map_err(wire_err)? {
+            TAG_HELLO => {
+                let min_version = r.get_u32().map_err(wire_err)?;
+                let max_version = r.get_u32().map_err(wire_err)?;
+                let api_key = match r.get_u8().map_err(wire_err)? {
+                    0 => None,
+                    1 => Some(r.get_str().map_err(wire_err)?),
+                    t => return Err(CloudError::Decode(format!("bad api-key marker {t}"))),
+                };
+                Frame::Hello {
+                    min_version,
+                    max_version,
+                    api_key,
+                }
+            }
+            TAG_WELCOME => Frame::Welcome {
+                version: r.get_u32().map_err(wire_err)?,
+                max_in_flight: r.get_u32().map_err(wire_err)?,
+                max_frame_len: r.get_u64().map_err(wire_err)?,
+            },
+            TAG_REJECT => Frame::Reject {
+                reason: r.get_str().map_err(wire_err)?,
+            },
+            TAG_SUBMIT => Frame::Submit {
+                request_id: r.get_u64().map_err(wire_err)?,
+                payload: r.get_bytes().map_err(wire_err)?,
+            },
+            TAG_REPLY => {
+                let request_id = r.get_u64().map_err(wire_err)?;
+                let result = match r.get_u8().map_err(wire_err)? {
+                    1 => Ok(JobResult::from_bytes(r.get_bytes().map_err(wire_err)?)?),
+                    0 => Err(get_error(&mut r)?),
+                    t => return Err(CloudError::Decode(format!("bad outcome marker {t}"))),
+                };
+                Frame::Reply { request_id, result }
+            }
+            TAG_PING => Frame::Ping {
+                nonce: r.get_u64().map_err(wire_err)?,
+            },
+            TAG_PONG => Frame::Pong {
+                nonce: r.get_u64().map_err(wire_err)?,
+            },
+            TAG_GOODBYE => Frame::Goodbye,
+            t => return Err(CloudError::Decode(format!("unknown frame tag {t}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(CloudError::Decode(format!(
+                "{} trailing bytes after frame",
+                r.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Writes one length-prefixed frame, returning the wire bytes written.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O errors.
+pub(crate) fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> {
+    write_encoded(w, &frame.encode())
+}
+
+/// Writes an already-encoded frame body with its length prefix, returning
+/// the wire bytes written.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O errors.
+pub(crate) fn write_encoded(w: &mut impl Write, body: &Bytes) -> std::io::Result<usize> {
+    if body.len() > u32::MAX as usize {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "frame body over 4 GiB",
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(4 + body.len())
+}
+
+/// Writes a frame whose body is `head` followed by `payload`, without ever
+/// copying `payload` into a body buffer — the zero-copy path for the two
+/// bulk frames (`Submit` uploads, successful `Reply` downloads), whose
+/// payloads dominate the wire. `head` must already end with the `u32`
+/// length prefix of `payload` (see [`submit_head`] / [`reply_ok_head`]),
+/// so the bytes on the wire are identical to [`write_frame`] of the
+/// equivalent [`Frame`].
+///
+/// # Errors
+///
+/// Propagates the sink's I/O errors.
+pub(crate) fn write_split(
+    w: &mut impl Write,
+    head: &[u8],
+    payload: &[u8],
+) -> std::io::Result<usize> {
+    let total = head.len() + payload.len();
+    // A hard error, not a debug_assert: a wrapped u32 length prefix would
+    // put an undecodable frame on the wire in release builds too.
+    if total > u32::MAX as usize {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "frame body over 4 GiB",
+        ));
+    }
+    w.write_all(&(total as u32).to_le_bytes())?;
+    w.write_all(head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(4 + total)
+}
+
+/// The fixed head of a [`Frame::Submit`] body, for [`write_split`].
+pub(crate) fn submit_head(request_id: u64, payload_len: usize) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u8(TAG_SUBMIT);
+    w.put_u64(request_id);
+    w.put_u32(payload_len as u32);
+    w.finish()
+}
+
+/// The fixed head of a successful [`Frame::Reply`] body, for
+/// [`write_split`]; `result_len` is the length of the serialized
+/// [`JobResult`] that follows.
+pub(crate) fn reply_ok_head(request_id: u64, result_len: usize) -> Bytes {
+    let mut w = Writer::new();
+    w.put_u8(TAG_REPLY);
+    w.put_u64(request_id);
+    w.put_u8(1);
+    w.put_u32(result_len as u32);
+    w.finish()
+}
+
+/// Reads exactly `buf.len()` bytes from a blocking stream.
+///
+/// Returns `Ok(false)` on a clean EOF *before the first byte* when
+/// `at_boundary`; EOF anywhere else is a truncated frame.
+fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<bool, CloudError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && at_boundary {
+                    return Ok(false);
+                }
+                return Err(CloudError::Transport("connection closed mid-frame".into()));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(CloudError::Transport(format!("read failed: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary, and the decoded
+/// frame plus its wire length otherwise.
+///
+/// # Errors
+///
+/// Returns [`CloudError::Transport`] on I/O failure, truncation or a length
+/// prefix over `max_frame_len` (checked before allocating), and
+/// [`CloudError::Decode`] on a malformed body.
+pub(crate) fn read_frame_blocking(
+    r: &mut impl Read,
+    max_frame_len: usize,
+) -> Result<Option<(Frame, usize)>, CloudError> {
+    let mut header = [0u8; 4];
+    if !read_full(r, &mut header, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_frame_len {
+        return Err(CloudError::Transport(format!(
+            "frame length {len} exceeds cap {max_frame_len}"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    read_full(r, &mut body, false)?;
+    Ok(Some((Frame::decode(Bytes::from(body))?, 4 + len)))
+}
+
+/// Outcome of one resumable server-side read.
+pub(crate) enum ServerRead {
+    /// A whole frame arrived (with its wire length).
+    Frame(Frame, usize),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// No bytes for longer than the idle timeout.
+    IdleTimeout,
+    /// The server is shutting down.
+    Stopped,
+}
+
+/// Reads one frame from a stream whose read timeout is set to a short tick,
+/// so the loop can observe `stop` and the idle deadline between partial
+/// reads without losing frame sync.
+///
+/// # Errors
+///
+/// Same error surface as [`read_frame_blocking`].
+pub(crate) fn read_frame_resumable(
+    stream: &mut TcpStream,
+    max_frame_len: usize,
+    idle_timeout: Duration,
+    stop: &AtomicBool,
+) -> Result<ServerRead, CloudError> {
+    /// One tick-bounded read; the non-`Data` outcomes abort the frame.
+    enum Step {
+        Data(usize),
+        Eof,
+        Stopped,
+        Idle,
+    }
+    fn tick_read(
+        stream: &mut TcpStream,
+        buf: &mut [u8],
+        stop: &AtomicBool,
+        idle_timeout: Duration,
+        last_byte: &Instant,
+    ) -> Result<Step, CloudError> {
+        match stream.read(buf) {
+            Ok(0) => Ok(Step::Eof),
+            Ok(n) => Ok(Step::Data(n)),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(Step::Data(0)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    Ok(Step::Stopped)
+                } else if last_byte.elapsed() >= idle_timeout {
+                    Ok(Step::Idle)
+                } else {
+                    Ok(Step::Data(0))
+                }
+            }
+            Err(e) => Err(CloudError::Transport(format!("read failed: {e}"))),
+        }
+    }
+
+    let mut last_byte = Instant::now();
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match tick_read(stream, &mut header[got..], stop, idle_timeout, &last_byte)? {
+            Step::Data(0) => {}
+            Step::Data(n) => {
+                got += n;
+                last_byte = Instant::now();
+            }
+            Step::Eof if got == 0 => return Ok(ServerRead::Closed),
+            Step::Eof => {
+                return Err(CloudError::Transport("connection closed mid-frame".into()));
+            }
+            Step::Stopped => return Ok(ServerRead::Stopped),
+            Step::Idle => return Ok(ServerRead::IdleTimeout),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_frame_len {
+        return Err(CloudError::Transport(format!(
+            "frame length {len} exceeds cap {max_frame_len}"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match tick_read(stream, &mut body[got..], stop, idle_timeout, &last_byte)? {
+            Step::Data(0) => {}
+            Step::Data(n) => {
+                got += n;
+                last_byte = Instant::now();
+            }
+            Step::Eof => {
+                return Err(CloudError::Transport("connection closed mid-frame".into()));
+            }
+            Step::Stopped => return Ok(ServerRead::Stopped),
+            Step::Idle => return Ok(ServerRead::IdleTimeout),
+        }
+    }
+    Ok(ServerRead::Frame(
+        Frame::decode(Bytes::from(body))?,
+        4 + len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amalgam_nn::metrics::History;
+
+    fn roundtrip(frame: Frame) {
+        let mut wire = Vec::new();
+        let wrote = write_frame(&mut wire, &frame).unwrap();
+        assert_eq!(wrote, wire.len());
+        let mut cursor = std::io::Cursor::new(wire);
+        let (back, len) = read_frame_blocking(&mut cursor, 1 << 30).unwrap().unwrap();
+        assert_eq!(len, wrote);
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        roundtrip(Frame::Hello {
+            min_version: 1,
+            max_version: 3,
+            api_key: Some("key".into()),
+        });
+        roundtrip(Frame::Hello {
+            min_version: 1,
+            max_version: 1,
+            api_key: None,
+        });
+        roundtrip(Frame::Welcome {
+            version: 1,
+            max_in_flight: 32,
+            max_frame_len: 256 << 20,
+        });
+        roundtrip(Frame::Reject {
+            reason: "unsupported protocol version".into(),
+        });
+        roundtrip(Frame::Submit {
+            request_id: 9,
+            payload: Bytes::from_static(b"job bytes"),
+        });
+        roundtrip(Frame::Reply {
+            request_id: 9,
+            result: Ok(JobResult {
+                job_id: 9,
+                trained_model: Bytes::from_static(b"weights"),
+                history: History {
+                    train_loss: vec![0.5],
+                    train_acc: vec![0.75],
+                    val_loss: vec![],
+                    val_acc: vec![],
+                    epoch_secs: vec![0.1],
+                },
+                bytes_received: 11,
+                bytes_sent: 7,
+                train_seconds: 0.25,
+            }),
+        });
+        roundtrip(Frame::Reply {
+            request_id: 10,
+            result: Err(CloudError::Overloaded {
+                queue_depth: 5,
+                max_queue_depth: 2,
+            }),
+        });
+        roundtrip(Frame::Ping { nonce: 77 });
+        roundtrip(Frame::Pong { nonce: 77 });
+        roundtrip(Frame::Goodbye);
+    }
+
+    #[test]
+    fn every_error_variant_roundtrips() {
+        for err in [
+            CloudError::ServiceUnavailable,
+            CloudError::Decode("d".into()),
+            CloudError::BadJob("b".into()),
+            CloudError::Overloaded {
+                queue_depth: 1,
+                max_queue_depth: 0,
+            },
+            CloudError::Panicked("p".into()),
+            CloudError::Transport("t".into()),
+            CloudError::Unauthorized("u".into()),
+            CloudError::Handshake("h".into()),
+        ] {
+            roundtrip(Frame::Reply {
+                request_id: 0,
+                result: Err(err),
+            });
+        }
+    }
+
+    #[test]
+    fn split_writes_are_bitwise_identical_to_whole_frame_writes() {
+        // The zero-copy bulk path must put exactly the same bytes on the
+        // wire as encoding the whole frame.
+        let payload = Bytes::from_static(b"serialized job payload");
+        let mut whole = Vec::new();
+        write_frame(
+            &mut whole,
+            &Frame::Submit {
+                request_id: 42,
+                payload: payload.clone(),
+            },
+        )
+        .unwrap();
+        let mut split = Vec::new();
+        let n = write_split(&mut split, &submit_head(42, payload.len()), &payload).unwrap();
+        assert_eq!(split, whole);
+        assert_eq!(n, whole.len());
+
+        let result = JobResult {
+            job_id: 7,
+            trained_model: Bytes::from_static(b"weights"),
+            history: History::new(),
+            bytes_received: 3,
+            bytes_sent: 9,
+            train_seconds: 0.5,
+        };
+        let body = result.to_bytes();
+        let mut whole = Vec::new();
+        write_frame(
+            &mut whole,
+            &Frame::Reply {
+                request_id: 7,
+                result: Ok(result),
+            },
+        )
+        .unwrap();
+        let mut split = Vec::new();
+        let n = write_split(&mut split, &reply_ok_head(7, body.len()), &body).unwrap();
+        assert_eq!(split, whole);
+        assert_eq!(n, whole.len());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(b"whatever");
+        let mut cursor = std::io::Cursor::new(wire);
+        match read_frame_blocking(&mut cursor, 1 << 20) {
+            Err(CloudError::Transport(msg)) => assert!(msg.contains("exceeds cap"), "{msg}"),
+            other => panic!("expected Transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_a_transport_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Ping { nonce: 1 }).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame_blocking(&mut cursor, 1 << 20),
+            Err(CloudError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_at_boundary_is_none() {
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        assert!(read_frame_blocking(&mut cursor, 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_body_is_a_decode_error() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&3u32.to_le_bytes());
+        wire.extend_from_slice(&[0xEE, 0xFF, 0x00]);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame_blocking(&mut cursor, 1 << 20),
+            Err(CloudError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_after_body_are_rejected() {
+        let mut body = Frame::Ping { nonce: 5 }.encode().to_vec();
+        body.push(0);
+        assert!(matches!(
+            Frame::decode(Bytes::from(body)),
+            Err(CloudError::Decode(_))
+        ));
+    }
+}

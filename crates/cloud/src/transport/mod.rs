@@ -1,0 +1,188 @@
+//! The real wire: length-prefixed TCP framing, sessions and multiplexed
+//! remote clients in front of the in-process middleware stack.
+//!
+//! The paper's trust boundary is a network — clients upload augmented
+//! models and tensors to an untrusted provider. This module puts the
+//! [`crate::CloudService`] behind an actual socket: a [`CloudServer`] binds
+//! a listener and feeds framed jobs into the same queue in-process clients
+//! use, and a [`RemoteCloudClient`] offers the familiar
+//! submit/[`RemoteJobHandle`] API over one multiplexed connection. The same
+//! job submitted over loopback and in-process produces bitwise-identical
+//! trained-model bytes.
+//!
+//! # Framing
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! frame := len: u32 LE | body (len bytes)
+//! body  := tag: u8 | fields (wire::Writer encoding: LE scalars,
+//!                            u32-length-prefixed strings/blobs/lists)
+//! ```
+//!
+//! `len` is capped by [`TransportConfig::max_frame_len`] **before** any
+//! allocation, so an adversarial length prefix cannot OOM either peer.
+//! Frame bodies, client → server:
+//!
+//! | tag | frame | fields |
+//! |-----|----------|---------------------------------------------------|
+//! | 1 | `Hello`   | `min_version: u32`, `max_version: u32`, `has_key: u8`, `api_key: str?` |
+//! | 2 | `Submit`  | `request_id: u64`, `payload: bytes` (a serialized [`crate::CloudJob`]) |
+//! | 3 | `Ping`    | `nonce: u64` |
+//! | 4 | `Goodbye` | — |
+//!
+//! and server → client:
+//!
+//! | tag | frame | fields |
+//! |-----|-----------|--------------------------------------------------|
+//! | 129 | `Welcome` | `version: u32`, `max_in_flight: u32`, `max_frame_len: u64` |
+//! | 130 | `Reject`  | `reason: str` |
+//! | 131 | `Reply`   | `request_id: u64`, `ok: u8`, then a [`crate::JobResult`] or an encoded [`crate::CloudError`] |
+//! | 132 | `Pong`    | `nonce: u64` |
+//!
+//! # Handshake and sessions
+//!
+//! A session starts with exactly one `Hello`, carrying the client's
+//! supported protocol-version range and (optionally) its API key. The
+//! server negotiates `version = min(server_max, client_max)` and answers
+//! `Welcome` if that version is inside both ranges, `Reject` otherwise.
+//! The `Welcome` also tells the client the session limits it must respect:
+//! the per-connection in-flight cap and the server's frame-length cap.
+//!
+//! After the handshake the client may pipeline any number of `Submit`
+//! frames; replies are matched by `request_id` and may arrive **out of
+//! order** (the pool schedules jobs FIFO across workers, but jobs finish
+//! whenever they finish). More than
+//! [`TransportConfig::max_in_flight`] unanswered submits on one connection
+//! are refused immediately with [`crate::CloudError::Overloaded`]. A
+//! connection silent for longer than [`TransportConfig::idle_timeout`] is
+//! closed; [`RemoteCloudClient`] sends keep-alive `Ping`s (answered with
+//! `Pong`) so an idle but live session stays up. The session's API key is
+//! *session* state: it is stamped onto every job the connection submits and
+//! judged by the [`crate::ApiKeyLayer`] middleware, never re-sent per job.
+//!
+//! [`CloudServer::shutdown`] is graceful: the acceptor stops, sessions stop
+//! reading, the service drains its queue (already-accepted jobs train to
+//! completion), and every stranded request id is answered — a
+//! [`RemoteJobHandle`] never hangs.
+
+mod client;
+mod frame;
+mod server;
+
+pub use client::{RemoteCloudClient, RemoteJobHandle};
+pub use frame::Frame;
+pub use server::CloudServer;
+
+use std::time::Duration;
+
+/// Newest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Oldest protocol version this build still accepts.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Tunables shared by [`CloudServer`] and [`RemoteCloudClient`].
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Hard cap on one frame's body length; bigger length prefixes are
+    /// rejected before any allocation (default 256 MiB).
+    pub max_frame_len: usize,
+    /// Unanswered submits allowed per connection before the server refuses
+    /// further ones with [`crate::CloudError::Overloaded`] (default 32).
+    pub max_in_flight: usize,
+    /// Concurrent sessions the acceptor admits (default 64).
+    pub max_connections: usize,
+    /// A server-side session silent for this long is closed (default 30 s).
+    pub idle_timeout: Duration,
+    /// How often an otherwise-idle [`RemoteCloudClient`] pings (default
+    /// 10 s; keep it under the server's `idle_timeout`).
+    pub keepalive_interval: Duration,
+    /// How long each side waits for the other's half of the handshake
+    /// (default 5 s).
+    pub handshake_timeout: Duration,
+    /// Upper bound on one frame write to a stalled peer, on either side; a
+    /// connection that cannot make write progress for this long is treated
+    /// as broken (default 10 s).
+    pub write_timeout: Duration,
+    /// The API key a [`RemoteCloudClient`] presents in its `Hello`.
+    pub api_key: Option<String>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> TransportConfig {
+        TransportConfig {
+            max_frame_len: 256 << 20,
+            max_in_flight: 32,
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            keepalive_interval: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
+            api_key: None,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Sets the frame-length cap.
+    #[must_use]
+    pub fn max_frame_len(mut self, len: usize) -> TransportConfig {
+        self.max_frame_len = len;
+        self
+    }
+
+    /// Sets the per-connection in-flight cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (a session that can never submit is a bug).
+    #[must_use]
+    pub fn max_in_flight(mut self, n: usize) -> TransportConfig {
+        assert!(n > 0, "a session needs at least one in-flight slot");
+        self.max_in_flight = n;
+        self
+    }
+
+    /// Sets the concurrent-session cap.
+    #[must_use]
+    pub fn max_connections(mut self, n: usize) -> TransportConfig {
+        self.max_connections = n;
+        self
+    }
+
+    /// Sets the server-side idle timeout.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> TransportConfig {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the client keep-alive interval.
+    #[must_use]
+    pub fn keepalive_interval(mut self, interval: Duration) -> TransportConfig {
+        self.keepalive_interval = interval;
+        self
+    }
+
+    /// Sets the handshake timeout.
+    #[must_use]
+    pub fn handshake_timeout(mut self, timeout: Duration) -> TransportConfig {
+        self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Sets the stalled-peer write timeout.
+    #[must_use]
+    pub fn write_timeout(mut self, timeout: Duration) -> TransportConfig {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Sets the API key a client presents at its handshake.
+    #[must_use]
+    pub fn api_key(mut self, key: impl Into<String>) -> TransportConfig {
+        self.api_key = Some(key.into());
+        self
+    }
+}

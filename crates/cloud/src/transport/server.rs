@@ -1,0 +1,499 @@
+//! The TCP front of a [`CloudService`]: bounded acceptor, per-session
+//! reader/writer threads, and graceful drain on shutdown.
+//!
+//! Each accepted connection is one *session*: the reader thread performs
+//! the handshake, then feeds framed [`Frame::Submit`]s into the service's
+//! shared job queue via the multiplexed reply path
+//! (`CloudClient::submit_routed`); the writer thread forwards completions —
+//! in whatever order the pool finishes them — back as [`Frame::Reply`]s.
+//! The middleware stack sees remote jobs exactly as it sees in-process
+//! ones, plus the session's API key in the job context.
+
+use super::frame::{self, read_frame_resumable, write_frame, Frame, ServerRead};
+use super::{TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use crate::metrics::{ServiceMetrics, ServiceStats};
+use crate::protocol::JobResult;
+use crate::service::{CloudClient, CloudService};
+use crate::CloudError;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Granularity at which blocked reads/writes re-check stop flags and idle
+/// deadlines.
+const TICK: Duration = Duration::from_millis(20);
+
+/// Write bound for pre-handshake refusals, where no session config has
+/// been negotiated yet (established sessions use
+/// [`TransportConfig::write_timeout`]).
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A [`CloudService`] behind a real TCP listener.
+///
+/// ```no_run
+/// use amalgam_cloud::{CloudServer, CloudService, RemoteCloudClient};
+///
+/// let service = CloudService::builder().workers(2).build();
+/// let server = CloudServer::bind(service, "127.0.0.1:0").unwrap();
+/// let client = RemoteCloudClient::connect(server.local_addr()).unwrap();
+/// // … client.submit(&job) …
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct CloudServer {
+    shared: Arc<ServerShared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    service: Option<CloudService>,
+    local_addr: SocketAddr,
+}
+
+#[derive(Debug)]
+struct ServerShared {
+    stop: AtomicBool,
+    config: TransportConfig,
+    client: CloudClient,
+    metrics: Arc<ServiceMetrics>,
+    conns: Mutex<Vec<ConnHandle>>,
+    /// Sessions whose reader may still submit jobs. Shutdown waits for this
+    /// to hit zero before draining the service, so no submission can race
+    /// past the drain and strand a request id.
+    readers_active: AtomicUsize,
+    /// Sessions counted against [`TransportConfig::max_connections`].
+    sessions: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct ConnHandle {
+    /// Clone of the session's socket, kept so shutdown can unblock the
+    /// reader immediately instead of waiting out a tick.
+    stream: TcpStream,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl CloudServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) in front of
+    /// `service` with the default [`TransportConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the listener's I/O error; the service is dropped (and thus
+    /// cleanly shut down) in that case.
+    pub fn bind(service: CloudService, addr: impl ToSocketAddrs) -> std::io::Result<CloudServer> {
+        CloudServer::bind_with(service, addr, TransportConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit transport tunables.
+    ///
+    /// # Errors
+    ///
+    /// Returns the listener's I/O error.
+    pub fn bind_with(
+        service: CloudService,
+        addr: impl ToSocketAddrs,
+        config: TransportConfig,
+    ) -> std::io::Result<CloudServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            stop: AtomicBool::new(false),
+            config,
+            client: service.client(),
+            metrics: service.metrics_arc(),
+            conns: Mutex::new(Vec::new()),
+            readers_active: AtomicUsize::new(0),
+            sessions: AtomicUsize::new(0),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cloud-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(CloudServer {
+            shared,
+            acceptor: Some(acceptor),
+            service: Some(service),
+            local_addr,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time service + transport telemetry.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.metrics.snapshot()
+    }
+
+    /// An in-process client of the same service the listener fronts —
+    /// useful for comparing remote and local submissions of one pool.
+    pub fn local_client(&self) -> CloudClient {
+        self.service
+            .as_ref()
+            .expect("service present until shutdown")
+            .client()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.shared.sessions.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, stop reading, drain every job
+    /// already accepted (they train to completion), answer all stranded
+    /// request ids, flush the replies, then close the sockets.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(service) = self.service.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // No new sessions; now unblock every reader mid-read. Readers stop
+        // submitting, but their sessions' writers keep forwarding replies.
+        let conns: Vec<ConnHandle> = std::mem::take(&mut *self.shared.conns.lock());
+        for conn in &conns {
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        while self.shared.readers_active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // All submissions have happened; the service drain below therefore
+        // answers every routed reply — completed jobs with results, jobs it
+        // never reached with ServiceUnavailable.
+        service.shutdown();
+        for conn in conns {
+            let _ = conn.thread.join();
+        }
+    }
+}
+
+impl Drop for CloudServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reap sessions that already ended (their threads are done;
+                // dropping the handle just detaches a finished thread).
+                shared.conns.lock().retain(|c| !c.thread.is_finished());
+                let _ = stream.set_nonblocking(false);
+                if shared.sessions.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    shared.metrics.conn_rejected();
+                    reject(stream, "server at connection capacity");
+                    continue;
+                }
+                shared.sessions.fetch_add(1, Ordering::SeqCst);
+                shared.readers_active.fetch_add(1, Ordering::SeqCst);
+                let conn_stream = match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => {
+                        shared.sessions.fetch_sub(1, Ordering::SeqCst);
+                        shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                };
+                let thread = {
+                    let shared = Arc::clone(shared);
+                    std::thread::Builder::new()
+                        .name("cloud-session".into())
+                        .spawn(move || run_session(stream, &shared))
+                        .expect("spawn session")
+                };
+                shared.conns.lock().push(ConnHandle {
+                    stream: conn_stream,
+                    thread,
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Best-effort pre-handshake refusal.
+fn reject(mut stream: TcpStream, reason: &str) {
+    let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+    let _ = write_frame(
+        &mut stream,
+        &Frame::Reject {
+            reason: reason.into(),
+        },
+    );
+}
+
+/// Decrements the reader gauge even if the session path unwinds.
+struct ReaderGuard<'a>(&'a ServerShared);
+
+impl Drop for ReaderGuard<'_> {
+    fn drop(&mut self) {
+        self.0.readers_active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_session(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let config = &shared.config;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(TICK));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    // ---- Handshake (still under the reader guard: shutdown must wait out
+    // a session that is about to start submitting).
+    let reader = ReaderGuard(shared);
+    let hello = match read_frame_resumable(
+        &mut stream,
+        config.max_frame_len,
+        config.handshake_timeout,
+        &shared.stop,
+    ) {
+        Ok(ServerRead::Frame(frame, wire_len)) => {
+            shared.metrics.frame_received(wire_len);
+            frame
+        }
+        // Malformed or oversized openers are rejections; a peer that just
+        // disconnects (port scan, health check) or a shutdown mid-handshake
+        // is not.
+        Err(_) => {
+            shared.metrics.conn_rejected();
+            shared.sessions.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        Ok(ServerRead::Closed | ServerRead::IdleTimeout | ServerRead::Stopped) => {
+            shared.sessions.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+    };
+    let (auth, version): (Option<Arc<str>>, u32) = match hello {
+        Frame::Hello {
+            min_version,
+            max_version,
+            api_key,
+        } => {
+            let version = PROTOCOL_VERSION.min(max_version);
+            if version < MIN_PROTOCOL_VERSION.max(min_version) {
+                shared.metrics.conn_rejected();
+                shared.sessions.fetch_sub(1, Ordering::SeqCst);
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Reject {
+                        reason: format!(
+                            "no common protocol version (server speaks \
+                             {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, \
+                             client {min_version}..={max_version})"
+                        ),
+                    },
+                );
+                return;
+            }
+            (api_key.map(|k| Arc::from(k.into_boxed_str())), version)
+        }
+        _ => {
+            shared.metrics.conn_rejected();
+            shared.sessions.fetch_sub(1, Ordering::SeqCst);
+            reject(stream, "expected Hello");
+            return;
+        }
+    };
+    let welcome = Frame::Welcome {
+        version,
+        max_in_flight: config.max_in_flight as u32,
+        max_frame_len: config.max_frame_len as u64,
+    };
+    match write_frame(&mut stream, &welcome) {
+        Ok(n) => shared.metrics.frame_sent(n),
+        Err(_) => {
+            shared.metrics.conn_rejected();
+            shared.sessions.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+    }
+    shared.metrics.conn_opened();
+
+    // ---- Session: reader (this thread) + writer thread, multiplexed over
+    // one shared reply channel keyed by request id.
+    let write_half = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => {
+            shared.metrics.conn_closed();
+            shared.sessions.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+    };
+    let (replies_tx, replies_rx) = unbounded::<(u64, Result<JobResult, CloudError>)>();
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let reader_done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let write_half = Arc::clone(&write_half);
+        let in_flight = Arc::clone(&in_flight);
+        let reader_done = Arc::clone(&reader_done);
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("cloud-session-writer".into())
+            .spawn(move || writer_loop(&write_half, &replies_rx, &in_flight, &reader_done, &shared))
+            .expect("spawn session writer")
+    };
+
+    // Malformed/oversized frames, disconnects, idle sessions and server
+    // shutdown all end the session (any non-`Frame` read outcome falls out
+    // of the loop); in-flight jobs still get their replies flushed by the
+    // writer afterwards.
+    while let Ok(ServerRead::Frame(frame, wire_len)) = read_frame_resumable(
+        &mut stream,
+        config.max_frame_len,
+        config.idle_timeout,
+        &shared.stop,
+    ) {
+        shared.metrics.frame_received(wire_len);
+        match frame {
+            Frame::Submit {
+                request_id,
+                payload,
+            } => {
+                let now_in_flight = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                if now_in_flight > config.max_in_flight {
+                    // Refused submits flow through the same reply channel,
+                    // keeping the increment/decrement accounting 1:1.
+                    let _ = replies_tx.send((
+                        request_id,
+                        Err(CloudError::Overloaded {
+                            queue_depth: now_in_flight - 1,
+                            max_queue_depth: config.max_in_flight,
+                        }),
+                    ));
+                } else if let Err(e) = shared.client.submit_routed(
+                    payload,
+                    request_id,
+                    replies_tx.clone(),
+                    auth.clone(),
+                ) {
+                    let _ = replies_tx.send((request_id, Err(e)));
+                }
+            }
+            Frame::Ping { nonce } => {
+                let mut w = write_half.lock();
+                match write_frame(&mut *w, &Frame::Pong { nonce }) {
+                    Ok(n) => shared.metrics.frame_sent(n),
+                    Err(_) => {
+                        // A failed (possibly partial) Pong leaves the byte
+                        // stream at an unknown offset — same hazard the
+                        // writer guards against. Kill the socket so the
+                        // writer's next write fails into its sink_broken
+                        // path instead of desyncing the framing, and stop
+                        // accepting submits.
+                        let _ = w.shutdown(Shutdown::Both);
+                        drop(w);
+                        break;
+                    }
+                }
+            }
+            Frame::Goodbye => break,
+            // A second Hello or a server-side frame is a protocol violation.
+            _ => break,
+        }
+    }
+    drop(reader); // shutdown may proceed: this session submits nothing more
+    drop(replies_tx);
+    reader_done.store(true, Ordering::SeqCst);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.metrics.conn_closed();
+    shared.sessions.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Forwards completions (in completion order, tagged by request id) until
+/// the reader is done *and* nothing is left in flight. Every accepted
+/// submit is eventually answered — by a worker, by the admission path, or
+/// by the service's shutdown drain — so this loop always terminates.
+fn writer_loop(
+    write_half: &Mutex<TcpStream>,
+    replies: &Receiver<(u64, Result<JobResult, CloudError>)>,
+    in_flight: &AtomicUsize,
+    reader_done: &AtomicBool,
+    shared: &ServerShared,
+) {
+    // Once one frame write fails (stalled peer, timed-out partial write)
+    // the byte stream can no longer be trusted to be at a frame boundary:
+    // writing anything more would desync the framing. Tear the socket down
+    // (which also stops the reader accepting submits) and keep draining
+    // replies without writing, so in-flight accounting still reaches zero.
+    let mut sink_broken = false;
+    loop {
+        match replies.recv_timeout(TICK) {
+            Ok((request_id, mut result)) => {
+                if let Ok(r) = &mut result {
+                    // Parity with in-process handles: the result's id is the
+                    // id the caller's handle carries (its wire request id),
+                    // not the server pool's internal one.
+                    r.job_id = request_id;
+                }
+                if !sink_broken {
+                    let written = match result {
+                        // The dominant frame is a trained model; split the
+                        // write so the result bytes go out without being
+                        // copied into a frame-body buffer first.
+                        Ok(r) => {
+                            let body = r.to_bytes();
+                            let head = frame::reply_ok_head(request_id, body.len());
+                            let mut w = write_half.lock();
+                            frame::write_split(&mut *w, &head, &body)
+                        }
+                        Err(_) => {
+                            let frame = Frame::Reply { request_id, result };
+                            let mut w = write_half.lock();
+                            write_frame(&mut *w, &frame)
+                        }
+                    };
+                    match written {
+                        Ok(n) => shared.metrics.frame_sent(n),
+                        Err(_) => {
+                            sink_broken = true;
+                            let _ = write_half.lock().shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if reader_done.load(Ordering::SeqCst) && in_flight.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_binds_ephemeral_port_and_shuts_down() {
+        let service = CloudService::builder().workers(1).build();
+        let server = CloudServer::bind(service, "127.0.0.1:0").unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.session_count(), 0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests of the transport frame codec: arbitrary frames round-trip
+//! bit-exactly through encode/decode, and adversarial byte soup never
+//! panics the decoder.
+
+use amalgam_cloud::transport::Frame;
+use amalgam_cloud::{CloudError, JobResult};
+use amalgam_nn::metrics::History;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+/// Builds one of every frame kind from sampled raw material.
+#[allow(clippy::too_many_arguments)]
+fn build_frame(
+    kind: usize,
+    a: u64,
+    b: u64,
+    payload: Vec<u8>,
+    text: String,
+    floats: Vec<f32>,
+    err_kind: usize,
+    ok: bool,
+) -> Frame {
+    match kind % 6 {
+        0 => Frame::Hello {
+            min_version: a as u32,
+            max_version: b as u32,
+            api_key: if ok { Some(text) } else { None },
+        },
+        1 => Frame::Welcome {
+            version: a as u32,
+            max_in_flight: b as u32,
+            max_frame_len: a ^ b,
+        },
+        2 => Frame::Submit {
+            request_id: a,
+            payload: Bytes::from(payload),
+        },
+        3 => Frame::Reply {
+            request_id: a,
+            result: if ok {
+                Ok(JobResult {
+                    job_id: b,
+                    trained_model: Bytes::from(payload),
+                    history: History {
+                        train_loss: floats.clone(),
+                        train_acc: floats.clone(),
+                        val_loss: floats.clone(),
+                        val_acc: floats.clone(),
+                        epoch_secs: floats,
+                    },
+                    bytes_received: a as usize,
+                    bytes_sent: b as usize,
+                    train_seconds: (a % 1000) as f64 * 0.001,
+                })
+            } else {
+                Err(match err_kind % 8 {
+                    0 => CloudError::ServiceUnavailable,
+                    1 => CloudError::Decode(text),
+                    2 => CloudError::BadJob(text),
+                    3 => CloudError::Overloaded {
+                        queue_depth: a as usize,
+                        max_queue_depth: b as usize,
+                    },
+                    4 => CloudError::Panicked(text),
+                    5 => CloudError::Transport(text),
+                    6 => CloudError::Unauthorized(text),
+                    _ => CloudError::Handshake(text),
+                })
+            },
+        },
+        4 => Frame::Ping { nonce: a },
+        _ => {
+            if ok {
+                Frame::Pong { nonce: b }
+            } else {
+                Frame::Goodbye
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// encode → decode is the identity for every frame kind.
+    #[test]
+    fn framed_messages_roundtrip(
+        kind in 0usize..6,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        text_bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        floats in proptest::collection::vec(-1e6f32..1e6, 0..8),
+        err_kind in 0usize..8,
+        ok in any::<bool>(),
+    ) {
+        let text = String::from_utf8_lossy(&text_bytes).into_owned();
+        let frame = build_frame(kind, a, b, payload, text, floats, err_kind, ok);
+        let body = frame.encode();
+        let back = Frame::decode(body).expect("own encoding must decode");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Arbitrary bodies never panic the decoder: they either decode to a
+    /// frame (which must then re-encode to the same bytes) or error.
+    #[test]
+    fn adversarial_bodies_never_panic(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let bytes = Bytes::from(body);
+        if let Ok(frame) = Frame::decode(bytes.clone()) {
+            // Canonical codec: a body that decodes is exactly the encoding
+            // of what it decodes to.
+            prop_assert_eq!(frame.encode(), bytes);
+        }
+    }
+
+    /// Flipping any single byte of a valid frame body is handled cleanly:
+    /// decode yields a (possibly different) frame or an error, no panic.
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        a in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_byte in any::<usize>(),
+        flip_bit in 0usize..8,
+    ) {
+        let frame = Frame::Submit { request_id: a, payload: Bytes::from(payload) };
+        let mut body = frame.encode().to_vec();
+        let idx = flip_byte % body.len();
+        body[idx] ^= 1 << flip_bit;
+        let _ = Frame::decode(Bytes::from(body));
+    }
+}

@@ -53,7 +53,7 @@ impl RunningMean {
 
 /// Per-epoch record of training/validation metrics — the raw material for
 /// the paper's Figures 5–13 curves.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     /// Mean training loss per epoch.
     pub train_loss: Vec<f32>,

@@ -6,7 +6,7 @@
 //! `u32`-length-prefixed strings and lists, `f32` payloads. Everything the
 //! adversary (cloud) sees is exactly these bytes.
 
-use crate::{Shape, Tensor, TensorError};
+use crate::{Tensor, TensorError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Serializer over a growable byte buffer.
@@ -69,6 +69,16 @@ impl Writer {
         for &x in xs {
             self.put_u64(x as u64);
         }
+    }
+
+    /// Appends a length-prefixed list of `f32` in one bulk copy.
+    pub fn put_f32_list(&mut self, xs: &[f32]) {
+        self.put_u32(xs.len() as u32);
+        let mut raw = vec![0u8; xs.len() * 4];
+        for (dst, &v) in raw.chunks_exact_mut(4).zip(xs) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+        self.buf.put_slice(&raw);
     }
 
     /// Appends a tensor: rank, dims, then raw f32 payload (staged into one
@@ -201,12 +211,40 @@ impl Reader {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::TruncatedWire`] if the buffer is exhausted.
+    /// Returns [`TensorError::TruncatedWire`] if the declared length exceeds
+    /// the bytes actually present — checked *before* any allocation, so an
+    /// adversarial length prefix cannot OOM the decoder.
     pub fn get_usize_list(&mut self) -> Result<Vec<usize>, TensorError> {
         let len = self.get_u32()? as usize;
-        let mut out = Vec::with_capacity(len.min(1 << 20));
+        // Allocation capped against the declared frame: `len` u64s must fit
+        // in what is left of the buffer.
+        let byte_len = len.checked_mul(8).ok_or(TensorError::MalformedWire {
+            context: "usize list length overflow",
+        })?;
+        self.need(byte_len, "usize list payload")?;
+        let mut out = Vec::with_capacity(len);
         for _ in 0..len {
-            out.push(self.get_u64()? as usize);
+            out.push(self.buf.get_u64_le() as usize);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed list of `f32` written by
+    /// [`Writer::put_f32_list`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::TruncatedWire`] if the declared length exceeds
+    /// the bytes actually present (checked before allocating).
+    pub fn get_f32_list(&mut self) -> Result<Vec<f32>, TensorError> {
+        let len = self.get_u32()? as usize;
+        let byte_len = len.checked_mul(4).ok_or(TensorError::MalformedWire {
+            context: "f32 list length overflow",
+        })?;
+        self.need(byte_len, "f32 list payload")?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.buf.get_f32_le());
         }
         Ok(out)
     }
@@ -221,8 +259,16 @@ impl Reader {
     pub fn get_tensor(&mut self) -> Result<Tensor, TensorError> {
         let dims = self.get_usize_list()?;
         let n = self.get_u64()? as usize;
-        let shape = Shape::new(&dims);
-        if shape.numel() != n {
+        // Attacker-chosen dims must not overflow the element-count product
+        // (`Shape::numel` multiplies unchecked, which would panic in debug
+        // builds and silently wrap in release).
+        let numel = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(TensorError::MalformedWire {
+                context: "tensor shape product overflow",
+            })?;
+        if numel != n {
             return Err(TensorError::MalformedWire {
                 context: "tensor element count mismatch",
             });
@@ -367,5 +413,48 @@ mod tests {
         w.put_usize_list(&xs);
         let mut r = Reader::new(w.finish());
         assert_eq!(r.get_usize_list().unwrap(), xs);
+    }
+
+    #[test]
+    fn f32_list_roundtrip() {
+        let xs = vec![0.0f32, -1.5, 3.25, f32::MAX, f32::MIN_POSITIVE];
+        let mut w = Writer::new();
+        w.put_f32_list(&xs);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.get_f32_list().unwrap(), xs);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn adversarial_list_length_prefix_is_an_error_not_an_alloc() {
+        // A 4-byte buffer claiming u32::MAX list entries: decode must fail
+        // on the length check, long before a multi-gigabyte allocation.
+        for get in [
+            |r: &mut Reader| r.get_usize_list().map(|_| ()),
+            |r: &mut Reader| r.get_f32_list().map(|_| ()),
+            |r: &mut Reader| r.get_str().map(|_| ()),
+            |r: &mut Reader| r.get_bytes().map(|_| ()),
+        ] {
+            let mut w = Writer::new();
+            w.put_u32(u32::MAX);
+            let mut r = Reader::new(w.finish());
+            assert!(get(&mut r).is_err(), "huge length prefix must not decode");
+        }
+    }
+
+    #[test]
+    fn tensor_shape_product_overflow_is_malformed() {
+        // dims whose product overflows usize must be rejected cleanly, not
+        // wrap around (release) or panic (debug) inside Shape::numel.
+        let mut w = Writer::new();
+        w.put_usize_list(&[1usize << 33, 1usize << 33]);
+        w.put_u64(0);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(
+            r.get_tensor().unwrap_err(),
+            TensorError::MalformedWire {
+                context: "tensor shape product overflow"
+            }
+        );
     }
 }

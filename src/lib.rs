@@ -24,9 +24,11 @@
 //!   a text classifier and a transformer language model,
 //! * [`core`] — the Amalgam contribution: dataset/model augmenters, masked
 //!   layers, the extractor, Algorithm-1 trainer and privacy math,
-//! * [`cloud`] — the simulated untrusted training service: a composable
-//!   middleware pipeline (decode/validate/observe/metrics/admission/panic
-//!   layers) over a multi-worker scheduler,
+//! * [`cloud`] — the untrusted training service: a composable middleware
+//!   pipeline (decode/validate/observe/metrics/admission/auth/panic layers)
+//!   over a multi-worker scheduler, plus a framed TCP transport
+//!   (`cloud::transport`) so jobs can cross a real wire — `CloudServer`
+//!   in front of the pool, `RemoteCloudClient` on the other end,
 //! * [`attacks`] — DLG/iDLG, KernelSHAP, denoising and brute-force analyses,
 //! * [`baselines`] — vanilla, MPC, HE, DISCO-like and TEE/CPU comparators.
 //!
@@ -62,7 +64,8 @@ pub use amalgam_tensor as tensor;
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use amalgam_cloud::{
-        CloudClient, CloudError, CloudJob, CloudService, JobResult, ServiceStats, TaskPayload,
+        CloudClient, CloudError, CloudJob, CloudServer, CloudService, JobResult, RemoteCloudClient,
+        RemoteJobHandle, ServiceStats, TaskPayload, TransportConfig,
     };
     pub use amalgam_core::{
         Amalgam, AugmentationAmount, NoiseKind, ObfuscationConfig, TrainConfig,

@@ -1,0 +1,373 @@
+//! Loopback integration tests of the `amalgam-rpc` transport: the framed
+//! TCP wire in front of the cloud's middleware stack.
+//!
+//! The acceptance bar is bitwise equivalence — the same job submitted via
+//! a [`RemoteCloudClient`] over loopback and via the in-process
+//! [`CloudClient`] must produce identical trained-model bytes — plus the
+//! session guarantees: no hung handles across graceful shutdown, malformed
+//! frames rejected as errors, API keys enforced, idle sessions kept alive
+//! by pings.
+
+use amalgam::cloud::transport::Frame;
+use amalgam::cloud::CloudService;
+use amalgam::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn tiny_job(seed: u64) -> CloudJob {
+    let mut rng = Rng::seed_from(70 + seed);
+    let model = amalgam::models::lenet5(1, 8, 2, &mut rng);
+    let inputs = Tensor::randn(&[8, 1, 8, 8], &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+    CloudJob {
+        model: model.to_bytes(),
+        task: TaskPayload::Classification {
+            inputs,
+            labels,
+            val_inputs: None,
+            val_labels: vec![],
+        },
+        train: TrainConfig::new(1, 4, 0.05).with_seed(seed),
+    }
+}
+
+/// N remote clients × M jobs over loopback, against the in-process client
+/// of the *same* pool: every trained model must be bitwise identical to its
+/// in-process twin, and every reply must route to the right handle.
+#[test]
+fn loopback_training_is_bitwise_identical_to_in_process() {
+    let service = CloudService::builder().workers(2).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    // In-process ground truth, one result per job seed.
+    let local = server.local_client();
+    let jobs: Vec<CloudJob> = (0..6).map(tiny_job).collect();
+    let expected: Vec<Vec<u8>> = jobs
+        .iter()
+        .map(|job| {
+            local
+                .train(job)
+                .expect("local train")
+                .trained_model
+                .to_vec()
+        })
+        .collect();
+
+    // 3 concurrent remote clients, 2 jobs each, submitted pipelined.
+    let threads: Vec<_> = jobs
+        .chunks(2)
+        .enumerate()
+        .map(|(who, chunk)| {
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                let client = RemoteCloudClient::connect(addr).expect("connect");
+                let handles: Vec<_> = chunk
+                    .iter()
+                    .map(|job| client.submit(job).expect("submit"))
+                    .collect();
+                let results: Vec<JobResult> = handles
+                    .into_iter()
+                    .map(|handle| {
+                        let id = handle.id();
+                        let result = handle.wait().expect("remote train");
+                        assert_eq!(result.job_id, id, "reply routed to the wrong handle");
+                        result
+                    })
+                    .collect();
+                (who, results)
+            })
+        })
+        .collect();
+    let mut results: Vec<(usize, Vec<JobResult>)> =
+        threads.into_iter().map(|t| t.join().unwrap()).collect();
+    results.sort_by_key(|(who, _)| *who);
+
+    for (who, batch) in results {
+        for (j, result) in batch.iter().enumerate() {
+            assert_eq!(
+                result.trained_model.to_vec(),
+                expected[who * 2 + j],
+                "remote and in-process training diverged for job {}",
+                who * 2 + j
+            );
+            assert_eq!(result.history.epochs(), 1);
+            assert!(result.bytes_received > 0);
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.jobs_completed, 12); // 6 local + 6 remote
+    assert_eq!(stats.connections_accepted, 3);
+    assert!(stats.frames_received >= 9, "3 hellos + 6 submits at least");
+    assert!(stats.frames_sent >= 9, "3 welcomes + 6 replies at least");
+    assert!(stats.transport_bytes_received > 0 && stats.transport_bytes_sent > 0);
+    server.shutdown();
+}
+
+/// Graceful shutdown with jobs still queued/in flight: every remote handle
+/// gets an answer (a real result for drained jobs, an error otherwise) —
+/// none may hang.
+#[test]
+fn shutdown_while_in_flight_strands_no_remote_handle() {
+    let service = CloudService::builder().workers(1).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let client = RemoteCloudClient::connect(server.local_addr()).expect("connect");
+    let handles: Vec<_> = (0..5)
+        .map(|s| client.submit(&tiny_job(s)).expect("submit"))
+        .collect();
+    // Make sure the session accepted all five before pulling the plug, so
+    // the shutdown really does race in-flight work.
+    while server.stats().jobs_submitted < 5 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.shutdown();
+    let mut completed = 0;
+    for handle in handles {
+        match handle.wait() {
+            Ok(result) => {
+                assert!(!result.trained_model.is_empty());
+                completed += 1;
+            }
+            Err(CloudError::ServiceUnavailable) => {}
+            Err(other) => panic!("unexpected shutdown answer: {other:?}"),
+        }
+    }
+    // Graceful drain: everything the service accepted trains to completion.
+    assert_eq!(completed, 5, "accepted jobs must drain, not drop");
+    // The connection died with the server: new submissions fail cleanly
+    // once the client has observed the close (and even a submission that
+    // races the close must resolve, not hang).
+    let mut saw_error = false;
+    for _ in 0..100 {
+        match client.submit(&tiny_job(9)) {
+            Err(_) => {
+                saw_error = true;
+                break;
+            }
+            Ok(handle) => assert!(handle.wait().is_err(), "job trained on a dead server"),
+        }
+    }
+    assert!(saw_error, "submissions must start failing after shutdown");
+}
+
+/// try_wait/wait_timeout parity with the in-process handle API.
+#[test]
+fn remote_handle_polling_parity() {
+    let service = CloudService::builder().workers(1).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let client = RemoteCloudClient::connect(server.local_addr()).expect("connect");
+    let mut handle = client.submit(&tiny_job(0)).expect("submit");
+    let mut polled = handle.try_wait();
+    while polled.is_none() {
+        polled = handle.wait_timeout(Duration::from_millis(20));
+    }
+    let result = polled.unwrap().unwrap();
+    assert_eq!(result.job_id, handle.id());
+    // Cached: polling again still returns the outcome.
+    handle.try_wait().unwrap().unwrap();
+    assert!(handle
+        .wait_timeout(Duration::from_millis(1))
+        .unwrap()
+        .is_ok());
+    client.close();
+    server.shutdown();
+}
+
+/// Writes one length-prefixed frame on a raw socket.
+fn write_raw_frame(stream: &mut TcpStream, frame: &Frame) {
+    let body = frame.encode();
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(&body).unwrap();
+}
+
+/// Reads one length-prefixed frame from a raw socket.
+fn read_raw_frame(stream: &mut TcpStream) -> Option<Frame> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).ok()?;
+    let mut body = vec![0u8; u32::from_le_bytes(header) as usize];
+    stream.read_exact(&mut body).ok()?;
+    Frame::decode(body.into()).ok()
+}
+
+/// An adversarial length prefix (4 GiB frame) must kill only that
+/// connection — as an error, without a giant allocation — and the server
+/// must keep serving well-behaved clients.
+#[test]
+fn malformed_frames_are_rejected_and_contained() {
+    let service = CloudService::builder().workers(1).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Oversized length prefix straight at the handshake reader.
+    let mut evil = TcpStream::connect(addr).unwrap();
+    evil.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    evil.write_all(b"junk").unwrap();
+    let mut buf = [0u8; 16];
+    // Server closes the connection (EOF) without welcoming us.
+    evil.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    assert_eq!(evil.read(&mut buf).unwrap_or(0), 0, "evil peer must be cut");
+
+    // Garbage bytes that parse as a length but not as a frame.
+    let mut garbled = TcpStream::connect(addr).unwrap();
+    garbled.write_all(&3u32.to_le_bytes()).unwrap();
+    garbled.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+    garbled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    assert_eq!(garbled.read(&mut buf).unwrap_or(0), 0);
+
+    // A proper client still gets served.
+    let client = RemoteCloudClient::connect(addr).expect("connect after attacks");
+    let result = client.train(&tiny_job(3)).expect("train after attacks");
+    assert!(!result.trained_model.is_empty());
+    assert!(server.stats().connections_rejected >= 2);
+    server.shutdown();
+}
+
+/// Version negotiation: a client advertising a range the server cannot
+/// meet is refused with a Reject frame, not silently dropped.
+#[test]
+fn incompatible_protocol_version_is_rejected() {
+    let service = CloudService::builder().workers(1).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_raw_frame(
+        &mut stream,
+        &Frame::Hello {
+            min_version: 999,
+            max_version: 1000,
+            api_key: None,
+        },
+    );
+    match read_raw_frame(&mut stream) {
+        Some(Frame::Reject { reason }) => {
+            assert!(reason.contains("protocol version"), "{reason}");
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// The ApiKeyLayer sees the session key from the transport handshake: a
+/// keyless session is refused per job, a keyed one trains, and the
+/// in-process client can present the same key.
+#[test]
+fn api_keys_gate_remote_and_local_sessions() {
+    let service = CloudService::builder()
+        .workers(1)
+        .api_keys(["amalgam-secret"])
+        .build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    let anon = RemoteCloudClient::connect(addr).expect("connect");
+    assert!(matches!(
+        anon.train(&tiny_job(0)),
+        Err(CloudError::Unauthorized(_))
+    ));
+
+    let wrong =
+        RemoteCloudClient::connect_with(addr, TransportConfig::default().api_key("nope")).unwrap();
+    assert!(matches!(
+        wrong.train(&tiny_job(0)),
+        Err(CloudError::Unauthorized(_))
+    ));
+
+    let keyed =
+        RemoteCloudClient::connect_with(addr, TransportConfig::default().api_key("amalgam-secret"))
+            .unwrap();
+    let remote = keyed.train(&tiny_job(0)).expect("authorized train");
+
+    // The in-process path uses the same gate and produces the same bytes.
+    assert!(matches!(
+        server.local_client().train(&tiny_job(0)),
+        Err(CloudError::Unauthorized(_))
+    ));
+    let local = server
+        .local_client()
+        .with_api_key("amalgam-secret")
+        .train(&tiny_job(0))
+        .expect("authorized local train");
+    assert_eq!(remote.trained_model, local.trained_model);
+    server.shutdown();
+}
+
+/// Keep-alive pings hold an otherwise idle session open across the
+/// server's idle timeout; a silent raw connection is reaped.
+#[test]
+fn keepalive_outlives_idle_timeout() {
+    let service = CloudService::builder().workers(1).build();
+    let config = TransportConfig::default()
+        .idle_timeout(Duration::from_millis(250))
+        .keepalive_interval(Duration::from_millis(50));
+    let server =
+        CloudServer::bind_with(service, "127.0.0.1:0", config.clone()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // A session that handshakes and then goes silent (no pings) is closed.
+    let mut silent = TcpStream::connect(addr).unwrap();
+    write_raw_frame(
+        &mut silent,
+        &Frame::Hello {
+            min_version: 1,
+            max_version: 1,
+            api_key: None,
+        },
+    );
+    assert!(matches!(
+        read_raw_frame(&mut silent),
+        Some(Frame::Welcome { .. })
+    ));
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(
+        silent.read(&mut buf).unwrap_or(0),
+        0,
+        "idle session must be closed by the server"
+    );
+
+    // A pinging client sails across several idle windows and still trains.
+    let client = RemoteCloudClient::connect_with(addr, config).expect("connect");
+    std::thread::sleep(Duration::from_millis(800));
+    let result = client.train(&tiny_job(5)).expect("train after idling");
+    assert!(!result.trained_model.is_empty());
+    server.shutdown();
+}
+
+/// The per-connection in-flight cap answers excess pipelined submits with
+/// Overloaded instead of queueing without bound.
+#[test]
+fn per_connection_in_flight_cap_sheds_excess_submits() {
+    let service = CloudService::builder().workers(1).build();
+    let server = CloudServer::bind_with(
+        service,
+        "127.0.0.1:0",
+        TransportConfig::default().max_in_flight(2),
+    )
+    .expect("bind loopback");
+    let client = RemoteCloudClient::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.max_in_flight(), 2);
+    // Fire a burst well past the cap without waiting.
+    let handles: Vec<_> = (0..8)
+        .map(|s| client.submit(&tiny_job(s)).expect("submit"))
+        .collect();
+    let mut shed = 0;
+    let mut trained = 0;
+    for handle in handles {
+        match handle.wait() {
+            Ok(_) => trained += 1,
+            Err(CloudError::Overloaded { .. }) => shed += 1,
+            Err(other) => panic!("unexpected burst answer: {other:?}"),
+        }
+    }
+    assert!(trained >= 2, "the in-flight window must still train");
+    assert!(shed >= 1, "a burst of 8 over a cap of 2 must shed");
+    server.shutdown();
+}
