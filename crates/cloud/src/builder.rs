@@ -1,5 +1,6 @@
 //! Configures and launches a [`CloudService`]: worker count, observer,
-//! admission control, panic policy and custom middleware.
+//! admission control, per-session QoS (rate limits and DRR weights), panic
+//! policy and custom middleware.
 
 use crate::metrics::ServiceMetrics;
 use crate::middleware::{
@@ -7,25 +8,30 @@ use crate::middleware::{
     ServiceBuilder, ValidateLayer,
 };
 use crate::observer::CloudObserver;
+use crate::ratelimit::RateLimitLayer;
 use crate::service::CloudService;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Builder for [`CloudService`] (obtained via [`CloudService::builder`]).
 ///
 /// The default stack it assembles, outermost first:
 ///
-/// `metrics → panic → admission → auth → [custom layers] → decode →
-/// validate → observer → train`
+/// `metrics → panic → admission → ratelimit → auth → [custom layers] →
+/// decode → validate → observer → train`
 ///
 /// Custom layers therefore see the raw serialized payload (decode has not
-/// run yet) plus whatever the admission and auth gates let through.
+/// run yet) plus whatever the admission, rate-limit and auth gates let
+/// through.
 pub struct CloudServiceBuilder {
     pub(crate) workers: usize,
     pub(crate) observer: Option<Arc<Mutex<dyn CloudObserver>>>,
     pub(crate) max_queue_depth: Option<usize>,
     pub(crate) catch_panics: bool,
     pub(crate) api_keys: Option<Vec<String>>,
+    pub(crate) rate_limit: Option<(f64, f64)>,
+    pub(crate) session_weights: HashMap<String, f64>,
     pub(crate) custom_layers: Vec<Box<dyn CloudLayer>>,
 }
 
@@ -37,6 +43,8 @@ impl CloudServiceBuilder {
             max_queue_depth: None,
             catch_panics: true,
             api_keys: None,
+            rate_limit: None,
+            session_weights: HashMap::new(),
             custom_layers: Vec::new(),
         }
     }
@@ -78,7 +86,7 @@ impl CloudServiceBuilder {
     }
 
     /// Requires every job's session to present one of `keys`: installs an
-    /// [`ApiKeyLayer`] between admission control and the custom layers.
+    /// [`ApiKeyLayer`] between the rate limiter and the custom layers.
     /// Remote sessions carry their key from the connection handshake;
     /// in-process clients opt in via [`crate::CloudClient::with_api_key`].
     #[must_use]
@@ -88,6 +96,41 @@ impl CloudServiceBuilder {
         S: Into<String>,
     {
         self.api_keys = Some(keys.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Grants every session a token bucket admitting `rate_per_sec`
+    /// sustained jobs per second with bursts of up to `burst` jobs:
+    /// installs a [`RateLimitLayer`] between admission control and auth.
+    /// Jobs over budget fail with [`crate::CloudError::RateLimited`] and an
+    /// honest retry-after, on remote sessions and in-process clients alike.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_sec > 0` and `burst >= 1`.
+    #[must_use]
+    pub fn rate_limit(mut self, rate_per_sec: f64, burst: f64) -> CloudServiceBuilder {
+        // Reuse the layer's own validation so a bad config fails here.
+        let _ = RateLimitLayer::new(rate_per_sec, burst);
+        self.rate_limit = Some((rate_per_sec, burst));
+        self
+    }
+
+    /// Gives sessions presenting API key `key` a deficit-round-robin
+    /// weight of `weight` (default 1.0): under contention the session is
+    /// dispatched `weight` jobs per scheduling round instead of one.
+    /// Anonymous sessions always weigh 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is positive and finite.
+    #[must_use]
+    pub fn session_weight(mut self, key: impl Into<String>, weight: f64) -> CloudServiceBuilder {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "a session weight must be positive and finite"
+        );
+        self.session_weights.insert(key.into(), weight);
         self
     }
 
@@ -110,6 +153,9 @@ impl CloudServiceBuilder {
         }
         if let Some(depth) = self.max_queue_depth {
             stack = stack.layer(AdmissionLayer::new(depth));
+        }
+        if let Some((rate, burst)) = self.rate_limit {
+            stack = stack.layer(RateLimitLayer::new(rate, burst));
         }
         if let Some(keys) = self.api_keys.take() {
             stack = stack.layer(ApiKeyLayer::new(keys));
@@ -137,6 +183,8 @@ impl std::fmt::Debug for CloudServiceBuilder {
             .field("max_queue_depth", &self.max_queue_depth)
             .field("catch_panics", &self.catch_panics)
             .field("api_keys", &self.api_keys.as_ref().map(Vec::len))
+            .field("rate_limit", &self.rate_limit)
+            .field("session_weights", &self.session_weights.len())
             .field("custom_layers", &self.custom_layers.len())
             .finish()
     }

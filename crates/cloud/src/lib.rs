@@ -21,36 +21,39 @@
 //!   │ length-prefixed frames        │ handshake: version + API key       │ (in-process)
 //!   │ keep-alive pings              │ max in-flight per connection       │
 //!   │ request-id multiplexing       ▼                                    │
-//!   └──────────────────────► [shared job queue] ◄───────────────────────┘
+//!   └─────────────► [per-session queues · DRR drain] ◄──────────────────┘
 //!                                               │ worker thread
 //!                                               │ payload: Bytes
-//!   ┌───────────────────────────────────────────▼───────────────┐
-//!   │ metrics     per-job latency, bytes in/out, jobs/sec       │
-//!   │ ┌─────────────────────────────────────────────────────┐   │
-//!   │ │ panic       catch_unwind → CloudError::Panicked     │   │
-//!   │ │ ┌─────────────────────────────────────────────────┐ │   │
-//!   │ │ │ admission   queue too deep → Overloaded         │ │   │
-//!   │ │ │ ┌─────────────────────────────────────────────┐ │ │   │
-//!   │ │ │ │ auth        session API key → Unauthorized  │ │ │   │
-//!   │ │ │ │ ┌─────────────────────────────────────────┐ │ │ │   │
-//!   │ │ │ │ │ [custom layers from builder().layer()]  │ │ │ │   │
-//!   │ │ │ │ │ ┌─────────────────────────────────────┐ │ │ │ │   │
-//!   │ │ │ │ │ │ decode      wire → CloudJob + model │ │ │ │ │   │
-//!   │ │ │ │ │ │ ┌─────────────────────────────────┐ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ validate    the BadJob checks   │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ ┌─────────────────────────────┐ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ │ observer    adversary's tap │ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ │ ┌─────────────────────────┐ │ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ │ │ train    Algorithm 1    │ │ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ │ └─────────────────────────┘ │ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ │ └─────────────────────────────┘ │ │ │ │ │ │   │
-//!   │ │ │ │ │ │ └─────────────────────────────────┘ │ │ │ │ │   │
-//!   │ │ │ │ │ └─────────────────────────────────────┘ │ │ │ │   │
-//!   │ │ │ │ └─────────────────────────────────────────┘ │ │ │   │
-//!   │ │ │ └─────────────────────────────────────────────┘ │ │   │
-//!   │ │ └─────────────────────────────────────────────────┘ │   │
-//!   │ └─────────────────────────────────────────────────────┘   │
-//!   └───────────────────────────────────────────────────────────┘
+//!   ┌───────────────────────────────────────────▼─────────────────┐
+//!   │ metrics     per-job latency, bytes in/out, jobs/sec         │
+//!   │ ┌───────────────────────────────────────────────────────┐   │
+//!   │ │ panic       catch_unwind → CloudError::Panicked       │   │
+//!   │ │ ┌───────────────────────────────────────────────────┐ │   │
+//!   │ │ │ admission   queue too deep → Overloaded           │ │   │
+//!   │ │ │ ┌───────────────────────────────────────────────┐ │ │   │
+//!   │ │ │ │ ratelimit   over session budget → RateLimited │ │ │   │
+//!   │ │ │ │ ┌───────────────────────────────────────────┐ │ │ │   │
+//!   │ │ │ │ │ auth        session API key → Unauthorized│ │ │ │   │
+//!   │ │ │ │ │ ┌───────────────────────────────────────┐ │ │ │ │   │
+//!   │ │ │ │ │ │ [custom layers from builder().layer()]│ │ │ │ │   │
+//!   │ │ │ │ │ │ ┌───────────────────────────────────┐ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ decode     wire → CloudJob + model│ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ ┌───────────────────────────────┐ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ validate   the BadJob checks  │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ ┌───────────────────────────┐ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ │ observer  adversary's tap │ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ │ ┌───────────────────────┐ │ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ │ │ train   Algorithm 1   │ │ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ │ └───────────────────────┘ │ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ │ └───────────────────────────┘ │ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ │ └───────────────────────────────┘ │ │ │ │ │ │   │
+//!   │ │ │ │ │ │ └───────────────────────────────────┘ │ │ │ │ │   │
+//!   │ │ │ │ │ └───────────────────────────────────────┘ │ │ │ │   │
+//!   │ │ │ │ └───────────────────────────────────────────┘ │ │ │   │
+//!   │ │ │ └───────────────────────────────────────────────┘ │ │   │
+//!   │ │ └───────────────────────────────────────────────────┘ │   │
+//!   │ └───────────────────────────────────────────────────────┘   │
+//!   └─────────────────────────────────────────────────────────────┘
 //!                                               │ Result<JobResult, CloudError>
 //!                                               ▼ reply channel → JobHandle /
 //!                                                 Reply frame → RemoteJobHandle
@@ -61,6 +64,12 @@
 //! * **admission** judges the queue depth each job found at submit time;
 //!   jobs past the configured watermark are answered with
 //!   [`CloudError::Overloaded`] instead of being trained.
+//! * **ratelimit** ([`CloudServiceBuilder::rate_limit`]) is the per-client
+//!   half of overload policy: each session's token bucket admits a
+//!   configured sustained rate plus burst, and jobs over budget are
+//!   answered with [`CloudError::RateLimited`] carrying an honest
+//!   `retry_after_ms` — judged against the job's *submit* instant, and
+//!   round-tripping the wire codec so remote handles see the same error.
 //! * Custom layers sit between admission and **decode**, so they see the
 //!   raw serialized payload — the exact bytes that crossed the wire.
 //! * **validate** holds the `BadJob` checks, out of the trainer's path.
@@ -80,28 +89,38 @@
 //!   is still the raw framed bytes — unauthenticated uploads are refused
 //!   before a single wire byte is decoded.
 //!
-//! Scale the pool with [`CloudServiceBuilder::workers`]; jobs from any
-//! number of cloned [`CloudClient`]s are scheduled FIFO across workers.
+//! Scale the pool with [`CloudServiceBuilder::workers`]. Jobs are queued
+//! **per session** ([`middleware::SessionKey`]: API key, or anonymous
+//! client/connection identity) and workers drain the sessions by deficit
+//! round robin — optionally weighted via
+//! [`CloudServiceBuilder::session_weight`] — so a flooding session buys
+//! itself queue depth, never a larger share of the pool, and every
+//! session's own jobs stay strictly FIFO.
 //! [`CloudService::shutdown`] drains queued jobs before the workers exit.
 //! Put the whole stack on a real wire with [`CloudServer::bind`] — the
 //! framing and handshake formats are documented in [`transport`].
+
+#![deny(missing_docs)]
 
 mod builder;
 mod metrics;
 pub mod middleware;
 mod observer;
 mod protocol;
+mod queue;
+pub mod ratelimit;
 mod service;
 pub mod transport;
 
 pub use builder::CloudServiceBuilder;
-pub use metrics::{ServiceMetrics, ServiceStats};
+pub use metrics::{ServiceMetrics, ServiceStats, SessionStats};
 pub use middleware::{
     AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, JobContext, JobService, MetricsLayer,
-    ObserverLayer, PanicLayer, ServiceBuilder, ValidateLayer,
+    ObserverLayer, PanicLayer, ServiceBuilder, SessionKey, ValidateLayer,
 };
 pub use observer::{CloudObserver, NullObserver, RecordingObserver};
 pub use protocol::{CloudJob, JobResult, TaskPayload};
+pub use ratelimit::{RateLimitLayer, TokenBucket};
 pub use service::{CloudClient, CloudService, JobHandle, TrainService};
 pub use transport::{CloudServer, RemoteCloudClient, RemoteJobHandle, TransportConfig};
 
@@ -122,6 +141,15 @@ pub enum CloudError {
         /// The configured watermark.
         max_queue_depth: usize,
     },
+    /// The session exceeded its per-session submit-rate budget
+    /// ([`CloudServiceBuilder::rate_limit`]); retrying `retry_after_ms`
+    /// milliseconds after the rejection is guaranteed a token (absent other
+    /// submits on the same session).
+    RateLimited {
+        /// Milliseconds until the session's token bucket holds a whole
+        /// token again.
+        retry_after_ms: u64,
+    },
     /// Processing panicked; the worker survived and the job was answered
     /// with the panic message.
     Panicked(String),
@@ -132,6 +160,21 @@ pub enum CloudError {
     Unauthorized(String),
     /// Protocol-version negotiation failed, or the peer broke the handshake.
     Handshake(String),
+}
+
+impl CloudError {
+    /// The advisory back-off carried by [`CloudError::RateLimited`], as a
+    /// [`std::time::Duration`]; `None` for every other variant. Works the
+    /// same on a local [`JobHandle`] outcome and on a [`RemoteJobHandle`]
+    /// one, because the variant round-trips the transport's Reply frame.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            CloudError::RateLimited { retry_after_ms } => {
+                Some(std::time::Duration::from_millis(*retry_after_ms))
+            }
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for CloudError {
@@ -147,6 +190,9 @@ impl std::fmt::Display for CloudError {
                 f,
                 "cloud overloaded: {queue_depth} jobs queued (max {max_queue_depth})"
             ),
+            CloudError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited: retry after {retry_after_ms}ms")
+            }
             CloudError::Panicked(msg) => write!(f, "cloud job panicked: {msg}"),
             CloudError::Transport(msg) => write!(f, "transport error: {msg}"),
             CloudError::Unauthorized(msg) => write!(f, "unauthorized: {msg}"),

@@ -1,8 +1,12 @@
 //! Service telemetry: lock-free counters shared by the client handles, the
-//! metrics layer and the worker pool, snapshot into [`ServiceStats`].
+//! metrics layer and the worker pool — plus a per-session table keyed by
+//! [`SessionKey`] for the QoS counters — snapshot into [`ServiceStats`].
 
+use crate::middleware::SessionKey;
 use crate::protocol::JobResult;
 use crate::CloudError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -30,6 +34,29 @@ pub struct ServiceMetrics {
     frames_sent: AtomicU64,
     transport_bytes_received: AtomicU64,
     transport_bytes_sent: AtomicU64,
+    rate_limited: AtomicU64,
+    // QoS counters per session. Keyed by the SessionKey itself (cheap
+    // clones: a u64 or an Arc<str>) — display names are only rendered at
+    // snapshot time, off the per-job hot path.
+    sessions: Mutex<HashMap<SessionKey, SessionCounters>>,
+}
+
+/// Per-session rows beyond this count trigger eviction of idle rows
+/// (empty queue), bounding the table against anonymous-connection churn.
+/// Aggregate [`ServiceStats`] counters are unaffected by eviction.
+const MAX_SESSION_ROWS: usize = 4096;
+
+/// Mutable per-session tallies behind the sessions mutex.
+#[derive(Debug, Default, Clone)]
+struct SessionCounters {
+    weight: f64,
+    queue_depth: usize,
+    submitted: u64,
+    dispatched: u64,
+    completed: u64,
+    failed: u64,
+    rate_limited: u64,
+    shed: u64,
 }
 
 impl ServiceMetrics {
@@ -54,7 +81,73 @@ impl ServiceMetrics {
             frames_sent: AtomicU64::new(0),
             transport_bytes_received: AtomicU64::new(0),
             transport_bytes_sent: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            sessions: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Runs `f` on the session's counters, creating the row on first use.
+    /// When the table is about to outgrow [`MAX_SESSION_ROWS`], rows of
+    /// idle sessions (nothing queued) are evicted first.
+    fn with_session(&self, session: &SessionKey, f: impl FnOnce(&mut SessionCounters)) {
+        let mut sessions = self.sessions.lock();
+        if sessions.len() >= MAX_SESSION_ROWS && !sessions.contains_key(session) {
+            sessions.retain(|_, c| c.queue_depth > 0);
+        }
+        f(sessions.entry(session.clone()).or_default())
+    }
+
+    /// Submit path: one job entered `session`'s queue (recording the DRR
+    /// `weight` the scheduler grants it).
+    pub(crate) fn session_submitted(&self, session: &SessionKey, weight: f64) {
+        self.with_session(session, |s| {
+            s.weight = weight;
+            s.submitted += 1;
+            s.queue_depth += 1;
+        });
+    }
+
+    /// Submit path rollback when the queue refused the envelope.
+    /// Saturating, like [`session_dispatched`](Self::session_dispatched):
+    /// if eviction ever hands this a fresh zeroed row, a wrapped counter
+    /// must not poison every later snapshot.
+    pub(crate) fn session_unqueued(&self, session: &SessionKey) {
+        self.with_session(session, |s| {
+            s.submitted = s.submitted.saturating_sub(1);
+            s.queue_depth = s.queue_depth.saturating_sub(1);
+        });
+    }
+
+    /// Worker path: the DRR scheduler handed one of `session`'s jobs to a
+    /// worker (the fairness counter).
+    pub(crate) fn session_dispatched(&self, session: &SessionKey) {
+        self.with_session(session, |s| {
+            s.dispatched += 1;
+            s.queue_depth = s.queue_depth.saturating_sub(1);
+        });
+    }
+
+    /// Metrics layer: one of `session`'s jobs left the stack with `result`.
+    pub(crate) fn session_finished(
+        &self,
+        session: &SessionKey,
+        result: &Result<JobResult, CloudError>,
+    ) {
+        self.with_session(session, |s| match result {
+            Ok(_) => s.completed += 1,
+            Err(CloudError::RateLimited { .. }) => {
+                s.rate_limited += 1;
+                s.shed += 1;
+            }
+            Err(CloudError::Overloaded { .. }) => s.shed += 1,
+            Err(_) => s.failed += 1,
+        });
+    }
+
+    /// Transport path: the per-connection in-flight cap refused one of
+    /// `session`'s submits before it reached the queue.
+    pub(crate) fn session_shed(&self, session: &SessionKey) {
+        self.with_session(session, |s| s.shed += 1);
     }
 
     /// Transport path: a connection completed its handshake.
@@ -135,6 +228,9 @@ impl ServiceMetrics {
             Err(CloudError::Overloaded { .. }) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
             }
+            Err(CloudError::RateLimited { .. }) => {
+                self.rate_limited.fetch_add(1, Ordering::Relaxed);
+            }
             Err(CloudError::Panicked(_)) => {
                 self.panicked.fetch_add(1, Ordering::Relaxed);
                 self.failed.fetch_add(1, Ordering::Relaxed);
@@ -178,6 +274,27 @@ impl ServiceMetrics {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             transport_bytes_received: self.transport_bytes_received.load(Ordering::Relaxed),
             transport_bytes_sent: self.transport_bytes_sent.load(Ordering::Relaxed),
+            jobs_rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            sessions: {
+                let mut rows: Vec<SessionStats> = self
+                    .sessions
+                    .lock()
+                    .iter()
+                    .map(|(key, c)| SessionStats {
+                        key: key.display_name(),
+                        weight: c.weight,
+                        queue_depth: c.queue_depth,
+                        jobs_submitted: c.submitted,
+                        jobs_dispatched: c.dispatched,
+                        jobs_completed: c.completed,
+                        jobs_failed: c.failed,
+                        jobs_rate_limited: c.rate_limited,
+                        jobs_shed: c.shed,
+                    })
+                    .collect();
+                rows.sort_by(|a, b| a.key.cmp(&b.key));
+                rows
+            },
         }
     }
 }
@@ -240,6 +357,45 @@ pub struct ServiceStats {
     pub transport_bytes_received: u64,
     /// Wire bytes sent (frame payloads plus length prefixes).
     pub transport_bytes_sent: u64,
+    /// Jobs refused by the per-session rate limiter
+    /// ([`crate::CloudError::RateLimited`]).
+    pub jobs_rate_limited: u64,
+    /// Per-session QoS rows (queue depth, dispatch/shed tallies), sorted by
+    /// session name; every session that ever submitted has a row.
+    pub sessions: Vec<SessionStats>,
+}
+
+/// One session's slice of the service telemetry.
+///
+/// A *session* is a [`SessionKey`]: an API key (shared by every connection
+/// and client presenting it) or one anonymous client/connection. Rows are
+/// how the fairness and rate-limit tests observe who actually got the
+/// workers. They persist while a session has work queued; once the table
+/// holds thousands of rows, idle sessions' rows may be evicted (aggregate
+/// counters like [`ServiceStats::jobs_completed`] are unaffected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// [`SessionKey::display_name`] of the session.
+    pub key: String,
+    /// The DRR weight the scheduler grants the session (default 1.0).
+    pub weight: f64,
+    /// Jobs waiting in this session's queue right now.
+    pub queue_depth: usize,
+    /// Jobs this session ever submitted (including later-refused ones).
+    pub jobs_submitted: u64,
+    /// Jobs the DRR scheduler handed to workers — the fairness counter:
+    /// under contention, dispatch shares track session weights.
+    pub jobs_dispatched: u64,
+    /// Jobs trained to completion.
+    pub jobs_completed: u64,
+    /// Jobs answered with a non-QoS error (decode/validation/panic/auth).
+    pub jobs_failed: u64,
+    /// Jobs refused by the session's token bucket (also counted in
+    /// [`jobs_shed`](Self::jobs_shed)).
+    pub jobs_rate_limited: u64,
+    /// Jobs shed by any QoS gate: rate limiter, admission control, or the
+    /// transport's per-connection in-flight cap.
+    pub jobs_shed: u64,
 }
 
 #[cfg(test)]

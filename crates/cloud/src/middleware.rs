@@ -17,6 +17,33 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The identity rate limiting and fair scheduling key on.
+///
+/// Every [`crate::CloudClient`] and every transport connection is one
+/// *session*: an authenticated one is identified by its API key (all
+/// connections presenting the same key share one queue, one token bucket
+/// and one DRR weight), an anonymous one by a service-unique id minted when
+/// the client — or the connection's session — was created. Clones of a
+/// `CloudClient` share its session identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SessionKey {
+    /// An unauthenticated session, identified by a service-unique id.
+    Anonymous(u64),
+    /// An authenticated session, identified by its API key.
+    ApiKey(Arc<str>),
+}
+
+impl SessionKey {
+    /// Human-readable name used to key per-session telemetry
+    /// ([`crate::ServiceStats::sessions`]).
+    pub fn display_name(&self) -> String {
+        match self {
+            SessionKey::Anonymous(id) => format!("session-{id}"),
+            SessionKey::ApiKey(key) => key.to_string(),
+        }
+    }
+}
+
 /// Per-job state threaded through the stack alongside the raw payload.
 ///
 /// Outer layers populate it (decode fills [`job`](Self::job) and
@@ -41,6 +68,13 @@ pub struct JobContext {
     /// remote jobs, or stamped by [`crate::CloudClient::with_api_key`] for
     /// in-process ones. Judged by [`ApiKeyLayer`].
     pub api_key: Option<Arc<str>>,
+    /// The submitting session's identity — what the fair scheduler queues
+    /// by and [`crate::RateLimitLayer`] buckets by.
+    pub session: SessionKey,
+    /// When the job was submitted (not dequeued): the instant the rate
+    /// limiter judges, so queueing delay neither hides nor penalizes a
+    /// session's submit rate.
+    pub submitted_at: Instant,
 }
 
 impl JobContext {
@@ -54,6 +88,8 @@ impl JobContext {
             model: None,
             observer: None,
             api_key: None,
+            session: SessionKey::Anonymous(0),
+            submitted_at: Instant::now(),
         }
     }
 }
@@ -338,6 +374,7 @@ impl JobService for MetricsSvc {
         let _in_flight = self.metrics.job_started();
         let result = self.inner.call(ctx, payload);
         self.metrics.job_finished(bytes_in, &result, t0.elapsed());
+        self.metrics.session_finished(&ctx.session, &result);
         result
     }
 }

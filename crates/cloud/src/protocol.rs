@@ -1,4 +1,4 @@
-//! The wire protocol: jobs and results, fully serialized.
+//! The wire protocol: jobs, results and errors, fully serialized.
 
 use crate::CloudError;
 use amalgam_core::TrainConfig;
@@ -156,6 +156,83 @@ impl CloudJob {
             t => return Err(CloudError::Decode(format!("unknown task tag {t}"))),
         };
         Ok(CloudJob { model, task, train })
+    }
+}
+
+impl CloudError {
+    /// Appends the error's wire encoding (tag byte + fields) to `w` — the
+    /// error half of the transport's Reply frame. Every variant
+    /// round-trips, so a remote client sees exactly the error an
+    /// in-process client would, including [`CloudError::RateLimited`]'s
+    /// retry-after.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        match self {
+            CloudError::ServiceUnavailable => w.put_u8(0),
+            CloudError::Decode(msg) => {
+                w.put_u8(1);
+                w.put_str(msg);
+            }
+            CloudError::BadJob(msg) => {
+                w.put_u8(2);
+                w.put_str(msg);
+            }
+            CloudError::Overloaded {
+                queue_depth,
+                max_queue_depth,
+            } => {
+                w.put_u8(3);
+                w.put_u64(*queue_depth as u64);
+                w.put_u64(*max_queue_depth as u64);
+            }
+            CloudError::Panicked(msg) => {
+                w.put_u8(4);
+                w.put_str(msg);
+            }
+            CloudError::Transport(msg) => {
+                w.put_u8(5);
+                w.put_str(msg);
+            }
+            CloudError::Unauthorized(msg) => {
+                w.put_u8(6);
+                w.put_str(msg);
+            }
+            CloudError::Handshake(msg) => {
+                w.put_u8(7);
+                w.put_str(msg);
+            }
+            CloudError::RateLimited { retry_after_ms } => {
+                w.put_u8(8);
+                w.put_u64(*retry_after_ms);
+            }
+        }
+    }
+
+    /// Decodes an error written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Decode`] on truncated fields or unknown tags
+    /// (the outer `Result` — the inner, successfully decoded error is the
+    /// `Ok` value).
+    pub(crate) fn decode_from(r: &mut Reader) -> Result<CloudError, CloudError> {
+        let err = |e: amalgam_tensor::TensorError| CloudError::Decode(e.to_string());
+        Ok(match r.get_u8().map_err(err)? {
+            0 => CloudError::ServiceUnavailable,
+            1 => CloudError::Decode(r.get_str().map_err(err)?),
+            2 => CloudError::BadJob(r.get_str().map_err(err)?),
+            3 => CloudError::Overloaded {
+                queue_depth: r.get_u64().map_err(err)? as usize,
+                max_queue_depth: r.get_u64().map_err(err)? as usize,
+            },
+            4 => CloudError::Panicked(r.get_str().map_err(err)?),
+            5 => CloudError::Transport(r.get_str().map_err(err)?),
+            6 => CloudError::Unauthorized(r.get_str().map_err(err)?),
+            7 => CloudError::Handshake(r.get_str().map_err(err)?),
+            8 => CloudError::RateLimited {
+                retry_after_ms: r.get_u64().map_err(err)?,
+            },
+            t => return Err(CloudError::Decode(format!("unknown error tag {t}"))),
+        })
     }
 }
 

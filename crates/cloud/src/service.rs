@@ -2,9 +2,10 @@
 
 use crate::builder::CloudServiceBuilder;
 use crate::metrics::{ServiceMetrics, ServiceStats};
-use crate::middleware::{JobContext, JobService};
+use crate::middleware::{JobContext, JobService, SessionKey};
 use crate::observer::{CloudObserver, NullObserver};
 use crate::protocol::{CloudJob, JobResult, TaskPayload};
+use crate::queue::FairDispatcher;
 use crate::CloudError;
 use amalgam_core::trainer::{epoch_rng, lm_head_loss};
 use amalgam_data::BatchIter;
@@ -19,7 +20,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Where a finished job's outcome goes.
 ///
@@ -50,29 +51,28 @@ impl ReplySink {
     }
 }
 
-enum Envelope {
-    Job {
-        id: u64,
-        queue_depth_at_submit: usize,
-        payload: Bytes,
-        auth: Option<Arc<str>>,
-        reply: ReplySink,
-    },
-    Shutdown,
+/// One accepted submission, queued on its session's FIFO until a worker
+/// pops it in DRR order.
+pub(crate) struct Envelope {
+    id: u64,
+    queue_depth_at_submit: usize,
+    submitted_at: Instant,
+    session: SessionKey,
+    payload: Bytes,
+    auth: Option<Arc<str>>,
+    reply: ReplySink,
 }
 
 /// The simulated cloud: a middleware stack served by a pool of worker
-/// threads pulling jobs from one shared queue.
+/// threads draining per-session queues by deficit round robin.
 #[derive(Debug)]
 pub struct CloudService {
     workers: Vec<std::thread::JoinHandle<()>>,
-    tx: Sender<Envelope>,
-    // Kept so shutdown can drain envelopes the workers never reached
-    // (jobs racing with shutdown, or queued behind a dead worker).
-    rx: Receiver<Envelope>,
+    queue: Arc<FairDispatcher<Envelope>>,
     closed: Arc<AtomicBool>,
     metrics: Arc<ServiceMetrics>,
     next_id: Arc<AtomicU64>,
+    next_session: Arc<AtomicU64>,
 }
 
 impl CloudService {
@@ -96,35 +96,41 @@ impl CloudService {
         let metrics = Arc::new(ServiceMetrics::new());
         let stack = builder.assemble(Arc::clone(&metrics));
         let service: Arc<dyn JobService> = Arc::from(stack.service(Box::new(TrainService)));
-        let (tx, rx) = unbounded::<Envelope>();
+        let queue = Arc::new(FairDispatcher::new(std::mem::take(
+            &mut builder.session_weights,
+        )));
         let workers = (0..builder.workers)
             .map(|i| {
-                let rx = rx.clone();
+                let queue = Arc::clone(&queue);
                 let service = Arc::clone(&service);
                 let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("cloud-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &*service, &metrics))
+                    .spawn(move || worker_loop(&queue, &*service, &metrics))
                     .expect("spawn cloud worker")
             })
             .collect();
         CloudService {
             workers,
-            tx,
-            rx,
+            queue,
             closed: Arc::new(AtomicBool::new(false)),
             metrics,
             next_id: Arc::new(AtomicU64::new(0)),
+            next_session: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// A client handle; cloneable and usable from any thread.
+    /// A client handle; cloneable and usable from any thread. Each call
+    /// mints a fresh anonymous [`SessionKey`] — clones of the returned
+    /// handle share it, separate `client()` calls do not.
     pub fn client(&self) -> CloudClient {
         CloudClient {
-            tx: self.tx.clone(),
+            queue: Arc::clone(&self.queue),
             closed: Arc::clone(&self.closed),
             metrics: Arc::clone(&self.metrics),
             next_id: Arc::clone(&self.next_id),
+            next_session: Arc::clone(&self.next_session),
+            session: SessionKey::Anonymous(self.next_session.fetch_add(1, Ordering::Relaxed)),
             api_key: None,
         }
     }
@@ -152,24 +158,20 @@ impl CloudService {
     }
 
     /// One shutdown path shared by [`shutdown`](Self::shutdown) and `Drop`:
-    /// refuse new submissions, enqueue one stop marker per worker (FIFO —
-    /// queued jobs finish first), join, then answer any envelope the
-    /// workers never reached (jobs that raced with shutdown, or were
-    /// stranded behind a worker that died with `catch_panics(false)`).
-    /// Idempotent, because `workers` is drained.
+    /// refuse new submissions, close the queue (workers drain the backlog
+    /// in DRR order, then exit), join, then answer any envelope the workers
+    /// never reached (jobs stranded behind a worker that died with
+    /// `catch_panics(false)`). Idempotent, because `workers` is drained.
     fn shutdown_and_join(&mut self) {
         self.closed.store(true, Ordering::SeqCst);
-        for _ in 0..self.workers.len() {
-            let _ = self.tx.send(Envelope::Shutdown);
-        }
+        self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        while let Ok(envelope) = self.rx.try_recv() {
-            if let Envelope::Job { reply, .. } = envelope {
-                self.metrics.job_dequeued();
-                reply.send(Err(CloudError::ServiceUnavailable));
-            }
+        for envelope in self.queue.drain() {
+            self.metrics.job_dequeued();
+            self.metrics.session_dispatched(&envelope.session);
+            envelope.reply.send(Err(CloudError::ServiceUnavailable));
         }
     }
 }
@@ -180,45 +182,70 @@ impl Drop for CloudService {
     }
 }
 
-fn worker_loop(rx: &Receiver<Envelope>, service: &dyn JobService, metrics: &ServiceMetrics) {
-    while let Ok(envelope) = rx.recv() {
-        match envelope {
-            Envelope::Job {
-                id,
-                queue_depth_at_submit,
-                payload,
-                auth,
-                reply,
-            } => {
-                metrics.job_dequeued();
-                let mut ctx = JobContext::new(id, queue_depth_at_submit);
-                ctx.api_key = auth;
-                let result = service.call(&mut ctx, payload);
-                reply.send(result);
-            }
-            Envelope::Shutdown => break,
-        }
+fn worker_loop(
+    queue: &FairDispatcher<Envelope>,
+    service: &dyn JobService,
+    metrics: &ServiceMetrics,
+) {
+    while let Some(envelope) = queue.pop() {
+        metrics.job_dequeued();
+        metrics.session_dispatched(&envelope.session);
+        let mut ctx = JobContext::new(envelope.id, envelope.queue_depth_at_submit);
+        ctx.api_key = envelope.auth;
+        ctx.session = envelope.session;
+        ctx.submitted_at = envelope.submitted_at;
+        let result = service.call(&mut ctx, envelope.payload);
+        envelope.reply.send(result);
     }
 }
 
 /// Client handle for submitting jobs to a [`CloudService`].
+///
+/// Each handle is one *session* for rate limiting and fair scheduling:
+/// clones share the session, separate [`CloudService::client`] calls get
+/// fresh ones, and [`with_api_key`](Self::with_api_key) re-keys the session
+/// onto the API key (shared with every other holder of that key).
 #[derive(Debug, Clone)]
 pub struct CloudClient {
-    tx: Sender<Envelope>,
+    queue: Arc<FairDispatcher<Envelope>>,
     closed: Arc<AtomicBool>,
     metrics: Arc<ServiceMetrics>,
     next_id: Arc<AtomicU64>,
+    next_session: Arc<AtomicU64>,
+    session: SessionKey,
     api_key: Option<Arc<str>>,
 }
 
 impl CloudClient {
     /// Stamps every job submitted through this handle with `key` — what an
     /// [`crate::ApiKeyLayer`] in the stack checks. Transport sessions get
-    /// their key from the connection handshake instead.
+    /// their key from the connection handshake instead. The key also
+    /// becomes the handle's [`SessionKey`] for scheduling and rate
+    /// limiting.
     #[must_use]
     pub fn with_api_key(mut self, key: impl Into<String>) -> CloudClient {
-        self.api_key = Some(Arc::from(key.into().into_boxed_str()));
+        let key: Arc<str> = Arc::from(key.into().into_boxed_str());
+        self.session = SessionKey::ApiKey(Arc::clone(&key));
+        self.api_key = Some(key);
         self
+    }
+
+    /// A clone bound to a fresh transport session's identity: the key from
+    /// the connection handshake if one was presented, a new anonymous
+    /// session otherwise.
+    pub(crate) fn for_transport_session(&self, auth: Option<Arc<str>>) -> CloudClient {
+        let mut client = self.clone();
+        client.session = match &auth {
+            Some(key) => SessionKey::ApiKey(Arc::clone(key)),
+            None => SessionKey::Anonymous(self.next_session.fetch_add(1, Ordering::Relaxed)),
+        };
+        client.api_key = auth;
+        client
+    }
+
+    /// This handle's scheduling/rate-limiting identity.
+    pub(crate) fn session_key(&self) -> &SessionKey {
+        &self.session
     }
     /// Uploads a job (serializing it — this is the trust boundary) and
     /// returns a handle to the in-flight work.
@@ -239,28 +266,8 @@ impl CloudClient {
         if self.closed.load(Ordering::SeqCst) {
             return Err(CloudError::ServiceUnavailable);
         }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let queue_depth_at_submit = self.metrics.job_queued();
         let (reply_tx, reply_rx) = unbounded();
-        let envelope = Envelope::Job {
-            id,
-            queue_depth_at_submit,
-            payload,
-            auth: self.api_key.clone(),
-            reply: ReplySink::Handle(reply_tx),
-        };
-        if self.tx.send(envelope).is_err() {
-            self.metrics.job_unqueued();
-            return Err(CloudError::ServiceUnavailable);
-        }
-        if self.closed.load(Ordering::SeqCst) {
-            // Shutdown raced this submission: the envelope may sit behind
-            // the stop markers where neither a worker nor the shutdown
-            // drain is guaranteed to reach it. Don't hand out a handle
-            // that could wait forever; the drain (if it does see the
-            // envelope) answers a dropped receiver, which is harmless.
-            return Err(CloudError::ServiceUnavailable);
-        }
+        let id = self.enqueue(payload, ReplySink::Handle(reply_tx))?;
         Ok(JobHandle {
             id,
             rx: reply_rx,
@@ -271,11 +278,6 @@ impl CloudClient {
     /// Submits a payload whose outcome is multiplexed onto a shared reply
     /// channel, tagged with the caller's `tag` (the transport's request id).
     ///
-    /// Unlike [`submit_payload`](Self::submit_payload) there is no unhandled
-    /// shutdown race: the shared sink outlives this call, so an envelope
-    /// stranded behind the stop markers is still answered (with
-    /// [`CloudError::ServiceUnavailable`]) by the shutdown drain.
-    ///
     /// # Errors
     ///
     /// Returns [`CloudError::ServiceUnavailable`] if the service is gone.
@@ -284,22 +286,35 @@ impl CloudClient {
         payload: Bytes,
         tag: u64,
         replies: Sender<(u64, Result<JobResult, CloudError>)>,
-        auth: Option<Arc<str>>,
     ) -> Result<u64, CloudError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(CloudError::ServiceUnavailable);
         }
+        self.enqueue(payload, ReplySink::Routed { tag, tx: replies })
+    }
+
+    /// The one enqueue path: stamps id, submit instant and session, then
+    /// pushes onto the session's queue. Closing the queue and pushing are
+    /// mutually exclusive, so a job accepted here is *always* answered:
+    /// workers drain the whole backlog before exiting, and the shutdown
+    /// drain answers anything a dead worker left behind.
+    fn enqueue(&self, payload: Bytes, reply: ReplySink) -> Result<u64, CloudError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let queue_depth_at_submit = self.metrics.job_queued();
-        let envelope = Envelope::Job {
+        self.metrics
+            .session_submitted(&self.session, self.queue.weight_for_session(&self.session));
+        let envelope = Envelope {
             id,
             queue_depth_at_submit,
+            submitted_at: Instant::now(),
+            session: self.session.clone(),
             payload,
-            auth,
-            reply: ReplySink::Routed { tag, tx: replies },
+            auth: self.api_key.clone(),
+            reply,
         };
-        if self.tx.send(envelope).is_err() {
+        if self.queue.push(&self.session, envelope).is_err() {
             self.metrics.job_unqueued();
+            self.metrics.session_unqueued(&self.session);
             return Err(CloudError::ServiceUnavailable);
         }
         Ok(id)

@@ -298,6 +298,28 @@ fn spawn_keepalive(weak: Weak<ClientShared>, interval: Duration) {
 
 /// An in-flight remote job — API parity with [`crate::JobHandle`],
 /// including the result-id match: `wait().unwrap().job_id == handle.id()`.
+///
+/// Error parity holds too, because every [`crate::CloudError`] variant
+/// round-trips the Reply frame. In particular a job refused by the
+/// server's per-session rate limiter resolves to
+/// [`crate::CloudError::RateLimited`], whose
+/// [`retry_after`](crate::CloudError::retry_after) tells this client how
+/// long to back off before resubmitting — same as an in-process handle
+/// would see:
+///
+/// ```no_run
+/// # use amalgam_cloud::{CloudJob, RemoteCloudClient};
+/// # fn demo(client: &RemoteCloudClient, job: &CloudJob) {
+/// match client.submit(job).unwrap().wait() {
+///     Ok(result) => println!("trained: {} bytes", result.bytes_sent),
+///     Err(e) => {
+///         if let Some(backoff) = e.retry_after() {
+///             std::thread::sleep(backoff); // then resubmit
+///         }
+///     }
+/// }
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct RemoteJobHandle {
     id: u64,

@@ -83,61 +83,6 @@ fn wire_err(e: TensorError) -> CloudError {
     CloudError::Decode(e.to_string())
 }
 
-fn put_error(w: &mut Writer, e: &CloudError) {
-    match e {
-        CloudError::ServiceUnavailable => w.put_u8(0),
-        CloudError::Decode(msg) => {
-            w.put_u8(1);
-            w.put_str(msg);
-        }
-        CloudError::BadJob(msg) => {
-            w.put_u8(2);
-            w.put_str(msg);
-        }
-        CloudError::Overloaded {
-            queue_depth,
-            max_queue_depth,
-        } => {
-            w.put_u8(3);
-            w.put_u64(*queue_depth as u64);
-            w.put_u64(*max_queue_depth as u64);
-        }
-        CloudError::Panicked(msg) => {
-            w.put_u8(4);
-            w.put_str(msg);
-        }
-        CloudError::Transport(msg) => {
-            w.put_u8(5);
-            w.put_str(msg);
-        }
-        CloudError::Unauthorized(msg) => {
-            w.put_u8(6);
-            w.put_str(msg);
-        }
-        CloudError::Handshake(msg) => {
-            w.put_u8(7);
-            w.put_str(msg);
-        }
-    }
-}
-
-fn get_error(r: &mut Reader) -> Result<CloudError, CloudError> {
-    Ok(match r.get_u8().map_err(wire_err)? {
-        0 => CloudError::ServiceUnavailable,
-        1 => CloudError::Decode(r.get_str().map_err(wire_err)?),
-        2 => CloudError::BadJob(r.get_str().map_err(wire_err)?),
-        3 => CloudError::Overloaded {
-            queue_depth: r.get_u64().map_err(wire_err)? as usize,
-            max_queue_depth: r.get_u64().map_err(wire_err)? as usize,
-        },
-        4 => CloudError::Panicked(r.get_str().map_err(wire_err)?),
-        5 => CloudError::Transport(r.get_str().map_err(wire_err)?),
-        6 => CloudError::Unauthorized(r.get_str().map_err(wire_err)?),
-        7 => CloudError::Handshake(r.get_str().map_err(wire_err)?),
-        t => return Err(CloudError::Decode(format!("unknown error tag {t}"))),
-    })
-}
-
 impl Frame {
     /// Serializes the frame *body* (tag + fields, no length prefix).
     pub fn encode(&self) -> Bytes {
@@ -191,7 +136,7 @@ impl Frame {
                     }
                     Err(e) => {
                         w.put_u8(0);
-                        put_error(&mut w, e);
+                        e.encode_into(&mut w);
                     }
                 }
             }
@@ -246,7 +191,7 @@ impl Frame {
                 let request_id = r.get_u64().map_err(wire_err)?;
                 let result = match r.get_u8().map_err(wire_err)? {
                     1 => Ok(JobResult::from_bytes(r.get_bytes().map_err(wire_err)?)?),
-                    0 => Err(get_error(&mut r)?),
+                    0 => Err(CloudError::decode_from(&mut r)?),
                     t => return Err(CloudError::Decode(format!("bad outcome marker {t}"))),
                 };
                 Frame::Reply { request_id, result }
@@ -581,6 +526,9 @@ mod tests {
             CloudError::Overloaded {
                 queue_depth: 1,
                 max_queue_depth: 0,
+            },
+            CloudError::RateLimited {
+                retry_after_ms: 1234,
             },
             CloudError::Panicked("p".into()),
             CloudError::Transport("t".into()),

@@ -61,6 +61,13 @@
 //! *session* state: it is stamped onto every job the connection submits and
 //! judged by the [`crate::ApiKeyLayer`] middleware, never re-sent per job.
 //!
+//! Sessions are also the service's QoS unit: each connection (or the API
+//! key it presented) is one [`crate::SessionKey`], jobs are queued per
+//! session and drained by weighted deficit round robin, and the optional
+//! per-session token bucket ([`crate::CloudServiceBuilder::rate_limit`])
+//! answers over-budget submits with [`crate::CloudError::RateLimited`] —
+//! the `retry_after_ms` rides the Reply frame back to the remote handle.
+//!
 //! [`CloudServer::shutdown`] is graceful: the acceptor stops, sessions stop
 //! reading, the service drains its queue (already-accepted jobs train to
 //! completion), and every stranded request id is answered — a

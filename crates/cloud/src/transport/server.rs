@@ -7,7 +7,16 @@
 //! (`CloudClient::submit_routed`); the writer thread forwards completions —
 //! in whatever order the pool finishes them — back as [`Frame::Reply`]s.
 //! The middleware stack sees remote jobs exactly as it sees in-process
-//! ones, plus the session's API key in the job context.
+//! ones, plus the session's API key and [`crate::SessionKey`] in the job
+//! context,
+//! so per-session rate limits and DRR fairness apply to remote traffic with
+//! no transport-specific code: a QoS rejection (`RateLimited`,
+//! `Overloaded`) is just an error outcome riding the same Reply frame,
+//! tallied against the session in [`ServiceStats::sessions`].
+//!
+//! The transport's own per-connection in-flight cap is judged here (it is
+//! connection state, not payload state); its sheds are counted per session
+//! too.
 
 use super::frame::{self, read_frame_resumable, write_frame, Frame, ServerRead};
 use super::{TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
@@ -329,6 +338,9 @@ fn run_session(mut stream: TcpStream, shared: &Arc<ServerShared>) {
         }
     }
     shared.metrics.conn_opened();
+    // One scheduling/rate-limiting identity for everything this connection
+    // submits: the handshake's API key, or a fresh anonymous session.
+    let session_client = shared.client.for_transport_session(auth);
 
     // ---- Session: reader (this thread) + writer thread, multiplexed over
     // one shared reply channel keyed by request id.
@@ -373,7 +385,9 @@ fn run_session(mut stream: TcpStream, shared: &Arc<ServerShared>) {
                 let now_in_flight = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 if now_in_flight > config.max_in_flight {
                     // Refused submits flow through the same reply channel,
-                    // keeping the increment/decrement accounting 1:1.
+                    // keeping the increment/decrement accounting 1:1, and
+                    // are tallied as sheds against this session.
+                    shared.metrics.session_shed(session_client.session_key());
                     let _ = replies_tx.send((
                         request_id,
                         Err(CloudError::Overloaded {
@@ -381,12 +395,9 @@ fn run_session(mut stream: TcpStream, shared: &Arc<ServerShared>) {
                             max_queue_depth: config.max_in_flight,
                         }),
                     ));
-                } else if let Err(e) = shared.client.submit_routed(
-                    payload,
-                    request_id,
-                    replies_tx.clone(),
-                    auth.clone(),
-                ) {
+                } else if let Err(e) =
+                    session_client.submit_routed(payload, request_id, replies_tx.clone())
+                {
                     let _ = replies_tx.send((request_id, Err(e)));
                 }
             }

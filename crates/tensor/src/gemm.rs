@@ -11,15 +11,15 @@
 //!
 //! Inside a block, a micro-kernel computes an `MR × NR` tile of `C` with the
 //! full tile held in an explicitly-unrolled register accumulator. The kernel
-//! itself is runtime-dispatched through [`simd`](crate::simd): a hand-written
+//! itself is runtime-dispatched through [`simd`]: a hand-written
 //! AVX2/NEON implementation where the CPU has one, the portable scalar tile
 //! loop everywhere else — all tiers bitwise identical. Operands are read
-//! through [`MatRef`](crate::pack::MatRef) stride views, so the `Aᵀ`/`Bᵀ`
+//! through [`MatRef`] stride views, so the `Aᵀ`/`Bᵀ`
 //! variants are packing-order choices, not separate kernels.
 //!
 //! Row blocks are farmed out to the persistent worker pool
-//! ([`parallel`](crate::parallel)); each worker packs its own A panel into a
-//! thread-local [`scratch`](crate::scratch) buffer that persists across
+//! ([`parallel`]); each worker packs its own A panel into a
+//! thread-local [`scratch`] buffer that persists across
 //! kernel calls. Per-element accumulation order is `p = 0..k` ascending
 //! regardless of the thread count or block partition, so results are bitwise
 //! reproducible for any `set_threads` value.

@@ -8,11 +8,11 @@
 //! dispatch that actually wants parallelism, and its workers then park on a
 //! shared MPMC channel between kernels:
 //!
-//! * dispatchers enqueue one [`Job`] per chunk and run the first chunk
+//! * dispatchers enqueue one `Job` per chunk and run the first chunk
 //!   themselves, so an `n`-way dispatch needs only `n - 1` workers;
 //! * a counting latch makes the dispatcher block until every chunk finished,
 //!   which is what lets jobs borrow the caller's stack (see safety notes on
-//!   [`run_tasks`]);
+//!   `run_tasks`);
 //! * while blocked, the dispatcher *helps* — it drains other queued jobs —
 //!   so concurrent dispatchers (e.g. the cloud scheduler's training workers)
 //!   can share one pool without deadlock;

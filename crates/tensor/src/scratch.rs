@@ -12,7 +12,7 @@
 //!
 //! Buffers are plain `Vec<f32>`s: anything can be `give`n back, including
 //! allocations that did not originate here (e.g. a `Tensor` temporary via
-//! [`give_tensor`]). The arena retains at most [`MAX_RETAINED`] buffers per
+//! [`give_tensor`]). The arena retains at most `MAX_RETAINED` buffers per
 //! thread, evicting the smallest first, so memory use stays bounded by the
 //! largest working set actually seen.
 //!

@@ -1,7 +1,7 @@
 //! Runtime-dispatched SIMD micro-kernels for the blocked GEMM.
 //!
 //! [`gemm`](crate::gemm) computes every `MR × NR` C tile through a single
-//! function-pointer obtained from [`microkernel`], selected once per process:
+//! function-pointer obtained from `microkernel`, selected once per process:
 //!
 //! * **portable** ([`portable_microkernel`]) — the scalar 8×8 tile loop.
 //!   Always available, autovectorizes under `target-cpu=native`, and serves

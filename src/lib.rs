@@ -25,10 +25,12 @@
 //! * [`core`] — the Amalgam contribution: dataset/model augmenters, masked
 //!   layers, the extractor, Algorithm-1 trainer and privacy math,
 //! * [`cloud`] — the untrusted training service: a composable middleware
-//!   pipeline (decode/validate/observe/metrics/admission/auth/panic layers)
-//!   over a multi-worker scheduler, plus a framed TCP transport
-//!   (`cloud::transport`) so jobs can cross a real wire — `CloudServer`
-//!   in front of the pool, `RemoteCloudClient` on the other end,
+//!   pipeline (decode/validate/observe/metrics/admission/ratelimit/auth/
+//!   panic layers) over a multi-worker scheduler with per-session
+//!   rate limiting and weighted deficit-round-robin fairness, plus a
+//!   framed TCP transport (`cloud::transport`) so jobs can cross a real
+//!   wire — `CloudServer` in front of the pool, `RemoteCloudClient` on
+//!   the other end,
 //! * [`attacks`] — DLG/iDLG, KernelSHAP, denoising and brute-force analyses,
 //! * [`baselines`] — vanilla, MPC, HE, DISCO-like and TEE/CPU comparators.
 //!

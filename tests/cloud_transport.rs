@@ -341,6 +341,165 @@ fn keepalive_outlives_idle_timeout() {
     server.shutdown();
 }
 
+/// The QoS acceptance gate: a flooding session and a polite session share
+/// a 2-worker server. Deficit-round-robin dispatch must keep the polite
+/// session's completed share within 2x of its fair share — the flood buys
+/// itself queue depth, never the whole pool — and every polite job must
+/// complete without timing out behind the flood.
+#[test]
+fn fair_scheduling_protects_polite_session_from_flood() {
+    const FLOOD_JOBS: u64 = 30;
+    const POLITE_JOBS: u64 = 8;
+    let service = CloudService::builder()
+        .workers(2)
+        .api_keys(["flood", "polite"])
+        .build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    // The flood pipelines its whole backlog first — worst case for the
+    // polite session, which joins with every worker already busy.
+    let flood =
+        RemoteCloudClient::connect_with(addr, TransportConfig::default().api_key("flood")).unwrap();
+    let flood_handles: Vec<_> = (0..FLOOD_JOBS)
+        .map(|s| flood.submit(&tiny_job(s)).expect("flood submit"))
+        .collect();
+    while server.stats().jobs_submitted < FLOOD_JOBS {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let flood_before = session_completed(&server.stats(), "flood");
+
+    let polite =
+        RemoteCloudClient::connect_with(addr, TransportConfig::default().api_key("polite"))
+            .unwrap();
+    let polite_handles: Vec<_> = (0..POLITE_JOBS)
+        .map(|s| polite.submit(&tiny_job(100 + s)).expect("polite submit"))
+        .collect();
+    for mut handle in polite_handles {
+        let outcome = handle
+            .wait_timeout(Duration::from_secs(120))
+            .expect("polite job timed out behind the flood");
+        outcome.expect("polite job failed");
+    }
+    // Snapshot the instant the polite session got its last answer: from
+    // the polite session's arrival to now, DRR should have split the two
+    // workers about evenly. Fair share = 1/2 of completions; within 2x
+    // means the polite share stays >= 1/4, i.e. the flood completed at
+    // most 3x the polite count (plus one in-flight job per worker).
+    let stats = server.stats();
+    let flood_during = session_completed(&stats, "flood") - flood_before;
+    assert_eq!(session_completed(&stats, "polite"), POLITE_JOBS);
+    assert!(
+        flood_during <= 3 * POLITE_JOBS + 2,
+        "flood completed {flood_during} jobs while polite completed {POLITE_JOBS}: \
+         polite share fell below half its fair share"
+    );
+
+    // The flood is throttled, not starved: its whole backlog still trains.
+    for handle in flood_handles {
+        handle.wait().expect("flood job failed");
+    }
+    let stats = server.stats();
+    assert_eq!(session_completed(&stats, "flood"), FLOOD_JOBS);
+    let flood_row = session_row(&stats, "flood");
+    assert_eq!(flood_row.jobs_dispatched, FLOOD_JOBS);
+    assert_eq!(flood_row.jobs_shed, 0);
+    server.shutdown();
+}
+
+fn session_row<'s>(stats: &'s ServiceStats, key: &str) -> &'s amalgam::cloud::SessionStats {
+    stats
+        .sessions
+        .iter()
+        .find(|s| s.key == key)
+        .unwrap_or_else(|| panic!("no session row for {key}"))
+}
+
+fn session_completed(stats: &ServiceStats, key: &str) -> u64 {
+    stats
+        .sessions
+        .iter()
+        .find(|s| s.key == key)
+        .map_or(0, |s| s.jobs_completed)
+}
+
+/// Per-session rate limiting across the wire: over-budget submits resolve
+/// to `CloudError::RateLimited` with a positive retry-after on the remote
+/// handle, the in-process client sees the same policy, and the admitted
+/// job's trained bytes stay bitwise identical to an unthrottled in-process
+/// run.
+#[test]
+fn rate_limited_submits_surface_retry_after_on_remote_and_local_clients() {
+    // One token per 20 s, burst 1: of a quick burst of 4, exactly the
+    // first job per session is admitted (unless the test machine stalls
+    // 20 s between two submits, which the generous rate makes moot).
+    let service = CloudService::builder()
+        .workers(1)
+        .rate_limit(0.05, 1.0)
+        .build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let job = tiny_job(11);
+
+    // Unthrottled ground truth for the bitwise check.
+    let expected = CloudService::start()
+        .client()
+        .train(&job)
+        .expect("ground-truth train")
+        .trained_model;
+
+    let client = RemoteCloudClient::connect(server.local_addr()).expect("connect");
+    let handles: Vec<_> = (0..4)
+        .map(|_| client.submit(&job).expect("submit"))
+        .collect();
+    let mut admitted = 0;
+    let mut limited = 0;
+    for handle in handles {
+        match handle.wait() {
+            Ok(result) => {
+                admitted += 1;
+                assert_eq!(
+                    result.trained_model, expected,
+                    "an admitted rate-limited-session job diverged from in-process training"
+                );
+            }
+            Err(err @ CloudError::RateLimited { retry_after_ms }) => {
+                limited += 1;
+                assert!(retry_after_ms > 0, "retry-after must be positive");
+                // The helper surfaces the same back-off as a Duration.
+                assert_eq!(
+                    err.retry_after(),
+                    Some(Duration::from_millis(retry_after_ms))
+                );
+            }
+            Err(other) => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(admitted, 1, "burst of 1 admits exactly one of the burst");
+    assert_eq!(limited, 3);
+
+    // The in-process client is its own session with its own bucket, under
+    // the same policy.
+    let local = server.local_client();
+    local
+        .submit(&job)
+        .expect("local submit")
+        .wait()
+        .expect("first local job is within budget");
+    match local.submit(&job).expect("local submit").wait() {
+        Err(CloudError::RateLimited { retry_after_ms }) => {
+            assert!(retry_after_ms > 0);
+        }
+        other => panic!("expected local RateLimited, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.jobs_rate_limited, 4); // 3 remote + 1 local
+    assert!(stats
+        .sessions
+        .iter()
+        .any(|s| s.jobs_rate_limited == 3 && s.jobs_shed == 3));
+    server.shutdown();
+}
+
 /// The per-connection in-flight cap answers excess pipelined submits with
 /// Overloaded instead of queueing without bound.
 #[test]
