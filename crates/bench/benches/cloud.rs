@@ -134,11 +134,62 @@ fn bench_remote_vs_in_process(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dedup win: dispatch latency of a result-cache hit against cold
+/// execution of the same job, plus the throughput of an 8-deep wave of
+/// identical submissions coalescing onto one in-flight execution.
+fn bench_cache_hit(c: &mut Criterion) {
+    use std::time::Duration;
+    let mut rng = Rng::seed_from(4);
+    let job = tiny_job(&mut rng, 7);
+    let mut group = c.benchmark_group("cloud_cache_hit");
+
+    // Cold: an uncached pool trains the job on every dispatch.
+    let cold = CloudService::builder().workers(1).build();
+    let cold_client = cold.client();
+    group.bench_function("cold_dispatch", |b| {
+        b.iter(|| cold_client.train(&job).unwrap());
+    });
+
+    // Hit: the same job against a warmed result cache — hash + lookup,
+    // no queue, no worker.
+    let cached = CloudService::builder()
+        .workers(1)
+        .result_cache(1 << 20, Duration::from_secs(3600))
+        .build();
+    let hit_client = cached.client();
+    hit_client.train(&job).expect("warm the cache");
+    group.bench_function("hit_dispatch", |b| {
+        b.iter(|| hit_client.train(&job).unwrap());
+    });
+    cached.shutdown();
+
+    // Coalesced wave: capacity 0 caches nothing, so each wave's first
+    // submission executes and the other 7 attach as waiters — the
+    // coalescing path itself, not repeated cache hits.
+    let coalescing = CloudService::builder()
+        .workers(1)
+        .result_cache(0, Duration::ZERO)
+        .build();
+    let wave_client = coalescing.client();
+    group.bench_function("coalesced_wave8", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..8).map(|_| wave_client.submit(&job).unwrap()).collect();
+            for handle in handles {
+                handle.wait().unwrap();
+            }
+        });
+    });
+    coalescing.shutdown();
+    cold.shutdown();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_wire,
     bench_pool_throughput,
     bench_frame_throughput,
-    bench_remote_vs_in_process
+    bench_remote_vs_in_process,
+    bench_cache_hit
 );
 criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! Quick dedup-regression smoke: times a result-cache hit against cold
+//! execution of the same job, times an 8-deep coalesced wave, verifies the
+//! served bytes are bitwise identical to uncached training, and emits a
+//! `BENCH_cloud.json` baseline.
+//!
+//! ```text
+//! cloud-quick [--out DIR] [--check]
+//! ```
+//!
+//! `--check` turns the run into a pass/fail gate (used by CI): it fails if
+//! a cache hit is not ≥ 10x faster than cold dispatch of the same job, if
+//! a hit or coalesced wave executes the training pipeline more than once,
+//! or if any served result diverges bitwise from an uncached run.
+//!
+//! Like PR 3's kernel gates, everything is pinned to one worker and one
+//! tensor-pool thread: the criteria are per-core ratios, and CI runners
+//! have unpredictable core counts. (The hit path barely touches the pool —
+//! it is a hash plus a cache lookup — so the ratio is thread-insensitive
+//! anyway; the pin just keeps cold timings comparable across runs.)
+
+use amalgam_cloud::{CloudJob, CloudService, TaskPayload};
+use amalgam_core::TrainConfig;
+use amalgam_models::lenet5;
+use amalgam_tensor::{parallel, Rng, Tensor};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Small but representative: 2 epochs over 16 images keep cold dispatch
+/// in real-training territory (~ms) while the whole gate stays quick.
+fn tiny_job(seed: u64) -> CloudJob {
+    let mut rng = Rng::seed_from(21 + seed);
+    let model = lenet5(1, 8, 2, &mut rng);
+    let inputs = Tensor::randn(&[16, 1, 8, 8], &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+    CloudJob {
+        model: model.to_bytes(),
+        task: TaskPayload::Classification {
+            inputs,
+            labels,
+            val_inputs: None,
+            val_labels: vec![],
+        },
+        train: TrainConfig::new(2, 8, 0.05).with_seed(seed),
+    }
+}
+
+struct Entry {
+    name: &'static str,
+    fields: Vec<(&'static str, f64)>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from(".");
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_dir = it.next().expect("--out requires a directory").clone(),
+            "--check" => check = true,
+            other => panic!("unknown option {other} (usage: cloud-quick [--out DIR] [--check])"),
+        }
+    }
+
+    parallel::set_threads(1);
+    let job = tiny_job(0);
+    let mut entries = Vec::new();
+    let mut failures = Vec::new();
+
+    // Uncached ground truth: every dispatch trains.
+    let cold = CloudService::builder().workers(1).build();
+    let cold_client = cold.client();
+    let expected = cold_client.train(&job).expect("cold train").trained_model;
+    let cold_ms = time_ms(5, || {
+        cold_client.train(&job).expect("cold train");
+    });
+    cold.shutdown();
+
+    // Warmed result cache: dispatch is a hash plus a lookup.
+    let cached = CloudService::builder()
+        .workers(1)
+        .result_cache(1 << 20, Duration::from_secs(3600))
+        .build();
+    let hit_client = cached.client();
+    let warm = hit_client.train(&job).expect("warming train");
+    if warm.trained_model != expected {
+        failures.push("cached service's execution diverged from the uncached run".to_string());
+    }
+    let hit_ms = time_ms(20, || {
+        let hit = hit_client.train(&job).expect("cache hit");
+        if hit.trained_model != expected {
+            panic!("a cache hit served bytes that diverge from uncached training");
+        }
+    });
+    let hit_speedup = cold_ms / hit_ms;
+    entries.push(Entry {
+        name: "cloud_cache_hit",
+        fields: vec![
+            ("cold_ms", cold_ms),
+            ("hit_ms", hit_ms),
+            ("speedup", hit_speedup),
+        ],
+    });
+    if hit_speedup < 10.0 {
+        failures.push(format!(
+            "cache hit only {hit_speedup:.1}x faster than cold dispatch (want ≥ 10x)"
+        ));
+    }
+    let stats = cached.stats();
+    if stats.jobs_completed != 1 {
+        failures.push(format!(
+            "hit path executed training {} times (want exactly the warming run)",
+            stats.jobs_completed
+        ));
+    }
+    cached.shutdown();
+
+    // Coalesced wave: capacity 0 caches nothing, so each wave's first
+    // submission executes and the other 7 coalesce onto it in flight.
+    let coalescing = CloudService::builder()
+        .workers(1)
+        .result_cache(0, Duration::ZERO)
+        .build();
+    let wave_client = coalescing.client();
+    let wave_ms = time_ms(5, || {
+        let handles: Vec<_> = (0..8)
+            .map(|_| wave_client.submit(&job).expect("wave submit"))
+            .collect();
+        for handle in handles {
+            let result = handle.wait().expect("wave job");
+            if result.trained_model != expected {
+                panic!("a coalesced result diverged from uncached training");
+            }
+        }
+    });
+    let stats = coalescing.stats();
+    entries.push(Entry {
+        name: "cloud_coalesced_wave8",
+        fields: vec![
+            ("wave_ms", wave_ms),
+            ("per_submission_ms", wave_ms / 8.0),
+            ("executions", stats.jobs_completed as f64),
+            ("coalesced", stats.coalesced as f64),
+        ],
+    });
+    // Each timed wave should execute once; submits are pipelined far
+    // faster than training, so anything close to 8 executions per wave
+    // means coalescing is broken. Allow slack for waves whose first job
+    // finishes mid-burst (the next submission then starts a second
+    // execution legitimately).
+    let waves = 5; // the timing reps
+    if stats.jobs_completed > 2 * waves {
+        failures.push(format!(
+            "{} executions across {} waves of 8 identical submissions — duplicates are not coalescing",
+            stats.jobs_completed, waves
+        ));
+    }
+    coalescing.shutdown();
+    parallel::set_threads(0);
+
+    let mut json = String::from("{\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(json, "  \"{}\": {{", e.name);
+        for (j, (key, value)) in e.fields.iter().enumerate() {
+            let _ = write!(json, "\"{key}\": {value:.4}");
+            if j + 1 < e.fields.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push('}');
+        if i + 1 < entries.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("}\n");
+
+    let path = format!("{out_dir}/BENCH_cloud.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    print!("{json}");
+    println!("wrote {path} (cache hit: {hit_speedup:.0}x over cold dispatch)");
+
+    if check && !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

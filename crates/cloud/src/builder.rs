@@ -2,6 +2,7 @@
 //! admission control, per-session QoS (rate limits and DRR weights), panic
 //! policy and custom middleware.
 
+use crate::cache::{DedupLayer, DedupShared};
 use crate::metrics::ServiceMetrics;
 use crate::middleware::{
     AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, MetricsLayer, ObserverLayer, PanicLayer,
@@ -13,13 +14,18 @@ use crate::service::CloudService;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Builder for [`CloudService`] (obtained via [`CloudService::builder`]).
 ///
 /// The default stack it assembles, outermost first:
 ///
-/// `metrics → panic → admission → ratelimit → auth → [custom layers] →
-/// decode → validate → observer → train`
+/// `metrics → panic → admission → dedup → ratelimit → auth →
+/// [custom layers] → decode → validate → observer → train`
+///
+/// (`dedup` only when [`result_cache`](Self::result_cache) is configured;
+/// its read side — cache hits and coalescing — runs in the submit path,
+/// before the queue.)
 ///
 /// Custom layers therefore see the raw serialized payload (decode has not
 /// run yet) plus whatever the admission, rate-limit and auth gates let
@@ -31,6 +37,7 @@ pub struct CloudServiceBuilder {
     pub(crate) catch_panics: bool,
     pub(crate) api_keys: Option<Vec<String>>,
     pub(crate) rate_limit: Option<(f64, f64)>,
+    pub(crate) result_cache: Option<(usize, Duration)>,
     pub(crate) session_weights: HashMap<String, f64>,
     pub(crate) custom_layers: Vec<Box<dyn CloudLayer>>,
 }
@@ -44,6 +51,7 @@ impl CloudServiceBuilder {
             catch_panics: true,
             api_keys: None,
             rate_limit: None,
+            result_cache: None,
             session_weights: HashMap::new(),
             custom_layers: Vec::new(),
         }
@@ -116,6 +124,30 @@ impl CloudServiceBuilder {
         self
     }
 
+    /// Enables content-addressed dedup and result caching (both off by
+    /// default): identical submissions — same canonical payload bytes,
+    /// local or remote — execute **once**. Concurrent duplicates coalesce
+    /// onto the in-flight execution; later duplicates are answered from a
+    /// TTL + LRU cache bounded by `capacity_bytes` (measured by
+    /// [`crate::cache::entry_cost`], since results carry model weights).
+    /// Installs a [`crate::DedupLayer`] between admission control and the
+    /// rate limiter.
+    ///
+    /// Served submissions still spend rate-limit tokens
+    /// ([`rate_limit`](Self::rate_limit)), are counted in
+    /// [`crate::ServiceStats::cache_hits`] /
+    /// [`crate::ServiceStats::coalesced`], and carry their own job ids;
+    /// the result bytes are bitwise identical to an uncached execution —
+    /// which is exactly what the stack's determinism guarantee promises.
+    ///
+    /// A `capacity_bytes` of `0` (or a zero `ttl`) caches nothing but
+    /// still coalesces in-flight duplicates.
+    #[must_use]
+    pub fn result_cache(mut self, capacity_bytes: usize, ttl: Duration) -> CloudServiceBuilder {
+        self.result_cache = Some((capacity_bytes, ttl));
+        self
+    }
+
     /// Gives sessions presenting API key `key` a deficit-round-robin
     /// weight of `weight` (default 1.0): under contention the session is
     /// dispatched `weight` jobs per scheduling round instead of one.
@@ -142,11 +174,24 @@ impl CloudServiceBuilder {
         self
     }
 
-    /// Assembles the default middleware stack around the trainer.
+    /// Assembles the default middleware stack around the trainer, plus
+    /// the shared dedup state when [`result_cache`](Self::result_cache)
+    /// was configured (the submit path consults it before the queue).
     pub(crate) fn assemble(
         &mut self,
         metrics: Arc<ServiceMetrics>,
-    ) -> crate::middleware::ServiceBuilder {
+    ) -> (crate::middleware::ServiceBuilder, Option<Arc<DedupShared>>) {
+        let rate_layer = self
+            .rate_limit
+            .map(|(rate, burst)| RateLimitLayer::new(rate, burst));
+        let dedup = self.result_cache.map(|(capacity_bytes, ttl)| {
+            Arc::new(DedupShared::new(
+                capacity_bytes,
+                ttl,
+                rate_layer.as_ref().map(RateLimitLayer::handle),
+                Arc::clone(&metrics),
+            ))
+        });
         let mut stack = ServiceBuilder::new().layer(MetricsLayer::new(metrics));
         if self.catch_panics {
             stack = stack.layer(PanicLayer);
@@ -154,8 +199,11 @@ impl CloudServiceBuilder {
         if let Some(depth) = self.max_queue_depth {
             stack = stack.layer(AdmissionLayer::new(depth));
         }
-        if let Some((rate, burst)) = self.rate_limit {
-            stack = stack.layer(RateLimitLayer::new(rate, burst));
+        if let Some(shared) = &dedup {
+            stack = stack.layer(DedupLayer::new(Arc::clone(shared)));
+        }
+        if let Some(layer) = rate_layer {
+            stack = stack.layer(layer);
         }
         if let Some(keys) = self.api_keys.take() {
             stack = stack.layer(ApiKeyLayer::new(keys));
@@ -167,7 +215,7 @@ impl CloudServiceBuilder {
         if let Some(observer) = &self.observer {
             stack = stack.layer(ObserverLayer::new(Arc::clone(observer)));
         }
-        stack
+        (stack, dedup)
     }
 
     /// Launches the worker pool and returns the running service.
@@ -184,6 +232,7 @@ impl std::fmt::Debug for CloudServiceBuilder {
             .field("catch_panics", &self.catch_panics)
             .field("api_keys", &self.api_keys.as_ref().map(Vec::len))
             .field("rate_limit", &self.rate_limit)
+            .field("result_cache", &self.result_cache)
             .field("session_weights", &self.session_weights.len())
             .field("custom_layers", &self.custom_layers.len())
             .finish()

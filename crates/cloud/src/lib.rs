@@ -31,6 +31,7 @@
 //!   │ │ ┌───────────────────────────────────────────────────┐ │   │
 //!   │ │ │ admission   queue too deep → Overloaded           │ │   │
 //!   │ │ │ ┌───────────────────────────────────────────────┐ │ │   │
+//!   │ │ │ │ [dedup]     caches Ok results by address      │ │ │   │
 //!   │ │ │ │ ratelimit   over session budget → RateLimited │ │ │   │
 //!   │ │ │ │ ┌───────────────────────────────────────────┐ │ │ │   │
 //!   │ │ │ │ │ auth        session API key → Unauthorized│ │ │ │   │
@@ -70,6 +71,13 @@
 //!   answered with [`CloudError::RateLimited`] carrying an honest
 //!   `retry_after_ms` — judged against the job's *submit* instant, and
 //!   round-tripping the wire codec so remote handles see the same error.
+//! * **dedup** ([`CloudServiceBuilder::result_cache`], off by default)
+//!   shares a box with ratelimit above because they are two halves of one
+//!   policy: the layer caches successful results by the payload's
+//!   [`ContentAddress`], while its read side runs at *submit* time —
+//!   cache hits and in-flight duplicates are answered before the queue,
+//!   never occupying a worker, yet still spend rate-limit tokens from the
+//!   same per-session buckets. See the [`cache`] module docs.
 //! * Custom layers sit between admission and **decode**, so they see the
 //!   raw serialized payload — the exact bytes that crossed the wire.
 //! * **validate** holds the `BadJob` checks, out of the trainer's path.
@@ -103,6 +111,8 @@
 #![deny(missing_docs)]
 
 mod builder;
+pub mod cache;
+pub mod hash;
 mod metrics;
 pub mod middleware;
 mod observer;
@@ -113,6 +123,8 @@ mod service;
 pub mod transport;
 
 pub use builder::CloudServiceBuilder;
+pub use cache::{DedupLayer, ResultCache};
+pub use hash::ContentAddress;
 pub use metrics::{ServiceMetrics, ServiceStats, SessionStats};
 pub use middleware::{
     AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, JobContext, JobService, MetricsLayer,

@@ -35,6 +35,9 @@ pub struct ServiceMetrics {
     transport_bytes_received: AtomicU64,
     transport_bytes_sent: AtomicU64,
     rate_limited: AtomicU64,
+    // Dedup counters, written by the submit-path cache check.
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
     // QoS counters per session. Keyed by the SessionKey itself (cheap
     // clones: a u64 or an Arc<str>) — display names are only rendered at
     // snapshot time, off the per-job hot path.
@@ -57,6 +60,8 @@ struct SessionCounters {
     failed: u64,
     rate_limited: u64,
     shed: u64,
+    cache_hits: u64,
+    coalesced: u64,
 }
 
 impl ServiceMetrics {
@@ -82,6 +87,8 @@ impl ServiceMetrics {
             transport_bytes_received: AtomicU64::new(0),
             transport_bytes_sent: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             sessions: Mutex::new(HashMap::new()),
         }
     }
@@ -148,6 +155,41 @@ impl ServiceMetrics {
     /// `session`'s submits before it reached the queue.
     pub(crate) fn session_shed(&self, session: &SessionKey) {
         self.with_session(session, |s| s.shed += 1);
+    }
+
+    /// Dedup path: a submission was answered straight from the result
+    /// cache — it counts as submitted, but never touched the queue.
+    pub(crate) fn job_cache_hit(&self, session: &SessionKey) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.with_session(session, |s| {
+            s.submitted += 1;
+            s.cache_hits += 1;
+        });
+    }
+
+    /// Dedup path: a submission attached as a waiter to an in-flight
+    /// duplicate instead of enqueueing its own execution.
+    pub(crate) fn job_coalesced(&self, session: &SessionKey) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.with_session(session, |s| {
+            s.submitted += 1;
+            s.coalesced += 1;
+        });
+    }
+
+    /// Dedup path: the rate limiter refused a would-be cache hit or
+    /// coalesced attach at submit time (bumping the same counters an
+    /// in-stack [`crate::RateLimitLayer`] rejection would).
+    pub(crate) fn job_rate_limited_at_submit(&self, session: &SessionKey) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.with_session(session, |s| {
+            s.submitted += 1;
+            s.rate_limited += 1;
+            s.shed += 1;
+        });
     }
 
     /// Transport path: a connection completed its handshake.
@@ -275,6 +317,8 @@ impl ServiceMetrics {
             transport_bytes_received: self.transport_bytes_received.load(Ordering::Relaxed),
             transport_bytes_sent: self.transport_bytes_sent.load(Ordering::Relaxed),
             jobs_rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             sessions: {
                 let mut rows: Vec<SessionStats> = self
                     .sessions
@@ -290,6 +334,8 @@ impl ServiceMetrics {
                         jobs_failed: c.failed,
                         jobs_rate_limited: c.rate_limited,
                         jobs_shed: c.shed,
+                        cache_hits: c.cache_hits,
+                        coalesced: c.coalesced,
                     })
                     .collect();
                 rows.sort_by(|a, b| a.key.cmp(&b.key));
@@ -360,6 +406,15 @@ pub struct ServiceStats {
     /// Jobs refused by the per-session rate limiter
     /// ([`crate::CloudError::RateLimited`]).
     pub jobs_rate_limited: u64,
+    /// Submissions answered straight from the result cache
+    /// ([`crate::CloudServiceBuilder::result_cache`]) — counted in
+    /// [`jobs_submitted`](Self::jobs_submitted), but they never occupied
+    /// the queue or a worker, so they are *not* in
+    /// [`jobs_completed`](Self::jobs_completed).
+    pub cache_hits: u64,
+    /// Submissions that attached as waiters to an identical in-flight job
+    /// and were answered by its one execution.
+    pub coalesced: u64,
     /// Per-session QoS rows (queue depth, dispatch/shed tallies), sorted by
     /// session name; every session that ever submitted has a row.
     pub sessions: Vec<SessionStats>,
@@ -396,6 +451,11 @@ pub struct SessionStats {
     /// Jobs shed by any QoS gate: rate limiter, admission control, or the
     /// transport's per-connection in-flight cap.
     pub jobs_shed: u64,
+    /// This session's submissions answered straight from the result cache.
+    pub cache_hits: u64,
+    /// This session's submissions coalesced onto an identical in-flight
+    /// job.
+    pub coalesced: u64,
 }
 
 #[cfg(test)]

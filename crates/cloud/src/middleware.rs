@@ -75,6 +75,11 @@ pub struct JobContext {
     /// limiter judges, so queueing delay neither hides nor penalizes a
     /// session's submit rate.
     pub submitted_at: Instant,
+    /// The payload's canonical content address, stamped at submit time
+    /// when dedup is enabled ([`crate::CloudServiceBuilder::result_cache`]);
+    /// the [`crate::DedupLayer`] caches successful results under it.
+    /// `None` when dedup is off.
+    pub content_address: Option<crate::hash::ContentAddress>,
 }
 
 impl JobContext {
@@ -90,6 +95,7 @@ impl JobContext {
             api_key: None,
             session: SessionKey::Anonymous(0),
             submitted_at: Instant::now(),
+            content_address: None,
         }
     }
 }

@@ -132,18 +132,24 @@ impl CloudJob {
                 }
             }
             1 => {
+                // The three counts below are attacker-chosen u32s; every
+                // element they claim occupies at least one buffer byte, so
+                // capping the pre-allocation at `remaining()` bounds memory
+                // by the frame size while honest decodes still reserve
+                // exactly once. A lying count then fails in the element
+                // loop with a truncation error instead of a giant alloc.
                 let n = r.get_u32().map_err(err)? as usize;
-                let mut windows = Vec::with_capacity(n);
+                let mut windows = Vec::with_capacity(n.min(r.remaining()));
                 for _ in 0..n {
                     windows.push(r.get_tensor().map_err(err)?);
                 }
                 let nv = r.get_u32().map_err(err)? as usize;
-                let mut val_windows = Vec::with_capacity(nv);
+                let mut val_windows = Vec::with_capacity(nv.min(r.remaining()));
                 for _ in 0..nv {
                     val_windows.push(r.get_tensor().map_err(err)?);
                 }
                 let nk = r.get_u32().map_err(err)? as usize;
-                let mut head_keeps = Vec::with_capacity(nk);
+                let mut head_keeps = Vec::with_capacity(nk.min(r.remaining()));
                 for _ in 0..nk {
                     head_keeps.push(r.get_usize_list().map_err(err)?);
                 }
@@ -403,6 +409,27 @@ mod tests {
         let cut = bytes.slice(0..bytes.len() - 3);
         assert!(matches!(
             JobResult::from_bytes(cut),
+            Err(CloudError::Decode(_))
+        ));
+    }
+
+    /// An LM frame claiming u32::MAX windows must be rejected by the
+    /// element loop hitting end-of-buffer, not by a multi-gigabyte
+    /// `Vec::with_capacity` — the pre-allocation is capped at the bytes
+    /// actually present.
+    #[test]
+    fn lm_job_with_lying_window_count_errors_without_huge_alloc() {
+        let mut w = Writer::new();
+        w.put_bytes(b"m"); // model
+        w.put_u64(1); // epochs
+        w.put_u64(1); // batch_size
+        w.put_f32(0.1); // lr
+        w.put_f32(0.0); // momentum
+        w.put_u64(0); // seed
+        w.put_u8(1); // LanguageModel tag
+        w.put_u32(u32::MAX); // claimed window count, nothing follows
+        assert!(matches!(
+            CloudJob::from_bytes(w.finish()),
             Err(CloudError::Decode(_))
         ));
     }

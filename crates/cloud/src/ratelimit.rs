@@ -178,6 +178,27 @@ impl BucketTable {
     }
 }
 
+/// A cloneable handle onto a [`RateLimitLayer`]'s bucket table.
+///
+/// The dedup subsystem ([`crate::cache`]) serves cache hits and coalesced
+/// attaches in the submit path, *before* the queue — which means they
+/// never reach the in-stack [`RateLimitLayer`]. This handle lets that path
+/// charge the very same per-session buckets, so a served submission spends
+/// exactly the token an executed one would: the cache is a latency
+/// shortcut, not a rate-limit bypass.
+#[derive(Debug, Clone)]
+pub(crate) struct RateLimitHandle {
+    table: std::sync::Arc<BucketTable>,
+}
+
+impl RateLimitHandle {
+    /// Takes one token from `session`'s bucket as of `at`, or reports the
+    /// honest retry-after.
+    pub(crate) fn try_acquire(&self, session: &SessionKey, at: Instant) -> Result<(), Duration> {
+        self.table.acquire(session, at)
+    }
+}
+
 /// Middleware enforcing a per-session submit-rate budget.
 ///
 /// Installed by [`crate::CloudServiceBuilder::rate_limit`]; each distinct
@@ -211,6 +232,14 @@ impl RateLimitLayer {
                     prune_at: PRUNE_THRESHOLD,
                 }),
             }),
+        }
+    }
+
+    /// A handle sharing this layer's bucket table with the submit-path
+    /// dedup check.
+    pub(crate) fn handle(&self) -> RateLimitHandle {
+        RateLimitHandle {
+            table: std::sync::Arc::clone(&self.table),
         }
     }
 }

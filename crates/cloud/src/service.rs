@@ -1,6 +1,8 @@
 //! The worker pool, the client handle, and the innermost training service.
 
 use crate::builder::CloudServiceBuilder;
+use crate::cache::{DedupReply, DedupShared, SubmitDecision};
+use crate::hash::ContentAddress;
 use crate::metrics::{ServiceMetrics, ServiceStats};
 use crate::middleware::{JobContext, JobService, SessionKey};
 use crate::observer::{CloudObserver, NullObserver};
@@ -36,10 +38,14 @@ pub(crate) enum ReplySink {
         tag: u64,
         tx: Sender<(u64, Result<JobResult, CloudError>)>,
     },
+    /// The executor of a deduplicated address: delivers to the primary
+    /// sink *and* fans the outcome out to every coalesced waiter (see
+    /// [`crate::cache`]).
+    Dedup(Box<DedupReply>),
 }
 
 impl ReplySink {
-    fn send(&self, result: Result<JobResult, CloudError>) {
+    pub(crate) fn send(&self, result: Result<JobResult, CloudError>) {
         match self {
             ReplySink::Handle(tx) => {
                 let _ = tx.send(result);
@@ -47,6 +53,7 @@ impl ReplySink {
             ReplySink::Routed { tag, tx } => {
                 let _ = tx.send((*tag, result));
             }
+            ReplySink::Dedup(reply) => reply.resolve(result),
         }
     }
 }
@@ -60,6 +67,9 @@ pub(crate) struct Envelope {
     session: SessionKey,
     payload: Bytes,
     auth: Option<Arc<str>>,
+    /// The payload's content address when dedup is enabled — what the
+    /// in-stack [`crate::DedupLayer`] caches a successful result under.
+    content_address: Option<ContentAddress>,
     reply: ReplySink,
 }
 
@@ -73,6 +83,7 @@ pub struct CloudService {
     metrics: Arc<ServiceMetrics>,
     next_id: Arc<AtomicU64>,
     next_session: Arc<AtomicU64>,
+    dedup: Option<Arc<DedupShared>>,
 }
 
 impl CloudService {
@@ -94,7 +105,7 @@ impl CloudService {
 
     pub(crate) fn from_builder(mut builder: CloudServiceBuilder) -> CloudService {
         let metrics = Arc::new(ServiceMetrics::new());
-        let stack = builder.assemble(Arc::clone(&metrics));
+        let (stack, dedup) = builder.assemble(Arc::clone(&metrics));
         let service: Arc<dyn JobService> = Arc::from(stack.service(Box::new(TrainService)));
         let queue = Arc::new(FairDispatcher::new(std::mem::take(
             &mut builder.session_weights,
@@ -117,6 +128,7 @@ impl CloudService {
             metrics,
             next_id: Arc::new(AtomicU64::new(0)),
             next_session: Arc::new(AtomicU64::new(0)),
+            dedup,
         }
     }
 
@@ -132,6 +144,7 @@ impl CloudService {
             next_session: Arc::clone(&self.next_session),
             session: SessionKey::Anonymous(self.next_session.fetch_add(1, Ordering::Relaxed)),
             api_key: None,
+            dedup: self.dedup.clone(),
         }
     }
 
@@ -194,6 +207,7 @@ fn worker_loop(
         ctx.api_key = envelope.auth;
         ctx.session = envelope.session;
         ctx.submitted_at = envelope.submitted_at;
+        ctx.content_address = envelope.content_address;
         let result = service.call(&mut ctx, envelope.payload);
         envelope.reply.send(result);
     }
@@ -214,6 +228,7 @@ pub struct CloudClient {
     next_session: Arc<AtomicU64>,
     session: SessionKey,
     api_key: Option<Arc<str>>,
+    dedup: Option<Arc<DedupShared>>,
 }
 
 impl CloudClient {
@@ -298,8 +313,25 @@ impl CloudClient {
     /// mutually exclusive, so a job accepted here is *always* answered:
     /// workers drain the whole backlog before exiting, and the shutdown
     /// drain answers anything a dead worker left behind.
-    fn enqueue(&self, payload: Bytes, reply: ReplySink) -> Result<u64, CloudError> {
+    ///
+    /// With dedup enabled ([`CloudServiceBuilder::result_cache`]) the
+    /// payload is judged by its content address first: a cache hit or a
+    /// coalesced attach is answered through `reply` right here — without
+    /// ever entering the queue or occupying a worker — and only the first
+    /// submission of an address falls through to an actual enqueue, its
+    /// reply wrapped so the one execution also resolves every waiter.
+    fn enqueue(&self, payload: Bytes, mut reply: ReplySink) -> Result<u64, CloudError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut content_address = None;
+        if let Some(dedup) = &self.dedup {
+            match dedup.intercept(id, &self.session, &payload, reply) {
+                SubmitDecision::Served => return Ok(id),
+                SubmitDecision::Execute(wrapped, addr) => {
+                    reply = wrapped;
+                    content_address = Some(addr);
+                }
+            }
+        }
         let queue_depth_at_submit = self.metrics.job_queued();
         self.metrics
             .session_submitted(&self.session, self.queue.weight_for_session(&self.session));
@@ -310,9 +342,13 @@ impl CloudClient {
             session: self.session.clone(),
             payload,
             auth: self.api_key.clone(),
+            content_address,
             reply,
         };
         if self.queue.push(&self.session, envelope).is_err() {
+            // The rejected envelope is dropped here; if it was a dedup
+            // executor, the drop resolves any waiters that attached in
+            // the meantime with `ServiceUnavailable` and clears the slot.
             self.metrics.job_unqueued();
             self.metrics.session_unqueued(&self.session);
             return Err(CloudError::ServiceUnavailable);
@@ -992,6 +1028,153 @@ mod tests {
         assert!(stats.jobs_per_second > 0.0);
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn result_cache_serves_hits_without_reexecution() {
+        let mut rng = Rng::seed_from(30);
+        let (job, _) = tiny_job(&mut rng);
+        let service = CloudService::builder()
+            .result_cache(64 << 20, Duration::from_secs(600))
+            .build();
+        let client = service.client();
+        let first = client.train(&job).unwrap();
+        let handle = client.submit(&job).unwrap();
+        let second = handle.wait().unwrap();
+        let third = client.train(&job).unwrap();
+        let stats = service.stats();
+        service.shutdown();
+        assert_eq!(stats.jobs_completed, 1, "cache hits must not re-execute");
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.jobs_submitted, 3);
+        assert_eq!(stats.queue_depth, 0);
+        // Bitwise identical payloads, but each submission keeps its own id.
+        assert_eq!(second.trained_model, first.trained_model);
+        assert_eq!(second.history, first.history);
+        assert_eq!(third.trained_model, first.trained_model);
+        assert_ne!(second.job_id, first.job_id);
+        let row = &stats.sessions[0];
+        assert_eq!(row.cache_hits, 2);
+        assert_eq!(row.jobs_submitted, 3);
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_onto_one_execution() {
+        let mut rng = Rng::seed_from(31);
+        let (job, _) = tiny_job(&mut rng);
+        let gate = Arc::new(Mutex::new(()));
+        let service = CloudService::builder()
+            .result_cache(64 << 20, Duration::from_secs(600))
+            .layer(GateLayer(Arc::clone(&gate)))
+            .build();
+        let client = service.client();
+        let blocker = gate.lock(); // hold the executor inside the stack
+        let handles: Vec<JobHandle> = (0..5).map(|_| client.submit(&job).unwrap()).collect();
+        drop(blocker);
+        let mut results = Vec::new();
+        for handle in handles {
+            let id = handle.id();
+            let result = handle.wait().unwrap();
+            assert_eq!(result.job_id, id, "fan-out must stamp each waiter's id");
+            results.push(result);
+        }
+        let stats = service.stats();
+        service.shutdown();
+        assert_eq!(stats.jobs_completed, 1, "duplicates must execute once");
+        assert_eq!(stats.coalesced, 4);
+        for r in &results[1..] {
+            assert_eq!(r.trained_model, results[0].trained_model);
+            assert_eq!(r.history, results[0].history);
+        }
+    }
+
+    #[test]
+    fn failures_propagate_to_every_waiter_and_leave_the_cache_retryable() {
+        let mut rng = Rng::seed_from(32);
+        let (job, _) = tiny_job(&mut rng);
+        let gate = Arc::new(Mutex::new(()));
+        let service = CloudService::builder()
+            .result_cache(64 << 20, Duration::from_secs(600))
+            .layer(GateLayer(Arc::clone(&gate)))
+            .layer(BombLayer)
+            .build();
+        let client = service.client();
+        let blocker = gate.lock();
+        let handles: Vec<JobHandle> = (0..4).map(|_| client.submit(&job).unwrap()).collect();
+        drop(blocker);
+        for handle in handles {
+            assert!(matches!(handle.wait(), Err(CloudError::Panicked(_))));
+        }
+        let stats = service.stats();
+        assert_eq!(
+            stats.jobs_panicked, 1,
+            "one execution fanned to all waiters"
+        );
+        assert_eq!(stats.coalesced, 3);
+        assert_eq!(stats.cache_hits, 0);
+        // No poisoned entry: retrying the failed address executes again.
+        assert!(matches!(client.train(&job), Err(CloudError::Panicked(_))));
+        assert_eq!(service.stats().jobs_panicked, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_spend_rate_limit_tokens() {
+        let mut rng = Rng::seed_from(33);
+        let (job, _) = tiny_job(&mut rng);
+        let service = CloudService::builder()
+            .rate_limit(0.001, 2.0)
+            .result_cache(64 << 20, Duration::from_secs(600))
+            .build();
+        let client = service.client();
+        client.train(&job).unwrap(); // token 1, charged by the stack
+        client.train(&job).unwrap(); // token 2, charged at the hit
+        let err = client.train(&job).unwrap_err(); // bucket empty: cheap ≠ free
+        assert!(matches!(err, CloudError::RateLimited { .. }));
+        assert!(err.retry_after().is_some());
+        let stats = service.stats();
+        service.shutdown();
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(
+            stats.cache_hits, 1,
+            "the refused hit must not count as served"
+        );
+        assert_eq!(stats.jobs_rate_limited, 1);
+        let row = &stats.sessions[0];
+        assert_eq!(row.jobs_rate_limited, 1);
+        assert_eq!(row.jobs_shed, 1);
+    }
+
+    #[test]
+    fn shutdown_answers_waiters_of_stranded_executors() {
+        // A dedup executor stranded behind a dead worker must resolve its
+        // coalesced waiters at shutdown, exactly like any other envelope.
+        let mut rng = Rng::seed_from(34);
+        let service = CloudService::builder()
+            .workers(1)
+            .catch_panics(false)
+            .result_cache(64 << 20, Duration::from_secs(600))
+            .layer(BombLayer)
+            .build();
+        let client = service.client();
+        let doomed = client.submit(&tiny_job_with_seed(&mut rng, 0)).unwrap();
+        let job = tiny_job_with_seed(&mut rng, 1);
+        let stranded_executor = client.submit(&job).unwrap();
+        let waiters: Vec<JobHandle> = (0..3).map(|_| client.submit(&job).unwrap()).collect();
+        // The panic unwinds through the worker; the executor envelope for
+        // job 0 is dropped, which must clear its (empty) pending slot.
+        assert!(matches!(doomed.wait(), Err(CloudError::ServiceUnavailable)));
+        service.shutdown();
+        assert!(matches!(
+            stranded_executor.wait(),
+            Err(CloudError::ServiceUnavailable)
+        ));
+        for waiter in waiters {
+            assert!(
+                matches!(waiter.wait(), Err(CloudError::ServiceUnavailable)),
+                "coalesced waiter must be answered at shutdown, not stranded"
+            );
+        }
     }
 
     #[test]

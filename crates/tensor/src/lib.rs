@@ -71,6 +71,8 @@
 //!   temporaries come from a per-thread free list and are returned after
 //!   use, so steady-state training performs no hot-path allocations.
 
+#![deny(missing_docs)]
+
 pub mod gemm;
 pub mod kernels;
 pub mod math;

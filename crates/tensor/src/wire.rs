@@ -23,6 +23,15 @@ impl Writer {
         }
     }
 
+    /// Guards every `u32` length prefix: a length that does not fit would
+    /// otherwise be silently truncated by `as u32`, encoding a frame whose
+    /// prefix disagrees with its payload — corruption the reader could not
+    /// distinguish from a hostile buffer. Panicking here turns a >4 GiB
+    /// encode (a programming error on the trusted side) into a loud one.
+    fn check_len(len: usize, context: &'static str) -> u32 {
+        u32::try_from(len).unwrap_or_else(|_| panic!("{context} length {len} exceeds u32 prefix"))
+    }
+
     /// Appends a `u8`.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.put_u8(v);
@@ -49,8 +58,12 @@ impl Writer {
     }
 
     /// Appends a length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is longer than `u32::MAX` bytes (the prefix width).
     pub fn put_str(&mut self, s: &str) {
-        self.put_u32(s.len() as u32);
+        self.put_u32(Self::check_len(s.len(), "string"));
         self.buf.put_slice(s.as_bytes());
     }
 
@@ -58,22 +71,34 @@ impl Writer {
     ///
     /// Wire-compatible with a `put_u32(len)` followed by `len` `put_u8`
     /// calls, but O(len) memcpy instead of a byte-at-a-time loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob is longer than `u32::MAX` bytes.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
-        self.put_u32(bytes.len() as u32);
+        self.put_u32(Self::check_len(bytes.len(), "byte blob"));
         self.buf.put_slice(bytes);
     }
 
     /// Appends a length-prefixed list of `usize` (as u64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list holds more than `u32::MAX` entries.
     pub fn put_usize_list(&mut self, xs: &[usize]) {
-        self.put_u32(xs.len() as u32);
+        self.put_u32(Self::check_len(xs.len(), "usize list"));
         for &x in xs {
             self.put_u64(x as u64);
         }
     }
 
     /// Appends a length-prefixed list of `f32` in one bulk copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list holds more than `u32::MAX` entries.
     pub fn put_f32_list(&mut self, xs: &[f32]) {
-        self.put_u32(xs.len() as u32);
+        self.put_u32(Self::check_len(xs.len(), "f32 list"));
         let mut raw = vec![0u8; xs.len() * 4];
         for (dst, &v) in raw.chunks_exact_mut(4).zip(xs) {
             dst.copy_from_slice(&v.to_le_bytes());

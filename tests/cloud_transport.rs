@@ -407,6 +407,93 @@ fn fair_scheduling_protects_polite_session_from_flood() {
     server.shutdown();
 }
 
+/// The dedup acceptance gate: 8 remote clients race the *same* job at a
+/// result-cached server. Exactly one execution may happen — every other
+/// submission must be coalesced onto it or served from the cache — and all
+/// 8 results must be bitwise identical to an uncached in-process run. A
+/// second wave after the TTL expires re-executes exactly once more.
+#[test]
+fn concurrent_identical_remote_jobs_execute_once_and_reexecute_after_ttl() {
+    const CLIENTS: u64 = 8;
+    let ttl = Duration::from_millis(900);
+    let service = CloudService::builder()
+        .workers(2)
+        .result_cache(1 << 20, ttl)
+        .build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let job = tiny_job(42);
+
+    // Uncached in-process ground truth for the bitwise check.
+    let expected = CloudService::start()
+        .client()
+        .train(&job)
+        .expect("ground-truth train")
+        .trained_model;
+
+    let wave = |start: std::sync::Arc<std::sync::Barrier>| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let job = job.clone();
+                let start = std::sync::Arc::clone(&start);
+                std::thread::spawn(move || {
+                    let client = RemoteCloudClient::connect(addr).expect("connect");
+                    start.wait();
+                    client.train(&job).expect("deduped train")
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect::<Vec<JobResult>>()
+    };
+
+    for result in wave(std::sync::Arc::new(std::sync::Barrier::new(
+        CLIENTS as usize,
+    ))) {
+        assert_eq!(
+            result.trained_model, expected,
+            "a deduped result diverged from uncached in-process training"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.jobs_completed, 1, "identical work must execute once");
+    assert_eq!(
+        stats.cache_hits + stats.coalesced,
+        CLIENTS - 1,
+        "every duplicate must be a hit or a coalesce (hits {}, coalesced {})",
+        stats.cache_hits,
+        stats.coalesced
+    );
+    // Each remote connection is its own session; the dedup counters land
+    // on the session that submitted the duplicate.
+    let session_served: u64 = stats
+        .sessions
+        .iter()
+        .map(|s| s.cache_hits + s.coalesced)
+        .sum();
+    assert_eq!(session_served, CLIENTS - 1);
+
+    // Second wave strictly after expiry: the entry was inserted no later
+    // than the moment the first wave's last result arrived, so a full TTL
+    // (plus margin) from here is past it. The address must re-execute —
+    // exactly once, however the 8 clients race.
+    std::thread::sleep(ttl + Duration::from_millis(100));
+    for result in wave(std::sync::Arc::new(std::sync::Barrier::new(
+        CLIENTS as usize,
+    ))) {
+        assert_eq!(result.trained_model, expected);
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.jobs_completed, 2,
+        "an expired address must re-execute, once"
+    );
+    assert_eq!(stats.cache_hits + stats.coalesced, 2 * (CLIENTS - 1));
+    server.shutdown();
+}
+
 fn session_row<'s>(stats: &'s ServiceStats, key: &str) -> &'s amalgam::cloud::SessionStats {
     stats
         .sessions
