@@ -4,7 +4,7 @@
 //! encode/decode throughput plus remote-over-loopback jobs/sec against
 //! in-process dispatch on the same pool.
 
-use amalgam_cloud::transport::Frame;
+use amalgam_cloud::transport::{Frame, FrameDecoder};
 use amalgam_cloud::{CloudJob, CloudServer, CloudService, RemoteCloudClient, TaskPayload};
 use amalgam_core::TrainConfig;
 use amalgam_models::lenet5;
@@ -99,6 +99,89 @@ fn bench_frame_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The server's inbound hot path, isolated: decoding a stream of frames
+/// with a fresh body `Vec` per frame (what the old blocking reader did)
+/// versus the reactor's [`FrameDecoder`], which accumulates into one
+/// reusable per-connection scratch buffer and parses bodies in place.
+fn bench_decode_scratch_reuse(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(5);
+    const FRAMES: u64 = 16;
+    // The realistic inbound frame: one whole serialized job (~240 KiB).
+    let payload = sample_job(&mut rng).to_bytes();
+    let mut wire = Vec::new();
+    for request_id in 0..FRAMES {
+        let body = Frame::Submit {
+            request_id,
+            payload: payload.clone(),
+        }
+        .encode();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+    }
+    let mut pings = Vec::new();
+    for nonce in 0..4096u64 {
+        let body = Frame::Ping { nonce }.encode();
+        pings.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        pings.extend_from_slice(&body);
+    }
+
+    // The old blocking reader, faithfully: one zeroed `Vec` allocated per
+    // frame, filled read_exact-style, then handed to the canonical decoder.
+    fn fresh_vec_per_frame(wire: &[u8]) -> u64 {
+        let mut rest = wire;
+        let mut decoded = 0u64;
+        while rest.len() >= 4 {
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let mut body = vec![0u8; len];
+            body.copy_from_slice(&rest[4..4 + len]);
+            Frame::decode(bytes::Bytes::from(body)).unwrap();
+            decoded += 1;
+            rest = &rest[4 + len..];
+        }
+        decoded
+    }
+
+    // The reactor's path: socket-sized chunks appended to one long-lived
+    // scratch buffer, complete frames drained after every chunk.
+    fn scratch_reuse(dec: &mut FrameDecoder, wire: &[u8]) -> u64 {
+        let mut decoded = 0u64;
+        for chunk in wire.chunks(64 * 1024) {
+            dec.extend(chunk);
+            while dec.next_frame(usize::MAX).unwrap().is_some() {
+                decoded += 1;
+            }
+        }
+        decoded
+    }
+
+    let mut group = c.benchmark_group("cloud_frame_stream");
+    group.bench_function("fresh_vec_per_frame_4096xping", |b| {
+        b.iter(|| assert_eq!(fresh_vec_per_frame(&pings), 4096));
+    });
+    group.bench_function("decoder_scratch_reuse_4096xping", |b| {
+        let mut dec = FrameDecoder::new();
+        b.iter(|| assert_eq!(scratch_reuse(&mut dec, &pings), 4096));
+    });
+    group.bench_function(
+        &format!("fresh_vec_per_frame_{}x{}KiB", FRAMES, payload.len() / 1024),
+        |b| {
+            b.iter(|| assert_eq!(fresh_vec_per_frame(&wire), FRAMES));
+        },
+    );
+    group.bench_function(
+        &format!(
+            "decoder_scratch_reuse_{}x{}KiB",
+            FRAMES,
+            payload.len() / 1024
+        ),
+        |b| {
+            let mut dec = FrameDecoder::new();
+            b.iter(|| assert_eq!(scratch_reuse(&mut dec, &wire), FRAMES));
+        },
+    );
+    group.finish();
+}
+
 /// Remote jobs/sec over loopback TCP versus in-process dispatch on the
 /// same 2-worker pool: the gap is pure transport overhead (framing, socket
 /// hops, reply routing), since the trained bytes are bitwise identical.
@@ -189,6 +272,7 @@ criterion_group!(
     bench_wire,
     bench_pool_throughput,
     bench_frame_throughput,
+    bench_decode_scratch_reuse,
     bench_remote_vs_in_process,
     bench_cache_hit
 );

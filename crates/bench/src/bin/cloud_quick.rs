@@ -10,7 +10,9 @@
 //! `--check` turns the run into a pass/fail gate (used by CI): it fails if
 //! a cache hit is not ≥ 10x faster than cold dispatch of the same job, if
 //! a hit or coalesced wave executes the training pipeline more than once,
-//! or if any served result diverges bitwise from an uncached run.
+//! if any served result diverges bitwise from an uncached run, or if the
+//! transport's thread count scales with the number of open connections
+//! (64 concurrent sessions must run on the fixed reactor pool alone).
 //!
 //! Like PR 3's kernel gates, everything is pinned to one worker and one
 //! tensor-pool thread: the criteria are per-core ratios, and CI runners
@@ -18,7 +20,8 @@
 //! it is a hash plus a cache lookup — so the ratio is thread-insensitive
 //! anyway; the pin just keeps cold timings comparable across runs.)
 
-use amalgam_cloud::{CloudJob, CloudService, TaskPayload};
+use amalgam_cloud::transport::TransportConfig;
+use amalgam_cloud::{CloudJob, CloudServer, CloudService, RemoteCloudClient, TaskPayload};
 use amalgam_core::TrainConfig;
 use amalgam_models::lenet5;
 use amalgam_tensor::{parallel, Rng, Tensor};
@@ -58,6 +61,18 @@ fn tiny_job(seed: u64) -> CloudJob {
 struct Entry {
     name: &'static str,
     fields: Vec<(&'static str, f64)>,
+}
+
+/// Count of live threads whose name starts with `prefix`, from
+/// `/proc/self/task` (Linux; names kernel-truncated to 15 bytes).
+fn threads_with_prefix(prefix: &str) -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .filter_map(|e| std::fs::read_to_string(e.ok()?.path().join("comm")).ok())
+        .filter(|name| name.trim().starts_with(prefix))
+        .count()
 }
 
 fn main() {
@@ -167,6 +182,75 @@ fn main() {
         ));
     }
     coalescing.shutdown();
+
+    // Connection scale: 64 concurrent loopback sessions against the
+    // reactor transport. The per-submission latency is one job routed
+    // through a pooled session, and the thread gauge proves the transport
+    // runs on a fixed pool — O(io_threads), not O(connections).
+    const SESSIONS: usize = 64;
+    const IO_THREADS: usize = 2;
+    let service = CloudService::builder().workers(1).build();
+    let config = TransportConfig::default()
+        .io_threads(IO_THREADS)
+        .max_connections(SESSIONS + 8);
+    let server = CloudServer::bind_with(service, "127.0.0.1:0", config).expect("bind loopback");
+    let clients: Vec<RemoteCloudClient> = (0..SESSIONS)
+        .map(|i| {
+            RemoteCloudClient::connect(server.local_addr())
+                .unwrap_or_else(|e| panic!("connect session {i}: {e}"))
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.session_count() < SESSIONS {
+        assert!(
+            Instant::now() < deadline,
+            "only {}/{SESSIONS} sessions established",
+            server.session_count()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let per_conn_threads = threads_with_prefix("cloud-session");
+    let transport_threads = threads_with_prefix("cloud-acceptor")
+        + threads_with_prefix("cloud-reactor")
+        + per_conn_threads;
+    let wave_ms = time_ms(3, || {
+        let handles: Vec<_> = clients
+            .iter()
+            .map(|c| c.submit(&job).expect("scale submit"))
+            .collect();
+        for handle in handles {
+            let result = handle.wait().expect("scale job");
+            if result.trained_model != expected {
+                panic!("a pooled-session result diverged from uncached training");
+            }
+        }
+    });
+    entries.push(Entry {
+        name: "cloud_conn_scale",
+        fields: vec![
+            ("sessions", SESSIONS as f64),
+            ("per_submission_ms", wave_ms / SESSIONS as f64),
+            ("transport_threads", transport_threads as f64),
+            ("io_threads", IO_THREADS as f64),
+        ],
+    });
+    // With per-connection threads the transport side alone would be 2×64;
+    // the reactor pool must stay at acceptor + io_threads regardless.
+    if per_conn_threads != 0 {
+        failures.push(format!(
+            "{per_conn_threads} per-connection transport threads exist (want a fixed reactor pool)"
+        ));
+    }
+    if transport_threads > IO_THREADS + 1 {
+        failures.push(format!(
+            "transport runs {transport_threads} threads for {SESSIONS} connections \
+             (want ≤ acceptor + {IO_THREADS} reactors)"
+        ));
+    }
+    for client in clients {
+        client.close();
+    }
+    server.shutdown();
     parallel::set_threads(0);
 
     let mut json = String::from("{\n");

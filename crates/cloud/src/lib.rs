@@ -12,15 +12,17 @@
 //!
 //! Requests flow outside-in, responses inside-out. With the
 //! [`transport`] subsystem in front, the "wire" is a real TCP socket: a
-//! [`RemoteCloudClient`] frames jobs onto a multiplexed connection, and a
-//! [`CloudServer`] session feeds them into the same queue an in-process
-//! [`CloudClient`] uses — the middleware stack cannot tell the two apart.
+//! [`RemoteCloudClient`] frames jobs onto a multiplexed connection, a
+//! fixed pool of [`CloudServer`] reactor threads decodes every
+//! connection's frames (no thread per connection), and the jobs land in
+//! the same queue an in-process [`CloudClient`] uses — the middleware
+//! stack cannot tell the two apart.
 //!
 //! ```text
-//!   RemoteCloudClient::submit ──► TCP ──► CloudServer session      CloudClient::submit
+//!   RemoteCloudClient::submit ──► TCP ──► CloudServer reactor pool  CloudClient::submit
 //!   │ length-prefixed frames        │ handshake: version + API key       │ (in-process)
-//!   │ keep-alive pings              │ max in-flight per connection       │
-//!   │ request-id multiplexing       ▼                                    │
+//!   │ jittered keep-alive pings     │ epoll/poll, io_threads loops       │
+//!   │ request-id multiplexing       │ in-flight cap counts queued replies│
 //!   └─────────────► [per-session queues · DRR drain] ◄──────────────────┘
 //!                                               │ worker thread
 //!                                               │ payload: Bytes

@@ -35,6 +35,11 @@ pub struct ServiceMetrics {
     transport_bytes_received: AtomicU64,
     transport_bytes_sent: AtomicU64,
     rate_limited: AtomicU64,
+    // Reactor counters, written by the event-loop threads.
+    reactor_registered_fds: AtomicUsize,
+    reactor_wakeups: AtomicU64,
+    reactor_events: AtomicU64,
+    reactor_write_queue_bytes: AtomicUsize,
     // Dedup counters, written by the submit-path cache check.
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
@@ -87,6 +92,10 @@ impl ServiceMetrics {
             transport_bytes_received: AtomicU64::new(0),
             transport_bytes_sent: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
+            reactor_registered_fds: AtomicUsize::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            reactor_events: AtomicU64::new(0),
+            reactor_write_queue_bytes: AtomicUsize::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             sessions: Mutex::new(HashMap::new()),
@@ -217,11 +226,58 @@ impl ServiceMetrics {
             .fetch_add(wire_len as u64, Ordering::Relaxed);
     }
 
-    /// Transport path: one framed message was written out.
+    /// Transport path: one framed message was committed to a connection's
+    /// write queue. Counted at commit so a peer that has observed the
+    /// frame is guaranteed to find it counted; frames later discarded
+    /// unsent are rolled back via [`Self::frame_send_aborted`].
     pub(crate) fn frame_sent(&self, wire_len: usize) {
         self.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.transport_bytes_sent
             .fetch_add(wire_len as u64, Ordering::Relaxed);
+    }
+
+    /// Transport path: a committed frame was discarded before its bytes
+    /// fully reached the socket (broken sink).
+    pub(crate) fn frame_send_aborted(&self, wire_len: usize) {
+        self.frames_sent.fetch_sub(1, Ordering::Relaxed);
+        self.transport_bytes_sent
+            .fetch_sub(wire_len as u64, Ordering::Relaxed);
+    }
+
+    /// Reactor path: a socket was registered with an event loop's poller.
+    pub(crate) fn reactor_fd_registered(&self) {
+        self.reactor_registered_fds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reactor path: a socket left its event loop's poller.
+    pub(crate) fn reactor_fd_deregistered(&self) {
+        self.reactor_registered_fds.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Reactor path: a cross-thread wake-up interrupted (or preempted) a
+    /// poll — new connection, completed job, or shutdown. Coalesced wakes
+    /// count once.
+    pub(crate) fn reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reactor path: one poll returned `n` readiness events.
+    pub(crate) fn reactor_events(&self, n: usize) {
+        self.reactor_events.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Reactor path: `bytes` were queued on a connection's write queue
+    /// (the socket wasn't ready to take them synchronously).
+    pub(crate) fn write_queue_grew(&self, bytes: usize) {
+        self.reactor_write_queue_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Reactor path: `bytes` left a connection's write queue (flushed to
+    /// the socket, or discarded with a broken connection).
+    pub(crate) fn write_queue_shrank(&self, bytes: usize) {
+        self.reactor_write_queue_bytes
+            .fetch_sub(bytes, Ordering::Relaxed);
     }
 
     /// Submit path: counts the job and bumps the queue gauge, returning the
@@ -317,6 +373,10 @@ impl ServiceMetrics {
             transport_bytes_received: self.transport_bytes_received.load(Ordering::Relaxed),
             transport_bytes_sent: self.transport_bytes_sent.load(Ordering::Relaxed),
             jobs_rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            reactor_registered_fds: self.reactor_registered_fds.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_events: self.reactor_events.load(Ordering::Relaxed),
+            reactor_write_queue_bytes: self.reactor_write_queue_bytes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             sessions: {
@@ -406,6 +466,18 @@ pub struct ServiceStats {
     /// Jobs refused by the per-session rate limiter
     /// ([`crate::CloudError::RateLimited`]).
     pub jobs_rate_limited: u64,
+    /// Sockets currently registered with the transport's event-loop pollers
+    /// (connections plus one waker per I/O thread; 0 without a
+    /// [`crate::CloudServer`]).
+    pub reactor_registered_fds: usize,
+    /// Cross-thread wake-ups delivered to the event loops (new connections,
+    /// completed jobs, shutdown). Coalesced wakes count once.
+    pub reactor_wakeups: u64,
+    /// Readiness events the event loops have processed.
+    pub reactor_events: u64,
+    /// Bytes sitting in per-connection write queues right now (frames the
+    /// sockets weren't ready to take — the backpressure gauge).
+    pub reactor_write_queue_bytes: usize,
     /// Submissions answered straight from the result cache
     /// ([`crate::CloudServiceBuilder::result_cache`]) — counted in
     /// [`jobs_submitted`](Self::jobs_submitted), but they never occupied

@@ -33,11 +33,9 @@ use std::time::{Duration, Instant};
 pub(crate) enum ReplySink {
     /// One dedicated channel, consumed by a [`JobHandle`].
     Handle(Sender<Result<JobResult, CloudError>>),
-    /// A shared per-connection channel; `tag` is the wire request id.
-    Routed {
-        tag: u64,
-        tx: Sender<(u64, Result<JobResult, CloudError>)>,
-    },
+    /// A shared per-connection channel back to the owning reactor; `tag` is
+    /// the wire request id.
+    Routed { tag: u64, tx: RoutedSender },
     /// The executor of a deduplicated address: delivers to the primary
     /// sink *and* fans the outcome out to every coalesced waiter (see
     /// [`crate::cache`]).
@@ -50,11 +48,51 @@ impl ReplySink {
             ReplySink::Handle(tx) => {
                 let _ = tx.send(result);
             }
-            ReplySink::Routed { tag, tx } => {
-                let _ = tx.send((*tag, result));
-            }
+            ReplySink::Routed { tag, tx } => tx.send(*tag, result),
             ReplySink::Dedup(reply) => reply.resolve(result),
         }
+    }
+}
+
+/// The transport's multiplexed reply path: a per-connection completion
+/// channel plus a wake callback. Workers (and the dedup fan-out, and the
+/// shutdown drain) finish jobs on their own threads; the callback flags the
+/// owning connection as having replies pending and interrupts its reactor's
+/// poll, so completions are flushed promptly instead of waiting for socket
+/// activity.
+pub(crate) struct RoutedSender {
+    tx: Sender<(u64, Result<JobResult, CloudError>)>,
+    notify: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl Clone for RoutedSender {
+    fn clone(&self) -> RoutedSender {
+        RoutedSender {
+            tx: self.tx.clone(),
+            notify: Arc::clone(&self.notify),
+        }
+    }
+}
+
+impl std::fmt::Debug for RoutedSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutedSender").finish()
+    }
+}
+
+impl RoutedSender {
+    /// Couples a reply channel with the reactor wake-up that flushes it.
+    pub(crate) fn new(
+        tx: Sender<(u64, Result<JobResult, CloudError>)>,
+        notify: Arc<dyn Fn() + Send + Sync>,
+    ) -> RoutedSender {
+        RoutedSender { tx, notify }
+    }
+
+    /// Posts one completion and wakes the owning reactor.
+    pub(crate) fn send(&self, tag: u64, result: Result<JobResult, CloudError>) {
+        let _ = self.tx.send((tag, result));
+        (self.notify)();
     }
 }
 
@@ -300,7 +338,7 @@ impl CloudClient {
         &self,
         payload: Bytes,
         tag: u64,
-        replies: Sender<(u64, Result<JobResult, CloudError>)>,
+        replies: RoutedSender,
     ) -> Result<u64, CloudError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(CloudError::ServiceUnavailable);

@@ -143,7 +143,16 @@ impl RemoteCloudClient {
             last_write: Mutex::new(Instant::now()),
         });
         spawn_reader(Arc::downgrade(&shared), read_half, config.max_frame_len);
-        spawn_keepalive(Arc::downgrade(&shared), config.keepalive_interval);
+        let seed = shared
+            .writer
+            .lock()
+            .local_addr()
+            .map(|a| u64::from(a.port()))
+            .unwrap_or(0);
+        spawn_keepalive(
+            Arc::downgrade(&shared),
+            jittered_interval(config.keepalive_interval, seed),
+        );
         Ok(RemoteCloudClient { shared })
     }
 
@@ -264,6 +273,24 @@ fn spawn_reader(weak: Weak<ClientShared>, mut stream: TcpStream, max_frame_len: 
         .expect("spawn remote reader");
 }
 
+/// De-synchronizes keep-alives across a fleet of clients. A batch of
+/// connections created together (worker pools, scale-out restarts) would
+/// otherwise all go write-idle at the same moment and ping in the same
+/// tick — a periodic thundering herd on the server's reactors. Each
+/// connection instead pings at a deterministic point in
+/// `[0.75, 1.0] × interval`, keyed by its local port; the result is never
+/// *longer* than the configured interval, so a jittered client still
+/// outruns any server idle timeout the plain interval would.
+fn jittered_interval(interval: Duration, seed: u64) -> Duration {
+    // splitmix64 finalizer: a cheap, well-mixed hash of the seed.
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+    interval.mul_f64(0.75 + 0.25 * frac)
+}
+
 /// Pings whenever the connection has been write-idle for a full interval.
 fn spawn_keepalive(weak: Weak<ClientShared>, interval: Duration) {
     std::thread::Builder::new()
@@ -375,5 +402,34 @@ impl RemoteJobHandle {
             }
         }
         self.done.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keepalive_jitter_stays_within_band_and_spreads_out() {
+        let interval = Duration::from_secs(10);
+        let lo = interval.mul_f64(0.75);
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..2048u64 {
+            let j = jittered_interval(interval, seed);
+            assert!(j >= lo, "seed {seed}: {j:?} under the 0.75x floor");
+            assert!(j <= interval, "seed {seed}: {j:?} over the interval");
+            assert_eq!(
+                j,
+                jittered_interval(interval, seed),
+                "must be deterministic"
+            );
+            distinct.insert(j.as_nanos());
+        }
+        // Adjacent ports must not collapse onto the same phase.
+        assert!(
+            distinct.len() > 1024,
+            "only {} distinct phases",
+            distinct.len()
+        );
     }
 }

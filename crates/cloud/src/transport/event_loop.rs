@@ -1,0 +1,1149 @@
+//! The transport's event loops: each reactor thread owns a poller, a timer
+//! wheel and a set of connections, and drives every connection as an
+//! explicit state machine over nonblocking sockets.
+//!
+//! # Connection state machine
+//!
+//! ```text
+//!            accept (round-robin to a reactor)
+//!                      │
+//!                      ▼
+//!               ┌─────────────┐   bad opener / version / timeout
+//!               │ Handshaking │ ───────────────────────────┐
+//!               └──────┬──────┘  (Reject is flushed first  │
+//!                Hello ok │        where one is owed)      │
+//!                      ▼                                   │
+//!               ┌─────────────┐  Goodbye / EOF / idle /    │
+//!               │ Established │  violation / server stop   │
+//!               └──────┬──────┘ ───────────┐               │
+//!                      │                   ▼               │
+//!                      │            ┌──────────┐           │
+//!                      │            │ Draining │           │
+//!                      │            └────┬─────┘           │
+//!                      │   in-flight = 0 │ and queue       │
+//!                      │     flushed (or sink broken)      │
+//!                      ▼                 ▼                 ▼
+//!                  ┌──────────────────────────────────────────┐
+//!                  │                 Closed                   │
+//!                  └──────────────────────────────────────────┘
+//! ```
+//!
+//! A connection is owned by exactly one reactor thread, so its state needs
+//! no locks. Cross-thread signals — new connections from the acceptor,
+//! completed jobs from the workers, shutdown — go through each reactor's
+//! [`ReactorShared`] inbox/ready-list plus a [`reactor::Waker`].
+//!
+//! # Backpressure
+//!
+//! Writes never block: frames the socket won't take queue on the
+//! connection's [`WriteQueue`], write interest is registered, and the
+//! reactor flushes on writability. The per-connection in-flight cap counts
+//! replies from acceptance until their bytes are fully flushed, so a peer
+//! that stops reading stops being allowed to submit. A queue that makes no
+//! progress for [`TransportConfig::write_timeout`] marks the sink broken:
+//! the socket is torn down and remaining replies are drained without
+//! writing, so in-flight accounting still reaches zero and drain completes.
+
+use super::frame::{self, Frame, FrameDecoder};
+use super::server::ServerShared;
+use super::timer::{Fired, TimerKind, TimerWheel};
+use super::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use crate::metrics::ServiceMetrics;
+use crate::protocol::JobResult;
+use crate::service::{CloudClient, RoutedSender};
+use crate::CloudError;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use reactor::{Event, Interest, Poller, WakeReceiver, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Token reserved for the reactor's own wake pipe.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Timer wheel granularity. Deadlines fire within one tick of their due
+/// time, never early.
+const WHEEL_TICK: Duration = Duration::from_millis(5);
+
+/// Timer wheel slots (one revolution = `WHEEL_TICK * WHEEL_SLOTS`; longer
+/// deadlines lap).
+const WHEEL_SLOTS: usize = 512;
+
+/// The cross-thread face of one reactor: everything other threads may touch.
+#[derive(Debug)]
+pub(super) struct ReactorShared {
+    waker: Waker,
+    /// Connections accepted but not yet adopted by the reactor thread.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Tokens whose reply channel has pending completions.
+    ready_replies: Mutex<Vec<u64>>,
+}
+
+impl ReactorShared {
+    /// Hands an accepted connection to this reactor and wakes it.
+    pub(super) fn enqueue_conn(&self, stream: TcpStream, metrics: &ServiceMetrics) {
+        self.inbox.lock().push(stream);
+        if self.waker.wake() {
+            metrics.reactor_wakeup();
+        }
+    }
+
+    /// Wakes the reactor with nothing attached (shutdown kick).
+    pub(super) fn kick(&self, metrics: &ServiceMetrics) {
+        if self.waker.wake() {
+            metrics.reactor_wakeup();
+        }
+    }
+
+    /// Flags `token` as having completions to flush and wakes the reactor.
+    /// Called from worker threads via each connection's [`RoutedSender`].
+    fn notify_replies(&self, token: u64, metrics: &ServiceMetrics) {
+        let mut ready = self.ready_replies.lock();
+        if !ready.contains(&token) {
+            ready.push(token);
+        }
+        drop(ready);
+        if self.waker.wake() {
+            metrics.reactor_wakeup();
+        }
+    }
+}
+
+/// Spawns one reactor thread, returning its shared handle and join handle.
+pub(super) fn spawn_reactor(
+    index: usize,
+    shared: Arc<ServerShared>,
+    handle: Arc<ReactorShared>,
+    wake_rx: WakeReceiver,
+    mut poller: Poller,
+) -> std::thread::JoinHandle<()> {
+    poller
+        .register(wake_rx.fd(), WAKER_TOKEN, Interest::READABLE)
+        .expect("register reactor waker");
+    shared.metrics.reactor_fd_registered();
+    std::thread::Builder::new()
+        .name(format!("cloud-reactor-{index}"))
+        .spawn(move || {
+            Reactor {
+                shared,
+                handle,
+                poller,
+                wake_rx,
+                conns: HashMap::new(),
+                wheel: TimerWheel::new(WHEEL_TICK, WHEEL_SLOTS),
+                next_token: 0,
+                events: Vec::new(),
+                fired: Vec::new(),
+            }
+            .run()
+        })
+        .expect("spawn reactor")
+}
+
+/// The reactor-private half of one reactor's plumbing: the read end of
+/// its wake pipe and its poller.
+pub(super) type ReactorPrivate = (WakeReceiver, Poller);
+
+/// Builds the per-reactor shared handles plus the private halves the
+/// threads take with them.
+pub(super) fn make_reactor_parts(
+    n: usize,
+) -> std::io::Result<(Vec<Arc<ReactorShared>>, Vec<ReactorPrivate>)> {
+    let mut handles = Vec::with_capacity(n);
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (waker, wake_rx) = Waker::new()?;
+        let poller = Poller::new()?;
+        handles.push(Arc::new(ReactorShared {
+            waker,
+            inbox: Mutex::new(Vec::new()),
+            ready_replies: Mutex::new(Vec::new()),
+        }));
+        parts.push((wake_rx, poller));
+    }
+    Ok((handles, parts))
+}
+
+/// Lifecycle of one connection; see the module diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    Handshaking,
+    Established,
+    Draining,
+    Closed,
+}
+
+/// One connection's entire state, owned by its reactor thread.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    state: ConnState,
+    decoder: FrameDecoder,
+    writes: WriteQueue,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    replies_rx: Receiver<(u64, Result<JobResult, CloudError>)>,
+    routed: RoutedSender,
+    /// Session identity, present once the handshake succeeded.
+    session_client: Option<CloudClient>,
+    /// Submits accepted but whose reply bytes are not yet fully flushed
+    /// (or discarded). Queued replies count: a peer that stops reading
+    /// keeps its slots occupied.
+    in_flight: usize,
+    /// Still counted in [`ServerShared`]'s submitter gauge.
+    counts_submitter: bool,
+    /// `conn_opened` was recorded (so `conn_closed` is owed).
+    counts_session_open: bool,
+    /// A write failed or stalled out: never write again (the byte stream
+    /// may sit mid-frame), just drain accounting.
+    sink_broken: bool,
+    last_activity: Instant,
+    last_write_progress: Instant,
+    /// Generation of the currently-armed Idle timer (stale fires ignored).
+    idle_gen: u64,
+    /// Generation of the currently-armed WriteStall timer.
+    write_gen: u64,
+    write_timer_armed: bool,
+}
+
+/// How one flush attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushOutcome {
+    /// Queue fully flushed.
+    Drained,
+    /// Socket stopped taking bytes; write interest is needed.
+    Blocked,
+    /// Write error: the sink is gone.
+    Broken,
+}
+
+/// One queued chunk of outbound bytes. A frame is one chunk (control
+/// frames, error replies) or two (successful replies: prefixed head +
+/// uncopied result payload); the last chunk carries the frame accounting.
+struct Pending {
+    buf: Bytes,
+    pos: usize,
+    /// `(wire_len, is_reply)` on a frame's final chunk.
+    end_of_frame: Option<(usize, bool)>,
+}
+
+/// Per-connection outbound queue; only touched by the owning reactor.
+#[derive(Default)]
+struct WriteQueue {
+    q: VecDeque<Pending>,
+    /// Unflushed bytes across all chunks (mirrored into the service-wide
+    /// backpressure gauge).
+    bytes: usize,
+}
+
+impl WriteQueue {
+    fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    fn push(&mut self, buf: Bytes, end_of_frame: Option<(usize, bool)>, metrics: &ServiceMetrics) {
+        self.bytes += buf.len();
+        metrics.write_queue_grew(buf.len());
+        // The frame counters move at *commit* time, not flush time: once a
+        // frame is queued its delivery is ordered before any observer can
+        // see the peer react to it, so a client that received a reply is
+        // guaranteed to find it already counted in the server's stats.
+        // (Counting at flush races: on a busy box the completing write can
+        // wake the peer, which reads the stats before the writing thread
+        // gets to increment.) Frames discarded unsent are uncounted again.
+        if let Some((wire, _)) = end_of_frame {
+            metrics.frame_sent(wire);
+        }
+        self.q.push_back(Pending {
+            buf,
+            pos: 0,
+            end_of_frame,
+        });
+    }
+
+    /// Queues a whole frame as one prefixed chunk.
+    fn push_frame(&mut self, frame: &Frame, is_reply: bool, metrics: &ServiceMetrics) {
+        let body = frame.encode();
+        let mut v = Vec::with_capacity(4 + body.len());
+        v.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        v.extend_from_slice(&body);
+        let wire = v.len();
+        self.push(Bytes::from(v), Some((wire, is_reply)), metrics);
+    }
+
+    /// Queues a successful reply without copying the serialized result into
+    /// a frame-body buffer (the wire bytes match `Frame::Reply` exactly).
+    /// Returns `false` if the frame would overflow the u32 length prefix.
+    fn push_reply_ok(&mut self, request_id: u64, result: Bytes, metrics: &ServiceMetrics) -> bool {
+        let head = frame::reply_ok_head(request_id, result.len());
+        let total = head.len() + result.len();
+        if total > u32::MAX as usize {
+            return false;
+        }
+        let mut v = Vec::with_capacity(4 + head.len());
+        v.extend_from_slice(&(total as u32).to_le_bytes());
+        v.extend_from_slice(&head);
+        self.push(Bytes::from(v), None, metrics);
+        self.push(result, Some((4 + total, true)), metrics);
+        true
+    }
+
+    /// Writes as much as the socket will take. Returns completed reply
+    /// frames (their in-flight slots free up) and how the attempt ended.
+    fn flush(&mut self, stream: &mut TcpStream, metrics: &ServiceMetrics) -> (usize, FlushOutcome) {
+        let mut replies = 0;
+        loop {
+            let Some(front) = self.q.front_mut() else {
+                return (replies, FlushOutcome::Drained);
+            };
+            if front.pos < front.buf.len() {
+                match stream.write(&front.buf[front.pos..]) {
+                    Ok(0) => return (replies, FlushOutcome::Broken),
+                    Ok(n) => {
+                        front.pos += n;
+                        self.bytes -= n;
+                        metrics.write_queue_shrank(n);
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        return (replies, FlushOutcome::Blocked)
+                    }
+                    Err(_) => return (replies, FlushOutcome::Broken),
+                }
+            }
+            if front.pos == front.buf.len() {
+                if let Some((_, is_reply)) = front.end_of_frame {
+                    // Counted at push time; here only the in-flight slot is
+                    // released, which genuinely requires the bytes flushed.
+                    if is_reply {
+                        replies += 1;
+                    }
+                }
+                self.q.pop_front();
+            }
+        }
+    }
+
+    /// Drops everything (broken sink), returning how many queued reply
+    /// frames were discarded so their in-flight slots free up. Frames that
+    /// never fully flushed are uncounted from the sent totals.
+    fn discard(&mut self, metrics: &ServiceMetrics) -> usize {
+        let mut replies = 0;
+        for p in self.q.drain(..) {
+            if let Some((wire, is_reply)) = p.end_of_frame {
+                metrics.frame_send_aborted(wire);
+                if is_reply {
+                    replies += 1;
+                }
+            }
+        }
+        metrics.write_queue_shrank(self.bytes);
+        self.bytes = 0;
+        replies
+    }
+}
+
+/// One event-loop thread: poller + timer wheel + owned connections.
+struct Reactor {
+    shared: Arc<ServerShared>,
+    handle: Arc<ReactorShared>,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel,
+    next_token: u64,
+    /// Reused buffers for poll results and fired timers.
+    events: Vec<Event>,
+    fired: Vec<Fired>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        loop {
+            let timeout = self
+                .wheel
+                .next_deadline()
+                .map(|dl| dl.saturating_duration_since(Instant::now()));
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A broken poller would spin; back off and keep draining via
+                // wake-ups and timers.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.shared.metrics.reactor_events(events.len());
+            // Read stop *after* wait: the shutdown kick interrupts the wait,
+            // and this ordering guarantees the same iteration that drains
+            // the kick also observes the flag and applies it.
+            let stopped = self.shared.stop.load(Ordering::SeqCst);
+            for ev in &events {
+                if ev.token == WAKER_TOKEN {
+                    self.wake_rx.drain();
+                } else {
+                    self.handle_io(ev.token, ev.readable, ev.writable);
+                }
+            }
+            self.events = events;
+
+            self.adopt_new_conns(stopped);
+            self.flush_ready_replies();
+            if stopped {
+                self.apply_stop();
+            }
+
+            let mut fired = std::mem::take(&mut self.fired);
+            self.wheel.advance(Instant::now(), &mut fired);
+            for f in fired.drain(..) {
+                self.handle_timer(f);
+            }
+            self.fired = fired;
+
+            self.conns.retain(|_, c| c.state != ConnState::Closed);
+            if stopped && self.conns.is_empty() && self.handle.inbox.lock().is_empty() {
+                self.poller
+                    .deregister(self.wake_rx.fd())
+                    .expect("deregister reactor waker");
+                self.shared.metrics.reactor_fd_deregistered();
+                return;
+            }
+        }
+    }
+
+    /// Registers connections the acceptor handed over. Under stop, new
+    /// arrivals are closed immediately instead (the acceptor has already
+    /// quit; these raced the flag).
+    fn adopt_new_conns(&mut self, stopped: bool) {
+        let incoming = std::mem::take(&mut *self.handle.inbox.lock());
+        for stream in incoming {
+            if stopped {
+                self.shared.submitters_dec();
+                self.shared.release_conn(false);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                self.shared.submitters_dec();
+                self.shared.release_conn(false);
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .register(stream.as_raw_fd(), token, Interest::READABLE)
+                .is_err()
+            {
+                self.shared.submitters_dec();
+                self.shared.release_conn(false);
+                continue;
+            }
+            self.shared.metrics.reactor_fd_registered();
+            let (tx, rx) = unbounded();
+            let notify = {
+                let handle = Arc::clone(&self.handle);
+                let metrics = Arc::clone(&self.shared.metrics);
+                Arc::new(move || handle.notify_replies(token, &metrics))
+                    as Arc<dyn Fn() + Send + Sync>
+            };
+            let now = Instant::now();
+            let mut conn = Conn {
+                stream,
+                token,
+                state: ConnState::Handshaking,
+                decoder: FrameDecoder::new(),
+                writes: WriteQueue::default(),
+                interest: Interest::READABLE,
+                replies_rx: rx,
+                routed: RoutedSender::new(tx, notify),
+                session_client: None,
+                in_flight: 0,
+                counts_submitter: true,
+                counts_session_open: false,
+                sink_broken: false,
+                last_activity: now,
+                last_write_progress: now,
+                idle_gen: 0,
+                write_gen: 0,
+                write_timer_armed: false,
+            };
+            conn.idle_gen += 1;
+            self.wheel.insert(
+                now + self.shared.config.handshake_timeout,
+                token,
+                TimerKind::Idle,
+                conn.idle_gen,
+            );
+            self.conns.insert(token, conn);
+        }
+    }
+
+    /// Drains completion channels for every connection the workers flagged.
+    fn flush_ready_replies(&mut self) {
+        let tokens = std::mem::take(&mut *self.handle.ready_replies.lock());
+        for token in tokens {
+            let Reactor {
+                conns,
+                poller,
+                wheel,
+                shared,
+                ..
+            } = self;
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            pump_replies(conn, shared, poller, wheel);
+        }
+    }
+
+    /// Readiness for one connection's socket.
+    fn handle_io(&mut self, token: u64, readable: bool, writable: bool) {
+        let Reactor {
+            conns,
+            poller,
+            wheel,
+            shared,
+            ..
+        } = self;
+        let Some(conn) = conns.get_mut(&token) else {
+            return; // stale event for an already-closed token
+        };
+        if writable && conn.state != ConnState::Closed {
+            flush_writes(conn, shared, poller, wheel);
+        }
+        if readable && matches!(conn.state, ConnState::Handshaking | ConnState::Established) {
+            on_readable(conn, shared, poller, wheel);
+        }
+    }
+
+    /// Stop ordering: every connection that could still submit stops being
+    /// able to (handshakes die, established sessions drain), and only then
+    /// does the submitter gauge hit zero — which is what lets
+    /// `CloudServer::shutdown` drain the service knowing the reply set is
+    /// complete.
+    fn apply_stop(&mut self) {
+        let Reactor {
+            conns,
+            poller,
+            wheel,
+            shared,
+            ..
+        } = self;
+        for conn in conns.values_mut() {
+            match conn.state {
+                ConnState::Handshaking => close_conn(conn, shared, poller),
+                ConnState::Established => {
+                    enter_draining(conn, shared, poller, wheel);
+                }
+                ConnState::Draining | ConnState::Closed => {}
+            }
+        }
+    }
+
+    /// A deadline fired; stale generations and states that outgrew the
+    /// timer are ignored (lazy cancellation).
+    fn handle_timer(&mut self, f: Fired) {
+        let Reactor {
+            conns,
+            poller,
+            wheel,
+            shared,
+            ..
+        } = self;
+        let Some(conn) = conns.get_mut(&f.token) else {
+            return;
+        };
+        match f.kind {
+            TimerKind::Idle => {
+                if f.generation != conn.idle_gen {
+                    return;
+                }
+                let budget = match conn.state {
+                    ConnState::Handshaking => shared.config.handshake_timeout,
+                    ConnState::Established => shared.config.idle_timeout,
+                    // Draining ignores idleness: it lives until its replies
+                    // are settled (the write-stall timer bounds that).
+                    ConnState::Draining | ConnState::Closed => return,
+                };
+                let idle_for = conn.last_activity.elapsed();
+                if idle_for >= budget {
+                    match conn.state {
+                        // A silent opener is not a protocol offense — just
+                        // close (parity with the old transport).
+                        ConnState::Handshaking => close_conn(conn, shared, poller),
+                        _ => enter_draining(conn, shared, poller, wheel),
+                    }
+                } else {
+                    // Activity moved the deadline; re-arm lazily.
+                    wheel.insert(
+                        conn.last_activity + budget,
+                        conn.token,
+                        TimerKind::Idle,
+                        conn.idle_gen,
+                    );
+                }
+            }
+            TimerKind::WriteStall => {
+                if f.generation != conn.write_gen {
+                    return;
+                }
+                conn.write_timer_armed = false;
+                if conn.writes.is_empty() || conn.sink_broken || conn.state == ConnState::Closed {
+                    return;
+                }
+                if conn.last_write_progress.elapsed() >= shared.config.write_timeout {
+                    mark_sink_broken(conn, shared, poller, wheel);
+                } else {
+                    conn.write_timer_armed = true;
+                    conn.write_gen += 1;
+                    wheel.insert(
+                        conn.last_write_progress + shared.config.write_timeout,
+                        conn.token,
+                        TimerKind::WriteStall,
+                        conn.write_gen,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Reads everything the socket has, decoding and dispatching frames as they
+/// complete. Exits early if a frame (or error) moves the connection out of
+/// a reading state.
+fn on_readable(
+    conn: &mut Conn,
+    shared: &Arc<ServerShared>,
+    poller: &mut Poller,
+    wheel: &mut TimerWheel,
+) {
+    loop {
+        match conn.decoder.read_from(&mut conn.stream) {
+            Ok(0) => {
+                // EOF. Mid-frame bytes mean a truncated frame — under the
+                // handshake that counts as a rejected connection.
+                if conn.state == ConnState::Handshaking {
+                    if conn.decoder.buffered() > 0 {
+                        shared.metrics.conn_rejected();
+                    }
+                    close_conn(conn, shared, poller);
+                } else {
+                    enter_draining(conn, shared, poller, wheel);
+                }
+                return;
+            }
+            Ok(_) => {
+                conn.last_activity = Instant::now();
+                if !drain_frames(conn, shared, poller, wheel) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(_) => {
+                if conn.state == ConnState::Handshaking {
+                    shared.metrics.conn_rejected();
+                    close_conn(conn, shared, poller);
+                } else {
+                    enter_draining(conn, shared, poller, wheel);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Decodes buffered frames; returns `false` once the connection left a
+/// reading state (or errored out).
+fn drain_frames(
+    conn: &mut Conn,
+    shared: &Arc<ServerShared>,
+    poller: &mut Poller,
+    wheel: &mut TimerWheel,
+) -> bool {
+    loop {
+        if !matches!(conn.state, ConnState::Handshaking | ConnState::Established) {
+            return false;
+        }
+        match conn.decoder.next_frame(shared.config.max_frame_len) {
+            Ok(Some((frame, wire_len))) => {
+                shared.metrics.frame_received(wire_len);
+                handle_frame(conn, frame, shared, poller, wheel);
+            }
+            Ok(None) => return true,
+            // Oversized or malformed input. Before the handshake that is a
+            // rejected connection (close with no reply, like the old
+            // transport); afterwards it is a protocol violation that ends
+            // the session but still flushes owed replies.
+            Err(_) => {
+                if conn.state == ConnState::Handshaking {
+                    shared.metrics.conn_rejected();
+                    close_conn(conn, shared, poller);
+                } else {
+                    enter_draining(conn, shared, poller, wheel);
+                }
+                return false;
+            }
+        }
+    }
+}
+
+/// One decoded frame against the state machine.
+fn handle_frame(
+    conn: &mut Conn,
+    frame: Frame,
+    shared: &Arc<ServerShared>,
+    poller: &mut Poller,
+    wheel: &mut TimerWheel,
+) {
+    match (conn.state, frame) {
+        (
+            ConnState::Handshaking,
+            Frame::Hello {
+                min_version,
+                max_version,
+                api_key,
+            },
+        ) => {
+            let version = PROTOCOL_VERSION.min(max_version);
+            if version < MIN_PROTOCOL_VERSION.max(min_version) {
+                shared.metrics.conn_rejected();
+                conn.writes.push_frame(
+                    &Frame::Reject {
+                        reason: format!(
+                            "no common protocol version (server speaks \
+                             {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, \
+                             client {min_version}..={max_version})"
+                        ),
+                    },
+                    false,
+                    &shared.metrics,
+                );
+                enter_draining(conn, shared, poller, wheel);
+                return;
+            }
+            let auth: Option<Arc<str>> = api_key.map(|k| Arc::from(k.into_boxed_str()));
+            conn.writes.push_frame(
+                &Frame::Welcome {
+                    version,
+                    max_in_flight: shared.config.max_in_flight as u32,
+                    max_frame_len: shared.config.max_frame_len as u64,
+                },
+                false,
+                &shared.metrics,
+            );
+            shared.metrics.conn_opened();
+            conn.counts_session_open = true;
+            // One scheduling/rate-limiting identity for everything this
+            // connection submits: the handshake's key, or a fresh
+            // anonymous session.
+            conn.session_client = Some(shared.client.for_transport_session(auth));
+            conn.state = ConnState::Established;
+            // Swap the handshake deadline for the (usually longer, possibly
+            // shorter) idle deadline.
+            conn.idle_gen += 1;
+            wheel.insert(
+                conn.last_activity + shared.config.idle_timeout,
+                conn.token,
+                TimerKind::Idle,
+                conn.idle_gen,
+            );
+            flush_writes(conn, shared, poller, wheel);
+        }
+        (ConnState::Handshaking, _) => {
+            shared.metrics.conn_rejected();
+            conn.writes.push_frame(
+                &Frame::Reject {
+                    reason: "expected Hello".into(),
+                },
+                false,
+                &shared.metrics,
+            );
+            enter_draining(conn, shared, poller, wheel);
+        }
+        (
+            ConnState::Established,
+            Frame::Submit {
+                request_id,
+                payload,
+            },
+        ) => {
+            let session = conn
+                .session_client
+                .as_ref()
+                .expect("established connections have a session");
+            // The cap judges accepted-but-unflushed replies too: submits
+            // are shed while earlier replies sit in the write queue.
+            let in_flight_before = conn.in_flight;
+            conn.in_flight += 1;
+            if in_flight_before >= shared.config.max_in_flight {
+                shared.metrics.session_shed(session.session_key());
+                queue_reply(
+                    conn,
+                    request_id,
+                    Err(CloudError::Overloaded {
+                        queue_depth: in_flight_before,
+                        max_queue_depth: shared.config.max_in_flight,
+                    }),
+                    shared,
+                );
+            } else if let Err(e) = session.submit_routed(payload, request_id, conn.routed.clone()) {
+                queue_reply(conn, request_id, Err(e), shared);
+            }
+            flush_writes(conn, shared, poller, wheel);
+        }
+        (ConnState::Established, Frame::Ping { nonce }) => {
+            conn.writes
+                .push_frame(&Frame::Pong { nonce }, false, &shared.metrics);
+            flush_writes(conn, shared, poller, wheel);
+        }
+        (ConnState::Established, Frame::Goodbye) => {
+            enter_draining(conn, shared, poller, wheel);
+        }
+        // A second Hello or a server-side frame is a protocol violation:
+        // stop reading, settle what is owed, close.
+        (ConnState::Established, _) => {
+            enter_draining(conn, shared, poller, wheel);
+        }
+        // Draining/Closed never reach here (drain_frames gates on state).
+        (ConnState::Draining | ConnState::Closed, _) => {}
+    }
+}
+
+/// Serializes one reply onto the write queue (in-flight slot already held).
+fn queue_reply(
+    conn: &mut Conn,
+    request_id: u64,
+    mut result: Result<JobResult, CloudError>,
+    shared: &Arc<ServerShared>,
+) {
+    if conn.sink_broken {
+        conn.in_flight = conn.in_flight.saturating_sub(1);
+        return;
+    }
+    if let Ok(r) = &mut result {
+        // Parity with in-process handles: the result's id is the id the
+        // caller's handle carries (its wire request id), not the server
+        // pool's internal one.
+        r.job_id = request_id;
+        let bytes = r.to_bytes();
+        if !conn
+            .writes
+            .push_reply_ok(request_id, bytes, &shared.metrics)
+        {
+            // Un-encodable (>4 GiB) reply: the framing cannot carry it.
+            conn.sink_broken = true;
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+        }
+        return;
+    }
+    conn.writes
+        .push_frame(&Frame::Reply { request_id, result }, true, &shared.metrics);
+}
+
+/// Moves completions from the reply channel onto the wire.
+fn pump_replies(
+    conn: &mut Conn,
+    shared: &Arc<ServerShared>,
+    poller: &mut Poller,
+    wheel: &mut TimerWheel,
+) {
+    while let Ok((request_id, result)) = conn.replies_rx.try_recv() {
+        queue_reply(conn, request_id, result, shared);
+    }
+    flush_writes(conn, shared, poller, wheel);
+}
+
+/// Flushes the write queue, updates interest/timers, and completes a drain
+/// when everything owed has been settled.
+fn flush_writes(
+    conn: &mut Conn,
+    shared: &Arc<ServerShared>,
+    poller: &mut Poller,
+    wheel: &mut TimerWheel,
+) {
+    if conn.state == ConnState::Closed {
+        return;
+    }
+    if !conn.sink_broken && !conn.writes.is_empty() {
+        let bytes_before = conn.writes.bytes;
+        let (replies, outcome) = conn.writes.flush(&mut conn.stream, &shared.metrics);
+        conn.in_flight = conn.in_flight.saturating_sub(replies);
+        if conn.writes.bytes < bytes_before {
+            // Any bytes accepted count as progress for the stall timer;
+            // Blocked with zero bytes written does not.
+            conn.last_write_progress = Instant::now();
+        }
+        match outcome {
+            FlushOutcome::Drained => {}
+            FlushOutcome::Blocked => {
+                if !conn.write_timer_armed {
+                    conn.write_timer_armed = true;
+                    conn.write_gen += 1;
+                    wheel.insert(
+                        conn.last_write_progress + shared.config.write_timeout,
+                        conn.token,
+                        TimerKind::WriteStall,
+                        conn.write_gen,
+                    );
+                }
+            }
+            FlushOutcome::Broken => {
+                mark_sink_broken(conn, shared, poller, wheel);
+                return;
+            }
+        }
+    }
+    update_interest(conn, poller);
+    maybe_finish_drain(conn, shared, poller);
+}
+
+/// The socket can no longer be written: tear it down, discard queued bytes,
+/// and keep draining reply accounting without writing.
+fn mark_sink_broken(
+    conn: &mut Conn,
+    shared: &Arc<ServerShared>,
+    poller: &mut Poller,
+    wheel: &mut TimerWheel,
+) {
+    if conn.sink_broken {
+        return;
+    }
+    conn.sink_broken = true;
+    let discarded = conn.writes.discard(&shared.metrics);
+    conn.in_flight = conn.in_flight.saturating_sub(discarded);
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    if conn.state != ConnState::Draining {
+        enter_draining(conn, shared, poller, wheel);
+    } else {
+        maybe_finish_drain(conn, shared, poller);
+    }
+}
+
+/// Stops reading and submitting; the connection now exists only to settle
+/// its owed replies.
+fn enter_draining(
+    conn: &mut Conn,
+    shared: &Arc<ServerShared>,
+    poller: &mut Poller,
+    wheel: &mut TimerWheel,
+) {
+    if !matches!(conn.state, ConnState::Handshaking | ConnState::Established) {
+        return;
+    }
+    conn.state = ConnState::Draining;
+    if conn.counts_submitter {
+        conn.counts_submitter = false;
+        shared.submitters_dec();
+    }
+    let _ = conn.stream.shutdown(Shutdown::Read);
+    // Catch completions that were posted before this transition.
+    pump_replies(conn, shared, poller, wheel);
+}
+
+/// Draining completes when nothing is owed: no in-flight jobs and either a
+/// flushed queue or a broken sink.
+fn maybe_finish_drain(conn: &mut Conn, shared: &Arc<ServerShared>, poller: &mut Poller) {
+    if conn.state == ConnState::Draining
+        && conn.in_flight == 0
+        && (conn.writes.is_empty() || conn.sink_broken)
+    {
+        close_conn(conn, shared, poller);
+    }
+}
+
+/// Terminal: releases the fd, the session slot and the gauges.
+fn close_conn(conn: &mut Conn, shared: &Arc<ServerShared>, poller: &mut Poller) {
+    if conn.state == ConnState::Closed {
+        return;
+    }
+    conn.state = ConnState::Closed;
+    if poller.deregister(conn.stream.as_raw_fd()).is_ok() {
+        shared.metrics.reactor_fd_deregistered();
+    }
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    let discarded = conn.writes.discard(&shared.metrics);
+    conn.in_flight = conn.in_flight.saturating_sub(discarded);
+    if conn.counts_submitter {
+        conn.counts_submitter = false;
+        shared.submitters_dec();
+    }
+    shared.release_conn(conn.counts_session_open);
+    conn.counts_session_open = false;
+}
+
+/// Re-registers the socket when the wanted interest changed: reads while
+/// the state machine accepts frames, writes while bytes are queued.
+fn update_interest(conn: &mut Conn, poller: &mut Poller) {
+    if conn.state == ConnState::Closed {
+        return;
+    }
+    let want = Interest {
+        readable: matches!(conn.state, ConnState::Handshaking | ConnState::Established),
+        writable: !conn.writes.is_empty() && !conn.sink_broken,
+    };
+    if want != conn.interest
+        && poller
+            .reregister(conn.stream.as_raw_fd(), conn.token, want)
+            .is_ok()
+    {
+        conn.interest = want;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ServiceMetrics;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn write_queue_flushes_split_replies_bitwise_like_whole_frames() {
+        use amalgam_nn::metrics::History;
+        let metrics = ServiceMetrics::new();
+        let (mut server_side, mut client_side) = loopback_pair();
+        let result = JobResult {
+            job_id: 3,
+            trained_model: Bytes::from(vec![9u8; 1000]),
+            history: History::new(),
+            bytes_received: 1,
+            bytes_sent: 2,
+            train_seconds: 0.1,
+        };
+        let mut q = WriteQueue::default();
+        assert!(q.push_reply_ok(3, result.to_bytes(), &metrics));
+        loop {
+            let (_, outcome) = q.flush(&mut server_side, &metrics);
+            match outcome {
+                FlushOutcome::Drained => break,
+                FlushOutcome::Blocked => std::thread::sleep(Duration::from_millis(1)),
+                FlushOutcome::Broken => panic!("loopback write broke"),
+            }
+        }
+        assert_eq!(q.bytes, 0);
+
+        let mut expect = Vec::new();
+        frame::write_frame(
+            &mut expect,
+            &Frame::Reply {
+                request_id: 3,
+                result: Ok(result),
+            },
+        )
+        .unwrap();
+        let mut got = vec![0u8; expect.len()];
+        client_side.read_exact(&mut got).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn write_queue_survives_one_byte_at_a_time_sinks() {
+        // Stuttering sink: accepts one byte, then WouldBlocks, alternating —
+        // the slow-loris of the write side. Every boundary must be safe.
+        struct Stutter {
+            out: Vec<u8>,
+            ready: bool,
+        }
+        impl Write for Stutter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.ready {
+                    self.ready = false;
+                    self.out.push(buf[0]);
+                    Ok(1)
+                } else {
+                    self.ready = true;
+                    Err(std::io::Error::from(ErrorKind::WouldBlock))
+                }
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let metrics = ServiceMetrics::new();
+        let mut q = WriteQueue::default();
+        q.push_frame(&Frame::Pong { nonce: 7 }, false, &metrics);
+        q.push_frame(
+            &Frame::Reply {
+                request_id: 1,
+                result: Err(CloudError::ServiceUnavailable),
+            },
+            true,
+            &metrics,
+        );
+
+        let mut sink = Stutter {
+            out: Vec::new(),
+            ready: false,
+        };
+        let mut reply_frames = 0;
+        // Emulate flush() against a generic Write (flush() itself wants a
+        // TcpStream, so drive the queue's chunks directly).
+        while let Some(front) = q.q.front_mut() {
+            if front.pos < front.buf.len() {
+                match sink.write(&front.buf[front.pos..]) {
+                    Ok(n) => {
+                        front.pos += n;
+                        q.bytes -= n;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            if front.pos == front.buf.len() {
+                if matches!(front.end_of_frame, Some((_, true))) {
+                    reply_frames += 1;
+                }
+                q.q.pop_front();
+            }
+        }
+        assert_eq!(reply_frames, 1);
+        assert_eq!(q.bytes, 0);
+
+        let mut expect = Vec::new();
+        frame::write_frame(&mut expect, &Frame::Pong { nonce: 7 }).unwrap();
+        frame::write_frame(
+            &mut expect,
+            &Frame::Reply {
+                request_id: 1,
+                result: Err(CloudError::ServiceUnavailable),
+            },
+        )
+        .unwrap();
+        assert_eq!(sink.out, expect);
+    }
+
+    #[test]
+    fn discarding_a_queue_frees_reply_slots_and_the_gauge() {
+        let metrics = ServiceMetrics::new();
+        let mut q = WriteQueue::default();
+        q.push_frame(&Frame::Pong { nonce: 1 }, false, &metrics);
+        q.push_reply_ok(2, Bytes::from_static(b"not a real result"), &metrics);
+        q.push_frame(
+            &Frame::Reply {
+                request_id: 3,
+                result: Err(CloudError::ServiceUnavailable),
+            },
+            true,
+            &metrics,
+        );
+        assert!(metrics.snapshot().reactor_write_queue_bytes > 0);
+        let replies = q.discard(&metrics);
+        assert_eq!(replies, 2);
+        assert_eq!(metrics.snapshot().reactor_write_queue_bytes, 0);
+        assert!(q.is_empty());
+    }
+}

@@ -12,9 +12,6 @@ use amalgam_tensor::wire::{Reader, Writer};
 use amalgam_tensor::TensorError;
 use bytes::Bytes;
 use std::io::{ErrorKind, Read, Write};
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
 
 const TAG_HELLO: u8 = 1;
 const TAG_SUBMIT: u8 = 2;
@@ -347,106 +344,208 @@ pub(crate) fn read_frame_blocking(
     Ok(Some((Frame::decode(Bytes::from(body))?, 4 + len)))
 }
 
-/// Outcome of one resumable server-side read.
-pub(crate) enum ServerRead {
-    /// A whole frame arrived (with its wire length).
-    Frame(Frame, usize),
-    /// The peer closed the connection at a frame boundary.
-    Closed,
-    /// No bytes for longer than the idle timeout.
-    IdleTimeout,
-    /// The server is shutting down.
-    Stopped,
+/// One kernel read per readiness event asks for this much.
+const READ_CHUNK: usize = 64 * 1024;
+/// Scratch capacity a connection keeps once its buffer drains; a one-off
+/// oversized frame hands its memory back instead of pinning it forever.
+const RETAIN_CAP: usize = 256 * 1024;
+/// A `Submit` payload at least this big is handed out zero-copy: the whole
+/// scratch becomes the payload's backing [`Bytes`] and a fresh scratch
+/// takes over the undecoded tail. One read chunk is the break-even point:
+/// a frame this size spans multiple reads, so the tail left behind when it
+/// completes is at most one chunk and usually far less, while the copy
+/// avoided is the whole payload. Below it, copying the payload out is
+/// cheaper than retiring the scratch allocation.
+const SPLIT_THRESHOLD: usize = READ_CHUNK;
+
+/// Incremental frame decoder over a reusable per-connection scratch buffer.
+///
+/// The reactor's read path: every readiness event appends whatever bytes the
+/// kernel has ([`FrameDecoder::read_from`]) into one growable buffer, then
+/// drains complete frames with [`FrameDecoder::next_frame`]. Unlike the old
+/// blocking reader — which allocated a fresh zeroed `Vec` per inbound frame —
+/// the scratch is reused across frames: control frames (`Ping`, `Pong`,
+/// `Goodbye`) and `Submit` heads decode straight out of the buffer with no
+/// allocation. A small `Submit`'s payload is copied out (it has to outlive
+/// the buffer and cross a thread); a large one is handed out zero-copy by
+/// retiring the scratch into the payload's backing [`Bytes`]. Partial frames
+/// are fine at any byte offset; the decoder just waits for more input.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes before `start` are consumed; `start..end` is undecoded input.
+    start: usize,
+    end: usize,
 }
 
-/// Reads one frame from a stream whose read timeout is set to a short tick,
-/// so the loop can observe `stop` and the idle deadline between partial
-/// reads without losing frame sync.
-///
-/// # Errors
-///
-/// Same error surface as [`read_frame_blocking`].
-pub(crate) fn read_frame_resumable(
-    stream: &mut TcpStream,
-    max_frame_len: usize,
-    idle_timeout: Duration,
-    stop: &AtomicBool,
-) -> Result<ServerRead, CloudError> {
-    /// One tick-bounded read; the non-`Data` outcomes abort the frame.
-    enum Step {
-        Data(usize),
-        Eof,
-        Stopped,
-        Idle,
+impl FrameDecoder {
+    /// Creates an empty decoder (no scratch allocated until first input).
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
     }
-    fn tick_read(
-        stream: &mut TcpStream,
-        buf: &mut [u8],
-        stop: &AtomicBool,
-        idle_timeout: Duration,
-        last_byte: &Instant,
-    ) -> Result<Step, CloudError> {
-        match stream.read(buf) {
-            Ok(0) => Ok(Step::Eof),
-            Ok(n) => Ok(Step::Data(n)),
-            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(Step::Data(0)),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if stop.load(Ordering::SeqCst) {
-                    Ok(Step::Stopped)
-                } else if last_byte.elapsed() >= idle_timeout {
-                    Ok(Step::Idle)
-                } else {
-                    Ok(Step::Data(0))
+
+    /// Undecoded bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Appends raw bytes (test/bench entry point; the server reads straight
+    /// from the socket via [`FrameDecoder::read_from`]).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.make_room(bytes.len());
+        self.buf[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+    }
+
+    /// Performs one read from `r` into the scratch buffer.
+    ///
+    /// Returns `Ok(0)` on EOF. `WouldBlock` propagates to the caller (the
+    /// reactor re-arms read interest); `Interrupted` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's I/O errors.
+    pub fn read_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        self.make_room(READ_CHUNK);
+        loop {
+            match r.read(&mut self.buf[self.end..]) {
+                Ok(n) => {
+                    self.end += n;
+                    return Ok(n);
                 }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
             }
-            Err(e) => Err(CloudError::Transport(format!("read failed: {e}"))),
         }
     }
 
-    let mut last_byte = Instant::now();
-    let mut header = [0u8; 4];
-    let mut got = 0;
-    while got < header.len() {
-        match tick_read(stream, &mut header[got..], stop, idle_timeout, &last_byte)? {
-            Step::Data(0) => {}
-            Step::Data(n) => {
-                got += n;
-                last_byte = Instant::now();
-            }
-            Step::Eof if got == 0 => return Ok(ServerRead::Closed),
-            Step::Eof => {
-                return Err(CloudError::Transport("connection closed mid-frame".into()));
-            }
-            Step::Stopped => return Ok(ServerRead::Stopped),
-            Step::Idle => return Ok(ServerRead::IdleTimeout),
+    /// Ensures at least `spare` writable bytes after `end`, compacting the
+    /// consumed prefix first so the buffer only grows for genuinely large
+    /// frames.
+    fn make_room(&mut self, spare: usize) {
+        if self.buf.len() - self.end >= spare {
+            return;
+        }
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() - self.end < spare {
+            self.buf.resize(self.end + spare, 0);
         }
     }
-    let len = u32::from_le_bytes(header) as usize;
-    if len > max_frame_len {
-        return Err(CloudError::Transport(format!(
-            "frame length {len} exceeds cap {max_frame_len}"
-        )));
-    }
-    let mut body = vec![0u8; len];
-    let mut got = 0;
-    while got < len {
-        match tick_read(stream, &mut body[got..], stop, idle_timeout, &last_byte)? {
-            Step::Data(0) => {}
-            Step::Data(n) => {
-                got += n;
-                last_byte = Instant::now();
-            }
-            Step::Eof => {
-                return Err(CloudError::Transport("connection closed mid-frame".into()));
-            }
-            Step::Stopped => return Ok(ServerRead::Stopped),
-            Step::Idle => return Ok(ServerRead::IdleTimeout),
+
+    /// Pops the next complete frame, or `Ok(None)` if more bytes are needed.
+    ///
+    /// Returns the frame plus its wire length (prefix + body).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Transport`] for a length prefix over `max_frame_len`
+    /// (checked before buffering the body), [`CloudError::Decode`] for a
+    /// malformed body — both identical to the blocking reader's behavior.
+    pub fn next_frame(
+        &mut self,
+        max_frame_len: usize,
+    ) -> Result<Option<(Frame, usize)>, CloudError> {
+        let avail = self.end - self.start;
+        if avail < 4 {
+            return Ok(None);
         }
+        let len = u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        if len > max_frame_len {
+            return Err(CloudError::Transport(format!(
+                "frame length {len} exceeds cap {max_frame_len}"
+            )));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        if let Some(frame) = self.try_split_large_submit(len) {
+            return Ok(Some((frame, 4 + len)));
+        }
+        let body = &self.buf[self.start + 4..self.start + 4 + len];
+        let frame = decode_body(body);
+        self.start += 4 + len;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            if self.buf.len() > RETAIN_CAP {
+                self.buf.truncate(RETAIN_CAP);
+                self.buf.shrink_to_fit();
+            }
+        }
+        Ok(Some((frame?, 4 + len)))
     }
-    Ok(ServerRead::Frame(
-        Frame::decode(Bytes::from(body))?,
-        4 + len,
-    ))
+
+    /// Zero-copy fast path for the dominant inbound frame: a well-formed
+    /// `Submit` whose payload clears [`SPLIT_THRESHOLD`]. The scratch `Vec`
+    /// is converted (not copied) into the payload's backing [`Bytes`]; the
+    /// undecoded tail moves into a fresh scratch. Returns `None` — meaning
+    /// "decode normally" — for every other shape.
+    fn try_split_large_submit(&mut self, len: usize) -> Option<Frame> {
+        let body_start = self.start + 4;
+        let body = &self.buf[body_start..body_start + len];
+        if len < 13 + SPLIT_THRESHOLD || body[0] != TAG_SUBMIT {
+            return None;
+        }
+        let payload_len =
+            u32::from_le_bytes(body[9..13].try_into().expect("4-byte slice")) as usize;
+        if payload_len != len - 13 {
+            return None; // malformed: let the canonical decoder report it
+        }
+        let request_id = u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice"));
+        let frame_end = body_start + len;
+        let tail_len = self.end - frame_end;
+        let mut fresh = Vec::with_capacity(READ_CHUNK.max(tail_len));
+        fresh.extend_from_slice(&self.buf[frame_end..self.end]);
+        let retired = std::mem::replace(&mut self.buf, fresh);
+        let backing = Bytes::from(retired);
+        let payload = backing.slice(body_start + 13..frame_end);
+        self.start = 0;
+        self.end = tail_len;
+        Some(Frame::Submit {
+            request_id,
+            payload,
+        })
+    }
+}
+
+/// Decodes a frame body from a borrowed slice. The hot frames (`Submit`,
+/// `Ping`, `Pong`, `Goodbye`) parse in place with no intermediate body
+/// allocation; anything else — and any malformed hot frame — falls back to
+/// the canonical [`Frame::decode`], which also produces the canonical error.
+fn decode_body(body: &[u8]) -> Result<Frame, CloudError> {
+    match body.first() {
+        Some(&TAG_SUBMIT) if body.len() >= 13 => {
+            let payload_len =
+                u32::from_le_bytes(body[9..13].try_into().expect("4-byte slice")) as usize;
+            if body.len() - 13 == payload_len {
+                return Ok(Frame::Submit {
+                    request_id: u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice")),
+                    payload: Bytes::from(body[13..].to_vec()),
+                });
+            }
+        }
+        Some(&TAG_PING) if body.len() == 9 => {
+            return Ok(Frame::Ping {
+                nonce: u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice")),
+            });
+        }
+        Some(&TAG_PONG) if body.len() == 9 => {
+            return Ok(Frame::Pong {
+                nonce: u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice")),
+            });
+        }
+        Some(&TAG_GOODBYE) if body.len() == 1 => return Ok(Frame::Goodbye),
+        _ => {}
+    }
+    Frame::decode(Bytes::from(body.to_vec()))
 }
 
 #[cfg(test)]
@@ -635,5 +734,83 @@ mod tests {
             Frame::decode(Bytes::from(body)),
             Err(CloudError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn incremental_decoder_matches_blocking_reader_byte_at_a_time() {
+        let frames = vec![
+            Frame::Hello {
+                min_version: 1,
+                max_version: 1,
+                api_key: Some("k".into()),
+            },
+            Frame::Submit {
+                request_id: 3,
+                payload: Bytes::from_static(b"payload bytes"),
+            },
+            Frame::Ping { nonce: 11 },
+            Frame::Goodbye,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some((frame, _)) = dec.next_frame(1 << 20).unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_decoder_enforces_length_cap_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_le_bytes());
+        match dec.next_frame(1 << 20) {
+            Err(CloudError::Transport(msg)) => assert!(msg.contains("exceeds cap"), "{msg}"),
+            other => panic!("expected Transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_reads_from_stream_until_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Ping { nonce: 1 }).unwrap();
+        write_frame(&mut wire, &Frame::Pong { nonce: 1 }).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut dec = FrameDecoder::new();
+        let mut got = 0;
+        loop {
+            let n = dec.read_from(&mut cursor).unwrap();
+            while let Some((_, _)) = dec.next_frame(1 << 20).unwrap() {
+                got += 1;
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(got, 2);
+    }
+
+    #[test]
+    fn decoder_scratch_is_reused_and_shrinks_after_huge_frames() {
+        let mut dec = FrameDecoder::new();
+        // A frame bigger than the retain cap...
+        let big = Frame::Submit {
+            request_id: 1,
+            payload: Bytes::from(vec![7u8; RETAIN_CAP * 2]),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &big).unwrap();
+        dec.extend(&wire);
+        assert!(dec.next_frame(1 << 30).unwrap().is_some());
+        // ...must not pin its memory once drained.
+        assert!(dec.buf.len() <= RETAIN_CAP);
+        assert_eq!(dec.buffered(), 0);
     }
 }

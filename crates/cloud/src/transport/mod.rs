@@ -74,11 +74,13 @@
 //! [`RemoteJobHandle`] never hangs.
 
 mod client;
+mod event_loop;
 mod frame;
 mod server;
+mod timer;
 
 pub use client::{RemoteCloudClient, RemoteJobHandle};
-pub use frame::Frame;
+pub use frame::{Frame, FrameDecoder};
 pub use server::CloudServer;
 
 use std::time::Duration;
@@ -114,6 +116,10 @@ pub struct TransportConfig {
     pub write_timeout: Duration,
     /// The API key a [`RemoteCloudClient`] presents in its `Hello`.
     pub api_key: Option<String>,
+    /// Event-loop (reactor) threads the server runs; every connection is
+    /// owned by exactly one of them. `0` means auto: `min(cores, 4)`
+    /// (default).
+    pub io_threads: usize,
 }
 
 impl Default for TransportConfig {
@@ -127,6 +133,7 @@ impl Default for TransportConfig {
             handshake_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(10),
             api_key: None,
+            io_threads: 0,
         }
     }
 }
@@ -191,5 +198,25 @@ impl TransportConfig {
     pub fn api_key(mut self, key: impl Into<String>) -> TransportConfig {
         self.api_key = Some(key.into());
         self
+    }
+
+    /// Sets the number of server event-loop threads (`0` = auto:
+    /// `min(cores, 4)`).
+    #[must_use]
+    pub fn io_threads(mut self, n: usize) -> TransportConfig {
+        self.io_threads = n;
+        self
+    }
+
+    /// The configured [`io_threads`](Self::io_threads) with `0` resolved to
+    /// the auto default.
+    pub fn effective_io_threads(&self) -> usize {
+        if self.io_threads > 0 {
+            return self.io_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
     }
 }

@@ -1,43 +1,40 @@
-//! The TCP front of a [`CloudService`]: bounded acceptor, per-session
-//! reader/writer threads, and graceful drain on shutdown.
+//! The TCP front of a [`CloudService`]: bounded acceptor, a small pool of
+//! reactor (event-loop) threads, and graceful drain on shutdown.
 //!
-//! Each accepted connection is one *session*: the reader thread performs
-//! the handshake, then feeds framed [`Frame::Submit`]s into the service's
-//! shared job queue via the multiplexed reply path
-//! (`CloudClient::submit_routed`); the writer thread forwards completions —
-//! in whatever order the pool finishes them — back as [`Frame::Reply`]s.
-//! The middleware stack sees remote jobs exactly as it sees in-process
-//! ones, plus the session's API key and [`crate::SessionKey`] in the job
-//! context,
-//! so per-session rate limits and DRR fairness apply to remote traffic with
-//! no transport-specific code: a QoS rejection (`RateLimited`,
-//! `Overloaded`) is just an error outcome riding the same Reply frame,
-//! tallied against the session in [`ServiceStats::sessions`].
+//! Each accepted connection is one *session*, owned by exactly one reactor
+//! thread — there are no per-connection threads. The reactor decodes
+//! [`Frame::Submit`]s as their bytes arrive and feeds them into the
+//! service's shared job queue via the multiplexed reply path
+//! (`CloudClient::submit_routed`); completions — in whatever order the pool
+//! finishes them — wake the owning reactor, which frames them back as
+//! [`Frame::Reply`]s through the connection's write queue. The middleware
+//! stack sees remote jobs exactly as it sees in-process ones, plus the
+//! session's API key and [`crate::SessionKey`] in the job context, so
+//! per-session rate limits and DRR fairness apply to remote traffic with no
+//! transport-specific code: a QoS rejection (`RateLimited`, `Overloaded`)
+//! is just an error outcome riding the same Reply frame, tallied against
+//! the session in [`ServiceStats::sessions`].
 //!
-//! The transport's own per-connection in-flight cap is judged here (it is
-//! connection state, not payload state); its sheds are counted per session
-//! too.
+//! The transport's own per-connection in-flight cap is judged in the
+//! reactor (it is connection state, not payload state); its sheds are
+//! counted per session too, and queued-but-unflushed replies hold their
+//! in-flight slots so a peer that stops reading stops being allowed to
+//! submit. The connection state machine, write-queue backpressure and
+//! timer handling live in the sibling `event_loop` module.
 
-use super::frame::{self, read_frame_resumable, write_frame, Frame, ServerRead};
-use super::{TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use super::event_loop::{make_reactor_parts, spawn_reactor, ReactorShared};
+use super::frame::{write_frame, Frame};
+use super::TransportConfig;
 use crate::metrics::{ServiceMetrics, ServiceStats};
-use crate::protocol::JobResult;
 use crate::service::{CloudClient, CloudService};
-use crate::CloudError;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
-use parking_lot::Mutex;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Granularity at which blocked reads/writes re-check stop flags and idle
-/// deadlines.
-const TICK: Duration = Duration::from_millis(20);
-
-/// Write bound for pre-handshake refusals, where no session config has
-/// been negotiated yet (established sessions use
-/// [`TransportConfig::write_timeout`]).
+/// Write bound for pre-handshake refusals issued by the acceptor itself,
+/// where no session config has been negotiated yet (established sessions
+/// use [`TransportConfig::write_timeout`] via the reactor's stall timer).
 const REJECT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A [`CloudService`] behind a real TCP listener.
@@ -55,31 +52,42 @@ const REJECT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct CloudServer {
     shared: Arc<ServerShared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    reactors: Vec<std::thread::JoinHandle<()>>,
     service: Option<CloudService>,
     local_addr: SocketAddr,
 }
 
+/// State shared by the acceptor, the reactors and the shutdown path.
 #[derive(Debug)]
-struct ServerShared {
-    stop: AtomicBool,
-    config: TransportConfig,
-    client: CloudClient,
-    metrics: Arc<ServiceMetrics>,
-    conns: Mutex<Vec<ConnHandle>>,
-    /// Sessions whose reader may still submit jobs. Shutdown waits for this
-    /// to hit zero before draining the service, so no submission can race
-    /// past the drain and strand a request id.
-    readers_active: AtomicUsize,
-    /// Sessions counted against [`TransportConfig::max_connections`].
+pub(super) struct ServerShared {
+    pub(super) stop: AtomicBool,
+    pub(super) config: TransportConfig,
+    pub(super) client: CloudClient,
+    pub(super) metrics: Arc<ServiceMetrics>,
+    /// One handle per reactor thread; connections are dealt round-robin.
+    pub(super) reactors: Vec<Arc<ReactorShared>>,
+    /// Connections that may still submit jobs (handshaking or established).
+    /// Shutdown waits for this to hit zero before draining the service, so
+    /// no submission can race past the drain and strand a request id.
+    submitters: AtomicUsize,
+    /// Connections counted against [`TransportConfig::max_connections`].
     sessions: AtomicUsize,
 }
 
-#[derive(Debug)]
-struct ConnHandle {
-    /// Clone of the session's socket, kept so shutdown can unblock the
-    /// reader immediately instead of waiting out a tick.
-    stream: TcpStream,
-    thread: std::thread::JoinHandle<()>,
+impl ServerShared {
+    /// A connection left the states that can submit.
+    pub(super) fn submitters_dec(&self) {
+        self.submitters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Releases a connection's session slot; `session_open` says whether
+    /// its handshake succeeded (so a `conn_closed` is owed).
+    pub(super) fn release_conn(&self, session_open: bool) {
+        if session_open {
+            self.metrics.conn_closed();
+        }
+        self.sessions.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl CloudServer {
@@ -98,7 +106,7 @@ impl CloudServer {
     ///
     /// # Errors
     ///
-    /// Returns the listener's I/O error.
+    /// Returns the listener's (or reactor setup's) I/O error.
     pub fn bind_with(
         service: CloudService,
         addr: impl ToSocketAddrs,
@@ -107,15 +115,27 @@ impl CloudServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let io_threads = config.effective_io_threads();
+        let (handles, parts) = make_reactor_parts(io_threads)?;
         let shared = Arc::new(ServerShared {
             stop: AtomicBool::new(false),
             config,
             client: service.client(),
             metrics: service.metrics_arc(),
-            conns: Mutex::new(Vec::new()),
-            readers_active: AtomicUsize::new(0),
+            reactors: handles,
+            submitters: AtomicUsize::new(0),
             sessions: AtomicUsize::new(0),
         });
+        let mut reactors = Vec::with_capacity(io_threads);
+        for (i, (wake_rx, poller)) in parts.into_iter().enumerate() {
+            reactors.push(spawn_reactor(
+                i,
+                Arc::clone(&shared),
+                Arc::clone(&shared.reactors[i]),
+                wake_rx,
+                poller,
+            ));
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -126,6 +146,7 @@ impl CloudServer {
         Ok(CloudServer {
             shared,
             acceptor: Some(acceptor),
+            reactors,
             service: Some(service),
             local_addr,
         })
@@ -170,21 +191,23 @@ impl CloudServer {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // No new sessions; now unblock every reader mid-read. Readers stop
-        // submitting, but their sessions' writers keep forwarding replies.
-        let conns: Vec<ConnHandle> = std::mem::take(&mut *self.shared.conns.lock());
-        for conn in &conns {
-            let _ = conn.stream.shutdown(Shutdown::Read);
+        // No new connections; wake every reactor so it observes the stop
+        // flag, kills handshakes and moves established sessions to
+        // Draining — after which the submitter gauge can only fall.
+        for reactor in &self.shared.reactors {
+            reactor.kick(&self.shared.metrics);
         }
-        while self.shared.readers_active.load(Ordering::SeqCst) > 0 {
+        while self.shared.submitters.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
         // All submissions have happened; the service drain below therefore
         // answers every routed reply — completed jobs with results, jobs it
-        // never reached with ServiceUnavailable.
+        // never reached with ServiceUnavailable. Each answer wakes its
+        // owning reactor, which flushes it and closes the connection once
+        // nothing is owed; reactors exit when their last connection closes.
         service.shutdown();
-        for conn in conns {
-            let _ = conn.thread.join();
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
         }
     }
 }
@@ -196,42 +219,23 @@ impl Drop for CloudServer {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut next_reactor = 0usize;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // Reap sessions that already ended (their threads are done;
-                // dropping the handle just detaches a finished thread).
-                shared.conns.lock().retain(|c| !c.thread.is_finished());
-                let _ = stream.set_nonblocking(false);
                 if shared.sessions.load(Ordering::SeqCst) >= shared.config.max_connections {
                     shared.metrics.conn_rejected();
                     reject(stream, "server at connection capacity");
                     continue;
                 }
                 shared.sessions.fetch_add(1, Ordering::SeqCst);
-                shared.readers_active.fetch_add(1, Ordering::SeqCst);
-                let conn_stream = match stream.try_clone() {
-                    Ok(clone) => clone,
-                    Err(_) => {
-                        shared.sessions.fetch_sub(1, Ordering::SeqCst);
-                        shared.readers_active.fetch_sub(1, Ordering::SeqCst);
-                        continue;
-                    }
-                };
-                let thread = {
-                    let shared = Arc::clone(shared);
-                    std::thread::Builder::new()
-                        .name("cloud-session".into())
-                        .spawn(move || run_session(stream, &shared))
-                        .expect("spawn session")
-                };
-                shared.conns.lock().push(ConnHandle {
-                    stream: conn_stream,
-                    thread,
-                });
+                shared.submitters.fetch_add(1, Ordering::SeqCst);
+                shared.reactors[next_reactor % shared.reactors.len()]
+                    .enqueue_conn(stream, &shared.metrics);
+                next_reactor = next_reactor.wrapping_add(1);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5))
@@ -241,8 +245,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
-/// Best-effort pre-handshake refusal.
+/// Best-effort capacity refusal, written synchronously from the acceptor
+/// (the connection never reaches a reactor).
 fn reject(mut stream: TcpStream, reason: &str) {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
     let _ = write_frame(
         &mut stream,
@@ -250,249 +256,6 @@ fn reject(mut stream: TcpStream, reason: &str) {
             reason: reason.into(),
         },
     );
-}
-
-/// Decrements the reader gauge even if the session path unwinds.
-struct ReaderGuard<'a>(&'a ServerShared);
-
-impl Drop for ReaderGuard<'_> {
-    fn drop(&mut self) {
-        self.0.readers_active.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn run_session(mut stream: TcpStream, shared: &Arc<ServerShared>) {
-    let config = &shared.config;
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(TICK));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-
-    // ---- Handshake (still under the reader guard: shutdown must wait out
-    // a session that is about to start submitting).
-    let reader = ReaderGuard(shared);
-    let hello = match read_frame_resumable(
-        &mut stream,
-        config.max_frame_len,
-        config.handshake_timeout,
-        &shared.stop,
-    ) {
-        Ok(ServerRead::Frame(frame, wire_len)) => {
-            shared.metrics.frame_received(wire_len);
-            frame
-        }
-        // Malformed or oversized openers are rejections; a peer that just
-        // disconnects (port scan, health check) or a shutdown mid-handshake
-        // is not.
-        Err(_) => {
-            shared.metrics.conn_rejected();
-            shared.sessions.fetch_sub(1, Ordering::SeqCst);
-            return;
-        }
-        Ok(ServerRead::Closed | ServerRead::IdleTimeout | ServerRead::Stopped) => {
-            shared.sessions.fetch_sub(1, Ordering::SeqCst);
-            return;
-        }
-    };
-    let (auth, version): (Option<Arc<str>>, u32) = match hello {
-        Frame::Hello {
-            min_version,
-            max_version,
-            api_key,
-        } => {
-            let version = PROTOCOL_VERSION.min(max_version);
-            if version < MIN_PROTOCOL_VERSION.max(min_version) {
-                shared.metrics.conn_rejected();
-                shared.sessions.fetch_sub(1, Ordering::SeqCst);
-                let _ = write_frame(
-                    &mut stream,
-                    &Frame::Reject {
-                        reason: format!(
-                            "no common protocol version (server speaks \
-                             {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, \
-                             client {min_version}..={max_version})"
-                        ),
-                    },
-                );
-                return;
-            }
-            (api_key.map(|k| Arc::from(k.into_boxed_str())), version)
-        }
-        _ => {
-            shared.metrics.conn_rejected();
-            shared.sessions.fetch_sub(1, Ordering::SeqCst);
-            reject(stream, "expected Hello");
-            return;
-        }
-    };
-    let welcome = Frame::Welcome {
-        version,
-        max_in_flight: config.max_in_flight as u32,
-        max_frame_len: config.max_frame_len as u64,
-    };
-    match write_frame(&mut stream, &welcome) {
-        Ok(n) => shared.metrics.frame_sent(n),
-        Err(_) => {
-            shared.metrics.conn_rejected();
-            shared.sessions.fetch_sub(1, Ordering::SeqCst);
-            return;
-        }
-    }
-    shared.metrics.conn_opened();
-    // One scheduling/rate-limiting identity for everything this connection
-    // submits: the handshake's API key, or a fresh anonymous session.
-    let session_client = shared.client.for_transport_session(auth);
-
-    // ---- Session: reader (this thread) + writer thread, multiplexed over
-    // one shared reply channel keyed by request id.
-    let write_half = match stream.try_clone() {
-        Ok(clone) => Arc::new(Mutex::new(clone)),
-        Err(_) => {
-            shared.metrics.conn_closed();
-            shared.sessions.fetch_sub(1, Ordering::SeqCst);
-            return;
-        }
-    };
-    let (replies_tx, replies_rx) = unbounded::<(u64, Result<JobResult, CloudError>)>();
-    let in_flight = Arc::new(AtomicUsize::new(0));
-    let reader_done = Arc::new(AtomicBool::new(false));
-    let writer = {
-        let write_half = Arc::clone(&write_half);
-        let in_flight = Arc::clone(&in_flight);
-        let reader_done = Arc::clone(&reader_done);
-        let shared = Arc::clone(shared);
-        std::thread::Builder::new()
-            .name("cloud-session-writer".into())
-            .spawn(move || writer_loop(&write_half, &replies_rx, &in_flight, &reader_done, &shared))
-            .expect("spawn session writer")
-    };
-
-    // Malformed/oversized frames, disconnects, idle sessions and server
-    // shutdown all end the session (any non-`Frame` read outcome falls out
-    // of the loop); in-flight jobs still get their replies flushed by the
-    // writer afterwards.
-    while let Ok(ServerRead::Frame(frame, wire_len)) = read_frame_resumable(
-        &mut stream,
-        config.max_frame_len,
-        config.idle_timeout,
-        &shared.stop,
-    ) {
-        shared.metrics.frame_received(wire_len);
-        match frame {
-            Frame::Submit {
-                request_id,
-                payload,
-            } => {
-                let now_in_flight = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-                if now_in_flight > config.max_in_flight {
-                    // Refused submits flow through the same reply channel,
-                    // keeping the increment/decrement accounting 1:1, and
-                    // are tallied as sheds against this session.
-                    shared.metrics.session_shed(session_client.session_key());
-                    let _ = replies_tx.send((
-                        request_id,
-                        Err(CloudError::Overloaded {
-                            queue_depth: now_in_flight - 1,
-                            max_queue_depth: config.max_in_flight,
-                        }),
-                    ));
-                } else if let Err(e) =
-                    session_client.submit_routed(payload, request_id, replies_tx.clone())
-                {
-                    let _ = replies_tx.send((request_id, Err(e)));
-                }
-            }
-            Frame::Ping { nonce } => {
-                let mut w = write_half.lock();
-                match write_frame(&mut *w, &Frame::Pong { nonce }) {
-                    Ok(n) => shared.metrics.frame_sent(n),
-                    Err(_) => {
-                        // A failed (possibly partial) Pong leaves the byte
-                        // stream at an unknown offset — same hazard the
-                        // writer guards against. Kill the socket so the
-                        // writer's next write fails into its sink_broken
-                        // path instead of desyncing the framing, and stop
-                        // accepting submits.
-                        let _ = w.shutdown(Shutdown::Both);
-                        drop(w);
-                        break;
-                    }
-                }
-            }
-            Frame::Goodbye => break,
-            // A second Hello or a server-side frame is a protocol violation.
-            _ => break,
-        }
-    }
-    drop(reader); // shutdown may proceed: this session submits nothing more
-    drop(replies_tx);
-    reader_done.store(true, Ordering::SeqCst);
-    let _ = writer.join();
-    let _ = stream.shutdown(Shutdown::Both);
-    shared.metrics.conn_closed();
-    shared.sessions.fetch_sub(1, Ordering::SeqCst);
-}
-
-/// Forwards completions (in completion order, tagged by request id) until
-/// the reader is done *and* nothing is left in flight. Every accepted
-/// submit is eventually answered — by a worker, by the admission path, or
-/// by the service's shutdown drain — so this loop always terminates.
-fn writer_loop(
-    write_half: &Mutex<TcpStream>,
-    replies: &Receiver<(u64, Result<JobResult, CloudError>)>,
-    in_flight: &AtomicUsize,
-    reader_done: &AtomicBool,
-    shared: &ServerShared,
-) {
-    // Once one frame write fails (stalled peer, timed-out partial write)
-    // the byte stream can no longer be trusted to be at a frame boundary:
-    // writing anything more would desync the framing. Tear the socket down
-    // (which also stops the reader accepting submits) and keep draining
-    // replies without writing, so in-flight accounting still reaches zero.
-    let mut sink_broken = false;
-    loop {
-        match replies.recv_timeout(TICK) {
-            Ok((request_id, mut result)) => {
-                if let Ok(r) = &mut result {
-                    // Parity with in-process handles: the result's id is the
-                    // id the caller's handle carries (its wire request id),
-                    // not the server pool's internal one.
-                    r.job_id = request_id;
-                }
-                if !sink_broken {
-                    let written = match result {
-                        // The dominant frame is a trained model; split the
-                        // write so the result bytes go out without being
-                        // copied into a frame-body buffer first.
-                        Ok(r) => {
-                            let body = r.to_bytes();
-                            let head = frame::reply_ok_head(request_id, body.len());
-                            let mut w = write_half.lock();
-                            frame::write_split(&mut *w, &head, &body)
-                        }
-                        Err(_) => {
-                            let frame = Frame::Reply { request_id, result };
-                            let mut w = write_half.lock();
-                            write_frame(&mut *w, &frame)
-                        }
-                    };
-                    match written {
-                        Ok(n) => shared.metrics.frame_sent(n),
-                        Err(_) => {
-                            sink_broken = true;
-                            let _ = write_half.lock().shutdown(Shutdown::Both);
-                        }
-                    }
-                }
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if reader_done.load(Ordering::SeqCst) && in_flight.load(Ordering::SeqCst) == 0 {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
 }
 
 #[cfg(test)]

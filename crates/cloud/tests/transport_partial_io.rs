@@ -1,0 +1,271 @@
+//! Property tests of the *incremental* frame decoder under partial I/O:
+//! however a byte stream is sliced — one byte at a time, split at every
+//! offset, dribbled through a slow-loris reader — [`FrameDecoder`] must
+//! produce exactly the frames (and exactly the error) that decoding the
+//! whole buffer at once would.
+
+use amalgam_cloud::transport::{Frame, FrameDecoder};
+use amalgam_cloud::{CloudError, JobResult};
+use amalgam_nn::metrics::History;
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::io::{ErrorKind, Read};
+
+const CAP: usize = 1 << 20;
+
+/// Builds one of every client- and server-side frame kind from sampled raw
+/// material (mirrors the codec property tests).
+fn build_frame(kind: usize, a: u64, payload: Vec<u8>, text: String, ok: bool) -> Frame {
+    match kind % 6 {
+        0 => Frame::Hello {
+            min_version: a as u32,
+            max_version: (a >> 32) as u32,
+            api_key: if ok { Some(text) } else { None },
+        },
+        1 => Frame::Submit {
+            request_id: a,
+            payload: Bytes::from(payload),
+        },
+        2 => Frame::Ping { nonce: a },
+        3 => Frame::Reply {
+            request_id: a,
+            result: if ok {
+                Ok(JobResult {
+                    job_id: a,
+                    trained_model: Bytes::from(payload),
+                    history: History::new(),
+                    bytes_received: a as usize,
+                    bytes_sent: (a >> 8) as usize,
+                    train_seconds: (a % 1000) as f64 * 0.001,
+                })
+            } else {
+                Err(CloudError::Transport(text))
+            },
+        },
+        4 => Frame::Pong { nonce: a },
+        _ => Frame::Goodbye,
+    }
+}
+
+/// Length-prefixes `frames` into one contiguous wire image.
+fn wire_image(frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        let body = f.encode();
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+/// The oracle: whole-buffer decoding. Returns complete frames in order and
+/// the error that stops the stream, if any (trailing partial bytes are
+/// fine — a live connection always has an incomplete tail).
+fn reference_decode(buf: &[u8], cap: usize) -> (Vec<Frame>, Option<String>) {
+    let mut frames = Vec::new();
+    let mut rest = buf;
+    loop {
+        if rest.len() < 4 {
+            return (frames, None);
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > cap {
+            let e = CloudError::Transport(format!("frame length {len} exceeds cap {cap}"));
+            return (frames, Some(e.to_string()));
+        }
+        if rest.len() < 4 + len {
+            return (frames, None);
+        }
+        match Frame::decode(Bytes::from(rest[4..4 + len].to_vec())) {
+            Ok(f) => frames.push(f),
+            Err(e) => return (frames, Some(e.to_string())),
+        }
+        rest = &rest[4 + len..];
+    }
+}
+
+/// Feeds `buf` to a fresh decoder in chunks shaped by `chunks` (cycled; a
+/// zero-length chunk is skipped), draining complete frames after every
+/// chunk. Also checks the wire-length bookkeeping along the way.
+fn incremental_decode(buf: &[u8], chunks: &[usize], cap: usize) -> (Vec<Frame>, Option<String>) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut consumed_wire = 0usize;
+    let mut offset = 0usize;
+    let mut chunk_idx = 0usize;
+    while offset < buf.len() {
+        let step = if chunks.is_empty() {
+            1
+        } else {
+            chunks[chunk_idx % chunks.len()].max(1)
+        };
+        chunk_idx += 1;
+        let end = (offset + step).min(buf.len());
+        dec.extend(&buf[offset..end]);
+        offset = end;
+        loop {
+            match dec.next_frame(cap) {
+                Ok(Some((frame, wire_len))) => {
+                    consumed_wire += wire_len;
+                    frames.push(frame);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    assert!(consumed_wire <= buf.len());
+                    return (frames, Some(e.to_string()));
+                }
+            }
+        }
+    }
+    // Every input byte is either part of a completed frame (counted by the
+    // reported wire lengths) or still buffered as an incomplete tail.
+    assert_eq!(consumed_wire + dec.buffered(), buf.len());
+    (frames, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Well-formed frame streams survive arbitrary chunking, including the
+    /// degenerate one-byte-at-a-time schedule.
+    #[test]
+    fn chunked_decode_matches_whole_buffer_decode(
+        specs in proptest::collection::vec(
+            (0usize..6, any::<u64>(),
+             proptest::collection::vec(any::<u8>(), 0..96),
+             proptest::collection::vec(any::<u8>(), 0..12), any::<bool>()),
+            0..6),
+        chunks in proptest::collection::vec(1usize..64, 0..8),
+        trailing in proptest::collection::vec(any::<u8>(), 0..3),
+    ) {
+        let frames: Vec<Frame> = specs
+            .into_iter()
+            .map(|(k, a, p, t, ok)| {
+                let text = String::from_utf8_lossy(&t).into_owned();
+                build_frame(k, a, p, text, ok)
+            })
+            .collect();
+        let mut wire = wire_image(&frames);
+        // A live socket usually ends mid-frame; the tail must just buffer.
+        wire.extend_from_slice(&trailing);
+
+        let (reference, ref_err) = reference_decode(&wire, CAP);
+        prop_assert_eq!(ref_err, None);
+        prop_assert_eq!(&reference, &frames);
+
+        let (bytewise, err) = incremental_decode(&wire, &[1], CAP);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(&bytewise, &frames);
+
+        let (chunked, err) = incremental_decode(&wire, &chunks, CAP);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(&chunked, &frames);
+    }
+
+    /// Adversarial byte soup: the incremental decoder never panics and
+    /// agrees with the whole-buffer oracle on both the decoded prefix and
+    /// the terminating error.
+    #[test]
+    fn adversarial_streams_match_whole_buffer_semantics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        chunks in proptest::collection::vec(1usize..32, 0..6),
+        cap in prop_oneof![Just(64usize), Just(256usize), Just(CAP)],
+    ) {
+        let (reference, ref_err) = reference_decode(&bytes, cap);
+        let (got, err) = incremental_decode(&bytes, &chunks, cap);
+        // The incremental decoder must agree on everything up to (and
+        // including) the stream-ending error.
+        prop_assert_eq!(got, reference);
+        prop_assert_eq!(err, ref_err);
+    }
+
+    /// A valid stream split into exactly two reads at *every* offset.
+    #[test]
+    fn split_at_every_offset_is_seamless(
+        a in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let frames = vec![
+            Frame::Ping { nonce: a },
+            Frame::Submit { request_id: a, payload: Bytes::from(payload) },
+            Frame::Goodbye,
+        ];
+        let wire = wire_image(&frames);
+        for split in 0..=wire.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for part in [&wire[..split], &wire[split..]] {
+                dec.extend(part);
+                while let Some((frame, _)) = dec.next_frame(CAP).unwrap() {
+                    got.push(frame);
+                }
+            }
+            prop_assert_eq!(&got, &frames, "split at {}", split);
+            prop_assert_eq!(dec.buffered(), 0);
+        }
+    }
+}
+
+/// A reader that dribbles one byte per call and interleaves `WouldBlock`
+/// and `Interrupted` — the slow-loris peer as seen by a nonblocking socket.
+struct SlowLoris<'a> {
+    data: &'a [u8],
+    pos: usize,
+    step: u32,
+}
+
+impl Read for SlowLoris<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.step += 1;
+        match self.step % 4 {
+            1 => Err(std::io::Error::from(ErrorKind::WouldBlock)),
+            2 => Err(std::io::Error::from(ErrorKind::Interrupted)),
+            _ => {
+                if self.pos == self.data.len() {
+                    return Ok(0); // EOF
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+    }
+}
+
+#[test]
+fn slow_loris_reader_yields_every_frame_and_then_eof() {
+    let frames = vec![
+        Frame::Hello {
+            min_version: 1,
+            max_version: 1,
+            api_key: Some("key".into()),
+        },
+        Frame::Submit {
+            request_id: 42,
+            payload: Bytes::from(vec![7u8; 300]),
+        },
+        Frame::Goodbye,
+    ];
+    let wire = wire_image(&frames);
+    let mut reader = SlowLoris {
+        data: &wire,
+        pos: 0,
+        step: 0,
+    };
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    loop {
+        match dec.read_from(&mut reader) {
+            Ok(0) => break,
+            Ok(_) => {
+                while let Some((frame, _)) = dec.next_frame(CAP).unwrap() {
+                    got.push(frame);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
+            Err(e) => panic!("unexpected I/O error: {e}"),
+        }
+    }
+    assert_eq!(got, frames);
+    assert_eq!(dec.buffered(), 0);
+}

@@ -1,0 +1,668 @@
+//! A minimal readiness poller for nonblocking sockets.
+//!
+//! This is the vendored reactor shim used by `amalgam-cloud`'s event-driven
+//! transport. It exposes a deliberately tiny, `mio`-flavoured surface:
+//!
+//! - [`Poller`] — register file descriptors with a `u64` token and an
+//!   [`Interest`] (readable / writable), then [`Poller::wait`] for readiness
+//!   [`Event`]s. On Linux the backend is `epoll` (level-triggered); on other
+//!   Unix platforms it falls back to portable `poll(2)`.
+//! - [`Waker`] / [`WakeReceiver`] — a self-pipe built on a nonblocking
+//!   `UnixStream` pair so other threads can interrupt a blocked `wait`.
+//!   Wake-ups are coalesced: many `wake()` calls between two `drain()`s cost
+//!   at most one pipe write.
+//!
+//! The syscalls are declared directly with `extern "C"` (std already links
+//! libc), so the crate has zero dependencies and builds offline.
+//!
+//! Level-triggered semantics: an fd that is still readable/writable is
+//! reported again on every `wait`, so handlers may leave data unconsumed
+//! without deadlocking. Error/hang-up conditions are folded into the
+//! readable+writable flags so handlers discover them through ordinary
+//! `read`/`write` calls.
+
+#![cfg(unix)]
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which readiness conditions a registration cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd becomes readable (or hits error/hang-up).
+    pub readable: bool,
+    /// Report when the fd becomes writable (or hits error/hang-up).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event returned by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (or in an error/hang-up state).
+    pub readable: bool,
+    /// The fd is writable (or in an error/hang-up state).
+    pub writable: bool,
+}
+
+/// Readiness poller over a set of registered file descriptors.
+///
+/// Not `Sync`: each poller is owned by exactly one event-loop thread. Use a
+/// [`Waker`] to interrupt it from other threads.
+#[derive(Debug)]
+pub struct Poller {
+    backend: backend::Backend,
+}
+
+impl Poller {
+    /// Creates a new poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: backend::Backend::new()?,
+        })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// The fd must stay valid until [`Poller::deregister`]; tokens should be
+    /// unique per live registration (the poller does not check).
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.backend.register(fd, token, interest)
+    }
+
+    /// Changes the interest of an already-registered fd.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.backend.reregister(fd, token, interest)
+    }
+
+    /// Removes `fd` from the poller.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.backend.deregister(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout` elapses,
+    /// appending readiness events to `events` (which is cleared first).
+    ///
+    /// `None` blocks indefinitely; `Some(Duration::ZERO)` polls. Returns the
+    /// number of events delivered. Spurious wake-ups (zero events) are
+    /// possible and harmless.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        self.backend.wait(events, timeout)
+    }
+}
+
+/// Rounds a timeout up to whole milliseconds for `epoll_wait`/`poll`,
+/// saturating at `i32::MAX`. `None` means block forever (-1).
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let mut ms = d.as_millis();
+            if d.subsec_nanos() % 1_000_000 != 0 {
+                ms += 1; // round up so timers never fire early
+            }
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    //! `epoll` backend (level-triggered).
+
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    // On x86 the kernel ABI packs `struct epoll_event`; other architectures
+    // use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn interest_mask(interest: Interest) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Backend {
+        epfd: RawFd,
+        /// Scratch buffer handed to `epoll_wait`.
+        buf: Vec<EpollEvent>,
+    }
+
+    impl std::fmt::Debug for EpollEvent {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Copy out of the (possibly packed) struct before formatting.
+            let (events, data) = (self.events, self.data);
+            write!(f, "EpollEvent {{ events: {events:#x}, data: {data} }}")
+        }
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Backend {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_mask(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub(super) fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::READABLE)
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as c_int,
+                        timeout_ms(timeout),
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // EINTR: retry. Worst case a timer fires late by the time a
+                // signal took; the transport's timer wheel re-checks deadlines.
+            };
+            for raw in &self.buf[..n] {
+                let (mask, data) = (raw.events, raw.data);
+                let fail = mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.push(Event {
+                    token: data,
+                    readable: mask & EPOLLIN != 0 || fail,
+                    writable: mask & EPOLLOUT != 0 || fail,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    //! Portable `poll(2)` backend for non-Linux Unix platforms.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::os::raw::{c_int, c_short};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: c_int) -> c_int;
+    }
+
+    fn interest_mask(interest: Interest) -> c_short {
+        let mut mask = 0;
+        if interest.readable {
+            mask |= POLLIN;
+        }
+        if interest.writable {
+            mask |= POLLOUT;
+        }
+        mask
+    }
+
+    #[derive(Debug, Default)]
+    pub(super) struct Backend {
+        /// Parallel arrays: `fds[i]` is polled and reported as `tokens[i]`.
+        fds: Vec<PollFd>,
+        tokens: Vec<u64>,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            Ok(Backend::default())
+        }
+
+        fn position(&self, fd: RawFd) -> io::Result<usize> {
+            self.fds
+                .iter()
+                .position(|p| p.fd == fd)
+                .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            if self.position(fd).is_ok() {
+                return Err(io::Error::from(io::ErrorKind::AlreadyExists));
+            }
+            self.fds.push(PollFd {
+                fd,
+                events: interest_mask(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        pub(super) fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let i = self.position(fd)?;
+            self.fds[i].events = interest_mask(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let i = self.position(fd)?;
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            for p in &mut self.fds {
+                p.revents = 0;
+            }
+            loop {
+                let rc = unsafe {
+                    poll(
+                        self.fds.as_mut_ptr(),
+                        self.fds.len() as u32,
+                        timeout_ms(timeout),
+                    )
+                };
+                if rc >= 0 {
+                    break;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+            let mut n = 0;
+            for (p, &token) in self.fds.iter().zip(&self.tokens) {
+                let mask = p.revents;
+                if mask == 0 {
+                    continue;
+                }
+                let fail = mask & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                events.push(Event {
+                    token,
+                    readable: mask & POLLIN != 0 || fail,
+                    writable: mask & POLLOUT != 0 || fail,
+                });
+                n += 1;
+            }
+            Ok(n)
+        }
+    }
+}
+
+struct WakerShared {
+    /// Write half of the self-pipe. Writes are nonblocking; a full pipe is
+    /// fine (the reader is already due to wake).
+    pipe_w: UnixStream,
+    /// True while a wake byte is (or is about to be) in flight. Lets callers
+    /// coalesce: only the `false -> true` transition pays a syscall.
+    armed: AtomicBool,
+}
+
+/// Handle for interrupting a [`Poller::wait`] from other threads.
+///
+/// Cheaply cloneable; all clones share one self-pipe.
+#[derive(Clone)]
+pub struct Waker {
+    shared: Arc<WakerShared>,
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waker")
+            .field("armed", &self.shared.armed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// The poller-side half of a [`Waker`]: register its fd, then
+/// [`WakeReceiver::drain`] whenever it reports readable.
+pub struct WakeReceiver {
+    pipe_r: UnixStream,
+    shared: Arc<WakerShared>,
+}
+
+impl std::fmt::Debug for WakeReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakeReceiver").finish()
+    }
+}
+
+impl Waker {
+    /// Creates a connected waker / receiver pair.
+    pub fn new() -> io::Result<(Waker, WakeReceiver)> {
+        let (pipe_r, pipe_w) = UnixStream::pair()?;
+        pipe_r.set_nonblocking(true)?;
+        pipe_w.set_nonblocking(true)?;
+        let shared = Arc::new(WakerShared {
+            pipe_w,
+            armed: AtomicBool::new(false),
+        });
+        Ok((
+            Waker {
+                shared: shared.clone(),
+            },
+            WakeReceiver { pipe_r, shared },
+        ))
+    }
+
+    /// Wakes the poller. Returns `true` if this call actually wrote the wake
+    /// byte (i.e. the waker was not already armed) — useful for counting
+    /// distinct wake-ups.
+    pub fn wake(&self) -> bool {
+        if self.shared.armed.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        // One byte; WouldBlock means the pipe already holds unread wake
+        // bytes, which serves the same purpose.
+        let _ = (&self.shared.pipe_w).write(&[1u8]);
+        true
+    }
+}
+
+impl WakeReceiver {
+    /// The fd to register with the poller (readable interest).
+    pub fn fd(&self) -> RawFd {
+        self.pipe_r.as_raw_fd()
+    }
+
+    /// Consumes pending wake bytes and re-arms the waker.
+    ///
+    /// Disarm happens *before* the pipe read: a `wake()` racing with `drain`
+    /// either lands its byte in this read or leaves the pipe readable for the
+    /// next `wait`, so wake-ups are never lost.
+    pub fn drain(&mut self) {
+        self.shared.armed.store(false, Ordering::Release);
+        let mut buf = [0u8; 64];
+        while matches!(self.pipe_r.read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_after_peer_write() {
+        let (a, mut b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+
+        let mut events = Vec::new();
+        // Nothing yet: zero-timeout poll returns no events.
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty());
+
+        b.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn writable_reported_and_reregister_narrows() {
+        let (a, _b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(a.as_raw_fd(), 1, Interest::BOTH).unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // Drop write interest: an idle socket no longer reports.
+        poller
+            .reregister(a.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_reported_as_ready() {
+        let (a, b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 3, Interest::READABLE)
+            .unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(events[0].readable, "hang-up must surface as readable");
+    }
+
+    #[test]
+    fn waker_interrupts_wait_and_coalesces() {
+        let (waker, mut rx) = Waker::new().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(rx.fd(), u64::MAX, Interest::READABLE)
+            .unwrap();
+
+        assert!(waker.wake(), "first wake writes the byte");
+        assert!(!waker.wake(), "second wake is coalesced");
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, u64::MAX);
+
+        rx.drain();
+        // Drained + disarmed: wait times out quickly, and the next wake pays
+        // a write again.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(waker.wake());
+    }
+
+    #[test]
+    fn wake_from_another_thread() {
+        let (waker, mut rx) = Waker::new().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(rx.fd(), 0, Interest::READABLE).unwrap();
+
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        rx.drain();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn deregister_stops_events() {
+        let (a, mut b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(a.as_raw_fd(), 9, Interest::READABLE)
+            .unwrap();
+        b.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty());
+        poller.deregister(a.as_raw_fd()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}
