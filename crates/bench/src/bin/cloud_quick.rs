@@ -10,9 +10,11 @@
 //! `--check` turns the run into a pass/fail gate (used by CI): it fails if
 //! a cache hit is not ≥ 10x faster than cold dispatch of the same job, if
 //! a hit or coalesced wave executes the training pipeline more than once,
-//! if any served result diverges bitwise from an uncached run, or if the
+//! if any served result diverges bitwise from an uncached run, if the
 //! transport's thread count scales with the number of open connections
-//! (64 concurrent sessions must run on the fixed reactor pool alone).
+//! (64 concurrent sessions must run on the fixed reactor pool alone), or
+//! if killing one of three proxied backends mid-flight loses or corrupts
+//! a single accepted job (the `cloud_proxy_failover` entry).
 //!
 //! Like PR 3's kernel gates, everything is pinned to one worker and one
 //! tensor-pool thread: the criteria are per-core ratios, and CI runners
@@ -251,6 +253,99 @@ fn main() {
         client.close();
     }
     server.shutdown();
+
+    // Proxy failover: 3 single-worker backends behind fault injectors, a
+    // front door routing 4 tenant sessions, and the busiest backend killed
+    // the moment every submit is accepted. The gate is absolute: every
+    // accepted job must complete, bitwise identical to uncached training —
+    // a single lost or diverged job fails `--check`.
+    {
+        use amalgam_proxy::{AmalgamProxy, Fault, FaultInjector, HashRing, ProxyConfig};
+
+        const TENANTS: usize = 4;
+        const JOBS_PER_TENANT: u64 = 2;
+        let mut servers = Vec::new();
+        let mut injectors = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..3 {
+            let service = CloudService::builder().workers(1).build();
+            let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind backend");
+            let injector = FaultInjector::spawn(server.local_addr()).expect("spawn injector");
+            addrs.push(injector.addr().to_string());
+            servers.push(server);
+            injectors.push(injector);
+        }
+        let proxy =
+            AmalgamProxy::bind("127.0.0.1:0", &addrs, ProxyConfig::default()).expect("bind proxy");
+
+        let ring = HashRing::new(&addrs, 64);
+        let victim = (0..addrs.len())
+            .max_by_key(|&i| {
+                (0..TENANTS)
+                    .filter(|t| ring.route(&format!("tenant-{t}")) == addrs[i])
+                    .count()
+            })
+            .expect("non-empty fleet");
+
+        let clients: Vec<RemoteCloudClient> = (0..TENANTS)
+            .map(|t| {
+                let config = TransportConfig::default().api_key(format!("tenant-{t}"));
+                RemoteCloudClient::connect_with(proxy.addr(), config)
+                    .unwrap_or_else(|e| panic!("connect tenant {t} via proxy: {e}"))
+            })
+            .collect();
+        let start = Instant::now();
+        let handles: Vec<_> = clients
+            .iter()
+            .flat_map(|c| (0..JOBS_PER_TENANT).map(|_| c.submit(&job).expect("proxy submit")))
+            .collect();
+        injectors[victim].set_fault(Fault::Kill);
+        let mut lost = 0usize;
+        let mut diverged = 0usize;
+        for handle in handles {
+            match handle.wait() {
+                Ok(result) => {
+                    if result.trained_model != expected {
+                        diverged += 1;
+                    }
+                }
+                Err(_) => lost += 1,
+            }
+        }
+        let failover_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = proxy.stats();
+        entries.push(Entry {
+            name: "cloud_proxy_failover",
+            fields: vec![
+                ("jobs", (TENANTS as u64 * JOBS_PER_TENANT) as f64),
+                ("lost", lost as f64),
+                ("diverged", diverged as f64),
+                ("wall_ms", failover_ms),
+                ("failovers", stats.failovers as f64),
+                ("jobs_resubmitted", stats.jobs_resubmitted as f64),
+            ],
+        });
+        if lost > 0 {
+            failures.push(format!(
+                "killing one of three backends lost {lost} accepted job(s) (want 0)"
+            ));
+        }
+        if diverged > 0 {
+            failures.push(format!(
+                "{diverged} failed-over job(s) diverged from uncached training (want 0)"
+            ));
+        }
+        for client in clients {
+            client.close();
+        }
+        proxy.shutdown();
+        for injector in injectors {
+            injector.shutdown();
+        }
+        for server in servers {
+            server.shutdown();
+        }
+    }
     parallel::set_threads(0);
 
     let mut json = String::from("{\n");

@@ -127,7 +127,7 @@ pub mod transport;
 pub use builder::CloudServiceBuilder;
 pub use cache::{DedupLayer, ResultCache};
 pub use hash::ContentAddress;
-pub use metrics::{ServiceMetrics, ServiceStats, SessionStats};
+pub use metrics::{BackendHealth, BackendStats, ServiceMetrics, ServiceStats, SessionStats};
 pub use middleware::{
     AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, JobContext, JobService, MetricsLayer,
     ObserverLayer, PanicLayer, ServiceBuilder, SessionKey, ValidateLayer,
@@ -136,7 +136,9 @@ pub use observer::{CloudObserver, NullObserver, RecordingObserver};
 pub use protocol::{CloudJob, JobResult, TaskPayload};
 pub use ratelimit::{RateLimitLayer, TokenBucket};
 pub use service::{CloudClient, CloudService, JobHandle, TrainService};
-pub use transport::{CloudServer, RemoteCloudClient, RemoteJobHandle, TransportConfig};
+pub use transport::{
+    ClientStats, CloudServer, ReconnectPolicy, RemoteCloudClient, RemoteJobHandle, TransportConfig,
+};
 
 /// Errors crossing the simulated cloud boundary.
 #[derive(Debug, Clone, PartialEq)]

@@ -43,6 +43,13 @@ pub struct ServiceMetrics {
     // Dedup counters, written by the submit-path cache check.
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
+    // Self-healing counters, written by a routing tier (`amalgam-proxy`)
+    // sitting in front of backend servers — zero without one.
+    reconnects: AtomicU64,
+    jobs_resubmitted: AtomicU64,
+    failovers: AtomicU64,
+    // Per-backend health rows, keyed by the backend's dial address.
+    backends: Mutex<HashMap<String, BackendCounters>>,
     // QoS counters per session. Keyed by the SessionKey itself (cheap
     // clones: a u64 or an Arc<str>) — display names are only rendered at
     // snapshot time, off the per-job hot path.
@@ -53,6 +60,43 @@ pub struct ServiceMetrics {
 /// (empty queue), bounding the table against anonymous-connection churn.
 /// Aggregate [`ServiceStats`] counters are unaffected by eviction.
 const MAX_SESSION_ROWS: usize = 4096;
+
+/// A circuit breaker's reported position for one backend, as surfaced in
+/// [`BackendStats`]. The state machine itself lives in the routing tier
+/// (`amalgam-proxy`); this is its observable shadow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendHealth {
+    /// Traffic flows; failures are being counted.
+    #[default]
+    Closed,
+    /// Ejected: no session traffic, only cooldown-gated probes.
+    Open,
+    /// Probation: probes decide between readmission and re-ejection.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BackendHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendHealth::Closed => write!(f, "closed"),
+            BackendHealth::Open => write!(f, "open"),
+            BackendHealth::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Mutable per-backend tallies behind the backends mutex.
+#[derive(Debug, Default, Clone)]
+struct BackendCounters {
+    health: BackendHealth,
+    sessions_routed: u64,
+    ejections: u64,
+    readmissions: u64,
+    probes_ok: u64,
+    probes_failed: u64,
+    failovers: u64,
+    jobs_resubmitted: u64,
+}
 
 /// Mutable per-session tallies behind the sessions mutex.
 #[derive(Debug, Default, Clone)]
@@ -98,6 +142,10 @@ impl ServiceMetrics {
             reactor_write_queue_bytes: AtomicUsize::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            jobs_resubmitted: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            backends: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
         }
     }
@@ -202,25 +250,25 @@ impl ServiceMetrics {
     }
 
     /// Transport path: a connection completed its handshake.
-    pub(crate) fn conn_opened(&self) {
+    pub fn conn_opened(&self) {
         self.connections_accepted.fetch_add(1, Ordering::Relaxed);
         self.connections_active.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Transport path: an accepted connection ended (any reason).
-    pub(crate) fn conn_closed(&self) {
+    pub fn conn_closed(&self) {
         self.connections_active.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Transport path: a connection was refused (capacity, handshake or
     /// version/auth failure before a session was established).
-    pub(crate) fn conn_rejected(&self) {
+    pub fn conn_rejected(&self) {
         self.connections_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Transport path: one framed message arrived (`wire_len` includes the
     /// length prefix).
-    pub(crate) fn frame_received(&self, wire_len: usize) {
+    pub fn frame_received(&self, wire_len: usize) {
         self.frames_received.fetch_add(1, Ordering::Relaxed);
         self.transport_bytes_received
             .fetch_add(wire_len as u64, Ordering::Relaxed);
@@ -229,8 +277,8 @@ impl ServiceMetrics {
     /// Transport path: one framed message was committed to a connection's
     /// write queue. Counted at commit so a peer that has observed the
     /// frame is guaranteed to find it counted; frames later discarded
-    /// unsent are rolled back via [`Self::frame_send_aborted`].
-    pub(crate) fn frame_sent(&self, wire_len: usize) {
+    /// unsent are rolled back via `frame_send_aborted`.
+    pub fn frame_sent(&self, wire_len: usize) {
         self.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.transport_bytes_sent
             .fetch_add(wire_len as u64, Ordering::Relaxed);
@@ -339,6 +387,79 @@ impl ServiceMetrics {
         }
     }
 
+    /// Runs `f` on a backend's counters, creating the row on first use.
+    /// Rows are bounded by the fleet size a router is configured with, so
+    /// no eviction is needed.
+    fn with_backend(&self, addr: &str, f: impl FnOnce(&mut BackendCounters)) {
+        let mut backends = self.backends.lock();
+        f(backends.entry(addr.to_string()).or_default())
+    }
+
+    /// Routing tier: declares a backend so its row exists (healthy, all
+    /// zeros) before any traffic or incident touches it.
+    pub fn backend_registered(&self, addr: &str) {
+        self.with_backend(addr, |_| {});
+    }
+
+    /// Routing tier: the backend's circuit breaker moved to `health`
+    /// (probation entry/exit; ejections and readmissions have their own
+    /// recorders which also set it).
+    pub fn backend_health(&self, addr: &str, health: BackendHealth) {
+        self.with_backend(addr, |b| b.health = health);
+    }
+
+    /// Routing tier: the breaker opened — the backend is ejected from
+    /// routing.
+    pub fn backend_ejected(&self, addr: &str) {
+        self.with_backend(addr, |b| {
+            b.health = BackendHealth::Open;
+            b.ejections += 1;
+        });
+    }
+
+    /// Routing tier: the breaker closed again — the backend is readmitted.
+    pub fn backend_readmitted(&self, addr: &str) {
+        self.with_backend(addr, |b| {
+            b.health = BackendHealth::Closed;
+            b.readmissions += 1;
+        });
+    }
+
+    /// Routing tier: one health probe finished.
+    pub fn backend_probe(&self, addr: &str, ok: bool) {
+        self.with_backend(addr, |b| {
+            if ok {
+                b.probes_ok += 1;
+            } else {
+                b.probes_failed += 1;
+            }
+        });
+    }
+
+    /// Routing tier: a session was routed (or failed over) to this
+    /// backend.
+    pub fn backend_session_routed(&self, addr: &str) {
+        self.with_backend(addr, |b| b.sessions_routed += 1);
+    }
+
+    /// Routing tier: a live session abandoned this backend mid-flight.
+    pub fn backend_failover(&self, addr: &str) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        self.with_backend(addr, |b| b.failovers += 1);
+    }
+
+    /// Routing tier: `n` in-flight jobs were replayed onto this backend
+    /// after a failover (content-addressed, so replays dedup server-side).
+    pub fn backend_jobs_resubmitted(&self, addr: &str, n: u64) {
+        self.jobs_resubmitted.fetch_add(n, Ordering::Relaxed);
+        self.with_backend(addr, |b| b.jobs_resubmitted += n);
+    }
+
+    /// Routing tier or client: a lost link was re-established.
+    pub fn reconnect_established(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter plus derived rates.
     pub fn snapshot(&self) -> ServiceStats {
         let completed = self.completed.load(Ordering::Relaxed);
@@ -379,6 +500,29 @@ impl ServiceMetrics {
             reactor_write_queue_bytes: self.reactor_write_queue_bytes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            jobs_resubmitted: self.jobs_resubmitted.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            backends: {
+                let mut rows: Vec<BackendStats> = self
+                    .backends
+                    .lock()
+                    .iter()
+                    .map(|(addr, b)| BackendStats {
+                        addr: addr.clone(),
+                        health: b.health,
+                        sessions_routed: b.sessions_routed,
+                        ejections: b.ejections,
+                        readmissions: b.readmissions,
+                        probes_ok: b.probes_ok,
+                        probes_failed: b.probes_failed,
+                        failovers: b.failovers,
+                        jobs_resubmitted: b.jobs_resubmitted,
+                    })
+                    .collect();
+                rows.sort_by(|a, b| a.addr.cmp(&b.addr));
+                rows
+            },
             sessions: {
                 let mut rows: Vec<SessionStats> = self
                     .sessions
@@ -487,9 +631,46 @@ pub struct ServiceStats {
     /// Submissions that attached as waiters to an identical in-flight job
     /// and were answered by its one execution.
     pub coalesced: u64,
+    /// Lost links re-established by a self-healing component (a routing
+    /// tier's backend redials; 0 without one in front).
+    pub reconnects: u64,
+    /// In-flight jobs replayed after a reconnect or failover. Replays are
+    /// content-addressed, so they dedup instead of training twice.
+    pub jobs_resubmitted: u64,
+    /// Live sessions that abandoned a dying backend mid-flight.
+    pub failovers: u64,
+    /// Per-backend health rows (breaker state, ejections/readmissions,
+    /// probe tallies), sorted by address; populated by a routing tier
+    /// (`amalgam-proxy`), empty otherwise.
+    pub backends: Vec<BackendStats>,
     /// Per-session QoS rows (queue depth, dispatch/shed tallies), sorted by
     /// session name; every session that ever submitted has a row.
     pub sessions: Vec<SessionStats>,
+}
+
+/// One backend's slice of a routing tier's telemetry: where its circuit
+/// breaker stands and how often it has been ejected, probed, readmitted,
+/// and failed away from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendStats {
+    /// The backend's dial address.
+    pub addr: String,
+    /// Current circuit-breaker position.
+    pub health: BackendHealth,
+    /// Sessions ever routed (or failed over) to this backend.
+    pub sessions_routed: u64,
+    /// Times the breaker opened (closed/half-open → open).
+    pub ejections: u64,
+    /// Times the breaker closed again after probation.
+    pub readmissions: u64,
+    /// Health probes that succeeded.
+    pub probes_ok: u64,
+    /// Health probes that failed.
+    pub probes_failed: u64,
+    /// Live sessions that abandoned this backend mid-flight.
+    pub failovers: u64,
+    /// In-flight jobs replayed onto this backend after failovers.
+    pub jobs_resubmitted: u64,
 }
 
 /// One session's slice of the service telemetry.

@@ -8,16 +8,33 @@
 //! [`RemoteJobHandle`]. A keep-alive thread pings whenever the connection
 //! has been quiet, so the server's idle timeout only ends sessions whose
 //! client is actually gone.
+//!
+//! # Self-healing mode
+//!
+//! With [`TransportConfig::reconnect`] set, a lost connection no longer
+//! fails the session. The connection lives in a *slot* guarded by a
+//! generation counter; when a reader, writer or keep-alive observes the
+//! link die, a supervisor thread empties the slot, re-dials with
+//! [`super::DecorrelatedJitter`] backoff, re-handshakes, and resubmits
+//! every pending job verbatim — same request id, same payload bytes.
+//! Resubmission is safe because jobs are content-addressed: a replay of an
+//! already-executing job coalesces server-side instead of training twice,
+//! and seeded training makes any re-execution bitwise identical. Replies
+//! carrying [`CloudError::RateLimited`] are not surfaced either: the job
+//! is rescheduled through a [`super::RetryQueue`] at the server's
+//! `retry_after` — never earlier — until its resubmission budget runs out.
 
 use super::frame::{self, read_frame_blocking, write_frame, Frame};
-use super::{TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use super::{
+    ClientStats, ReconnectPolicy, TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 use crate::protocol::{CloudJob, JobResult};
 use crate::CloudError;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -29,38 +46,170 @@ pub struct RemoteCloudClient {
     shared: Arc<ClientShared>,
 }
 
+/// One live, handshaken connection. Replaceable in reconnect mode: the
+/// generation stamps every thread reading from it, so a stale reader's
+/// death notice cannot tear down its successor.
 #[derive(Debug)]
-struct ClientShared {
+struct Conn {
     /// Write half; every frame is written whole under this lock.
     writer: Mutex<TcpStream>,
-    /// In-flight request ids → the channel their reply is routed to.
-    pending: Mutex<HashMap<u64, Sender<Result<JobResult, CloudError>>>>,
-    next_request: AtomicU64,
-    closed: AtomicBool,
+    last_write: Mutex<Instant>,
+    generation: u64,
     /// The server's advertised frame cap: oversized submits are refused
     /// locally instead of poisoning the shared connection.
-    server_max_frame_len: usize,
-    /// Negotiated protocol version.
+    max_frame_len: usize,
+}
+
+/// One unanswered job: where its reply goes, plus everything needed to
+/// submit it again after a reconnect or a scheduled retry.
+#[derive(Debug)]
+struct PendingJob {
+    tx: Sender<Result<JobResult, CloudError>>,
+    payload: Bytes,
+    /// Automatic resubmissions left before errors surface to the handle.
+    resubmits_left: u32,
+    /// While `Some`, a scheduled retry owns this job: it must not be
+    /// rewritten before this instant (the `retry_after` contract), and the
+    /// reconnect path leaves it to the retry schedule.
+    not_before: Option<Instant>,
+}
+
+/// What link maintenance tells the supervisor thread.
+#[derive(Debug)]
+enum SupervisorMsg {
+    /// The connection of this generation died; redial and resubmit.
+    LinkDown { generation: u64 },
+    /// Resubmit job `id` at `at` (a `retry_after` or error backoff).
+    RetryAt { id: u64, at: Instant },
+}
+
+#[derive(Debug)]
+struct ClientShared {
+    config: TransportConfig,
+    /// Resolved dial targets, kept for re-dials.
+    addrs: Vec<SocketAddr>,
+    /// The live connection, if any; `None` while down or reconnecting.
+    conn: Mutex<Option<Arc<Conn>>>,
+    /// Generation of the newest connection ever installed in the slot.
+    generation: AtomicU64,
+    /// In-flight request ids → reply routing and resubmission state.
+    pending: Mutex<HashMap<u64, PendingJob>>,
+    next_request: AtomicU64,
+    closed: AtomicBool,
+    /// Negotiated protocol version (first handshake).
     version: u32,
-    /// In-flight cap the server advertised for this session.
+    /// In-flight cap the server advertised for this session (first
+    /// handshake).
     server_max_in_flight: usize,
-    last_write: Mutex<Instant>,
+    /// Present iff a reconnect policy is set; link failures route here
+    /// instead of failing the session.
+    supervisor: Option<Sender<SupervisorMsg>>,
+    reconnects: AtomicU64,
+    jobs_resubmitted: AtomicU64,
+    retries_scheduled: AtomicU64,
 }
 
 impl ClientShared {
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
     /// Marks the connection dead, tears the socket down (so the reader
     /// thread unblocks and exits instead of parking on a timeout-less read
-    /// forever) and answers every outstanding handle. Callers must not hold
-    /// the writer lock.
+    /// forever) and answers every outstanding handle.
     fn fail_pending(&self) {
         self.closed.store(true, Ordering::SeqCst);
-        let _ = self.writer.lock().shutdown(Shutdown::Both);
+        if let Some(conn) = self.conn.lock().take() {
+            let _ = conn.writer.lock().shutdown(Shutdown::Both);
+        }
         let pending: Vec<_> = {
             let mut map = self.pending.lock();
             map.drain().collect()
         };
-        for (_, tx) in pending {
-            let _ = tx.send(Err(CloudError::ServiceUnavailable));
+        for (_, job) in pending {
+            let _ = job.tx.send(Err(CloudError::ServiceUnavailable));
+        }
+    }
+
+    /// A link of `generation` stopped working. In reconnect mode this
+    /// hands the incident to the supervisor; otherwise it ends the session.
+    fn link_down(&self, generation: u64) {
+        if self.is_closed() {
+            return;
+        }
+        match &self.supervisor {
+            Some(tx) => {
+                let _ = tx.send(SupervisorMsg::LinkDown { generation });
+            }
+            None => self.fail_pending(),
+        }
+    }
+
+    /// Routes one reply. In reconnect mode, retryable outcomes
+    /// (`RateLimited` with its honest `retry_after`, and the
+    /// `ServiceUnavailable` a failing-over proxy answers with) are turned
+    /// into scheduled resubmissions while the job still has budget.
+    fn handle_reply(&self, id: u64, result: Result<JobResult, CloudError>) {
+        let retry_delay = match (&self.supervisor, &result) {
+            (Some(_), Err(e @ CloudError::RateLimited { .. })) => e.retry_after(),
+            (Some(_), Err(CloudError::ServiceUnavailable)) => Some(
+                self.config
+                    .reconnect
+                    .as_ref()
+                    .map(|p| p.base)
+                    .unwrap_or(Duration::from_millis(50)),
+            ),
+            _ => None,
+        };
+        if let (Some(delay), Some(tx)) = (retry_delay, &self.supervisor) {
+            let mut pending = self.pending.lock();
+            if let Some(job) = pending.get_mut(&id) {
+                if job.resubmits_left > 0 && !self.is_closed() {
+                    job.resubmits_left -= 1;
+                    let at = Instant::now() + delay;
+                    job.not_before = Some(at);
+                    drop(pending);
+                    self.retries_scheduled.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(SupervisorMsg::RetryAt { id, at });
+                    return;
+                }
+            }
+        }
+        let job = self.pending.lock().remove(&id);
+        if let Some(job) = job {
+            let _ = job.tx.send(result);
+        }
+    }
+
+    /// Writes one pending job's Submit frame to `conn`. Returns `false`
+    /// when the link broke (and reports it), `true` otherwise — including
+    /// the job-local failure of an oversized payload, which is answered on
+    /// its own handle without condemning the link.
+    fn write_pending(&self, conn: &Conn, id: u64, payload: &Bytes) -> bool {
+        let head = frame::submit_head(id, payload.len());
+        let cap = conn.max_frame_len.min(u32::MAX as usize);
+        if head.len() + payload.len() > cap {
+            if let Some(job) = self.pending.lock().remove(&id) {
+                let _ = job.tx.send(Err(CloudError::Transport(format!(
+                    "job frame of {} bytes exceeds the connection's cap of {cap} bytes",
+                    head.len() + payload.len()
+                ))));
+            }
+            return true;
+        }
+        let written = {
+            let mut w = conn.writer.lock();
+            frame::write_split(&mut *w, &head, payload)
+        };
+        match written {
+            Ok(_) => {
+                *conn.last_write.lock() = Instant::now();
+                true
+            }
+            Err(_) => {
+                self.link_down(conn.generation);
+                false
+            }
         }
     }
 }
@@ -68,10 +217,69 @@ impl ClientShared {
 impl Drop for ClientShared {
     fn drop(&mut self) {
         // Unblocks the reader (it holds only a `Weak` to this state) and
-        // lets the keep-alive thread retire on its next tick.
+        // lets the keep-alive and supervisor threads retire on their next
+        // tick.
         self.closed.store(true, Ordering::SeqCst);
-        let _ = self.writer.lock().shutdown(Shutdown::Both);
+        if let Some(conn) = self.conn.lock().take() {
+            let _ = conn.writer.lock().shutdown(Shutdown::Both);
+        }
     }
+}
+
+/// Dials `addrs` in order — each attempt bounded by
+/// [`TransportConfig::connect_timeout`] — and performs the handshake on
+/// the first address that accepts the TCP connection.
+fn dial(
+    addrs: &[SocketAddr],
+    config: &TransportConfig,
+) -> Result<(TcpStream, u32, u32, u64), CloudError> {
+    let mut last_err = CloudError::Transport("no address to connect to".into());
+    for addr in addrs {
+        match TcpStream::connect_timeout(addr, config.connect_timeout) {
+            Ok(stream) => return handshake(stream, config),
+            Err(e) => last_err = CloudError::Transport(format!("connect to {addr} failed: {e}")),
+        }
+    }
+    Err(last_err)
+}
+
+/// Client half of the handshake: `Hello` out, `Welcome` (or `Reject`) in.
+fn handshake(
+    mut stream: TcpStream,
+    config: &TransportConfig,
+) -> Result<(TcpStream, u32, u32, u64), CloudError> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.handshake_timeout));
+    // A peer that stops reading must not wedge submit/keepalive/close
+    // behind the writer lock forever; a timed-out write marks the
+    // connection broken (symmetric with the server's session policy).
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            min_version: MIN_PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+            api_key: config.api_key.clone(),
+        },
+    )
+    .map_err(|e| CloudError::Transport(format!("handshake write failed: {e}")))?;
+    let (frame, _) = read_frame_blocking(&mut stream, config.max_frame_len)?
+        .ok_or_else(|| CloudError::Handshake("server closed during handshake".into()))?;
+    let (version, max_in_flight, server_max_frame_len) = match frame {
+        Frame::Welcome {
+            version,
+            max_in_flight,
+            max_frame_len,
+        } => (version, max_in_flight, max_frame_len),
+        Frame::Reject { reason } => return Err(CloudError::Handshake(reason)),
+        other => {
+            return Err(CloudError::Handshake(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+    };
+    let _ = stream.set_read_timeout(None);
+    Ok((stream, version, max_in_flight, server_max_frame_len))
 }
 
 impl RemoteCloudClient {
@@ -86,7 +294,7 @@ impl RemoteCloudClient {
     }
 
     /// [`connect`](Self::connect) with explicit tunables (API key,
-    /// keep-alive cadence, frame cap).
+    /// keep-alive cadence, frame cap, connect deadline, reconnect policy).
     ///
     /// # Errors
     ///
@@ -96,63 +304,56 @@ impl RemoteCloudClient {
         addr: impl ToSocketAddrs,
         config: TransportConfig,
     ) -> Result<RemoteCloudClient, CloudError> {
-        let mut stream = TcpStream::connect(addr)
-            .map_err(|e| CloudError::Transport(format!("connect failed: {e}")))?;
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(config.handshake_timeout));
-        // A peer that stops reading must not wedge submit/keepalive/close
-        // behind the writer lock forever; a timed-out write marks the
-        // connection broken (symmetric with the server's session policy).
-        let _ = stream.set_write_timeout(Some(config.write_timeout));
-        write_frame(
-            &mut stream,
-            &Frame::Hello {
-                min_version: MIN_PROTOCOL_VERSION,
-                max_version: PROTOCOL_VERSION,
-                api_key: config.api_key.clone(),
-            },
-        )
-        .map_err(|e| CloudError::Transport(format!("handshake write failed: {e}")))?;
-        let (frame, _) = read_frame_blocking(&mut stream, config.max_frame_len)?
-            .ok_or_else(|| CloudError::Handshake("server closed during handshake".into()))?;
-        let (version, max_in_flight, server_max_frame_len) = match frame {
-            Frame::Welcome {
-                version,
-                max_in_flight,
-                max_frame_len,
-            } => (version, max_in_flight, max_frame_len),
-            Frame::Reject { reason } => return Err(CloudError::Handshake(reason)),
-            other => {
-                return Err(CloudError::Handshake(format!(
-                    "expected Welcome, got {other:?}"
-                )))
-            }
-        };
-        let _ = stream.set_read_timeout(None);
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| CloudError::Transport(format!("address resolution failed: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(CloudError::Transport("address resolved to nothing".into()));
+        }
+        let (stream, version, max_in_flight, server_max_frame_len) = dial(&addrs, &config)?;
         let read_half = stream
             .try_clone()
             .map_err(|e| CloudError::Transport(format!("socket clone failed: {e}")))?;
-        let shared = Arc::new(ClientShared {
-            writer: Mutex::new(stream),
-            pending: Mutex::new(HashMap::new()),
-            next_request: AtomicU64::new(0),
-            closed: AtomicBool::new(false),
-            server_max_frame_len: usize::try_from(server_max_frame_len).unwrap_or(usize::MAX),
-            version,
-            server_max_in_flight: max_in_flight as usize,
-            last_write: Mutex::new(Instant::now()),
-        });
-        spawn_reader(Arc::downgrade(&shared), read_half, config.max_frame_len);
-        let seed = shared
-            .writer
-            .lock()
+        let keepalive_seed = stream
             .local_addr()
             .map(|a| u64::from(a.port()))
             .unwrap_or(0);
-        spawn_keepalive(
-            Arc::downgrade(&shared),
-            jittered_interval(config.keepalive_interval, seed),
-        );
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(stream),
+            last_write: Mutex::new(Instant::now()),
+            generation: 0,
+            max_frame_len: usize::try_from(server_max_frame_len).unwrap_or(usize::MAX),
+        });
+        let (supervisor, supervisor_rx) = match config.reconnect {
+            Some(_) => {
+                let (tx, rx) = unbounded();
+                (Some(tx), Some(rx))
+            }
+            None => (None, None),
+        };
+        let max_frame_len = config.max_frame_len;
+        let keepalive_interval = jittered_interval(config.keepalive_interval, keepalive_seed);
+        let shared = Arc::new(ClientShared {
+            config,
+            addrs,
+            conn: Mutex::new(Some(conn)),
+            generation: AtomicU64::new(0),
+            pending: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            version,
+            server_max_in_flight: max_in_flight as usize,
+            supervisor,
+            reconnects: AtomicU64::new(0),
+            jobs_resubmitted: AtomicU64::new(0),
+            retries_scheduled: AtomicU64::new(0),
+        });
+        spawn_reader(Arc::downgrade(&shared), read_half, max_frame_len, 0);
+        spawn_keepalive(Arc::downgrade(&shared), keepalive_interval);
+        if let Some(rx) = supervisor_rx {
+            spawn_supervisor(Arc::downgrade(&shared), rx);
+        }
         Ok(RemoteCloudClient { shared })
     }
 
@@ -164,6 +365,16 @@ impl RemoteCloudClient {
     /// The per-connection in-flight cap the server advertised.
     pub fn max_in_flight(&self) -> usize {
         self.shared.server_max_in_flight
+    }
+
+    /// This client's self-healing tallies (all zero without a
+    /// [`ReconnectPolicy`]).
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            reconnects: self.shared.reconnects.load(Ordering::Relaxed),
+            jobs_resubmitted: self.shared.jobs_resubmitted.load(Ordering::Relaxed),
+            retries_scheduled: self.shared.retries_scheduled.load(Ordering::Relaxed),
+        }
     }
 
     /// Uploads a job (serializing it — this *is* the trust boundary now)
@@ -179,44 +390,89 @@ impl RemoteCloudClient {
 
     /// Uploads an already-serialized payload.
     ///
+    /// In reconnect mode a submit while the link is down still succeeds:
+    /// the job parks as pending and rides the next reconnect's
+    /// resubmission.
+    ///
     /// # Errors
     ///
     /// Same surface as [`submit`](Self::submit).
     pub fn submit_payload(&self, payload: Bytes) -> Result<RemoteJobHandle, CloudError> {
         let shared = &*self.shared;
-        if shared.closed.load(Ordering::SeqCst) {
+        if shared.is_closed() {
             return Err(CloudError::ServiceUnavailable);
         }
         let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
-        // Zero-copy upload: the payload goes straight from the caller's
-        // buffer to the socket, after only the small frame head is built.
-        let head = frame::submit_head(id, payload.len());
-        let body_len = head.len() + payload.len();
-        // The wire cap is the smaller of the server's advertised limit and
-        // what a u32 length prefix can carry at all; refusing here keeps an
-        // oversized job from killing the shared connection.
-        let cap = shared.server_max_frame_len.min(u32::MAX as usize);
-        if body_len > cap {
-            return Err(CloudError::Transport(format!(
-                "job frame of {body_len} bytes exceeds the connection's cap of {cap} bytes"
-            )));
-        }
+        let reconnecting = shared.supervisor.is_some();
         let (tx, rx) = unbounded();
-        shared.pending.lock().insert(id, tx);
-        let written = {
-            let mut w = shared.writer.lock();
-            frame::write_split(&mut *w, &head, &payload)
-        };
-        if let Err(e) = written {
-            shared.pending.lock().remove(&id);
-            shared.fail_pending();
-            return Err(CloudError::Transport(format!("submit write failed: {e}")));
+        // The payload is retained (a cheap refcount clone) so the
+        // supervisor can resubmit it verbatim; without a policy it is
+        // dropped with the entry when the reply lands.
+        shared.pending.lock().insert(
+            id,
+            PendingJob {
+                tx,
+                payload: payload.clone(),
+                resubmits_left: shared
+                    .config
+                    .reconnect
+                    .as_ref()
+                    .map(|p| p.max_resubmits)
+                    .unwrap_or(0),
+                not_before: None,
+            },
+        );
+        let conn = shared.conn.lock().clone();
+        match conn {
+            Some(conn) => {
+                // Zero-copy upload: the payload goes straight from the
+                // caller's buffer to the socket, after only the small frame
+                // head is built.
+                let head = frame::submit_head(id, payload.len());
+                let body_len = head.len() + payload.len();
+                // The wire cap is the smaller of the server's advertised
+                // limit and what a u32 length prefix can carry at all;
+                // refusing here keeps an oversized job from killing the
+                // shared connection.
+                let cap = conn.max_frame_len.min(u32::MAX as usize);
+                if body_len > cap {
+                    shared.pending.lock().remove(&id);
+                    return Err(CloudError::Transport(format!(
+                        "job frame of {body_len} bytes exceeds the connection's cap of {cap} bytes"
+                    )));
+                }
+                let written = {
+                    let mut w = conn.writer.lock();
+                    frame::write_split(&mut *w, &head, &payload)
+                };
+                if let Err(e) = written {
+                    if reconnecting {
+                        // The job stays pending; the supervisor resubmits
+                        // it once the link is back.
+                        shared.link_down(conn.generation);
+                    } else {
+                        shared.pending.lock().remove(&id);
+                        shared.fail_pending();
+                        return Err(CloudError::Transport(format!("submit write failed: {e}")));
+                    }
+                } else {
+                    *conn.last_write.lock() = Instant::now();
+                }
+            }
+            // Link down right now. Self-healing clients park the job for
+            // the reconnect's resubmission sweep; fail-fast clients can
+            // only get here racing `close()`, which answers the entry.
+            None => {
+                if !reconnecting {
+                    shared.pending.lock().remove(&id);
+                    return Err(CloudError::ServiceUnavailable);
+                }
+            }
         }
-        *shared.last_write.lock() = Instant::now();
-        if shared.closed.load(Ordering::SeqCst) {
-            // The reader died between our first check and the write. Either
-            // it already failed this entry (rx holds an error), or we remove
-            // it here — both ways no handle can hang.
+        if shared.is_closed() {
+            // The session closed between our first check and the write.
+            // Either `fail_pending` already answered this entry (rx holds
+            // an error), or we remove it here — both ways no handle hangs.
             shared.pending.lock().remove(&id);
             return Err(CloudError::ServiceUnavailable);
         }
@@ -238,33 +494,39 @@ impl RemoteCloudClient {
     pub fn close(self) {
         let shared = &*self.shared;
         if !shared.closed.swap(true, Ordering::SeqCst) {
-            let mut w = shared.writer.lock();
-            let _ = write_frame(&mut *w, &Frame::Goodbye);
-            let _ = w.shutdown(Shutdown::Both);
+            if let Some(conn) = &*shared.conn.lock() {
+                let mut w = conn.writer.lock();
+                let _ = write_frame(&mut *w, &Frame::Goodbye);
+                let _ = w.shutdown(Shutdown::Both);
+            }
         }
         shared.fail_pending();
     }
 }
 
-/// Routes replies to their pending handles until the connection ends.
-fn spawn_reader(weak: Weak<ClientShared>, mut stream: TcpStream, max_frame_len: usize) {
+/// Routes replies to their pending handles until this connection ends.
+fn spawn_reader(
+    weak: Weak<ClientShared>,
+    mut stream: TcpStream,
+    max_frame_len: usize,
+    generation: u64,
+) {
     std::thread::Builder::new()
         .name("cloud-remote-reader".into())
         .spawn(move || loop {
             match read_frame_blocking(&mut stream, max_frame_len) {
                 Ok(Some((Frame::Reply { request_id, result }, _))) => {
                     let Some(shared) = weak.upgrade() else { return };
-                    let tx = shared.pending.lock().remove(&request_id);
-                    if let Some(tx) = tx {
-                        let _ = tx.send(result);
-                    }
+                    shared.handle_reply(request_id, result);
                 }
                 Ok(Some((Frame::Pong { .. }, _))) => {}
                 // Anything else from the server — or EOF, or a transport/
-                // decode error — ends the session.
+                // decode error — ends this connection (not necessarily the
+                // session: with a reconnect policy the supervisor takes
+                // over).
                 Ok(Some(_)) | Ok(None) | Err(_) => {
                     if let Some(shared) = weak.upgrade() {
-                        shared.fail_pending();
+                        shared.link_down(generation);
                     }
                     return;
                 }
@@ -292,6 +554,8 @@ fn jittered_interval(interval: Duration, seed: u64) -> Duration {
 }
 
 /// Pings whenever the connection has been write-idle for a full interval.
+/// Outlives individual connections: in reconnect mode it simply skips
+/// ticks while the link is down.
 fn spawn_keepalive(weak: Weak<ClientShared>, interval: Duration) {
     std::thread::Builder::new()
         .name("cloud-remote-keepalive".into())
@@ -301,26 +565,185 @@ fn spawn_keepalive(weak: Weak<ClientShared>, interval: Duration) {
             loop {
                 std::thread::sleep(tick);
                 let Some(shared) = weak.upgrade() else { return };
-                if shared.closed.load(Ordering::SeqCst) {
+                if shared.is_closed() {
                     return;
                 }
-                if shared.last_write.lock().elapsed() >= interval {
+                let Some(conn) = shared.conn.lock().clone() else {
+                    continue;
+                };
+                if conn.last_write.lock().elapsed() >= interval {
                     nonce += 1;
                     let sent = {
-                        let mut w = shared.writer.lock();
+                        let mut w = conn.writer.lock();
                         write_frame(&mut *w, &Frame::Ping { nonce })
                     };
                     match sent {
-                        Ok(_) => *shared.last_write.lock() = Instant::now(),
+                        Ok(_) => *conn.last_write.lock() = Instant::now(),
                         Err(_) => {
-                            shared.fail_pending();
-                            return;
+                            shared.link_down(conn.generation);
+                            if shared.supervisor.is_none() {
+                                return;
+                            }
                         }
                     }
                 }
             }
         })
         .expect("spawn remote keepalive");
+}
+
+/// The self-healing loop: reacts to link-down notices by re-dialing with
+/// decorrelated-jitter backoff, and fires scheduled retries when (never
+/// before) they come due.
+fn spawn_supervisor(weak: Weak<ClientShared>, rx: Receiver<SupervisorMsg>) {
+    std::thread::Builder::new()
+        .name("cloud-remote-supervisor".into())
+        .spawn(move || {
+            let policy = {
+                let Some(shared) = weak.upgrade() else { return };
+                shared
+                    .config
+                    .reconnect
+                    .clone()
+                    .expect("supervisor implies a reconnect policy")
+            };
+            let mut jitter = policy.jitter();
+            let mut retries = super::RetryQueue::new();
+            loop {
+                let timeout = retries
+                    .next_due()
+                    .map(|at| at.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(500));
+                match rx.recv_timeout(timeout) {
+                    Ok(SupervisorMsg::LinkDown { generation }) => {
+                        let Some(shared) = weak.upgrade() else { return };
+                        if shared.is_closed() {
+                            return;
+                        }
+                        handle_link_down(&shared, &weak, generation, &policy, &mut jitter);
+                    }
+                    Ok(SupervisorMsg::RetryAt { id, at }) => retries.schedule(id, at),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+                let Some(shared) = weak.upgrade() else { return };
+                if shared.is_closed() {
+                    return;
+                }
+                for id in retries.pop_due(Instant::now()) {
+                    fire_retry(&shared, id);
+                }
+            }
+        })
+        .expect("spawn remote supervisor");
+}
+
+/// Empties the connection slot (if the notice isn't stale) and runs the
+/// redial loop until a new connection is installed, the dial budget runs
+/// out, or the client closes.
+fn handle_link_down(
+    shared: &Arc<ClientShared>,
+    weak: &Weak<ClientShared>,
+    generation: u64,
+    policy: &ReconnectPolicy,
+    jitter: &mut super::DecorrelatedJitter,
+) {
+    {
+        let mut slot = shared.conn.lock();
+        // Only the notice about the *current* generation empties the slot;
+        // a stale reader's death notice after a completed failover is a
+        // no-op.
+        if generation != shared.generation.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(conn) = slot.take() {
+            let _ = conn.writer.lock().shutdown(Shutdown::Both);
+        }
+    }
+    jitter.reset();
+    let mut attempts = 0usize;
+    loop {
+        if shared.is_closed() {
+            return;
+        }
+        attempts += 1;
+        let dialed = dial(&shared.addrs, &shared.config).and_then(|(stream, _, _, mfl)| {
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| CloudError::Transport(format!("socket clone failed: {e}")))?;
+            Ok((stream, read_half, mfl))
+        });
+        match dialed {
+            Ok((stream, read_half, server_max_frame_len)) => {
+                let new_gen = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+                let conn = Arc::new(Conn {
+                    writer: Mutex::new(stream),
+                    last_write: Mutex::new(Instant::now()),
+                    generation: new_gen,
+                    max_frame_len: usize::try_from(server_max_frame_len).unwrap_or(usize::MAX),
+                });
+                *shared.conn.lock() = Some(conn.clone());
+                shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                spawn_reader(
+                    weak.clone(),
+                    read_half,
+                    shared.config.max_frame_len,
+                    new_gen,
+                );
+                resubmit_pending(shared, &conn);
+                return;
+            }
+            Err(_) => {
+                if policy.max_dial_attempts > 0 && attempts >= policy.max_dial_attempts {
+                    shared.fail_pending();
+                    return;
+                }
+                std::thread::sleep(jitter.next_delay());
+            }
+        }
+    }
+}
+
+/// Rewrites every pending job to a fresh connection — except jobs owned by
+/// a scheduled retry (`not_before` set), which the retry schedule will
+/// fire itself once due; rewriting those here could beat their
+/// `retry_after`.
+fn resubmit_pending(shared: &Arc<ClientShared>, conn: &Conn) {
+    let mut ids: Vec<(u64, Bytes)> = shared
+        .pending
+        .lock()
+        .iter()
+        .filter(|(_, job)| job.not_before.is_none())
+        .map(|(id, job)| (*id, job.payload.clone()))
+        .collect();
+    // Request-id order preserves the caller's submission order.
+    ids.sort_by_key(|(id, _)| *id);
+    for (id, payload) in ids {
+        if !shared.write_pending(conn, id, &payload) {
+            return;
+        }
+        shared.jobs_resubmitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fires one due retry: the job gives up its `not_before` reservation and
+/// is rewritten if the link is up. If the link is down the job simply
+/// rejoins the ordinary pending set — the next reconnect resubmits it.
+fn fire_retry(shared: &Arc<ClientShared>, id: u64) {
+    let payload = {
+        let mut pending = shared.pending.lock();
+        let Some(job) = pending.get_mut(&id) else {
+            return;
+        };
+        job.not_before = None;
+        job.payload.clone()
+    };
+    let Some(conn) = shared.conn.lock().clone() else {
+        return;
+    };
+    if shared.write_pending(&conn, id, &payload) {
+        shared.jobs_resubmitted.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// An in-flight remote job — API parity with [`crate::JobHandle`],
@@ -347,6 +770,10 @@ fn spawn_keepalive(weak: Weak<ClientShared>, interval: Duration) {
 /// }
 /// # }
 /// ```
+///
+/// (A client running a [`ReconnectPolicy`] performs that dance itself: the
+/// handle only sees `RateLimited` once the job's resubmission budget is
+/// spent.)
 #[derive(Debug)]
 pub struct RemoteJobHandle {
     id: u64,

@@ -214,10 +214,14 @@ impl Frame {
 
 /// Writes one length-prefixed frame, returning the wire bytes written.
 ///
+/// Public so transport intermediaries (the `amalgam-proxy` front door, its
+/// health probes and fault-injection harness) can speak the wire format
+/// without re-implementing the codec.
+///
 /// # Errors
 ///
 /// Propagates the sink's I/O errors.
-pub(crate) fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> {
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> {
     write_encoded(w, &frame.encode())
 }
 
@@ -227,7 +231,7 @@ pub(crate) fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<
 /// # Errors
 ///
 /// Propagates the sink's I/O errors.
-pub(crate) fn write_encoded(w: &mut impl Write, body: &Bytes) -> std::io::Result<usize> {
+pub fn write_encoded(w: &mut impl Write, body: &Bytes) -> std::io::Result<usize> {
     if body.len() > u32::MAX as usize {
         return Err(std::io::Error::new(
             ErrorKind::InvalidInput,
@@ -318,14 +322,15 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<boo
 /// Reads one frame from a blocking stream.
 ///
 /// Returns `Ok(None)` on a clean EOF at a frame boundary, and the decoded
-/// frame plus its wire length otherwise.
+/// frame plus its wire length otherwise. Public for the same transport
+/// intermediaries as [`write_frame`].
 ///
 /// # Errors
 ///
 /// Returns [`CloudError::Transport`] on I/O failure, truncation or a length
 /// prefix over `max_frame_len` (checked before allocating), and
 /// [`CloudError::Decode`] on a malformed body.
-pub(crate) fn read_frame_blocking(
+pub fn read_frame_blocking(
     r: &mut impl Read,
     max_frame_len: usize,
 ) -> Result<Option<(Frame, usize)>, CloudError> {

@@ -76,11 +76,13 @@
 mod client;
 mod event_loop;
 mod frame;
+mod reconnect;
 mod server;
 mod timer;
 
 pub use client::{RemoteCloudClient, RemoteJobHandle};
-pub use frame::{Frame, FrameDecoder};
+pub use frame::{read_frame_blocking, write_encoded, write_frame, Frame, FrameDecoder};
+pub use reconnect::{ClientStats, DecorrelatedJitter, ReconnectPolicy, RetryQueue};
 pub use server::CloudServer;
 
 use std::time::Duration;
@@ -110,6 +112,15 @@ pub struct TransportConfig {
     /// How long each side waits for the other's half of the handshake
     /// (default 5 s).
     pub handshake_timeout: Duration,
+    /// Deadline on the client's TCP connect itself (default 5 s). Without
+    /// it a black-holed address — a dead host, a dropped route — blocks in
+    /// the OS connect for minutes before failing.
+    pub connect_timeout: Duration,
+    /// Self-healing policy for a [`RemoteCloudClient`]: with a policy set,
+    /// a lost connection is re-dialed with decorrelated-jitter backoff and
+    /// in-flight jobs are resubmitted instead of failed (default `None`,
+    /// the historical fail-fast behavior). Ignored by the server.
+    pub reconnect: Option<ReconnectPolicy>,
     /// Upper bound on one frame write to a stalled peer, on either side; a
     /// connection that cannot make write progress for this long is treated
     /// as broken (default 10 s).
@@ -131,6 +142,8 @@ impl Default for TransportConfig {
             idle_timeout: Duration::from_secs(30),
             keepalive_interval: Duration::from_secs(10),
             handshake_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+            reconnect: None,
             write_timeout: Duration::from_secs(10),
             api_key: None,
             io_threads: 0,
@@ -190,6 +203,20 @@ impl TransportConfig {
     #[must_use]
     pub fn write_timeout(mut self, timeout: Duration) -> TransportConfig {
         self.write_timeout = timeout;
+        self
+    }
+
+    /// Sets the client's TCP connect deadline.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> TransportConfig {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Makes a [`RemoteCloudClient`] self-healing: see [`ReconnectPolicy`].
+    #[must_use]
+    pub fn reconnect(mut self, policy: ReconnectPolicy) -> TransportConfig {
+        self.reconnect = Some(policy);
         self
     }
 

@@ -1,0 +1,159 @@
+//! Consistent-hash routing: which backend owns a session.
+//!
+//! Sessions must be *sticky*: per-session QoS (rate-limit buckets, DRR
+//! queues, fairness weights) and content-addressed dedup all live in one
+//! backend's memory, so every connection presenting the same
+//! [`amalgam_cloud::SessionKey`] must land on the same backend — including
+//! reconnects after a client crash. A consistent-hash ring gives exactly
+//! that, plus minimal disruption: each backend is hashed onto the ring at
+//! many virtual points, a session routes to the first point clockwise of
+//! its own hash, and ejecting one backend only moves *its* sessions (to
+//! the next point clockwise), never reshuffling the rest of the fleet.
+//!
+//! Hashing reuses the crate-fixed SipHash-2-4 from [`amalgam_cloud::hash`]
+//! with ring-specific keys: deterministic across processes and restarts,
+//! and not engineerable by clients into a hot spot.
+
+use amalgam_cloud::hash::siphash128;
+
+/// Ring-specific SipHash keys (distinct from the dedup keys so session
+/// placement and content addresses are independent hash families).
+const RING_K0: u64 = u64::from_le_bytes(*b"amalgam.");
+const RING_K1: u64 = u64::from_le_bytes(*b"ring..v1");
+
+fn hash64(data: &[u8]) -> u64 {
+    siphash128(RING_K0, RING_K1, data) as u64
+}
+
+/// A consistent-hash ring over a fixed set of backends.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    backends: Vec<String>,
+    /// `(point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring with `vnodes` virtual points per backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty or `vnodes` is zero — a ring that can
+    /// never route is a configuration bug, not a runtime condition.
+    pub fn new(backends: &[String], vnodes: usize) -> HashRing {
+        assert!(!backends.is_empty(), "a ring needs at least one backend");
+        assert!(vnodes > 0, "a ring needs at least one virtual node");
+        let mut points = Vec::with_capacity(backends.len() * vnodes);
+        for (idx, backend) in backends.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((hash64(format!("{backend}#{v}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            backends: backends.to_vec(),
+            points,
+        }
+    }
+
+    /// The configured backends, in construction order.
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// The session's home backend: first ring point clockwise of its hash.
+    pub fn route(&self, session: &str) -> &str {
+        self.route_where(session, |_| true)
+            .expect("a non-empty ring with a tautological filter always routes")
+    }
+
+    /// Like [`route`](Self::route), but walks clockwise past backends the
+    /// filter rejects (ejected by their breaker, or explicitly excluded by
+    /// a failing-over session). Visits each *distinct* backend once, in
+    /// ring order from the session's hash; `None` if the filter rejects
+    /// the whole fleet.
+    pub fn route_where(&self, session: &str, admit: impl Fn(&str) -> bool) -> Option<&str> {
+        self.ordered(session).into_iter().find(|b| admit(b))
+    }
+
+    /// Every distinct backend in ring order from the session's hash: the
+    /// session's home first, then each successive failover candidate.
+    pub fn ordered(&self, session: &str) -> Vec<&str> {
+        let h = hash64(session.as_bytes());
+        let start = self.points.partition_point(|(p, _)| *p < h);
+        let mut seen = vec![false; self.backends.len()];
+        let mut out = Vec::with_capacity(self.backends.len());
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            out.push(self.backends[idx].as_str());
+            if out.len() == self.backends.len() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7000")).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(&fleet(3), 64);
+        for s in 0..100 {
+            let key = format!("session-{s}");
+            let a = ring.route(&key);
+            assert_eq!(a, ring.route(&key), "same key, same backend");
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_the_fleet() {
+        let backends = fleet(3);
+        let ring = HashRing::new(&backends, 64);
+        let mut counts = vec![0usize; backends.len()];
+        for s in 0..600 {
+            let key = format!("api-key-{s}");
+            let idx = backends.iter().position(|b| b == ring.route(&key)).unwrap();
+            counts[idx] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                *c > 60,
+                "backend {i} got only {c}/600 sessions — ring badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ejecting_one_backend_only_moves_its_own_sessions() {
+        let backends = fleet(4);
+        let ring = HashRing::new(&backends, 64);
+        let dead = &backends[1];
+        for s in 0..200 {
+            let key = format!("session-{s}");
+            let home = ring.route(&key).to_string();
+            let rerouted = ring.route_where(&key, |b| b != dead).unwrap();
+            if home != *dead {
+                assert_eq!(home, rerouted, "healthy-homed session must not move");
+            } else {
+                assert_ne!(rerouted, *dead);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_rejecting_everything_yields_none() {
+        let ring = HashRing::new(&fleet(3), 16);
+        assert_eq!(ring.route_where("s", |_| false), None);
+    }
+}

@@ -61,13 +61,15 @@ pub use amalgam_core as core;
 pub use amalgam_data as data;
 pub use amalgam_models as models;
 pub use amalgam_nn as nn;
+pub use amalgam_proxy as proxy;
 pub use amalgam_tensor as tensor;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use amalgam_cloud::{
-        CloudClient, CloudError, CloudJob, CloudServer, CloudService, JobResult, RemoteCloudClient,
-        RemoteJobHandle, ServiceStats, TaskPayload, TransportConfig,
+        ClientStats, CloudClient, CloudError, CloudJob, CloudServer, CloudService, JobResult,
+        ReconnectPolicy, RemoteCloudClient, RemoteJobHandle, ServiceStats, TaskPayload,
+        TransportConfig,
     };
     pub use amalgam_core::{
         Amalgam, AugmentationAmount, NoiseKind, ObfuscationConfig, TrainConfig,

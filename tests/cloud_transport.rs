@@ -617,3 +617,22 @@ fn per_connection_in_flight_cap_sheds_excess_submits() {
     assert!(shed >= 1, "a burst of 8 over a cap of 2 must shed");
     server.shutdown();
 }
+
+/// The dial path must respect `connect_timeout`: a black-holed address
+/// (SYNs vanish, no RST) fails promptly instead of hanging in the OS
+/// default connect (minutes on most systems). On locked-down hosts the
+/// dial may instead fail instantly with a routing/permission error — both
+/// outcomes satisfy the contract: an error, fast.
+#[test]
+fn connect_timeout_bounds_blackholed_dial() {
+    let config = TransportConfig::default().connect_timeout(Duration::from_millis(250));
+    let t0 = std::time::Instant::now();
+    // TEST-NET-1 (RFC 5737) is reserved and never routed.
+    let result = RemoteCloudClient::connect_with("192.0.2.1:9", config);
+    let elapsed = t0.elapsed();
+    assert!(result.is_err(), "a reserved address must not accept");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "dial must fail within the configured timeout, took {elapsed:?}"
+    );
+}
