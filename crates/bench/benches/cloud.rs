@@ -87,6 +87,7 @@ fn bench_frame_throughput(c: &mut Criterion) {
     let frame = Frame::Submit {
         request_id: 1,
         payload,
+        trace: None,
     };
     let body = frame.encode();
     let mut group = c.benchmark_group("cloud_frame");
@@ -113,6 +114,7 @@ fn bench_decode_scratch_reuse(c: &mut Criterion) {
         let body = Frame::Submit {
             request_id,
             payload: payload.clone(),
+            trace: None,
         }
         .encode();
         wire.extend_from_slice(&(body.len() as u32).to_le_bytes());

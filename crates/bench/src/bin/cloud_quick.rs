@@ -12,9 +12,12 @@
 //! a hit or coalesced wave executes the training pipeline more than once,
 //! if any served result diverges bitwise from an uncached run, if the
 //! transport's thread count scales with the number of open connections
-//! (64 concurrent sessions must run on the fixed reactor pool alone), or
-//! if killing one of three proxied backends mid-flight loses or corrupts
-//! a single accepted job (the `cloud_proxy_failover` entry).
+//! (64 concurrent sessions must run on the fixed reactor pool alone), if
+//! killing one of three proxied backends mid-flight loses or corrupts
+//! a single accepted job (the `cloud_proxy_failover` entry), if the
+//! telemetry plane adds more than 5% to the remote submit-to-reply median
+//! (the `cloud_trace_overhead` entry), or if the Prometheus endpoint
+//! fails to serve the per-stage quantile series.
 //!
 //! Like PR 3's kernel gates, everything is pinned to one worker and one
 //! tensor-pool thread: the criteria are per-core ratios, and CI runners
@@ -345,6 +348,116 @@ fn main() {
         for server in servers {
             server.shutdown();
         }
+    }
+
+    // Trace overhead: the telemetry plane (histograms, trace ids on the
+    // wire, flight-recorder pushes) must cost < 5% on the remote
+    // submit-to-reply path. Both servers stay up and the round trips are
+    // interleaved, best-of per side: scheduler noise is one-sided and
+    // cancels, while a systematic per-call cost shifts the on-side floor.
+    // The enabled server also binds the Prometheus exporter, which a
+    // raw-HTTP scrape smokes.
+    {
+        use amalgam_cloud::TelemetryConfig;
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpStream;
+
+        let off = CloudService::builder()
+            .workers(1)
+            .telemetry(TelemetryConfig {
+                enabled: false,
+                ..TelemetryConfig::default()
+            })
+            .build();
+        let off_server = CloudServer::bind(off, "127.0.0.1:0").expect("bind telemetry-off");
+        let off_client =
+            RemoteCloudClient::connect(off_server.local_addr()).expect("connect telemetry-off");
+        let on = CloudService::builder()
+            .workers(1)
+            .metrics_exporter("127.0.0.1:0".parse().unwrap())
+            .build();
+        let on_server = CloudServer::bind(on, "127.0.0.1:0").expect("bind telemetry-on");
+        let on_client =
+            RemoteCloudClient::connect(on_server.local_addr()).expect("connect telemetry-on");
+        for (label, client) in [("telemetry-off", &off_client), ("telemetry-on", &on_client)] {
+            let warm = client
+                .submit(&job)
+                .expect("warm submit")
+                .wait()
+                .expect("warm job");
+            if warm.trained_model != expected {
+                failures.push(format!("{label} training diverged from uncached training"));
+            }
+        }
+        let mut off_ms = f64::INFINITY;
+        let mut on_ms = f64::INFINITY;
+        for _ in 0..20 {
+            off_ms = off_ms.min(time_ms(1, || {
+                off_client
+                    .submit(&job)
+                    .expect("submit")
+                    .wait()
+                    .expect("job");
+            }));
+            on_ms = on_ms.min(time_ms(1, || {
+                on_client.submit(&job).expect("submit").wait().expect("job");
+            }));
+        }
+        off_client.close();
+        off_server.shutdown();
+        let overhead = on_ms / off_ms;
+        if overhead > 1.05 {
+            failures.push(format!(
+                "telemetry adds {:.1}% to the submit-to-reply median (want ≤ 5%)",
+                (overhead - 1.0) * 1e2
+            ));
+        }
+
+        // Prometheus endpoint smoke: one scrape must answer 200 with the
+        // per-stage quantile series the dashboards key on.
+        let scrape_addr = on_server.metrics_addr().expect("exporter bound");
+        let mut scrape_ok = 0.0;
+        let mut sock = TcpStream::connect(scrape_addr).expect("dial exporter");
+        sock.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("send scrape");
+        let mut response = String::new();
+        sock.read_to_string(&mut response).expect("read scrape");
+        if response.starts_with("HTTP/1.0 200 OK")
+            && response.contains("amalgam_latency_microseconds{stage=\"train\",quantile=\"0.5\"}")
+            && response.contains("amalgam_jobs_completed_total")
+        {
+            scrape_ok = 1.0;
+        } else {
+            failures.push(format!(
+                "Prometheus scrape missing expected series; got:\n{response}"
+            ));
+        }
+        entries.push(Entry {
+            name: "cloud_trace_overhead",
+            fields: vec![
+                ("telemetry_off_ms", off_ms),
+                ("telemetry_on_ms", on_ms),
+                ("overhead_ratio", overhead),
+                ("scrape_ok", scrape_ok),
+            ],
+        });
+
+        // The operator tables, straight off the wire: the service snapshot
+        // via the `GetStats` admin frame, and the client's own healing/RTT
+        // counters — both through their `Display` impls.
+        match on_client.fetch_stats() {
+            Ok(stats) => {
+                println!("--- telemetry-on service stats (GetStats frame) ---");
+                println!("{stats}");
+            }
+            Err(e) => failures.push(format!("GetStats over the wire failed: {e}")),
+        }
+        println!("--- telemetry-on client stats ---");
+        println!("{}", on_client.stats());
+        on_client.close();
+        on_server.shutdown();
     }
     parallel::set_threads(0);
 

@@ -6,13 +6,15 @@ use crate::cache::{DedupLayer, DedupShared};
 use crate::metrics::ServiceMetrics;
 use crate::middleware::{
     AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, MetricsLayer, ObserverLayer, PanicLayer,
-    ServiceBuilder, ValidateLayer,
+    ServiceBuilder, TimedLayer, ValidateLayer,
 };
 use crate::observer::CloudObserver;
 use crate::ratelimit::RateLimitLayer;
 use crate::service::CloudService;
+use crate::telemetry::TelemetryConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +42,8 @@ pub struct CloudServiceBuilder {
     pub(crate) result_cache: Option<(usize, Duration)>,
     pub(crate) session_weights: HashMap<String, f64>,
     pub(crate) custom_layers: Vec<Box<dyn CloudLayer>>,
+    pub(crate) telemetry: TelemetryConfig,
+    pub(crate) metrics_exporter: Option<SocketAddr>,
 }
 
 impl CloudServiceBuilder {
@@ -54,6 +58,8 @@ impl CloudServiceBuilder {
             result_cache: None,
             session_weights: HashMap::new(),
             custom_layers: Vec::new(),
+            telemetry: TelemetryConfig::default(),
+            metrics_exporter: None,
         }
     }
 
@@ -174,6 +180,30 @@ impl CloudServiceBuilder {
         self
     }
 
+    /// Configures the telemetry plane: per-stage latency histograms, span
+    /// recording and the flight recorder (all **on** by default with a
+    /// 256-trace ring and a 1 s slow threshold). Disabling telemetry skips
+    /// every per-stage clock read — the `cloud_trace_overhead` bench gate
+    /// holds the enabled cost under 5%.
+    #[must_use]
+    pub fn telemetry(mut self, config: TelemetryConfig) -> CloudServiceBuilder {
+        self.telemetry = config;
+        self
+    }
+
+    /// Serves Prometheus text-format metrics over HTTP on `addr`.
+    ///
+    /// The exporter is a dependency-free HTTP/1.0 responder registered on
+    /// the transport's existing reactor threads — it adds **no threads**.
+    /// It therefore only answers while a [`crate::CloudServer`] fronts this
+    /// service; `GET /metrics` (any path, in fact) returns the same body
+    /// [`crate::ServiceStats::to_prometheus`] renders.
+    #[must_use]
+    pub fn metrics_exporter(mut self, addr: SocketAddr) -> CloudServiceBuilder {
+        self.metrics_exporter = Some(addr);
+        self
+    }
+
     /// Assembles the default middleware stack around the trainer, plus
     /// the shared dedup state when [`result_cache`](Self::result_cache)
     /// was configured (the submit path consults it before the queue).
@@ -192,28 +222,41 @@ impl CloudServiceBuilder {
                 Arc::clone(&metrics),
             ))
         });
+        // With telemetry on, every layer below the metrics finalizer is
+        // wrapped in a TimedLayer so each stage contributes one span; with
+        // it off, the stack is byte-for-byte the untimed one.
+        let timed = self.telemetry.enabled;
+        let wrap = |layer: Box<dyn CloudLayer>| -> Box<dyn CloudLayer> {
+            if timed {
+                Box::new(TimedLayer::new(layer))
+            } else {
+                layer
+            }
+        };
         let mut stack = ServiceBuilder::new().layer(MetricsLayer::new(metrics));
         if self.catch_panics {
-            stack = stack.layer(PanicLayer);
+            stack = stack.layer_boxed(wrap(Box::new(PanicLayer)));
         }
         if let Some(depth) = self.max_queue_depth {
-            stack = stack.layer(AdmissionLayer::new(depth));
+            stack = stack.layer_boxed(wrap(Box::new(AdmissionLayer::new(depth))));
         }
         if let Some(shared) = &dedup {
-            stack = stack.layer(DedupLayer::new(Arc::clone(shared)));
+            stack = stack.layer_boxed(wrap(Box::new(DedupLayer::new(Arc::clone(shared)))));
         }
         if let Some(layer) = rate_layer {
-            stack = stack.layer(layer);
+            stack = stack.layer_boxed(wrap(Box::new(layer)));
         }
         if let Some(keys) = self.api_keys.take() {
-            stack = stack.layer(ApiKeyLayer::new(keys));
+            stack = stack.layer_boxed(wrap(Box::new(ApiKeyLayer::new(keys))));
         }
         for layer in self.custom_layers.drain(..) {
-            stack = stack.layer_boxed(layer);
+            stack = stack.layer_boxed(wrap(layer));
         }
-        stack = stack.layer(DecodeLayer).layer(ValidateLayer);
+        stack = stack
+            .layer_boxed(wrap(Box::new(DecodeLayer)))
+            .layer_boxed(wrap(Box::new(ValidateLayer)));
         if let Some(observer) = &self.observer {
-            stack = stack.layer(ObserverLayer::new(Arc::clone(observer)));
+            stack = stack.layer_boxed(wrap(Box::new(ObserverLayer::new(Arc::clone(observer)))));
         }
         (stack, dedup)
     }
@@ -235,6 +278,8 @@ impl std::fmt::Debug for CloudServiceBuilder {
             .field("result_cache", &self.result_cache)
             .field("session_weights", &self.session_weights.len())
             .field("custom_layers", &self.custom_layers.len())
+            .field("telemetry", &self.telemetry)
+            .field("metrics_exporter", &self.metrics_exporter)
             .finish()
     }
 }

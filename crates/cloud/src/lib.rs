@@ -122,6 +122,7 @@ mod protocol;
 mod queue;
 pub mod ratelimit;
 mod service;
+pub mod telemetry;
 pub mod transport;
 
 pub use builder::CloudServiceBuilder;
@@ -130,12 +131,16 @@ pub use hash::ContentAddress;
 pub use metrics::{BackendHealth, BackendStats, ServiceMetrics, ServiceStats, SessionStats};
 pub use middleware::{
     AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, JobContext, JobService, MetricsLayer,
-    ObserverLayer, PanicLayer, ServiceBuilder, SessionKey, ValidateLayer,
+    ObserverLayer, PanicLayer, ServiceBuilder, SessionKey, TimedLayer, ValidateLayer,
 };
 pub use observer::{CloudObserver, NullObserver, RecordingObserver};
 pub use protocol::{CloudJob, JobResult, TaskPayload};
 pub use ratelimit::{RateLimitLayer, TokenBucket};
 pub use service::{CloudClient, CloudService, JobHandle, TrainService};
+pub use telemetry::{
+    FlightRecorder, Histogram, HistogramSnapshot, JobTrace, SpanRecord, Stage, Telemetry,
+    TelemetryConfig, TraceId,
+};
 pub use transport::{
     ClientStats, CloudServer, ReconnectPolicy, RemoteCloudClient, RemoteJobHandle, TransportConfig,
 };

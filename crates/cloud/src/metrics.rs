@@ -4,7 +4,11 @@
 
 use crate::middleware::SessionKey;
 use crate::protocol::JobResult;
+use crate::telemetry::{HistogramSnapshot, Stage, Telemetry, TelemetryConfig};
 use crate::CloudError;
+use amalgam_tensor::wire::{Reader, Writer};
+use amalgam_tensor::TensorError;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -32,6 +36,15 @@ pub struct ServiceMetrics {
     connections_active: AtomicUsize,
     frames_received: AtomicU64,
     frames_sent: AtomicU64,
+    // Protocol-overhead sub-counts (Ping/Pong/handshake/admin frames),
+    // included in the totals above — subtract to get job-frame throughput.
+    control_frames_received: AtomicU64,
+    control_frames_sent: AtomicU64,
+    // A routing tier's *backend-face* frames. Kept out of frames_received/
+    // frames_sent, which count the client face only, so one proxied job is
+    // one frame in and one frame out — not two of each.
+    relay_frames_received: AtomicU64,
+    relay_frames_sent: AtomicU64,
     transport_bytes_received: AtomicU64,
     transport_bytes_sent: AtomicU64,
     rate_limited: AtomicU64,
@@ -54,6 +67,8 @@ pub struct ServiceMetrics {
     // clones: a u64 or an Arc<str>) — display names are only rendered at
     // snapshot time, off the per-job hot path.
     sessions: Mutex<HashMap<SessionKey, SessionCounters>>,
+    // Per-stage latency histograms and the flight recorder.
+    telemetry: Telemetry,
 }
 
 /// Per-session rows beyond this count trigger eviction of idle rows
@@ -114,8 +129,14 @@ struct SessionCounters {
 }
 
 impl ServiceMetrics {
-    /// Zeroed counters with the uptime clock started.
+    /// Zeroed counters with the uptime clock started and default
+    /// [`TelemetryConfig`] (histograms and flight recorder on).
     pub fn new() -> ServiceMetrics {
+        ServiceMetrics::with_telemetry(&TelemetryConfig::default())
+    }
+
+    /// Zeroed counters with an explicit telemetry configuration.
+    pub fn with_telemetry(telemetry: &TelemetryConfig) -> ServiceMetrics {
         ServiceMetrics {
             started_at: Instant::now(),
             queued: AtomicUsize::new(0),
@@ -133,6 +154,10 @@ impl ServiceMetrics {
             connections_active: AtomicUsize::new(0),
             frames_received: AtomicU64::new(0),
             frames_sent: AtomicU64::new(0),
+            control_frames_received: AtomicU64::new(0),
+            control_frames_sent: AtomicU64::new(0),
+            relay_frames_received: AtomicU64::new(0),
+            relay_frames_sent: AtomicU64::new(0),
             transport_bytes_received: AtomicU64::new(0),
             transport_bytes_sent: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
@@ -147,7 +172,13 @@ impl ServiceMetrics {
             failovers: AtomicU64::new(0),
             backends: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
+            telemetry: Telemetry::new(telemetry),
         }
+    }
+
+    /// The latency histograms and flight recorder riding these counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs `f` on the session's counters, creating the row on first use.
@@ -290,6 +321,40 @@ impl ServiceMetrics {
         self.frames_sent.fetch_sub(1, Ordering::Relaxed);
         self.transport_bytes_sent
             .fetch_sub(wire_len as u64, Ordering::Relaxed);
+    }
+
+    /// Transport path: a protocol-overhead frame arrived (keep-alive,
+    /// handshake, admin). Counted in the frame totals *and* the control
+    /// sub-count, so `frames_received - control_frames_received` is job
+    /// throughput.
+    pub fn control_frame_received(&self, wire_len: usize) {
+        self.frame_received(wire_len);
+        self.control_frames_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transport path: a protocol-overhead frame was committed for send.
+    /// The control sub-count is not unwound if the connection dies before
+    /// the bytes leave (the totals are, via `frame_send_aborted`).
+    pub fn control_frame_sent(&self, wire_len: usize) {
+        self.frame_sent(wire_len);
+        self.control_frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Routing tier: one frame arrived on a *backend-face* link. Wire
+    /// bytes count toward the transport totals (it is real wire traffic),
+    /// but the frame lands in `relay_frames_received` instead of
+    /// `frames_received`, so a proxied job is not double-counted.
+    pub fn relay_frame_received(&self, wire_len: usize) {
+        self.relay_frames_received.fetch_add(1, Ordering::Relaxed);
+        self.transport_bytes_received
+            .fetch_add(wire_len as u64, Ordering::Relaxed);
+    }
+
+    /// Routing tier: one frame was written to a *backend-face* link.
+    pub fn relay_frame_sent(&self, wire_len: usize) {
+        self.relay_frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.transport_bytes_sent
+            .fetch_add(wire_len as u64, Ordering::Relaxed);
     }
 
     /// Reactor path: a socket was registered with an event loop's poller.
@@ -491,6 +556,10 @@ impl ServiceMetrics {
             connections_active: self.connections_active.load(Ordering::Relaxed),
             frames_received: self.frames_received.load(Ordering::Relaxed),
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            control_frames_received: self.control_frames_received.load(Ordering::Relaxed),
+            control_frames_sent: self.control_frames_sent.load(Ordering::Relaxed),
+            relay_frames_received: self.relay_frames_received.load(Ordering::Relaxed),
+            relay_frames_sent: self.relay_frames_sent.load(Ordering::Relaxed),
             transport_bytes_received: self.transport_bytes_received.load(Ordering::Relaxed),
             transport_bytes_sent: self.transport_bytes_sent.load(Ordering::Relaxed),
             jobs_rate_limited: self.rate_limited.load(Ordering::Relaxed),
@@ -545,6 +614,7 @@ impl ServiceMetrics {
                 rows.sort_by(|a, b| a.key.cmp(&b.key));
                 rows
             },
+            histograms: self.telemetry.snapshot(),
         }
     }
 }
@@ -599,10 +669,25 @@ pub struct ServiceStats {
     pub connections_rejected: u64,
     /// Sessions open right now.
     pub connections_active: usize,
-    /// Framed messages received over all sessions.
+    /// Framed messages received over all sessions (client face for a
+    /// routing tier; includes control frames).
     pub frames_received: u64,
-    /// Framed messages sent over all sessions.
+    /// Framed messages sent over all sessions (client face; includes
+    /// control frames).
     pub frames_sent: u64,
+    /// Protocol-overhead frames received (keep-alive Ping/Pong, handshake,
+    /// admin) — a sub-count of [`frames_received`](Self::frames_received),
+    /// so `frames_received - control_frames_received` tracks job traffic.
+    pub control_frames_received: u64,
+    /// Protocol-overhead frames sent — a sub-count of
+    /// [`frames_sent`](Self::frames_sent).
+    pub control_frames_sent: u64,
+    /// Frames a routing tier received on its backend-face links. Kept out
+    /// of [`frames_received`](Self::frames_received) so one proxied job is
+    /// counted once per face, not twice on one counter.
+    pub relay_frames_received: u64,
+    /// Frames a routing tier sent on its backend-face links.
+    pub relay_frames_sent: u64,
     /// Wire bytes received (frame payloads plus length prefixes).
     pub transport_bytes_received: u64,
     /// Wire bytes sent (frame payloads plus length prefixes).
@@ -646,6 +731,520 @@ pub struct ServiceStats {
     /// Per-session QoS rows (queue depth, dispatch/shed tallies), sorted by
     /// session name; every session that ever submitted has a row.
     pub sessions: Vec<SessionStats>,
+    /// Per-stage latency histograms (only stages that recorded at least
+    /// one value), in [`Stage`] order.
+    pub histograms: Vec<(Stage, HistogramSnapshot)>,
+}
+
+fn stats_err(e: TensorError) -> CloudError {
+    CloudError::Decode(e.to_string())
+}
+
+impl ServiceStats {
+    /// The snapshot's histogram for `stage`, if that stage recorded
+    /// anything.
+    pub fn hist(&self, stage: Stage) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, h)| h)
+    }
+
+    /// Serializes the full snapshot — every counter, the backend and
+    /// session tables, and the histograms — into the byte body a
+    /// [`crate::transport::Frame::Stats`] carries.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u64(self.queue_depth as u64);
+        w.put_u64(self.in_flight as u64);
+        w.put_u64(self.jobs_submitted);
+        w.put_u64(self.jobs_completed);
+        w.put_u64(self.jobs_failed);
+        w.put_u64(self.jobs_rejected);
+        w.put_u64(self.jobs_panicked);
+        w.put_u64(self.bytes_received);
+        w.put_u64(self.bytes_sent);
+        w.put_f64(self.mean_job_seconds);
+        w.put_f64(self.jobs_per_second);
+        w.put_f64(self.uptime_seconds);
+        w.put_u64(self.connections_accepted);
+        w.put_u64(self.connections_rejected);
+        w.put_u64(self.connections_active as u64);
+        w.put_u64(self.frames_received);
+        w.put_u64(self.frames_sent);
+        w.put_u64(self.control_frames_received);
+        w.put_u64(self.control_frames_sent);
+        w.put_u64(self.relay_frames_received);
+        w.put_u64(self.relay_frames_sent);
+        w.put_u64(self.transport_bytes_received);
+        w.put_u64(self.transport_bytes_sent);
+        w.put_u64(self.jobs_rate_limited);
+        w.put_u64(self.reactor_registered_fds as u64);
+        w.put_u64(self.reactor_wakeups);
+        w.put_u64(self.reactor_events);
+        w.put_u64(self.reactor_write_queue_bytes as u64);
+        w.put_u64(self.cache_hits);
+        w.put_u64(self.coalesced);
+        w.put_u64(self.reconnects);
+        w.put_u64(self.jobs_resubmitted);
+        w.put_u64(self.failovers);
+        w.put_u32(self.backends.len() as u32);
+        for b in &self.backends {
+            w.put_str(&b.addr);
+            w.put_u8(match b.health {
+                BackendHealth::Closed => 0,
+                BackendHealth::Open => 1,
+                BackendHealth::HalfOpen => 2,
+            });
+            w.put_u64(b.sessions_routed);
+            w.put_u64(b.ejections);
+            w.put_u64(b.readmissions);
+            w.put_u64(b.probes_ok);
+            w.put_u64(b.probes_failed);
+            w.put_u64(b.failovers);
+            w.put_u64(b.jobs_resubmitted);
+        }
+        w.put_u32(self.sessions.len() as u32);
+        for s in &self.sessions {
+            w.put_str(&s.key);
+            w.put_f64(s.weight);
+            w.put_u64(s.queue_depth as u64);
+            w.put_u64(s.jobs_submitted);
+            w.put_u64(s.jobs_dispatched);
+            w.put_u64(s.jobs_completed);
+            w.put_u64(s.jobs_failed);
+            w.put_u64(s.jobs_rate_limited);
+            w.put_u64(s.jobs_shed);
+            w.put_u64(s.cache_hits);
+            w.put_u64(s.coalesced);
+        }
+        w.put_u32(self.histograms.len() as u32);
+        for (stage, hist) in &self.histograms {
+            w.put_u8(*stage as u8);
+            hist.encode_into(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Decodes a snapshot produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::Decode`] on truncation, trailing bytes, or an
+    /// unknown health/stage tag.
+    pub fn from_bytes(bytes: Bytes) -> Result<ServiceStats, CloudError> {
+        let mut r = Reader::new(bytes);
+        let mut stats = ServiceStats {
+            queue_depth: r.get_u64().map_err(stats_err)? as usize,
+            in_flight: r.get_u64().map_err(stats_err)? as usize,
+            jobs_submitted: r.get_u64().map_err(stats_err)?,
+            jobs_completed: r.get_u64().map_err(stats_err)?,
+            jobs_failed: r.get_u64().map_err(stats_err)?,
+            jobs_rejected: r.get_u64().map_err(stats_err)?,
+            jobs_panicked: r.get_u64().map_err(stats_err)?,
+            bytes_received: r.get_u64().map_err(stats_err)?,
+            bytes_sent: r.get_u64().map_err(stats_err)?,
+            mean_job_seconds: r.get_f64().map_err(stats_err)?,
+            jobs_per_second: r.get_f64().map_err(stats_err)?,
+            uptime_seconds: r.get_f64().map_err(stats_err)?,
+            connections_accepted: r.get_u64().map_err(stats_err)?,
+            connections_rejected: r.get_u64().map_err(stats_err)?,
+            connections_active: r.get_u64().map_err(stats_err)? as usize,
+            frames_received: r.get_u64().map_err(stats_err)?,
+            frames_sent: r.get_u64().map_err(stats_err)?,
+            control_frames_received: r.get_u64().map_err(stats_err)?,
+            control_frames_sent: r.get_u64().map_err(stats_err)?,
+            relay_frames_received: r.get_u64().map_err(stats_err)?,
+            relay_frames_sent: r.get_u64().map_err(stats_err)?,
+            transport_bytes_received: r.get_u64().map_err(stats_err)?,
+            transport_bytes_sent: r.get_u64().map_err(stats_err)?,
+            jobs_rate_limited: r.get_u64().map_err(stats_err)?,
+            reactor_registered_fds: r.get_u64().map_err(stats_err)? as usize,
+            reactor_wakeups: r.get_u64().map_err(stats_err)?,
+            reactor_events: r.get_u64().map_err(stats_err)?,
+            reactor_write_queue_bytes: r.get_u64().map_err(stats_err)? as usize,
+            cache_hits: r.get_u64().map_err(stats_err)?,
+            coalesced: r.get_u64().map_err(stats_err)?,
+            reconnects: r.get_u64().map_err(stats_err)?,
+            jobs_resubmitted: r.get_u64().map_err(stats_err)?,
+            failovers: r.get_u64().map_err(stats_err)?,
+            backends: Vec::new(),
+            sessions: Vec::new(),
+            histograms: Vec::new(),
+        };
+        for _ in 0..r.get_u32().map_err(stats_err)? {
+            stats.backends.push(BackendStats {
+                addr: r.get_str().map_err(stats_err)?,
+                health: match r.get_u8().map_err(stats_err)? {
+                    0 => BackendHealth::Closed,
+                    1 => BackendHealth::Open,
+                    2 => BackendHealth::HalfOpen,
+                    t => return Err(CloudError::Decode(format!("unknown health tag {t}"))),
+                },
+                sessions_routed: r.get_u64().map_err(stats_err)?,
+                ejections: r.get_u64().map_err(stats_err)?,
+                readmissions: r.get_u64().map_err(stats_err)?,
+                probes_ok: r.get_u64().map_err(stats_err)?,
+                probes_failed: r.get_u64().map_err(stats_err)?,
+                failovers: r.get_u64().map_err(stats_err)?,
+                jobs_resubmitted: r.get_u64().map_err(stats_err)?,
+            });
+        }
+        for _ in 0..r.get_u32().map_err(stats_err)? {
+            stats.sessions.push(SessionStats {
+                key: r.get_str().map_err(stats_err)?,
+                weight: r.get_f64().map_err(stats_err)?,
+                queue_depth: r.get_u64().map_err(stats_err)? as usize,
+                jobs_submitted: r.get_u64().map_err(stats_err)?,
+                jobs_dispatched: r.get_u64().map_err(stats_err)?,
+                jobs_completed: r.get_u64().map_err(stats_err)?,
+                jobs_failed: r.get_u64().map_err(stats_err)?,
+                jobs_rate_limited: r.get_u64().map_err(stats_err)?,
+                jobs_shed: r.get_u64().map_err(stats_err)?,
+                cache_hits: r.get_u64().map_err(stats_err)?,
+                coalesced: r.get_u64().map_err(stats_err)?,
+            });
+        }
+        for _ in 0..r.get_u32().map_err(stats_err)? {
+            let stage = Stage::from_u8(r.get_u8().map_err(stats_err)?)?;
+            let hist = HistogramSnapshot::decode_from(&mut r)?;
+            stats.histograms.push((stage, hist));
+        }
+        if r.remaining() != 0 {
+            return Err(CloudError::Decode(format!(
+                "{} trailing bytes after stats snapshot",
+                r.remaining()
+            )));
+        }
+        Ok(stats)
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4): one `amalgam_*` gauge/counter per field, plus
+    /// summary-style quantile series per stage histogram. This is the body
+    /// the HTTP exporter ([`crate::CloudServiceBuilder::metrics_exporter`])
+    /// serves on `/metrics`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let mut gauge = |name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP amalgam_{name} {help}");
+            let _ = writeln!(out, "# TYPE amalgam_{name} gauge");
+            if v == v.trunc() && v.abs() < 1e15 {
+                let _ = writeln!(out, "amalgam_{name} {}", v as i64);
+            } else {
+                let _ = writeln!(out, "amalgam_{name} {v}");
+            }
+        };
+        gauge(
+            "queue_depth",
+            "Jobs waiting right now.",
+            self.queue_depth as f64,
+        );
+        gauge(
+            "in_flight",
+            "Jobs inside the stack right now.",
+            self.in_flight as f64,
+        );
+        gauge(
+            "jobs_submitted_total",
+            "Jobs ever submitted.",
+            self.jobs_submitted as f64,
+        );
+        gauge(
+            "jobs_completed_total",
+            "Jobs trained to completion.",
+            self.jobs_completed as f64,
+        );
+        gauge(
+            "jobs_failed_total",
+            "Jobs answered with an error.",
+            self.jobs_failed as f64,
+        );
+        gauge(
+            "jobs_rejected_total",
+            "Jobs shed by admission control.",
+            self.jobs_rejected as f64,
+        );
+        gauge(
+            "jobs_panicked_total",
+            "Jobs whose processing panicked.",
+            self.jobs_panicked as f64,
+        );
+        gauge(
+            "jobs_rate_limited_total",
+            "Jobs refused by the per-session rate limiter.",
+            self.jobs_rate_limited as f64,
+        );
+        gauge(
+            "job_bytes_received_total",
+            "Uploaded job bytes.",
+            self.bytes_received as f64,
+        );
+        gauge(
+            "job_bytes_sent_total",
+            "Result bytes returned.",
+            self.bytes_sent as f64,
+        );
+        gauge(
+            "jobs_per_second",
+            "Completed jobs per uptime second.",
+            self.jobs_per_second,
+        );
+        gauge(
+            "uptime_seconds",
+            "Seconds since service start.",
+            self.uptime_seconds,
+        );
+        gauge(
+            "connections_accepted_total",
+            "Sessions that completed a handshake.",
+            self.connections_accepted as f64,
+        );
+        gauge(
+            "connections_rejected_total",
+            "Connections refused before a session existed.",
+            self.connections_rejected as f64,
+        );
+        gauge(
+            "connections_active",
+            "Sessions open right now.",
+            self.connections_active as f64,
+        );
+        gauge(
+            "frames_received_total",
+            "Frames received (client face).",
+            self.frames_received as f64,
+        );
+        gauge(
+            "frames_sent_total",
+            "Frames sent (client face).",
+            self.frames_sent as f64,
+        );
+        gauge(
+            "control_frames_received_total",
+            "Protocol-overhead frames received (subset of frames_received_total).",
+            self.control_frames_received as f64,
+        );
+        gauge(
+            "control_frames_sent_total",
+            "Protocol-overhead frames sent (subset of frames_sent_total).",
+            self.control_frames_sent as f64,
+        );
+        gauge(
+            "relay_frames_received_total",
+            "Frames received on backend-face links (routing tier).",
+            self.relay_frames_received as f64,
+        );
+        gauge(
+            "relay_frames_sent_total",
+            "Frames sent on backend-face links (routing tier).",
+            self.relay_frames_sent as f64,
+        );
+        gauge(
+            "transport_bytes_received_total",
+            "Wire bytes received.",
+            self.transport_bytes_received as f64,
+        );
+        gauge(
+            "transport_bytes_sent_total",
+            "Wire bytes sent.",
+            self.transport_bytes_sent as f64,
+        );
+        gauge(
+            "reactor_registered_fds",
+            "Sockets registered with the event-loop pollers.",
+            self.reactor_registered_fds as f64,
+        );
+        gauge(
+            "reactor_wakeups_total",
+            "Cross-thread event-loop wake-ups.",
+            self.reactor_wakeups as f64,
+        );
+        gauge(
+            "reactor_events_total",
+            "Readiness events processed.",
+            self.reactor_events as f64,
+        );
+        gauge(
+            "reactor_write_queue_bytes",
+            "Bytes parked in write queues (backpressure gauge).",
+            self.reactor_write_queue_bytes as f64,
+        );
+        gauge(
+            "cache_hits_total",
+            "Submissions answered from the result cache.",
+            self.cache_hits as f64,
+        );
+        gauge(
+            "coalesced_total",
+            "Submissions coalesced onto in-flight duplicates.",
+            self.coalesced as f64,
+        );
+        gauge(
+            "reconnects_total",
+            "Lost links re-established.",
+            self.reconnects as f64,
+        );
+        gauge(
+            "jobs_resubmitted_total",
+            "In-flight jobs replayed after failover.",
+            self.jobs_resubmitted as f64,
+        );
+        gauge(
+            "failovers_total",
+            "Sessions that abandoned a dying backend.",
+            self.failovers as f64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP amalgam_latency_microseconds Per-stage latency quantiles (log-linear histogram, error <= 1/16)."
+        );
+        let _ = writeln!(out, "# TYPE amalgam_latency_microseconds summary");
+        for (stage, hist) in &self.histograms {
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "amalgam_latency_microseconds{{stage=\"{stage}\",quantile=\"{label}\"}} {}",
+                    hist.quantile(q)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "amalgam_latency_microseconds_sum{{stage=\"{stage}\"}} {}",
+                hist.sum
+            );
+            let _ = writeln!(
+                out,
+                "amalgam_latency_microseconds_count{{stage=\"{stage}\"}} {}",
+                hist.count
+            );
+            let _ = writeln!(
+                out,
+                "amalgam_latency_microseconds_max{{stage=\"{stage}\"}} {}",
+                hist.max
+            );
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    /// An aligned operator-facing table: one section per concern, with the
+    /// histogram quantiles at the bottom.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.1}s · {:.2} jobs/s · mean job {:.1}ms",
+            self.uptime_seconds,
+            self.jobs_per_second,
+            self.mean_job_seconds * 1e3
+        )?;
+        writeln!(
+            f,
+            "{:<10} submitted {:<8} completed {:<8} failed {:<6} rejected {:<6} panicked {:<4} rate-limited {}",
+            "jobs",
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_rejected,
+            self.jobs_panicked,
+            self.jobs_rate_limited
+        )?;
+        writeln!(
+            f,
+            "{:<10} depth {:<6} in-flight {:<6} cache hits {:<6} coalesced {}",
+            "queue", self.queue_depth, self.in_flight, self.cache_hits, self.coalesced
+        )?;
+        writeln!(
+            f,
+            "{:<10} job in {:<10} job out {:<10} wire in {:<10} wire out {}",
+            "bytes",
+            self.bytes_received,
+            self.bytes_sent,
+            self.transport_bytes_received,
+            self.transport_bytes_sent
+        )?;
+        writeln!(
+            f,
+            "{:<10} active {:<4} accepted {:<6} rejected {:<4} frames in {} ({} ctl) / out {} ({} ctl) relay in {} / out {}",
+            "transport",
+            self.connections_active,
+            self.connections_accepted,
+            self.connections_rejected,
+            self.frames_received,
+            self.control_frames_received,
+            self.frames_sent,
+            self.control_frames_sent,
+            self.relay_frames_received,
+            self.relay_frames_sent
+        )?;
+        writeln!(
+            f,
+            "{:<10} fds {:<5} wakeups {:<8} events {:<8} write-queue {} B",
+            "reactor",
+            self.reactor_registered_fds,
+            self.reactor_wakeups,
+            self.reactor_events,
+            self.reactor_write_queue_bytes
+        )?;
+        if self.reconnects + self.jobs_resubmitted + self.failovers > 0 {
+            writeln!(
+                f,
+                "{:<10} reconnects {:<5} resubmitted {:<5} failovers {}",
+                "healing", self.reconnects, self.jobs_resubmitted, self.failovers
+            )?;
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "{:<15} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                "latency µs", "p50", "p95", "p99", "max", "count"
+            )?;
+            for (stage, hist) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {:<13} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                    stage.as_str(),
+                    hist.quantile(0.5),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99),
+                    hist.max,
+                    hist.count
+                )?;
+            }
+        }
+        for b in &self.backends {
+            writeln!(
+                f,
+                "backend {} [{}] routed {} ejected {} readmitted {} probes {}/{} failovers {} resubmitted {}",
+                b.addr,
+                b.health,
+                b.sessions_routed,
+                b.ejections,
+                b.readmissions,
+                b.probes_ok,
+                b.probes_ok + b.probes_failed,
+                b.failovers,
+                b.jobs_resubmitted
+            )?;
+        }
+        for s in &self.sessions {
+            writeln!(
+                f,
+                "session {} (w={}) depth {} submitted {} dispatched {} completed {} failed {} shed {}",
+                s.key,
+                s.weight,
+                s.queue_depth,
+                s.jobs_submitted,
+                s.jobs_dispatched,
+                s.jobs_completed,
+                s.jobs_failed,
+                s.jobs_shed
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// One backend's slice of a routing tier's telemetry: where its circuit
@@ -769,5 +1368,98 @@ mod tests {
         assert_eq!(s.bytes_sent, 40);
         assert!(s.mean_job_seconds > 0.0);
         assert!(s.uptime_seconds >= 0.0);
+    }
+
+    #[test]
+    fn control_and_relay_frames_split_out_of_job_traffic() {
+        let m = ServiceMetrics::new();
+        m.frame_received(100); // a Submit
+        m.control_frame_received(9); // a Ping
+        m.control_frame_sent(9); // the Pong
+        m.frame_sent(50); // the Reply
+        m.relay_frame_sent(100); // forwarded to a backend
+        m.relay_frame_received(50); // the backend's reply
+        let s = m.snapshot();
+        assert_eq!(s.frames_received, 2);
+        assert_eq!(s.control_frames_received, 1);
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.control_frames_sent, 1);
+        assert_eq!(s.relay_frames_received, 1);
+        assert_eq!(s.relay_frames_sent, 1);
+        // Job throughput = totals minus control, unpolluted by the relay.
+        assert_eq!(s.frames_received - s.control_frames_received, 1);
+        // Wire bytes cover both faces.
+        assert_eq!(s.transport_bytes_received, 100 + 9 + 50);
+        assert_eq!(s.transport_bytes_sent, 9 + 50 + 100);
+    }
+
+    #[test]
+    fn stats_snapshot_wire_roundtrip_is_identity() {
+        use crate::middleware::SessionKey;
+        use crate::telemetry::Stage;
+        use std::time::Duration;
+        let m = ServiceMetrics::new();
+        m.job_queued();
+        m.job_started();
+        m.job_finished(64, &ok_result(16), Duration::from_millis(3));
+        m.session_submitted(&SessionKey::ApiKey("alpha".into()), 2.0);
+        m.backend_registered("10.0.0.1:4000");
+        m.backend_probe("10.0.0.1:4000", true);
+        m.backend_ejected("10.0.0.1:4000");
+        m.telemetry()
+            .record(Stage::Train, Duration::from_micros(850));
+        m.telemetry()
+            .record(Stage::QueueWait, Duration::from_micros(17));
+        let s = m.snapshot();
+        let back = ServiceStats::from_bytes(s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+        // And the quantiles survive the trip.
+        assert_eq!(
+            back.hist(Stage::Train).unwrap().quantile(0.5),
+            s.hist(Stage::Train).unwrap().quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn prometheus_text_has_counters_and_stage_quantiles() {
+        use crate::telemetry::Stage;
+        use std::time::Duration;
+        let m = ServiceMetrics::new();
+        m.job_queued();
+        for _ in 0..10 {
+            m.telemetry()
+                .record(Stage::Train, Duration::from_micros(500));
+            m.telemetry()
+                .record(Stage::QueueWait, Duration::from_micros(40));
+        }
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE amalgam_jobs_submitted_total gauge"));
+        assert!(text.contains("amalgam_jobs_submitted_total 1"));
+        for stage in ["train", "queue_wait"] {
+            for q in ["0.5", "0.95", "0.99"] {
+                assert!(
+                    text.contains(&format!(
+                        "amalgam_latency_microseconds{{stage=\"{stage}\",quantile=\"{q}\"}}"
+                    )),
+                    "missing {stage} q{q} in:\n{text}"
+                );
+            }
+            assert!(text.contains(&format!(
+                "amalgam_latency_microseconds_count{{stage=\"{stage}\"}} 10"
+            )));
+        }
+    }
+
+    #[test]
+    fn display_renders_quantile_table() {
+        use crate::telemetry::Stage;
+        use std::time::Duration;
+        let m = ServiceMetrics::new();
+        m.telemetry()
+            .record(Stage::Train, Duration::from_micros(900));
+        let text = m.snapshot().to_string();
+        assert!(text.contains("jobs"), "{text}");
+        assert!(text.contains("latency"), "{text}");
+        assert!(text.contains("train"), "{text}");
     }
 }

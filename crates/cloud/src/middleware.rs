@@ -9,13 +9,14 @@
 use crate::metrics::ServiceMetrics;
 use crate::observer::CloudObserver;
 use crate::protocol::{CloudJob, JobResult, TaskPayload};
+use crate::telemetry::{JobTrace, SpanRecord, Stage, TraceId};
 use crate::CloudError;
 use amalgam_nn::graph::GraphModel;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The identity rate limiting and fair scheduling key on.
 ///
@@ -80,6 +81,22 @@ pub struct JobContext {
     /// the [`crate::DedupLayer`] caches successful results under it.
     /// `None` when dedup is off.
     pub content_address: Option<crate::hash::ContentAddress>,
+    /// The job's end-to-end trace id: carried over the wire for remote
+    /// jobs (protocol ≥ 2), minted at enqueue for in-process ones;
+    /// [`TraceId::NONE`] from v1 peers.
+    pub trace: TraceId,
+    /// Whether the per-stage timing wrappers should record spans for this
+    /// job (copied from the service's telemetry switch at dequeue, so the
+    /// disabled path skips every clock read).
+    pub record_spans: bool,
+    /// Microseconds the job waited between submit and dequeue, stamped by
+    /// the worker loop before the stack runs.
+    pub queue_wait_us: u64,
+    /// Per-stage spans, pushed **innermost-first** as the stack unwinds
+    /// (each stage's duration includes everything beneath it); the metrics
+    /// layer turns them into histogram updates and a flight-recorder
+    /// [`JobTrace`].
+    pub spans: Vec<SpanRecord>,
 }
 
 impl JobContext {
@@ -96,8 +113,17 @@ impl JobContext {
             session: SessionKey::Anonymous(0),
             submitted_at: Instant::now(),
             content_address: None,
+            trace: TraceId::NONE,
+            record_spans: false,
+            queue_wait_us: 0,
+            spans: Vec::new(),
         }
     }
+}
+
+/// Saturating microseconds of a [`Duration`].
+pub(crate) fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// One stage of the cloud's processing pipeline.
@@ -333,6 +359,77 @@ impl JobService for ObserverSvc {
 }
 
 // ---------------------------------------------------------------------------
+// Per-stage timing
+// ---------------------------------------------------------------------------
+
+/// Wraps another layer so every call through it is timed as one
+/// [`SpanRecord`] (stage from the layer's [`CloudLayer::name`]). The timer
+/// sits *outside* the wrapped layer's service, so a span's duration is
+/// inclusive — the layer plus everything beneath it — and the strictly
+/// nested spans let the metrics layer recover per-stage self times by
+/// subtraction, without a second clock read per layer.
+pub struct TimedLayer {
+    inner: Box<dyn CloudLayer>,
+}
+
+impl TimedLayer {
+    /// Times every call through `layer`.
+    pub fn new(layer: Box<dyn CloudLayer>) -> TimedLayer {
+        TimedLayer { inner: layer }
+    }
+
+    /// Wraps a bare service (no layer) as `stage` — used for the innermost
+    /// trainer, which is a service rather than a layer.
+    pub(crate) fn wrap_service(stage: Stage, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(TimedSvc { stage, inner })
+    }
+}
+
+impl std::fmt::Debug for TimedLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedLayer")
+            .field("layer", &self.inner.name())
+            .finish()
+    }
+}
+
+impl CloudLayer for TimedLayer {
+    fn wrap(&self, inner: Box<dyn JobService>) -> Box<dyn JobService> {
+        Box::new(TimedSvc {
+            stage: Stage::from_layer_name(self.inner.name()),
+            inner: self.inner.wrap(inner),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+struct TimedSvc {
+    stage: Stage,
+    inner: Box<dyn JobService>,
+}
+
+impl JobService for TimedSvc {
+    fn call(&self, ctx: &mut JobContext, payload: Bytes) -> Result<JobResult, CloudError> {
+        if !ctx.record_spans {
+            return self.inner.call(ctx, payload);
+        }
+        let start_us = duration_us(ctx.submitted_at.elapsed());
+        let t0 = Instant::now();
+        let result = self.inner.call(ctx, payload);
+        ctx.spans.push(SpanRecord {
+            stage: self.stage,
+            start_us,
+            dur_us: duration_us(t0.elapsed()),
+            ok: result.is_ok(),
+        });
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
 
@@ -379,9 +476,48 @@ impl JobService for MetricsSvc {
         let t0 = Instant::now();
         let _in_flight = self.metrics.job_started();
         let result = self.inner.call(ctx, payload);
-        self.metrics.job_finished(bytes_in, &result, t0.elapsed());
+        let elapsed = t0.elapsed();
+        self.metrics.job_finished(bytes_in, &result, elapsed);
         self.metrics.session_finished(&ctx.session, &result);
+        if ctx.record_spans {
+            self.finalize_trace(ctx, result.is_ok(), elapsed);
+        }
         result
+    }
+}
+
+impl MetricsSvc {
+    /// Turns the job's span stack into histogram updates and one
+    /// flight-recorder [`JobTrace`]. Spans arrive innermost-first and are
+    /// strictly nested, so stage *self* time is each span's duration minus
+    /// the one inside it; the trace stores them outermost-first with the
+    /// queue wait in front.
+    fn finalize_trace(&self, ctx: &mut JobContext, ok: bool, elapsed: Duration) {
+        let tel = self.metrics.telemetry();
+        tel.record(Stage::QueueWait, Duration::from_micros(ctx.queue_wait_us));
+        let mut inner_us = 0u64;
+        for span in &ctx.spans {
+            if tel.enabled() {
+                tel.hist(span.stage)
+                    .record(span.dur_us.saturating_sub(inner_us));
+            }
+            inner_us = span.dur_us;
+        }
+        let mut spans = Vec::with_capacity(ctx.spans.len() + 1);
+        spans.push(SpanRecord {
+            stage: Stage::QueueWait,
+            start_us: 0,
+            dur_us: ctx.queue_wait_us,
+            ok: true,
+        });
+        spans.extend(ctx.spans.iter().rev().copied());
+        tel.recorder().push(JobTrace {
+            trace: ctx.trace,
+            job_id: ctx.job_id,
+            total_us: duration_us(elapsed) + ctx.queue_wait_us,
+            ok,
+            spans,
+        });
     }
 }
 

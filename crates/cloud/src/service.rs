@@ -4,10 +4,11 @@ use crate::builder::CloudServiceBuilder;
 use crate::cache::{DedupReply, DedupShared, SubmitDecision};
 use crate::hash::ContentAddress;
 use crate::metrics::{ServiceMetrics, ServiceStats};
-use crate::middleware::{JobContext, JobService, SessionKey};
+use crate::middleware::{duration_us, JobContext, JobService, SessionKey, TimedLayer};
 use crate::observer::{CloudObserver, NullObserver};
 use crate::protocol::{CloudJob, JobResult, TaskPayload};
 use crate::queue::FairDispatcher;
+use crate::telemetry::{Stage, Telemetry, TraceId};
 use crate::CloudError;
 use amalgam_core::trainer::{epoch_rng, lm_head_loss};
 use amalgam_data::BatchIter;
@@ -20,6 +21,7 @@ use amalgam_tensor::Tensor;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -105,6 +107,9 @@ pub(crate) struct Envelope {
     session: SessionKey,
     payload: Bytes,
     auth: Option<Arc<str>>,
+    /// End-to-end trace id: minted at the submit boundary for in-process
+    /// jobs, carried in from the wire for protocol-v2 transport submits.
+    trace: TraceId,
     /// The payload's content address when dedup is enabled — what the
     /// in-stack [`crate::DedupLayer`] caches a successful result under.
     content_address: Option<ContentAddress>,
@@ -122,6 +127,11 @@ pub struct CloudService {
     next_id: Arc<AtomicU64>,
     next_session: Arc<AtomicU64>,
     dedup: Option<Arc<DedupShared>>,
+    /// The accepted API keys, kept for the transport's `GetStats`
+    /// authorization check (the in-stack copy is consumed by `assemble`).
+    api_keys: Option<Arc<[String]>>,
+    /// Where the transport should serve Prometheus metrics, if anywhere.
+    metrics_exporter: Option<SocketAddr>,
 }
 
 impl CloudService {
@@ -142,9 +152,22 @@ impl CloudService {
     }
 
     pub(crate) fn from_builder(mut builder: CloudServiceBuilder) -> CloudService {
-        let metrics = Arc::new(ServiceMetrics::new());
+        let metrics = Arc::new(ServiceMetrics::with_telemetry(&builder.telemetry));
+        // `assemble` consumes the in-stack API-key list; keep a copy for the
+        // transport's GetStats authorization check.
+        let api_keys = builder
+            .api_keys
+            .clone()
+            .map(|keys| Arc::from(keys.into_boxed_slice()));
+        let metrics_exporter = builder.metrics_exporter;
+        let timed = builder.telemetry.enabled;
         let (stack, dedup) = builder.assemble(Arc::clone(&metrics));
-        let service: Arc<dyn JobService> = Arc::from(stack.service(Box::new(TrainService)));
+        let trainer: Box<dyn JobService> = if timed {
+            TimedLayer::wrap_service(Stage::Train, Box::new(TrainService))
+        } else {
+            Box::new(TrainService)
+        };
+        let service: Arc<dyn JobService> = Arc::from(stack.service(trainer));
         let queue = Arc::new(FairDispatcher::new(std::mem::take(
             &mut builder.session_weights,
         )));
@@ -167,6 +190,8 @@ impl CloudService {
             next_id: Arc::new(AtomicU64::new(0)),
             next_session: Arc::new(AtomicU64::new(0)),
             dedup,
+            api_keys,
+            metrics_exporter,
         }
     }
 
@@ -192,9 +217,26 @@ impl CloudService {
         Arc::clone(&self.metrics)
     }
 
+    /// The API keys a `GetStats` requester may authorize with (`None` when
+    /// the service accepts anonymous sessions).
+    pub(crate) fn api_keys(&self) -> Option<Arc<[String]>> {
+        self.api_keys.clone()
+    }
+
+    /// Where the transport server should bind the Prometheus exporter.
+    pub(crate) fn metrics_exporter_addr(&self) -> Option<SocketAddr> {
+        self.metrics_exporter
+    }
+
     /// Point-in-time telemetry: latency, throughput, bytes, queue depth.
     pub fn stats(&self) -> ServiceStats {
         self.metrics.snapshot()
+    }
+
+    /// The service's telemetry plane: per-stage latency histograms and the
+    /// flight recorder (look a job up by its trace id after the fact).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.metrics.telemetry()
     }
 
     /// Number of worker threads.
@@ -238,6 +280,7 @@ fn worker_loop(
     service: &dyn JobService,
     metrics: &ServiceMetrics,
 ) {
+    let record_spans = metrics.telemetry().enabled();
     while let Some(envelope) = queue.pop() {
         metrics.job_dequeued();
         metrics.session_dispatched(&envelope.session);
@@ -246,6 +289,11 @@ fn worker_loop(
         ctx.session = envelope.session;
         ctx.submitted_at = envelope.submitted_at;
         ctx.content_address = envelope.content_address;
+        ctx.trace = envelope.trace;
+        ctx.record_spans = record_spans;
+        if record_spans {
+            ctx.queue_wait_us = duration_us(envelope.submitted_at.elapsed());
+        }
         let result = service.call(&mut ctx, envelope.payload);
         envelope.reply.send(result);
     }
@@ -320,7 +368,7 @@ impl CloudClient {
             return Err(CloudError::ServiceUnavailable);
         }
         let (reply_tx, reply_rx) = unbounded();
-        let id = self.enqueue(payload, ReplySink::Handle(reply_tx))?;
+        let id = self.enqueue(payload, ReplySink::Handle(reply_tx), TraceId::NONE)?;
         Ok(JobHandle {
             id,
             rx: reply_rx,
@@ -339,11 +387,12 @@ impl CloudClient {
         payload: Bytes,
         tag: u64,
         replies: RoutedSender,
+        trace: TraceId,
     ) -> Result<u64, CloudError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(CloudError::ServiceUnavailable);
         }
-        self.enqueue(payload, ReplySink::Routed { tag, tx: replies })
+        self.enqueue(payload, ReplySink::Routed { tag, tx: replies }, trace)
     }
 
     /// The one enqueue path: stamps id, submit instant and session, then
@@ -358,8 +407,21 @@ impl CloudClient {
     /// ever entering the queue or occupying a worker — and only the first
     /// submission of an address falls through to an actual enqueue, its
     /// reply wrapped so the one execution also resolves every waiter.
-    fn enqueue(&self, payload: Bytes, mut reply: ReplySink) -> Result<u64, CloudError> {
+    fn enqueue(
+        &self,
+        payload: Bytes,
+        mut reply: ReplySink,
+        trace: TraceId,
+    ) -> Result<u64, CloudError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Jobs that arrive without a trace (in-process submits, protocol-v1
+        // transport sessions) are the trace root: mint the id here so every
+        // job is observable, not just remotely-traced ones.
+        let trace = if trace.is_none() && self.metrics.telemetry().enabled() {
+            TraceId::mint()
+        } else {
+            trace
+        };
         let mut content_address = None;
         if let Some(dedup) = &self.dedup {
             match dedup.intercept(id, &self.session, &payload, reply) {
@@ -380,6 +442,7 @@ impl CloudClient {
             session: self.session.clone(),
             payload,
             auth: self.api_key.clone(),
+            trace,
             content_address,
             reply,
         };

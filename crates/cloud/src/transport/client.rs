@@ -28,7 +28,10 @@ use super::frame::{self, read_frame_blocking, write_frame, Frame};
 use super::{
     ClientStats, ReconnectPolicy, TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use crate::metrics::ServiceStats;
+use crate::middleware::duration_us;
 use crate::protocol::{CloudJob, JobResult};
+use crate::telemetry::{JobTrace, SpanRecord, Stage, Telemetry, TelemetryConfig, TraceId};
 use crate::CloudError;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -66,6 +69,12 @@ struct Conn {
 struct PendingJob {
     tx: Sender<Result<JobResult, CloudError>>,
     payload: Bytes,
+    /// End-to-end trace id minted at submit; rides the Submit frame's
+    /// trace extension when the server speaks protocol v2.
+    trace: TraceId,
+    /// When this job's Submit frame last hit the socket (reset on
+    /// resubmission), so the reply can be scored as a round-trip.
+    sent_at: Instant,
     /// Automatic resubmissions left before errors surface to the handle.
     resubmits_left: u32,
     /// While `Some`, a scheduled retry owns this job: it must not be
@@ -94,6 +103,12 @@ struct ClientShared {
     generation: AtomicU64,
     /// In-flight request ids → reply routing and resubmission state.
     pending: Mutex<HashMap<u64, PendingJob>>,
+    /// In-flight `GetStats` request ids → where the decoded snapshot goes.
+    stats_waiters: Mutex<HashMap<u64, Sender<Result<ServiceStats, CloudError>>>>,
+    /// Client-side telemetry: the submit-to-reply RTT histogram
+    /// ([`Stage::Rpc`]) and a flight recorder holding the client's view of
+    /// each trace — the first of the three tiers a trace id is visible at.
+    telemetry: Telemetry,
     next_request: AtomicU64,
     closed: AtomicBool,
     /// Negotiated protocol version (first handshake).
@@ -128,6 +143,21 @@ impl ClientShared {
         };
         for (_, job) in pending {
             let _ = job.tx.send(Err(CloudError::ServiceUnavailable));
+        }
+        self.fail_stats_waiters();
+    }
+
+    /// Answers every outstanding `GetStats` request with
+    /// [`CloudError::ServiceUnavailable`]. Stats requests are not
+    /// resubmitted across reconnects (a snapshot of a connection that died
+    /// is not worth healing), so this runs on every link loss.
+    fn fail_stats_waiters(&self) {
+        let waiters: Vec<_> = {
+            let mut map = self.stats_waiters.lock();
+            map.drain().collect()
+        };
+        for (_, tx) in waiters {
+            let _ = tx.send(Err(CloudError::ServiceUnavailable));
         }
     }
 
@@ -177,33 +207,69 @@ impl ClientShared {
         }
         let job = self.pending.lock().remove(&id);
         if let Some(job) = job {
+            self.record_rpc(id, &job, result.is_ok());
             let _ = job.tx.send(result);
         }
+    }
+
+    /// Scores one answered job into the client telemetry plane: the
+    /// submit-to-reply round trip lands in the [`Stage::Rpc`] histogram and
+    /// the flight recorder gains this tier's view of the trace.
+    fn record_rpc(&self, id: u64, job: &PendingJob, ok: bool) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let rtt = job.sent_at.elapsed();
+        self.telemetry.record(Stage::Rpc, rtt);
+        let dur_us = duration_us(rtt);
+        self.telemetry.recorder().push(JobTrace {
+            trace: job.trace,
+            job_id: id,
+            total_us: dur_us,
+            ok,
+            spans: vec![SpanRecord {
+                stage: Stage::Rpc,
+                start_us: 0,
+                dur_us,
+                ok,
+            }],
+        });
     }
 
     /// Writes one pending job's Submit frame to `conn`. Returns `false`
     /// when the link broke (and reports it), `true` otherwise — including
     /// the job-local failure of an oversized payload, which is answered on
     /// its own handle without condemning the link.
-    fn write_pending(&self, conn: &Conn, id: u64, payload: &Bytes) -> bool {
+    /// The Submit frame's trace-extension bytes, or `None` when the trace
+    /// must stay off the wire (v1 server, or no trace minted).
+    fn trace_tail(&self, trace: TraceId) -> Option<[u8; frame::TRACE_EXT_LEN]> {
+        (self.version >= 2 && !trace.is_none()).then(|| frame::trace_tail(trace))
+    }
+
+    fn write_pending(&self, conn: &Conn, id: u64, payload: &Bytes, trace: TraceId) -> bool {
         let head = frame::submit_head(id, payload.len());
+        let tail = self.trace_tail(trace);
+        let tail: &[u8] = tail.as_ref().map_or(&[], |t| &t[..]);
         let cap = conn.max_frame_len.min(u32::MAX as usize);
-        if head.len() + payload.len() > cap {
+        if head.len() + payload.len() + tail.len() > cap {
             if let Some(job) = self.pending.lock().remove(&id) {
                 let _ = job.tx.send(Err(CloudError::Transport(format!(
                     "job frame of {} bytes exceeds the connection's cap of {cap} bytes",
-                    head.len() + payload.len()
+                    head.len() + payload.len() + tail.len()
                 ))));
             }
             return true;
         }
         let written = {
             let mut w = conn.writer.lock();
-            frame::write_split(&mut *w, &head, payload)
+            frame::write_split(&mut *w, &head, payload, tail)
         };
         match written {
             Ok(_) => {
                 *conn.last_write.lock() = Instant::now();
+                if let Some(job) = self.pending.lock().get_mut(&id) {
+                    job.sent_at = Instant::now();
+                }
                 true
             }
             Err(_) => {
@@ -340,6 +406,8 @@ impl RemoteCloudClient {
             conn: Mutex::new(Some(conn)),
             generation: AtomicU64::new(0),
             pending: Mutex::new(HashMap::new()),
+            stats_waiters: Mutex::new(HashMap::new()),
+            telemetry: Telemetry::new(&TelemetryConfig::default()),
             next_request: AtomicU64::new(0),
             closed: AtomicBool::new(false),
             version,
@@ -368,13 +436,65 @@ impl RemoteCloudClient {
     }
 
     /// This client's self-healing tallies (all zero without a
-    /// [`ReconnectPolicy`]).
+    /// [`ReconnectPolicy`]) plus its submit-to-reply round-trip histogram.
     pub fn stats(&self) -> ClientStats {
         ClientStats {
             reconnects: self.shared.reconnects.load(Ordering::Relaxed),
             jobs_resubmitted: self.shared.jobs_resubmitted.load(Ordering::Relaxed),
             retries_scheduled: self.shared.retries_scheduled.load(Ordering::Relaxed),
+            rtt: self.shared.telemetry.hist(Stage::Rpc).snapshot(),
         }
+    }
+
+    /// The client-side telemetry plane: the [`Stage::Rpc`] round-trip
+    /// histogram and a flight recorder holding this tier's view of every
+    /// answered trace (look a job up by the trace id the server echoed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Fetches the **server's** full [`ServiceStats`] snapshot over this
+    /// session — the wire twin of [`crate::CloudServer::stats`], available
+    /// to remote operators without a listener-side handle.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Handshake`] if the server predates protocol v2,
+    /// [`CloudError::Unauthorized`] if the service requires API keys and
+    /// this session's key is not among them, plus the usual transport
+    /// surface ([`CloudError::ServiceUnavailable`] on a dead session).
+    pub fn fetch_stats(&self) -> Result<ServiceStats, CloudError> {
+        let shared = &*self.shared;
+        if shared.is_closed() {
+            return Err(CloudError::ServiceUnavailable);
+        }
+        if shared.version < 2 {
+            return Err(CloudError::Handshake(
+                "server protocol predates GetStats (needs v2)".into(),
+            ));
+        }
+        let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        shared.stats_waiters.lock().insert(id, tx);
+        let Some(conn) = shared.conn.lock().clone() else {
+            shared.stats_waiters.lock().remove(&id);
+            return Err(CloudError::ServiceUnavailable);
+        };
+        let written = {
+            let mut w = conn.writer.lock();
+            write_frame(&mut *w, &Frame::GetStats { request_id: id })
+        };
+        match written {
+            Ok(_) => *conn.last_write.lock() = Instant::now(),
+            Err(e) => {
+                shared.stats_waiters.lock().remove(&id);
+                shared.link_down(conn.generation);
+                return Err(CloudError::Transport(format!(
+                    "stats request write failed: {e}"
+                )));
+            }
+        }
+        rx.recv().map_err(|_| CloudError::ServiceUnavailable)?
     }
 
     /// Uploads a job (serializing it — this *is* the trust boundary now)
@@ -404,6 +524,15 @@ impl RemoteCloudClient {
         }
         let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
         let reconnecting = shared.supervisor.is_some();
+        // Mint the end-to-end trace id here — the submit instant is the
+        // root of the trace. It rides the frame's trace extension when the
+        // server speaks v2; against a v1 server it still names this
+        // client's own span of the job.
+        let trace = if shared.telemetry.enabled() {
+            TraceId::mint()
+        } else {
+            TraceId::NONE
+        };
         let (tx, rx) = unbounded();
         // The payload is retained (a cheap refcount clone) so the
         // supervisor can resubmit it verbatim; without a policy it is
@@ -413,6 +542,8 @@ impl RemoteCloudClient {
             PendingJob {
                 tx,
                 payload: payload.clone(),
+                trace,
+                sent_at: Instant::now(),
                 resubmits_left: shared
                     .config
                     .reconnect
@@ -429,7 +560,9 @@ impl RemoteCloudClient {
                 // caller's buffer to the socket, after only the small frame
                 // head is built.
                 let head = frame::submit_head(id, payload.len());
-                let body_len = head.len() + payload.len();
+                let tail = shared.trace_tail(trace);
+                let tail: &[u8] = tail.as_ref().map_or(&[], |t| &t[..]);
+                let body_len = head.len() + payload.len() + tail.len();
                 // The wire cap is the smaller of the server's advertised
                 // limit and what a u32 length prefix can carry at all;
                 // refusing here keeps an oversized job from killing the
@@ -443,7 +576,7 @@ impl RemoteCloudClient {
                 }
                 let written = {
                     let mut w = conn.writer.lock();
-                    frame::write_split(&mut *w, &head, &payload)
+                    frame::write_split(&mut *w, &head, &payload, tail)
                 };
                 if let Err(e) = written {
                     if reconnecting {
@@ -515,9 +648,26 @@ fn spawn_reader(
         .name("cloud-remote-reader".into())
         .spawn(move || loop {
             match read_frame_blocking(&mut stream, max_frame_len) {
-                Ok(Some((Frame::Reply { request_id, result }, _))) => {
+                // The echoed trace id (when present) matches the one this
+                // client minted at submit; the pending entry already holds
+                // it, so the tail needs no routing of its own.
+                Ok(Some((
+                    Frame::Reply {
+                        request_id,
+                        result,
+                        trace: _,
+                    },
+                    _,
+                ))) => {
                     let Some(shared) = weak.upgrade() else { return };
                     shared.handle_reply(request_id, result);
+                }
+                Ok(Some((Frame::Stats { request_id, body }, _))) => {
+                    let Some(shared) = weak.upgrade() else { return };
+                    let waiter = shared.stats_waiters.lock().remove(&request_id);
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(body.and_then(ServiceStats::from_bytes));
+                    }
                 }
                 Ok(Some((Frame::Pong { .. }, _))) => {}
                 // Anything else from the server — or EOF, or a transport/
@@ -660,6 +810,9 @@ fn handle_link_down(
             let _ = conn.writer.lock().shutdown(Shutdown::Both);
         }
     }
+    // Jobs heal across the redial; stats requests do not (a snapshot of a
+    // dead connection is not worth waiting a backoff for).
+    shared.fail_stats_waiters();
     jitter.reset();
     let mut attempts = 0usize;
     loop {
@@ -709,17 +862,17 @@ fn handle_link_down(
 /// fire itself once due; rewriting those here could beat their
 /// `retry_after`.
 fn resubmit_pending(shared: &Arc<ClientShared>, conn: &Conn) {
-    let mut ids: Vec<(u64, Bytes)> = shared
+    let mut ids: Vec<(u64, Bytes, TraceId)> = shared
         .pending
         .lock()
         .iter()
         .filter(|(_, job)| job.not_before.is_none())
-        .map(|(id, job)| (*id, job.payload.clone()))
+        .map(|(id, job)| (*id, job.payload.clone(), job.trace))
         .collect();
     // Request-id order preserves the caller's submission order.
-    ids.sort_by_key(|(id, _)| *id);
-    for (id, payload) in ids {
-        if !shared.write_pending(conn, id, &payload) {
+    ids.sort_by_key(|(id, _, _)| *id);
+    for (id, payload, trace) in ids {
+        if !shared.write_pending(conn, id, &payload, trace) {
             return;
         }
         shared.jobs_resubmitted.fetch_add(1, Ordering::Relaxed);
@@ -730,18 +883,18 @@ fn resubmit_pending(shared: &Arc<ClientShared>, conn: &Conn) {
 /// is rewritten if the link is up. If the link is down the job simply
 /// rejoins the ordinary pending set — the next reconnect resubmits it.
 fn fire_retry(shared: &Arc<ClientShared>, id: u64) {
-    let payload = {
+    let (payload, trace) = {
         let mut pending = shared.pending.lock();
         let Some(job) = pending.get_mut(&id) else {
             return;
         };
         job.not_before = None;
-        job.payload.clone()
+        (job.payload.clone(), job.trace)
     };
     let Some(conn) = shared.conn.lock().clone() else {
         return;
     };
-    if shared.write_pending(&conn, id, &payload) {
+    if shared.write_pending(&conn, id, &payload, trace) {
         shared.jobs_resubmitted.fetch_add(1, Ordering::Relaxed);
     }
 }

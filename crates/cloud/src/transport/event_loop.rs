@@ -49,16 +49,18 @@ use super::server::ServerShared;
 use super::timer::{Fired, TimerKind, TimerWheel};
 use super::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::metrics::ServiceMetrics;
+use crate::middleware::SessionKey;
 use crate::protocol::JobResult;
 use crate::service::{CloudClient, RoutedSender};
+use crate::telemetry::{Stage, TraceId};
 use crate::CloudError;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use reactor::{Event, Interest, Poller, WakeReceiver, Waker};
 use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Write};
-use std::net::{Shutdown, TcpStream};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -66,6 +68,13 @@ use std::time::{Duration, Instant};
 
 /// Token reserved for the reactor's own wake pipe.
 const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Token reserved for the Prometheus exporter's listener (reactor 0 only).
+const EXPORTER_TOKEN: u64 = u64::MAX - 1;
+
+/// Cap on one exporter request's header bytes; enough for any scraper's
+/// `GET /metrics` preamble, small enough that a hostile peer buys nothing.
+const HTTP_REQUEST_CAP: usize = 4096;
 
 /// Timer wheel granularity. Deadlines fire within one tick of their due
 /// time, never early.
@@ -122,11 +131,18 @@ pub(super) fn spawn_reactor(
     handle: Arc<ReactorShared>,
     wake_rx: WakeReceiver,
     mut poller: Poller,
+    exporter: Option<TcpListener>,
 ) -> std::thread::JoinHandle<()> {
     poller
         .register(wake_rx.fd(), WAKER_TOKEN, Interest::READABLE)
         .expect("register reactor waker");
     shared.metrics.reactor_fd_registered();
+    if let Some(listener) = &exporter {
+        poller
+            .register(listener.as_raw_fd(), EXPORTER_TOKEN, Interest::READABLE)
+            .expect("register metrics exporter listener");
+        shared.metrics.reactor_fd_registered();
+    }
     std::thread::Builder::new()
         .name(format!("cloud-reactor-{index}"))
         .spawn(move || {
@@ -140,6 +156,8 @@ pub(super) fn spawn_reactor(
                 next_token: 0,
                 events: Vec::new(),
                 fired: Vec::new(),
+                exporter,
+                http_conns: HashMap::new(),
             }
             .run()
         })
@@ -192,6 +210,11 @@ struct Conn {
     routed: RoutedSender,
     /// Session identity, present once the handshake succeeded.
     session_client: Option<CloudClient>,
+    /// Protocol version negotiated at the handshake (0 until then). Trace
+    /// extensions and Stats frames are only written when this is ≥ 2.
+    version: u32,
+    /// Trace id of each accepted submit, echoed onto its Reply frame.
+    traces: HashMap<u64, TraceId>,
     /// Submits accepted but whose reply bytes are not yet fully flushed
     /// (or discarded). Queued replies count: a peer that stops reading
     /// keeps its slots occupied.
@@ -257,8 +280,14 @@ impl WriteQueue {
         // (Counting at flush races: on a busy box the completing write can
         // wake the peer, which reads the stats before the writing thread
         // gets to increment.) Frames discarded unsent are uncounted again.
-        if let Some((wire, _)) = end_of_frame {
-            metrics.frame_sent(wire);
+        // Non-reply frames are protocol overhead (Welcome, Pong, Reject,
+        // Stats): counted in the totals *and* the control sub-counter.
+        if let Some((wire, is_reply)) = end_of_frame {
+            if is_reply {
+                metrics.frame_sent(wire);
+            } else {
+                metrics.control_frame_sent(wire);
+            }
         }
         self.q.push_back(Pending {
             buf,
@@ -278,11 +307,20 @@ impl WriteQueue {
     }
 
     /// Queues a successful reply without copying the serialized result into
-    /// a frame-body buffer (the wire bytes match `Frame::Reply` exactly).
+    /// a frame-body buffer (the wire bytes match `Frame::Reply` exactly,
+    /// including the optional protocol-v2 trace extension as a third chunk).
     /// Returns `false` if the frame would overflow the u32 length prefix.
-    fn push_reply_ok(&mut self, request_id: u64, result: Bytes, metrics: &ServiceMetrics) -> bool {
+    fn push_reply_ok(
+        &mut self,
+        request_id: u64,
+        result: Bytes,
+        trace: Option<TraceId>,
+        metrics: &ServiceMetrics,
+    ) -> bool {
+        let tail = trace.map(frame::trace_tail);
+        let tail_len = tail.map_or(0, |t| t.len());
         let head = frame::reply_ok_head(request_id, result.len());
-        let total = head.len() + result.len();
+        let total = head.len() + result.len() + tail_len;
         if total > u32::MAX as usize {
             return false;
         }
@@ -290,7 +328,13 @@ impl WriteQueue {
         v.extend_from_slice(&(total as u32).to_le_bytes());
         v.extend_from_slice(&head);
         self.push(Bytes::from(v), None, metrics);
-        self.push(result, Some((4 + total, true)), metrics);
+        match tail {
+            Some(t) => {
+                self.push(result, None, metrics);
+                self.push(Bytes::from(t.to_vec()), Some((4 + total, true)), metrics);
+            }
+            None => self.push(result, Some((4 + total, true)), metrics),
+        }
         true
     }
 
@@ -299,25 +343,12 @@ impl WriteQueue {
     fn flush(&mut self, stream: &mut TcpStream, metrics: &ServiceMetrics) -> (usize, FlushOutcome) {
         let mut replies = 0;
         loop {
-            let Some(front) = self.q.front_mut() else {
-                return (replies, FlushOutcome::Drained);
-            };
-            if front.pos < front.buf.len() {
-                match stream.write(&front.buf[front.pos..]) {
-                    Ok(0) => return (replies, FlushOutcome::Broken),
-                    Ok(n) => {
-                        front.pos += n;
-                        self.bytes -= n;
-                        metrics.write_queue_shrank(n);
-                    }
-                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        return (replies, FlushOutcome::Blocked)
-                    }
-                    Err(_) => return (replies, FlushOutcome::Broken),
+            // Pop chunks that are already fully written (including any
+            // zero-length ones) before gathering.
+            while let Some(front) = self.q.front() {
+                if front.pos < front.buf.len() {
+                    break;
                 }
-            }
-            if front.pos == front.buf.len() {
                 if let Some((_, is_reply)) = front.end_of_frame {
                     // Counted at push time; here only the in-flight slot is
                     // released, which genuinely requires the bytes flushed.
@@ -326,6 +357,49 @@ impl WriteQueue {
                     }
                 }
                 self.q.pop_front();
+            }
+            if self.q.is_empty() {
+                return (replies, FlushOutcome::Drained);
+            }
+            // Gather the front chunks into one vectored write: a reply
+            // split into prefix/head, payload and trace-tail chunks leaves
+            // in a single syscall, not one small TCP segment per chunk.
+            let mut iov = [std::io::IoSlice::new(&[]); 8];
+            let mut n_iov = 0;
+            for p in self.q.iter() {
+                if n_iov == iov.len() {
+                    break;
+                }
+                if p.pos < p.buf.len() {
+                    iov[n_iov] = std::io::IoSlice::new(&p.buf[p.pos..]);
+                    n_iov += 1;
+                }
+            }
+            match stream.write_vectored(&iov[..n_iov]) {
+                Ok(0) => return (replies, FlushOutcome::Broken),
+                Ok(mut n) => {
+                    self.bytes -= n;
+                    metrics.write_queue_shrank(n);
+                    while n > 0 {
+                        let front = self.q.front_mut().expect("wrote beyond queued bytes");
+                        let take = n.min(front.buf.len() - front.pos);
+                        front.pos += take;
+                        n -= take;
+                        if front.pos == front.buf.len() {
+                            if let Some((_, is_reply)) = front.end_of_frame {
+                                if is_reply {
+                                    replies += 1;
+                                }
+                            }
+                            self.q.pop_front();
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    return (replies, FlushOutcome::Blocked)
+                }
+                Err(_) => return (replies, FlushOutcome::Broken),
             }
         }
     }
@@ -361,6 +435,25 @@ struct Reactor {
     /// Reused buffers for poll results and fired timers.
     events: Vec<Event>,
     fired: Vec<Fired>,
+    /// The Prometheus exporter's listener (reactor 0 only).
+    exporter: Option<TcpListener>,
+    /// In-progress exporter scrapes, keyed by poller token.
+    http_conns: HashMap<u64, HttpConn>,
+}
+
+/// One Prometheus scrape in flight: read the request head, write one
+/// `HTTP/1.0` response, close. No keep-alive, no routing — every path gets
+/// the metrics body.
+struct HttpConn {
+    stream: TcpStream,
+    /// Request bytes read so far (only until the header terminator).
+    request: Vec<u8>,
+    /// The rendered response once the request head is complete.
+    response: Option<Bytes>,
+    /// Bytes of `response` already written.
+    written: usize,
+    /// Interest currently registered with the poller.
+    interest: Interest,
 }
 
 impl Reactor {
@@ -384,6 +477,10 @@ impl Reactor {
             for ev in &events {
                 if ev.token == WAKER_TOKEN {
                     self.wake_rx.drain();
+                } else if ev.token == EXPORTER_TOKEN {
+                    self.accept_http(stopped);
+                } else if self.http_conns.contains_key(&ev.token) {
+                    self.handle_http_io(ev.token, ev.readable, ev.writable);
                 } else {
                     self.handle_io(ev.token, ev.readable, ev.writable);
                 }
@@ -461,6 +558,8 @@ impl Reactor {
                 replies_rx: rx,
                 routed: RoutedSender::new(tx, notify),
                 session_client: None,
+                version: 0,
+                traces: HashMap::new(),
                 in_flight: 0,
                 counts_submitter: true,
                 counts_session_open: false,
@@ -520,12 +619,157 @@ impl Reactor {
         }
     }
 
+    /// Accepts pending exporter connections onto this reactor's poller.
+    fn accept_http(&mut self, stopped: bool) {
+        let Some(listener) = &self.exporter else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stopped || stream.set_nonblocking(true).is_err() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    self.shared.metrics.reactor_fd_registered();
+                    self.http_conns.insert(
+                        token,
+                        HttpConn {
+                            stream,
+                            request: Vec::new(),
+                            response: None,
+                            written: 0,
+                            interest: Interest::READABLE,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drives one exporter scrape: read until the request head is complete,
+    /// render the metrics page once, write it out, close.
+    fn handle_http_io(&mut self, token: u64, readable: bool, _writable: bool) {
+        let Some(http) = self.http_conns.get_mut(&token) else {
+            return;
+        };
+        let mut dead = false;
+        if readable && http.response.is_none() {
+            let mut buf = [0u8; 1024];
+            loop {
+                match http.stream.read(&mut buf) {
+                    Ok(0) => {
+                        // EOF before the terminator: answer what we have
+                        // anyway (curl-with---http0.9-style minimal peers).
+                        break;
+                    }
+                    Ok(n) => {
+                        http.request.extend_from_slice(&buf[..n]);
+                        if http.request.len() >= HTTP_REQUEST_CAP
+                            || http.request.windows(4).any(|w| w == b"\r\n\r\n")
+                        {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if http.request.is_empty()
+                            || !http.request.windows(4).any(|w| w == b"\r\n\r\n")
+                        {
+                            return; // head still incomplete; wait for more
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                let body = self.shared.metrics.snapshot().to_prometheus();
+                let mut resp = Vec::with_capacity(body.len() + 128);
+                resp.extend_from_slice(b"HTTP/1.0 200 OK\r\n");
+                resp.extend_from_slice(b"Content-Type: text/plain; version=0.0.4\r\n");
+                resp.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+                resp.extend_from_slice(b"Connection: close\r\n\r\n");
+                resp.extend_from_slice(body.as_bytes());
+                http.response = Some(Bytes::from(resp));
+            }
+        }
+        if !dead {
+            if let Some(resp) = &http.response {
+                let done = loop {
+                    if http.written >= resp.len() {
+                        break true;
+                    }
+                    match http.stream.write(&resp[http.written..]) {
+                        Ok(0) => break true,
+                        Ok(n) => http.written += n,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break false,
+                        Err(_) => break true,
+                    }
+                };
+                if !done {
+                    let want = Interest {
+                        readable: false,
+                        writable: true,
+                    };
+                    if http.interest != want
+                        && self
+                            .poller
+                            .reregister(http.stream.as_raw_fd(), token, want)
+                            .is_ok()
+                    {
+                        http.interest = want;
+                    }
+                    return; // the write resumes on the next event
+                }
+                dead = true; // response fully written (or broken): close
+            }
+        }
+        if dead {
+            if self.poller.deregister(http.stream.as_raw_fd()).is_ok() {
+                self.shared.metrics.reactor_fd_deregistered();
+            }
+            let _ = http.stream.shutdown(Shutdown::Both);
+            self.http_conns.remove(&token);
+        }
+    }
+
     /// Stop ordering: every connection that could still submit stops being
     /// able to (handshakes die, established sessions drain), and only then
     /// does the submitter gauge hit zero — which is what lets
     /// `CloudServer::shutdown` drain the service knowing the reply set is
     /// complete.
     fn apply_stop(&mut self) {
+        // The exporter dies first: no new scrapes, and in-flight ones are
+        // dropped (a scraper retries; a half-written metrics page is junk
+        // either way once the server is gone).
+        if let Some(listener) = self.exporter.take() {
+            if self.poller.deregister(listener.as_raw_fd()).is_ok() {
+                self.shared.metrics.reactor_fd_deregistered();
+            }
+        }
+        for (_, http) in self.http_conns.drain() {
+            if self.poller.deregister(http.stream.as_raw_fd()).is_ok() {
+                self.shared.metrics.reactor_fd_deregistered();
+            }
+            let _ = http.stream.shutdown(Shutdown::Both);
+        }
         let Reactor {
             conns,
             poller,
@@ -670,7 +914,13 @@ fn drain_frames(
         }
         match conn.decoder.next_frame(shared.config.max_frame_len) {
             Ok(Some((frame, wire_len))) => {
-                shared.metrics.frame_received(wire_len);
+                // Job traffic (Submit) moves only the totals; everything
+                // else is protocol overhead and also bumps the control
+                // sub-counter.
+                match &frame {
+                    Frame::Submit { .. } => shared.metrics.frame_received(wire_len),
+                    _ => shared.metrics.control_frame_received(wire_len),
+                }
                 handle_frame(conn, frame, shared, poller, wheel);
             }
             Ok(None) => return true,
@@ -741,6 +991,7 @@ fn handle_frame(
             // connection submits: the handshake's key, or a fresh
             // anonymous session.
             conn.session_client = Some(shared.client.for_transport_session(auth));
+            conn.version = version;
             conn.state = ConnState::Established;
             // Swap the handshake deadline for the (usually longer, possibly
             // shorter) idle deadline.
@@ -769,12 +1020,14 @@ fn handle_frame(
             Frame::Submit {
                 request_id,
                 payload,
+                trace,
             },
         ) => {
             let session = conn
                 .session_client
                 .as_ref()
                 .expect("established connections have a session");
+            let trace = trace.unwrap_or(TraceId::NONE);
             // The cap judges accepted-but-unflushed replies too: submits
             // are shed while earlier replies sit in the write queue.
             let in_flight_before = conn.in_flight;
@@ -790,14 +1043,50 @@ fn handle_frame(
                     }),
                     shared,
                 );
-            } else if let Err(e) = session.submit_routed(payload, request_id, conn.routed.clone()) {
-                queue_reply(conn, request_id, Err(e), shared);
+            } else {
+                // Remember the trace for the Reply (including dedup-served
+                // replies, which also arrive through the routed channel).
+                if !trace.is_none() {
+                    conn.traces.insert(request_id, trace);
+                }
+                if let Err(e) =
+                    session.submit_routed(payload, request_id, conn.routed.clone(), trace)
+                {
+                    queue_reply(conn, request_id, Err(e), shared);
+                }
             }
             flush_writes(conn, shared, poller, wheel);
         }
         (ConnState::Established, Frame::Ping { nonce }) => {
             conn.writes
                 .push_frame(&Frame::Pong { nonce }, false, &shared.metrics);
+            flush_writes(conn, shared, poller, wheel);
+        }
+        (ConnState::Established, Frame::GetStats { request_id }) => {
+            // Authorization: with API keys configured only a session keyed
+            // by one of them may scrape; otherwise any established session
+            // is as trusted as the service gets. The refusal is in-band so
+            // callers see *why* instead of a dead connection.
+            let session = conn
+                .session_client
+                .as_ref()
+                .expect("established connections have a session");
+            let authorized = match &shared.api_keys {
+                None => true,
+                Some(keys) => match session.session_key() {
+                    SessionKey::ApiKey(k) => keys.iter().any(|key| key.as_str() == &**k),
+                    SessionKey::Anonymous(_) => false,
+                },
+            };
+            let body = if authorized {
+                Ok(shared.metrics.snapshot().to_bytes())
+            } else {
+                Err(CloudError::Unauthorized(
+                    "stats require a recognized API key".into(),
+                ))
+            };
+            conn.writes
+                .push_frame(&Frame::Stats { request_id, body }, false, &shared.metrics);
             flush_writes(conn, shared, poller, wheel);
         }
         (ConnState::Established, Frame::Goodbye) => {
@@ -820,10 +1109,14 @@ fn queue_reply(
     mut result: Result<JobResult, CloudError>,
     shared: &Arc<ServerShared>,
 ) {
+    let stored = conn.traces.remove(&request_id).unwrap_or(TraceId::NONE);
     if conn.sink_broken {
         conn.in_flight = conn.in_flight.saturating_sub(1);
         return;
     }
+    // Echo the submit's trace id, but only to peers that negotiated the
+    // extension (v1 decoders reject trailing bytes).
+    let trace = (conn.version >= 2 && !stored.is_none()).then_some(stored);
     if let Ok(r) = &mut result {
         // Parity with in-process handles: the result's id is the id the
         // caller's handle carries (its wire request id), not the server
@@ -832,7 +1125,7 @@ fn queue_reply(
         let bytes = r.to_bytes();
         if !conn
             .writes
-            .push_reply_ok(request_id, bytes, &shared.metrics)
+            .push_reply_ok(request_id, bytes, trace, &shared.metrics)
         {
             // Un-encodable (>4 GiB) reply: the framing cannot carry it.
             conn.sink_broken = true;
@@ -840,8 +1133,15 @@ fn queue_reply(
         }
         return;
     }
-    conn.writes
-        .push_frame(&Frame::Reply { request_id, result }, true, &shared.metrics);
+    conn.writes.push_frame(
+        &Frame::Reply {
+            request_id,
+            result,
+            trace,
+        },
+        true,
+        &shared.metrics,
+    );
 }
 
 /// Moves completions from the reply channel onto the wire.
@@ -869,6 +1169,8 @@ fn flush_writes(
         return;
     }
     if !conn.sink_broken && !conn.writes.is_empty() {
+        let tel = shared.metrics.telemetry();
+        let flush_started = tel.enabled().then(Instant::now);
         let bytes_before = conn.writes.bytes;
         let (replies, outcome) = conn.writes.flush(&mut conn.stream, &shared.metrics);
         conn.in_flight = conn.in_flight.saturating_sub(replies);
@@ -876,6 +1178,9 @@ fn flush_writes(
             // Any bytes accepted count as progress for the stall timer;
             // Blocked with zero bytes written does not.
             conn.last_write_progress = Instant::now();
+            if let Some(t0) = flush_started {
+                tel.record(Stage::ReactorFlush, t0.elapsed());
+            }
         }
         match outcome {
             FlushOutcome::Drained => {}
@@ -967,6 +1272,7 @@ fn close_conn(conn: &mut Conn, shared: &Arc<ServerShared>, poller: &mut Poller) 
     let _ = conn.stream.shutdown(Shutdown::Both);
     let discarded = conn.writes.discard(&shared.metrics);
     conn.in_flight = conn.in_flight.saturating_sub(discarded);
+    conn.traces.clear();
     if conn.counts_submitter {
         conn.counts_submitter = false;
         shared.submitters_dec();
@@ -1024,7 +1330,7 @@ mod tests {
             train_seconds: 0.1,
         };
         let mut q = WriteQueue::default();
-        assert!(q.push_reply_ok(3, result.to_bytes(), &metrics));
+        assert!(q.push_reply_ok(3, result.to_bytes(), None, &metrics));
         loop {
             let (_, outcome) = q.flush(&mut server_side, &metrics);
             match outcome {
@@ -1041,6 +1347,7 @@ mod tests {
             &Frame::Reply {
                 request_id: 3,
                 result: Ok(result),
+                trace: None,
             },
         )
         .unwrap();
@@ -1080,6 +1387,7 @@ mod tests {
             &Frame::Reply {
                 request_id: 1,
                 result: Err(CloudError::ServiceUnavailable),
+                trace: None,
             },
             true,
             &metrics,
@@ -1120,6 +1428,7 @@ mod tests {
             &Frame::Reply {
                 request_id: 1,
                 result: Err(CloudError::ServiceUnavailable),
+                trace: None,
             },
         )
         .unwrap();
@@ -1131,11 +1440,12 @@ mod tests {
         let metrics = ServiceMetrics::new();
         let mut q = WriteQueue::default();
         q.push_frame(&Frame::Pong { nonce: 1 }, false, &metrics);
-        q.push_reply_ok(2, Bytes::from_static(b"not a real result"), &metrics);
+        q.push_reply_ok(2, Bytes::from_static(b"not a real result"), None, &metrics);
         q.push_frame(
             &Frame::Reply {
                 request_id: 3,
                 result: Err(CloudError::ServiceUnavailable),
+                trace: None,
             },
             true,
             &metrics,

@@ -7,6 +7,7 @@
 //! already assumes.
 
 use crate::protocol::JobResult;
+use crate::telemetry::TraceId;
 use crate::CloudError;
 use amalgam_tensor::wire::{Reader, Writer};
 use amalgam_tensor::TensorError;
@@ -17,10 +18,17 @@ const TAG_HELLO: u8 = 1;
 const TAG_SUBMIT: u8 = 2;
 const TAG_PING: u8 = 3;
 const TAG_GOODBYE: u8 = 4;
+const TAG_GETSTATS: u8 = 5;
 const TAG_WELCOME: u8 = 129;
 const TAG_REJECT: u8 = 130;
 const TAG_REPLY: u8 = 131;
 const TAG_PONG: u8 = 132;
+const TAG_STATS: u8 = 133;
+
+/// Wire size of the optional trailing trace-id extension on `Submit` and
+/// `Reply` bodies: two raw `u64` words, no length prefix. Peers that
+/// negotiated protocol v1 never send or expect it.
+pub(crate) const TRACE_EXT_LEN: usize = 16;
 
 /// One framed transport message (either direction).
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +62,9 @@ pub enum Frame {
         request_id: u64,
         /// The serialized job.
         payload: Bytes,
+        /// End-to-end trace id (protocol ≥ 2 extension; `None` from v1
+        /// peers).
+        trace: Option<TraceId>,
     },
     /// The outcome of one submit; replies may arrive out of order.
     Reply {
@@ -61,6 +72,23 @@ pub enum Frame {
         request_id: u64,
         /// What the service produced.
         result: Result<JobResult, CloudError>,
+        /// The submit's trace id echoed back (protocol ≥ 2 extension).
+        trace: Option<TraceId>,
+    },
+    /// Authenticated request for the peer's full telemetry snapshot
+    /// (protocol ≥ 2).
+    GetStats {
+        /// Client-chosen id echoed back in the matching [`Frame::Stats`].
+        request_id: u64,
+    },
+    /// Answer to [`Frame::GetStats`]: a wire-encoded
+    /// [`crate::ServiceStats`] snapshot, or an in-band refusal (e.g.
+    /// [`CloudError::Unauthorized`]).
+    Stats {
+        /// The id of the [`Frame::GetStats`] this answers.
+        request_id: u64,
+        /// Encoded snapshot bytes, or why the peer refused.
+        body: Result<Bytes, CloudError>,
     },
     /// Keep-alive probe.
     Ping {
@@ -78,6 +106,39 @@ pub enum Frame {
 
 fn wire_err(e: TensorError) -> CloudError {
     CloudError::Decode(e.to_string())
+}
+
+/// Appends the optional trace-id extension: two raw `u64` words at the end
+/// of the body, no marker byte — v1 peers simply never emit them, and the
+/// decoder distinguishes "absent" by the body ending exactly where v1
+/// bodies end.
+fn encode_trace_tail(w: &mut Writer, trace: Option<TraceId>) {
+    if let Some(t) = trace {
+        let (hi, lo) = t.to_words();
+        w.put_u64(hi);
+        w.put_u64(lo);
+    }
+}
+
+/// Reads the optional trace tail: exactly [`TRACE_EXT_LEN`] bytes left
+/// means a trace is present, zero means absent; any other residue is left
+/// for the caller's trailing-bytes check to reject.
+fn decode_trace_tail(r: &mut Reader) -> Result<Option<TraceId>, CloudError> {
+    if r.remaining() != TRACE_EXT_LEN {
+        return Ok(None);
+    }
+    let hi = r.get_u64().map_err(wire_err)?;
+    let lo = r.get_u64().map_err(wire_err)?;
+    Ok(Some(TraceId::from_words(hi, lo)))
+}
+
+/// The trace extension's raw wire bytes, for the zero-copy split writers.
+pub(crate) fn trace_tail(trace: TraceId) -> [u8; TRACE_EXT_LEN] {
+    let (hi, lo) = trace.to_words();
+    let mut buf = [0u8; TRACE_EXT_LEN];
+    buf[..8].copy_from_slice(&hi.to_le_bytes());
+    buf[8..].copy_from_slice(&lo.to_le_bytes());
+    buf
 }
 
 impl Frame {
@@ -118,18 +179,43 @@ impl Frame {
             Frame::Submit {
                 request_id,
                 payload,
+                trace,
             } => {
                 w.put_u8(TAG_SUBMIT);
                 w.put_u64(*request_id);
                 w.put_bytes(payload);
+                encode_trace_tail(&mut w, *trace);
             }
-            Frame::Reply { request_id, result } => {
+            Frame::Reply {
+                request_id,
+                result,
+                trace,
+            } => {
                 w.put_u8(TAG_REPLY);
                 w.put_u64(*request_id);
                 match result {
                     Ok(r) => {
                         w.put_u8(1);
                         w.put_bytes(&r.to_bytes());
+                    }
+                    Err(e) => {
+                        w.put_u8(0);
+                        e.encode_into(&mut w);
+                    }
+                }
+                encode_trace_tail(&mut w, *trace);
+            }
+            Frame::GetStats { request_id } => {
+                w.put_u8(TAG_GETSTATS);
+                w.put_u64(*request_id);
+            }
+            Frame::Stats { request_id, body } => {
+                w.put_u8(TAG_STATS);
+                w.put_u64(*request_id);
+                match body {
+                    Ok(stats) => {
+                        w.put_u8(1);
+                        w.put_bytes(stats);
                     }
                     Err(e) => {
                         w.put_u8(0);
@@ -180,10 +266,16 @@ impl Frame {
             TAG_REJECT => Frame::Reject {
                 reason: r.get_str().map_err(wire_err)?,
             },
-            TAG_SUBMIT => Frame::Submit {
-                request_id: r.get_u64().map_err(wire_err)?,
-                payload: r.get_bytes().map_err(wire_err)?,
-            },
+            TAG_SUBMIT => {
+                let request_id = r.get_u64().map_err(wire_err)?;
+                let payload = r.get_bytes().map_err(wire_err)?;
+                let trace = decode_trace_tail(&mut r)?;
+                Frame::Submit {
+                    request_id,
+                    payload,
+                    trace,
+                }
+            }
             TAG_REPLY => {
                 let request_id = r.get_u64().map_err(wire_err)?;
                 let result = match r.get_u8().map_err(wire_err)? {
@@ -191,7 +283,24 @@ impl Frame {
                     0 => Err(CloudError::decode_from(&mut r)?),
                     t => return Err(CloudError::Decode(format!("bad outcome marker {t}"))),
                 };
-                Frame::Reply { request_id, result }
+                let trace = decode_trace_tail(&mut r)?;
+                Frame::Reply {
+                    request_id,
+                    result,
+                    trace,
+                }
+            }
+            TAG_GETSTATS => Frame::GetStats {
+                request_id: r.get_u64().map_err(wire_err)?,
+            },
+            TAG_STATS => {
+                let request_id = r.get_u64().map_err(wire_err)?;
+                let body = match r.get_u8().map_err(wire_err)? {
+                    1 => Ok(r.get_bytes().map_err(wire_err)?),
+                    0 => Err(CloudError::decode_from(&mut r)?),
+                    t => return Err(CloudError::Decode(format!("bad outcome marker {t}"))),
+                };
+                Frame::Stats { request_id, body }
             }
             TAG_PING => Frame::Ping {
                 nonce: r.get_u64().map_err(wire_err)?,
@@ -244,12 +353,13 @@ pub fn write_encoded(w: &mut impl Write, body: &Bytes) -> std::io::Result<usize>
     Ok(4 + body.len())
 }
 
-/// Writes a frame whose body is `head` followed by `payload`, without ever
-/// copying `payload` into a body buffer — the zero-copy path for the two
-/// bulk frames (`Submit` uploads, successful `Reply` downloads), whose
-/// payloads dominate the wire. `head` must already end with the `u32`
-/// length prefix of `payload` (see [`submit_head`] / [`reply_ok_head`]),
-/// so the bytes on the wire are identical to [`write_frame`] of the
+/// Writes a frame whose body is `head`, then `payload`, then `tail`,
+/// without ever copying `payload` into a body buffer — the zero-copy path
+/// for the two bulk frames (`Submit` uploads, successful `Reply`
+/// downloads), whose payloads dominate the wire. `head` must already end
+/// with the `u32` length prefix of `payload` (see [`submit_head`] /
+/// [`reply_ok_head`]); `tail` is the raw trace extension (or empty), so
+/// the bytes on the wire are identical to [`write_frame`] of the
 /// equivalent [`Frame`].
 ///
 /// # Errors
@@ -259,8 +369,9 @@ pub(crate) fn write_split(
     w: &mut impl Write,
     head: &[u8],
     payload: &[u8],
+    tail: &[u8],
 ) -> std::io::Result<usize> {
-    let total = head.len() + payload.len();
+    let total = head.len() + payload.len() + tail.len();
     // A hard error, not a debug_assert: a wrapped u32 length prefix would
     // put an undecodable frame on the wire in release builds too.
     if total > u32::MAX as usize {
@@ -269,9 +380,38 @@ pub(crate) fn write_split(
             "frame body over 4 GiB",
         ));
     }
-    w.write_all(&(total as u32).to_le_bytes())?;
-    w.write_all(head)?;
-    w.write_all(payload)?;
+    // One vectored write for the whole frame: on a raw socket the prefix,
+    // head, payload and trace tail leave as a single syscall instead of one
+    // small segment each — the peer's reactor sees the frame arrive whole
+    // and never burns an extra wakeup waiting for a straggling 16-byte tail.
+    let len = (total as u32).to_le_bytes();
+    let parts: [&[u8]; 4] = [&len, head, payload, tail];
+    let mut done = 0usize;
+    while done < 4 + total {
+        let mut skip = done;
+        let mut iov = [std::io::IoSlice::new(&[]); 4];
+        let mut n_iov = 0;
+        for part in parts {
+            if skip >= part.len() {
+                skip -= part.len();
+                continue;
+            }
+            iov[n_iov] = std::io::IoSlice::new(&part[skip..]);
+            skip = 0;
+            n_iov += 1;
+        }
+        match w.write_vectored(&iov[..n_iov]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "sink accepted no bytes mid-frame",
+                ));
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
     w.flush()?;
     Ok(4 + total)
 }
@@ -501,9 +641,19 @@ impl FrameDecoder {
         }
         let payload_len =
             u32::from_le_bytes(body[9..13].try_into().expect("4-byte slice")) as usize;
-        if payload_len != len - 13 {
+        // Two well-formed shapes: v1 (payload ends the body) and v2 with
+        // the 16-byte trace extension after the payload.
+        let trace = if payload_len == len - 13 {
+            None
+        } else if payload_len == len - 13 - TRACE_EXT_LEN {
+            let t = &body[13 + payload_len..];
+            Some(TraceId::from_words(
+                u64::from_le_bytes(t[..8].try_into().expect("8-byte slice")),
+                u64::from_le_bytes(t[8..].try_into().expect("8-byte slice")),
+            ))
+        } else {
             return None; // malformed: let the canonical decoder report it
-        }
+        };
         let request_id = u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice"));
         let frame_end = body_start + len;
         let tail_len = self.end - frame_end;
@@ -511,12 +661,13 @@ impl FrameDecoder {
         fresh.extend_from_slice(&self.buf[frame_end..self.end]);
         let retired = std::mem::replace(&mut self.buf, fresh);
         let backing = Bytes::from(retired);
-        let payload = backing.slice(body_start + 13..frame_end);
+        let payload = backing.slice(body_start + 13..body_start + 13 + payload_len);
         self.start = 0;
         self.end = tail_len;
         Some(Frame::Submit {
             request_id,
             payload,
+            trace,
         })
     }
 }
@@ -530,10 +681,24 @@ fn decode_body(body: &[u8]) -> Result<Frame, CloudError> {
         Some(&TAG_SUBMIT) if body.len() >= 13 => {
             let payload_len =
                 u32::from_le_bytes(body[9..13].try_into().expect("4-byte slice")) as usize;
-            if body.len() - 13 == payload_len {
+            let trace = if body.len() - 13 == payload_len {
+                Some(None)
+            } else if body.len() >= 13 + TRACE_EXT_LEN
+                && body.len() - 13 - TRACE_EXT_LEN == payload_len
+            {
+                let t = &body[13 + payload_len..];
+                Some(Some(TraceId::from_words(
+                    u64::from_le_bytes(t[..8].try_into().expect("8-byte slice")),
+                    u64::from_le_bytes(t[8..].try_into().expect("8-byte slice")),
+                )))
+            } else {
+                None // malformed: canonical decoder reports it
+            };
+            if let Some(trace) = trace {
                 return Ok(Frame::Submit {
                     request_id: u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice")),
-                    payload: Bytes::from(body[13..].to_vec()),
+                    payload: Bytes::from(body[13..13 + payload_len].to_vec()),
+                    trace,
                 });
             }
         }
@@ -591,9 +756,30 @@ mod tests {
         roundtrip(Frame::Submit {
             request_id: 9,
             payload: Bytes::from_static(b"job bytes"),
+            trace: None,
+        });
+        roundtrip(Frame::Submit {
+            request_id: 9,
+            payload: Bytes::from_static(b"job bytes"),
+            trace: Some(TraceId::from_words(0xdead_beef, 0xcafe)),
+        });
+        roundtrip(Frame::GetStats { request_id: 5 });
+        roundtrip(Frame::Stats {
+            request_id: 5,
+            body: Ok(Bytes::from_static(b"snapshot bytes")),
+        });
+        roundtrip(Frame::Stats {
+            request_id: 6,
+            body: Err(CloudError::Unauthorized("no key".into())),
+        });
+        roundtrip(Frame::Reply {
+            request_id: 11,
+            result: Err(CloudError::ServiceUnavailable),
+            trace: Some(TraceId::mint()),
         });
         roundtrip(Frame::Reply {
             request_id: 9,
+            trace: None,
             result: Ok(JobResult {
                 job_id: 9,
                 trained_model: Bytes::from_static(b"weights"),
@@ -615,6 +801,7 @@ mod tests {
                 queue_depth: 5,
                 max_queue_depth: 2,
             }),
+            trace: None,
         });
         roundtrip(Frame::Ping { nonce: 77 });
         roundtrip(Frame::Pong { nonce: 77 });
@@ -642,6 +829,7 @@ mod tests {
             roundtrip(Frame::Reply {
                 request_id: 0,
                 result: Err(err),
+                trace: None,
             });
         }
     }
@@ -657,11 +845,35 @@ mod tests {
             &Frame::Submit {
                 request_id: 42,
                 payload: payload.clone(),
+                trace: None,
             },
         )
         .unwrap();
         let mut split = Vec::new();
-        let n = write_split(&mut split, &submit_head(42, payload.len()), &payload).unwrap();
+        let n = write_split(&mut split, &submit_head(42, payload.len()), &payload, &[]).unwrap();
+        assert_eq!(split, whole);
+        assert_eq!(n, whole.len());
+
+        // ...including when the trace extension rides the tail.
+        let id = TraceId::from_words(7, 0x0102_0304_0506_0708);
+        let mut whole = Vec::new();
+        write_frame(
+            &mut whole,
+            &Frame::Submit {
+                request_id: 42,
+                payload: payload.clone(),
+                trace: Some(id),
+            },
+        )
+        .unwrap();
+        let mut split = Vec::new();
+        let n = write_split(
+            &mut split,
+            &submit_head(42, payload.len()),
+            &payload,
+            &trace_tail(id),
+        )
+        .unwrap();
         assert_eq!(split, whole);
         assert_eq!(n, whole.len());
 
@@ -679,12 +891,34 @@ mod tests {
             &mut whole,
             &Frame::Reply {
                 request_id: 7,
-                result: Ok(result),
+                result: Ok(result.clone()),
+                trace: None,
             },
         )
         .unwrap();
         let mut split = Vec::new();
-        let n = write_split(&mut split, &reply_ok_head(7, body.len()), &body).unwrap();
+        let n = write_split(&mut split, &reply_ok_head(7, body.len()), &body, &[]).unwrap();
+        assert_eq!(split, whole);
+        assert_eq!(n, whole.len());
+
+        let mut whole = Vec::new();
+        write_frame(
+            &mut whole,
+            &Frame::Reply {
+                request_id: 7,
+                result: Ok(result),
+                trace: Some(id),
+            },
+        )
+        .unwrap();
+        let mut split = Vec::new();
+        let n = write_split(
+            &mut split,
+            &reply_ok_head(7, body.len()),
+            &body,
+            &trace_tail(id),
+        )
+        .unwrap();
         assert_eq!(split, whole);
         assert_eq!(n, whole.len());
     }
@@ -752,7 +986,14 @@ mod tests {
             Frame::Submit {
                 request_id: 3,
                 payload: Bytes::from_static(b"payload bytes"),
+                trace: None,
             },
+            Frame::Submit {
+                request_id: 4,
+                payload: Bytes::from_static(b"traced payload"),
+                trace: Some(TraceId::from_words(1, 2)),
+            },
+            Frame::GetStats { request_id: 1 },
             Frame::Ping { nonce: 11 },
             Frame::Goodbye,
         ];
@@ -803,12 +1044,35 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_split_path_preserves_trace_extension() {
+        // Large enough to take try_split_large_submit, with the trace tail.
+        let id = TraceId::from_words(0xaaaa, 0xbbbb);
+        let frame = Frame::Submit {
+            request_id: 21,
+            payload: Bytes::from(vec![3u8; SPLIT_THRESHOLD + 64]),
+            trace: Some(id),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        // Trailing extra frame proves the tail handoff keeps undecoded bytes.
+        write_frame(&mut wire, &Frame::Ping { nonce: 9 }).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        let (got, _) = dec.next_frame(1 << 30).unwrap().unwrap();
+        assert_eq!(got, frame);
+        let (ping, _) = dec.next_frame(1 << 30).unwrap().unwrap();
+        assert_eq!(ping, Frame::Ping { nonce: 9 });
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
     fn decoder_scratch_is_reused_and_shrinks_after_huge_frames() {
         let mut dec = FrameDecoder::new();
         // A frame bigger than the retain cap...
         let big = Frame::Submit {
             request_id: 1,
             payload: Bytes::from(vec![7u8; RETAIN_CAP * 2]),
+            trace: None,
         };
         let mut wire = Vec::new();
         write_frame(&mut wire, &big).unwrap();

@@ -27,9 +27,10 @@
 //! | tag | frame | fields |
 //! |-----|----------|---------------------------------------------------|
 //! | 1 | `Hello`   | `min_version: u32`, `max_version: u32`, `has_key: u8`, `api_key: str?` |
-//! | 2 | `Submit`  | `request_id: u64`, `payload: bytes` (a serialized [`crate::CloudJob`]) |
+//! | 2 | `Submit`  | `request_id: u64`, `payload: bytes` (a serialized [`crate::CloudJob`]), `[trace]` |
 //! | 3 | `Ping`    | `nonce: u64` |
 //! | 4 | `Goodbye` | — |
+//! | 5 | `GetStats`| `request_id: u64` (protocol ≥ 2) |
 //!
 //! and server → client:
 //!
@@ -37,8 +38,18 @@
 //! |-----|-----------|--------------------------------------------------|
 //! | 129 | `Welcome` | `version: u32`, `max_in_flight: u32`, `max_frame_len: u64` |
 //! | 130 | `Reject`  | `reason: str` |
-//! | 131 | `Reply`   | `request_id: u64`, `ok: u8`, then a [`crate::JobResult`] or an encoded [`crate::CloudError`] |
+//! | 131 | `Reply`   | `request_id: u64`, `ok: u8`, then a [`crate::JobResult`] or an encoded [`crate::CloudError`], `[trace]` |
 //! | 132 | `Pong`    | `nonce: u64` |
+//! | 133 | `Stats`   | `request_id: u64`, `ok: u8`, then snapshot `bytes` ([`crate::ServiceStats`] encoding) or an encoded [`crate::CloudError`] (protocol ≥ 2) |
+//!
+//! `[trace]` is the protocol-v2 trace-id extension: 16 optional trailing
+//! bytes (`trace_hi: u64 LE`, `trace_lo: u64 LE`) after the v1 body. A
+//! body ending exactly where a v1 body ends carries no trace; a body with
+//! exactly 16 extra bytes carries one. The extension is only sent to
+//! peers that negotiated protocol ≥ 2, so v1 decoders — which reject
+//! trailing bytes — never see it. The same [`crate::TraceId`] minted at
+//! submit time rides the Submit through the proxy to the backend and back
+//! on the Reply, indexing flight-recorder spans at every tier.
 //!
 //! # Handshake and sessions
 //!
@@ -87,8 +98,10 @@ pub use server::CloudServer;
 
 use std::time::Duration;
 
-/// Newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Newest protocol version this build speaks. Version 2 adds the trace-id
+/// extension on `Submit`/`Reply` and the `GetStats`/`Stats` admin frames;
+/// v1 peers are still accepted and simply never see either.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;

@@ -227,8 +227,9 @@ impl RetryQueue {
     }
 }
 
-/// A point-in-time view of one client's self-healing activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A point-in-time view of one client's self-healing activity and its
+/// submit-to-reply round-trip latency.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ClientStats {
     /// Connections re-established after a loss (the first connect is not
     /// counted).
@@ -239,6 +240,30 @@ pub struct ClientStats {
     /// Retries scheduled against a server-advertised `retry_after` or a
     /// retryable error reply.
     pub retries_scheduled: u64,
+    /// Submit-to-reply round trips ([`crate::Stage::Rpc`]), microseconds.
+    pub rtt: crate::telemetry::HistogramSnapshot,
+}
+
+impl std::fmt::Display for ClientStats {
+    /// An aligned operator-facing table, matching the
+    /// [`crate::ServiceStats`] style.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<10} reconnects {:<6} resubmitted {:<6} retries {}",
+            "healing", self.reconnects, self.jobs_resubmitted, self.retries_scheduled
+        )?;
+        write!(
+            f,
+            "{:<10} n {:<8} p50 {:<8} p95 {:<8} p99 {:<8} max {} µs",
+            "rpc rtt",
+            self.rtt.count,
+            self.rtt.quantile(0.50),
+            self.rtt.quantile(0.95),
+            self.rtt.quantile(0.99),
+            self.rtt.max
+        )
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub struct CloudServer {
     reactors: Vec<std::thread::JoinHandle<()>>,
     service: Option<CloudService>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
 }
 
 /// State shared by the acceptor, the reactors and the shutdown path.
@@ -64,6 +65,10 @@ pub(super) struct ServerShared {
     pub(super) config: TransportConfig,
     pub(super) client: CloudClient,
     pub(super) metrics: Arc<ServiceMetrics>,
+    /// Accepted API keys, for the `GetStats` authorization check (`None`
+    /// when the service takes anonymous sessions — then any established
+    /// session may ask).
+    pub(super) api_keys: Option<Arc<[String]>>,
     /// One handle per reactor thread; connections are dealt round-robin.
     pub(super) reactors: Vec<Arc<ReactorShared>>,
     /// Connections that may still submit jobs (handshaking or established).
@@ -115,6 +120,20 @@ impl CloudServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        // The Prometheus exporter is served by reactor 0's poller — a second
+        // nonblocking listener, not a second thread.
+        let exporter = match service.metrics_exporter_addr() {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &exporter {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let io_threads = config.effective_io_threads();
         let (handles, parts) = make_reactor_parts(io_threads)?;
         let shared = Arc::new(ServerShared {
@@ -122,11 +141,13 @@ impl CloudServer {
             config,
             client: service.client(),
             metrics: service.metrics_arc(),
+            api_keys: service.api_keys(),
             reactors: handles,
             submitters: AtomicUsize::new(0),
             sessions: AtomicUsize::new(0),
         });
         let mut reactors = Vec::with_capacity(io_threads);
+        let mut exporter = exporter;
         for (i, (wake_rx, poller)) in parts.into_iter().enumerate() {
             reactors.push(spawn_reactor(
                 i,
@@ -134,6 +155,7 @@ impl CloudServer {
                 Arc::clone(&shared.reactors[i]),
                 wake_rx,
                 poller,
+                exporter.take(),
             ));
         }
         let acceptor = {
@@ -149,6 +171,7 @@ impl CloudServer {
             reactors,
             service: Some(service),
             local_addr,
+            metrics_addr,
         })
     }
 
@@ -157,9 +180,21 @@ impl CloudServer {
         self.local_addr
     }
 
+    /// Where the Prometheus exporter listens (ephemeral port resolved), if
+    /// [`crate::CloudServiceBuilder::metrics_exporter`] configured one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Point-in-time service + transport telemetry.
     pub fn stats(&self) -> ServiceStats {
         self.shared.metrics.snapshot()
+    }
+
+    /// The fronted service's telemetry plane: per-stage histograms and the
+    /// flight recorder holding the backend tier's view of each trace.
+    pub fn telemetry(&self) -> &crate::telemetry::Telemetry {
+        self.shared.metrics.telemetry()
     }
 
     /// An in-process client of the same service the listener fronts —

@@ -1,0 +1,103 @@
+//! Property tests of the telemetry plane's latency histogram against a
+//! sorted-vector oracle: quantiles stay within the advertised 1/16 error
+//! bound, merging shard snapshots equals snapshotting the concatenated
+//! stream, and the sparse wire encoding round-trips exactly.
+
+use amalgam_cloud::{Histogram, HistogramSnapshot};
+use amalgam_tensor::wire::{Reader, Writer};
+use proptest::prelude::*;
+
+/// The exact order statistic the histogram's `quantile` approximates: the
+/// rank-`ceil(q·n)` value (1-based) of the sorted samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Samples bounded so `sum` cannot overflow a `u64` even at the largest
+/// proptest case size, while still exercising many octaves of buckets.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..(1 << 40), 1..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every reported quantile is ≥ the exact order statistic and within
+    /// the log-linear scheme's 1/16 relative error of it; count/sum/max
+    /// are exact.
+    #[test]
+    fn quantiles_match_sorted_vec_oracle_within_bound(
+        values in samples(),
+        q in 0.0f64..1.0,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+
+        let exact = exact_quantile(&sorted, q);
+        let got = snap.quantile(q);
+        prop_assert!(got >= exact, "quantile {q}: reported {got} < exact {exact}");
+        prop_assert!(
+            got <= exact + exact / 16 + 1,
+            "quantile {q}: reported {got} over the 1/16 bound of exact {exact}"
+        );
+    }
+
+    /// Recording a stream into one histogram equals sharding it across
+    /// several and merging their snapshots — bucket-for-bucket.
+    #[test]
+    fn merge_of_shards_equals_whole(
+        values in samples(),
+        shards in 1usize..8,
+    ) {
+        let whole = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for p in &parts {
+            merged.merge(&p.snapshot());
+        }
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    /// The sparse wire encoding is lossless.
+    #[test]
+    fn wire_encoding_round_trips(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut w = Writer::new();
+        snap.encode_into(&mut w);
+        let mut r = Reader::new(w.finish());
+        let back = HistogramSnapshot::decode_from(&mut r).expect("decode");
+        prop_assert_eq!(back, snap);
+    }
+
+    /// Quantiles are monotone in `q` — p99 can never undercut p50.
+    #[test]
+    fn quantiles_are_monotone(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(snap.quantile(pair[0]) <= snap.quantile(pair[1]));
+        }
+    }
+}

@@ -25,10 +25,12 @@ fn build_frame(kind: usize, a: u64, payload: Vec<u8>, text: String, ok: bool) ->
         1 => Frame::Submit {
             request_id: a,
             payload: Bytes::from(payload),
+            trace: None,
         },
         2 => Frame::Ping { nonce: a },
         3 => Frame::Reply {
             request_id: a,
+            trace: None,
             result: if ok {
                 Ok(JobResult {
                     job_id: a,
@@ -187,7 +189,7 @@ proptest! {
     ) {
         let frames = vec![
             Frame::Ping { nonce: a },
-            Frame::Submit { request_id: a, payload: Bytes::from(payload) },
+            Frame::Submit { request_id: a, payload: Bytes::from(payload), trace: None },
             Frame::Goodbye,
         ];
         let wire = wire_image(&frames);
@@ -243,6 +245,7 @@ fn slow_loris_reader_yields_every_frame_and_then_eof() {
         Frame::Submit {
             request_id: 42,
             payload: Bytes::from(vec![7u8; 300]),
+            trace: None,
         },
         Frame::Goodbye,
     ];

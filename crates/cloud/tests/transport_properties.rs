@@ -3,7 +3,7 @@
 //! panics the decoder.
 
 use amalgam_cloud::transport::Frame;
-use amalgam_cloud::{CloudError, JobResult};
+use amalgam_cloud::{CloudError, JobResult, TraceId};
 use amalgam_nn::metrics::History;
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -34,9 +34,11 @@ fn build_frame(
         2 => Frame::Submit {
             request_id: a,
             payload: Bytes::from(payload),
+            trace: (!ok).then(|| TraceId::from_words(a, b)),
         },
         3 => Frame::Reply {
             request_id: a,
+            trace: ok.then(|| TraceId::from_words(b, a)),
             result: if ok {
                 Ok(JobResult {
                     job_id: b,
@@ -124,7 +126,7 @@ proptest! {
         flip_byte in any::<usize>(),
         flip_bit in 0usize..8,
     ) {
-        let frame = Frame::Submit { request_id: a, payload: Bytes::from(payload) };
+        let frame = Frame::Submit { request_id: a, payload: Bytes::from(payload), trace: None };
         let mut body = frame.encode().to_vec();
         let idx = flip_byte % body.len();
         body[idx] ^= 1 << flip_bit;

@@ -33,7 +33,9 @@ use amalgam_cloud::transport::{
     read_frame_blocking, write_frame, Frame, FrameDecoder, TransportConfig, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
 };
-use amalgam_cloud::{CloudError, ServiceMetrics, ServiceStats};
+use amalgam_cloud::{
+    CloudError, JobTrace, ServiceMetrics, ServiceStats, SpanRecord, Stage, TraceId,
+};
 use bytes::Bytes;
 use parking_lot::Mutex;
 
@@ -229,6 +231,13 @@ impl AmalgamProxy {
         self.shared.metrics.snapshot()
     }
 
+    /// The proxy's telemetry plane: the backend round-trip histogram
+    /// ([`Stage::BackendRtt`]) and the routing tier's flight recorder —
+    /// the middle of the three vantage points a trace id is visible at.
+    pub fn telemetry(&self) -> &amalgam_cloud::Telemetry {
+        self.shared.metrics.telemetry()
+    }
+
     /// Stops accepting, severs every client session and joins all proxy
     /// threads. Backends are untouched.
     pub fn shutdown(mut self) {
@@ -310,10 +319,16 @@ struct InFlightJob {
     /// The serialized `CloudJob`, retained until its `Reply` arrives
     /// (refcount clone of the client's upload, not a copy).
     payload: Bytes,
+    /// The end-to-end trace id the client minted ([`TraceId::NONE`] from a
+    /// v1 client); forwarded to v2 backends and echoed on the Reply.
+    trace: TraceId,
     /// Generation of the backend link this job was last written to
     /// (0 = never sent; link generations start at 1). Failover resubmits
     /// exactly the jobs whose `sent_gen` differs from the new link's.
     sent_gen: u64,
+    /// When the job last hit a backend socket, so its Reply scores the
+    /// backend round trip ([`Stage::BackendRtt`]).
+    sent_at: Instant,
 }
 
 /// One live connection to a backend. Every write goes through `writer`'s
@@ -325,20 +340,33 @@ struct BackendLink {
     generation: u64,
     writer: Mutex<TcpStream>,
     last_write: Mutex<Instant>,
+    /// The protocol version the backend negotiated; the trace extension is
+    /// stripped from Submits toward v1 backends.
+    version: u32,
     max_in_flight: u32,
     max_frame_len: u64,
 }
 
 impl BackendLink {
     /// Writes one frame under the link's writer lock, stamping
-    /// `last_write` so the keep-alive timer restarts.
-    fn write(&self, frame: &Frame) -> bool {
+    /// `last_write` so the keep-alive timer restarts and tallying the
+    /// bytes as relayed backend-face traffic.
+    fn write(&self, frame: &Frame, metrics: &ServiceMetrics) -> bool {
         let mut w = self.writer.lock();
-        let ok = write_frame(&mut *w, frame).is_ok();
-        if ok {
-            *self.last_write.lock() = Instant::now();
+        match write_frame(&mut *w, frame) {
+            Ok(n) => {
+                metrics.relay_frame_sent(n);
+                *self.last_write.lock() = Instant::now();
+                true
+            }
+            Err(_) => false,
         }
-        ok
+    }
+
+    /// `trace` as it may ride this link: intact toward v2 backends,
+    /// stripped toward v1.
+    fn wire_trace(&self, trace: TraceId) -> Option<TraceId> {
+        (self.version >= 2 && !trace.is_none()).then_some(trace)
     }
 }
 
@@ -348,6 +376,9 @@ struct Session {
     /// The routing key: the session's API key, or a unique anonymous tag.
     route_key: String,
     api_key: Option<String>,
+    /// The protocol version negotiated with the client; trace ids are only
+    /// echoed on Replies when the client speaks v2.
+    client_version: u32,
     client_writer: Mutex<TcpStream>,
     in_flight: Mutex<HashMap<u64, InFlightJob>>,
     backend: Mutex<Option<Arc<BackendLink>>>,
@@ -368,11 +399,16 @@ impl Session {
     }
 
     /// Writes one frame to the client; a failed write kills the session.
+    /// Job replies count toward the main frame tallies, everything else
+    /// (Welcome, Pong, Stats) toward the protocol-overhead sub-counters.
     fn write_client(&self, frame: &Frame) -> bool {
         let mut w = self.client_writer.lock();
         match write_frame(&mut *w, frame) {
             Ok(n) => {
-                self.shared.metrics.frame_sent(n);
+                match frame {
+                    Frame::Reply { .. } => self.shared.metrics.frame_sent(n),
+                    _ => self.shared.metrics.control_frame_sent(n),
+                }
                 true
             }
             Err(_) => {
@@ -383,12 +419,23 @@ impl Session {
         }
     }
 
+    /// `trace` as it may ride a Reply to this client: intact toward v2
+    /// clients, stripped toward v1.
+    fn client_trace(&self, trace: TraceId) -> Option<TraceId> {
+        (self.client_version >= 2 && !trace.is_none()).then_some(trace)
+    }
+
     /// Answers one request id with an error, dropping its retained payload.
     fn answer_err(&self, request_id: u64, err: CloudError) {
-        self.in_flight.lock().remove(&request_id);
+        let trace = self
+            .in_flight
+            .lock()
+            .remove(&request_id)
+            .map_or(TraceId::NONE, |job| job.trace);
         self.write_client(&Frame::Reply {
             request_id,
             result: Err(err),
+            trace: self.client_trace(trace),
         });
     }
 
@@ -396,16 +443,17 @@ impl Session {
     /// `ServiceUnavailable` so a reconnecting client can back off and
     /// resubmit rather than hang.
     fn answer_all_unavailable(&self) {
-        let ids: Vec<u64> = {
+        let ids: Vec<(u64, TraceId)> = {
             let mut inf = self.in_flight.lock();
-            let ids = inf.keys().copied().collect();
+            let ids = inf.iter().map(|(id, job)| (*id, job.trace)).collect();
             inf.clear();
             ids
         };
-        for id in ids {
+        for (id, trace) in ids {
             self.write_client(&Frame::Reply {
                 request_id: id,
                 result: Err(CloudError::ServiceUnavailable),
+                trace: self.client_trace(trace),
             });
         }
     }
@@ -431,21 +479,26 @@ impl Session {
             // Claim the job for this link generation under the in-flight
             // lock: if a concurrent failover's resubmission already stamped
             // it, it is on the wire and this pump must not duplicate it.
-            let payload = {
+            let (payload, trace) = {
                 let mut inf = self.in_flight.lock();
                 match inf.get_mut(&request_id) {
                     None => return, // answered (e.g. fleet exhaustion) meanwhile
                     Some(job) if job.sent_gen == link.generation => return,
                     Some(job) => {
                         job.sent_gen = link.generation;
-                        job.payload.clone()
+                        job.sent_at = Instant::now();
+                        (job.payload.clone(), job.trace)
                     }
                 }
             };
-            if link.write(&Frame::Submit {
-                request_id,
-                payload,
-            }) {
+            if link.write(
+                &Frame::Submit {
+                    request_id,
+                    payload,
+                    trace: link.wire_trace(trace),
+                },
+                &self.shared.metrics,
+            ) {
                 return;
             }
             self.failover(link.generation);
@@ -523,28 +576,33 @@ impl Session {
     /// stops: the link's reader will notice the dead socket and fail over,
     /// and the next generation's stamp mismatch re-sends everything.
     fn resubmit_unsent(&self, link: &BackendLink) {
-        let to_send: Vec<(u64, Bytes)> = {
+        let to_send: Vec<(u64, Bytes, TraceId)> = {
             let mut inf = self.in_flight.lock();
-            let mut jobs: Vec<(u64, Bytes)> = inf
+            let mut jobs: Vec<(u64, Bytes, TraceId)> = inf
                 .iter_mut()
                 .filter(|(_, job)| job.sent_gen != link.generation)
                 .map(|(id, job)| {
                     job.sent_gen = link.generation;
-                    (*id, job.payload.clone())
+                    job.sent_at = Instant::now();
+                    (*id, job.payload.clone(), job.trace)
                 })
                 .collect();
-            jobs.sort_unstable_by_key(|(id, _)| *id);
+            jobs.sort_unstable_by_key(|(id, _, _)| *id);
             jobs
         };
         if to_send.is_empty() {
             return;
         }
         let mut sent = 0u64;
-        for (request_id, payload) in to_send {
-            if !link.write(&Frame::Submit {
-                request_id,
-                payload,
-            }) {
+        for (request_id, payload, trace) in to_send {
+            if !link.write(
+                &Frame::Submit {
+                    request_id,
+                    payload,
+                    trace: link.wire_trace(trace),
+                },
+                &self.shared.metrics,
+            ) {
                 break;
             }
             sent += 1;
@@ -554,6 +612,32 @@ impl Session {
                 .metrics
                 .backend_jobs_resubmitted(&link.addr, sent);
         }
+    }
+
+    /// Scores one answered job into the proxy's telemetry plane: the
+    /// submit-to-reply backend round trip lands in the
+    /// [`Stage::BackendRtt`] histogram and the flight recorder gains this
+    /// tier's view of the trace (the middle of the three tiers).
+    fn record_backend_rtt(&self, request_id: u64, job: &InFlightJob, ok: bool) {
+        let tel = self.shared.metrics.telemetry();
+        if !tel.enabled() {
+            return;
+        }
+        let rtt = job.sent_at.elapsed();
+        tel.record(Stage::BackendRtt, rtt);
+        let dur_us = u64::try_from(rtt.as_micros()).unwrap_or(u64::MAX);
+        tel.recorder().push(JobTrace {
+            trace: job.trace,
+            job_id: request_id,
+            total_us: dur_us,
+            ok,
+            spans: vec![SpanRecord {
+                stage: Stage::BackendRtt,
+                start_us: 0,
+                dur_us,
+                ok,
+            }],
+        });
     }
 
     /// Spawns the reader pumping `link`'s replies back to the client.
@@ -583,7 +667,7 @@ impl Session {
             link.last_write.lock().elapsed() >= self.shared.config.transport.keepalive_interval;
         if due {
             let nonce = self.ping_nonce.fetch_add(1, Ordering::Relaxed);
-            if !link.write(&Frame::Ping { nonce }) {
+            if !link.write(&Frame::Ping { nonce }, &self.shared.metrics) {
                 self.failover(link.generation);
             }
         }
@@ -605,7 +689,7 @@ fn dial_backend(
     let _ = stream.set_write_timeout(Some(t.write_timeout));
     let _ = stream.set_read_timeout(Some(t.handshake_timeout));
     let mut s = &stream;
-    write_frame(
+    let hello_wire = write_frame(
         &mut s,
         &Frame::Hello {
             min_version: MIN_PROTOCOL_VERSION,
@@ -614,22 +698,27 @@ fn dial_backend(
         },
     )
     .ok()?;
+    shared.metrics.relay_frame_sent(hello_wire);
     match read_frame_blocking(&mut s, t.max_frame_len) {
         Ok(Some((
             Frame::Welcome {
+                version,
                 max_in_flight,
                 max_frame_len,
-                ..
             },
-            _,
-        ))) => Some(BackendLink {
-            addr: addr.to_string(),
-            generation: 0, // stamped by the caller before install
-            writer: Mutex::new(stream),
-            last_write: Mutex::new(Instant::now()),
-            max_in_flight,
-            max_frame_len,
-        }),
+            wire,
+        ))) => {
+            shared.metrics.relay_frame_received(wire);
+            Some(BackendLink {
+                addr: addr.to_string(),
+                generation: 0, // stamped by the caller before install
+                writer: Mutex::new(stream),
+                last_write: Mutex::new(Instant::now()),
+                version,
+                max_in_flight,
+                max_frame_len,
+            })
+        }
         _ => None,
     }
 }
@@ -648,11 +737,28 @@ fn backend_reader(sess: &Arc<Session>, link: &Arc<BackendLink>, mut stream: TcpS
             match dec.next_frame(max_frame_len) {
                 Ok(Some((frame, wire))) => {
                     *sess.last_backend_frame.lock() = Instant::now();
+                    // Backend-face traffic is *relayed*, never double-counted
+                    // against the client-face frame totals.
+                    sess.shared.metrics.relay_frame_received(wire);
                     match frame {
-                        Frame::Reply { request_id, result } => {
-                            sess.shared.metrics.frame_received(wire);
-                            sess.in_flight.lock().remove(&request_id);
-                            if !sess.write_client(&Frame::Reply { request_id, result }) {
+                        Frame::Reply {
+                            request_id,
+                            result,
+                            trace: _,
+                        } => {
+                            // The retained entry's trace is authoritative —
+                            // a v1 backend echoes nothing, yet the client
+                            // still gets its id back.
+                            let job = sess.in_flight.lock().remove(&request_id);
+                            let trace = job.as_ref().map_or(TraceId::NONE, |j| j.trace);
+                            if let Some(job) = &job {
+                                sess.record_backend_rtt(request_id, job, result.is_ok());
+                            }
+                            if !sess.write_client(&Frame::Reply {
+                                request_id,
+                                result,
+                                trace: sess.client_trace(trace),
+                            }) {
                                 return; // client gone; pump thread cleans up
                             }
                         }
@@ -708,7 +814,7 @@ fn run_session(shared: &Arc<ProxyShared>, mut client: TcpStream) {
     // One Hello, exactly as a backend would demand it.
     let hello = match read_frame_blocking(&mut client, t.max_frame_len) {
         Ok(Some((frame @ Frame::Hello { .. }, wire))) => {
-            shared.metrics.frame_received(wire);
+            shared.metrics.control_frame_received(wire);
             frame
         }
         _ => {
@@ -746,6 +852,7 @@ fn run_session(shared: &Arc<ProxyShared>, mut client: TcpStream) {
         shared: Arc::clone(shared),
         route_key,
         api_key,
+        client_version: version,
         client_writer: Mutex::new(match client.try_clone() {
             Ok(w) => w,
             Err(_) => {
@@ -804,23 +911,39 @@ fn run_session(shared: &Arc<ProxyShared>, mut client: TcpStream) {
         loop {
             match dec.next_frame(t.max_frame_len) {
                 Ok(Some((frame, wire))) => {
-                    shared.metrics.frame_received(wire);
+                    match frame {
+                        Frame::Submit { .. } => shared.metrics.frame_received(wire),
+                        _ => shared.metrics.control_frame_received(wire),
+                    }
                     match frame {
                         Frame::Submit {
                             request_id,
                             payload,
+                            trace,
                         } => {
                             sess.in_flight.lock().insert(
                                 request_id,
                                 InFlightJob {
                                     payload,
+                                    trace: trace.unwrap_or(TraceId::NONE),
                                     sent_gen: 0,
+                                    sent_at: Instant::now(),
                                 },
                             );
                             sess.forward_submit(request_id);
                         }
                         Frame::Ping { nonce } => {
                             if !sess.write_client(&Frame::Pong { nonce }) {
+                                break 'pump;
+                            }
+                        }
+                        // The proxy answers stats queries itself: its
+                        // snapshot is the routing tier's view (failovers,
+                        // per-backend health, backend-RTT quantiles), which
+                        // no single backend can report.
+                        Frame::GetStats { request_id } => {
+                            let body = Ok(shared.metrics.snapshot().to_bytes());
+                            if !sess.write_client(&Frame::Stats { request_id, body }) {
                                 break 'pump;
                             }
                         }
@@ -831,7 +954,7 @@ fn run_session(shared: &Arc<ProxyShared>, mut client: TcpStream) {
                             // failure and fail the parting session over.
                             sess.dead.store(true, Ordering::SeqCst);
                             if let Some(link) = sess.backend.lock().clone() {
-                                let _ = link.write(&Frame::Goodbye);
+                                let _ = link.write(&Frame::Goodbye, &shared.metrics);
                             }
                             break 'pump;
                         }

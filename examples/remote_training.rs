@@ -75,15 +75,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("remote and in-process trained models are bitwise identical");
 
-    let stats = server.stats();
-    println!(
-        "transport telemetry: {} session(s), {} frames in / {} out, {} B in / {} B out",
-        stats.connections_accepted,
-        stats.frames_received,
-        stats.frames_sent,
-        stats.transport_bytes_received,
-        stats.transport_bytes_sent,
-    );
+    // The observability plane, over the same wire: the `GetStats` admin
+    // frame returns the service's full snapshot — counters plus per-stage
+    // latency quantiles — and both stats types render operator tables.
+    let stats = client.fetch_stats()?;
+    println!("--- service stats (via GetStats frame) ---");
+    println!("{stats}");
+    println!("--- client stats ---");
+    println!("{}", client.stats());
     client.close();
     server.shutdown();
 
