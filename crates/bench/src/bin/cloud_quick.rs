@@ -14,10 +14,13 @@
 //! transport's thread count scales with the number of open connections
 //! (64 concurrent sessions must run on the fixed reactor pool alone), if
 //! killing one of three proxied backends mid-flight loses or corrupts
-//! a single accepted job (the `cloud_proxy_failover` entry), if the
-//! telemetry plane adds more than 5% to the remote submit-to-reply median
-//! (the `cloud_trace_overhead` entry), or if the Prometheus endpoint
-//! fails to serve the per-stage quantile series.
+//! a single accepted job (the `cloud_proxy_failover` entry), if a run
+//! resumed from a mid-job checkpoint diverges bitwise from the
+//! uninterrupted run or recomputes all of its epochs instead of just the
+//! tail (the `cloud_resume` entry), if the telemetry plane adds more
+//! than 5% to the remote submit-to-reply median (the
+//! `cloud_trace_overhead` entry), or if the Prometheus endpoint fails to
+//! serve the per-stage quantile series.
 //!
 //! Like PR 3's kernel gates, everything is pinned to one worker and one
 //! tensor-pool thread: the criteria are per-core ratios, and CI runners
@@ -26,11 +29,16 @@
 //! anyway; the pin just keeps cold timings comparable across runs.)
 
 use amalgam_cloud::transport::TransportConfig;
-use amalgam_cloud::{CloudJob, CloudServer, CloudService, RemoteCloudClient, TaskPayload};
+use amalgam_cloud::{
+    CheckpointStore, CloudJob, CloudServer, CloudService, ContentAddress, MemoryCheckpointStore,
+    RemoteCloudClient, TaskPayload,
+};
 use amalgam_core::TrainConfig;
 use amalgam_models::lenet5;
 use amalgam_tensor::{parallel, Rng, Tensor};
+use bytes::Bytes;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -66,6 +74,30 @@ fn tiny_job(seed: u64) -> CloudJob {
 struct Entry {
     name: &'static str,
     fields: Vec<(&'static str, f64)>,
+}
+
+/// A [`CheckpointStore`] that also logs every snapshot ever written —
+/// the deterministic stand-in for "the process died right after epoch k"
+/// used by the `cloud_resume` gate.
+#[derive(Debug, Default)]
+struct SnapshotLog {
+    inner: MemoryCheckpointStore,
+    log: Mutex<Vec<Bytes>>,
+}
+
+impl CheckpointStore for SnapshotLog {
+    fn load(&self, addr: ContentAddress) -> Option<Bytes> {
+        self.inner.load(addr)
+    }
+
+    fn store(&self, addr: ContentAddress, bytes: Bytes) {
+        self.log.lock().expect("snapshot log").push(bytes.clone());
+        self.inner.store(addr, bytes);
+    }
+
+    fn remove(&self, addr: ContentAddress) {
+        self.inner.remove(addr);
+    }
 }
 
 /// Count of live threads whose name starts with `prefix`, from
@@ -347,6 +379,101 @@ fn main() {
         }
         for server in servers {
             server.shutdown();
+        }
+    }
+
+    // Checkpoint/resume: run a multi-epoch job once with per-epoch
+    // checkpointing, logging every snapshot; then replay "the daemon died
+    // after epoch k" by planting the mid-run snapshot in a fresh service's
+    // store and resubmitting. The gate is absolute: the resumed run must
+    // be bitwise identical to the uninterrupted one and must recompute
+    // exactly the tail — epoch-conservation, not merely "fewer epochs".
+    {
+        const EPOCHS: usize = 6;
+        const RESUME_AT: usize = 4; // snapshot taken after epoch 4 of 6
+        let long_job = {
+            let mut rng = Rng::seed_from(77);
+            let model = lenet5(1, 8, 2, &mut rng);
+            let inputs = Tensor::randn(&[16, 1, 8, 8], &mut rng);
+            let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+            CloudJob {
+                model: model.to_bytes(),
+                task: TaskPayload::Classification {
+                    inputs,
+                    labels,
+                    val_inputs: None,
+                    val_labels: vec![],
+                },
+                train: TrainConfig::new(EPOCHS, 8, 0.05)
+                    .with_momentum(0.9)
+                    .with_seed(7),
+            }
+        };
+        let addr = ContentAddress::of(&long_job.to_bytes());
+
+        let recorder = Arc::new(SnapshotLog::default());
+        let full_service = CloudService::builder()
+            .workers(1)
+            .checkpoint_store(Arc::clone(&recorder) as Arc<dyn CheckpointStore>)
+            .checkpoint_every(1)
+            .build();
+        let full_start = Instant::now();
+        let uninterrupted = full_service.client().train(&long_job).expect("full run");
+        let full_ms = full_start.elapsed().as_secs_f64() * 1e3;
+        full_service.shutdown();
+        let snapshot = recorder.log.lock().expect("snapshot log")[RESUME_AT - 1].clone();
+
+        let store = Arc::new(MemoryCheckpointStore::new());
+        store.store(addr, snapshot);
+        let resumed_service = CloudService::builder()
+            .workers(1)
+            .checkpoint_store(Arc::clone(&store) as Arc<dyn CheckpointStore>)
+            .checkpoint_every(1)
+            .build();
+        let resume_start = Instant::now();
+        let resumed = resumed_service
+            .client()
+            .train(&long_job)
+            .expect("resumed run");
+        let resume_ms = resume_start.elapsed().as_secs_f64() * 1e3;
+        let stats = resumed_service.stats();
+        resumed_service.shutdown();
+
+        let diverged = resumed.trained_model != uninterrupted.trained_model
+            || resumed.history.train_loss != uninterrupted.history.train_loss;
+        entries.push(Entry {
+            name: "cloud_resume",
+            fields: vec![
+                ("epochs_total", EPOCHS as f64),
+                ("epochs_recomputed", stats.epochs_trained as f64),
+                ("full_ms", full_ms),
+                ("resume_ms", resume_ms),
+                ("diverged", diverged as u64 as f64),
+            ],
+        });
+        if diverged {
+            failures.push(
+                "a run resumed from the epoch-4 checkpoint diverged bitwise from the \
+                 uninterrupted run"
+                    .to_string(),
+            );
+        }
+        if stats.jobs_resumed != 1 {
+            failures.push(format!(
+                "resumed service reports jobs_resumed = {} (want 1 — the snapshot was ignored)",
+                stats.jobs_resumed
+            ));
+        }
+        if stats.epochs_trained as usize != EPOCHS - RESUME_AT {
+            failures.push(format!(
+                "resume recomputed {} epochs (want exactly the {}-epoch tail of {})",
+                stats.epochs_trained,
+                EPOCHS - RESUME_AT,
+                EPOCHS
+            ));
+        }
+        if !store.is_empty() {
+            failures.push("completion must retire the checkpoint from the store".to_string());
         }
     }
 

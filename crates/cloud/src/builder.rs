@@ -3,6 +3,7 @@
 //! policy and custom middleware.
 
 use crate::cache::{DedupLayer, DedupShared};
+use crate::checkpoint::CheckpointStore;
 use crate::metrics::ServiceMetrics;
 use crate::middleware::{
     AdmissionLayer, ApiKeyLayer, CloudLayer, DecodeLayer, MetricsLayer, ObserverLayer, PanicLayer,
@@ -44,6 +45,8 @@ pub struct CloudServiceBuilder {
     pub(crate) custom_layers: Vec<Box<dyn CloudLayer>>,
     pub(crate) telemetry: TelemetryConfig,
     pub(crate) metrics_exporter: Option<SocketAddr>,
+    pub(crate) checkpoint_store: Option<Arc<dyn CheckpointStore>>,
+    pub(crate) checkpoint_every: u64,
 }
 
 impl CloudServiceBuilder {
@@ -60,6 +63,8 @@ impl CloudServiceBuilder {
             custom_layers: Vec::new(),
             telemetry: TelemetryConfig::default(),
             metrics_exporter: None,
+            checkpoint_store: None,
+            checkpoint_every: 1,
         }
     }
 
@@ -191,6 +196,42 @@ impl CloudServiceBuilder {
         self
     }
 
+    /// Makes jobs durable: the trainer snapshots model + optimizer +
+    /// history into `store` at epoch boundaries (cadence set by
+    /// [`checkpoint_every`](Self::checkpoint_every), default every epoch),
+    /// keyed by the job payload's content address — the same canonical
+    /// SipHash the result cache uses, computed even when dedup is off.
+    ///
+    /// A (re)submitted job whose address holds a valid snapshot **resumes**
+    /// from the last epoch boundary instead of recomputing from epoch 0;
+    /// because every epoch's RNG is a pure function of `(seed, epoch)`, the
+    /// resumed run's result is bitwise identical to an uninterrupted one.
+    /// Corrupt, truncated or stale snapshots are detected (checksummed
+    /// encoding), counted in
+    /// [`checkpoints_rejected`](crate::ServiceStats::checkpoints_rejected),
+    /// scrubbed, and the job falls back to a full recompute — never a wrong
+    /// answer. A job's snapshot is deleted when it completes; failed and
+    /// cancelled jobs keep theirs so a retry resumes.
+    ///
+    /// Share one store — [`crate::MemoryCheckpointStore`] across services
+    /// in one process, [`crate::FileCheckpointStore`] across process
+    /// restarts — to survive server crashes and backend failover.
+    #[must_use]
+    pub fn checkpoint_store(mut self, store: Arc<dyn CheckpointStore>) -> CloudServiceBuilder {
+        self.checkpoint_store = Some(store);
+        self
+    }
+
+    /// Snapshot cadence for [`checkpoint_store`](Self::checkpoint_store):
+    /// a checkpoint is written after every `every` completed epochs
+    /// (default 1; `0` disables writes while still resuming from — and
+    /// cleaning up — existing snapshots).
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: u64) -> CloudServiceBuilder {
+        self.checkpoint_every = every;
+        self
+    }
+
     /// Serves Prometheus text-format metrics over HTTP on `addr`.
     ///
     /// The exporter is a dependency-free HTTP/1.0 responder registered on
@@ -280,6 +321,8 @@ impl std::fmt::Debug for CloudServiceBuilder {
             .field("custom_layers", &self.custom_layers.len())
             .field("telemetry", &self.telemetry)
             .field("metrics_exporter", &self.metrics_exporter)
+            .field("checkpoint_store", &self.checkpoint_store)
+            .field("checkpoint_every", &self.checkpoint_every)
             .finish()
     }
 }

@@ -36,9 +36,9 @@
 use crate::hash::ContentAddress;
 use crate::metrics::ServiceMetrics;
 use crate::middleware::{CloudLayer, JobContext, JobService, SessionKey};
-use crate::protocol::JobResult;
+use crate::protocol::{JobResult, ProgressUpdate};
 use crate::ratelimit::RateLimitHandle;
-use crate::service::ReplySink;
+use crate::service::{CancelFlag, ReplySink};
 use crate::CloudError;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -218,13 +218,23 @@ impl std::fmt::Debug for ResultCache {
 /// One coalesced duplicate, parked until the executor resolves.
 struct Waiter {
     job_id: u64,
+    /// The waiter's own session, so progress frames fanned to it are
+    /// accounted against the right row in the per-session stats.
+    session: SessionKey,
     reply: ReplySink,
+}
+
+/// One in-flight execution's slot: its parked duplicates plus the shared
+/// cancellation flag (any waiter's cancel stops the one underlying run).
+struct PendingSlot {
+    waiters: Vec<Waiter>,
+    cancel: CancelFlag,
 }
 
 /// The mutable dedup state: the cache plus the in-flight pending slots.
 struct DedupInner {
     cache: ResultCache,
-    pending: HashMap<ContentAddress, Vec<Waiter>>,
+    pending: HashMap<ContentAddress, PendingSlot>,
 }
 
 /// Shared dedup state: consulted by the submit path (read side), populated
@@ -240,8 +250,9 @@ pub(crate) struct DedupShared {
 pub(crate) enum SubmitDecision {
     /// Answered from the cache, attached as a waiter, or refused by the
     /// rate limiter — in every case the reply sink has been consumed and
-    /// nothing must be enqueued.
-    Served,
+    /// nothing must be enqueued. A coalesced attach carries the executor's
+    /// shared cancellation flag for the submitter's handle to hold.
+    Served(Option<CancelFlag>),
     /// First sighting of this address: enqueue normally, with the reply
     /// wrapped so the execution's outcome also resolves the waiters.
     Execute(ReplySink, ContentAddress),
@@ -287,6 +298,7 @@ impl DedupShared {
         session: &SessionKey,
         payload: &Bytes,
         reply: ReplySink,
+        cancel: &CancelFlag,
     ) -> SubmitDecision {
         let addr = ContentAddress::of(payload);
         let now = Instant::now();
@@ -298,32 +310,43 @@ impl DedupShared {
                 reply.send(Err(CloudError::RateLimited {
                     retry_after_ms: retry_after.as_millis() as u64 + 1,
                 }));
-                return SubmitDecision::Served;
+                return SubmitDecision::Served(None);
             }
             self.metrics.job_cache_hit(session);
             result.job_id = job_id;
             reply.send(Ok(result));
-            return SubmitDecision::Served;
+            return SubmitDecision::Served(None);
         }
-        if let Some(waiters) = inner.pending.get_mut(&addr) {
+        if let Some(slot) = inner.pending.get_mut(&addr) {
             if let Err(retry_after) = self.charge(session, now) {
                 drop(inner);
                 self.metrics.job_rate_limited_at_submit(session);
                 reply.send(Err(CloudError::RateLimited {
                     retry_after_ms: retry_after.as_millis() as u64 + 1,
                 }));
-                return SubmitDecision::Served;
+                return SubmitDecision::Served(None);
             }
-            waiters.push(Waiter { job_id, reply });
+            slot.waiters.push(Waiter {
+                job_id,
+                session: session.clone(),
+                reply,
+            });
+            let shared = Arc::clone(&slot.cancel);
             drop(inner);
             self.metrics.job_coalesced(session);
-            return SubmitDecision::Served;
+            return SubmitDecision::Served(Some(shared));
         }
         // First sighting: claim the slot while still holding the lock, so
         // a racing duplicate attaches instead of executing twice. The
         // executor itself is *not* charged here — the RateLimitLayer in
         // the stack judges it, once, like any other executed job.
-        inner.pending.insert(addr, Vec::new());
+        inner.pending.insert(
+            addr,
+            PendingSlot {
+                waiters: Vec::new(),
+                cancel: Arc::clone(cancel),
+            },
+        );
         drop(inner);
         SubmitDecision::Execute(
             ReplySink::Dedup(Box::new(DedupReply {
@@ -343,7 +366,12 @@ impl DedupShared {
 
     /// Takes `addr`'s parked waiters (the slot is cleared either way).
     fn take_waiters(&self, addr: &ContentAddress) -> Vec<Waiter> {
-        self.inner.lock().pending.remove(addr).unwrap_or_default()
+        self.inner
+            .lock()
+            .pending
+            .remove(addr)
+            .map(|slot| slot.waiters)
+            .unwrap_or_default()
     }
 }
 
@@ -388,6 +416,35 @@ impl DedupReply {
             waiter.reply.send(fanned);
         }
         self.primary.send(result);
+    }
+
+    /// Streams one progress frame to the primary submitter and to every
+    /// waiter parked *right now* (later attachers simply start receiving
+    /// from the next epoch on). Each delivery is accounted against its own
+    /// session.
+    ///
+    /// Returns whether *any* consumer — primary or waiter — is still
+    /// reachable. `false` means the execution's result has nowhere to go;
+    /// a waiter joining later would resume from the checkpoint instead.
+    pub(crate) fn send_progress(
+        &self,
+        update: ProgressUpdate,
+        session: &SessionKey,
+        metrics: &ServiceMetrics,
+    ) -> bool {
+        if self.resolved.load(Ordering::SeqCst) {
+            return true;
+        }
+        let mut listening = false;
+        {
+            let inner = self.shared.inner.lock();
+            if let Some(slot) = inner.pending.get(&self.addr) {
+                for waiter in &slot.waiters {
+                    listening |= waiter.reply.send_progress(update, &waiter.session, metrics);
+                }
+            }
+        }
+        self.primary.send_progress(update, session, metrics) || listening
     }
 }
 

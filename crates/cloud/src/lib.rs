@@ -114,6 +114,7 @@
 
 mod builder;
 pub mod cache;
+pub mod checkpoint;
 pub mod hash;
 mod metrics;
 pub mod middleware;
@@ -127,6 +128,7 @@ pub mod transport;
 
 pub use builder::CloudServiceBuilder;
 pub use cache::{DedupLayer, ResultCache};
+pub use checkpoint::{Checkpoint, CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};
 pub use hash::ContentAddress;
 pub use metrics::{BackendHealth, BackendStats, ServiceMetrics, ServiceStats, SessionStats};
 pub use middleware::{
@@ -134,7 +136,7 @@ pub use middleware::{
     ObserverLayer, PanicLayer, ServiceBuilder, SessionKey, TimedLayer, ValidateLayer,
 };
 pub use observer::{CloudObserver, NullObserver, RecordingObserver};
-pub use protocol::{CloudJob, JobResult, TaskPayload};
+pub use protocol::{CloudJob, JobResult, ProgressUpdate, TaskPayload};
 pub use ratelimit::{RateLimitLayer, TokenBucket};
 pub use service::{CloudClient, CloudService, JobHandle, TrainService};
 pub use telemetry::{
@@ -181,6 +183,10 @@ pub enum CloudError {
     Unauthorized(String),
     /// Protocol-version negotiation failed, or the peer broke the handshake.
     Handshake(String),
+    /// The job was cancelled by its submitter before it finished; any
+    /// dedup-coalesced waiters of the same content address receive the same
+    /// outcome.
+    Cancelled,
 }
 
 impl CloudError {
@@ -218,6 +224,7 @@ impl std::fmt::Display for CloudError {
             CloudError::Transport(msg) => write!(f, "transport error: {msg}"),
             CloudError::Unauthorized(msg) => write!(f, "unauthorized: {msg}"),
             CloudError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            CloudError::Cancelled => write!(f, "job cancelled by its submitter"),
         }
     }
 }

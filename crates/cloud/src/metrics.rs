@@ -61,6 +61,19 @@ pub struct ServiceMetrics {
     reconnects: AtomicU64,
     jobs_resubmitted: AtomicU64,
     failovers: AtomicU64,
+    // Streamed-lifecycle counters: progress frames obey the conservation
+    // law emitted == delivered + dropped (asserted in the transport race
+    // tests), and the durable-lifecycle tallies below let the
+    // kill-and-resume suite prove a resumed run recomputed strictly fewer
+    // epochs than the job's total.
+    progress_emitted: AtomicU64,
+    progress_delivered: AtomicU64,
+    progress_dropped: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_resumed: AtomicU64,
+    checkpoints_written: AtomicU64,
+    checkpoints_rejected: AtomicU64,
+    epochs_trained: AtomicU64,
     // Per-backend health rows, keyed by the backend's dial address.
     backends: Mutex<HashMap<String, BackendCounters>>,
     // QoS counters per session. Keyed by the SessionKey itself (cheap
@@ -126,6 +139,7 @@ struct SessionCounters {
     shed: u64,
     cache_hits: u64,
     coalesced: u64,
+    progress_frames: u64,
 }
 
 impl ServiceMetrics {
@@ -170,6 +184,14 @@ impl ServiceMetrics {
             reconnects: AtomicU64::new(0),
             jobs_resubmitted: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            progress_emitted: AtomicU64::new(0),
+            progress_delivered: AtomicU64::new(0),
+            progress_dropped: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            jobs_resumed: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            checkpoints_rejected: AtomicU64::new(0),
+            epochs_trained: AtomicU64::new(0),
             backends: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             telemetry: Telemetry::new(telemetry),
@@ -446,6 +468,9 @@ impl ServiceMetrics {
                 self.panicked.fetch_add(1, Ordering::Relaxed);
                 self.failed.fetch_add(1, Ordering::Relaxed);
             }
+            Err(CloudError::Cancelled) => {
+                self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            }
             Err(_) => {
                 self.failed.fetch_add(1, Ordering::Relaxed);
             }
@@ -525,6 +550,54 @@ impl ServiceMetrics {
         self.reconnects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Streaming path: one progress frame was emitted toward `session` (one
+    /// per waiter — a dedup-coalesced execution emits once per attached
+    /// session, so every waiter's row gets its own accounting). Every emit
+    /// later resolves to exactly one `progress_frame_delivered` or
+    /// `progress_frame_dropped`.
+    pub fn progress_frame_emitted(&self, session: &SessionKey) {
+        self.progress_emitted.fetch_add(1, Ordering::Relaxed);
+        self.with_session(session, |s| s.progress_frames += 1);
+    }
+
+    /// Streaming path: an emitted progress frame reached its sink (queued
+    /// on a live v2 connection, or received by an in-process handle).
+    pub fn progress_frame_delivered(&self) {
+        self.progress_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Streaming path: an emitted progress frame was dropped — v1 peer,
+    /// dead handle, broken sink, or residue drained when a connection
+    /// closed. Dropping is legal (progress is advisory); losing *count* of
+    /// a drop is not, so emitted == delivered + dropped always holds.
+    pub fn progress_frame_dropped(&self) {
+        self.progress_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Durable lifecycle: a job resumed from a checkpoint instead of
+    /// recomputing from epoch 0.
+    pub fn job_resumed(&self) {
+        self.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Durable lifecycle: one checkpoint was encoded and stored.
+    pub fn checkpoint_written(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Durable lifecycle: a stored checkpoint failed validation and was
+    /// scrubbed; the job recomputed from epoch 0.
+    pub fn checkpoint_rejected(&self) {
+        self.checkpoints_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Train path: one epoch actually executed (resumed epochs are *not*
+    /// re-counted — the kill-and-resume gate compares this against the
+    /// job's total).
+    pub fn epoch_trained(&self) {
+        self.epochs_trained.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter plus derived rates.
     pub fn snapshot(&self) -> ServiceStats {
         let completed = self.completed.load(Ordering::Relaxed);
@@ -572,6 +645,14 @@ impl ServiceMetrics {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             jobs_resubmitted: self.jobs_resubmitted.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
+            progress_frames_emitted: self.progress_emitted.load(Ordering::Relaxed),
+            progress_frames_delivered: self.progress_delivered.load(Ordering::Relaxed),
+            progress_frames_dropped: self.progress_dropped.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_resumed: self.jobs_resumed.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_rejected: self.checkpoints_rejected.load(Ordering::Relaxed),
+            epochs_trained: self.epochs_trained.load(Ordering::Relaxed),
             backends: {
                 let mut rows: Vec<BackendStats> = self
                     .backends
@@ -609,6 +690,7 @@ impl ServiceMetrics {
                         jobs_shed: c.shed,
                         cache_hits: c.cache_hits,
                         coalesced: c.coalesced,
+                        progress_frames: c.progress_frames,
                     })
                     .collect();
                 rows.sort_by(|a, b| a.key.cmp(&b.key));
@@ -724,6 +806,32 @@ pub struct ServiceStats {
     pub jobs_resubmitted: u64,
     /// Live sessions that abandoned a dying backend mid-flight.
     pub failovers: u64,
+    /// Progress frames emitted toward any sink (one per waiter per epoch).
+    /// Conservation law: `progress_frames_emitted ==
+    /// progress_frames_delivered + progress_frames_dropped`.
+    pub progress_frames_emitted: u64,
+    /// Progress frames that reached their sink (queued on a live v2
+    /// connection, or received by an in-process handle).
+    pub progress_frames_delivered: u64,
+    /// Progress frames dropped (v1 peer, dead handle, broken or closing
+    /// connection). Progress is advisory, so drops are legal — but always
+    /// counted.
+    pub progress_frames_dropped: u64,
+    /// Jobs resolved with [`crate::CloudError::Cancelled`] (kept out of
+    /// [`jobs_failed`](Self::jobs_failed): the submitter asked for this).
+    pub jobs_cancelled: u64,
+    /// Jobs that resumed from a checkpoint instead of recomputing from
+    /// epoch 0.
+    pub jobs_resumed: u64,
+    /// Mid-training checkpoints encoded and stored.
+    pub checkpoints_written: u64,
+    /// Stored checkpoints that failed validation (checksum, truncation,
+    /// impossible epoch) and were scrubbed before an epoch-0 recompute.
+    pub checkpoints_rejected: u64,
+    /// Training epochs actually executed. After a kill-and-resume, the
+    /// restarted server's count stays strictly below the job's total —
+    /// the observable proof that resume skipped work.
+    pub epochs_trained: u64,
     /// Per-backend health rows (breaker state, ejections/readmissions,
     /// probe tallies), sorted by address; populated by a routing tier
     /// (`amalgam-proxy`), empty otherwise.
@@ -788,6 +896,14 @@ impl ServiceStats {
         w.put_u64(self.reconnects);
         w.put_u64(self.jobs_resubmitted);
         w.put_u64(self.failovers);
+        w.put_u64(self.progress_frames_emitted);
+        w.put_u64(self.progress_frames_delivered);
+        w.put_u64(self.progress_frames_dropped);
+        w.put_u64(self.jobs_cancelled);
+        w.put_u64(self.jobs_resumed);
+        w.put_u64(self.checkpoints_written);
+        w.put_u64(self.checkpoints_rejected);
+        w.put_u64(self.epochs_trained);
         w.put_u32(self.backends.len() as u32);
         for b in &self.backends {
             w.put_str(&b.addr);
@@ -817,6 +933,7 @@ impl ServiceStats {
             w.put_u64(s.jobs_shed);
             w.put_u64(s.cache_hits);
             w.put_u64(s.coalesced);
+            w.put_u64(s.progress_frames);
         }
         w.put_u32(self.histograms.len() as u32);
         for (stage, hist) in &self.histograms {
@@ -868,6 +985,14 @@ impl ServiceStats {
             reconnects: r.get_u64().map_err(stats_err)?,
             jobs_resubmitted: r.get_u64().map_err(stats_err)?,
             failovers: r.get_u64().map_err(stats_err)?,
+            progress_frames_emitted: r.get_u64().map_err(stats_err)?,
+            progress_frames_delivered: r.get_u64().map_err(stats_err)?,
+            progress_frames_dropped: r.get_u64().map_err(stats_err)?,
+            jobs_cancelled: r.get_u64().map_err(stats_err)?,
+            jobs_resumed: r.get_u64().map_err(stats_err)?,
+            checkpoints_written: r.get_u64().map_err(stats_err)?,
+            checkpoints_rejected: r.get_u64().map_err(stats_err)?,
+            epochs_trained: r.get_u64().map_err(stats_err)?,
             backends: Vec::new(),
             sessions: Vec::new(),
             histograms: Vec::new(),
@@ -903,6 +1028,7 @@ impl ServiceStats {
                 jobs_shed: r.get_u64().map_err(stats_err)?,
                 cache_hits: r.get_u64().map_err(stats_err)?,
                 coalesced: r.get_u64().map_err(stats_err)?,
+                progress_frames: r.get_u64().map_err(stats_err)?,
             });
         }
         for _ in 0..r.get_u32().map_err(stats_err)? {
@@ -1096,6 +1222,46 @@ impl ServiceStats {
             "Sessions that abandoned a dying backend.",
             self.failovers as f64,
         );
+        gauge(
+            "progress_frames_emitted_total",
+            "Progress frames emitted toward any sink.",
+            self.progress_frames_emitted as f64,
+        );
+        gauge(
+            "progress_frames_delivered_total",
+            "Progress frames that reached their sink.",
+            self.progress_frames_delivered as f64,
+        );
+        gauge(
+            "progress_frames_dropped_total",
+            "Progress frames dropped (v1 peer or dead sink).",
+            self.progress_frames_dropped as f64,
+        );
+        gauge(
+            "jobs_cancelled_total",
+            "Jobs resolved with Cancelled at the submitter's request.",
+            self.jobs_cancelled as f64,
+        );
+        gauge(
+            "jobs_resumed_total",
+            "Jobs resumed from a checkpoint instead of epoch 0.",
+            self.jobs_resumed as f64,
+        );
+        gauge(
+            "checkpoints_written_total",
+            "Mid-training checkpoints stored.",
+            self.checkpoints_written as f64,
+        );
+        gauge(
+            "checkpoints_rejected_total",
+            "Corrupt or stale checkpoints scrubbed before recompute.",
+            self.checkpoints_rejected as f64,
+        );
+        gauge(
+            "epochs_trained_total",
+            "Training epochs actually executed.",
+            self.epochs_trained as f64,
+        );
         let _ = writeln!(
             out,
             "# HELP amalgam_latency_microseconds Per-stage latency quantiles (log-linear histogram, error <= 1/16)."
@@ -1195,6 +1361,27 @@ impl std::fmt::Display for ServiceStats {
                 "healing", self.reconnects, self.jobs_resubmitted, self.failovers
             )?;
         }
+        if self.jobs_cancelled
+            + self.jobs_resumed
+            + self.checkpoints_written
+            + self.checkpoints_rejected
+            + self.progress_frames_emitted
+            > 0
+        {
+            writeln!(
+                f,
+                "{:<10} cancelled {:<5} resumed {:<5} ckpt written {:<5} rejected {:<4} epochs {:<6} progress {}/{}/{}",
+                "lifecycle",
+                self.jobs_cancelled,
+                self.jobs_resumed,
+                self.checkpoints_written,
+                self.checkpoints_rejected,
+                self.epochs_trained,
+                self.progress_frames_emitted,
+                self.progress_frames_delivered,
+                self.progress_frames_dropped
+            )?;
+        }
         if !self.histograms.is_empty() {
             writeln!(
                 f,
@@ -1232,7 +1419,7 @@ impl std::fmt::Display for ServiceStats {
         for s in &self.sessions {
             writeln!(
                 f,
-                "session {} (w={}) depth {} submitted {} dispatched {} completed {} failed {} shed {}",
+                "session {} (w={}) depth {} submitted {} dispatched {} completed {} failed {} shed {} progress {}",
                 s.key,
                 s.weight,
                 s.queue_depth,
@@ -1240,7 +1427,8 @@ impl std::fmt::Display for ServiceStats {
                 s.jobs_dispatched,
                 s.jobs_completed,
                 s.jobs_failed,
-                s.jobs_shed
+                s.jobs_shed,
+                s.progress_frames
             )?;
         }
         Ok(())
@@ -1308,6 +1496,9 @@ pub struct SessionStats {
     /// This session's submissions coalesced onto an identical in-flight
     /// job.
     pub coalesced: u64,
+    /// Progress frames emitted for this session's jobs (each coalesced
+    /// waiter counts its own copy).
+    pub progress_frames: u64,
 }
 
 #[cfg(test)]

@@ -97,6 +97,20 @@ pub struct JobContext {
     /// layer turns them into histogram updates and a flight-recorder
     /// [`JobTrace`].
     pub spans: Vec<SpanRecord>,
+    /// Where [`emit_progress`](Self::emit_progress) delivers, when anyone
+    /// is listening: the submitter's handle or transport session, plus —
+    /// for a dedup executor — every coalesced waiter.
+    pub(crate) progress: Option<crate::service::ProgressSink>,
+    /// The submitter's cooperative cancellation token (see
+    /// [`cancelled`](Self::cancelled)). `None` for contexts built outside
+    /// the worker loop.
+    pub(crate) cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// The service's checkpoint policy, when durability is configured
+    /// ([`crate::CloudServiceBuilder::checkpoint_store`]).
+    pub(crate) checkpoint: Option<crate::checkpoint::CheckpointConfig>,
+    /// The shared lifecycle counters (epochs trained, checkpoints written,
+    /// resumes), so the trainer can account without a metrics layer above.
+    pub(crate) metrics: Option<Arc<ServiceMetrics>>,
 }
 
 impl JobContext {
@@ -117,6 +131,41 @@ impl JobContext {
             record_spans: false,
             queue_wait_us: 0,
             spans: Vec::new(),
+            progress: None,
+            cancel: None,
+            checkpoint: None,
+            metrics: None,
+        }
+    }
+
+    /// Whether the submitter has cancelled this job. The trainer polls this
+    /// at every epoch boundary and resolves with
+    /// [`CloudError::Cancelled`]; middleware
+    /// may poll it too to shed work early.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Emits one per-epoch progress update toward whoever is listening —
+    /// the submitting handle, the transport session (protocol ≥ 2 peers
+    /// only), and every dedup-coalesced waiter. Advisory and lossless in
+    /// accounting: every emission is counted, and ends up either delivered
+    /// or dropped (see [`crate::ServiceStats::progress_frames_emitted`]).
+    ///
+    /// Returns `false` when *no* consumer of this job's final result is
+    /// reachable any more — the handle was dropped, the connection died,
+    /// and every coalesced waiter with them. The trainer treats that as
+    /// abandonment: it stops at the next epoch boundary with
+    /// [`CloudError::Cancelled`], keeping
+    /// its checkpoint so a resubmission resumes rather than recomputes.
+    /// Contexts with no progress sink at all report `true` (nothing is
+    /// known about the consumer, so the job runs to completion).
+    pub fn emit_progress(&self, update: crate::ProgressUpdate) -> bool {
+        match &self.progress {
+            Some(sink) => sink.emit(update),
+            None => true,
         }
     }
 }
@@ -480,7 +529,7 @@ impl JobService for MetricsSvc {
         self.metrics.job_finished(bytes_in, &result, elapsed);
         self.metrics.session_finished(&ctx.session, &result);
         if ctx.record_spans {
-            self.finalize_trace(ctx, result.is_ok(), elapsed);
+            self.finalize_trace(ctx, result.is_ok());
         }
         result
     }
@@ -492,7 +541,7 @@ impl MetricsSvc {
     /// strictly nested, so stage *self* time is each span's duration minus
     /// the one inside it; the trace stores them outermost-first with the
     /// queue wait in front.
-    fn finalize_trace(&self, ctx: &mut JobContext, ok: bool, elapsed: Duration) {
+    fn finalize_trace(&self, ctx: &mut JobContext, ok: bool) {
         let tel = self.metrics.telemetry();
         tel.record(Stage::QueueWait, Duration::from_micros(ctx.queue_wait_us));
         let mut inner_us = 0u64;
@@ -514,7 +563,10 @@ impl MetricsSvc {
         tel.recorder().push(JobTrace {
             trace: ctx.trace,
             job_id: ctx.job_id,
-            total_us: duration_us(elapsed) + ctx.queue_wait_us,
+            // Same clock the spans' offsets are measured against, so no
+            // span can end past the total (scheduler preemption between
+            // two different clock reads used to allow exactly that).
+            total_us: duration_us(ctx.submitted_at.elapsed()),
             ok,
             spans,
         });

@@ -210,6 +210,7 @@ impl CloudError {
                 w.put_u8(8);
                 w.put_u64(*retry_after_ms);
             }
+            CloudError::Cancelled => w.put_u8(9),
         }
     }
 
@@ -237,7 +238,48 @@ impl CloudError {
             8 => CloudError::RateLimited {
                 retry_after_ms: r.get_u64().map_err(err)?,
             },
+            9 => CloudError::Cancelled,
             t => return Err(CloudError::Decode(format!("unknown error tag {t}"))),
+        })
+    }
+}
+
+/// One per-epoch progress report, streamed while a job trains.
+///
+/// Progress updates are advisory: they ride the transport's v2 `Progress`
+/// extension frame, so v1 peers simply never see them, and a dropped update
+/// never affects the job's final [`JobResult`]. The epoch index counts
+/// *completed* epochs, so `epoch == total_epochs` on the last update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressUpdate {
+    /// Epochs completed so far (1-based; the first update carries 1).
+    pub epoch: u64,
+    /// Total epochs the job will run.
+    pub total_epochs: u64,
+    /// Mean training loss of the epoch just completed.
+    pub train_loss: f32,
+    /// Mean training accuracy of the epoch just completed (0 for language
+    /// modelling tasks, which report loss only).
+    pub train_acc: f32,
+}
+
+impl ProgressUpdate {
+    /// Appends the update's wire fields (no tag) to `w`.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        w.put_u64(self.total_epochs);
+        w.put_f32(self.train_loss);
+        w.put_f32(self.train_acc);
+    }
+
+    /// Decodes fields written by [`encode_into`](Self::encode_into).
+    pub(crate) fn decode_from(r: &mut Reader) -> Result<ProgressUpdate, CloudError> {
+        let err = |e: amalgam_tensor::TensorError| CloudError::Decode(e.to_string());
+        Ok(ProgressUpdate {
+            epoch: r.get_u64().map_err(err)?,
+            total_epochs: r.get_u64().map_err(err)?,
+            train_loss: r.get_f32().map_err(err)?,
+            train_acc: r.get_f32().map_err(err)?,
         })
     }
 }

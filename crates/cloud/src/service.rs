@@ -2,11 +2,12 @@
 
 use crate::builder::CloudServiceBuilder;
 use crate::cache::{DedupReply, DedupShared, SubmitDecision};
+use crate::checkpoint::{Checkpoint, CheckpointConfig};
 use crate::hash::ContentAddress;
 use crate::metrics::{ServiceMetrics, ServiceStats};
 use crate::middleware::{duration_us, JobContext, JobService, SessionKey, TimedLayer};
 use crate::observer::{CloudObserver, NullObserver};
-use crate::protocol::{CloudJob, JobResult, TaskPayload};
+use crate::protocol::{CloudJob, JobResult, ProgressUpdate, TaskPayload};
 use crate::queue::FairDispatcher;
 use crate::telemetry::{Stage, Telemetry, TraceId};
 use crate::CloudError;
@@ -33,8 +34,12 @@ use std::time::{Duration, Instant};
 /// the session's request id, so one writer thread can serve any number of
 /// out-of-order completions.
 pub(crate) enum ReplySink {
-    /// One dedicated channel, consumed by a [`JobHandle`].
-    Handle(Sender<Result<JobResult, CloudError>>),
+    /// Dedicated channels, consumed by a [`JobHandle`]: one for the final
+    /// outcome, one for advisory progress frames.
+    Handle {
+        reply: Sender<Result<JobResult, CloudError>>,
+        progress: Sender<ProgressUpdate>,
+    },
     /// A shared per-connection channel back to the owning reactor; `tag` is
     /// the wire request id.
     Routed { tag: u64, tx: RoutedSender },
@@ -47,12 +52,99 @@ pub(crate) enum ReplySink {
 impl ReplySink {
     pub(crate) fn send(&self, result: Result<JobResult, CloudError>) {
         match self {
-            ReplySink::Handle(tx) => {
-                let _ = tx.send(result);
+            ReplySink::Handle { reply, .. } => {
+                let _ = reply.send(result);
             }
             ReplySink::Routed { tag, tx } => tx.send(*tag, result),
             ReplySink::Dedup(reply) => reply.resolve(result),
         }
+    }
+
+    /// Forwards one progress frame toward this sink's consumer, keeping the
+    /// conservation law honest: every call bumps `emitted` (per `session`),
+    /// and the frame ends up counted exactly once as delivered or dropped —
+    /// here for in-process sinks, in the owning event loop for routed ones.
+    ///
+    /// Returns whether anyone could still receive this execution's *final
+    /// result*: `false` means every consumer is gone — the submitting
+    /// handle dropped, the transport connection closed, and (for a dedup
+    /// executor) every coalesced waiter with them. The trainer treats that
+    /// as abandonment and cancels itself at the next epoch boundary,
+    /// keeping its checkpoint so a resubmission resumes instead of
+    /// recomputing.
+    pub(crate) fn send_progress(
+        &self,
+        update: ProgressUpdate,
+        session: &SessionKey,
+        metrics: &ServiceMetrics,
+    ) -> bool {
+        match self {
+            ReplySink::Handle { progress, .. } => {
+                metrics.progress_frame_emitted(session);
+                if progress.send(update).is_ok() {
+                    metrics.progress_frame_delivered();
+                    true
+                } else {
+                    metrics.progress_frame_dropped();
+                    false
+                }
+            }
+            ReplySink::Routed { tag, tx } => {
+                metrics.progress_frame_emitted(session);
+                if tx.send_progress(*tag, update) {
+                    // Channel alive: the conn's pump delivers (protocol ≥ 2)
+                    // or drops (v1) — either way the reply is deliverable.
+                    true
+                } else {
+                    // The connection's channel is gone; the pump will never
+                    // see this frame, so account the drop at the send site.
+                    metrics.progress_frame_dropped();
+                    false
+                }
+            }
+            ReplySink::Dedup(reply) => reply.send_progress(update, session, metrics),
+        }
+    }
+}
+
+/// The submitter-side cancellation token: one shared flag per *execution*.
+/// Dedup-coalesced waiters share their executor's flag, so any waiter's
+/// cancel stops the one underlying run (and every waiter then receives
+/// [`CloudError::Cancelled`]).
+pub(crate) type CancelFlag = Arc<AtomicBool>;
+
+/// One message on a transport session's multiplexed outbound channel.
+pub(crate) enum RoutedMsg {
+    /// The request's one final outcome; frees its in-flight slot.
+    Reply(Result<JobResult, CloudError>),
+    /// An advisory per-epoch progress frame (sent to protocol ≥ 2 peers
+    /// only); never touches in-flight accounting.
+    Progress(ProgressUpdate),
+}
+
+/// Where a worker delivers per-epoch progress: the submitter's sink (which
+/// fans out to coalesced waiters for dedup executors), stamped with the
+/// executing session for per-session accounting.
+pub(crate) struct ProgressSink {
+    pub(crate) reply: Arc<ReplySink>,
+    pub(crate) session: SessionKey,
+    pub(crate) metrics: Arc<ServiceMetrics>,
+}
+
+impl ProgressSink {
+    /// Emits one update; `false` means the execution is abandoned (see
+    /// [`ReplySink::send_progress`]).
+    pub(crate) fn emit(&self, update: ProgressUpdate) -> bool {
+        self.reply
+            .send_progress(update, &self.session, &self.metrics)
+    }
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("session", &self.session)
+            .finish()
     }
 }
 
@@ -63,8 +155,15 @@ impl ReplySink {
 /// poll, so completions are flushed promptly instead of waiting for socket
 /// activity.
 pub(crate) struct RoutedSender {
-    tx: Sender<(u64, Result<JobResult, CloudError>)>,
+    tx: Sender<(u64, RoutedMsg)>,
     notify: Arc<dyn Fn() + Send + Sync>,
+    /// Cleared by the owning reactor once the peer is gone for good
+    /// (abrupt EOF, read error, or the connection closed). The channel
+    /// alone can't answer "is anyone listening": a dying connection
+    /// lingers in its draining state — holding the receiver — precisely
+    /// *until* its in-flight jobs settle, so a trainer probing the channel
+    /// would wait on itself forever.
+    peer_alive: Arc<AtomicBool>,
 }
 
 impl Clone for RoutedSender {
@@ -72,6 +171,7 @@ impl Clone for RoutedSender {
         RoutedSender {
             tx: self.tx.clone(),
             notify: Arc::clone(&self.notify),
+            peer_alive: Arc::clone(&self.peer_alive),
         }
     }
 }
@@ -83,18 +183,37 @@ impl std::fmt::Debug for RoutedSender {
 }
 
 impl RoutedSender {
-    /// Couples a reply channel with the reactor wake-up that flushes it.
+    /// Couples a reply channel with the reactor wake-up that flushes it
+    /// and the connection's peer-liveness flag.
     pub(crate) fn new(
-        tx: Sender<(u64, Result<JobResult, CloudError>)>,
+        tx: Sender<(u64, RoutedMsg)>,
         notify: Arc<dyn Fn() + Send + Sync>,
+        peer_alive: Arc<AtomicBool>,
     ) -> RoutedSender {
-        RoutedSender { tx, notify }
+        RoutedSender {
+            tx,
+            notify,
+            peer_alive,
+        }
     }
 
     /// Posts one completion and wakes the owning reactor.
     pub(crate) fn send(&self, tag: u64, result: Result<JobResult, CloudError>) {
-        let _ = self.tx.send((tag, result));
+        let _ = self.tx.send((tag, RoutedMsg::Reply(result)));
         (self.notify)();
+    }
+
+    /// Posts one progress frame and wakes the owning reactor; `false` if
+    /// the peer can never receive another frame — its connection died
+    /// abruptly or closed — or the channel itself is gone. On `false` the
+    /// frame was not posted, so the caller accounts the drop.
+    pub(crate) fn send_progress(&self, tag: u64, update: ProgressUpdate) -> bool {
+        if !self.peer_alive.load(Ordering::SeqCst) {
+            return false;
+        }
+        let ok = self.tx.send((tag, RoutedMsg::Progress(update))).is_ok();
+        (self.notify)();
+        ok
     }
 }
 
@@ -110,10 +229,15 @@ pub(crate) struct Envelope {
     /// End-to-end trace id: minted at the submit boundary for in-process
     /// jobs, carried in from the wire for protocol-v2 transport submits.
     trace: TraceId,
-    /// The payload's content address when dedup is enabled — what the
-    /// in-stack [`crate::DedupLayer`] caches a successful result under.
+    /// The payload's content address when dedup or checkpointing is
+    /// enabled — what the in-stack [`crate::DedupLayer`] caches a
+    /// successful result under, and what checkpoints are keyed by.
     content_address: Option<ContentAddress>,
-    reply: ReplySink,
+    /// The submitter's cancellation token, polled at epoch boundaries.
+    cancel: CancelFlag,
+    /// Shared (not owned) so the job's [`ProgressSink`] can stream through
+    /// the same sink the final outcome will use.
+    reply: Arc<ReplySink>,
 }
 
 /// The simulated cloud: a middleware stack served by a pool of worker
@@ -127,6 +251,9 @@ pub struct CloudService {
     next_id: Arc<AtomicU64>,
     next_session: Arc<AtomicU64>,
     dedup: Option<Arc<DedupShared>>,
+    /// Whether a checkpoint store is configured — submits then stamp a
+    /// content address even without dedup, so checkpoints have a key.
+    checkpointing: bool,
     /// The accepted API keys, kept for the transport's `GetStats`
     /// authorization check (the in-stack copy is consumed by `assemble`).
     api_keys: Option<Arc<[String]>>,
@@ -171,14 +298,23 @@ impl CloudService {
         let queue = Arc::new(FairDispatcher::new(std::mem::take(
             &mut builder.session_weights,
         )));
+        let checkpoint = builder
+            .checkpoint_store
+            .take()
+            .map(|store| CheckpointConfig {
+                store,
+                every: builder.checkpoint_every,
+            });
+        let checkpointing = checkpoint.is_some();
         let workers = (0..builder.workers)
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let service = Arc::clone(&service);
                 let metrics = Arc::clone(&metrics);
+                let checkpoint = checkpoint.clone();
                 std::thread::Builder::new()
                     .name(format!("cloud-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &*service, &metrics))
+                    .spawn(move || worker_loop(&queue, &*service, &metrics, checkpoint))
                     .expect("spawn cloud worker")
             })
             .collect();
@@ -190,6 +326,7 @@ impl CloudService {
             next_id: Arc::new(AtomicU64::new(0)),
             next_session: Arc::new(AtomicU64::new(0)),
             dedup,
+            checkpointing,
             api_keys,
             metrics_exporter,
         }
@@ -208,6 +345,7 @@ impl CloudService {
             session: SessionKey::Anonymous(self.next_session.fetch_add(1, Ordering::Relaxed)),
             api_key: None,
             dedup: self.dedup.clone(),
+            checkpointing: self.checkpointing,
         }
     }
 
@@ -278,7 +416,8 @@ impl Drop for CloudService {
 fn worker_loop(
     queue: &FairDispatcher<Envelope>,
     service: &dyn JobService,
-    metrics: &ServiceMetrics,
+    metrics: &Arc<ServiceMetrics>,
+    checkpoint: Option<CheckpointConfig>,
 ) {
     let record_spans = metrics.telemetry().enabled();
     while let Some(envelope) = queue.pop() {
@@ -291,6 +430,16 @@ fn worker_loop(
         ctx.content_address = envelope.content_address;
         ctx.trace = envelope.trace;
         ctx.record_spans = record_spans;
+        ctx.progress = Some(ProgressSink {
+            reply: Arc::clone(&envelope.reply),
+            session: ctx.session.clone(),
+            metrics: Arc::clone(metrics),
+        });
+        ctx.cancel = Some(Arc::clone(&envelope.cancel));
+        ctx.checkpoint = checkpoint.clone();
+        ctx.metrics = Some(Arc::clone(metrics));
+        // Stamped last: everything between dequeue and dispatch counts as
+        // queue wait, so no span can start before the total's clock does.
         if record_spans {
             ctx.queue_wait_us = duration_us(envelope.submitted_at.elapsed());
         }
@@ -315,6 +464,7 @@ pub struct CloudClient {
     session: SessionKey,
     api_key: Option<Arc<str>>,
     dedup: Option<Arc<DedupShared>>,
+    checkpointing: bool,
 }
 
 impl CloudClient {
@@ -368,16 +518,28 @@ impl CloudClient {
             return Err(CloudError::ServiceUnavailable);
         }
         let (reply_tx, reply_rx) = unbounded();
-        let id = self.enqueue(payload, ReplySink::Handle(reply_tx), TraceId::NONE)?;
+        let (progress_tx, progress_rx) = unbounded();
+        let (id, cancel) = self.enqueue(
+            payload,
+            ReplySink::Handle {
+                reply: reply_tx,
+                progress: progress_tx,
+            },
+            TraceId::NONE,
+        )?;
         Ok(JobHandle {
             id,
             rx: reply_rx,
+            progress_rx,
+            cancel,
             done: None,
         })
     }
 
     /// Submits a payload whose outcome is multiplexed onto a shared reply
-    /// channel, tagged with the caller's `tag` (the transport's request id).
+    /// channel, tagged with the caller's `tag` (the transport's request
+    /// id). Returns the job's cancellation flag so the session can honor a
+    /// later `Cancel` frame for the same request id.
     ///
     /// # Errors
     ///
@@ -388,11 +550,12 @@ impl CloudClient {
         tag: u64,
         replies: RoutedSender,
         trace: TraceId,
-    ) -> Result<u64, CloudError> {
+    ) -> Result<CancelFlag, CloudError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(CloudError::ServiceUnavailable);
         }
         self.enqueue(payload, ReplySink::Routed { tag, tx: replies }, trace)
+            .map(|(_, cancel)| cancel)
     }
 
     /// The one enqueue path: stamps id, submit instant and session, then
@@ -412,7 +575,7 @@ impl CloudClient {
         payload: Bytes,
         mut reply: ReplySink,
         trace: TraceId,
-    ) -> Result<u64, CloudError> {
+    ) -> Result<(u64, CancelFlag), CloudError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // Jobs that arrive without a trace (in-process submits, protocol-v1
         // transport sessions) are the trace root: mint the id here so every
@@ -422,15 +585,20 @@ impl CloudClient {
         } else {
             trace
         };
+        let cancel: CancelFlag = Arc::new(AtomicBool::new(false));
         let mut content_address = None;
         if let Some(dedup) = &self.dedup {
-            match dedup.intercept(id, &self.session, &payload, reply) {
-                SubmitDecision::Served => return Ok(id),
+            match dedup.intercept(id, &self.session, &payload, reply, &cancel) {
+                // A coalesced attach shares the executor's flag, so any
+                // waiter's cancel stops the one underlying run.
+                SubmitDecision::Served(shared) => return Ok((id, shared.unwrap_or(cancel))),
                 SubmitDecision::Execute(wrapped, addr) => {
                     reply = wrapped;
                     content_address = Some(addr);
                 }
             }
+        } else if self.checkpointing {
+            content_address = Some(ContentAddress::of(&payload));
         }
         let queue_depth_at_submit = self.metrics.job_queued();
         self.metrics
@@ -444,7 +612,8 @@ impl CloudClient {
             auth: self.api_key.clone(),
             trace,
             content_address,
-            reply,
+            cancel: Arc::clone(&cancel),
+            reply: Arc::new(reply),
         };
         if self.queue.push(&self.session, envelope).is_err() {
             // The rejected envelope is dropped here; if it was a dedup
@@ -454,7 +623,7 @@ impl CloudClient {
             self.metrics.session_unqueued(&self.session);
             return Err(CloudError::ServiceUnavailable);
         }
-        Ok(id)
+        Ok((id, cancel))
     }
 
     /// Convenience: submit and wait.
@@ -472,6 +641,8 @@ impl CloudClient {
 pub struct JobHandle {
     id: u64,
     rx: Receiver<Result<JobResult, CloudError>>,
+    progress_rx: Receiver<ProgressUpdate>,
+    cancel: CancelFlag,
     done: Option<Result<JobResult, CloudError>>,
 }
 
@@ -479,6 +650,30 @@ impl JobHandle {
     /// The service-assigned job id (matches [`JobResult::job_id`]).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Requests cancellation. Best-effort and idempotent: the trainer
+    /// polls at epoch boundaries, so the job either resolves with
+    /// [`CloudError::Cancelled`] (for this handle *and* every
+    /// dedup-coalesced waiter of the same content address) or — if it was
+    /// already past its last epoch — completes normally. Either way the
+    /// handle's `wait` is always answered.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// The next per-epoch progress update received so far, non-blocking;
+    /// `None` when no update is pending. Updates stream while the job
+    /// trains and stop (without error) once the outcome is ready.
+    pub fn try_progress(&self) -> Option<ProgressUpdate> {
+        self.progress_rx.try_recv().ok()
+    }
+
+    /// Blocking stream of per-epoch progress updates. Yields each update
+    /// as it arrives and ends when the job settles (the worker drops its
+    /// sender), after which [`wait`](Self::wait) returns immediately.
+    pub fn progress(&self) -> impl Iterator<Item = ProgressUpdate> + '_ {
+        std::iter::from_fn(move || self.progress_rx.recv().ok())
     }
 
     /// Blocks until the job finishes.
@@ -565,7 +760,8 @@ impl JobService for TrainService {
                 val_inputs.as_ref().map(|v| (v, val_labels.as_slice())),
                 &job.train,
                 &observer,
-            ),
+                ctx,
+            )?,
             TaskPayload::LanguageModel {
                 windows,
                 val_windows,
@@ -577,8 +773,14 @@ impl JobService for TrainService {
                 head_keeps,
                 &job.train,
                 &observer,
-            ),
+                ctx,
+            )?,
         };
+        // The job is done: its checkpoint has served its purpose. (Failed
+        // and cancelled jobs keep theirs, so a retry resumes.)
+        if let (Some(ck), Some(addr)) = (&ctx.checkpoint, ctx.content_address) {
+            ck.store.remove(addr);
+        }
         let train_seconds = t0.elapsed().as_secs_f64();
         model.clear_caches();
         let trained_model = model.to_bytes();
@@ -593,7 +795,105 @@ impl JobService for TrainService {
     }
 }
 
+/// Restores this job's checkpoint, if durability is configured and a valid
+/// resumable snapshot exists under the job's content address. Returns the
+/// number of already-completed epochs (0 = fresh run). Any snapshot that
+/// fails validation — bad checksum, truncation, undecodable model bytes,
+/// impossible epoch — is scrubbed from the store and the job recomputes
+/// from epoch 0: corruption is loud in the stats but never poisons the
+/// store or the result.
+fn try_resume(
+    ctx: &JobContext,
+    model: &mut GraphModel,
+    opt: &mut Sgd,
+    history: &mut History,
+    total_epochs: usize,
+) -> usize {
+    let (Some(ck), Some(addr)) = (&ctx.checkpoint, ctx.content_address) else {
+        return 0;
+    };
+    let t0 = Instant::now();
+    let (cp, rejected) = crate::checkpoint::load_for_resume(&*ck.store, addr, total_epochs as u64);
+    if rejected {
+        if let Some(m) = &ctx.metrics {
+            m.checkpoint_rejected();
+        }
+    }
+    let Some(cp) = cp else { return 0 };
+    match GraphModel::from_bytes(cp.model.clone()) {
+        Ok(restored) => *model = restored,
+        Err(_) => {
+            // Bytes that pass the checksum but no longer decode (a model
+            // format bump, say): same policy as corruption.
+            ck.store.remove(addr);
+            if let Some(m) = &ctx.metrics {
+                m.checkpoint_rejected();
+            }
+            return 0;
+        }
+    }
+    opt.set_velocity(cp.velocity);
+    *history = cp.history;
+    if let Some(m) = &ctx.metrics {
+        m.job_resumed();
+        m.telemetry().record(Stage::CheckpointRestore, t0.elapsed());
+    }
+    cp.epoch as usize
+}
+
+/// Per-epoch lifecycle epilogue shared by both training loops: counts the
+/// epoch, emits one progress frame, and snapshots a checkpoint at the
+/// configured cadence. `completed` is 1-based. The final epoch never
+/// snapshots — the job is about to finish and delete its entry.
+///
+/// Returns whether anyone can still receive this job's result (see
+/// [`JobContext::emit_progress`]); the loops abandon the run at the next
+/// epoch boundary when nobody can.
+fn finish_epoch(
+    ctx: &JobContext,
+    completed: usize,
+    total: usize,
+    model: &GraphModel,
+    opt: &Sgd,
+    history: &History,
+) -> bool {
+    if let Some(m) = &ctx.metrics {
+        m.epoch_trained();
+    }
+    let listening = ctx.emit_progress(ProgressUpdate {
+        epoch: completed as u64,
+        total_epochs: total as u64,
+        train_loss: history.train_loss.last().copied().unwrap_or(f32::NAN),
+        train_acc: history.train_acc.last().copied().unwrap_or(0.0),
+    });
+    let (Some(ck), Some(addr)) = (&ctx.checkpoint, ctx.content_address) else {
+        return listening;
+    };
+    if ck.every == 0 || !completed.is_multiple_of(ck.every as usize) || completed >= total {
+        return listening;
+    }
+    let t0 = Instant::now();
+    let cp = Checkpoint {
+        epoch: completed as u64,
+        model: model.to_bytes(),
+        velocity: opt.velocity().to_vec(),
+        history: history.clone(),
+    };
+    ck.store.store(addr, cp.to_bytes());
+    if let Some(m) = &ctx.metrics {
+        m.checkpoint_written();
+        m.telemetry().record(Stage::CheckpointWrite, t0.elapsed());
+    }
+    listening
+}
+
 /// Algorithm 1 with observer hooks, classification tasks.
+///
+/// # Errors
+///
+/// Returns [`CloudError::Cancelled`] when the submitter's cancellation
+/// flag — or the abandonment of every consumer — is observed at an epoch
+/// boundary.
 fn train_classification(
     model: &mut GraphModel,
     inputs: &Tensor,
@@ -601,11 +901,20 @@ fn train_classification(
     val: Option<(&Tensor, &[usize])>,
     cfg: &amalgam_core::TrainConfig,
     observer: &Arc<Mutex<dyn CloudObserver>>,
-) -> History {
+    ctx: &JobContext,
+) -> Result<History, CloudError> {
     let n = labels.len();
     let mut opt = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
     let mut history = History::new();
-    for epoch in 0..cfg.epochs {
+    // Every epoch's shuffle RNG is a pure function of (seed, epoch), so
+    // re-entering the loop at a checkpoint's boundary replays the exact
+    // remaining epochs an uninterrupted run would have executed.
+    let start = try_resume(ctx, model, &mut opt, &mut history, cfg.epochs);
+    let mut listening = true;
+    for epoch in start..cfg.epochs {
+        if ctx.cancelled() || !listening {
+            return Err(CloudError::Cancelled);
+        }
         let t0 = std::time::Instant::now();
         let mut rng = epoch_rng(cfg, epoch);
         let mut loss_mean = RunningMean::new();
@@ -639,11 +948,18 @@ fn train_classification(
             history.val_acc.push(accuracy(&outs[0], vl));
             model.clear_caches();
         }
+        listening = finish_epoch(ctx, epoch + 1, cfg.epochs, model, &opt, &history);
     }
-    history
+    Ok(history)
 }
 
 /// Algorithm 1 with observer hooks, language-model tasks.
+///
+/// # Errors
+///
+/// Returns [`CloudError::Cancelled`] when the submitter's cancellation
+/// flag — or the abandonment of every consumer — is observed at an epoch
+/// boundary.
 fn train_lm(
     model: &mut GraphModel,
     windows: &[Tensor],
@@ -651,10 +967,18 @@ fn train_lm(
     head_keeps: &[Vec<usize>],
     cfg: &amalgam_core::TrainConfig,
     observer: &Arc<Mutex<dyn CloudObserver>>,
-) -> History {
+    ctx: &JobContext,
+) -> Result<History, CloudError> {
     let mut opt = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
     let mut history = History::new();
-    for _epoch in 0..cfg.epochs {
+    // The LM loop iterates its windows in order (no shuffle RNG at all),
+    // so a resumed run replays the remaining epochs exactly.
+    let start = try_resume(ctx, model, &mut opt, &mut history, cfg.epochs);
+    let mut listening = true;
+    for epoch in start..cfg.epochs {
+        if ctx.cancelled() || !listening {
+            return Err(CloudError::Cancelled);
+        }
         let t0 = std::time::Instant::now();
         let mut loss_mean = RunningMean::new();
         for window in windows {
@@ -685,8 +1009,9 @@ fn train_lm(
             }
             history.val_loss.push(vm.mean());
         }
+        listening = finish_epoch(ctx, epoch + 1, cfg.epochs, model, &opt, &history);
     }
-    history
+    Ok(history)
 }
 
 #[cfg(test)]

@@ -346,11 +346,15 @@ pub enum Stage {
     BackendRtt = 12,
     /// Client-measured submit-to-reply round-trip.
     Rpc = 13,
+    /// Encoding and storing one mid-training checkpoint.
+    CheckpointWrite = 14,
+    /// Loading, validating and applying a checkpoint at resume.
+    CheckpointRestore = 15,
 }
 
 impl Stage {
     /// Every stage, in discriminant order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 16] = [
         Stage::QueueWait,
         Stage::Panic,
         Stage::Admission,
@@ -365,6 +369,8 @@ impl Stage {
         Stage::ReactorFlush,
         Stage::BackendRtt,
         Stage::Rpc,
+        Stage::CheckpointWrite,
+        Stage::CheckpointRestore,
     ];
 
     /// Stable snake-case name (Prometheus label / table row).
@@ -384,6 +390,8 @@ impl Stage {
             Stage::ReactorFlush => "reactor_flush",
             Stage::BackendRtt => "backend_rtt",
             Stage::Rpc => "rpc",
+            Stage::CheckpointWrite => "checkpoint_write",
+            Stage::CheckpointRestore => "checkpoint_restore",
         }
     }
 
@@ -729,7 +737,9 @@ mod tests {
                     | Stage::Custom
                     | Stage::ReactorFlush
                     | Stage::BackendRtt
-                    | Stage::Rpc => Stage::Custom,
+                    | Stage::Rpc
+                    | Stage::CheckpointWrite
+                    | Stage::CheckpointRestore => Stage::Custom,
                     other => other,
                 }
             });

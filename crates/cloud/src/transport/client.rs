@@ -24,13 +24,13 @@
 //! is rescheduled through a [`super::RetryQueue`] at the server's
 //! `retry_after` — never earlier — until its resubmission budget runs out.
 
-use super::frame::{self, read_frame_blocking, write_frame, Frame};
+use super::frame::{self, read_frame_blocking, write_frame, Frame, FrameOrigin};
 use super::{
     ClientStats, ReconnectPolicy, TransportConfig, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::metrics::ServiceStats;
 use crate::middleware::duration_us;
-use crate::protocol::{CloudJob, JobResult};
+use crate::protocol::{CloudJob, JobResult, ProgressUpdate};
 use crate::telemetry::{JobTrace, SpanRecord, Stage, Telemetry, TelemetryConfig, TraceId};
 use crate::CloudError;
 use bytes::Bytes;
@@ -68,6 +68,13 @@ struct Conn {
 #[derive(Debug)]
 struct PendingJob {
     tx: Sender<Result<JobResult, CloudError>>,
+    /// Where mid-job Progress frames land; dropping the entry (reply
+    /// delivered, session failed) disconnects the handle's progress
+    /// iterator.
+    progress_tx: Sender<ProgressUpdate>,
+    /// The handle asked for cancellation. Blocks retry rescheduling and
+    /// reconnect resubmission: a cancelled job must never be revived.
+    cancelled: bool,
     payload: Bytes,
     /// End-to-end trace id minted at submit; rides the Submit frame's
     /// trace extension when the server speaks protocol v2.
@@ -194,7 +201,7 @@ impl ClientShared {
         if let (Some(delay), Some(tx)) = (retry_delay, &self.supervisor) {
             let mut pending = self.pending.lock();
             if let Some(job) = pending.get_mut(&id) {
-                if job.resubmits_left > 0 && !self.is_closed() {
+                if job.resubmits_left > 0 && !job.cancelled && !self.is_closed() {
                     job.resubmits_left -= 1;
                     let at = Instant::now() + delay;
                     job.not_before = Some(at);
@@ -209,6 +216,43 @@ impl ClientShared {
         if let Some(job) = job {
             self.record_rpc(id, &job, result.is_ok());
             let _ = job.tx.send(result);
+        }
+    }
+
+    /// Routes one mid-job progress frame to its pending handle. A miss is
+    /// benign: the frame raced the reply that retired the entry.
+    fn handle_progress(&self, id: u64, update: ProgressUpdate) {
+        let pending = self.pending.lock();
+        if let Some(job) = pending.get(&id) {
+            let _ = job.progress_tx.send(update);
+        }
+    }
+
+    /// Marks job `id` cancelled and (best effort) tells the server. The
+    /// Cancel frame is a protocol-v2 extension; against a v1 server the
+    /// local mark still blocks client-side revival, but the server runs
+    /// the job to completion and the handle sees its ordinary outcome.
+    fn cancel_job(&self, id: u64) {
+        {
+            let mut pending = self.pending.lock();
+            match pending.get_mut(&id) {
+                Some(job) => job.cancelled = true,
+                None => return, // already answered
+            }
+        }
+        if self.version < 2 {
+            return;
+        }
+        let Some(conn) = self.conn.lock().clone() else {
+            return; // link down: the reconnect path settles the job
+        };
+        let written = {
+            let mut w = conn.writer.lock();
+            write_frame(&mut *w, &Frame::Cancel { request_id: id })
+        };
+        match written {
+            Ok(_) => *conn.last_write.lock() = Instant::now(),
+            Err(_) => self.link_down(conn.generation),
         }
     }
 
@@ -329,8 +373,9 @@ fn handshake(
         },
     )
     .map_err(|e| CloudError::Transport(format!("handshake write failed: {e}")))?;
-    let (frame, _) = read_frame_blocking(&mut stream, config.max_frame_len)?
-        .ok_or_else(|| CloudError::Handshake("server closed during handshake".into()))?;
+    let (frame, _) =
+        read_frame_blocking(&mut stream, config.max_frame_len, FrameOrigin::Server)?
+            .ok_or_else(|| CloudError::Handshake("server closed during handshake".into()))?;
     let (version, max_in_flight, server_max_frame_len) = match frame {
         Frame::Welcome {
             version,
@@ -534,6 +579,7 @@ impl RemoteCloudClient {
             TraceId::NONE
         };
         let (tx, rx) = unbounded();
+        let (progress_tx, progress_rx) = unbounded();
         // The payload is retained (a cheap refcount clone) so the
         // supervisor can resubmit it verbatim; without a policy it is
         // dropped with the entry when the reply lands.
@@ -541,6 +587,8 @@ impl RemoteCloudClient {
             id,
             PendingJob {
                 tx,
+                progress_tx,
+                cancelled: false,
                 payload: payload.clone(),
                 trace,
                 sent_at: Instant::now(),
@@ -609,7 +657,13 @@ impl RemoteCloudClient {
             shared.pending.lock().remove(&id);
             return Err(CloudError::ServiceUnavailable);
         }
-        Ok(RemoteJobHandle { id, rx, done: None })
+        Ok(RemoteJobHandle {
+            id,
+            rx,
+            progress_rx,
+            shared: Arc::downgrade(&self.shared),
+            done: None,
+        })
     }
 
     /// Convenience: submit and wait.
@@ -647,7 +701,7 @@ fn spawn_reader(
     std::thread::Builder::new()
         .name("cloud-remote-reader".into())
         .spawn(move || loop {
-            match read_frame_blocking(&mut stream, max_frame_len) {
+            match read_frame_blocking(&mut stream, max_frame_len, FrameOrigin::Server) {
                 // The echoed trace id (when present) matches the one this
                 // client minted at submit; the pending entry already holds
                 // it, so the tail needs no routing of its own.
@@ -668,6 +722,10 @@ fn spawn_reader(
                     if let Some(tx) = waiter {
                         let _ = tx.send(body.and_then(ServiceStats::from_bytes));
                     }
+                }
+                Ok(Some((Frame::Progress { request_id, update }, _))) => {
+                    let Some(shared) = weak.upgrade() else { return };
+                    shared.handle_progress(request_id, update);
                 }
                 Ok(Some((Frame::Pong { .. }, _))) => {}
                 // Anything else from the server — or EOF, or a transport/
@@ -862,13 +920,30 @@ fn handle_link_down(
 /// fire itself once due; rewriting those here could beat their
 /// `retry_after`.
 fn resubmit_pending(shared: &Arc<ClientShared>, conn: &Conn) {
-    let mut ids: Vec<(u64, Bytes, TraceId)> = shared
-        .pending
-        .lock()
-        .iter()
-        .filter(|(_, job)| job.not_before.is_none())
-        .map(|(id, job)| (*id, job.payload.clone(), job.trace))
-        .collect();
+    // Cancelled jobs are settled, never revived: the dead link took the
+    // server's copy with it, and replaying a job the caller gave up on
+    // would only burn backend work. Their handles resolve right here.
+    let (mut ids, cancelled) = {
+        let mut pending = shared.pending.lock();
+        let dead: Vec<u64> = pending
+            .iter()
+            .filter(|(_, job)| job.cancelled)
+            .map(|(id, _)| *id)
+            .collect();
+        let cancelled: Vec<PendingJob> = dead
+            .into_iter()
+            .filter_map(|id| pending.remove(&id))
+            .collect();
+        let ids: Vec<(u64, Bytes, TraceId)> = pending
+            .iter()
+            .filter(|(_, job)| job.not_before.is_none())
+            .map(|(id, job)| (*id, job.payload.clone(), job.trace))
+            .collect();
+        (ids, cancelled)
+    };
+    for job in cancelled {
+        let _ = job.tx.send(Err(CloudError::Cancelled));
+    }
     // Request-id order preserves the caller's submission order.
     ids.sort_by_key(|(id, _, _)| *id);
     for (id, payload, trace) in ids {
@@ -885,6 +960,12 @@ fn resubmit_pending(shared: &Arc<ClientShared>, conn: &Conn) {
 fn fire_retry(shared: &Arc<ClientShared>, id: u64) {
     let (payload, trace) = {
         let mut pending = shared.pending.lock();
+        if pending.get(&id).is_some_and(|job| job.cancelled) {
+            let job = pending.remove(&id).expect("checked just above");
+            drop(pending);
+            let _ = job.tx.send(Err(CloudError::Cancelled));
+            return;
+        }
         let Some(job) = pending.get_mut(&id) else {
             return;
         };
@@ -931,6 +1012,10 @@ fn fire_retry(shared: &Arc<ClientShared>, id: u64) {
 pub struct RemoteJobHandle {
     id: u64,
     rx: Receiver<Result<JobResult, CloudError>>,
+    progress_rx: Receiver<ProgressUpdate>,
+    /// Back-reference for [`cancel`](Self::cancel); weak so a forgotten
+    /// handle never keeps the session alive.
+    shared: Weak<ClientShared>,
     done: Option<Result<JobResult, CloudError>>,
 }
 
@@ -939,6 +1024,33 @@ impl RemoteJobHandle {
     /// [`JobResult::job_id`] in the reply).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Asks the server to stop this job at its next epoch boundary
+    /// (best effort). The handle still resolves — normally with
+    /// [`CloudError::Cancelled`], or with the job's ordinary outcome if
+    /// cancellation raced completion. Requires a protocol-v2 server for
+    /// the request to cross the wire; against a v1 server the job runs to
+    /// completion but is never revived by reconnect or retry machinery.
+    pub fn cancel(&self) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.cancel_job(self.id);
+        }
+    }
+
+    /// Non-blocking: the next queued progress update, if any. Updates
+    /// arrive in epoch order; draining in a loop observes every frame the
+    /// server delivered.
+    pub fn try_progress(&self) -> Option<ProgressUpdate> {
+        self.progress_rx.try_recv().ok()
+    }
+
+    /// Blocking stream of progress updates. The iterator yields each
+    /// update as it arrives and ends when the job settles (its reply —
+    /// success or error — retires the server-side entry feeding this
+    /// channel), after which [`wait`](Self::wait) returns immediately.
+    pub fn progress(&self) -> impl Iterator<Item = ProgressUpdate> + '_ {
+        std::iter::from_fn(move || self.progress_rx.recv().ok())
     }
 
     /// Blocks until the job finishes.

@@ -51,7 +51,7 @@ use super::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::metrics::ServiceMetrics;
 use crate::middleware::SessionKey;
 use crate::protocol::JobResult;
-use crate::service::{CloudClient, RoutedSender};
+use crate::service::{CancelFlag, CloudClient, RoutedMsg, RoutedSender};
 use crate::telemetry::{Stage, TraceId};
 use crate::CloudError;
 use bytes::Bytes;
@@ -62,7 +62,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -206,8 +206,15 @@ struct Conn {
     writes: WriteQueue,
     /// Interest currently registered with the poller.
     interest: Interest,
-    replies_rx: Receiver<(u64, Result<JobResult, CloudError>)>,
+    replies_rx: Receiver<(u64, RoutedMsg)>,
     routed: RoutedSender,
+    /// Shared with every [`RoutedSender`] clone handed to workers; cleared
+    /// when the peer is gone for good (abrupt EOF or read error while
+    /// established, or the connection closed). Trainers probe it through
+    /// progress emission: once it clears, an in-flight job knows nobody
+    /// can receive its result and cancels itself at the next epoch
+    /// boundary, keeping its checkpoint for a resumed resubmission.
+    peer_alive: Arc<AtomicBool>,
     /// Session identity, present once the handshake succeeded.
     session_client: Option<CloudClient>,
     /// Protocol version negotiated at the handshake (0 until then). Trace
@@ -215,6 +222,9 @@ struct Conn {
     version: u32,
     /// Trace id of each accepted submit, echoed onto its Reply frame.
     traces: HashMap<u64, TraceId>,
+    /// Cancellation flag of each accepted submit still executing; a Cancel
+    /// frame for the request id flips it, the reply retires it.
+    cancels: HashMap<u64, CancelFlag>,
     /// Submits accepted but whose reply bytes are not yet fully flushed
     /// (or discarded). Queued replies count: a peer that stops reading
     /// keeps its slots occupied.
@@ -548,6 +558,7 @@ impl Reactor {
                     as Arc<dyn Fn() + Send + Sync>
             };
             let now = Instant::now();
+            let peer_alive = Arc::new(AtomicBool::new(true));
             let mut conn = Conn {
                 stream,
                 token,
@@ -556,10 +567,12 @@ impl Reactor {
                 writes: WriteQueue::default(),
                 interest: Interest::READABLE,
                 replies_rx: rx,
-                routed: RoutedSender::new(tx, notify),
+                routed: RoutedSender::new(tx, notify, Arc::clone(&peer_alive)),
+                peer_alive,
                 session_client: None,
                 version: 0,
                 traces: HashMap::new(),
+                cancels: HashMap::new(),
                 in_flight: 0,
                 counts_submitter: true,
                 counts_session_open: false,
@@ -876,6 +889,11 @@ fn on_readable(
                     }
                     close_conn(conn, shared, poller);
                 } else {
+                    // An abrupt disconnect: this protocol's clients never
+                    // half-close — a graceful leave sends Goodbye first —
+                    // so EOF here means the peer is gone and its in-flight
+                    // jobs are orphaned.
+                    conn.peer_alive.store(false, Ordering::SeqCst);
                     enter_draining(conn, shared, poller, wheel);
                 }
                 return;
@@ -892,6 +910,9 @@ fn on_readable(
                     shared.metrics.conn_rejected();
                     close_conn(conn, shared, poller);
                 } else {
+                    // A read error (reset, broken pipe): same as EOF — the
+                    // peer is unreachable, its jobs are orphaned.
+                    conn.peer_alive.store(false, Ordering::SeqCst);
                     enter_draining(conn, shared, poller, wheel);
                 }
                 return;
@@ -1049,10 +1070,11 @@ fn handle_frame(
                 if !trace.is_none() {
                     conn.traces.insert(request_id, trace);
                 }
-                if let Err(e) =
-                    session.submit_routed(payload, request_id, conn.routed.clone(), trace)
-                {
-                    queue_reply(conn, request_id, Err(e), shared);
+                match session.submit_routed(payload, request_id, conn.routed.clone(), trace) {
+                    Ok(cancel) => {
+                        conn.cancels.insert(request_id, cancel);
+                    }
+                    Err(e) => queue_reply(conn, request_id, Err(e), shared),
                 }
             }
             flush_writes(conn, shared, poller, wheel);
@@ -1089,6 +1111,15 @@ fn handle_frame(
                 .push_frame(&Frame::Stats { request_id, body }, false, &shared.metrics);
             flush_writes(conn, shared, poller, wheel);
         }
+        (ConnState::Established, Frame::Cancel { request_id }) => {
+            // Best-effort: flip the job's flag if it is still in flight. An
+            // id with no flag means the reply already settled (or the submit
+            // never landed) — a benign race, not a protocol offense. The
+            // reply still arrives; cancellation surfaces as its payload.
+            if let Some(flag) = conn.cancels.get(&request_id) {
+                flag.store(true, Ordering::Relaxed);
+            }
+        }
         (ConnState::Established, Frame::Goodbye) => {
             enter_draining(conn, shared, poller, wheel);
         }
@@ -1110,6 +1141,7 @@ fn queue_reply(
     shared: &Arc<ServerShared>,
 ) {
     let stored = conn.traces.remove(&request_id).unwrap_or(TraceId::NONE);
+    conn.cancels.remove(&request_id);
     if conn.sink_broken {
         conn.in_flight = conn.in_flight.saturating_sub(1);
         return;
@@ -1151,10 +1183,34 @@ fn pump_replies(
     poller: &mut Poller,
     wheel: &mut TimerWheel,
 ) {
-    while let Ok((request_id, result)) = conn.replies_rx.try_recv() {
-        queue_reply(conn, request_id, result, shared);
+    while let Ok((request_id, msg)) = conn.replies_rx.try_recv() {
+        match msg {
+            RoutedMsg::Reply(result) => queue_reply(conn, request_id, result, shared),
+            RoutedMsg::Progress(update) => queue_progress(conn, request_id, update, shared),
+        }
     }
     flush_writes(conn, shared, poller, wheel);
+}
+
+/// Serializes one progress frame onto the write queue, or drops it.
+/// Progress is advisory: it holds no in-flight slot and is never owed, so a
+/// v1 peer, a broken sink or a draining connection just drops it (counted).
+fn queue_progress(
+    conn: &mut Conn,
+    request_id: u64,
+    update: crate::ProgressUpdate,
+    shared: &Arc<ServerShared>,
+) {
+    if conn.version >= 2 && !conn.sink_broken && conn.state == ConnState::Established {
+        conn.writes.push_frame(
+            &Frame::Progress { request_id, update },
+            false,
+            &shared.metrics,
+        );
+        shared.metrics.progress_frame_delivered();
+    } else {
+        shared.metrics.progress_frame_dropped();
+    }
 }
 
 /// Flushes the write queue, updates interest/timers, and completes a drain
@@ -1218,6 +1274,9 @@ fn mark_sink_broken(
         return;
     }
     conn.sink_broken = true;
+    // Nothing can ever reach the peer again — orphaned jobs may as well
+    // find out now instead of at close time.
+    conn.peer_alive.store(false, Ordering::SeqCst);
     let discarded = conn.writes.discard(&shared.metrics);
     conn.in_flight = conn.in_flight.saturating_sub(discarded);
     let _ = conn.stream.shutdown(Shutdown::Both);
@@ -1266,13 +1325,25 @@ fn close_conn(conn: &mut Conn, shared: &Arc<ServerShared>, poller: &mut Poller) 
         return;
     }
     conn.state = ConnState::Closed;
+    conn.peer_alive.store(false, Ordering::SeqCst);
     if poller.deregister(conn.stream.as_raw_fd()).is_ok() {
         shared.metrics.reactor_fd_deregistered();
     }
     let _ = conn.stream.shutdown(Shutdown::Both);
     let discarded = conn.writes.discard(&shared.metrics);
     conn.in_flight = conn.in_flight.saturating_sub(discarded);
+    // Settle whatever the workers posted that will never reach the wire:
+    // replies free their slots, progress frames count as dropped. (Sends
+    // that race past this drain fail once the channel's receiver is gone
+    // and are counted dropped at the send site.)
+    while let Ok((_, msg)) = conn.replies_rx.try_recv() {
+        match msg {
+            RoutedMsg::Reply(_) => conn.in_flight = conn.in_flight.saturating_sub(1),
+            RoutedMsg::Progress(_) => shared.metrics.progress_frame_dropped(),
+        }
+    }
     conn.traces.clear();
+    conn.cancels.clear();
     if conn.counts_submitter {
         conn.counts_submitter = false;
         shared.submitters_dec();

@@ -6,7 +6,7 @@
 //! socket is the same dumb little-endian format the adversary model
 //! already assumes.
 
-use crate::protocol::JobResult;
+use crate::protocol::{JobResult, ProgressUpdate};
 use crate::telemetry::TraceId;
 use crate::CloudError;
 use amalgam_tensor::wire::{Reader, Writer};
@@ -19,11 +19,66 @@ const TAG_SUBMIT: u8 = 2;
 const TAG_PING: u8 = 3;
 const TAG_GOODBYE: u8 = 4;
 const TAG_GETSTATS: u8 = 5;
+const TAG_CANCEL: u8 = 6;
 const TAG_WELCOME: u8 = 129;
 const TAG_REJECT: u8 = 130;
 const TAG_REPLY: u8 = 131;
 const TAG_PONG: u8 = 132;
 const TAG_STATS: u8 = 133;
+const TAG_PROGRESS: u8 = 134;
+
+/// Tags this codec's frame grammar defines.
+fn is_known_tag(tag: u8) -> bool {
+    matches!(
+        tag,
+        TAG_HELLO
+            | TAG_SUBMIT
+            | TAG_PING
+            | TAG_GOODBYE
+            | TAG_GETSTATS
+            | TAG_CANCEL
+            | TAG_WELCOME
+            | TAG_REJECT
+            | TAG_REPLY
+            | TAG_PONG
+            | TAG_STATS
+            | TAG_PROGRESS
+    )
+}
+
+/// Which peer a reader is decoding frames *from*. The reserved extension
+/// ranges are directional (`6..=127` client→server, `134..=255`
+/// server→client), so the skip rule is too: a reader only forgives unknown
+/// tags its peer is entitled to invent. An unknown tag from the *wrong*
+/// range cannot be a newer peer's extension — it can only be corruption —
+/// and stays a hard decode error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameOrigin {
+    /// The peer is a client (a server or proxy front door reading
+    /// submissions): unknown tags in `6..=127` are skippable.
+    #[default]
+    Client,
+    /// The peer is a server (a client or proxy backend link reading
+    /// replies): unknown tags in `134..=255` are skippable.
+    Server,
+}
+
+/// True when an *unknown* tag sits in `origin`'s reserved extension range
+/// and the whole frame should be skipped rather than fail the connection.
+/// This is the rule that lets newer peers grow extension frames (`Cancel`,
+/// `Progress`, and whatever comes after) without desyncing older ones: the
+/// length prefix bounds the unknown body, so a decoder that has never heard
+/// of the tag drops exactly one frame and picks up cleanly at the next
+/// boundary.
+pub(crate) fn skippable_tag(tag: u8, origin: FrameOrigin) -> bool {
+    if is_known_tag(tag) {
+        return false;
+    }
+    match origin {
+        FrameOrigin::Client => matches!(tag, 6..=127),
+        FrameOrigin::Server => matches!(tag, 134..=255),
+    }
+}
 
 /// Wire size of the optional trailing trace-id extension on `Submit` and
 /// `Reply` bodies: two raw `u64` words, no length prefix. Peers that
@@ -89,6 +144,24 @@ pub enum Frame {
         request_id: u64,
         /// Encoded snapshot bytes, or why the peer refused.
         body: Result<Bytes, CloudError>,
+    },
+    /// Client asks the server to abandon an unanswered submit (protocol ≥ 2
+    /// extension). Best-effort: the job resolves with
+    /// [`CloudError::Cancelled`] if the flag lands before it finishes, and
+    /// with its normal outcome otherwise — either way exactly one
+    /// [`Frame::Reply`] still answers the submit.
+    Cancel {
+        /// The id of the [`Frame::Submit`] to abandon.
+        request_id: u64,
+    },
+    /// Streamed per-epoch progress for an unanswered submit (protocol ≥ 2
+    /// extension; v1 peers never receive it). Advisory and unacknowledged:
+    /// progress frames may be dropped without affecting the final reply.
+    Progress {
+        /// The id of the [`Frame::Submit`] this reports on.
+        request_id: u64,
+        /// The epoch snapshot.
+        update: ProgressUpdate,
     },
     /// Keep-alive probe.
     Ping {
@@ -223,6 +296,15 @@ impl Frame {
                     }
                 }
             }
+            Frame::Cancel { request_id } => {
+                w.put_u8(TAG_CANCEL);
+                w.put_u64(*request_id);
+            }
+            Frame::Progress { request_id, update } => {
+                w.put_u8(TAG_PROGRESS);
+                w.put_u64(*request_id);
+                update.encode_into(&mut w);
+            }
             Frame::Ping { nonce } => {
                 w.put_u8(TAG_PING);
                 w.put_u64(*nonce);
@@ -301,6 +383,14 @@ impl Frame {
                     t => return Err(CloudError::Decode(format!("bad outcome marker {t}"))),
                 };
                 Frame::Stats { request_id, body }
+            }
+            TAG_CANCEL => Frame::Cancel {
+                request_id: r.get_u64().map_err(wire_err)?,
+            },
+            TAG_PROGRESS => {
+                let request_id = r.get_u64().map_err(wire_err)?;
+                let update = ProgressUpdate::decode_from(&mut r)?;
+                Frame::Progress { request_id, update }
             }
             TAG_PING => Frame::Ping {
                 nonce: r.get_u64().map_err(wire_err)?,
@@ -462,8 +552,12 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<boo
 /// Reads one frame from a blocking stream.
 ///
 /// Returns `Ok(None)` on a clean EOF at a frame boundary, and the decoded
-/// frame plus its wire length otherwise. Public for the same transport
-/// intermediaries as [`write_frame`].
+/// frame plus its wire length otherwise. Frames carrying an unknown tag in
+/// `origin`'s reserved extension range (see the wire tables in
+/// [`crate::transport`]) are skipped whole — the reader keeps going and
+/// returns the next frame it understands, so older peers survive newer
+/// ones' extension frames. Public for the same transport intermediaries as
+/// [`write_frame`].
 ///
 /// # Errors
 ///
@@ -473,20 +567,26 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<boo
 pub fn read_frame_blocking(
     r: &mut impl Read,
     max_frame_len: usize,
+    origin: FrameOrigin,
 ) -> Result<Option<(Frame, usize)>, CloudError> {
-    let mut header = [0u8; 4];
-    if !read_full(r, &mut header, true)? {
-        return Ok(None);
+    loop {
+        let mut header = [0u8; 4];
+        if !read_full(r, &mut header, true)? {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > max_frame_len {
+            return Err(CloudError::Transport(format!(
+                "frame length {len} exceeds cap {max_frame_len}"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        read_full(r, &mut body, false)?;
+        if body.first().is_some_and(|&t| skippable_tag(t, origin)) {
+            continue;
+        }
+        return Ok(Some((Frame::decode(Bytes::from(body))?, 4 + len)));
     }
-    let len = u32::from_le_bytes(header) as usize;
-    if len > max_frame_len {
-        return Err(CloudError::Transport(format!(
-            "frame length {len} exceeds cap {max_frame_len}"
-        )));
-    }
-    let mut body = vec![0u8; len];
-    read_full(r, &mut body, false)?;
-    Ok(Some((Frame::decode(Bytes::from(body))?, 4 + len)))
 }
 
 /// One kernel read per readiness event asks for this much.
@@ -521,12 +621,25 @@ pub struct FrameDecoder {
     /// Bytes before `start` are consumed; `start..end` is undecoded input.
     start: usize,
     end: usize,
+    /// Which peer's frames this decoder reads — fixes the skippable
+    /// extension range (see [`FrameOrigin`]).
+    origin: FrameOrigin,
 }
 
 impl FrameDecoder {
-    /// Creates an empty decoder (no scratch allocated until first input).
+    /// Creates an empty decoder reading frames from a client — the
+    /// server-side default (no scratch allocated until first input).
     pub fn new() -> FrameDecoder {
         FrameDecoder::default()
+    }
+
+    /// Creates an empty decoder reading frames from `origin`'s side of the
+    /// connection.
+    pub fn for_peer(origin: FrameOrigin) -> FrameDecoder {
+        FrameDecoder {
+            origin,
+            ..FrameDecoder::default()
+        }
     }
 
     /// Undecoded bytes currently buffered.
@@ -583,7 +696,9 @@ impl FrameDecoder {
 
     /// Pops the next complete frame, or `Ok(None)` if more bytes are needed.
     ///
-    /// Returns the frame plus its wire length (prefix + body).
+    /// Returns the frame plus its wire length (prefix + body). Frames with
+    /// an unknown tag in the reserved extension ranges are skipped whole,
+    /// exactly like [`read_frame_blocking`] — no desync, no error.
     ///
     /// # Errors
     ///
@@ -594,29 +709,42 @@ impl FrameDecoder {
         &mut self,
         max_frame_len: usize,
     ) -> Result<Option<(Frame, usize)>, CloudError> {
-        let avail = self.end - self.start;
-        if avail < 4 {
-            return Ok(None);
+        loop {
+            let avail = self.end - self.start;
+            if avail < 4 {
+                return Ok(None);
+            }
+            let len = u32::from_le_bytes(
+                self.buf[self.start..self.start + 4]
+                    .try_into()
+                    .expect("4-byte slice"),
+            ) as usize;
+            if len > max_frame_len {
+                return Err(CloudError::Transport(format!(
+                    "frame length {len} exceeds cap {max_frame_len}"
+                )));
+            }
+            if avail < 4 + len {
+                return Ok(None);
+            }
+            if len > 0 && skippable_tag(self.buf[self.start + 4], self.origin) {
+                self.consume(4 + len);
+                continue;
+            }
+            if let Some(frame) = self.try_split_large_submit(len) {
+                return Ok(Some((frame, 4 + len)));
+            }
+            let body = &self.buf[self.start + 4..self.start + 4 + len];
+            let frame = decode_body(body);
+            self.consume(4 + len);
+            return Ok(Some((frame?, 4 + len)));
         }
-        let len = u32::from_le_bytes(
-            self.buf[self.start..self.start + 4]
-                .try_into()
-                .expect("4-byte slice"),
-        ) as usize;
-        if len > max_frame_len {
-            return Err(CloudError::Transport(format!(
-                "frame length {len} exceeds cap {max_frame_len}"
-            )));
-        }
-        if avail < 4 + len {
-            return Ok(None);
-        }
-        if let Some(frame) = self.try_split_large_submit(len) {
-            return Ok(Some((frame, 4 + len)));
-        }
-        let body = &self.buf[self.start + 4..self.start + 4 + len];
-        let frame = decode_body(body);
-        self.start += 4 + len;
+    }
+
+    /// Advances past `n` decoded (or skipped) bytes, recycling the scratch
+    /// when it fully drains.
+    fn consume(&mut self, n: usize) {
+        self.start += n;
         if self.start == self.end {
             self.start = 0;
             self.end = 0;
@@ -625,7 +753,6 @@ impl FrameDecoder {
                 self.buf.shrink_to_fit();
             }
         }
-        Ok(Some((frame?, 4 + len)))
     }
 
     /// Zero-copy fast path for the dominant inbound frame: a well-formed
@@ -724,13 +851,19 @@ mod tests {
     use amalgam_nn::metrics::History;
 
     fn roundtrip(frame: Frame) {
-        let mut wire = Vec::new();
-        let wrote = write_frame(&mut wire, &frame).unwrap();
-        assert_eq!(wrote, wire.len());
-        let mut cursor = std::io::Cursor::new(wire);
-        let (back, len) = read_frame_blocking(&mut cursor, 1 << 30).unwrap().unwrap();
-        assert_eq!(len, wrote);
-        assert_eq!(back, frame);
+        // Known tags decode under either reader direction; the origin only
+        // governs which *unknown* tags are forgiven.
+        for origin in [FrameOrigin::Client, FrameOrigin::Server] {
+            let mut wire = Vec::new();
+            let wrote = write_frame(&mut wire, &frame).unwrap();
+            assert_eq!(wrote, wire.len());
+            let mut cursor = std::io::Cursor::new(wire);
+            let (back, len) = read_frame_blocking(&mut cursor, 1 << 30, origin)
+                .unwrap()
+                .unwrap();
+            assert_eq!(len, wrote);
+            assert_eq!(back, frame);
+        }
     }
 
     #[test]
@@ -805,7 +938,103 @@ mod tests {
         });
         roundtrip(Frame::Ping { nonce: 77 });
         roundtrip(Frame::Pong { nonce: 77 });
+        roundtrip(Frame::Cancel { request_id: 44 });
+        roundtrip(Frame::Progress {
+            request_id: 44,
+            update: ProgressUpdate {
+                epoch: 3,
+                total_epochs: 10,
+                train_loss: 0.5,
+                train_acc: 0.875,
+            },
+        });
         roundtrip(Frame::Goodbye);
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_skipped_without_desync() {
+        // A frame with an unknown tag from the peer's own extension range,
+        // sandwiched between known frames: both readers must drop it whole
+        // and keep decoding.
+        for (unknown_tag, origin) in [
+            (7u8, FrameOrigin::Client),
+            (127, FrameOrigin::Client),
+            (135, FrameOrigin::Server),
+            (255, FrameOrigin::Server),
+        ] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &Frame::Ping { nonce: 1 }).unwrap();
+            let mut body = vec![unknown_tag];
+            body.extend_from_slice(&[0xAB; 21]); // arbitrary extension fields
+            write_encoded(&mut wire, &Bytes::from(body)).unwrap();
+            write_frame(&mut wire, &Frame::Pong { nonce: 2 }).unwrap();
+
+            let mut cursor = std::io::Cursor::new(wire.clone());
+            let (a, _) = read_frame_blocking(&mut cursor, 1 << 20, origin)
+                .unwrap()
+                .unwrap();
+            let (b, _) = read_frame_blocking(&mut cursor, 1 << 20, origin)
+                .unwrap()
+                .unwrap();
+            assert_eq!(a, Frame::Ping { nonce: 1 });
+            assert_eq!(b, Frame::Pong { nonce: 2 });
+            assert!(read_frame_blocking(&mut cursor, 1 << 20, origin)
+                .unwrap()
+                .is_none());
+
+            let mut dec = FrameDecoder::for_peer(origin);
+            dec.extend(&wire);
+            let mut out = Vec::new();
+            while let Some((f, _)) = dec.next_frame(1 << 20).unwrap() {
+                out.push(f);
+            }
+            assert_eq!(
+                out,
+                vec![Frame::Ping { nonce: 1 }, Frame::Pong { nonce: 2 }]
+            );
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_from_the_wrong_range_stay_errors() {
+        // An unknown tag from the *other* side's extension range cannot be
+        // a newer peer's frame — a client never legitimately invents
+        // server-range tags — so it stays a hard decode error (this is what
+        // keeps garbage-flinging peers rejected rather than ignored).
+        for (unknown_tag, origin) in [(135u8, FrameOrigin::Client), (7, FrameOrigin::Server)] {
+            let mut wire = Vec::new();
+            write_encoded(&mut wire, &Bytes::from(vec![unknown_tag, 1, 2])).unwrap();
+            let mut cursor = std::io::Cursor::new(wire.clone());
+            assert!(matches!(
+                read_frame_blocking(&mut cursor, 1 << 20, origin),
+                Err(CloudError::Decode(_))
+            ));
+            let mut dec = FrameDecoder::for_peer(origin);
+            dec.extend(&wire);
+            assert!(matches!(
+                dec.next_frame(1 << 20),
+                Err(CloudError::Decode(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn non_extension_unknown_tags_still_error() {
+        // Tag 0 and the 128 gap stay hard errors for both directions: they
+        // sit outside the reserved extension ranges, so they can only mean
+        // a corrupt stream, not a newer peer.
+        for bad_tag in [0u8, 128] {
+            for origin in [FrameOrigin::Client, FrameOrigin::Server] {
+                let mut wire = Vec::new();
+                write_encoded(&mut wire, &Bytes::from(vec![bad_tag, 1, 2])).unwrap();
+                let mut cursor = std::io::Cursor::new(wire);
+                assert!(matches!(
+                    read_frame_blocking(&mut cursor, 1 << 20, origin),
+                    Err(CloudError::Decode(_))
+                ));
+            }
+        }
     }
 
     #[test]
@@ -929,7 +1158,7 @@ mod tests {
         wire.extend_from_slice(&u32::MAX.to_le_bytes());
         wire.extend_from_slice(b"whatever");
         let mut cursor = std::io::Cursor::new(wire);
-        match read_frame_blocking(&mut cursor, 1 << 20) {
+        match read_frame_blocking(&mut cursor, 1 << 20, FrameOrigin::Client) {
             Err(CloudError::Transport(msg)) => assert!(msg.contains("exceeds cap"), "{msg}"),
             other => panic!("expected Transport error, got {other:?}"),
         }
@@ -942,7 +1171,7 @@ mod tests {
         wire.truncate(wire.len() - 2);
         let mut cursor = std::io::Cursor::new(wire);
         assert!(matches!(
-            read_frame_blocking(&mut cursor, 1 << 20),
+            read_frame_blocking(&mut cursor, 1 << 20, FrameOrigin::Client),
             Err(CloudError::Transport(_))
         ));
     }
@@ -950,7 +1179,11 @@ mod tests {
     #[test]
     fn clean_eof_at_boundary_is_none() {
         let mut cursor = std::io::Cursor::new(Vec::new());
-        assert!(read_frame_blocking(&mut cursor, 1 << 20).unwrap().is_none());
+        assert!(
+            read_frame_blocking(&mut cursor, 1 << 20, FrameOrigin::Client)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -960,7 +1193,7 @@ mod tests {
         wire.extend_from_slice(&[0xEE, 0xFF, 0x00]);
         let mut cursor = std::io::Cursor::new(wire);
         assert!(matches!(
-            read_frame_blocking(&mut cursor, 1 << 20),
+            read_frame_blocking(&mut cursor, 1 << 20, FrameOrigin::Client),
             Err(CloudError::Decode(_))
         ));
     }

@@ -31,6 +31,7 @@
 //! | 3 | `Ping`    | `nonce: u64` |
 //! | 4 | `Goodbye` | — |
 //! | 5 | `GetStats`| `request_id: u64` (protocol ≥ 2) |
+//! | 6 | `Cancel`  | `request_id: u64` (protocol ≥ 2) |
 //!
 //! and server → client:
 //!
@@ -41,6 +42,14 @@
 //! | 131 | `Reply`   | `request_id: u64`, `ok: u8`, then a [`crate::JobResult`] or an encoded [`crate::CloudError`], `[trace]` |
 //! | 132 | `Pong`    | `nonce: u64` |
 //! | 133 | `Stats`   | `request_id: u64`, `ok: u8`, then snapshot `bytes` ([`crate::ServiceStats`] encoding) or an encoded [`crate::CloudError`] (protocol ≥ 2) |
+//! | 134 | `Progress`| `request_id: u64`, `epoch: u64`, `total_epochs: u64`, `train_loss: f32`, `train_acc: f32` (protocol ≥ 2) |
+//!
+//! Unused tags `6..=127` (client → server) and `134..=255` (server →
+//! client) are *reserved extension ranges*: a decoder that meets an
+//! unknown tag there skips the whole frame (its length prefix bounds it)
+//! instead of failing the connection. `Cancel` and `Progress` were added
+//! through exactly this rule, and peers that negotiated protocol 1 are
+//! additionally never sent either frame.
 //!
 //! `[trace]` is the protocol-v2 trace-id extension: 16 optional trailing
 //! bytes (`trace_hi: u64 LE`, `trace_lo: u64 LE`) after the v1 body. A
@@ -92,15 +101,20 @@ mod server;
 mod timer;
 
 pub use client::{RemoteCloudClient, RemoteJobHandle};
-pub use frame::{read_frame_blocking, write_encoded, write_frame, Frame, FrameDecoder};
+pub use frame::{
+    read_frame_blocking, write_encoded, write_frame, Frame, FrameDecoder, FrameOrigin,
+};
 pub use reconnect::{ClientStats, DecorrelatedJitter, ReconnectPolicy, RetryQueue};
 pub use server::CloudServer;
 
 use std::time::Duration;
 
 /// Newest protocol version this build speaks. Version 2 adds the trace-id
-/// extension on `Submit`/`Reply` and the `GetStats`/`Stats` admin frames;
-/// v1 peers are still accepted and simply never see either.
+/// extension on `Submit`/`Reply`, the `GetStats`/`Stats` admin frames, and
+/// the streamed-lifecycle extension frames `Progress` (server → client,
+/// per-epoch training progress) and `Cancel` (client → server, abandon an
+/// unanswered submit); v1 peers are still accepted and simply never see
+/// any of them.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Oldest protocol version this build still accepts.

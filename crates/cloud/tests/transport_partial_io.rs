@@ -5,7 +5,7 @@
 //! whole buffer at once would.
 
 use amalgam_cloud::transport::{Frame, FrameDecoder};
-use amalgam_cloud::{CloudError, JobResult};
+use amalgam_cloud::{CloudError, JobResult, ProgressUpdate};
 use amalgam_nn::metrics::History;
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -16,7 +16,7 @@ const CAP: usize = 1 << 20;
 /// Builds one of every client- and server-side frame kind from sampled raw
 /// material (mirrors the codec property tests).
 fn build_frame(kind: usize, a: u64, payload: Vec<u8>, text: String, ok: bool) -> Frame {
-    match kind % 6 {
+    match kind % 8 {
         0 => Frame::Hello {
             min_version: a as u32,
             max_version: (a >> 32) as u32,
@@ -45,7 +45,17 @@ fn build_frame(kind: usize, a: u64, payload: Vec<u8>, text: String, ok: bool) ->
             },
         },
         4 => Frame::Pong { nonce: a },
-        _ => Frame::Goodbye,
+        5 => Frame::Goodbye,
+        6 => Frame::Cancel { request_id: a },
+        _ => Frame::Progress {
+            request_id: a,
+            update: ProgressUpdate {
+                epoch: a % 100,
+                total_epochs: 100,
+                train_loss: (a % 7) as f32 * 0.1,
+                train_acc: if ok { 0.9 } else { 0.1 },
+            },
+        },
     }
 }
 
@@ -133,7 +143,7 @@ proptest! {
     #[test]
     fn chunked_decode_matches_whole_buffer_decode(
         specs in proptest::collection::vec(
-            (0usize..6, any::<u64>(),
+            (0usize..8, any::<u64>(),
              proptest::collection::vec(any::<u8>(), 0..96),
              proptest::collection::vec(any::<u8>(), 0..12), any::<bool>()),
             0..6),
@@ -179,6 +189,49 @@ proptest! {
         // including) the stream-ending error.
         prop_assert_eq!(got, reference);
         prop_assert_eq!(err, ref_err);
+    }
+
+    /// The lifecycle stream a v2 client actually sees — per-epoch Progress
+    /// frames interleaved across several in-flight requests, each request
+    /// terminated by its Reply — survives arbitrary chunking with every
+    /// frame intact and in order.
+    #[test]
+    fn interleaved_progress_and_reply_streams_chunk_cleanly(
+        request_ids in proptest::collection::vec(any::<u64>(), 1..4),
+        epochs in 1u64..6,
+        chunks in proptest::collection::vec(1usize..16, 0..6),
+    ) {
+        // Round-robin progress across all requests, then the replies.
+        let mut frames = Vec::new();
+        for epoch in 1..=epochs {
+            for &id in &request_ids {
+                frames.push(Frame::Progress {
+                    request_id: id,
+                    update: ProgressUpdate {
+                        epoch,
+                        total_epochs: epochs,
+                        train_loss: 1.0 / epoch as f32,
+                        train_acc: epoch as f32 / epochs as f32,
+                    },
+                });
+            }
+        }
+        for &id in &request_ids {
+            frames.push(Frame::Reply {
+                request_id: id,
+                trace: None,
+                result: Err(CloudError::Cancelled),
+            });
+        }
+        let wire = wire_image(&frames);
+
+        let (bytewise, err) = incremental_decode(&wire, &[1], CAP);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(&bytewise, &frames);
+
+        let (chunked, err) = incremental_decode(&wire, &chunks, CAP);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(&chunked, &frames);
     }
 
     /// A valid stream split into exactly two reads at *every* offset.

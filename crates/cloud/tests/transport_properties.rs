@@ -2,8 +2,8 @@
 //! bit-exactly through encode/decode, and adversarial byte soup never
 //! panics the decoder.
 
-use amalgam_cloud::transport::Frame;
-use amalgam_cloud::{CloudError, JobResult, TraceId};
+use amalgam_cloud::transport::{Frame, FrameDecoder, FrameOrigin};
+use amalgam_cloud::{CloudError, JobResult, ProgressUpdate, TraceId};
 use amalgam_nn::metrics::History;
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -20,7 +20,7 @@ fn build_frame(
     err_kind: usize,
     ok: bool,
 ) -> Frame {
-    match kind % 6 {
+    match kind % 9 {
         0 => Frame::Hello {
             min_version: a as u32,
             max_version: b as u32,
@@ -71,11 +71,35 @@ fn build_frame(
             },
         },
         4 => Frame::Ping { nonce: a },
-        _ => {
+        5 => {
             if ok {
                 Frame::Pong { nonce: b }
             } else {
                 Frame::Goodbye
+            }
+        }
+        6 => Frame::Cancel { request_id: a },
+        7 => Frame::Progress {
+            request_id: a,
+            update: ProgressUpdate {
+                epoch: a % 1_000,
+                total_epochs: b % 1_000,
+                train_loss: *floats.first().unwrap_or(&0.25),
+                train_acc: *floats.last().unwrap_or(&0.75),
+            },
+        },
+        _ => {
+            if ok {
+                Frame::GetStats { request_id: a }
+            } else {
+                Frame::Stats {
+                    request_id: a,
+                    body: if err_kind.is_multiple_of(2) {
+                        Ok(Bytes::from(payload))
+                    } else {
+                        Err(CloudError::Unauthorized(text))
+                    },
+                }
             }
         }
     }
@@ -87,7 +111,7 @@ proptest! {
     /// encode → decode is the identity for every frame kind.
     #[test]
     fn framed_messages_roundtrip(
-        kind in 0usize..6,
+        kind in 0usize..9,
         a in any::<u64>(),
         b in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..512),
@@ -131,5 +155,119 @@ proptest! {
         let idx = flip_byte % body.len();
         body[idx] ^= 1 << flip_bit;
         let _ = Frame::decode(Bytes::from(body));
+    }
+
+    /// Unknown extension bodies in the peer's reserved tag range are
+    /// skipped whole by a decoder that has never heard of them — with
+    /// arbitrary junk bodies, at arbitrary stream positions — and every
+    /// surrounding known frame still arrives in order. This is the
+    /// property that lets v2 grow Cancel/Progress without desyncing v1.
+    #[test]
+    fn unknown_extension_bodies_skip_cleanly_for_either_origin(
+        from_server in any::<bool>(),
+        nonces in proptest::collection::vec(any::<u64>(), 1..5),
+        ext_bodies in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)), 1..4),
+        positions in proptest::collection::vec(any::<usize>(), 1..4),
+    ) {
+        let origin = if from_server { FrameOrigin::Server } else { FrameOrigin::Client };
+        let known: Vec<Frame> = nonces.iter().map(|&n| Frame::Ping { nonce: n }).collect();
+
+        // Interleave unknown-tag extension frames at sampled positions.
+        let mut wire = Vec::new();
+        let mut push = |body: &[u8]| {
+            wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            wire.extend_from_slice(body);
+        };
+        let mut ext_iter = ext_bodies.iter().zip(&positions);
+        for (i, frame) in known.iter().enumerate() {
+            if let Some(((raw_tag, junk), pos)) = ext_iter.next() {
+                // Map the sampled byte into the *unknown* part of this
+                // origin's skip range (known tags 6/134 excluded).
+                let tag = match origin {
+                    FrameOrigin::Client => 7 + (raw_tag % 121),     // 7..=127
+                    FrameOrigin::Server => 135 + (raw_tag % 121),   // 135..=255
+                };
+                let mut body = vec![tag];
+                body.extend_from_slice(junk);
+                if pos % known.len() <= i {
+                    push(&body);
+                }
+            }
+            push(&frame.encode());
+        }
+
+        let mut dec = FrameDecoder::for_peer(origin);
+        dec.extend(&wire);
+        let mut got = Vec::new();
+        while let Some((frame, _)) = dec.next_frame(1 << 20).expect("skip must not error") {
+            got.push(frame);
+        }
+        prop_assert_eq!(got, known);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Damage to an advisory Progress frame is *contained*: however one
+    /// bit flips, the surrounding frames decode exactly as before — the
+    /// flipped frame either decodes (canonically), skips as an unknown
+    /// extension, or errors, but it never desyncs its neighbours.
+    #[test]
+    fn bit_flipped_progress_frames_are_contained(
+        request_id in any::<u64>(),
+        epoch in 1u64..1_000,
+        loss in -1e3f32..1e3,
+        flip_byte in any::<usize>(),
+        flip_bit in 0usize..8,
+    ) {
+        let reply = Frame::Reply {
+            request_id,
+            trace: None,
+            result: Err(CloudError::ServiceUnavailable),
+        };
+        let progress = Frame::Progress {
+            request_id,
+            update: ProgressUpdate {
+                epoch,
+                total_epochs: 1_000,
+                train_loss: loss,
+                train_acc: 0.5,
+            },
+        };
+        let ping = Frame::Ping { nonce: epoch };
+
+        let mut progress_body = progress.encode().to_vec();
+        let idx = flip_byte % progress_body.len();
+        progress_body[idx] ^= 1 << flip_bit;
+
+        let mut wire = Vec::new();
+        for body in [reply.encode().to_vec(), progress_body, ping.encode().to_vec()] {
+            wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&body);
+        }
+
+        let mut dec = FrameDecoder::for_peer(FrameOrigin::Server);
+        dec.extend(&wire);
+        let mut got = Vec::new();
+        let mut failed = false;
+        loop {
+            match dec.next_frame(1 << 20) {
+                Ok(Some((frame, _))) => got.push(frame),
+                Ok(None) => break,
+                Err(_) => { failed = true; break; }
+            }
+        }
+        // The reply before the damage always lands.
+        prop_assert_eq!(got.first(), Some(&reply));
+        if failed {
+            // Session-fatal damage: detected before the ping, nothing
+            // mis-decoded after it.
+            prop_assert!(got.len() <= 2);
+        } else {
+            // Contained damage: the ping still arrives as the last frame,
+            // whether the flipped frame decoded to something or skipped.
+            prop_assert_eq!(got.last(), Some(&ping));
+            prop_assert!(got.len() == 2 || got.len() == 3);
+            prop_assert_eq!(dec.buffered(), 0);
+        }
     }
 }

@@ -50,6 +50,21 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// The momentum velocity buffers, one per parameter in step order.
+    /// Empty until the first [`step`](Self::step) with momentum enabled —
+    /// exactly the state a mid-training checkpoint must capture for a
+    /// resumed run to be bitwise identical to an uninterrupted one.
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Restores velocity buffers captured by [`velocity`](Self::velocity)
+    /// (checkpoint resume). The next [`step`](Self::step) validates their
+    /// shapes against the parameter list as usual.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) {
+        self.velocity = velocity;
+    }
+
     /// Applies one update to `params` from their accumulated gradients.
     ///
     /// The parameter list must be stable across calls (same order and

@@ -61,6 +61,9 @@ pub enum Fault {
 #[derive(Debug)]
 struct InjectorShared {
     fault: Mutex<Fault>,
+    /// Where new connections relay to; switchable so a test can "restart"
+    /// a killed backend at a fresh address behind the same front door.
+    target: Mutex<SocketAddr>,
     stop: AtomicBool,
     /// Clones of both halves of every relayed link, for [`Fault::Kill`].
     links: Mutex<Vec<TcpStream>>,
@@ -95,13 +98,14 @@ impl FaultInjector {
         let addr = listener.local_addr()?;
         let shared = Arc::new(InjectorShared {
             fault: Mutex::new(Fault::None),
+            target: Mutex::new(target),
             stop: AtomicBool::new(false),
             links: Mutex::new(Vec::new()),
         });
         let acceptor_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
             .name("fault-acceptor".into())
-            .spawn(move || accept_loop(listener, target, acceptor_shared))
+            .spawn(move || accept_loop(listener, acceptor_shared))
             .expect("spawn fault acceptor");
         Ok(FaultInjector {
             addr,
@@ -124,6 +128,13 @@ impl FaultInjector {
         }
     }
 
+    /// Points *future* connections at a new target — a backend restarted
+    /// on a fresh port. Live links keep relaying to the old one (sever
+    /// them first with [`Fault::Kill`] for a clean restart).
+    pub fn retarget(&self, target: SocketAddr) {
+        *self.shared.target.lock() = target;
+    }
+
     /// Stops the acceptor and severs every link.
     pub fn shutdown(mut self) {
         self.stop();
@@ -144,7 +155,7 @@ impl Drop for FaultInjector {
     }
 }
 
-fn accept_loop(listener: TcpListener, target: SocketAddr, shared: Arc<InjectorShared>) {
+fn accept_loop(listener: TcpListener, shared: Arc<InjectorShared>) {
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -156,6 +167,7 @@ fn accept_loop(listener: TcpListener, target: SocketAddr, shared: Arc<InjectorSh
                     let _ = client.shutdown(Shutdown::Both);
                     continue;
                 }
+                let target = *shared.target.lock();
                 let Ok(upstream) = TcpStream::connect_timeout(&target, Duration::from_secs(2))
                 else {
                     let _ = client.shutdown(Shutdown::Both);

@@ -22,7 +22,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use amalgam_cloud::transport::{
-    read_frame_blocking, write_frame, Frame, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    read_frame_blocking, write_frame, Frame, FrameOrigin, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use amalgam_cloud::BackendHealth;
 
@@ -99,7 +99,7 @@ fn probe_once(shared: &Arc<ProxyShared>, addr: &str) -> bool {
     if write_frame(&mut s, &hello).is_err() {
         return false;
     }
-    match read_frame_blocking(&mut s, max_frame_len) {
+    match read_frame_blocking(&mut s, max_frame_len, FrameOrigin::Server) {
         Ok(Some((Frame::Welcome { .. }, _))) => {}
         _ => return false,
     }
@@ -107,7 +107,7 @@ fn probe_once(shared: &Arc<ProxyShared>, addr: &str) -> bool {
         return false;
     }
     let pong_ok = matches!(
-        read_frame_blocking(&mut s, max_frame_len),
+        read_frame_blocking(&mut s, max_frame_len, FrameOrigin::Server),
         Ok(Some((Frame::Pong { nonce: PROBE_NONCE }, _)))
     );
     // Polite hang-up either way; the verdict is already in.

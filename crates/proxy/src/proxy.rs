@@ -16,7 +16,11 @@
 //! under its original request id. Replays are safe by construction —
 //! training jobs are seeded and deterministic, and the backends'
 //! content-addressed dedup collapses duplicate executions — so the client
-//! simply sees its replies arrive late, never lost. Only when the *whole*
+//! simply sees its replies arrive late, never lost. Backends sharing a
+//! checkpoint store (`CloudServiceBuilder::checkpoint_store`) do better
+//! still: a failed-over job resumes from its last epoch-boundary snapshot
+//! on the survivor instead of recomputing from scratch, bitwise identical
+//! either way. Only when the *whole*
 //! fleet is unroutable does the session answer its in-flight jobs with
 //! [`CloudError::ServiceUnavailable`], which a reconnecting
 //! `RemoteCloudClient` treats as retry-with-backoff.
@@ -30,8 +34,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use amalgam_cloud::transport::{
-    read_frame_blocking, write_frame, Frame, FrameDecoder, TransportConfig, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    read_frame_blocking, write_frame, Frame, FrameDecoder, FrameOrigin, TransportConfig,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use amalgam_cloud::{
     CloudError, JobTrace, ServiceMetrics, ServiceStats, SpanRecord, Stage, TraceId,
@@ -699,7 +703,7 @@ fn dial_backend(
     )
     .ok()?;
     shared.metrics.relay_frame_sent(hello_wire);
-    match read_frame_blocking(&mut s, t.max_frame_len) {
+    match read_frame_blocking(&mut s, t.max_frame_len, FrameOrigin::Server) {
         Ok(Some((
             Frame::Welcome {
                 version,
@@ -728,7 +732,7 @@ fn dial_backend(
 fn backend_reader(sess: &Arc<Session>, link: &Arc<BackendLink>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(TICK));
     let max_frame_len = sess.shared.config.transport.max_frame_len;
-    let mut dec = FrameDecoder::new();
+    let mut dec = FrameDecoder::for_peer(FrameOrigin::Server);
     loop {
         if sess.dying() || sess.generation.load(Ordering::SeqCst) != link.generation {
             return;
@@ -759,6 +763,19 @@ fn backend_reader(sess: &Arc<Session>, link: &Arc<BackendLink>, mut stream: TcpS
                                 result,
                                 trace: sess.client_trace(trace),
                             }) {
+                                return; // client gone; pump thread cleans up
+                            }
+                        }
+                        Frame::Progress { request_id, update } => {
+                            // Mid-job streaming is a v2 extension: forward
+                            // only to clients that negotiated it (a v1
+                            // client's decoder never sees the frame). The
+                            // retained entry guards against replaying
+                            // progress for a job already answered.
+                            if sess.client_version >= 2
+                                && sess.in_flight.lock().contains_key(&request_id)
+                                && !sess.write_client(&Frame::Progress { request_id, update })
+                            {
                                 return; // client gone; pump thread cleans up
                             }
                         }
@@ -812,7 +829,7 @@ fn run_session(shared: &Arc<ProxyShared>, mut client: TcpStream) {
     let _ = client.set_read_timeout(Some(t.handshake_timeout));
 
     // One Hello, exactly as a backend would demand it.
-    let hello = match read_frame_blocking(&mut client, t.max_frame_len) {
+    let hello = match read_frame_blocking(&mut client, t.max_frame_len, FrameOrigin::Client) {
         Ok(Some((frame @ Frame::Hello { .. }, wire))) => {
             shared.metrics.control_frame_received(wire);
             frame
@@ -931,6 +948,21 @@ fn run_session(shared: &Arc<ProxyShared>, mut client: TcpStream) {
                                 },
                             );
                             sess.forward_submit(request_id);
+                        }
+                        Frame::Cancel { request_id } => {
+                            // Best effort, like everywhere else in the
+                            // cancel path: the request reaches the backend
+                            // only while a v2 link is up. The job is still
+                            // retained — its Reply (normally Cancelled)
+                            // settles it; if the link dies first, failover
+                            // resubmits and the job's ordinary outcome
+                            // answers the client. Never a hung handle.
+                            if let Some(link) = sess.backend.lock().clone() {
+                                if link.version >= 2 {
+                                    let _ =
+                                        link.write(&Frame::Cancel { request_id }, &shared.metrics);
+                                }
+                            }
                         }
                         Frame::Ping { nonce } => {
                             if !sess.write_client(&Frame::Pong { nonce }) {

@@ -343,6 +343,19 @@ fn silent_faults_trigger_stall_failover() {
     }
 }
 
+/// Pins each training batch to a fixed floor so a job submitted just
+/// before a fault is still in flight when the fault lands — release-mode
+/// training would otherwise outrun the injector's timeline.
+struct SlowBatches(Duration);
+
+impl amalgam_cloud::CloudObserver for SlowBatches {
+    fn on_model(&mut self, _model: &amalgam_nn::graph::GraphModel) {}
+
+    fn on_batch(&mut self, _inputs: &Tensor, _labels: &[usize]) {
+        std::thread::sleep(self.0);
+    }
+}
+
 /// The self-healing client against a dying *direct* link (no proxy): on a
 /// kill it must re-handshake with decorrelated-jitter backoff and resubmit
 /// its in-flight jobs, losing nothing.
@@ -350,7 +363,12 @@ fn silent_faults_trigger_stall_failover() {
 fn reconnecting_client_survives_link_kill() {
     use amalgam_cloud::ReconnectPolicy;
 
-    let service = CloudService::builder().workers(1).build();
+    let service = CloudService::builder()
+        .workers(1)
+        .observer(Arc::new(parking_lot::Mutex::new(SlowBatches(
+            Duration::from_millis(20),
+        ))))
+        .build();
     let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind backend");
     let injector = FaultInjector::spawn(server.local_addr()).expect("spawn injector");
 

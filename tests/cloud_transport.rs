@@ -9,11 +9,16 @@
 //! by pings.
 
 use amalgam::cloud::transport::Frame;
-use amalgam::cloud::CloudService;
+use amalgam::cloud::{
+    CheckpointStore, CloudObserver, CloudService, MemoryCheckpointStore, ServiceStats,
+};
 use amalgam::prelude::*;
+use amalgam::proxy::{Fault, FaultInjector};
+use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn tiny_job(seed: u64) -> CloudJob {
     let mut rng = Rng::seed_from(70 + seed);
@@ -635,4 +640,397 @@ fn connect_timeout_bounds_blackholed_dial() {
         elapsed < Duration::from_secs(5),
         "dial must fail within the configured timeout, took {elapsed:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Durable lifecycle: progress streaming, cancellation races, kill-and-resume.
+// ---------------------------------------------------------------------------
+
+/// A [`CloudObserver`] that sleeps on every batch. Training math is
+/// untouched — the hook only stretches epochs to a controllable wall-clock
+/// duration so fault injection can land *mid-job* instead of racing a
+/// microsecond-scale run.
+struct SleepyObserver(Duration);
+
+impl CloudObserver for SleepyObserver {
+    fn on_model(&mut self, _model: &GraphModel) {}
+
+    fn on_batch(&mut self, _inputs: &Tensor, _labels: &[usize]) {
+        std::thread::sleep(self.0);
+    }
+}
+
+/// A multi-epoch job: 16 samples over batch size 8 gives two batches per
+/// epoch, so a [`SleepyObserver`] of `d` makes each epoch take `2 * d`.
+fn slow_job(seed: u64, epochs: usize) -> CloudJob {
+    let mut rng = Rng::seed_from(70 + seed);
+    let model = amalgam::models::lenet5(1, 8, 2, &mut rng);
+    let inputs = Tensor::randn(&[16, 1, 8, 8], &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+    CloudJob {
+        model: model.to_bytes(),
+        task: TaskPayload::Classification {
+            inputs,
+            labels,
+            val_inputs: None,
+            val_labels: vec![],
+        },
+        train: TrainConfig::new(epochs, 8, 0.05).with_seed(seed),
+    }
+}
+
+/// Polls `pred` every 2ms until it holds or `deadline` passes.
+fn wait_until(deadline: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+/// The progress conservation law: every frame emitted toward a sink is
+/// accounted as either delivered or dropped — nothing leaks.
+fn assert_progress_conserved(stats: &ServiceStats) {
+    assert_eq!(
+        stats.progress_frames_emitted,
+        stats.progress_frames_delivered + stats.progress_frames_dropped,
+        "progress conservation violated: {} emitted != {} delivered + {} dropped",
+        stats.progress_frames_emitted,
+        stats.progress_frames_delivered,
+        stats.progress_frames_dropped,
+    );
+}
+
+/// A self-healing client that gives up dialing only after a generous
+/// budget — fault-injection tests heal the link well before it runs out.
+fn patient_reconnect() -> TransportConfig {
+    TransportConfig::default().reconnect(
+        ReconnectPolicy::default()
+            .base(Duration::from_millis(10))
+            .cap(Duration::from_millis(40))
+            .max_dial_attempts(500)
+            .max_resubmits(4)
+            .seed(7),
+    )
+}
+
+/// Progress frames stream one per epoch, in order, carrying the *same*
+/// per-epoch train loss the final history reports — the live view and the
+/// durable record are bitwise the same curve. The iterator ends exactly
+/// when the reply retires the job, and the handle still yields the result.
+#[test]
+fn progress_frames_stream_in_epoch_order_then_reply() {
+    let job = slow_job(3, 5);
+    let truth_service = CloudService::builder().workers(1).build();
+    let truth = truth_service.client().train(&job).expect("ground truth");
+
+    let service = CloudService::builder().workers(1).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let client = RemoteCloudClient::connect(server.local_addr()).expect("connect");
+    let handle = client.submit(&job).expect("submit");
+
+    let updates: Vec<_> = handle.progress().collect();
+    let result = handle.wait().expect("job after progress drain");
+
+    assert_eq!(updates.len(), 5, "one progress frame per epoch");
+    for (i, update) in updates.iter().enumerate() {
+        assert_eq!(update.epoch, i as u64 + 1, "epochs arrive in order");
+        assert_eq!(update.total_epochs, 5);
+        assert_eq!(
+            update.train_loss.to_bits(),
+            truth.history.train_loss[i].to_bits(),
+            "streamed loss at epoch {} must match the final history bitwise",
+            i + 1,
+        );
+    }
+    assert_eq!(result.trained_model, truth.trained_model);
+    assert_eq!(result.history.train_loss, truth.history.train_loss);
+
+    let stats = server.stats();
+    assert!(stats.progress_frames_delivered >= 5);
+    assert_progress_conserved(&stats);
+    server.shutdown();
+}
+
+/// THE tentpole proof: kill the backend mid-job after at least one
+/// checkpoint, restart a fresh backend on the same store, and let the
+/// self-healing client resubmit. The resumed run must be bitwise identical
+/// to an uninterrupted one, and the two servers' epoch counters must sum
+/// to exactly the job's total — resume recomputed only the tail.
+#[test]
+fn kill_and_resume_is_bitwise_identical_with_partial_recompute() {
+    const EPOCHS: usize = 10;
+    let job = slow_job(1, EPOCHS);
+
+    // Uninterrupted ground truth, computed in-process with no checkpoints.
+    let truth_service = CloudService::builder().workers(1).build();
+    let truth = truth_service.client().train(&job).expect("ground truth");
+
+    let store: Arc<MemoryCheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+
+    // Backend #1: checkpoint every epoch, ~30ms per epoch.
+    let service1 = CloudService::builder()
+        .workers(1)
+        .observer(Arc::new(Mutex::new(SleepyObserver(Duration::from_millis(
+            15,
+        )))))
+        .checkpoint_store(Arc::clone(&store) as Arc<dyn CheckpointStore>)
+        .checkpoint_every(1)
+        .build();
+    let server1 = CloudServer::bind(service1, "127.0.0.1:0").expect("bind backend 1");
+    let injector = FaultInjector::spawn(server1.local_addr()).expect("spawn injector");
+    let client =
+        RemoteCloudClient::connect_with(injector.addr(), patient_reconnect()).expect("connect");
+    let mut handle = client.submit(&job).expect("submit");
+
+    // Let it train past two checkpoints, then pull the plug.
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            server1.stats().checkpoints_written >= 2
+        }),
+        "backend 1 never wrote two checkpoints"
+    );
+    injector.set_fault(Fault::Kill);
+
+    // The orphaned execution notices nobody can hear it at the next epoch
+    // boundary and cancels itself — keeping its checkpoint.
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            server1.stats().jobs_cancelled >= 1
+        }),
+        "backend 1 never abandoned the orphaned job"
+    );
+    let killed = server1.stats();
+    assert!(killed.checkpoints_written >= 2);
+    assert!(
+        killed.epochs_trained < EPOCHS as u64,
+        "the kill must land mid-job, trained {}",
+        killed.epochs_trained
+    );
+    assert_eq!(store.len(), 1, "the abandoned job keeps its checkpoint");
+    assert_progress_conserved(&killed);
+    server1.shutdown();
+
+    // Backend #2: same store, fresh process (no sleepy observer — the
+    // restart should finish the tail fast).
+    let service2 = CloudService::builder()
+        .workers(1)
+        .checkpoint_store(Arc::clone(&store) as Arc<dyn CheckpointStore>)
+        .checkpoint_every(1)
+        .build();
+    let server2 = CloudServer::bind(service2, "127.0.0.1:0").expect("bind backend 2");
+    injector.retarget(server2.local_addr());
+    injector.set_fault(Fault::None);
+
+    // The client reconnects through the same front door, resubmits the
+    // pending job verbatim, and the new backend resumes from the
+    // checkpoint instead of starting over.
+    let result = handle
+        .wait_timeout(Duration::from_secs(30))
+        .expect("handle hung across the restart")
+        .expect("resumed job must succeed");
+
+    assert_eq!(
+        result.trained_model, truth.trained_model,
+        "resumed model diverged from the uninterrupted run"
+    );
+    assert_eq!(result.history.train_loss, truth.history.train_loss);
+    assert_eq!(result.history.train_acc, truth.history.train_acc);
+    assert_eq!(result.history.epochs(), EPOCHS);
+
+    let resumed = server2.stats();
+    assert_eq!(
+        resumed.jobs_resumed, 1,
+        "backend 2 must resume, not recompute"
+    );
+    assert_eq!(resumed.jobs_completed, 1);
+    assert!(
+        resumed.epochs_trained >= 1 && resumed.epochs_trained < EPOCHS as u64,
+        "resume must recompute only the tail, recomputed {}",
+        resumed.epochs_trained
+    );
+    assert_eq!(
+        killed.epochs_trained + resumed.epochs_trained,
+        EPOCHS as u64,
+        "no epoch may be trained twice or skipped across the restart"
+    );
+    assert!(store.is_empty(), "success retires the checkpoint");
+    assert_progress_conserved(&resumed);
+
+    let cs = client.stats();
+    assert!(cs.reconnects >= 1, "client must have healed the link");
+    assert!(
+        cs.jobs_resubmitted >= 1,
+        "client must have replayed the job"
+    );
+    server2.shutdown();
+    injector.shutdown();
+}
+
+/// Cancel racing completion at every offset: whichever wins, the handle
+/// always resolves — `Ok` if the reply beat the cancel, `Cancelled`
+/// otherwise — and never hangs or sees a third outcome.
+#[test]
+fn cancel_racing_completion_never_hangs_a_handle() {
+    let service = CloudService::builder().workers(2).build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let client = RemoteCloudClient::connect(server.local_addr()).expect("connect");
+
+    for round in 0..24u64 {
+        let mut handle = client.submit(&slow_job(round, 2)).expect("submit");
+        // Sweep the cancel across the job's lifetime, from "immediately"
+        // to "well after completion".
+        std::thread::sleep(Duration::from_micros(150 * round));
+        handle.cancel();
+        match handle
+            .wait_timeout(Duration::from_secs(20))
+            .expect("cancel race stranded the handle")
+        {
+            Ok(_) | Err(CloudError::Cancelled) => {}
+            Err(other) => panic!("round {round}: unexpected outcome {other:?}"),
+        }
+    }
+    assert_progress_conserved(&server.stats());
+    server.shutdown();
+}
+
+/// One waiter's cancel stops a dedup-coalesced execution and resolves
+/// EVERY attached handle with `Cancelled` — and because the abandoned run
+/// keeps its checkpoint, a later resubmission resumes the tail and still
+/// lands bitwise on the uninterrupted answer.
+#[test]
+fn cancelling_a_coalesced_job_resolves_every_waiter_and_leaves_a_resumable_checkpoint() {
+    const EPOCHS: usize = 60;
+    let job = slow_job(42, EPOCHS);
+    let truth_service = CloudService::builder().workers(1).build();
+    let truth = truth_service.client().train(&job).expect("ground truth");
+
+    let store: Arc<MemoryCheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+    let service = CloudService::builder()
+        .workers(1)
+        .result_cache(1 << 20, Duration::from_secs(60))
+        .observer(Arc::new(Mutex::new(SleepyObserver(Duration::from_millis(
+            10,
+        )))))
+        .checkpoint_store(Arc::clone(&store) as Arc<dyn CheckpointStore>)
+        .checkpoint_every(1)
+        .build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Four clients submit the identical job: one executes, three coalesce.
+    let clients: Vec<RemoteCloudClient> = (0..4)
+        .map(|_| RemoteCloudClient::connect(addr).expect("connect"))
+        .collect();
+    let mut handles: Vec<RemoteJobHandle> = clients
+        .iter()
+        .map(|c| c.submit(&job).expect("submit"))
+        .collect();
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            let s = server.stats();
+            s.coalesced == 3 && s.checkpoints_written >= 1
+        }),
+        "waiters never coalesced onto the in-flight execution"
+    );
+
+    // A *waiter* — not the primary submitter — pulls the plug.
+    handles[2].cancel();
+    for (i, handle) in handles.iter_mut().enumerate() {
+        match handle
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|| panic!("handle {i} stranded by a coalesced cancel"))
+        {
+            Err(CloudError::Cancelled) => {}
+            other => panic!("handle {i}: expected Cancelled, got {other:?}"),
+        }
+    }
+    let cancelled = server.stats();
+    assert_eq!(cancelled.jobs_cancelled, 1, "one execution, one cancel");
+    assert_eq!(store.len(), 1, "the cancelled run keeps its checkpoint");
+    assert!(cancelled.epochs_trained < EPOCHS as u64);
+
+    // A fresh submission of the same job resumes the retained checkpoint
+    // and finishes bitwise identical to the uninterrupted run.
+    let retry = RemoteCloudClient::connect(addr).expect("connect");
+    let result = retry
+        .submit(&job)
+        .expect("resubmit")
+        .wait()
+        .expect("resumed job");
+    assert_eq!(result.trained_model, truth.trained_model);
+    assert_eq!(result.history.train_loss, truth.history.train_loss);
+    assert_eq!(result.history.epochs(), EPOCHS);
+
+    let finished = server.stats();
+    assert_eq!(finished.jobs_resumed, 1);
+    assert_eq!(
+        finished.epochs_trained, EPOCHS as u64,
+        "cancelled prefix + resumed tail must cover each epoch exactly once"
+    );
+    assert!(store.is_empty(), "success retires the checkpoint");
+    assert_progress_conserved(&finished);
+    server.shutdown();
+}
+
+/// Cancelling while the link is down (mid-failover) resolves the handle
+/// with `Cancelled` at the next reconnect instead of hanging — and the
+/// job is never resurrected by the resubmit machinery.
+#[test]
+fn cancel_while_disconnected_resolves_and_is_never_revived() {
+    let service = CloudService::builder()
+        .workers(1)
+        .observer(Arc::new(Mutex::new(SleepyObserver(Duration::from_millis(
+            15,
+        )))))
+        .build();
+    let server = CloudServer::bind(service, "127.0.0.1:0").expect("bind loopback");
+    let injector = FaultInjector::spawn(server.local_addr()).expect("spawn injector");
+    let client =
+        RemoteCloudClient::connect_with(injector.addr(), patient_reconnect()).expect("connect");
+
+    let mut handle = client.submit(&slow_job(7, 40)).expect("submit");
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            server.stats().epochs_trained >= 1
+        }),
+        "job never started training"
+    );
+
+    // Sever the link, cancel into the void, then heal.
+    injector.set_fault(Fault::Kill);
+    handle.cancel();
+    injector.set_fault(Fault::None);
+
+    match handle
+        .wait_timeout(Duration::from_secs(20))
+        .expect("cancel during failover stranded the handle")
+    {
+        Err(CloudError::Cancelled) => {}
+        other => panic!("expected Cancelled after mid-failover cancel, got {other:?}"),
+    }
+
+    // The dead link orphaned the server-side run; abandonment detection
+    // cancels it at the next epoch boundary.
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            server.stats().jobs_cancelled >= 1
+        }),
+        "orphaned execution never self-cancelled"
+    );
+
+    // The reconnect must settle the cancelled job, not replay it.
+    std::thread::sleep(Duration::from_millis(200));
+    let stats = server.stats();
+    assert_eq!(
+        stats.jobs_submitted, 1,
+        "a cancelled job must never be resubmitted"
+    );
+    assert!(client.stats().reconnects >= 1);
+    assert_progress_conserved(&stats);
+    server.shutdown();
+    injector.shutdown();
 }
